@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the per-value LDP randomizers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fednum_ldp::{
+    DuchiOneBit, LaplaceMechanism, PiecewiseMechanism, RandomizedResponse, SubtractiveDithering,
+    ValueRange,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_randomized_response(c: &mut Criterion) {
+    let rr = RandomizedResponse::from_epsilon(1.0);
+    c.bench_function("rr_flip_and_debias", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(rr.debias(rr.flip(black_box(true), &mut rng))));
+    });
+}
+
+fn bench_piecewise(c: &mut Criterion) {
+    let m = PiecewiseMechanism::new(ValueRange::new(0.0, 255.0), 1.0);
+    c.bench_function("piecewise_randomize", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(m.randomize(black_box(120.0), &mut rng)));
+    });
+}
+
+fn bench_dithering(c: &mut Criterion) {
+    let m = SubtractiveDithering::new(ValueRange::new(0.0, 255.0));
+    c.bench_function("dithering_randomize", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(m.randomize(black_box(120.0), &mut rng)));
+    });
+}
+
+fn bench_duchi(c: &mut Criterion) {
+    let m = DuchiOneBit::new(ValueRange::new(0.0, 255.0), 1.0);
+    c.bench_function("duchi_randomize", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(m.randomize(black_box(120.0), &mut rng)));
+    });
+}
+
+fn bench_laplace(c: &mut Criterion) {
+    c.bench_function("laplace_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(LaplaceMechanism::sample_laplace(black_box(1.0), &mut rng)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_randomized_response,
+    bench_piecewise,
+    bench_dithering,
+    bench_duchi,
+    bench_laplace
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks for the bit-pushing protocols: end-to-end
+//! rounds, encoding throughput, and client-to-bit assignment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fednum_core::encoding::FixedPointCodec;
+use fednum_core::protocol::adaptive::{AdaptiveBitPushing, AdaptiveConfig};
+use fednum_core::protocol::basic::{BasicBitPushing, BasicConfig};
+use fednum_core::sampling::BitSampling;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn values(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i % 3000) as f64).collect()
+}
+
+fn bench_basic(c: &mut Criterion) {
+    let vs = values(10_000);
+    let protocol = BasicBitPushing::new(BasicConfig::new(
+        FixedPointCodec::integer(12),
+        BitSampling::geometric(12, 1.0),
+    ));
+    c.bench_function("basic_bitpush_10k_b12", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(protocol.run(black_box(&vs), &mut rng).estimate));
+    });
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let vs = values(10_000);
+    let protocol = AdaptiveBitPushing::new(AdaptiveConfig::new(FixedPointCodec::integer(12)));
+    c.bench_function("adaptive_bitpush_10k_b12", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(protocol.run(black_box(&vs), &mut rng).estimate));
+    });
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let vs = values(100_000);
+    let codec = FixedPointCodec::integer(12);
+    c.bench_function("encode_100k_values", |b| {
+        b.iter(|| black_box(codec.encode_all(black_box(&vs))));
+    });
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let sampling = BitSampling::geometric(16, 1.0);
+    c.bench_function("qmc_assign_100k_clients", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(sampling.assign_qmc(100_000, &mut rng)));
+    });
+    c.bench_function("local_assign_100k_clients", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(sampling.assign_local(100_000, &mut rng)));
+    });
+}
+
+fn bench_quantile(c: &mut Criterion) {
+    use fednum_core::quantile::{QuantileConfig, QuantileEstimator};
+    let vs = values(10_000);
+    let est = QuantileEstimator::new(QuantileConfig::new(FixedPointCodec::integer(12), 0.5));
+    c.bench_function("quantile_median_10k_b12", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(est.run(black_box(&vs), &mut rng).estimate));
+    });
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    use fednum_fedsim::StreamingMean;
+    c.bench_function("streaming_ingest_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| {
+            let mut agg = StreamingMean::new(
+                FixedPointCodec::integer(12),
+                BitSampling::geometric(12, 1.0),
+                None,
+            );
+            for i in 0..10_000u64 {
+                agg.ingest((i % 3000) as f64, &mut rng);
+            }
+            black_box(agg.estimate())
+        });
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    use fednum_core::histogram::{bucketize, FederatedHistogram, HistogramConfig};
+    let vs = values(10_000);
+    let ids = bucketize(&vs, 0.0, 3000.0, 16);
+    let h = FederatedHistogram::new(HistogramConfig::new(16));
+    c.bench_function("histogram_10k_d16", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(h.run(black_box(&ids), &mut rng)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_basic,
+    bench_adaptive,
+    bench_encode,
+    bench_assignment,
+    bench_quantile,
+    bench_streaming,
+    bench_histogram
+);
+criterion_main!(benches);

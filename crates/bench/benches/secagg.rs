@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the secure-aggregation substrate: field
+//! arithmetic, Shamir sharing, mask expansion, and the full protocol.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fednum_secagg::field::Fe;
+use fednum_secagg::prg::MaskStream;
+use fednum_secagg::protocol::{run_secure_aggregation, DropoutPlan, SecAggConfig};
+use fednum_secagg::shamir::{reconstruct, share};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_field(c: &mut Criterion) {
+    let a = Fe::new(0x1234_5678_9ABC_DEF0);
+    let b_ = Fe::new(0x0FED_CBA9_8765_4321);
+    c.bench_function("field_mul", |b| {
+        b.iter(|| black_box(black_box(a) * black_box(b_)))
+    });
+    c.bench_function("field_inv", |b| b.iter(|| black_box(black_box(a).inv())));
+}
+
+fn bench_shamir(c: &mut Criterion) {
+    c.bench_function("shamir_share_k10_n50", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(share(Fe::new(42), 10, 50, &mut rng)));
+    });
+    let mut rng = StdRng::seed_from_u64(2);
+    let shares = share(Fe::new(42), 10, 50, &mut rng);
+    c.bench_function("shamir_reconstruct_k10", |b| {
+        b.iter(|| black_box(reconstruct(black_box(&shares[..10]))));
+    });
+}
+
+fn bench_prg(c: &mut Criterion) {
+    c.bench_function("mask_expand_1k", |b| {
+        b.iter(|| black_box(MaskStream::new(black_box(7)).expand(1024)));
+    });
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let n = 100;
+    let len = 32;
+    let config = SecAggConfig::new(n, 60, len, 99);
+    let inputs: Vec<Vec<u64>> = (0..n)
+        .map(|i| (0..len).map(|j| ((i + j) % 50) as u64).collect())
+        .collect();
+    c.bench_function("secagg_protocol_n100_v32", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            black_box(
+                run_secure_aggregation(&config, black_box(&inputs), &DropoutPlan::none(), &mut rng)
+                    .unwrap(),
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_field,
+    bench_shamir,
+    bench_prg,
+    bench_protocol
+);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Figure 2: accuracy on (synthetic) census-age data as the cohort size and
+//! bit depth vary.
+//!
+//! Expected shapes: NRMSE for both mean (2a) and variance (2b) decreases
+//! roughly as `n^{-1/2}`; the adaptive approach handles increasing bit depth
+//! best (2c). The headline calibration from Section 1.1 — a few thousand
+//! reports give ~3% NRMSE and ten thousand keep it comfortably below 1% for
+//! a ~10-bit quantity — is checked by `EXPERIMENTS.md` against 2a.
+
+use fednum_metrics::table::{Metric, SeriesTable};
+use fednum_metrics::Repetitions;
+
+use crate::figures::{census_population, Budget};
+use crate::methods::plain_methods;
+use crate::runner::{clipped_with_mean, clipped_with_variance, sweep_mean, sweep_variance};
+
+/// Ages fit in 7 bits; 8 leaves one vacuous bit, as a deployment would pick.
+const BITS: u32 = 8;
+
+fn n_sweep(max_n: usize) -> Vec<f64> {
+    [1000usize, 2000, 5000, 10_000, 20_000, 50_000, 100_000]
+        .iter()
+        .map(|&n| n.min(max_n) as f64)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .scan(0.0, |prev, x| {
+            // Deduplicate after capping at max_n.
+            if x > *prev {
+                *prev = x;
+                Some(x)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Figure 2a: mean-estimation NRMSE vs number of clients.
+#[must_use]
+pub fn fig2a(budget: Budget) -> SeriesTable {
+    sweep_mean(
+        "fig2a",
+        "Mean estimation on census ages, varying n",
+        "n",
+        Metric::Nrmse,
+        &n_sweep(budget.var_n),
+        Repetitions::new(budget.reps, budget.seed),
+        |n, seed| {
+            let raw = census_population(n as usize, seed);
+            clipped_with_mean(&raw, BITS)
+        },
+        |_| plain_methods(BITS),
+    )
+}
+
+/// Figure 2b: variance-estimation NRMSE vs number of clients.
+#[must_use]
+pub fn fig2b(budget: Budget) -> SeriesTable {
+    sweep_variance(
+        "fig2b",
+        "Variance estimation on census ages, varying n",
+        "n",
+        Metric::Nrmse,
+        &n_sweep(budget.var_n),
+        Repetitions::new(budget.var_reps, budget.seed),
+        |n, seed| {
+            let raw = census_population(n as usize, seed);
+            clipped_with_variance(&raw, BITS)
+        },
+        |_| crate::figures::fig1::variance_methods(BITS),
+    )
+}
+
+/// Figure 2c: mean-estimation NRMSE vs bit depth on census ages.
+#[must_use]
+pub fn fig2c(budget: Budget) -> SeriesTable {
+    let depths: Vec<f64> = [7u32, 8, 10, 12, 14, 16, 18]
+        .iter()
+        .map(|&b| f64::from(b))
+        .collect();
+    sweep_mean(
+        "fig2c",
+        format!(
+            "Mean estimation on census ages vs bit depth, n={}",
+            budget.n
+        )
+        .as_str(),
+        "bit depth",
+        Metric::Nrmse,
+        &depths,
+        Repetitions::new(budget.reps, budget.seed),
+        |bits, seed| {
+            let raw = census_population(budget.n, seed);
+            clipped_with_mean(&raw, bits as u32)
+        },
+        |bits| plain_methods(bits as u32),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n_sweep_caps_and_dedups() {
+        assert_eq!(n_sweep(10_000), vec![1000.0, 2000.0, 5000.0, 10_000.0]);
+        assert_eq!(n_sweep(100_000).len(), 7);
+    }
+
+    #[test]
+    fn fig2a_error_decreases_with_n() {
+        let mut budget = Budget::quick();
+        budget.reps = 10;
+        budget.var_n = 16_000;
+        let t = fig2a(budget);
+        let adaptive = t
+            .series
+            .iter()
+            .find(|s| s.name == "adaptive a=0.5")
+            .unwrap();
+        let first = adaptive.points.first().unwrap().summary.nrmse;
+        let last = adaptive.points.last().unwrap().summary.nrmse;
+        assert!(last < first, "error should fall with n: {first} → {last}");
+    }
+}

@@ -1,0 +1,91 @@
+//! One driver per figure panel / deployment finding.
+
+pub mod ablate;
+pub mod deploy;
+pub mod extend;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+
+use fednum_workloads::{CensusAges, Dataset, Normal};
+
+/// Experiment sizing. `full()` mirrors the paper (100 repetitions, 10k
+/// clients, 100k for variance); `quick()` is a fast smoke configuration for
+/// CI and iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Repetitions for mean-estimation panels.
+    pub reps: u32,
+    /// Repetitions for variance panels (heavier per trial).
+    pub var_reps: u32,
+    /// Default cohort size.
+    pub n: usize,
+    /// Cohort size for variance panels (paper: "a larger cohort of 100,000
+    /// clients").
+    pub var_n: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Budget {
+    /// Paper-scale settings.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            reps: 100,
+            var_reps: 50,
+            n: 10_000,
+            var_n: 100_000,
+            seed: 0xED87_2024,
+        }
+    }
+
+    /// Fast smoke settings.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            reps: 15,
+            var_reps: 8,
+            n: 4_000,
+            var_n: 20_000,
+            seed: 0xED87_2024,
+        }
+    }
+}
+
+/// Draws a Normal(μ, σ) population of size `n`.
+#[must_use]
+pub fn normal_population(mu: f64, sigma: f64, n: usize, seed: u64) -> Vec<f64> {
+    Dataset::draw(&Normal::new(mu, sigma), n, seed)
+        .values()
+        .to_vec()
+}
+
+/// Draws a synthetic census-age population of size `n`.
+#[must_use]
+pub fn census_population(n: usize, seed: u64) -> Vec<f64> {
+    Dataset::draw(&CensusAges::new(), n, seed).values().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populations_are_seeded() {
+        assert_eq!(
+            normal_population(5.0, 1.0, 10, 1),
+            normal_population(5.0, 1.0, 10, 1)
+        );
+        assert_ne!(census_population(10, 1), census_population(10, 2));
+    }
+
+    #[test]
+    fn budgets_are_ordered() {
+        let f = Budget::full();
+        let q = Budget::quick();
+        assert!(f.reps > q.reps);
+        assert!(f.n > q.n);
+    }
+}

@@ -1,0 +1,212 @@
+//! Server-side per-bit aggregation state.
+//!
+//! The server's entire view of a bit-pushing round is, per bit index, a sum
+//! of (possibly debiased) reports and a count — "essentially a collection of
+//! binary histograms" (Section 3.3). This is also exactly the shape secure
+//! aggregation can deliver, so the accumulator is the interface between the
+//! protocols and the `fednum-secagg` substrate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bits::reconstruct;
+
+/// Per-bit sums and counts of reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitAccumulator {
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl BitAccumulator {
+    /// Creates an empty accumulator over `bits` bit indices.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= bits <= 52`.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=52).contains(&bits), "bits must be in 1..=52");
+        Self {
+            sums: vec![0.0; bits as usize],
+            counts: vec![0; bits as usize],
+        }
+    }
+
+    /// Reconstructs an accumulator from raw per-bit sums and counts (e.g.
+    /// out of a secure-aggregation round).
+    ///
+    /// # Panics
+    /// Panics if lengths differ or are outside `1..=52`.
+    #[must_use]
+    pub fn from_parts(sums: Vec<f64>, counts: Vec<u64>) -> Self {
+        assert_eq!(sums.len(), counts.len(), "length mismatch");
+        assert!((1..=52).contains(&sums.len()), "bits must be in 1..=52");
+        Self { sums, counts }
+    }
+
+    /// Number of bit indices.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.sums.len() as u32
+    }
+
+    /// Records one report for bit `j`. `value` is the (possibly debiased)
+    /// bit contribution — exactly 0/1 without privacy, any real with.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range.
+    pub fn record(&mut self, j: u32, value: f64) {
+        let j = j as usize;
+        assert!(j < self.sums.len(), "bit index {j} out of range");
+        self.sums[j] += value;
+        self.counts[j] += 1;
+    }
+
+    /// Merges another accumulator (e.g. pooling the two rounds of the
+    /// adaptive protocol — the paper's "caching").
+    ///
+    /// # Panics
+    /// Panics if dimensions differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.bits(), other.bits(), "bit-depth mismatch");
+        for j in 0..self.sums.len() {
+            self.sums[j] += other.sums[j];
+            self.counts[j] += other.counts[j];
+        }
+    }
+
+    /// Per-bit report sums.
+    #[must_use]
+    pub fn sums(&self) -> &[f64] {
+        &self.sums
+    }
+
+    /// Per-bit report counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of reports across all bits.
+    #[must_use]
+    pub fn total_reports(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Per-bit mean estimates `m_j = s_j / c_j`. Bits with no reports
+    /// default to 0 — correct for bits that were deliberately unsampled
+    /// because a previous round estimated their mean as 0 (Section 1.1:
+    /// "unused bits (with estimated mean 0) do not need to be sampled").
+    #[must_use]
+    pub fn bit_means(&self) -> Vec<f64> {
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect()
+    }
+
+    /// Like [`Self::bit_means`], but unreported bits fall back to the given
+    /// prior means (used when pooling knows a better default than 0).
+    ///
+    /// # Panics
+    /// Panics if `prior` has the wrong length.
+    #[must_use]
+    pub fn bit_means_with_prior(&self, prior: &[f64]) -> Vec<f64> {
+        assert_eq!(prior.len(), self.sums.len(), "prior length mismatch");
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .zip(prior)
+            .map(|((&s, &c), &p)| if c == 0 { p } else { s / c as f64 })
+            .collect()
+    }
+
+    /// The mean estimate in encoded units: `Σ_j 2^j m_j` (Algorithm 1,
+    /// lines 5–6).
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        reconstruct(&self.bit_means())
+    }
+
+    /// Mean estimate from externally post-processed bit means (e.g. after
+    /// bit squashing).
+    #[must_use]
+    pub fn estimate_from_means(means: &[f64]) -> f64 {
+        reconstruct(means)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_means() {
+        let mut acc = BitAccumulator::new(3);
+        acc.record(0, 1.0);
+        acc.record(0, 0.0);
+        acc.record(2, 1.0);
+        assert_eq!(acc.counts(), &[2, 0, 1]);
+        assert_eq!(acc.bit_means(), vec![0.5, 0.0, 1.0]);
+        assert_eq!(acc.total_reports(), 3);
+        // Estimate: 1*0.5 + 2*0 + 4*1 = 4.5.
+        assert!((acc.estimate() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_pools_reports() {
+        let mut a = BitAccumulator::new(2);
+        a.record(0, 1.0);
+        let mut b = BitAccumulator::new(2);
+        b.record(0, 0.0);
+        b.record(1, 1.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 1]);
+        assert_eq!(a.bit_means(), vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn prior_fills_unreported_bits() {
+        let mut acc = BitAccumulator::new(3);
+        acc.record(1, 1.0);
+        let means = acc.bit_means_with_prior(&[0.25, 0.9, 0.75]);
+        assert_eq!(means, vec![0.25, 1.0, 0.75]);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let acc = BitAccumulator::from_parts(vec![3.0, 0.0], vec![6, 0]);
+        assert_eq!(acc.bit_means(), vec![0.5, 0.0]);
+        assert_eq!(acc.bits(), 2);
+    }
+
+    #[test]
+    fn debiased_values_accumulate() {
+        // DP debiasing can produce values outside [0, 1]; the accumulator
+        // must pass them through untouched.
+        let mut acc = BitAccumulator::new(1);
+        acc.record(0, 1.31);
+        acc.record(0, -0.31);
+        assert!((acc.bit_means()[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_from_means_matches_reconstruct() {
+        let means = vec![0.5, 0.25, 0.0, 1.0];
+        assert!((BitAccumulator::estimate_from_means(&means) - (0.5 + 0.5 + 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_rejects_bad_index() {
+        let mut acc = BitAccumulator::new(2);
+        acc.record(2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit-depth mismatch")]
+    fn merge_rejects_mismatched_depth() {
+        let mut a = BitAccumulator::new(2);
+        a.merge(&BitAccumulator::new(3));
+    }
+}

@@ -1,0 +1,189 @@
+//! Binary decomposition helpers.
+//!
+//! The linear decomposition at the heart of bit-pushing: for an encoded
+//! value `x = Σ_j 2^j x^(j)`, the mean satisfies `x̄ = Σ_j 2^j x̄^(j)`
+//! (equation (1) of the paper), so per-bit means reconstruct the value mean
+//! exactly. The β weights `β_j = 4^j x̄^(j)(1 - x̄^(j))` drive both the
+//! variance formula (Lemma 3.1) and the optimal sampling probabilities
+//! (Lemma 3.3).
+
+/// Extracts bit `j` of an encoded value.
+#[must_use]
+#[inline]
+pub fn bit(v: u64, j: u32) -> bool {
+    (v >> j) & 1 == 1
+}
+
+/// Extracts bit `j` as 0.0 / 1.0.
+#[must_use]
+#[inline]
+pub fn bit_f64(v: u64, j: u32) -> f64 {
+    f64::from(u8::from(bit(v, j)))
+}
+
+/// The weight `2^j` of bit `j` in the linear decomposition.
+///
+/// # Panics
+/// Panics (in debug) for `j >= 53` where `f64` exactness would be lost.
+#[must_use]
+#[inline]
+pub fn weight(j: u32) -> f64 {
+    debug_assert!(j < 53);
+    (1u64 << j) as f64
+}
+
+/// Reconstructs a value-domain (encoded units) mean from per-bit means:
+/// `Σ_j 2^j m_j`.
+#[must_use]
+pub fn reconstruct(bit_means: &[f64]) -> f64 {
+    bit_means
+        .iter()
+        .enumerate()
+        .map(|(j, &m)| weight(j as u32) * m)
+        .sum()
+}
+
+/// Exact per-bit means of an encoded population: `m_j = (1/n) Σ_i x_i^(j)`.
+///
+/// # Panics
+/// Panics if `codes` is empty.
+#[must_use]
+pub fn exact_bit_means(codes: &[u64], bits: u32) -> Vec<f64> {
+    assert!(!codes.is_empty(), "need at least one value");
+    let n = codes.len() as f64;
+    (0..bits)
+        .map(|j| codes.iter().map(|&v| bit_f64(v, j)).sum::<f64>() / n)
+        .collect()
+}
+
+/// The per-bit variance contributions `β_j = 4^j m_j (1 - m_j)` of
+/// Lemma 3.1, with bit means clamped into `[0, 1]` (debiased DP estimates
+/// may stray outside).
+#[must_use]
+pub fn beta_weights(bit_means: &[f64]) -> Vec<f64> {
+    bit_means
+        .iter()
+        .enumerate()
+        .map(|(j, &m)| {
+            let m = m.clamp(0.0, 1.0);
+            let w = weight(j as u32);
+            w * w * m * (1.0 - m)
+        })
+        .collect()
+}
+
+/// The estimator variance of Lemma 3.1 for `n` clients and sampling
+/// probabilities `p`: `(1/n) Σ_j β_j / p_j`. Bits with `β_j = 0` contribute
+/// nothing even when `p_j = 0`.
+///
+/// # Panics
+/// Panics if the slices' lengths differ, if `n == 0`, or if some bit has
+/// positive β but zero sampling probability (infinite variance).
+#[must_use]
+pub fn estimator_variance(bit_means: &[f64], probs: &[f64], n: usize) -> f64 {
+    assert_eq!(bit_means.len(), probs.len(), "length mismatch");
+    assert!(n > 0, "need at least one client");
+    let betas = beta_weights(bit_means);
+    let mut total = 0.0;
+    for (j, (&b, &p)) in betas.iter().zip(probs).enumerate() {
+        if b == 0.0 {
+            continue;
+        }
+        assert!(p > 0.0, "bit {j} has positive variance but p = 0");
+        total += b / p;
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_extraction() {
+        let v = 0b1011_0010u64;
+        assert!(!bit(v, 0));
+        assert!(bit(v, 1));
+        assert!(bit(v, 4));
+        assert!(bit(v, 7));
+        assert!(!bit(v, 8));
+        assert_eq!(bit_f64(v, 1), 1.0);
+        assert_eq!(bit_f64(v, 0), 0.0);
+    }
+
+    #[test]
+    fn weights_are_powers_of_two() {
+        assert_eq!(weight(0), 1.0);
+        assert_eq!(weight(1), 2.0);
+        assert_eq!(weight(10), 1024.0);
+    }
+
+    #[test]
+    fn reconstruct_inverts_decomposition() {
+        for v in [0u64, 1, 5, 100, 255, 256, 12345] {
+            let bits = 16;
+            let means: Vec<f64> = (0..bits).map(|j| bit_f64(v, j)).collect();
+            assert_eq!(reconstruct(&means), v as f64);
+        }
+    }
+
+    #[test]
+    fn exact_bit_means_reconstruct_population_mean() {
+        let codes = vec![3u64, 9, 200, 77, 1];
+        let truth = codes.iter().sum::<u64>() as f64 / codes.len() as f64;
+        let means = exact_bit_means(&codes, 8);
+        assert!((reconstruct(&means) - truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_means_are_fractions() {
+        let codes = vec![0b01u64, 0b11, 0b10, 0b00];
+        let means = exact_bit_means(&codes, 2);
+        assert!((means[0] - 0.5).abs() < 1e-12);
+        assert!((means[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_weights_formula() {
+        let means = vec![0.5, 0.25, 1.0, 0.0];
+        let betas = beta_weights(&means);
+        assert!((betas[0] - 0.25).abs() < 1e-12); // 1 * 0.25
+        assert!((betas[1] - 4.0 * 0.1875).abs() < 1e-12); // 4 * 3/16
+        assert_eq!(betas[2], 0.0); // deterministic bit
+        assert_eq!(betas[3], 0.0);
+    }
+
+    #[test]
+    fn beta_weights_clamp_out_of_range_means() {
+        let betas = beta_weights(&[-0.2, 1.4]);
+        assert_eq!(betas, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn variance_matches_lemma_3_1_by_hand() {
+        // Two bits, means 0.5 each, p = [0.25, 0.75], n = 100:
+        // V = (1/100) (1*0.25/0.25 + 4*0.25/0.75) = (1 + 4/3)/100.
+        let v = estimator_variance(&[0.5, 0.5], &[0.25, 0.75], 100);
+        assert!((v - (1.0 + 4.0 / 3.0) / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_ignores_zero_beta_zero_prob_bits() {
+        // Vacuous high bit with p = 0 is fine.
+        let v = estimator_variance(&[0.5, 0.0], &[1.0, 0.0], 10);
+        assert!((v - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "p = 0")]
+    fn variance_rejects_unsampled_informative_bit() {
+        let _ = estimator_variance(&[0.5, 0.5], &[1.0, 0.0], 10);
+    }
+
+    #[test]
+    fn variance_scales_inversely_with_n() {
+        let v1 = estimator_variance(&[0.5], &[1.0], 100);
+        let v2 = estimator_variance(&[0.5], &[1.0], 400);
+        assert!((v1 / v2 - 4.0).abs() < 1e-12);
+    }
+}

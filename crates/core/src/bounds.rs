@@ -1,0 +1,189 @@
+//! Upper-bound tracking and heavy-tail / non-stationarity flagging.
+//!
+//! Section 1.1: "mean estimation is not so meaningful for quantities with
+//! high skew... Instead, our method can report an upper bound on the
+//! aggregated samples, and flag when this bound changes significantly over
+//! time, indicating a heavy-tail and/or non-stationary distribution."
+//!
+//! The tracker also implements the deployment guidance for "deciding the
+//! number of bits" (Section 4.3): choose the clipping depth from the
+//! observed magnitude rather than from a guessed tight range.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming per-round upper-bound monitor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpperBoundTracker {
+    history: Vec<f64>,
+    /// Consecutive-round growth factor above which the metric is flagged.
+    factor: f64,
+}
+
+impl UpperBoundTracker {
+    /// Creates a tracker flagging when the observed bound grows by more than
+    /// `factor` between consecutive rounds.
+    ///
+    /// # Panics
+    /// Panics unless `factor > 1`.
+    #[must_use]
+    pub fn new(factor: f64) -> Self {
+        assert!(factor > 1.0 && factor.is_finite(), "factor must be > 1");
+        Self {
+            history: Vec::new(),
+            factor,
+        }
+    }
+
+    /// Records the maximum value observed in one aggregation round.
+    ///
+    /// # Panics
+    /// Panics on non-finite or negative bounds.
+    pub fn record_round(&mut self, max_observed: f64) {
+        assert!(
+            max_observed.is_finite() && max_observed >= 0.0,
+            "bound must be finite and nonnegative"
+        );
+        self.history.push(max_observed);
+    }
+
+    /// The most recent bound (`None` before any round).
+    #[must_use]
+    pub fn latest(&self) -> Option<f64> {
+        self.history.last().copied()
+    }
+
+    /// Number of recorded rounds.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True if the latest round's bound exceeded the previous round's by
+    /// more than the configured factor — the heavy-tail / non-stationarity
+    /// flag.
+    #[must_use]
+    pub fn flagged(&self) -> bool {
+        let n = self.history.len();
+        if n < 2 {
+            return false;
+        }
+        let prev = self.history[n - 2];
+        let cur = self.history[n - 1];
+        cur > prev.max(f64::MIN_POSITIVE) * self.factor
+    }
+
+    /// True if *any* consecutive pair in the history tripped the flag.
+    #[must_use]
+    pub fn ever_flagged(&self) -> bool {
+        self.history
+            .windows(2)
+            .any(|w| w[1] > w[0].max(f64::MIN_POSITIVE) * self.factor)
+    }
+
+    /// The clipping bit depth suggested by the observed history: enough bits
+    /// to represent the largest bound seen, i.e. `ceil(log2(max + 1))`,
+    /// clamped into `1..=52`. Returns `None` before any round.
+    #[must_use]
+    pub fn suggested_bits(&self) -> Option<u32> {
+        let max = self
+            .history
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max.is_finite() {
+            Some(bits_for_magnitude(max))
+        } else {
+            None
+        }
+    }
+}
+
+/// The smallest bit depth whose clipping bound `2^b - 1` covers
+/// `magnitude`, clamped into `1..=52`.
+///
+/// # Panics
+/// Panics on negative or non-finite magnitudes.
+#[must_use]
+pub fn bits_for_magnitude(magnitude: f64) -> u32 {
+    assert!(
+        magnitude.is_finite() && magnitude >= 0.0,
+        "magnitude must be finite and nonnegative"
+    );
+    let mut bits = 1u32;
+    while bits < 52 && (((1u64 << bits) - 1) as f64) < magnitude {
+        bits += 1;
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_bounds_do_not_flag() {
+        let mut t = UpperBoundTracker::new(2.0);
+        for b in [100.0, 105.0, 98.0, 110.0] {
+            t.record_round(b);
+        }
+        assert!(!t.flagged());
+        assert!(!t.ever_flagged());
+        assert_eq!(t.latest(), Some(110.0));
+        assert_eq!(t.rounds(), 4);
+    }
+
+    #[test]
+    fn jump_flags() {
+        let mut t = UpperBoundTracker::new(2.0);
+        t.record_round(100.0);
+        t.record_round(100.0);
+        assert!(!t.flagged());
+        t.record_round(1e6); // heavy-tail client appeared
+        assert!(t.flagged());
+        t.record_round(1e6); // stabilized again
+        assert!(!t.flagged());
+        assert!(t.ever_flagged());
+    }
+
+    #[test]
+    fn single_round_never_flags() {
+        let mut t = UpperBoundTracker::new(1.5);
+        t.record_round(5.0);
+        assert!(!t.flagged());
+        assert_eq!(t.latest(), Some(5.0));
+    }
+
+    #[test]
+    fn zero_previous_bound_flags_on_any_growth() {
+        let mut t = UpperBoundTracker::new(2.0);
+        t.record_round(0.0);
+        t.record_round(1.0);
+        assert!(t.flagged());
+    }
+
+    #[test]
+    fn suggested_bits_covers_max() {
+        let mut t = UpperBoundTracker::new(2.0);
+        assert_eq!(t.suggested_bits(), None);
+        t.record_round(200.0);
+        assert_eq!(t.suggested_bits(), Some(8)); // 255 >= 200
+        t.record_round(300.0);
+        assert_eq!(t.suggested_bits(), Some(9));
+    }
+
+    #[test]
+    fn bits_for_magnitude_boundaries() {
+        assert_eq!(bits_for_magnitude(0.0), 1);
+        assert_eq!(bits_for_magnitude(1.0), 1);
+        assert_eq!(bits_for_magnitude(2.0), 2);
+        assert_eq!(bits_for_magnitude(255.0), 8);
+        assert_eq!(bits_for_magnitude(256.0), 9);
+        assert_eq!(bits_for_magnitude(1e300), 52); // clamped
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be > 1")]
+    fn rejects_trivial_factor() {
+        let _ = UpperBoundTracker::new(1.0);
+    }
+}

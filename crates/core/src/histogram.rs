@@ -1,0 +1,255 @@
+//! Federated histograms with one-bit membership reports.
+//!
+//! Section 3.3 observes that "the data gathered in bit-pushing protocols is
+//! essentially a collection of binary histograms (counts of 0 and 1 bits for
+//! each bit index), for which accurate protocols exist under distributed
+//! privacy". This module turns that observation into a first-class
+//! aggregate: estimating the full distribution over `d` buckets while each
+//! client still discloses a **single (optionally randomized) bit** — the
+//! membership indicator for one server-assigned bucket.
+//!
+//! The server apportions clients evenly over buckets (the same QMC idea as
+//! bit assignment); client `i` assigned bucket `k` reports `[bucket(x_i) ==
+//! k]` through randomized response; the debiased mean of bucket `k`'s
+//! reports is an unbiased estimate of that bucket's probability mass. The
+//! resulting counts are exactly the shape that the distributed-DP
+//! post-processing in [`crate::privacy::distributed`] operates on.
+
+use fednum_ldp::RandomizedResponse;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a one-bit federated histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramConfig {
+    /// Number of buckets `d`.
+    pub buckets: usize,
+    /// Optional ε-LDP randomized response on the membership bit.
+    pub privacy: Option<RandomizedResponse>,
+}
+
+impl HistogramConfig {
+    /// Creates a plain (non-private) configuration.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`.
+    #[must_use]
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets >= 1, "need at least one bucket");
+        Self {
+            buckets,
+            privacy: None,
+        }
+    }
+
+    /// Enables randomized response.
+    #[must_use]
+    pub fn with_privacy(mut self, rr: RandomizedResponse) -> Self {
+        self.privacy = Some(rr);
+        self
+    }
+}
+
+/// Estimated histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramOutcome {
+    /// Estimated probability mass per bucket (may stray slightly outside
+    /// `[0, 1]` under DP noise; see [`Self::frequencies_clamped`]).
+    pub frequencies: Vec<f64>,
+    /// Reports received per bucket.
+    pub reports_per_bucket: Vec<u64>,
+}
+
+impl HistogramOutcome {
+    /// Frequencies clamped to `[0, 1]` and renormalized to sum to 1.
+    #[must_use]
+    pub fn frequencies_clamped(&self) -> Vec<f64> {
+        let clamped: Vec<f64> = self.frequencies.iter().map(|f| f.max(0.0)).collect();
+        let total: f64 = clamped.iter().sum();
+        if total <= 0.0 {
+            vec![1.0 / clamped.len() as f64; clamped.len()]
+        } else {
+            clamped.iter().map(|f| f / total).collect()
+        }
+    }
+
+    /// Estimated count for a bucket given the population size.
+    #[must_use]
+    pub fn estimated_count(&self, bucket: usize, population: usize) -> f64 {
+        self.frequencies[bucket] * population as f64
+    }
+}
+
+/// One-bit federated histogram estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FederatedHistogram {
+    config: HistogramConfig,
+}
+
+impl FederatedHistogram {
+    /// Creates the estimator.
+    #[must_use]
+    pub fn new(config: HistogramConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the protocol over per-client bucket indices.
+    ///
+    /// # Panics
+    /// Panics if `bucket_ids` is empty or contains an out-of-range bucket.
+    pub fn run(&self, bucket_ids: &[usize], rng: &mut dyn Rng) -> HistogramOutcome {
+        assert!(!bucket_ids.is_empty(), "need at least one client");
+        let d = self.config.buckets;
+        assert!(
+            bucket_ids.iter().all(|&b| b < d),
+            "bucket id out of range (d = {d})"
+        );
+        let n = bucket_ids.len();
+
+        // Even QMC apportionment of clients to probe buckets.
+        let mut probes: Vec<usize> = (0..n).map(|i| i % d).collect();
+        probes.shuffle(rng);
+
+        let mut sums = vec![0.0f64; d];
+        let mut counts = vec![0u64; d];
+        for (i, &probe) in probes.iter().enumerate() {
+            let member = bucket_ids[i] == probe;
+            let contribution = match &self.config.privacy {
+                Some(rr) => rr.debias(rr.flip(member, rng)),
+                None => f64::from(u8::from(member)),
+            };
+            sums[probe] += contribution;
+            counts[probe] += 1;
+        }
+        let frequencies = sums
+            .iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect();
+        HistogramOutcome {
+            frequencies,
+            reports_per_bucket: counts,
+        }
+    }
+}
+
+/// Buckets continuous values into `d` equal-width bins over `[lo, hi)`,
+/// clamping out-of-range values into the end bins.
+///
+/// # Panics
+/// Panics unless `lo < hi` and `d >= 1`.
+#[must_use]
+pub fn bucketize(values: &[f64], lo: f64, hi: f64, d: usize) -> Vec<usize> {
+    assert!(lo < hi && d >= 1, "need lo < hi and d >= 1");
+    let width = (hi - lo) / d as f64;
+    values
+        .iter()
+        .map(|&v| (((v - lo) / width).floor() as isize).clamp(0, d as isize - 1) as usize)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exact_frequencies(bucket_ids: &[usize], d: usize) -> Vec<f64> {
+        let mut f = vec![0.0; d];
+        for &b in bucket_ids {
+            f[b] += 1.0;
+        }
+        for x in &mut f {
+            *x /= bucket_ids.len() as f64;
+        }
+        f
+    }
+
+    fn skewed_population(n: usize) -> Vec<usize> {
+        // Bucket k with probability ∝ 1/(k+1).
+        (0..n)
+            .map(|i| match i % 25 {
+                0..=11 => 0,
+                12..=17 => 1,
+                18..=21 => 2,
+                22..=23 => 3,
+                _ => 4,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plain_histogram_recovers_frequencies() {
+        let ids = skewed_population(100_000);
+        let truth = exact_frequencies(&ids, 5);
+        let h = FederatedHistogram::new(HistogramConfig::new(5));
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = h.run(&ids, &mut rng);
+        for (est, t) in out.frequencies.iter().zip(&truth) {
+            assert!((est - t).abs() < 0.02, "est {est} truth {t}");
+        }
+        // Even probe apportionment.
+        assert!(out.reports_per_bucket.iter().all(|&c| c == 20_000));
+    }
+
+    #[test]
+    fn private_histogram_is_unbiased() {
+        let ids = skewed_population(200_000);
+        let truth = exact_frequencies(&ids, 5);
+        let h = FederatedHistogram::new(
+            HistogramConfig::new(5).with_privacy(RandomizedResponse::from_epsilon(1.0)),
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = h.run(&ids, &mut rng);
+        for (est, t) in out.frequencies.iter().zip(&truth) {
+            assert!((est - t).abs() < 0.05, "est {est} truth {t}");
+        }
+    }
+
+    #[test]
+    fn clamped_frequencies_form_distribution() {
+        let out = HistogramOutcome {
+            frequencies: vec![0.5, -0.05, 0.6],
+            reports_per_bucket: vec![10, 10, 10],
+        };
+        let f = out.frequencies_clamped();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(f[1], 0.0);
+        assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn estimated_counts_scale_with_population() {
+        let out = HistogramOutcome {
+            frequencies: vec![0.25, 0.75],
+            reports_per_bucket: vec![1, 1],
+        };
+        assert!((out.estimated_count(0, 1000) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucketize_edges_and_clamping() {
+        let ids = bucketize(&[-5.0, 0.0, 4.9, 5.0, 9.9, 100.0], 0.0, 10.0, 2);
+        assert_eq!(ids, vec![0, 0, 0, 1, 1, 1]);
+        let fine = bucketize(&[0.0, 2.5, 5.0, 7.5], 0.0, 10.0, 4);
+        assert_eq!(fine, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn one_bit_per_client_total() {
+        let ids = skewed_population(10_000);
+        let h = FederatedHistogram::new(HistogramConfig::new(5));
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = h.run(&ids, &mut rng);
+        assert_eq!(out.reports_per_bucket.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_bucket_id() {
+        let h = FederatedHistogram::new(HistogramConfig::new(3));
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = h.run(&[0, 1, 5], &mut rng);
+    }
+}

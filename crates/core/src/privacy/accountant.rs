@@ -1,0 +1,162 @@
+//! Differential-privacy composition accounting.
+//!
+//! The metering ledger (Section 1.1) tracks ε by *simple* composition
+//! (ε's add). Over many rounds — a client answering daily telemetry
+//! queries for months — the advanced composition theorem (Dwork & Roth,
+//! Theorem 3.20) gives a much tighter bound at the cost of a δ:
+//!
+//! `ε_total = ε√(2k ln(1/δ')) + k·ε·(e^ε − 1)` for `k` ε-DP mechanisms.
+//!
+//! The accountant reports both bounds so a privacy dashboard can show the
+//! honest number.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates per-release ε values and reports composed guarantees.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompositionAccountant {
+    epsilons: Vec<f64>,
+}
+
+impl CompositionAccountant {
+    /// Creates an empty accountant.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one ε-DP release.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon > 0` and finite.
+    pub fn record(&mut self, epsilon: f64) {
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive and finite"
+        );
+        self.epsilons.push(epsilon);
+    }
+
+    /// Number of recorded releases.
+    #[must_use]
+    pub fn releases(&self) -> usize {
+        self.epsilons.len()
+    }
+
+    /// Simple (basic) composition: `Σ ε_i` — a pure ε-DP guarantee.
+    #[must_use]
+    pub fn simple_epsilon(&self) -> f64 {
+        self.epsilons.iter().sum()
+    }
+
+    /// Advanced composition for homogeneous ε (uses the maximum recorded ε
+    /// as the per-release level, which is sound): the composed mechanism is
+    /// `(ε_total, δ)`-DP with
+    /// `ε_total = ε√(2k ln(1/δ)) + k·ε·(e^ε − 1)`.
+    ///
+    /// Returns `0` when nothing was recorded.
+    ///
+    /// # Panics
+    /// Panics unless `0 < delta < 1`.
+    #[must_use]
+    pub fn advanced_epsilon(&self, delta: f64) -> f64 {
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        let k = self.epsilons.len();
+        if k == 0 {
+            return 0.0;
+        }
+        let eps = self.epsilons.iter().copied().fold(0.0, f64::max);
+        let k_f = k as f64;
+        eps * (2.0 * k_f * (1.0 / delta).ln()).sqrt() + k_f * eps * (eps.exp() - 1.0)
+    }
+
+    /// The tighter of the two bounds at the given δ — what a dashboard
+    /// should display.
+    ///
+    /// # Panics
+    /// Panics unless `0 < delta < 1`.
+    #[must_use]
+    pub fn best_epsilon(&self, delta: f64) -> f64 {
+        self.simple_epsilon().min(self.advanced_epsilon(delta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accountant_is_zero() {
+        let a = CompositionAccountant::new();
+        assert_eq!(a.simple_epsilon(), 0.0);
+        assert_eq!(a.advanced_epsilon(1e-6), 0.0);
+        assert_eq!(a.releases(), 0);
+    }
+
+    #[test]
+    fn simple_composition_adds() {
+        let mut a = CompositionAccountant::new();
+        a.record(0.5);
+        a.record(1.0);
+        a.record(0.25);
+        assert!((a.simple_epsilon() - 1.75).abs() < 1e-12);
+        assert_eq!(a.releases(), 3);
+    }
+
+    #[test]
+    fn advanced_beats_simple_for_many_small_releases() {
+        // 200 releases at ε = 0.1: simple gives 20; advanced with δ = 1e-6
+        // gives ~ 0.1·√(400·13.8) + 200·0.1·0.105 ≈ 9.5.
+        let mut a = CompositionAccountant::new();
+        for _ in 0..200 {
+            a.record(0.1);
+        }
+        let simple = a.simple_epsilon();
+        let advanced = a.advanced_epsilon(1e-6);
+        assert!((simple - 20.0).abs() < 1e-9);
+        assert!(
+            advanced < simple * 0.6,
+            "advanced {advanced} should be far below simple {simple}"
+        );
+        assert_eq!(a.best_epsilon(1e-6), advanced.min(simple));
+    }
+
+    #[test]
+    fn simple_beats_advanced_for_few_releases() {
+        let mut a = CompositionAccountant::new();
+        a.record(1.0);
+        a.record(1.0);
+        // k = 2: the √(2k ln 1/δ) term dominates.
+        assert!(a.simple_epsilon() < a.advanced_epsilon(1e-6));
+        assert_eq!(a.best_epsilon(1e-6), a.simple_epsilon());
+    }
+
+    #[test]
+    fn advanced_formula_hand_check() {
+        let mut a = CompositionAccountant::new();
+        for _ in 0..100 {
+            a.record(0.1);
+        }
+        let delta = 1e-5_f64;
+        let expected =
+            0.1 * (2.0 * 100.0 * (1.0 / delta).ln()).sqrt() + 100.0 * 0.1 * (0.1f64.exp() - 1.0);
+        assert!((a.advanced_epsilon(delta) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_uses_max_epsilon_soundly() {
+        let mut a = CompositionAccountant::new();
+        a.record(0.1);
+        a.record(0.5); // max
+        let delta = 1e-6_f64;
+        let expected =
+            0.5 * (2.0 * 2.0 * (1.0 / delta).ln()).sqrt() + 2.0 * 0.5 * (0.5f64.exp() - 1.0);
+        assert!((a.advanced_epsilon(delta) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_epsilon() {
+        CompositionAccountant::new().record(0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Distributed differential privacy on bit histograms (Section 3.3).
+//!
+//! In the distributed model each client adds only a little noise, and the
+//! aggregate noise matches the central model. Bit-pushing's server state is
+//! a pair of counts per bit index (ones and totals), i.e. binary histograms,
+//! "for which accurate protocols exist under distributed privacy":
+//!
+//! * [`SampleThreshold`] — Bharadwaj & Cormode (AISTATS 2022): each report
+//!   is included with probability `q` and the server removes very small
+//!   counts; sampling alone then provides DP. The paper's deployment uses
+//!   this ("adding distributed noise via sampling") and found the threshold
+//!   "introduced a negligible amount of noise compared to the
+//!   non-thresholded sample".
+//! * [`BernoulliNoise`] — Balcer & Cheu (SODA 2021) style: augment each
+//!   histogram cell with Binomial(n, λ) phantom counts contributed by the
+//!   clients, debiased by the server. Expected absolute error for the
+//!   histogram is `O((1/ε²) log 1/δ)`.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::accumulator::BitAccumulator;
+
+/// Draws a Binomial(n, p) variate: exact Bernoulli summation for small `n`,
+/// normal approximation (rounded, clamped) for large `n`.
+pub fn binomial(n: u64, p: f64, rng: &mut dyn Rng) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if p == 0.0 || n == 0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    if n <= 4096 {
+        (0..n).filter(|_| rng.random_bool(p)).count() as u64
+    } else {
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (mean + sd * z).round().clamp(0.0, n as f64) as u64
+    }
+}
+
+/// Sample-and-threshold distributed DP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleThreshold {
+    /// Per-report inclusion probability `q ∈ (0, 1]`.
+    pub q: f64,
+    /// Counts at or below this value are zeroed ("very small counts are
+    /// removed from the reporting").
+    pub threshold: u64,
+}
+
+impl SampleThreshold {
+    /// Creates the mechanism.
+    ///
+    /// # Panics
+    /// Panics unless `0 < q <= 1`.
+    #[must_use]
+    pub fn new(q: f64, threshold: u64) -> Self {
+        assert!(q > 0.0 && q <= 1.0, "q must be in (0, 1]");
+        Self { q, threshold }
+    }
+
+    /// Applies sampling + thresholding to an accumulator of raw (0/1) bit
+    /// reports, returning the privatized accumulator with sums rescaled by
+    /// `1/q` so downstream estimates stay unbiased (up to thresholding).
+    ///
+    /// Must be applied to *unit* reports (no randomized-response debiasing
+    /// yet), since it subsamples count histograms.
+    pub fn apply(&self, acc: &BitAccumulator, rng: &mut dyn Rng) -> BitAccumulator {
+        let mut sums = Vec::with_capacity(acc.bits() as usize);
+        let mut counts = Vec::with_capacity(acc.bits() as usize);
+        for j in 0..acc.bits() as usize {
+            let ones = acc.sums()[j].round().max(0.0) as u64;
+            let total = acc.counts()[j];
+            let zeros = total.saturating_sub(ones);
+            // Subsample ones and zeros independently.
+            let kept_ones = binomial(ones, self.q, rng);
+            let kept_zeros = binomial(zeros, self.q, rng);
+            // Threshold tiny cells.
+            let kept_ones = if kept_ones <= self.threshold {
+                0
+            } else {
+                kept_ones
+            };
+            let kept_zeros = if kept_zeros <= self.threshold {
+                0
+            } else {
+                kept_zeros
+            };
+            sums.push(kept_ones as f64);
+            counts.push(kept_ones + kept_zeros);
+        }
+        BitAccumulator::from_parts(sums, counts)
+    }
+}
+
+/// Bernoulli/binomial noise addition on histogram cells.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BernoulliNoise {
+    /// Per-client probability of contributing one phantom count to each
+    /// histogram cell.
+    pub lambda: f64,
+}
+
+impl BernoulliNoise {
+    /// Creates the mechanism.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= lambda <= 1`.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda in [0, 1]");
+        Self { lambda }
+    }
+
+    /// Calibrates λ for an (ε, δ) guarantee over `n` clients using the
+    /// standard binomial-mechanism bound `λ ≥ c·ln(1/δ)/(n ε²)` (capped at
+    /// 1/2), with `c = 8`.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon > 0`, `0 < delta < 1`, `n > 0`.
+    #[must_use]
+    pub fn calibrate(epsilon: f64, delta: f64, n: usize) -> Self {
+        assert!(epsilon > 0.0 && delta > 0.0 && delta < 1.0 && n > 0);
+        let lambda = (8.0 * (1.0 / delta).ln() / (n as f64 * epsilon * epsilon)).min(0.5);
+        Self::new(lambda)
+    }
+
+    /// Applies phantom-count noise: each of the `n` clients adds a phantom
+    /// 1-count with probability λ and a phantom 0-count with probability λ,
+    /// to each bit cell; the server then subtracts the expectation
+    /// (`n λ` ones and `2 n λ` total) to stay unbiased in expectation.
+    pub fn apply(&self, acc: &BitAccumulator, n: usize, rng: &mut dyn Rng) -> BitAccumulator {
+        let mut sums = Vec::with_capacity(acc.bits() as usize);
+        let mut counts = Vec::with_capacity(acc.bits() as usize);
+        for j in 0..acc.bits() as usize {
+            let phantom_ones = binomial(n as u64, self.lambda, rng) as f64;
+            let phantom_zeros = binomial(n as u64, self.lambda, rng) as f64;
+            let expected = n as f64 * self.lambda;
+            // Noisy observed cells, debiased by the known expectation. Sums
+            // stay real-valued; counts track actual reports only, so the
+            // mean estimate uses the debiased sum over true counts.
+            let debiased_ones = acc.sums()[j] + phantom_ones - expected;
+            let _ = phantom_zeros; // zero-cell noise cancels in the mean
+            sums.push(debiased_ones);
+            counts.push(acc.counts()[j]);
+        }
+        BitAccumulator::from_parts(sums, counts)
+    }
+
+    /// Standard deviation of the phantom-count noise on a cell of `n`
+    /// clients.
+    #[must_use]
+    pub fn noise_std(&self, n: usize) -> f64 {
+        (n as f64 * self.lambda * (1.0 - self.lambda)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_moments_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(n, p) in &[(100u64, 0.3), (100_000u64, 0.2)] {
+            let trials = 2000;
+            let mean: f64 = (0..trials)
+                .map(|_| binomial(n, p, &mut rng) as f64)
+                .sum::<f64>()
+                / f64::from(trials);
+            let expected = n as f64 * p;
+            assert!(
+                (mean / expected - 1.0).abs() < 0.02,
+                "n={n} p={p} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(binomial(100, 0.0, &mut rng), 0);
+        assert_eq!(binomial(100, 1.0, &mut rng), 100);
+        let v = binomial(1_000_000, 0.5, &mut rng);
+        assert!(v <= 1_000_000);
+    }
+
+    fn acc_with(ones: u64, zeros: u64) -> BitAccumulator {
+        BitAccumulator::from_parts(vec![ones as f64], vec![ones + zeros])
+    }
+
+    #[test]
+    fn sample_threshold_preserves_mean_in_expectation() {
+        let st = SampleThreshold::new(0.5, 2);
+        let acc = acc_with(6000, 4000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mean_sum = 0.0;
+        let trials = 500;
+        for _ in 0..trials {
+            let out = st.apply(&acc, &mut rng);
+            mean_sum += out.bit_means()[0];
+        }
+        let avg = mean_sum / f64::from(trials);
+        assert!((avg - 0.6).abs() < 0.01, "avg bit mean {avg}");
+    }
+
+    #[test]
+    fn sample_threshold_removes_small_counts() {
+        let st = SampleThreshold::new(1.0, 5);
+        // 3 ones (≤ threshold) and 100 zeros.
+        let out = st.apply(&acc_with(3, 100), &mut StdRng::seed_from_u64(4));
+        assert_eq!(out.sums()[0], 0.0);
+        assert_eq!(out.counts()[0], 100);
+    }
+
+    #[test]
+    fn sample_threshold_subsamples_counts() {
+        let st = SampleThreshold::new(0.25, 0);
+        let out = st.apply(&acc_with(40_000, 40_000), &mut StdRng::seed_from_u64(5));
+        let total = out.counts()[0] as f64;
+        assert!((total / 20_000.0 - 1.0).abs() < 0.05, "kept {total}");
+    }
+
+    #[test]
+    fn bernoulli_noise_is_unbiased() {
+        let bn = BernoulliNoise::new(0.1);
+        let acc = acc_with(700, 300);
+        let mut rng = StdRng::seed_from_u64(6);
+        let trials = 2000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            sum += bn.apply(&acc, 1000, &mut rng).bit_means()[0];
+        }
+        let avg = sum / f64::from(trials);
+        assert!((avg - 0.7).abs() < 0.005, "avg {avg}");
+    }
+
+    #[test]
+    fn bernoulli_noise_std_formula() {
+        let bn = BernoulliNoise::new(0.25);
+        assert!((bn.noise_std(1600) - (1600.0f64 * 0.25 * 0.75).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibrate_shrinks_with_n_and_epsilon() {
+        let a = BernoulliNoise::calibrate(1.0, 1e-6, 1000);
+        let b = BernoulliNoise::calibrate(1.0, 1e-6, 100_000);
+        assert!(b.lambda < a.lambda);
+        let c = BernoulliNoise::calibrate(4.0, 1e-6, 1000);
+        assert!(c.lambda < a.lambda);
+        // Capped at 1/2 in the tiny-cohort regime.
+        let tiny = BernoulliNoise::calibrate(0.01, 1e-6, 10);
+        assert_eq!(tiny.lambda, 0.5);
+    }
+
+    #[test]
+    fn distributed_noise_much_smaller_than_local() {
+        // The point of the distributed model: aggregate noise ~ sqrt(n·λ)
+        // on a count of n, versus local RR noise ~ sqrt(n · Var_RR).
+        let n = 10_000;
+        let bn = BernoulliNoise::calibrate(1.0, 1e-6, n);
+        let rr = fednum_ldp::RandomizedResponse::from_epsilon(1.0);
+        let local_noise_on_count = (n as f64 * rr.fixed_bit_variance()).sqrt();
+        assert!(bn.noise_std(n) < local_noise_on_count / 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in")]
+    fn sample_threshold_rejects_zero_q() {
+        let _ = SampleThreshold::new(0.0, 1);
+    }
+}

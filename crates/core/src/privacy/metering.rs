@@ -1,0 +1,225 @@
+//! Privacy metering: per-client accounting of disclosed bits and ε.
+//!
+//! Bit-pushing "supports novel privacy controls where private data is
+//! metered not at the value level... but at the bit level" (Section 1.1).
+//! The ledger records, per client, how many private bits have been disclosed
+//! and how much ε has been spent, and can enforce hard budgets — the
+//! worst-case guarantee that sits alongside the probabilistic DP guarantee.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Hard per-client disclosure limits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyBudget {
+    /// Maximum number of private bits a client may disclose (`None` =
+    /// unlimited).
+    pub max_bits: Option<u64>,
+    /// Maximum total ε a client may spend (`None` = unlimited).
+    pub max_epsilon: Option<f64>,
+}
+
+impl PrivacyBudget {
+    /// A budget with no limits (metering only).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self {
+            max_bits: None,
+            max_epsilon: None,
+        }
+    }
+
+    /// The paper's headline promise: at most one bit per value; callers
+    /// charge per aggregation task.
+    #[must_use]
+    pub fn bits(max_bits: u64) -> Self {
+        Self {
+            max_bits: Some(max_bits),
+            max_epsilon: None,
+        }
+    }
+}
+
+/// Error returned when a charge would exceed a client's budget. The charge
+/// is *not* applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetExceeded {
+    /// The client whose budget would be exceeded.
+    pub client: u64,
+    /// Bits already disclosed by this client.
+    pub bits_spent: u64,
+    /// ε already spent by this client.
+    pub epsilon_spent: f64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "privacy budget exceeded for client {}: {} bits / ε = {} already spent",
+            self.client, self.bits_spent, self.epsilon_spent
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Per-client disclosure account.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClientAccount {
+    /// Private bits disclosed so far.
+    pub bits: u64,
+    /// Total ε spent so far (simple composition).
+    pub epsilon: f64,
+}
+
+/// The metering ledger.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyLedger {
+    budget: Option<PrivacyBudget>,
+    accounts: HashMap<u64, ClientAccount>,
+}
+
+impl PrivacyLedger {
+    /// A ledger that only meters (no enforcement).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A ledger that enforces the given budget on every charge.
+    #[must_use]
+    pub fn with_budget(budget: PrivacyBudget) -> Self {
+        Self {
+            budget: Some(budget),
+            accounts: HashMap::new(),
+        }
+    }
+
+    /// Records a disclosure of `bits` private bits at privacy level
+    /// `epsilon` for `client`, enforcing the budget if one is set.
+    ///
+    /// On rejection the account is unchanged.
+    ///
+    /// # Errors
+    /// [`BudgetExceeded`] when the charge would push the client past either
+    /// limit.
+    pub fn charge(&mut self, client: u64, bits: u64, epsilon: f64) -> Result<(), BudgetExceeded> {
+        let account = self.accounts.entry(client).or_default();
+        if let Some(budget) = &self.budget {
+            let over_bits = budget.max_bits.is_some_and(|max| account.bits + bits > max);
+            let over_eps = budget
+                .max_epsilon
+                .is_some_and(|max| account.epsilon + epsilon > max + 1e-12);
+            if over_bits || over_eps {
+                return Err(BudgetExceeded {
+                    client,
+                    bits_spent: account.bits,
+                    epsilon_spent: account.epsilon,
+                });
+            }
+        }
+        account.bits += bits;
+        account.epsilon += epsilon;
+        Ok(())
+    }
+
+    /// A client's current account (zero if never charged).
+    #[must_use]
+    pub fn account(&self, client: u64) -> ClientAccount {
+        self.accounts.get(&client).copied().unwrap_or_default()
+    }
+
+    /// Number of clients with at least one charge.
+    #[must_use]
+    pub fn clients(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Total private bits disclosed across all clients.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.accounts.values().map(|a| a.bits).sum()
+    }
+
+    /// The largest per-client bit disclosure — the number a privacy-metering
+    /// UI would surface.
+    #[must_use]
+    pub fn max_bits_per_client(&self) -> u64 {
+        self.accounts.values().map(|a| a.bits).max().unwrap_or(0)
+    }
+
+    /// The largest per-client ε spend.
+    #[must_use]
+    pub fn max_epsilon_per_client(&self) -> f64 {
+        self.accounts
+            .values()
+            .map(|a| a.epsilon)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metering_without_budget() {
+        let mut ledger = PrivacyLedger::new();
+        ledger.charge(1, 1, 0.5).unwrap();
+        ledger.charge(1, 1, 0.5).unwrap();
+        ledger.charge(2, 1, 2.0).unwrap();
+        assert_eq!(ledger.account(1).bits, 2);
+        assert!((ledger.account(1).epsilon - 1.0).abs() < 1e-12);
+        assert_eq!(ledger.clients(), 2);
+        assert_eq!(ledger.total_bits(), 3);
+        assert_eq!(ledger.max_bits_per_client(), 2);
+        assert!((ledger.max_epsilon_per_client() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_budget_enforced() {
+        let mut ledger = PrivacyLedger::with_budget(PrivacyBudget::bits(1));
+        ledger.charge(7, 1, 1.0).unwrap();
+        let err = ledger.charge(7, 1, 1.0).unwrap_err();
+        assert_eq!(err.client, 7);
+        assert_eq!(err.bits_spent, 1);
+        // Rejected charge did not mutate the account.
+        assert_eq!(ledger.account(7).bits, 1);
+        // Other clients unaffected.
+        ledger.charge(8, 1, 1.0).unwrap();
+    }
+
+    #[test]
+    fn epsilon_budget_enforced() {
+        let budget = PrivacyBudget {
+            max_bits: None,
+            max_epsilon: Some(1.0),
+        };
+        let mut ledger = PrivacyLedger::with_budget(budget);
+        ledger.charge(1, 1, 0.6).unwrap();
+        assert!(ledger.charge(1, 1, 0.6).is_err());
+        ledger.charge(1, 1, 0.4).unwrap(); // exactly exhausts
+        assert!(ledger.charge(1, 1, 1e-6).is_err());
+    }
+
+    #[test]
+    fn unknown_client_has_zero_account() {
+        let ledger = PrivacyLedger::new();
+        assert_eq!(ledger.account(42), ClientAccount::default());
+        assert_eq!(ledger.max_bits_per_client(), 0);
+    }
+
+    #[test]
+    fn error_displays_context() {
+        let e = BudgetExceeded {
+            client: 3,
+            bits_spent: 2,
+            epsilon_spent: 1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("client 3"));
+        assert!(msg.contains("2 bits"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Privacy layers for bit-pushing (Section 3.3).
+//!
+//! * Randomized response (re-exported from `fednum-ldp`) provides the ε-LDP
+//!   guarantee: every transmitted bit is flipped with probability
+//!   `1/(1+e^ε)` on the client and debiased at the server.
+//! * [`squash`] — bit squashing: post-processing that zeroes bit means that
+//!   are indistinguishable from DP noise (Figures 4a–4c).
+//! * [`distributed`] — distributed DP on the per-bit histograms:
+//!   sample-and-threshold (Bharadwaj–Cormode) and Bernoulli noise addition
+//!   (Balcer–Cheu style).
+//! * [`metering`] — the bit-level privacy ledger of Section 1.1: per-client
+//!   accounting of disclosed private bits and ε spent, with enforceable
+//!   budgets.
+
+pub mod accountant;
+pub mod distributed;
+pub mod metering;
+pub mod squash;
+
+pub use accountant::CompositionAccountant;
+pub use distributed::{BernoulliNoise, SampleThreshold};
+pub use fednum_ldp::RandomizedResponse;
+pub use metering::{BudgetExceeded, PrivacyBudget, PrivacyLedger};
+pub use squash::BitSquash;

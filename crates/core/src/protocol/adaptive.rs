@@ -1,0 +1,448 @@
+//! Algorithm 2: adaptive (two-round) bit-pushing.
+//!
+//! Round 1 asks a `δ` fraction of clients to report bits sampled with the
+//! data-independent geometric distribution `p_j ∝ (2^j)^γ` and estimates the
+//! bit means. Round 2 re-optimizes the sampling weights to
+//! `p_j ∝ (4^j m_j (1 - m_j))^α` (Lemma 3.3 at `α = 1/2`) for the remaining
+//! `1 - δ` fraction. The final estimate pools both rounds' reports
+//! ("caching", on by default) so no sample is wasted.
+//!
+//! The adaptive pass is what lets bit-pushing "zoom in" on the true data
+//! range: round 1 identifies vacuous high-order bits (mean 0) and round 2
+//! stops sampling them, which Figures 1c/2c/4c show makes the method
+//! oblivious to a loose bit-depth guess.
+
+use fednum_ldp::{MeanMechanism, RandomizedResponse};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::accumulator::BitAccumulator;
+use crate::encoding::FixedPointCodec;
+use crate::privacy::squash::BitSquash;
+use crate::protocol::basic::{BasicBitPushing, BasicConfig, Outcome};
+use crate::sampling::{AssignmentMode, BitSampling};
+
+/// Configuration for adaptive bit-pushing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Value ↔ `b`-bit integer codec.
+    pub codec: FixedPointCodec,
+    /// Round-1 geometric exponent γ (paper default 0.5).
+    pub gamma: f64,
+    /// Round-2 weight exponent α (paper tests 0.5 and 1.0).
+    pub alpha: f64,
+    /// Fraction of clients spent in round 1 (paper's analysis guides 1/3).
+    pub delta: f64,
+    /// Pool both rounds' reports in the final estimate (Section 3.2
+    /// "Caching"; default true).
+    pub caching: bool,
+    /// Central QMC (default) or local assignment, both rounds.
+    pub assignment: AssignmentMode,
+    /// Optional per-bit ε-LDP randomized response (both rounds).
+    pub privacy: Option<RandomizedResponse>,
+    /// Optional bit squashing, applied to the round-1 means before weight
+    /// re-optimization *and* to the final means.
+    pub squash: Option<BitSquash>,
+    /// Label used by [`MeanMechanism::name`].
+    pub label: Option<String>,
+}
+
+impl AdaptiveConfig {
+    /// Paper defaults: `γ = 0.5`, `α = 0.5`, `δ = 1/3`, caching on.
+    #[must_use]
+    pub fn new(codec: FixedPointCodec) -> Self {
+        Self {
+            codec,
+            gamma: 0.5,
+            alpha: 0.5,
+            delta: 1.0 / 3.0,
+            caching: true,
+            assignment: AssignmentMode::CentralQmc,
+            privacy: None,
+            squash: None,
+            label: None,
+        }
+    }
+
+    /// Sets α (round-2 weight exponent).
+    ///
+    /// # Panics
+    /// Panics unless `alpha > 0` and finite.
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be > 0");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets γ (round-1 geometric exponent).
+    #[must_use]
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        assert!(gamma.is_finite(), "gamma must be finite");
+        self.gamma = gamma;
+        self
+    }
+
+    /// Sets δ (round-1 client fraction).
+    ///
+    /// # Panics
+    /// Panics unless `0 < delta < 1`.
+    #[must_use]
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        self.delta = delta;
+        self
+    }
+
+    /// Enables or disables pooling of the two rounds.
+    #[must_use]
+    pub fn with_caching(mut self, caching: bool) -> Self {
+        self.caching = caching;
+        self
+    }
+
+    /// Sets the assignment mode.
+    #[must_use]
+    pub fn with_assignment(mut self, mode: AssignmentMode) -> Self {
+        self.assignment = mode;
+        self
+    }
+
+    /// Enables ε-LDP randomized response.
+    #[must_use]
+    pub fn with_privacy(mut self, rr: RandomizedResponse) -> Self {
+        self.privacy = Some(rr);
+        self
+    }
+
+    /// Enables bit squashing.
+    #[must_use]
+    pub fn with_squash(mut self, squash: BitSquash) -> Self {
+        self.squash = Some(squash);
+        self
+    }
+
+    /// Sets the display label.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+}
+
+/// Result of an adaptive bit-pushing run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveOutcome {
+    /// Final mean estimate in the value domain.
+    pub estimate: f64,
+    /// Round-1 outcome (on the δ cohort).
+    pub round1: Outcome,
+    /// Round-2 outcome (on the 1-δ cohort).
+    pub round2: Outcome,
+    /// The re-optimized round-2 sampling distribution.
+    pub round2_sampling: BitSampling,
+    /// Final per-bit means used for the estimate (pooled if caching).
+    pub bit_means: Vec<f64>,
+    /// Fraction of inputs clipped by the codec.
+    pub clip_fraction: f64,
+}
+
+/// The adaptive bit-pushing protocol (Algorithm 2).
+///
+/// # Examples
+///
+/// ```
+/// use fednum_core::encoding::FixedPointCodec;
+/// use fednum_core::protocol::adaptive::{AdaptiveBitPushing, AdaptiveConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// // 14-bit codec, but the data only occupies 8 bits: round 1 discovers
+/// // this and round 2 stops sampling the vacuous high bits.
+/// let values: Vec<f64> = (0..10_000).map(|i| (i % 250) as f64).collect();
+/// let protocol = AdaptiveBitPushing::new(AdaptiveConfig::new(FixedPointCodec::integer(14)));
+/// let outcome = protocol.run(&values, &mut StdRng::seed_from_u64(1));
+/// let dropped = outcome.round2_sampling.probs().iter().filter(|&&p| p == 0.0).count();
+/// assert!(dropped >= 5, "high-order bits should be dropped in round 2");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveBitPushing {
+    config: AdaptiveConfig,
+}
+
+impl AdaptiveBitPushing {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new(config: AdaptiveConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    fn basic_config(&self, sampling: BitSampling) -> BasicConfig {
+        let mut cfg =
+            BasicConfig::new(self.config.codec, sampling).with_assignment(self.config.assignment);
+        if let Some(rr) = &self.config.privacy {
+            cfg = cfg.with_privacy(*rr);
+        }
+        if let Some(sq) = &self.config.squash {
+            cfg = cfg.with_squash(*sq);
+        }
+        cfg
+    }
+
+    /// Runs both rounds.
+    ///
+    /// # Panics
+    /// Panics unless there are at least two clients (each round needs one).
+    pub fn run(&self, values: &[f64], rng: &mut dyn Rng) -> AdaptiveOutcome {
+        assert!(values.len() >= 2, "need at least two clients");
+        let bits = self.config.codec.bits();
+        let (codes, clip_fraction) = self.config.codec.encode_all(values);
+
+        // Random δ / (1-δ) split of the population.
+        let mut order: Vec<usize> = (0..codes.len()).collect();
+        order.shuffle(rng);
+        let n1 =
+            ((self.config.delta * codes.len() as f64).round() as usize).clamp(1, codes.len() - 1);
+        let cohort1: Vec<u64> = order[..n1].iter().map(|&i| codes[i]).collect();
+        let cohort2: Vec<u64> = order[n1..].iter().map(|&i| codes[i]).collect();
+
+        // Round 1: data-independent geometric weights.
+        let sampling1 = BitSampling::geometric(bits, self.config.gamma);
+        let round1_proto = BasicBitPushing::new(self.basic_config(sampling1));
+        let round1 = round1_proto.run_encoded(&cohort1, clip_fraction, rng);
+
+        // Re-optimize weights from the round-1 (squashed) bit means. If
+        // every β is zero (constant-looking signal) fall back to round 1's
+        // distribution.
+        let sampling2 = BitSampling::adaptive_weights(&round1.bit_means, self.config.alpha)
+            .unwrap_or_else(|| BitSampling::geometric(bits, self.config.gamma));
+
+        // Round 2 on the remaining clients.
+        let round2_proto = BasicBitPushing::new(self.basic_config(sampling2.clone()));
+        let round2 = round2_proto.run_encoded(&cohort2, clip_fraction, rng);
+
+        // Final aggregation.
+        let (bit_means, counts) = if self.config.caching {
+            // Pool raw reports from both rounds (Algorithm 2 line 9); bits
+            // that neither round sampled fall back to round 1's estimate
+            // (which is 0 for squash-dropped noise bits).
+            let mut pooled = round1.accumulator.clone();
+            pooled.merge(&round2.accumulator);
+            let means = pooled.bit_means_with_prior(&round1.bit_means);
+            (means, pooled.counts().to_vec())
+        } else {
+            // Round 2 only, with round-1 means as prior for the bits round 2
+            // deliberately stopped sampling (deterministic or squashed).
+            let means = round2.accumulator.bit_means_with_prior(&round1.bit_means);
+            (means, round2.accumulator.counts().to_vec())
+        };
+        let bit_means = match &self.config.squash {
+            Some(sq) => sq.apply(&bit_means, &counts, self.config.privacy.as_ref()),
+            None => bit_means,
+        };
+        let encoded = BitAccumulator::estimate_from_means(&bit_means);
+        let estimate = self.config.codec.decode_float(encoded);
+
+        AdaptiveOutcome {
+            estimate,
+            round1,
+            round2,
+            round2_sampling: sampling2,
+            bit_means,
+            clip_fraction,
+        }
+    }
+}
+
+impl MeanMechanism for AdaptiveBitPushing {
+    fn name(&self) -> String {
+        self.config
+            .label
+            .clone()
+            .unwrap_or_else(|| "bitpush-adaptive".to_string())
+    }
+
+    fn estimate_mean(&self, values: &[f64], rng: &mut dyn Rng) -> f64 {
+        self.run(values, rng).estimate
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        // Each client participates in exactly one round and sends one bit.
+        self.config
+            .privacy
+            .as_ref()
+            .map(RandomizedResponse::epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform_values(n: usize, hi: u64) -> Vec<f64> {
+        (0..n).map(|i| (i as u64 % hi) as f64).collect()
+    }
+
+    fn rmse_of<F: Fn(u64) -> f64>(truth: f64, trials: u64, f: F) -> f64 {
+        let mut sq = 0.0;
+        for s in 0..trials {
+            let e = f(s);
+            sq += (e - truth) * (e - truth);
+        }
+        (sq / trials as f64).sqrt()
+    }
+
+    #[test]
+    fn estimates_mean_within_tolerance() {
+        let p = AdaptiveBitPushing::new(AdaptiveConfig::new(FixedPointCodec::integer(8)));
+        let values = uniform_values(20_000, 200);
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = p.run(&values, &mut rng);
+        assert!(
+            (out.estimate - truth).abs() / truth < 0.05,
+            "est {} truth {truth}",
+            out.estimate
+        );
+    }
+
+    #[test]
+    fn round2_drops_vacuous_high_bits() {
+        // 12-bit codec but data below 64: bits 6..12 have mean 0, and round 2
+        // must not waste samples on them.
+        let p = AdaptiveBitPushing::new(AdaptiveConfig::new(FixedPointCodec::integer(12)));
+        let values = uniform_values(30_000, 60);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = p.run(&values, &mut rng);
+        let probs = out.round2_sampling.probs();
+        for (j, &p) in probs.iter().enumerate().skip(7) {
+            assert_eq!(p, 0.0, "vacuous bit {j} still sampled");
+        }
+        assert!(probs[..6].iter().sum::<f64>() > 0.99);
+    }
+
+    #[test]
+    fn adaptive_beats_basic_on_loose_bit_depth() {
+        // The Figure 1c phenomenon: with many vacuous bits, single-round
+        // weighted sampling wastes most reports on noise-free-but-empty high
+        // bits while adaptive reallocates them.
+        let bits = 14;
+        let values = uniform_values(10_000, 60); // only 6 bits used
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let basic = BasicBitPushing::new(BasicConfig::new(
+            FixedPointCodec::integer(bits),
+            BitSampling::geometric(bits, 1.0),
+        ));
+        let adaptive = AdaptiveBitPushing::new(AdaptiveConfig::new(FixedPointCodec::integer(bits)));
+        let r_basic = rmse_of(truth, 40, |s| {
+            basic.estimate_mean(&values, &mut StdRng::seed_from_u64(s))
+        });
+        let r_adaptive = rmse_of(truth, 40, |s| {
+            adaptive.estimate_mean(&values, &mut StdRng::seed_from_u64(s))
+        });
+        assert!(
+            r_adaptive < r_basic,
+            "adaptive {r_adaptive} should beat basic {r_basic}"
+        );
+    }
+
+    #[test]
+    fn caching_does_not_hurt() {
+        let values = uniform_values(6_000, 200);
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let with = AdaptiveBitPushing::new(
+            AdaptiveConfig::new(FixedPointCodec::integer(8)).with_caching(true),
+        );
+        let without = AdaptiveBitPushing::new(
+            AdaptiveConfig::new(FixedPointCodec::integer(8)).with_caching(false),
+        );
+        let r_with = rmse_of(truth, 60, |s| {
+            with.estimate_mean(&values, &mut StdRng::seed_from_u64(s))
+        });
+        let r_without = rmse_of(truth, 60, |s| {
+            without.estimate_mean(&values, &mut StdRng::seed_from_u64(s))
+        });
+        // Pooling strictly adds reports per bit; allow small noise slack.
+        assert!(
+            r_with < r_without * 1.15,
+            "caching {r_with} vs no caching {r_without}"
+        );
+    }
+
+    #[test]
+    fn constant_population_is_exact() {
+        let p = AdaptiveBitPushing::new(AdaptiveConfig::new(FixedPointCodec::integer(8)));
+        let values = vec![42.0; 1000];
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = p.run(&values, &mut rng);
+        assert!((out.estimate - 42.0).abs() < 1e-9, "est {}", out.estimate);
+    }
+
+    #[test]
+    fn privacy_with_squash_survives_deep_bit_depth() {
+        // Figure 4c: under DP, squashing keeps adaptive accurate as vacuous
+        // bit depth grows.
+        let rr = RandomizedResponse::from_epsilon(2.0);
+        let values = uniform_values(60_000, 60);
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let p = AdaptiveBitPushing::new(
+            AdaptiveConfig::new(FixedPointCodec::integer(16))
+                .with_privacy(rr)
+                .with_squash(BitSquash::Absolute(0.05)),
+        );
+        let r = rmse_of(truth, 20, |s| {
+            p.estimate_mean(&values, &mut StdRng::seed_from_u64(s))
+        });
+        assert!(r / truth < 0.25, "NRMSE {} too high", r / truth);
+    }
+
+    #[test]
+    fn delta_controls_round_sizes() {
+        let p = AdaptiveBitPushing::new(
+            AdaptiveConfig::new(FixedPointCodec::integer(6)).with_delta(0.25),
+        );
+        let values = uniform_values(1_000, 50);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = p.run(&values, &mut rng);
+        assert_eq!(out.round1.accumulator.total_reports(), 250);
+        assert_eq!(out.round2.accumulator.total_reports(), 750);
+    }
+
+    #[test]
+    fn two_client_minimum() {
+        let p = AdaptiveBitPushing::new(AdaptiveConfig::new(FixedPointCodec::integer(4)));
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = p.run(&[3.0, 5.0], &mut rng);
+        assert!(out.estimate.is_finite());
+    }
+
+    #[test]
+    fn label_round_trips() {
+        let p = AdaptiveBitPushing::new(
+            AdaptiveConfig::new(FixedPointCodec::integer(4)).with_label("adaptive"),
+        );
+        assert_eq!(p.name(), "adaptive");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two clients")]
+    fn rejects_single_client() {
+        let p = AdaptiveBitPushing::new(AdaptiveConfig::new(FixedPointCodec::integer(4)));
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = p.run(&[1.0], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in")]
+    fn rejects_bad_delta() {
+        let _ = AdaptiveConfig::new(FixedPointCodec::integer(4)).with_delta(1.0);
+    }
+}

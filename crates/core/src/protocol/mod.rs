@@ -1,0 +1,17 @@
+//! The bit-pushing protocols.
+//!
+//! * [`basic`] — Algorithm 1: one round with a fixed bit-sampling
+//!   distribution (the paper's "weighted" method when used with geometric
+//!   weights).
+//! * [`adaptive`] — Algorithm 2: a first round learns the bit means, a
+//!   second round samples with the re-optimized weights, optionally pooling
+//!   both rounds ("caching"). The paper's "adaptive" method.
+//!
+//! Both implement [`fednum_ldp::MeanMechanism`], so they can be swept
+//! alongside the baseline mechanisms by the figure drivers.
+
+pub mod adaptive;
+pub mod basic;
+
+pub use adaptive::{AdaptiveBitPushing, AdaptiveConfig, AdaptiveOutcome};
+pub use basic::{BasicBitPushing, BasicConfig, Outcome};

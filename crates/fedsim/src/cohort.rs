@@ -1,0 +1,181 @@
+//! Cohort selection: eligibility and minimum-size enforcement.
+//!
+//! "When applied to more selective queries, e.g., restricting eligibility to
+//! clients in a particular geography, it can take longer for a sufficient
+//! number of eligible clients to make themselves available. Here, it is
+//! pertinent... to enforce a minimum cohort size for privacy" (Section 4.3).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::population::{Client, Population};
+
+/// Cohort selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CohortPolicy {
+    /// Desired cohort size.
+    pub target_size: usize,
+    /// Privacy floor: selection fails rather than run with fewer eligible
+    /// clients than this.
+    pub min_size: usize,
+}
+
+/// Selection failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CohortError {
+    /// Eligible clients found.
+    pub eligible: usize,
+    /// The privacy floor that was not met.
+    pub min_size: usize,
+}
+
+impl std::fmt::Display for CohortError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "only {} eligible clients, below the privacy floor of {}",
+            self.eligible, self.min_size
+        )
+    }
+}
+
+impl std::error::Error for CohortError {}
+
+impl CohortPolicy {
+    /// Creates a policy.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= min_size <= target_size`.
+    #[must_use]
+    pub fn new(target_size: usize, min_size: usize) -> Self {
+        assert!(
+            min_size >= 1 && min_size <= target_size,
+            "need 1 <= min_size <= target_size"
+        );
+        Self {
+            target_size,
+            min_size,
+        }
+    }
+
+    /// Selects up to `target_size` eligible clients uniformly at random.
+    /// Returns indices into the population.
+    ///
+    /// # Errors
+    /// [`CohortError`] when fewer than `min_size` clients are eligible.
+    pub fn select<F>(
+        &self,
+        population: &Population,
+        eligible: F,
+        rng: &mut dyn Rng,
+    ) -> Result<Vec<usize>, CohortError>
+    where
+        F: Fn(&Client) -> bool,
+    {
+        let mut candidates: Vec<usize> = population
+            .clients()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| eligible(c))
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.len() < self.min_size {
+            return Err(CohortError {
+                eligible: candidates.len(),
+                min_size: self.min_size,
+            });
+        }
+        candidates.shuffle(rng);
+        candidates.truncate(self.target_size);
+        Ok(candidates)
+    }
+
+    /// Convenience: select by region tag.
+    ///
+    /// # Errors
+    /// [`CohortError`] when too few clients match the region.
+    pub fn select_region(
+        &self,
+        population: &Population,
+        region: u32,
+        rng: &mut dyn Rng,
+    ) -> Result<Vec<usize>, CohortError> {
+        self.select(population, |c| c.region == region, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mixed_population() -> Population {
+        let clients = (0..100)
+            .map(|i| Client::new(i, u32::from(i % 4 == 0), vec![i as f64]))
+            .collect();
+        Population::new(clients)
+    }
+
+    #[test]
+    fn selects_target_size() {
+        let p = mixed_population();
+        let policy = CohortPolicy::new(10, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cohort = policy.select(&p, |_| true, &mut rng).unwrap();
+        assert_eq!(cohort.len(), 10);
+        // Indices are distinct.
+        let set: std::collections::HashSet<_> = cohort.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn region_filter_applies() {
+        let p = mixed_population();
+        let policy = CohortPolicy::new(100, 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cohort = policy.select_region(&p, 1, &mut rng).unwrap();
+        // Region 1 = every 4th client: 25 of them.
+        assert_eq!(cohort.len(), 25);
+        assert!(cohort.iter().all(|&i| p.clients()[i].region == 1));
+    }
+
+    #[test]
+    fn privacy_floor_fails_closed() {
+        let p = mixed_population();
+        let policy = CohortPolicy::new(50, 30);
+        let mut rng = StdRng::seed_from_u64(3);
+        let err = policy.select_region(&p, 1, &mut rng).unwrap_err();
+        assert_eq!(err.eligible, 25);
+        assert_eq!(err.min_size, 30);
+        assert!(err.to_string().contains("privacy floor"));
+    }
+
+    #[test]
+    fn selection_varies_with_seed() {
+        let p = mixed_population();
+        let policy = CohortPolicy::new(10, 1);
+        let a = policy
+            .select(&p, |_| true, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let b = policy
+            .select(&p, |_| true, &mut StdRng::seed_from_u64(2))
+            .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fewer_eligible_than_target_is_fine_above_floor() {
+        let p = mixed_population();
+        let policy = CohortPolicy::new(50, 10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let cohort = policy.select_region(&p, 1, &mut rng).unwrap();
+        assert_eq!(cohort.len(), 25); // all the eligible ones
+    }
+
+    #[test]
+    #[should_panic(expected = "min_size <= target_size")]
+    fn rejects_inverted_sizes() {
+        let _ = CohortPolicy::new(5, 10);
+    }
+}

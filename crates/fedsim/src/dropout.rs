@@ -1,0 +1,176 @@
+//! Client dropout models.
+//!
+//! "Client devices participating in FA exhibit diverse system
+//! characteristics, and their network connection can be unreliable...
+//! Client devices can drop out at any point of the federated protocol"
+//! (Section 4.3). Dropout interacts with bit-pushing in two ways: it thins
+//! the per-bit report counts (handled by auto-adjustment in
+//! [`crate::round`]) and it exercises the secure-aggregation recovery path.
+
+use rand::{Rng, RngExt};
+
+/// A dropout model applied to each contacted client independently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DropoutModel {
+    /// Nobody drops.
+    None,
+    /// Each contacted client fails to respond with this probability.
+    Bernoulli {
+        /// Per-client dropout probability in `[0, 1)`.
+        rate: f64,
+    },
+    /// Distinguishes when in the protocol the client vanishes — relevant
+    /// with secure aggregation, where dropping before vs. after sending the
+    /// masked input takes different recovery paths.
+    Phased {
+        /// Probability of dropping before sending any report.
+        before_report: f64,
+        /// Probability of dropping after reporting but before the unmask
+        /// round (secure aggregation only).
+        after_report: f64,
+    },
+}
+
+/// A single client's fate in one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Responds and stays to the end.
+    Responds,
+    /// Never responds.
+    DropsBeforeReport,
+    /// Responds but is gone for the unmask round.
+    DropsAfterReport,
+}
+
+impl DropoutModel {
+    /// Creates a Bernoulli model.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= rate < 1`.
+    #[must_use]
+    pub fn bernoulli(rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "rate must be in [0, 1)");
+        DropoutModel::Bernoulli { rate }
+    }
+
+    /// Creates a phased model.
+    ///
+    /// # Panics
+    /// Panics unless both probabilities are in `[0, 1)` and sum below 1.
+    #[must_use]
+    pub fn phased(before_report: f64, after_report: f64) -> Self {
+        assert!((0.0..1.0).contains(&before_report));
+        assert!((0.0..1.0).contains(&after_report));
+        assert!(before_report + after_report < 1.0, "rates must sum below 1");
+        DropoutModel::Phased {
+            before_report,
+            after_report,
+        }
+    }
+
+    /// Samples one client's fate.
+    pub fn sample(&self, rng: &mut dyn Rng) -> Fate {
+        match *self {
+            DropoutModel::None => Fate::Responds,
+            DropoutModel::Bernoulli { rate } => {
+                if rate > 0.0 && rng.random_bool(rate) {
+                    Fate::DropsBeforeReport
+                } else {
+                    Fate::Responds
+                }
+            }
+            DropoutModel::Phased {
+                before_report,
+                after_report,
+            } => {
+                let u: f64 = rng.random();
+                if u < before_report {
+                    Fate::DropsBeforeReport
+                } else if u < before_report + after_report {
+                    Fate::DropsAfterReport
+                } else {
+                    Fate::Responds
+                }
+            }
+        }
+    }
+
+    /// The probability a contacted client produces a report.
+    #[must_use]
+    pub fn response_rate(&self) -> f64 {
+        match *self {
+            DropoutModel::None => 1.0,
+            DropoutModel::Bernoulli { rate } => 1.0 - rate,
+            DropoutModel::Phased { before_report, .. } => 1.0 - before_report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_never_drops() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(DropoutModel::None.sample(&mut rng), Fate::Responds);
+        }
+        assert_eq!(DropoutModel::None.response_rate(), 1.0);
+    }
+
+    #[test]
+    fn bernoulli_rate_is_respected() {
+        let m = DropoutModel::bernoulli(0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let dropped = (0..n)
+            .filter(|_| m.sample(&mut rng) == Fate::DropsBeforeReport)
+            .count();
+        let rate = dropped as f64 / f64::from(n);
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        assert!((m.response_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_bernoulli_never_drops() {
+        let m = DropoutModel::bernoulli(0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), Fate::Responds);
+        }
+    }
+
+    #[test]
+    fn phased_splits_fates() {
+        let m = DropoutModel::phased(0.2, 0.1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut before = 0;
+        let mut after = 0;
+        for _ in 0..n {
+            match m.sample(&mut rng) {
+                Fate::DropsBeforeReport => before += 1,
+                Fate::DropsAfterReport => after += 1,
+                Fate::Responds => {}
+            }
+        }
+        assert!((before as f64 / f64::from(n) - 0.2).abs() < 0.01);
+        assert!((after as f64 / f64::from(n) - 0.1).abs() < 0.01);
+        assert!((m.response_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn bernoulli_rejects_certain_dropout() {
+        let _ = DropoutModel::bernoulli(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum below 1")]
+    fn phased_rejects_oversized_rates() {
+        let _ = DropoutModel::phased(0.6, 0.5);
+    }
+}

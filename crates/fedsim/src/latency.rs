@@ -1,0 +1,168 @@
+//! Round latency modeling.
+//!
+//! "The typical time to complete a round on our FA stack is a matter of
+//! minutes, so even adaptive bit-pushing which performs two rounds of data
+//! collection is fast" (Section 4.3). Client response times are modeled as
+//! log-normal (heavy right tail, as observed on real device fleets) with a
+//! hard timeout; a round completes when a quorum fraction of contacted
+//! clients has responded.
+
+use rand::{Rng, RngExt};
+
+/// Log-normal client latency with timeout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Location of the underlying normal (log-minutes).
+    pub mu: f64,
+    /// Scale of the underlying normal.
+    pub sigma: f64,
+    /// Clients slower than this never respond (same units as `exp(mu)`).
+    pub timeout: f64,
+}
+
+/// Timing outcome of one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundTiming {
+    /// Time at which the quorum was reached (or the timeout, if it never
+    /// was).
+    pub completion_time: f64,
+    /// Per-contacted-client response flag (false = timed out).
+    pub responded: Vec<bool>,
+}
+
+impl RoundTiming {
+    /// Number of clients that responded in time.
+    #[must_use]
+    pub fn responders(&self) -> usize {
+        self.responded.iter().filter(|&&r| r).count()
+    }
+}
+
+impl LatencyModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    /// Panics unless `sigma >= 0` and `timeout > 0`.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64, timeout: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite());
+        assert!(timeout > 0.0 && timeout.is_finite());
+        Self { mu, sigma, timeout }
+    }
+
+    /// A fleet profile loosely matching the paper's "matter of minutes":
+    /// median ≈ 2 minutes, heavy tail, 30-minute timeout.
+    #[must_use]
+    pub fn typical_fleet() -> Self {
+        Self::new(2.0f64.ln(), 0.8, 30.0)
+    }
+
+    /// Samples one client's response latency (before the timeout cut).
+    pub fn sample_latency(&self, rng: &mut dyn Rng) -> f64 {
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    /// Simulates one round over `n` contacted clients: the round completes
+    /// when `quorum_fraction` of them have responded, or at the timeout.
+    ///
+    /// # Panics
+    /// Panics unless `n > 0` and `0 < quorum_fraction <= 1`.
+    pub fn simulate_round(&self, n: usize, quorum_fraction: f64, rng: &mut dyn Rng) -> RoundTiming {
+        assert!(n > 0, "need at least one client");
+        assert!(
+            quorum_fraction > 0.0 && quorum_fraction <= 1.0,
+            "quorum_fraction in (0, 1]"
+        );
+        let latencies: Vec<f64> = (0..n).map(|_| self.sample_latency(rng)).collect();
+        let responded: Vec<bool> = latencies.iter().map(|&l| l <= self.timeout).collect();
+        let mut in_time: Vec<f64> = latencies
+            .iter()
+            .copied()
+            .filter(|&l| l <= self.timeout)
+            .collect();
+        in_time.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let quorum = ((quorum_fraction * n as f64).ceil() as usize).max(1);
+        let completion_time = if in_time.len() >= quorum {
+            in_time[quorum - 1]
+        } else {
+            self.timeout
+        };
+        RoundTiming {
+            completion_time,
+            responded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn latencies_are_positive_with_lognormal_median() {
+        let m = LatencyModel::new(2.0f64.ln(), 0.5, 100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| m.sample_latency(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[n / 2];
+        assert!((median / 2.0 - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn round_completes_at_quorum_quantile() {
+        let m = LatencyModel::new(0.0, 0.5, 1e9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let t50 = m.simulate_round(10_000, 0.5, &mut rng).completion_time;
+        let t90 = m.simulate_round(10_000, 0.9, &mut rng).completion_time;
+        assert!(t90 > t50, "p90 {t90} must exceed p50 {t50}");
+        // Median of lognormal(0, .5) is 1.
+        assert!((t50 - 1.0).abs() < 0.1, "t50 {t50}");
+    }
+
+    #[test]
+    fn timeout_caps_completion() {
+        let m = LatencyModel::new(5.0, 0.1, 10.0); // median e^5 ≈ 148 ≫ timeout
+        let mut rng = StdRng::seed_from_u64(3);
+        let timing = m.simulate_round(100, 0.5, &mut rng);
+        assert_eq!(timing.completion_time, 10.0);
+        assert!(timing.responders() < 10);
+    }
+
+    #[test]
+    fn responders_counted() {
+        let m = LatencyModel::new(0.0, 0.1, 100.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let timing = m.simulate_round(500, 0.9, &mut rng);
+        assert_eq!(timing.responders(), 500); // nothing near the timeout
+        assert_eq!(timing.responded.len(), 500);
+    }
+
+    #[test]
+    fn two_rounds_cost_roughly_double() {
+        // The latency consideration behind "even adaptive bit-pushing which
+        // performs two rounds... is fast": wall time scales with rounds.
+        let m = LatencyModel::typical_fleet();
+        let mut rng = StdRng::seed_from_u64(5);
+        let one: f64 = m.simulate_round(5_000, 0.8, &mut rng).completion_time;
+        let two: f64 = (0..2)
+            .map(|_| m.simulate_round(5_000, 0.8, &mut rng).completion_time)
+            .sum();
+        assert!(two > 1.5 * one && two < 3.0 * one, "one {one} two {two}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum_fraction")]
+    fn rejects_zero_quorum() {
+        let m = LatencyModel::typical_fleet();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = m.simulate_round(10, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,233 @@
+//! Client populations and value elicitation.
+//!
+//! "For many features of interest, most clients hold several values (e.g.,
+//! device parameter readings at different times), while a small subset may
+//! hold up to millions of observations... we could choose to elicit a single
+//! value from each client by sampling *or* local aggregation" (Section 4.3).
+//! The paper aggregates a single value per client and defines ground truth
+//! via the same elicitation semantics; both semantics are implemented here
+//! so the discrepancy the paper warns about is measurable.
+
+use rand::{Rng, RngExt};
+
+/// One client: an id, a region tag (for eligibility filtering), and one or
+/// more private values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Client {
+    /// Stable client identifier.
+    pub id: u64,
+    /// Coarse region/eligibility tag.
+    pub region: u32,
+    /// The client's local observations (never empty).
+    pub values: Vec<f64>,
+}
+
+impl Client {
+    /// Creates a client.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or contains non-finite entries.
+    #[must_use]
+    pub fn new(id: u64, region: u32, values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "client must hold at least one value");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "client values must be finite"
+        );
+        Self { id, region, values }
+    }
+
+    /// The mean of this client's local values.
+    #[must_use]
+    pub fn local_mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+}
+
+/// How a single value is elicited from a multi-value client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ElicitStrategy {
+    /// Sample one of the client's values uniformly (the paper's deployment
+    /// choice: "we define the ground truth for data collection via
+    /// sampling").
+    #[default]
+    Sample,
+    /// Locally aggregate: report the client's own mean.
+    LocalAggregate,
+}
+
+/// A set of clients.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Population {
+    clients: Vec<Client>,
+}
+
+impl Population {
+    /// One single-value client per entry, region 0.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or non-finite.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "population must be non-empty");
+        Self {
+            clients: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| Client::new(i as u64, 0, vec![v]))
+                .collect(),
+        }
+    }
+
+    /// Builds a population from explicit clients.
+    ///
+    /// # Panics
+    /// Panics if empty.
+    #[must_use]
+    pub fn new(clients: Vec<Client>) -> Self {
+        assert!(!clients.is_empty(), "population must be non-empty");
+        Self { clients }
+    }
+
+    /// The clients.
+    #[must_use]
+    pub fn clients(&self) -> &[Client] {
+        &self.clients
+    }
+
+    /// Number of clients.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Always false by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Elicits one value per client.
+    #[must_use]
+    pub fn elicit(&self, strategy: ElicitStrategy, rng: &mut dyn Rng) -> Vec<f64> {
+        self.clients
+            .iter()
+            .map(|c| match strategy {
+                ElicitStrategy::Sample => {
+                    if c.values.len() == 1 {
+                        c.values[0]
+                    } else {
+                        c.values[rng.random_range(0..c.values.len())]
+                    }
+                }
+                ElicitStrategy::LocalAggregate => c.local_mean(),
+            })
+            .collect()
+    }
+
+    /// Ground truth under per-client semantics: the mean of per-client
+    /// means. This is the expectation of both elicitation strategies.
+    #[must_use]
+    pub fn per_client_mean(&self) -> f64 {
+        self.clients.iter().map(Client::local_mean).sum::<f64>() / self.clients.len() as f64
+    }
+
+    /// Ground truth under pooled semantics: the mean over *all* values of
+    /// all clients. Differs from [`Self::per_client_mean`] when value counts
+    /// correlate with value magnitudes — the discrepancy Section 4.3 calls
+    /// out.
+    #[must_use]
+    pub fn pooled_mean(&self) -> f64 {
+        let (sum, count) = self.clients.iter().fold((0.0, 0usize), |(s, c), cl| {
+            (s + cl.values.iter().sum::<f64>(), c + cl.values.len())
+        });
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_value_population() {
+        let p = Population::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(p.len(), 3);
+        assert!((p.per_client_mean() - 2.0).abs() < 1e-12);
+        assert!((p.pooled_mean() - 2.0).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            p.elicit(ElicitStrategy::Sample, &mut rng),
+            vec![1.0, 2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn local_aggregate_reports_client_means() {
+        let p = Population::new(vec![
+            Client::new(0, 0, vec![2.0, 4.0]),
+            Client::new(1, 0, vec![10.0]),
+        ]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            p.elicit(ElicitStrategy::LocalAggregate, &mut rng),
+            vec![3.0, 10.0]
+        );
+        assert!((p.per_client_mean() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooled_vs_per_client_discrepancy() {
+        // One heavy client holds many large values: pooled mean is dominated
+        // by it, per-client mean is not — the Section 4.3 semantics gap.
+        let p = Population::new(vec![
+            Client::new(0, 0, vec![1.0]),
+            Client::new(1, 0, vec![1.0]),
+            Client::new(2, 0, vec![100.0; 98]),
+        ]);
+        assert!((p.per_client_mean() - 34.0).abs() < 1e-9);
+        assert!((p.pooled_mean() - 98.02).abs() < 0.01);
+        assert!(p.pooled_mean() > 2.0 * p.per_client_mean());
+    }
+
+    #[test]
+    fn sampling_is_unbiased_for_per_client_mean() {
+        let p = Population::new(vec![
+            Client::new(0, 0, vec![0.0, 10.0]),
+            Client::new(1, 0, vec![4.0, 6.0]),
+        ]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 20_000;
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let vals = p.elicit(ElicitStrategy::Sample, &mut rng);
+            total += vals.iter().sum::<f64>() / vals.len() as f64;
+        }
+        let avg = total / f64::from(trials as u32);
+        assert!((avg - p.per_client_mean()).abs() < 0.05, "avg {avg}");
+    }
+
+    #[test]
+    fn regions_are_preserved() {
+        let p = Population::new(vec![
+            Client::new(0, 1, vec![1.0]),
+            Client::new(1, 2, vec![2.0]),
+        ]);
+        assert_eq!(p.clients()[0].region, 1);
+        assert_eq!(p.clients()[1].region, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn client_rejects_empty_values() {
+        let _ = Client::new(0, 0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn population_rejects_empty() {
+        let _ = Population::new(vec![]);
+    }
+}

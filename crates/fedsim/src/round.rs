@@ -1,0 +1,546 @@
+//! Federated round orchestration.
+//!
+//! Wires the full deployment pipeline together: contact a cohort in one or
+//! more waves, apply the dropout model, let each client extract (and
+//! randomize) its assigned bit, transport the reports either directly or
+//! through the simulated secure-aggregation protocol, and hand the per-bit
+//! histograms to `fednum-core` for estimation.
+//!
+//! Auto-adjustment (Section 4.3: "the bit sampling probabilities were
+//! auto-adjusted based on the dropout rate, improving utility"): after the
+//! first wave, bits whose report counts fell below the target are re-sampled
+//! in follow-up waves over previously uncontacted clients, with weights
+//! proportional to their deficit.
+
+use fednum_core::accumulator::BitAccumulator;
+use fednum_core::bits::bit;
+use fednum_core::protocol::basic::{BasicBitPushing, BasicConfig, Outcome};
+use fednum_core::sampling::BitSampling;
+use fednum_secagg::protocol::{run_secure_aggregation, DropoutPlan, SecAggConfig, SecAggError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dropout::{DropoutModel, Fate};
+use crate::latency::LatencyModel;
+
+/// Secure-aggregation transport settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecAggSettings {
+    /// Shamir threshold as a fraction of the contacted cohort.
+    pub threshold_fraction: f64,
+    /// Pairwise-mask graph degree; `None` = complete graph. Cohorts beyond a
+    /// few hundred clients need the sparse graph (`O(n·k)` vs `O(n²)`).
+    pub neighbors: Option<usize>,
+}
+
+impl Default for SecAggSettings {
+    fn default() -> Self {
+        Self {
+            threshold_fraction: 0.5,
+            // Bell-et-al-style logarithmic degree: ample mask connectivity
+            // for the cohort sizes simulated here.
+            neighbors: Some(64),
+        }
+    }
+}
+
+/// Configuration of a federated mean-estimation task.
+#[derive(Debug, Clone)]
+pub struct FederatedMeanConfig {
+    /// The bit-pushing round configuration (codec, sampling, privacy,
+    /// squashing).
+    pub protocol: BasicConfig,
+    /// Client dropout behaviour.
+    pub dropout: DropoutModel,
+    /// Maximum contact waves (1 = no auto-adjustment).
+    pub max_waves: u32,
+    /// Auto-adjustment target: bits with a positive sampling probability
+    /// should end with at least this many reports.
+    pub min_reports_per_bit: u64,
+    /// Fraction of the cohort contacted in the first wave (the remainder is
+    /// the refill reserve).
+    pub wave_fraction: f64,
+    /// Transport reports through simulated secure aggregation.
+    pub secagg: Option<SecAggSettings>,
+    /// Wall-clock model (adds per-wave completion times).
+    pub latency: Option<LatencyModel>,
+    /// Session seed for the secure-aggregation masks.
+    pub session_seed: u64,
+}
+
+impl FederatedMeanConfig {
+    /// Single-wave defaults: no dropout handling beyond thinning, direct
+    /// transport, no latency model.
+    #[must_use]
+    pub fn new(protocol: BasicConfig) -> Self {
+        Self {
+            protocol,
+            dropout: DropoutModel::None,
+            max_waves: 1,
+            min_reports_per_bit: 1,
+            wave_fraction: 1.0,
+            secagg: None,
+            latency: None,
+            session_seed: 0xF3D5,
+        }
+    }
+
+    /// Sets the dropout model.
+    #[must_use]
+    pub fn with_dropout(mut self, dropout: DropoutModel) -> Self {
+        self.dropout = dropout;
+        self
+    }
+
+    /// Enables auto-adjustment: up to `max_waves` waves, refilling bits
+    /// below `min_reports_per_bit`, holding back `1 - wave_fraction` of the
+    /// cohort as reserve.
+    ///
+    /// # Panics
+    /// Panics unless `max_waves >= 1` and `0 < wave_fraction <= 1`.
+    #[must_use]
+    pub fn with_auto_adjust(
+        mut self,
+        max_waves: u32,
+        min_reports_per_bit: u64,
+        wave_fraction: f64,
+    ) -> Self {
+        assert!(max_waves >= 1, "need at least one wave");
+        assert!(
+            wave_fraction > 0.0 && wave_fraction <= 1.0,
+            "wave_fraction in (0, 1]"
+        );
+        self.max_waves = max_waves;
+        self.min_reports_per_bit = min_reports_per_bit;
+        self.wave_fraction = wave_fraction;
+        self
+    }
+
+    /// Enables secure-aggregation transport.
+    #[must_use]
+    pub fn with_secagg(mut self, settings: SecAggSettings) -> Self {
+        self.secagg = Some(settings);
+        self
+    }
+
+    /// Enables the latency model.
+    #[must_use]
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+}
+
+/// Summary of the secure-aggregation transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecAggSummary {
+    /// Clients whose reports entered the sum.
+    pub contributors: usize,
+    /// Dropped clients whose pairwise masks were reconstructed.
+    pub recovered_pairwise: usize,
+}
+
+/// Result of a federated mean-estimation task.
+#[derive(Debug, Clone)]
+pub struct FederatedOutcome {
+    /// The protocol outcome (estimate, bit means, predicted error).
+    pub outcome: Outcome,
+    /// Clients contacted across all waves.
+    pub contacted: usize,
+    /// Reports actually received.
+    pub reports: u64,
+    /// Waves used.
+    pub waves_used: u32,
+    /// Total wall-clock time (0 without a latency model).
+    pub completion_time: f64,
+    /// Bits with positive sampling probability that still ended below the
+    /// report target.
+    pub starved_bits: Vec<u32>,
+    /// Secure-aggregation diagnostics, when enabled.
+    pub secagg: Option<SecAggSummary>,
+}
+
+/// Failure modes of a federated round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundError {
+    /// No client produced any report (e.g., total dropout).
+    NoReports,
+    /// The secure-aggregation protocol failed.
+    SecAgg(SecAggError),
+}
+
+impl std::fmt::Display for RoundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoundError::NoReports => write!(f, "no reports were received"),
+            RoundError::SecAgg(e) => write!(f, "secure aggregation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RoundError {}
+
+impl From<SecAggError> for RoundError {
+    fn from(e: SecAggError) -> Self {
+        RoundError::SecAgg(e)
+    }
+}
+
+/// One contacted client's record.
+struct Contact {
+    bit: u32,
+    report: Option<bool>, // None = dropped before reporting
+    fate: Fate,
+}
+
+/// Runs a complete federated mean-estimation task over one private value per
+/// client.
+///
+/// # Errors
+/// See [`RoundError`].
+///
+/// # Panics
+/// Panics if `values` is empty.
+pub fn run_federated_mean(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    rng: &mut dyn Rng,
+) -> Result<FederatedOutcome, RoundError> {
+    assert!(!values.is_empty(), "need at least one client");
+    let codec = config.protocol.codec;
+    let bits = codec.bits();
+    let (codes, clip_fraction) = codec.encode_all(values);
+
+    // Uncontacted-client pool, randomly ordered.
+    let mut pool: Vec<usize> = (0..codes.len()).collect();
+    pool.shuffle(rng);
+
+    let base_probs = config.protocol.sampling.probs().to_vec();
+    let mut counts = vec![0u64; bits as usize];
+    let mut contacts: Vec<Contact> = Vec::new();
+    let mut completion_time = 0.0;
+    let mut waves_used = 0;
+
+    for wave in 0..config.max_waves {
+        if pool.is_empty() {
+            break;
+        }
+        // Sampling distribution for this wave.
+        let sampling = if wave == 0 {
+            config.protocol.sampling.clone()
+        } else {
+            // Deficit-weighted refill over bits the base distribution cares
+            // about.
+            let deficits: Vec<f64> = base_probs
+                .iter()
+                .zip(&counts)
+                .map(|(&p, &c)| {
+                    if p > 0.0 && c < config.min_reports_per_bit {
+                        (config.min_reports_per_bit - c) as f64
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            if deficits.iter().all(|&d| d == 0.0) {
+                break; // every bit satisfied
+            }
+            BitSampling::custom(deficits)
+        };
+
+        // Wave size: first wave takes the configured fraction; refill waves
+        // contact just enough clients to cover the remaining deficit at the
+        // expected response rate.
+        let wave_size = if wave == 0 {
+            ((config.wave_fraction * pool.len() as f64).ceil() as usize).clamp(1, pool.len())
+        } else {
+            let deficit_total: u64 = base_probs
+                .iter()
+                .zip(&counts)
+                .filter(|(&p, &c)| p > 0.0 && c < config.min_reports_per_bit)
+                .map(|(_, &c)| config.min_reports_per_bit - c)
+                .sum();
+            let needed =
+                (deficit_total as f64 / config.dropout.response_rate().max(0.01)).ceil() as usize;
+            needed.clamp(1, pool.len())
+        };
+        waves_used = wave + 1;
+
+        let batch: Vec<usize> = pool.drain(..wave_size).collect();
+        let assignment = sampling.assign(config.protocol.assignment, batch.len(), rng);
+        if let Some(lat) = &config.latency {
+            completion_time += lat.simulate_round(batch.len(), 0.9, rng).completion_time;
+        }
+        for (slot, &client) in batch.iter().enumerate() {
+            let j = assignment[slot];
+            let fate = config.dropout.sample(rng);
+            let report = if fate == Fate::DropsBeforeReport {
+                None
+            } else {
+                let raw = bit(codes[client], j);
+                let sent = match &config.protocol.privacy {
+                    Some(rr) => rr.flip(raw, rng),
+                    None => raw,
+                };
+                counts[j as usize] += 1;
+                Some(sent)
+            };
+            contacts.push(Contact {
+                bit: j,
+                report,
+                fate,
+            });
+        }
+    }
+
+    let total_reports: u64 = counts.iter().sum();
+    if total_reports == 0 {
+        return Err(RoundError::NoReports);
+    }
+
+    // Transport: aggregate per-bit (ones, counts).
+    let (ones, secagg_summary) = match &config.secagg {
+        Some(settings) => {
+            let n = contacts.len();
+            let threshold = ((settings.threshold_fraction * n as f64).ceil() as usize).clamp(1, n);
+            let vector_len = 2 * bits as usize;
+            let mut inputs = Vec::with_capacity(n);
+            let mut plan = DropoutPlan::none();
+            for (i, c) in contacts.iter().enumerate() {
+                let mut v = vec![0u64; vector_len];
+                match c.report {
+                    Some(sent) => {
+                        v[c.bit as usize] = u64::from(sent);
+                        v[bits as usize + c.bit as usize] = 1;
+                        if c.fate == Fate::DropsAfterReport {
+                            plan.after_masking.insert(i);
+                        }
+                    }
+                    None => {
+                        plan.before_masking.insert(i);
+                    }
+                }
+                inputs.push(v);
+            }
+            let mut sa_config = SecAggConfig::new(n, threshold, vector_len, config.session_seed);
+            if let Some(k) = settings.neighbors {
+                sa_config = sa_config.with_neighbors(k);
+            }
+            let out = run_secure_aggregation(&sa_config, &inputs, &plan, rng)?;
+            // Sanity: the securely aggregated counts match the tally.
+            debug_assert_eq!(&out.sum[bits as usize..], counts.as_slice());
+            let ones: Vec<u64> = out.sum[..bits as usize].to_vec();
+            (
+                ones,
+                Some(SecAggSummary {
+                    contributors: out.contributors.len(),
+                    recovered_pairwise: out.pairwise_masks_reconstructed,
+                }),
+            )
+        }
+        None => {
+            let mut ones = vec![0u64; bits as usize];
+            for c in &contacts {
+                if let Some(true) = c.report {
+                    ones[c.bit as usize] += 1;
+                }
+            }
+            (ones, None)
+        }
+    };
+
+    // Debias the per-bit sums (randomized response is affine, so debiasing
+    // the sum equals debiasing every report) and finish through the core
+    // protocol: squashing, reconstruction, decoding, predicted error.
+    let sums: Vec<f64> = ones
+        .iter()
+        .zip(&counts)
+        .map(|(&o, &c)| match (&config.protocol.privacy, c) {
+            (_, 0) => 0.0,
+            (Some(rr), c) => c as f64 * rr.debias_mean(o as f64 / c as f64),
+            (None, _) => o as f64,
+        })
+        .collect();
+    let acc = BitAccumulator::from_parts(sums, counts.clone());
+    let outcome = BasicBitPushing::new(config.protocol.clone()).finish(acc, clip_fraction);
+
+    let starved_bits = base_probs
+        .iter()
+        .zip(&counts)
+        .enumerate()
+        .filter(|(_, (&p, &c))| p > 0.0 && c < config.min_reports_per_bit)
+        .map(|(j, _)| j as u32)
+        .collect();
+
+    Ok(FederatedOutcome {
+        outcome,
+        contacted: contacts.len(),
+        reports: total_reports,
+        waves_used,
+        completion_time,
+        starved_bits,
+        secagg: secagg_summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fednum_core::encoding::FixedPointCodec;
+    use fednum_core::sampling::BitSampling;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base_config(bits: u32) -> FederatedMeanConfig {
+        FederatedMeanConfig::new(BasicConfig::new(
+            FixedPointCodec::integer(bits),
+            BitSampling::geometric(bits, 1.0),
+        ))
+    }
+
+    fn values(n: usize, hi: u64) -> Vec<f64> {
+        (0..n).map(|i| (i as u64 % hi) as f64).collect()
+    }
+
+    #[test]
+    fn plain_round_estimates_mean() {
+        let vs = values(20_000, 200);
+        let truth = vs.iter().sum::<f64>() / vs.len() as f64;
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = run_federated_mean(&vs, &base_config(8), &mut rng).unwrap();
+        assert!((out.outcome.estimate - truth).abs() / truth < 0.05);
+        assert_eq!(out.contacted, 20_000);
+        assert_eq!(out.reports, 20_000);
+        assert_eq!(out.waves_used, 1);
+        assert!(out.secagg.is_none());
+    }
+
+    #[test]
+    fn dropout_thins_reports_but_keeps_estimate_unbiased() {
+        let vs = values(30_000, 200);
+        let truth = vs.iter().sum::<f64>() / vs.len() as f64;
+        let cfg = base_config(8).with_dropout(DropoutModel::bernoulli(0.4));
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = run_federated_mean(&vs, &cfg, &mut rng).unwrap();
+        let rate = out.reports as f64 / out.contacted as f64;
+        assert!((rate - 0.6).abs() < 0.02, "response rate {rate}");
+        assert!((out.outcome.estimate - truth).abs() / truth < 0.06);
+    }
+
+    #[test]
+    fn auto_adjust_refills_starved_bits() {
+        // Heavy dropout plus a small first wave: without refills, low-order
+        // bits (tiny p_j) are starved.
+        let vs = values(20_000, 200);
+        let single = base_config(8)
+            .with_dropout(DropoutModel::bernoulli(0.5))
+            .with_auto_adjust(1, 30, 0.6);
+        let multi = base_config(8)
+            .with_dropout(DropoutModel::bernoulli(0.5))
+            .with_auto_adjust(4, 30, 0.6);
+        let mut starved_single = 0;
+        let mut starved_multi = 0;
+        for s in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(s);
+            starved_single += run_federated_mean(&vs, &single, &mut rng)
+                .unwrap()
+                .starved_bits
+                .len();
+            let mut rng = StdRng::seed_from_u64(s);
+            let out = run_federated_mean(&vs, &multi, &mut rng).unwrap();
+            starved_multi += out.starved_bits.len();
+            assert!(out.waves_used >= 1);
+        }
+        assert!(
+            starved_multi < starved_single,
+            "refill waves should reduce starvation: {starved_multi} vs {starved_single}"
+        );
+    }
+
+    #[test]
+    fn secagg_transport_matches_direct() {
+        let vs = values(500, 100);
+        let mut cfg_direct = base_config(7);
+        cfg_direct.session_seed = 42;
+        let cfg_secagg = {
+            let mut c = base_config(7).with_secagg(SecAggSettings::default());
+            c.session_seed = 42;
+            c
+        };
+        // Same seed → same assignment and reports → identical estimates.
+        let direct = run_federated_mean(&vs, &cfg_direct, &mut StdRng::seed_from_u64(3)).unwrap();
+        let secure = run_federated_mean(&vs, &cfg_secagg, &mut StdRng::seed_from_u64(3)).unwrap();
+        assert!((direct.outcome.estimate - secure.outcome.estimate).abs() < 1e-9);
+        let summary = secure.secagg.unwrap();
+        assert_eq!(summary.contributors, 500);
+    }
+
+    #[test]
+    fn secagg_with_dropouts_recovers_masks() {
+        let vs = values(400, 100);
+        let cfg = base_config(7)
+            .with_dropout(DropoutModel::phased(0.1, 0.05))
+            .with_secagg(SecAggSettings {
+                threshold_fraction: 0.5,
+                ..SecAggSettings::default()
+            });
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = run_federated_mean(&vs, &cfg, &mut rng).unwrap();
+        let summary = out.secagg.unwrap();
+        assert!(summary.recovered_pairwise > 10, "expected dropout recovery");
+        let truth = vs.iter().sum::<f64>() / vs.len() as f64;
+        assert!((out.outcome.estimate - truth).abs() / truth < 0.4);
+    }
+
+    #[test]
+    fn privacy_composes_with_transport() {
+        let vs = values(60_000, 200);
+        let truth = vs.iter().sum::<f64>() / vs.len() as f64;
+        let mut cfg = base_config(8);
+        cfg.protocol = cfg
+            .protocol
+            .with_privacy(fednum_core::privacy::RandomizedResponse::from_epsilon(2.0));
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = run_federated_mean(&vs, &cfg, &mut rng).unwrap();
+        assert!(
+            (out.outcome.estimate - truth).abs() / truth < 0.25,
+            "est {} truth {truth}",
+            out.outcome.estimate
+        );
+    }
+
+    #[test]
+    fn latency_model_accumulates_time() {
+        let vs = values(1000, 100);
+        let cfg = base_config(7).with_latency(LatencyModel::typical_fleet());
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = run_federated_mean(&vs, &cfg, &mut rng).unwrap();
+        assert!(out.completion_time > 0.0);
+    }
+
+    #[test]
+    fn total_dropout_fails_closed() {
+        let vs = values(50, 10);
+        let cfg = base_config(4).with_dropout(DropoutModel::bernoulli(0.999));
+        // With rate .999 on 50 clients, most seeds yield zero reports.
+        let mut failures = 0;
+        for s in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(s);
+            if matches!(
+                run_federated_mean(&vs, &cfg, &mut rng),
+                Err(RoundError::NoReports)
+            ) {
+                failures += 1;
+            }
+        }
+        assert!(failures > 10, "expected frequent NoReports, got {failures}");
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            RoundError::NoReports.to_string(),
+            "no reports were received"
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Asynchronous / streaming aggregation.
+//!
+//! Section 1.1: "Our approach naturally accommodates asynchronous updates,
+//! whereas secure aggregation can require batching a sufficient number of
+//! updates to provide privacy." Reports arrive one at a time as devices come
+//! online; the estimate is available at any moment and tightens as reports
+//! accumulate. An exponential decay lets the same aggregator track
+//! non-stationary metrics.
+
+use fednum_core::accumulator::BitAccumulator;
+use fednum_core::bits::{bit_f64, weight};
+use fednum_core::encoding::FixedPointCodec;
+use fednum_core::privacy::RandomizedResponse;
+use fednum_core::sampling::BitSampling;
+use rand::Rng;
+
+/// A continuously updatable bit-pushing mean estimator.
+#[derive(Debug, Clone)]
+pub struct StreamingMean {
+    codec: FixedPointCodec,
+    sampling: BitSampling,
+    privacy: Option<RandomizedResponse>,
+    sums: Vec<f64>,
+    counts: Vec<f64>, // fractional after decay
+    reports: u64,
+}
+
+impl StreamingMean {
+    /// Creates an empty streaming aggregator.
+    ///
+    /// # Panics
+    /// Panics if the sampling depth differs from the codec's.
+    #[must_use]
+    pub fn new(
+        codec: FixedPointCodec,
+        sampling: BitSampling,
+        privacy: Option<RandomizedResponse>,
+    ) -> Self {
+        assert_eq!(codec.bits(), sampling.bits(), "bit-depth mismatch");
+        let bits = codec.bits() as usize;
+        Self {
+            codec,
+            sampling,
+            privacy,
+            sums: vec![0.0; bits],
+            counts: vec![0.0; bits],
+            reports: 0,
+        }
+    }
+
+    /// Ingests one client's value as it arrives: the client samples its bit
+    /// index locally from the configured distribution, extracts (and
+    /// optionally randomizes) the bit, and the server folds it in.
+    pub fn ingest(&mut self, value: f64, rng: &mut dyn Rng) {
+        let code = self.codec.encode(value);
+        let j = self.sampling.assign_local(1, rng)[0];
+        let raw = fednum_core::bits::bit(code, j);
+        let contribution = match &self.privacy {
+            Some(rr) => rr.debias(rr.flip(raw, rng)),
+            None => bit_f64(code, j),
+        };
+        self.sums[j as usize] += contribution;
+        self.counts[j as usize] += 1.0;
+        self.reports += 1;
+    }
+
+    /// Ingests a pre-assigned report (server-side central assignment over an
+    /// asynchronous transport).
+    ///
+    /// # Panics
+    /// Panics if `bit_index` is out of range.
+    pub fn ingest_report(&mut self, bit_index: u32, debiased_value: f64) {
+        let j = bit_index as usize;
+        assert!(j < self.sums.len(), "bit index out of range");
+        self.sums[j] += debiased_value;
+        self.counts[j] += 1.0;
+        self.reports += 1;
+    }
+
+    /// The current mean estimate; `None` until at least one report arrived.
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        if self.reports == 0 {
+            return None;
+        }
+        let encoded: f64 = self
+            .sums
+            .iter()
+            .zip(&self.counts)
+            .enumerate()
+            .map(|(j, (&s, &c))| {
+                if c <= 0.0 {
+                    0.0
+                } else {
+                    weight(j as u32) * (s / c)
+                }
+            })
+            .sum();
+        Some(self.codec.decode_float(encoded))
+    }
+
+    /// Predicted standard deviation of the current estimate (value domain),
+    /// from the Lemma 3.1 formula at the live per-bit means/counts.
+    #[must_use]
+    pub fn predicted_std(&self) -> f64 {
+        let var: f64 = self
+            .sums
+            .iter()
+            .zip(&self.counts)
+            .enumerate()
+            .map(|(j, (&s, &c))| {
+                if c <= 0.0 {
+                    return 0.0;
+                }
+                let m = (s / c).clamp(0.0, 1.0);
+                let per_report = match &self.privacy {
+                    Some(rr) => rr.report_variance(m),
+                    None => m * (1.0 - m),
+                };
+                let w = weight(j as u32);
+                w * w * per_report / c
+            })
+            .sum();
+        let scale = self.codec.decode_float(1.0) - self.codec.decode_float(0.0);
+        var.sqrt() * scale
+    }
+
+    /// Total reports ingested (undiscounted).
+    #[must_use]
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    /// Applies exponential forgetting: scales all sums and counts by
+    /// `factor`, so the estimator tracks non-stationary metrics. Call once
+    /// per epoch with e.g. `factor = 0.9`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < factor <= 1`.
+    pub fn decay(&mut self, factor: f64) {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        for s in &mut self.sums {
+            *s *= factor;
+        }
+        for c in &mut self.counts {
+            *c *= factor;
+        }
+    }
+
+    /// Snapshot of the internal histogram (rounded counts), e.g. for
+    /// handing off to distributed-DP post-processing.
+    #[must_use]
+    pub fn snapshot(&self) -> BitAccumulator {
+        BitAccumulator::from_parts(
+            self.sums.clone(),
+            self.counts
+                .iter()
+                .map(|&c| c.round().max(0.0) as u64)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn aggregator() -> StreamingMean {
+        StreamingMean::new(
+            FixedPointCodec::integer(10),
+            BitSampling::geometric(10, 1.0),
+            None,
+        )
+    }
+
+    #[test]
+    fn empty_aggregator_has_no_estimate() {
+        let agg = aggregator();
+        assert_eq!(agg.estimate(), None);
+        assert_eq!(agg.reports(), 0);
+    }
+
+    #[test]
+    fn estimate_converges_as_reports_stream_in() {
+        let mut agg = aggregator();
+        let mut rng = StdRng::seed_from_u64(1);
+        let truth = 499.5;
+        let mut early_err = None;
+        for i in 0..100_000u64 {
+            agg.ingest((i % 1000) as f64, &mut rng);
+            if i == 2_000 {
+                early_err = Some((agg.estimate().unwrap() - truth).abs());
+            }
+        }
+        let late_err = (agg.estimate().unwrap() - truth).abs();
+        assert!(late_err < 10.0, "late error {late_err}");
+        assert!(
+            late_err < early_err.unwrap(),
+            "error should shrink: early {early_err:?} late {late_err}"
+        );
+        assert_eq!(agg.reports(), 100_000);
+    }
+
+    #[test]
+    fn predicted_std_shrinks_with_reports() {
+        let mut agg = aggregator();
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..2_000u64 {
+            agg.ingest((i % 1000) as f64, &mut rng);
+        }
+        let early = agg.predicted_std();
+        for i in 0..30_000u64 {
+            agg.ingest((i % 1000) as f64, &mut rng);
+        }
+        assert!(agg.predicted_std() < early / 2.0);
+    }
+
+    #[test]
+    fn decay_tracks_distribution_shift() {
+        let mut agg = aggregator();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Phase 1: values around 100.
+        for i in 0..30_000u64 {
+            agg.ingest(100.0 + (i % 10) as f64, &mut rng);
+        }
+        // Shift: values around 800, with per-epoch decay.
+        for epoch in 0..30 {
+            agg.decay(0.5);
+            for i in 0..2_000u64 {
+                agg.ingest(800.0 + ((i + epoch) % 10) as f64, &mut rng);
+            }
+        }
+        let est = agg.estimate().unwrap();
+        assert!(
+            (est - 804.5).abs() < 40.0,
+            "decayed estimate {est} should track the new level"
+        );
+    }
+
+    #[test]
+    fn no_decay_is_sticky_after_shift() {
+        let mut agg = aggregator();
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..30_000u64 {
+            agg.ingest(100.0 + (i % 10) as f64, &mut rng);
+        }
+        for i in 0..30_000u64 {
+            agg.ingest(800.0 + (i % 10) as f64, &mut rng);
+        }
+        let est = agg.estimate().unwrap();
+        // Without forgetting the estimate sits between the two regimes.
+        assert!(est > 300.0 && est < 700.0, "sticky estimate {est}");
+    }
+
+    #[test]
+    fn privacy_composes_with_streaming() {
+        let mut agg = StreamingMean::new(
+            FixedPointCodec::integer(8),
+            BitSampling::geometric(8, 2.0),
+            Some(RandomizedResponse::from_epsilon(2.0)),
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..200_000u64 {
+            agg.ingest((i % 200) as f64, &mut rng);
+        }
+        let est = agg.estimate().unwrap();
+        assert!(
+            (est - 99.5).abs() < 10.0,
+            "private streaming estimate {est}"
+        );
+    }
+
+    #[test]
+    fn ingest_report_matches_local_path_semantics() {
+        let mut agg = aggregator();
+        agg.ingest_report(3, 1.0);
+        agg.ingest_report(3, 0.0);
+        // Only bit 3 has data: estimate = 2^3 * 0.5 = 4.
+        assert_eq!(agg.estimate(), Some(4.0));
+        let snap = agg.snapshot();
+        assert_eq!(snap.counts()[3], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be in")]
+    fn rejects_bad_decay() {
+        aggregator().decay(0.0);
+    }
+}

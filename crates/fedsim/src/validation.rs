@@ -1,0 +1,231 @@
+//! Server-side report validation.
+//!
+//! Central randomness only blunts poisoning if the server *enforces* it
+//! (Section 3.1 / the conclusions' robustness discussion): a client must
+//! report on the bit it was assigned, exactly once. This module is the
+//! enforcement layer: it checks incoming reports against the assignment,
+//! rejects duplicates, unknown clients, and bit-index mismatches, and
+//! surfaces per-client violation counts so repeat offenders can be excluded
+//! from future cohorts.
+
+use std::collections::HashMap;
+
+use fednum_core::accumulator::BitAccumulator;
+
+/// Why a report was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Violation {
+    /// The client is not part of this round's cohort.
+    UnknownClient,
+    /// The client already reported this round.
+    DuplicateReport,
+    /// The report's bit index differs from the assigned one — the classic
+    /// "pick the top bit" poisoning move.
+    WrongBit,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::UnknownClient => write!(f, "client not in cohort"),
+            Violation::DuplicateReport => write!(f, "duplicate report"),
+            Violation::WrongBit => write!(f, "reported bit differs from assignment"),
+        }
+    }
+}
+
+/// Validates reports against a round's central assignment and accumulates
+/// the accepted ones.
+#[derive(Debug, Clone)]
+pub struct ReportValidator {
+    assignment: HashMap<u64, u32>,
+    reported: HashMap<u64, bool>,
+    violations: HashMap<u64, Vec<Violation>>,
+    accumulator: BitAccumulator,
+}
+
+impl ReportValidator {
+    /// Creates a validator for a round: `assignment[i] = (client id, bit)`.
+    ///
+    /// # Panics
+    /// Panics if `bits` is out of range, a client is assigned twice, or an
+    /// assigned bit exceeds the depth.
+    #[must_use]
+    pub fn new(bits: u32, assignment: &[(u64, u32)]) -> Self {
+        let mut map = HashMap::with_capacity(assignment.len());
+        for &(client, bit) in assignment {
+            assert!(bit < bits, "assigned bit {bit} exceeds depth {bits}");
+            assert!(
+                map.insert(client, bit).is_none(),
+                "client {client} assigned twice"
+            );
+        }
+        Self {
+            assignment: map,
+            reported: HashMap::new(),
+            violations: HashMap::new(),
+            accumulator: BitAccumulator::new(bits),
+        }
+    }
+
+    /// Submits one report; accepted reports are accumulated, rejected ones
+    /// recorded against the client.
+    ///
+    /// `debiased_value` is the (possibly randomized-response-debiased) bit
+    /// contribution.
+    ///
+    /// # Errors
+    /// The violation, when rejected.
+    pub fn submit(&mut self, client: u64, bit: u32, debiased_value: f64) -> Result<(), Violation> {
+        let Some(&assigned) = self.assignment.get(&client) else {
+            self.violations
+                .entry(client)
+                .or_default()
+                .push(Violation::UnknownClient);
+            return Err(Violation::UnknownClient);
+        };
+        if self.reported.get(&client).copied().unwrap_or(false) {
+            self.violations
+                .entry(client)
+                .or_default()
+                .push(Violation::DuplicateReport);
+            return Err(Violation::DuplicateReport);
+        }
+        if bit != assigned {
+            self.violations
+                .entry(client)
+                .or_default()
+                .push(Violation::WrongBit);
+            return Err(Violation::WrongBit);
+        }
+        self.reported.insert(client, true);
+        self.accumulator.record(bit, debiased_value);
+        Ok(())
+    }
+
+    /// The accumulated (validated) histogram.
+    #[must_use]
+    pub fn accumulator(&self) -> &BitAccumulator {
+        &self.accumulator
+    }
+
+    /// Accepted report count.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.accumulator.total_reports()
+    }
+
+    /// Total rejected submissions.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.violations.values().map(Vec::len).sum()
+    }
+
+    /// Clients with at least one violation, with their violation lists —
+    /// the input to cohort-exclusion policy.
+    #[must_use]
+    pub fn offenders(&self) -> &HashMap<u64, Vec<Violation>> {
+        &self.violations
+    }
+
+    /// Assigned clients that never (validly) reported — the dropout set the
+    /// auto-adjustment logic refills.
+    #[must_use]
+    pub fn missing(&self) -> Vec<u64> {
+        let mut missing: Vec<u64> = self
+            .assignment
+            .keys()
+            .filter(|c| !self.reported.get(c).copied().unwrap_or(false))
+            .copied()
+            .collect();
+        missing.sort_unstable();
+        missing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn validator() -> ReportValidator {
+        ReportValidator::new(8, &[(10, 0), (11, 3), (12, 7)])
+    }
+
+    #[test]
+    fn valid_reports_accumulate() {
+        let mut v = validator();
+        v.submit(10, 0, 1.0).unwrap();
+        v.submit(11, 3, 0.0).unwrap();
+        assert_eq!(v.accepted(), 2);
+        assert_eq!(v.rejected(), 0);
+        assert_eq!(v.accumulator().counts()[0], 1);
+        assert_eq!(v.accumulator().counts()[3], 1);
+        assert_eq!(v.missing(), vec![12]);
+    }
+
+    #[test]
+    fn wrong_bit_rejected_and_logged() {
+        let mut v = validator();
+        // Poisoner assigned bit 0 asserts the MSB instead.
+        assert_eq!(v.submit(10, 7, 1.0), Err(Violation::WrongBit));
+        assert_eq!(v.accepted(), 0);
+        assert_eq!(v.offenders()[&10], vec![Violation::WrongBit]);
+        // The client may still submit correctly afterwards.
+        v.submit(10, 0, 1.0).unwrap();
+        assert_eq!(v.accepted(), 1);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut v = validator();
+        v.submit(11, 3, 1.0).unwrap();
+        assert_eq!(v.submit(11, 3, 1.0), Err(Violation::DuplicateReport));
+        assert_eq!(v.accepted(), 1);
+        assert_eq!(v.rejected(), 1);
+    }
+
+    #[test]
+    fn unknown_clients_rejected() {
+        let mut v = validator();
+        assert_eq!(v.submit(99, 0, 1.0), Err(Violation::UnknownClient));
+        assert!(v.offenders().contains_key(&99));
+    }
+
+    #[test]
+    fn poisoning_is_neutralized_end_to_end() {
+        // 1000 honest clients with bit means 0.5 everywhere, 50 poisoners
+        // who try to force the MSB: every poisoned report bounces, so the
+        // estimate is unaffected (compare ablate-qmc, where unenforced local
+        // choice lets the same attack through).
+        let bits = 8u32;
+        let assignment: Vec<(u64, u32)> = (0..1050u64).map(|c| (c, (c % 8) as u32)).collect();
+        let mut v = ReportValidator::new(bits, &assignment);
+        for &(client, bit) in &assignment {
+            if client < 50 {
+                // Poisoner: claims the MSB with value 1.
+                let _ = v.submit(client, bits - 1, 1.0);
+            } else {
+                // Honest value decorrelated from the assigned bit index.
+                let _ = v.submit(client, bit, f64::from(u8::from((client / 8) % 2 == 0)));
+            }
+        }
+        assert_eq!(
+            v.rejected(),
+            44,
+            "only poisoners not assigned the MSB bounce"
+        );
+        // Accepted = honest 1000 + poisoners that were legitimately
+        // assigned the MSB (their report is then indistinguishable).
+        assert_eq!(v.accepted(), 1006);
+        let means = v.accumulator().bit_means();
+        for (j, &m) in means.iter().enumerate().take(7) {
+            assert!((m - 0.5).abs() < 0.1, "bit {j} mean {m} is unpoisoned");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_assignment_rejected() {
+        let _ = ReportValidator::new(4, &[(1, 0), (1, 1)]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Subtractive dithering (Ben-Basat, Mitzenmacher, Vargaftik 2020).
+//!
+//! The paper's main one-bit baseline (Section 2): for input `t ∈ [0, 1]`
+//! the client samples shared randomness `h ~ U[0, 1]` and sends the single
+//! bit `b = [t ≥ h]`; the server, which knows `h`, estimates
+//! `t̂ = b + h - 1/2`. The estimate is unbiased with variance bounded by a
+//! constant (1/12 ≤ Var ≤ 1/4 scaled), but — crucially for Figure 1 — the
+//! variance scales with the *declared* range width, so loose bounds hurt.
+//!
+//! [`DitheringLdp`] wraps the transmitted bit in randomized response and
+//! debiases it, which is how the paper gives the baseline an ε-LDP guarantee
+//! for Figure 3 ("we apply randomized response to the input-dependent output
+//! b to get an LDP guarantee").
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::randomized_response::RandomizedResponse;
+use crate::range::ValueRange;
+use crate::traits::MeanMechanism;
+
+/// Plain (non-private) subtractive dithering over a declared range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubtractiveDithering {
+    /// Declared input range.
+    pub range: ValueRange,
+}
+
+/// One dithered report: the transmitted bit and the shared dither `h`.
+///
+/// `h` is *shared randomness* — the server learns it through the common seed,
+/// so only `bit` discloses information about the private value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DitherReport {
+    /// The single transmitted bit `[t ≥ h]`.
+    pub bit: bool,
+    /// The dither level, known to both parties.
+    pub h: f64,
+}
+
+impl SubtractiveDithering {
+    /// Creates the mechanism.
+    #[must_use]
+    pub fn new(range: ValueRange) -> Self {
+        Self { range }
+    }
+
+    /// Client side: dithered one-bit report for raw value `x`.
+    pub fn randomize(&self, x: f64, rng: &mut dyn Rng) -> DitherReport {
+        let t = self.range.to_unit(x);
+        let h: f64 = rng.random();
+        DitherReport { bit: t >= h, h }
+    }
+
+    /// Unbiased per-report estimate in unit scale: `b + h - 1/2`.
+    #[must_use]
+    pub fn estimate_unit(report: DitherReport) -> f64 {
+        f64::from(u8::from(report.bit)) + report.h - 0.5
+    }
+
+    /// Server side: mean of per-report estimates, rescaled.
+    ///
+    /// # Panics
+    /// Panics if `reports` is empty.
+    #[must_use]
+    pub fn aggregate(&self, reports: &[DitherReport]) -> f64 {
+        assert!(!reports.is_empty(), "need at least one report");
+        let mean =
+            reports.iter().map(|&r| Self::estimate_unit(r)).sum::<f64>() / reports.len() as f64;
+        self.range.from_unit(mean)
+    }
+}
+
+impl MeanMechanism for SubtractiveDithering {
+    fn name(&self) -> String {
+        "dithering".into()
+    }
+
+    fn estimate_mean(&self, values: &[f64], rng: &mut dyn Rng) -> f64 {
+        let reports: Vec<DitherReport> = values.iter().map(|&x| self.randomize(x, rng)).collect();
+        self.aggregate(&reports)
+    }
+}
+
+/// Subtractive dithering with the transmitted bit passed through
+/// ε-randomized response.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DitheringLdp {
+    /// Declared input range.
+    pub range: ValueRange,
+    rr: RandomizedResponse,
+}
+
+impl DitheringLdp {
+    /// Creates the ε-LDP dithering mechanism.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon > 0`.
+    #[must_use]
+    pub fn new(range: ValueRange, epsilon: f64) -> Self {
+        Self {
+            range,
+            rr: RandomizedResponse::from_epsilon(epsilon),
+        }
+    }
+
+    /// Client side: dither, then randomize the bit.
+    pub fn randomize(&self, x: f64, rng: &mut dyn Rng) -> DitherReport {
+        let inner = SubtractiveDithering::new(self.range).randomize(x, rng);
+        DitherReport {
+            bit: self.rr.flip(inner.bit, rng),
+            h: inner.h,
+        }
+    }
+
+    /// Server side: debias each reported bit, add the (public) dither, and
+    /// rescale.
+    ///
+    /// # Panics
+    /// Panics if `reports` is empty.
+    #[must_use]
+    pub fn aggregate(&self, reports: &[DitherReport]) -> f64 {
+        assert!(!reports.is_empty(), "need at least one report");
+        let mean = reports
+            .iter()
+            .map(|&r| self.rr.debias(r.bit) + r.h - 0.5)
+            .sum::<f64>()
+            / reports.len() as f64;
+        self.range.from_unit(mean)
+    }
+}
+
+impl MeanMechanism for DitheringLdp {
+    fn name(&self) -> String {
+        "dithering+rr".into()
+    }
+
+    fn estimate_mean(&self, values: &[f64], rng: &mut dyn Rng) -> f64 {
+        let reports: Vec<DitherReport> = values.iter().map(|&x| self.randomize(x, rng)).collect();
+        self.aggregate(&reports)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.rr.epsilon())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn per_report_estimate_is_unbiased() {
+        let d = SubtractiveDithering::new(ValueRange::new(0.0, 1.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        for &t in &[0.0, 0.2, 0.5, 0.9, 1.0] {
+            let n = 400_000;
+            let mean: f64 = (0..n)
+                .map(|_| SubtractiveDithering::estimate_unit(d.randomize(t, &mut rng)))
+                .sum::<f64>()
+                / n as f64;
+            assert!((mean - t).abs() < 0.003, "t {t} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_converges() {
+        let d = SubtractiveDithering::new(ValueRange::new(0.0, 1000.0));
+        let values: Vec<f64> = (0..100_000).map(|i| 200.0 + (i % 100) as f64).collect();
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = d.estimate_mean(&values, &mut rng);
+        assert!((est - truth).abs() < 3.0, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn loose_bounds_inflate_error() {
+        // The Figure 1 phenomenon: dithering's variance scales with the
+        // square of the declared width, so an 8x looser bound gives ~8x the
+        // RMSE for the same data.
+        let values: Vec<f64> = (0..20_000).map(|i| 100.0 + (i % 20) as f64).collect();
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let rmse_with = |hi: f64| {
+            let d = SubtractiveDithering::new(ValueRange::new(0.0, hi));
+            let mut sq = 0.0;
+            let trials = 30;
+            for s in 0..trials {
+                let mut rng = StdRng::seed_from_u64(s);
+                let e = d.estimate_mean(&values, &mut rng);
+                sq += (e - truth) * (e - truth);
+            }
+            (sq / f64::from(trials as u32)).sqrt()
+        };
+        let tight = rmse_with(128.0);
+        let loose = rmse_with(1024.0);
+        assert!(
+            loose > 4.0 * tight,
+            "loose {loose} should be much worse than tight {tight}"
+        );
+    }
+
+    #[test]
+    fn ldp_variant_converges() {
+        let d = DitheringLdp::new(ValueRange::new(0.0, 255.0), 2.0);
+        let values: Vec<f64> = (0..200_000).map(|i| 30.0 + (i % 40) as f64).collect();
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = d.estimate_mean(&values, &mut rng);
+        assert!((est - truth).abs() < 3.0, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn ldp_variant_noisier_than_plain() {
+        let range = ValueRange::new(0.0, 255.0);
+        let values: Vec<f64> = (0..10_000).map(|i| 100.0 + (i % 30) as f64).collect();
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let rmse = |f: &dyn Fn(u64) -> f64| {
+            let mut sq = 0.0;
+            for s in 0..30u64 {
+                let e = f(s);
+                sq += (e - truth) * (e - truth);
+            }
+            (sq / 30.0).sqrt()
+        };
+        let plain = SubtractiveDithering::new(range);
+        let private = DitheringLdp::new(range, 1.0);
+        let r_plain = rmse(&|s| plain.estimate_mean(&values, &mut StdRng::seed_from_u64(s)));
+        let r_priv = rmse(&|s| private.estimate_mean(&values, &mut StdRng::seed_from_u64(s)));
+        assert!(r_priv > r_plain, "LDP {r_priv} vs plain {r_plain}");
+    }
+
+    #[test]
+    fn reports_epsilon_only_for_ldp_variant() {
+        let range = ValueRange::new(0.0, 1.0);
+        assert_eq!(SubtractiveDithering::new(range).epsilon(), None);
+        let ldp = DitheringLdp::new(range, 1.0);
+        assert!((ldp.epsilon().unwrap() - 1.0).abs() < 1e-12);
+    }
+}

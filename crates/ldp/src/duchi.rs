@@ -1,0 +1,134 @@
+//! Duchi et al.'s one-bit LDP mean estimator: randomized rounding followed by
+//! randomized response.
+//!
+//! An input `x` pre-scaled to `[0, 1]` is treated as a probability and
+//! rounded to a bit `B ~ Bernoulli(x)`; the bit is then passed through
+//! ε-randomized response and debiased at the server (Section 2). The paper
+//! reports this method (together with Laplace noise) exhibited "errors 2-3
+//! times larger in all cases" than the leading baselines — we keep it so the
+//! comparison is reproducible.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::randomized_response::RandomizedResponse;
+use crate::range::ValueRange;
+use crate::traits::MeanMechanism;
+
+/// Randomized rounding + randomized response.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DuchiOneBit {
+    /// Declared input range.
+    pub range: ValueRange,
+    rr: RandomizedResponse,
+}
+
+impl DuchiOneBit {
+    /// Creates the mechanism with privacy parameter `epsilon` over `range`.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon > 0`.
+    #[must_use]
+    pub fn new(range: ValueRange, epsilon: f64) -> Self {
+        Self {
+            range,
+            rr: RandomizedResponse::from_epsilon(epsilon),
+        }
+    }
+
+    /// Client side: one randomized bit for value `x`.
+    pub fn randomize(&self, x: f64, rng: &mut dyn Rng) -> bool {
+        let t = self.range.to_unit(x);
+        let bit = rng.random_bool(t);
+        self.rr.flip(bit, rng)
+    }
+
+    /// Server side: unbiased mean estimate from the reported bits.
+    ///
+    /// # Panics
+    /// Panics if `reports` is empty.
+    #[must_use]
+    pub fn aggregate(&self, reports: &[bool]) -> f64 {
+        assert!(!reports.is_empty(), "need at least one report");
+        let ones = reports.iter().filter(|&&b| b).count() as f64;
+        let report_mean = ones / reports.len() as f64;
+        self.range.from_unit(self.rr.debias_mean(report_mean))
+    }
+}
+
+impl MeanMechanism for DuchiOneBit {
+    fn name(&self) -> String {
+        "duchi".into()
+    }
+
+    fn estimate_mean(&self, values: &[f64], rng: &mut dyn Rng) -> f64 {
+        let reports: Vec<bool> = values.iter().map(|&x| self.randomize(x, rng)).collect();
+        self.aggregate(&reports)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.rr.epsilon())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn converges_to_true_mean() {
+        let range = ValueRange::new(0.0, 100.0);
+        let mech = DuchiOneBit::new(range, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let values: Vec<f64> = (0..200_000).map(|i| (i % 80) as f64).collect();
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let est = mech.estimate_mean(&values, &mut rng);
+        assert!((est - truth).abs() < 1.0, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn extreme_values_estimate_correctly() {
+        let range = ValueRange::new(0.0, 10.0);
+        let mech = DuchiOneBit::new(range, 3.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let zeros = vec![0.0; 100_000];
+        let est = mech.estimate_mean(&zeros, &mut rng);
+        assert!(est.abs() < 0.2, "all-zero estimate {est}");
+        let tens = vec![10.0; 100_000];
+        let est = mech.estimate_mean(&tens, &mut rng);
+        assert!((est - 10.0).abs() < 0.2, "all-ten estimate {est}");
+    }
+
+    #[test]
+    fn higher_epsilon_reduces_error() {
+        let range = ValueRange::new(0.0, 100.0);
+        let values: Vec<f64> = (0..20_000).map(|i| 30.0 + (i % 10) as f64).collect();
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let trial_err = |eps: f64| {
+            let mech = DuchiOneBit::new(range, eps);
+            let mut sq = 0.0;
+            for s in 0..20 {
+                let mut rng = StdRng::seed_from_u64(s);
+                let e = mech.estimate_mean(&values, &mut rng);
+                sq += (e - truth) * (e - truth);
+            }
+            (sq / 20.0).sqrt()
+        };
+        assert!(trial_err(4.0) < trial_err(0.5));
+    }
+
+    #[test]
+    fn reports_epsilon() {
+        let mech = DuchiOneBit::new(ValueRange::new(0.0, 1.0), 1.5);
+        assert!((mech.epsilon().unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one report")]
+    fn aggregate_rejects_empty() {
+        let mech = DuchiOneBit::new(ValueRange::new(0.0, 1.0), 1.0);
+        let _ = mech.aggregate(&[]);
+    }
+}

@@ -1,0 +1,120 @@
+//! The Gaussian mechanism in the local model ((ε, δ)-LDP).
+//!
+//! Included as an additional additive-noise ablation alongside
+//! [`crate::laplace`]: each client adds `N(0, σ²)` with the classical
+//! calibration `σ = Δ √(2 ln(1.25/δ)) / ε` (valid for ε ≤ 1; we use it as the
+//! conventional approximation elsewhere, as ablation not as a headline
+//! guarantee).
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::range::ValueRange;
+use crate::traits::MeanMechanism;
+
+/// Per-client Gaussian noise over a declared range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussianMechanism {
+    /// Declared input range.
+    pub range: ValueRange,
+    epsilon: f64,
+    delta: f64,
+}
+
+impl GaussianMechanism {
+    /// Creates the mechanism with the classical σ calibration.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon > 0` and `0 < delta < 1`.
+    #[must_use]
+    pub fn new(range: ValueRange, epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite());
+        assert!(delta > 0.0 && delta < 1.0);
+        Self {
+            range,
+            epsilon,
+            delta,
+        }
+    }
+
+    /// Noise standard deviation in unit scale (sensitivity 1).
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        (2.0 * (1.25 / self.delta).ln()).sqrt() / self.epsilon
+    }
+
+    /// Draws one standard normal variate (Box–Muller).
+    pub fn sample_standard_normal(rng: &mut dyn Rng) -> f64 {
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Client side: scaled value plus Gaussian noise.
+    pub fn randomize(&self, x: f64, rng: &mut dyn Rng) -> f64 {
+        self.range.to_unit(x) + self.sigma() * Self::sample_standard_normal(rng)
+    }
+
+    /// Server side: mean of noisy reports, rescaled.
+    ///
+    /// # Panics
+    /// Panics if `reports` is empty.
+    #[must_use]
+    pub fn aggregate(&self, reports: &[f64]) -> f64 {
+        assert!(!reports.is_empty(), "need at least one report");
+        let mean = reports.iter().sum::<f64>() / reports.len() as f64;
+        self.range.from_unit(mean)
+    }
+}
+
+impl MeanMechanism for GaussianMechanism {
+    fn name(&self) -> String {
+        "gaussian".into()
+    }
+
+    fn estimate_mean(&self, values: &[f64], rng: &mut dyn Rng) -> f64 {
+        let reports: Vec<f64> = values.iter().map(|&x| self.randomize(x, rng)).collect();
+        self.aggregate(&reports)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sigma_calibration() {
+        let m = GaussianMechanism::new(ValueRange::new(0.0, 1.0), 1.0, 1e-6);
+        let expected = (2.0 * (1.25e6_f64).ln()).sqrt();
+        assert!((m.sigma() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_is_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 400_000;
+        let xs: Vec<f64> = (0..n)
+            .map(|_| GaussianMechanism::sample_standard_normal(&mut rng))
+            .collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01);
+        assert!((var - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn converges_to_true_mean() {
+        let m = GaussianMechanism::new(ValueRange::new(0.0, 100.0), 1.0, 1e-5);
+        let values: Vec<f64> = (0..400_000).map(|i| 40.0 + (i % 20) as f64).collect();
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = m.estimate_mean(&values, &mut rng);
+        assert!((est - truth).abs() < 2.0, "est {est} truth {truth}");
+    }
+}

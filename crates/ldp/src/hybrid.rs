@@ -1,0 +1,193 @@
+//! The hybrid mechanism of Wang et al. (ICDE 2019).
+//!
+//! Combines the piecewise mechanism with Duchi et al.'s one-bit mechanism:
+//! for ε above a small constant, each client uses the piecewise mechanism
+//! with probability `β = 1 − e^{−ε/2}` and the Duchi mechanism otherwise;
+//! below the constant it reduces to pure Duchi. Wang et al. show the mix
+//! never has worse variance than either component. Included as an extra
+//! baseline beyond the paper's plotted set, completing the Wang et al.
+//! family the "piecewise" baseline comes from.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::duchi::DuchiOneBit;
+use crate::piecewise::PiecewiseMechanism;
+use crate::range::ValueRange;
+use crate::traits::MeanMechanism;
+
+/// ε threshold below which the hybrid degenerates to pure Duchi
+/// (Wang et al., Theorem 4 constant ≈ 0.61).
+const PURE_DUCHI_EPSILON: f64 = 0.61;
+
+/// The hybrid PM/Duchi mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridMechanism {
+    /// Declared input range.
+    pub range: ValueRange,
+    epsilon: f64,
+    piecewise: PiecewiseMechanism,
+    duchi: DuchiOneBit,
+}
+
+/// One hybrid report: which component randomized the value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HybridReport {
+    /// Piecewise output (a real in `[-C, C]`, unit scale).
+    Piecewise(f64),
+    /// Duchi output (a randomized bit).
+    Duchi(bool),
+}
+
+impl HybridMechanism {
+    /// Creates the mechanism.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon > 0` and finite.
+    #[must_use]
+    pub fn new(range: ValueRange, epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive and finite"
+        );
+        Self {
+            range,
+            epsilon,
+            piecewise: PiecewiseMechanism::new(range, epsilon),
+            duchi: DuchiOneBit::new(range, epsilon),
+        }
+    }
+
+    /// The probability of routing a report through the piecewise component.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        if self.epsilon <= PURE_DUCHI_EPSILON {
+            0.0
+        } else {
+            1.0 - (-self.epsilon / 2.0).exp()
+        }
+    }
+
+    /// Client side: randomizes one value through a coin-selected component.
+    pub fn randomize(&self, x: f64, rng: &mut dyn Rng) -> HybridReport {
+        let beta = self.beta();
+        if beta > 0.0 && rng.random_bool(beta) {
+            HybridReport::Piecewise(self.piecewise.randomize(x, rng))
+        } else {
+            HybridReport::Duchi(self.duchi.randomize(x, rng))
+        }
+    }
+
+    /// Server side: each component's reports are unbiased for the mean, so
+    /// the pooled per-report estimates average directly.
+    ///
+    /// # Panics
+    /// Panics if `reports` is empty.
+    #[must_use]
+    pub fn aggregate(&self, reports: &[HybridReport]) -> f64 {
+        assert!(!reports.is_empty(), "need at least one report");
+        // Split by component and aggregate each with its own debiasing, then
+        // recombine weighted by report counts.
+        let mut pm_reports = Vec::new();
+        let mut duchi_reports = Vec::new();
+        for r in reports {
+            match r {
+                HybridReport::Piecewise(v) => pm_reports.push(*v),
+                HybridReport::Duchi(b) => duchi_reports.push(*b),
+            }
+        }
+        let total = reports.len() as f64;
+        let mut estimate = 0.0;
+        if !pm_reports.is_empty() {
+            estimate += self.piecewise.aggregate(&pm_reports) * (pm_reports.len() as f64 / total);
+        }
+        if !duchi_reports.is_empty() {
+            estimate += self.duchi.aggregate(&duchi_reports) * (duchi_reports.len() as f64 / total);
+        }
+        estimate
+    }
+}
+
+impl MeanMechanism for HybridMechanism {
+    fn name(&self) -> String {
+        "hybrid".into()
+    }
+
+    fn estimate_mean(&self, values: &[f64], rng: &mut dyn Rng) -> f64 {
+        let reports: Vec<HybridReport> = values.iter().map(|&x| self.randomize(x, rng)).collect();
+        self.aggregate(&reports)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn beta_schedule() {
+        let range = ValueRange::new(0.0, 1.0);
+        assert_eq!(HybridMechanism::new(range, 0.5).beta(), 0.0);
+        let b1 = HybridMechanism::new(range, 1.0).beta();
+        assert!((b1 - (1.0 - (-0.5f64).exp())).abs() < 1e-12);
+        let b4 = HybridMechanism::new(range, 4.0).beta();
+        assert!(b4 > b1);
+    }
+
+    #[test]
+    fn low_epsilon_is_pure_duchi() {
+        let m = HybridMechanism::new(ValueRange::new(0.0, 1.0), 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert!(matches!(m.randomize(0.5, &mut rng), HybridReport::Duchi(_)));
+        }
+    }
+
+    #[test]
+    fn converges_to_true_mean() {
+        let m = HybridMechanism::new(ValueRange::new(0.0, 255.0), 2.0);
+        let values: Vec<f64> = (0..200_000).map(|i| 40.0 + (i % 60) as f64).collect();
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = m.estimate_mean(&values, &mut rng);
+        assert!((est - truth).abs() < 2.0, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn hybrid_not_worse_than_duchi_alone() {
+        let range = ValueRange::new(0.0, 255.0);
+        let values: Vec<f64> = (0..20_000).map(|i| 100.0 + (i % 30) as f64).collect();
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let rmse = |f: &dyn Fn(u64) -> f64| {
+            let mut sq = 0.0;
+            for s in 0..30u64 {
+                let e = f(s);
+                sq += (e - truth) * (e - truth);
+            }
+            (sq / 30.0).sqrt()
+        };
+        let eps = 2.0;
+        let hybrid = HybridMechanism::new(range, eps);
+        let duchi = DuchiOneBit::new(range, eps);
+        let r_h = rmse(&|s| hybrid.estimate_mean(&values, &mut StdRng::seed_from_u64(s)));
+        let r_d = rmse(&|s| duchi.estimate_mean(&values, &mut StdRng::seed_from_u64(s)));
+        assert!(r_h < r_d * 1.1, "hybrid {r_h} vs duchi {r_d}");
+    }
+
+    #[test]
+    fn component_mix_matches_beta() {
+        let m = HybridMechanism::new(ValueRange::new(0.0, 1.0), 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let pm = (0..n)
+            .filter(|_| matches!(m.randomize(0.4, &mut rng), HybridReport::Piecewise(_)))
+            .count();
+        let frac = pm as f64 / f64::from(n);
+        assert!((frac - m.beta()).abs() < 0.01, "pm fraction {frac}");
+    }
+}

@@ -1,0 +1,129 @@
+//! The Laplace mechanism in the local model.
+//!
+//! Each client adds `Lap(Δ/ε)` noise to its own (scaled) value, where the
+//! sensitivity Δ equals the declared range width. The paper omits this
+//! baseline from its plots because "the observed error was considerably
+//! higher than others, as expected" — this module lets that claim be
+//! verified (see the `ablate` drivers in `fednum-bench`).
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::range::ValueRange;
+use crate::traits::MeanMechanism;
+
+/// Per-client Laplace noise over a declared range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaplaceMechanism {
+    /// Declared input range.
+    pub range: ValueRange,
+    epsilon: f64,
+}
+
+impl LaplaceMechanism {
+    /// Creates the mechanism.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon > 0` and finite.
+    #[must_use]
+    pub fn new(range: ValueRange, epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive and finite"
+        );
+        Self { range, epsilon }
+    }
+
+    /// Draws one `Lap(0, scale)` variate by inverse CDF.
+    pub fn sample_laplace(scale: f64, rng: &mut dyn Rng) -> f64 {
+        // u uniform in (-1/2, 1/2]; inverse CDF of the Laplace distribution.
+        let u: f64 = rng.random::<f64>() - 0.5;
+        -scale * u.signum() * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln()
+    }
+
+    /// Client side: scaled value plus `Lap(1/ε)` (unit-scale sensitivity 1).
+    pub fn randomize(&self, x: f64, rng: &mut dyn Rng) -> f64 {
+        self.range.to_unit(x) + Self::sample_laplace(1.0 / self.epsilon, rng)
+    }
+
+    /// Server side: mean of noisy reports, rescaled.
+    ///
+    /// # Panics
+    /// Panics if `reports` is empty.
+    #[must_use]
+    pub fn aggregate(&self, reports: &[f64]) -> f64 {
+        assert!(!reports.is_empty(), "need at least one report");
+        let mean = reports.iter().sum::<f64>() / reports.len() as f64;
+        self.range.from_unit(mean)
+    }
+
+    /// Per-report noise variance in unit scale: `2 / ε²`.
+    #[must_use]
+    pub fn noise_variance(&self) -> f64 {
+        2.0 / (self.epsilon * self.epsilon)
+    }
+}
+
+impl MeanMechanism for LaplaceMechanism {
+    fn name(&self) -> String {
+        "laplace".into()
+    }
+
+    fn estimate_mean(&self, values: &[f64], rng: &mut dyn Rng) -> f64 {
+        let reports: Vec<f64> = values.iter().map(|&x| self.randomize(x, rng)).collect();
+        self.aggregate(&reports)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn laplace_noise_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scale = 2.0;
+        let n = 400_000;
+        let xs: Vec<f64> = (0..n)
+            .map(|_| LaplaceMechanism::sample_laplace(scale, &mut rng))
+            .collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        // Var = 2 * scale^2 = 8.
+        assert!((var / 8.0 - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn converges_to_true_mean() {
+        let m = LaplaceMechanism::new(ValueRange::new(0.0, 100.0), 1.0);
+        let values: Vec<f64> = (0..200_000).map(|i| 20.0 + (i % 50) as f64).collect();
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = m.estimate_mean(&values, &mut rng);
+        assert!((est - truth).abs() < 1.5, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn noise_variance_formula() {
+        let m = LaplaceMechanism::new(ValueRange::new(0.0, 1.0), 0.5);
+        assert!((m.noise_variance() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplace_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let pos = (0..n)
+            .filter(|_| LaplaceMechanism::sample_laplace(1.0, &mut rng) > 0.0)
+            .count();
+        let frac = pos as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Local differential privacy mechanisms for numeric mean estimation.
+//!
+//! This crate contains the per-value randomizers that the paper builds on
+//! and compares against (Section 2 "Prior work" and Section 4):
+//!
+//! * [`randomized_response`] — Warner's binary randomized response, the
+//!   primitive that gives bit-pushing its ε-LDP guarantee;
+//! * [`duchi`] — randomized rounding + randomized response (Duchi et al.),
+//!   the classical 1-bit LDP mean estimator;
+//! * [`piecewise`] — the piecewise mechanism of Wang et al. (ICDE 2019),
+//!   a Figure 3 baseline;
+//! * [`dithering`] — subtractive dithering (Ben-Basat et al.), the paper's
+//!   main non-DP one-bit baseline, plus its randomized-response-wrapped
+//!   ε-LDP variant;
+//! * [`laplace`] and [`gaussian`] — classical additive-noise mechanisms,
+//!   which the paper reports as uniformly worse and omits from plots; we
+//!   include them so that claim is checkable.
+//!
+//! All mechanisms implement [`MeanMechanism`]: randomize every client value,
+//! aggregate the reports, return an (unbiased) estimate of the population
+//! mean. Scaling between the data domain and each mechanism's canonical
+//! domain is handled by [`ValueRange`].
+
+pub mod dithering;
+pub mod duchi;
+pub mod gaussian;
+pub mod hybrid;
+pub mod laplace;
+pub mod piecewise;
+pub mod randomized_response;
+pub mod range;
+pub mod traits;
+
+pub use dithering::{DitheringLdp, SubtractiveDithering};
+pub use duchi::DuchiOneBit;
+pub use gaussian::GaussianMechanism;
+pub use hybrid::HybridMechanism;
+pub use laplace::LaplaceMechanism;
+pub use piecewise::PiecewiseMechanism;
+pub use randomized_response::RandomizedResponse;
+pub use range::ValueRange;
+pub use traits::MeanMechanism;

@@ -1,0 +1,263 @@
+//! Warner's binary randomized response (1965) — the LDP primitive.
+//!
+//! Given a private bit `y`, report `y` with probability `p ≥ 1/2`, else
+//! report `1 - y`. With `p = e^ε / (1 + e^ε)` this satisfies ε-LDP
+//! (Section 3.3). A reported value `r` is unbiased by
+//! `(r - (1 - p)) / (2p - 1)`; the debiased estimate of a single bit has
+//! worst-case variance `e^ε / (e^ε - 1)^2`, which is the quantity the
+//! paper's DP analysis tracks.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Binary randomized response with truthful-report probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomizedResponse {
+    p: f64,
+}
+
+impl RandomizedResponse {
+    /// Creates a randomizer with truthful-report probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.5 < p <= 1` (at `p = 0.5` reports carry no signal and
+    /// debiasing divides by zero).
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.5 && p <= 1.0, "need 0.5 < p <= 1, got {p}");
+        Self { p }
+    }
+
+    /// The ε-LDP randomizer: `p = e^ε / (1 + e^ε)`.
+    ///
+    /// # Panics
+    /// Panics unless `ε > 0` and finite.
+    #[must_use]
+    pub fn from_epsilon(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive and finite"
+        );
+        let e = epsilon.exp();
+        Self::new(e / (1.0 + e))
+    }
+
+    /// Truthful-report probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The ε such that this randomizer is exactly ε-LDP:
+    /// `ε = ln(p / (1 - p))` (infinite at `p = 1`).
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        if self.p >= 1.0 {
+            f64::INFINITY
+        } else {
+            (self.p / (1.0 - self.p)).ln()
+        }
+    }
+
+    /// Randomizes one bit.
+    pub fn flip(&self, bit: bool, rng: &mut dyn Rng) -> bool {
+        if rng.random_bool(self.p) {
+            bit
+        } else {
+            !bit
+        }
+    }
+
+    /// Unbiases one reported bit: `(r - (1 - p)) / (2p - 1)`.
+    ///
+    /// The result is an unbiased estimate of the true bit value and may fall
+    /// outside `[0, 1]`.
+    #[must_use]
+    pub fn debias(&self, report: bool) -> f64 {
+        let r = if report { 1.0 } else { 0.0 };
+        (r - (1.0 - self.p)) / (2.0 * self.p - 1.0)
+    }
+
+    /// Unbiases an observed mean of reports (equivalently, the mean of
+    /// per-report debiased values).
+    #[must_use]
+    pub fn debias_mean(&self, report_mean: f64) -> f64 {
+        (report_mean - (1.0 - self.p)) / (2.0 * self.p - 1.0)
+    }
+
+    /// Variance of the debiased estimate of a single bit whose true mean is
+    /// `m`: `Var = [q(1-q)] / (2p-1)^2` with `q = pm + (1-p)(1-m)` the
+    /// report probability.
+    #[must_use]
+    pub fn report_variance(&self, bit_mean: f64) -> f64 {
+        let q = self.p * bit_mean + (1.0 - self.p) * (1.0 - bit_mean);
+        q * (1.0 - q) / ((2.0 * self.p - 1.0) * (2.0 * self.p - 1.0))
+    }
+
+    /// Variance of the debiased report *conditional on a fixed input bit*:
+    /// `p(1-p)/(2p-1)^2`, which for `p = e^ε/(1+e^ε)` equals the paper's
+    /// `e^ε / (e^ε - 1)^2` (Section 3.3). This is the pure randomized-response
+    /// noise and a lower bound on [`Self::report_variance`] over bit means.
+    #[must_use]
+    pub fn fixed_bit_variance(&self) -> f64 {
+        self.p * (1.0 - self.p) / ((2.0 * self.p - 1.0) * (2.0 * self.p - 1.0))
+    }
+
+    /// Maximum of [`Self::report_variance`] over all bit means, attained at
+    /// bit mean 1/2: `(1/4) / (2p-1)^2`.
+    #[must_use]
+    pub fn max_report_variance(&self) -> f64 {
+        0.25 / ((2.0 * self.p - 1.0) * (2.0 * self.p - 1.0))
+    }
+
+    /// Expected standard deviation of the *noise* on a debiased mean of `n`
+    /// reports — the unit the bit-squashing threshold is expressed in
+    /// (Figure 4a: "threshold for bit squashing, as a multiple of the
+    /// expected amount of DP noise").
+    #[must_use]
+    pub fn noise_std_for_mean(&self, n: usize) -> f64 {
+        if n == 0 {
+            f64::INFINITY
+        } else {
+            (self.fixed_bit_variance() / n as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn epsilon_round_trips() {
+        for eps in [0.1, 0.5, 1.0, 2.0, 5.0] {
+            let rr = RandomizedResponse::from_epsilon(eps);
+            assert!((rr.epsilon() - eps).abs() < 1e-12, "eps {eps}");
+        }
+    }
+
+    #[test]
+    fn p_one_is_truthful() {
+        let rr = RandomizedResponse::new(1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert!(rr.flip(true, &mut rng));
+            assert!(!rr.flip(false, &mut rng));
+        }
+        assert_eq!(rr.epsilon(), f64::INFINITY);
+        assert_eq!(rr.debias(true), 1.0);
+        assert_eq!(rr.debias(false), 0.0);
+    }
+
+    #[test]
+    fn debias_is_unbiased() {
+        // E[debias(flip(y))] = y for both values of y.
+        let rr = RandomizedResponse::from_epsilon(1.0);
+        let p = rr.p();
+        for y in [0.0, 1.0] {
+            let expectation = {
+                let q = p * y + (1.0 - p) * (1.0 - y);
+                q * rr.debias(true) + (1.0 - q) * rr.debias(false)
+            };
+            assert!((expectation - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_flip_rate_matches_p() {
+        let rr = RandomizedResponse::from_epsilon(2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let truthful = (0..n).filter(|_| rr.flip(true, &mut rng)).count();
+        let rate = truthful as f64 / n as f64;
+        assert!((rate - rr.p()).abs() < 0.005, "rate {rate} vs p {}", rr.p());
+    }
+
+    #[test]
+    fn debiased_mean_converges() {
+        let rr = RandomizedResponse::from_epsilon(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let true_mean = 0.3;
+        let n = 400_000;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let bit = (i as f64 / n as f64) < true_mean;
+            sum += rr.debias(rr.flip(bit, &mut rng));
+        }
+        let est = sum / n as f64;
+        assert!((est - true_mean).abs() < 0.01, "est {est}");
+    }
+
+    #[test]
+    fn fixed_bit_variance_matches_paper_formula() {
+        for eps in [0.5, 1.0, 2.0] {
+            let rr = RandomizedResponse::from_epsilon(eps);
+            let expected = eps.exp() / (eps.exp() - 1.0).powi(2);
+            assert!(
+                (rr.fixed_bit_variance() - expected).abs() < 1e-10,
+                "eps {eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_variance_peaks_at_half_and_is_bracketed() {
+        let rr = RandomizedResponse::from_epsilon(1.0);
+        assert!(rr.report_variance(0.5) >= rr.report_variance(0.0));
+        assert!(rr.report_variance(0.5) >= rr.report_variance(1.0));
+        for m in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            // Fixed-bit variance is the floor (attained at m ∈ {0, 1}),
+            // max_report_variance the ceiling (attained at m = 1/2).
+            assert!(rr.report_variance(m) >= rr.fixed_bit_variance() - 1e-12);
+            assert!(rr.report_variance(m) <= rr.max_report_variance() + 1e-12);
+        }
+        assert!((rr.report_variance(0.0) - rr.fixed_bit_variance()).abs() < 1e-12);
+        assert!((rr.report_variance(0.5) - rr.max_report_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_variance_matches_formula() {
+        let rr = RandomizedResponse::from_epsilon(1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let bit = true; // bit mean 1.0
+        let n = 400_000;
+        let vals: Vec<f64> = (0..n).map(|_| rr.debias(rr.flip(bit, &mut rng))).collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((var / rr.report_variance(1.0) - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn noise_std_scales_inverse_sqrt_n() {
+        let rr = RandomizedResponse::from_epsilon(2.0);
+        let s100 = rr.noise_std_for_mean(100);
+        let s10000 = rr.noise_std_for_mean(10_000);
+        assert!((s100 / s10000 - 10.0).abs() < 1e-9);
+        assert_eq!(rr.noise_std_for_mean(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn ldp_guarantee_empirical_likelihood_ratio() {
+        // For any output o and inputs y, y': P(o|y)/P(o|y') <= e^eps.
+        let eps = 1.0;
+        let rr = RandomizedResponse::from_epsilon(eps);
+        let p_true = rr.p(); // P(report=y | y)
+        let ratio = p_true / (1.0 - p_true);
+        assert!(ratio <= eps.exp() + 1e-12);
+        assert!(ratio >= eps.exp() - 1e-9); // tight
+    }
+
+    #[test]
+    #[should_panic(expected = "0.5 < p")]
+    fn rejects_uninformative_p() {
+        let _ = RandomizedResponse::new(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_epsilon() {
+        let _ = RandomizedResponse::from_epsilon(0.0);
+    }
+}

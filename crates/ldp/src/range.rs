@@ -1,0 +1,132 @@
+//! Scaling between the data domain and mechanism-canonical domains.
+
+use serde::{Deserialize, Serialize};
+
+/// A closed value range `[lo, hi]` with `lo < hi`.
+///
+/// Every baseline mechanism assumes inputs in a canonical range (`[0, 1]` or
+/// `[-1, 1]`) and therefore needs a declared bound on the data ("The methods
+/// above assume inputs in the range `[0,1]` or, equivalently, in some range
+/// `[L,H]`", Section 2). Inputs outside the range are clamped, mirroring the
+/// winsorization the paper applies in deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValueRange {
+    /// Lower bound `L`.
+    pub lo: f64,
+    /// Upper bound `H`.
+    pub hi: f64,
+}
+
+impl ValueRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and both are finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "need lo < hi");
+        Self { lo, hi }
+    }
+
+    /// The range `[0, 2^bits - 1]` matching a `bits`-bit unsigned encoding —
+    /// the bound a bit-pushing deployment would hand to a baseline.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= bits <= 52` (exact in `f64`).
+    #[must_use]
+    pub fn from_bits(bits: u32) -> Self {
+        assert!((1..=52).contains(&bits), "bits must be in 1..=52");
+        Self::new(0.0, ((1u64 << bits) - 1) as f64)
+    }
+
+    /// Range width `H - L`.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Maps `x` to `[0, 1]`, clamping out-of-range inputs.
+    #[must_use]
+    pub fn to_unit(&self, x: f64) -> f64 {
+        ((x - self.lo) / self.width()).clamp(0.0, 1.0)
+    }
+
+    /// Maps `t in [0, 1]` back to `[lo, hi]` (no clamping: unbiased
+    /// aggregates may legitimately leave `[0, 1]`).
+    #[must_use]
+    pub fn from_unit(&self, t: f64) -> f64 {
+        self.lo + t * self.width()
+    }
+
+    /// Maps `x` to `[-1, 1]`, clamping out-of-range inputs.
+    #[must_use]
+    pub fn to_signed_unit(&self, x: f64) -> f64 {
+        2.0 * self.to_unit(x) - 1.0
+    }
+
+    /// Maps `t in [-1, 1]` back to `[lo, hi]` (no clamping).
+    #[must_use]
+    pub fn from_signed_unit(&self, t: f64) -> f64 {
+        self.from_unit((t + 1.0) / 2.0)
+    }
+
+    /// Clamps a raw value into the range.
+    #[must_use]
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_round_trip() {
+        let r = ValueRange::new(10.0, 30.0);
+        for x in [10.0, 15.0, 22.5, 30.0] {
+            assert!((r.from_unit(r.to_unit(x)) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn signed_unit_round_trip() {
+        let r = ValueRange::new(-5.0, 5.0);
+        for x in [-5.0, -1.0, 0.0, 2.5, 5.0] {
+            assert!((r.from_signed_unit(r.to_signed_unit(x)) - x).abs() < 1e-12);
+        }
+        assert_eq!(r.to_signed_unit(0.0), 0.0);
+        assert_eq!(r.to_signed_unit(-5.0), -1.0);
+        assert_eq!(r.to_signed_unit(5.0), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let r = ValueRange::new(0.0, 100.0);
+        assert_eq!(r.to_unit(-50.0), 0.0);
+        assert_eq!(r.to_unit(500.0), 1.0);
+        assert_eq!(r.clamp(500.0), 100.0);
+    }
+
+    #[test]
+    fn from_unit_does_not_clamp() {
+        // Debiased aggregates may leave [0,1]; scaling must preserve them.
+        let r = ValueRange::new(0.0, 10.0);
+        assert_eq!(r.from_unit(1.2), 12.0);
+        assert_eq!(r.from_unit(-0.1), -1.0);
+    }
+
+    #[test]
+    fn from_bits_matches_encoding_bound() {
+        let r = ValueRange::from_bits(8);
+        assert_eq!(r.lo, 0.0);
+        assert_eq!(r.hi, 255.0);
+        assert_eq!(ValueRange::from_bits(1).hi, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn rejects_inverted_range() {
+        let _ = ValueRange::new(3.0, 2.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! The common mean-estimation interface implemented by every mechanism.
+
+use rand::Rng;
+
+/// A complete local-privacy mean-estimation pipeline: randomize each client's
+/// value independently, then aggregate the randomized reports into an
+/// estimate of the population mean.
+///
+/// Implementations must be unbiased (up to clamping at declared range
+/// boundaries), so that `estimate_mean` converges to the population mean as
+/// the number of clients grows.
+///
+/// The trait is dyn-compatible so figure drivers can sweep a heterogeneous
+/// list of methods.
+pub trait MeanMechanism {
+    /// Short label used in tables (e.g. `"piecewise"`, `"dithering"`).
+    fn name(&self) -> String;
+
+    /// Runs the full pipeline over one value per client.
+    ///
+    /// `values` are raw (unscaled) client values; the mechanism applies its
+    /// own declared-range scaling and clamping.
+    fn estimate_mean(&self, values: &[f64], rng: &mut dyn Rng) -> f64;
+
+    /// The ε parameter of the mechanism's LDP guarantee, if it provides one.
+    /// `None` means the mechanism is not differentially private on its own
+    /// (e.g. plain subtractive dithering).
+    fn epsilon(&self) -> Option<f64> {
+        None
+    }
+}
+
+impl MeanMechanism for Box<dyn MeanMechanism> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn estimate_mean(&self, values: &[f64], rng: &mut dyn Rng) -> f64 {
+        self.as_ref().estimate_mean(values, rng)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        self.as_ref().epsilon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Exact;
+
+    impl MeanMechanism for Exact {
+        fn name(&self) -> String {
+            "exact".into()
+        }
+
+        fn estimate_mean(&self, values: &[f64], _rng: &mut dyn Rng) -> f64 {
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+    }
+
+    #[test]
+    fn trait_is_dyn_compatible() {
+        let methods: Vec<Box<dyn MeanMechanism>> = vec![Box::new(Exact)];
+        let mut rng = StdRng::seed_from_u64(0);
+        let est = methods[0].estimate_mean(&[1.0, 3.0], &mut rng);
+        assert_eq!(est, 2.0);
+        assert_eq!(methods[0].epsilon(), None);
+        assert_eq!(methods[0].name(), "exact");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests on the LDP mechanisms: output ranges, debiasing
+//! identities, and scaling invariances.
+
+use fednum_ldp::{
+    DuchiOneBit, HybridMechanism, LaplaceMechanism, MeanMechanism, PiecewiseMechanism,
+    RandomizedResponse, SubtractiveDithering, ValueRange,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Piecewise outputs always stay inside [-C, C], for any ε and input.
+    #[test]
+    fn piecewise_output_bounded(eps in 0.05f64..8.0, t in -1.0f64..1.0, seed in any::<u64>()) {
+        let m = PiecewiseMechanism::new(ValueRange::new(-1.0, 1.0), eps);
+        let c = m.c_bound();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let o = m.randomize_unit(t, &mut rng);
+            prop_assert!((-c..=c).contains(&o), "output {o} outside [-{c}, {c}]");
+        }
+    }
+
+    /// The C bound shrinks monotonically toward 1 as ε grows.
+    #[test]
+    fn piecewise_c_monotone(e1 in 0.1f64..4.0, gap in 0.1f64..4.0) {
+        let range = ValueRange::new(0.0, 1.0);
+        let loose = PiecewiseMechanism::new(range, e1);
+        let tight = PiecewiseMechanism::new(range, e1 + gap);
+        prop_assert!(tight.c_bound() < loose.c_bound());
+        prop_assert!(tight.c_bound() > 1.0);
+    }
+
+    /// RR: ε round-trips through p and the debias identity holds exactly.
+    #[test]
+    fn rr_epsilon_and_debias(eps in 0.01f64..10.0) {
+        let rr = RandomizedResponse::from_epsilon(eps);
+        prop_assert!((rr.epsilon() - eps).abs() < 1e-9);
+        // debias(1)·p + debias(0)·(1-p) = 1 (truthful bit 1).
+        let e = rr.debias(true) * rr.p() + rr.debias(false) * (1.0 - rr.p());
+        prop_assert!((e - 1.0).abs() < 1e-9);
+    }
+
+    /// Dithering per-report estimates are bounded: b + h − 1/2 ∈ [−1/2, 3/2].
+    #[test]
+    fn dithering_estimate_bounded(x in 0.0f64..1000.0, seed in any::<u64>()) {
+        let d = SubtractiveDithering::new(ValueRange::new(0.0, 1000.0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = d.randomize(x, &mut rng);
+        let e = SubtractiveDithering::estimate_unit(r);
+        prop_assert!((-0.5..=1.5).contains(&e));
+    }
+
+    /// Every mechanism's aggregate of constant inputs lands near the
+    /// constant (within mechanism noise for a large cohort).
+    #[test]
+    fn constant_inputs_recovered(v in 10.0f64..240.0, seed in 0u64..50) {
+        let range = ValueRange::new(0.0, 255.0);
+        let values = vec![v; 30_000];
+        let mechanisms: Vec<Box<dyn MeanMechanism>> = vec![
+            Box::new(SubtractiveDithering::new(range)),
+            Box::new(DuchiOneBit::new(range, 4.0)),
+            Box::new(PiecewiseMechanism::new(range, 4.0)),
+            Box::new(HybridMechanism::new(range, 4.0)),
+            Box::new(LaplaceMechanism::new(range, 4.0)),
+        ];
+        let mut rng = StdRng::seed_from_u64(seed);
+        for m in &mechanisms {
+            let est = m.estimate_mean(&values, &mut rng);
+            prop_assert!(
+                (est - v).abs() < 12.0,
+                "{}: est {est} for constant {v}",
+                m.name()
+            );
+        }
+    }
+
+    /// ValueRange scaling: estimates are equivariant under affine range
+    /// shifts for the dithering mechanism (shift data and range together).
+    #[test]
+    fn dithering_shift_equivariance(shift in -500.0f64..500.0, seed in any::<u64>()) {
+        let base = ValueRange::new(0.0, 100.0);
+        let shifted = ValueRange::new(shift, shift + 100.0);
+        let values: Vec<f64> = (0..5000).map(|i| (i % 100) as f64).collect();
+        let shifted_values: Vec<f64> = values.iter().map(|v| v + shift).collect();
+        let a = SubtractiveDithering::new(base)
+            .estimate_mean(&values, &mut StdRng::seed_from_u64(seed));
+        let b = SubtractiveDithering::new(shifted)
+            .estimate_mean(&shifted_values, &mut StdRng::seed_from_u64(seed));
+        prop_assert!((b - a - shift).abs() < 1e-9, "a {a}, b {b}, shift {shift}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Estimator-error summaries over repeated trials.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::RunningStats;
+
+/// Collects `(estimate, truth)` pairs from repeated trials of an estimator
+/// and produces an [`ErrorSummary`].
+///
+/// The paper's headline metric is normalized RMSE: RMSE of the estimate over
+/// 100 repetitions divided by the true value (Section 4). `truth` may vary
+/// between trials (e.g., when each trial redraws the population), in which
+/// case normalization uses the mean absolute truth.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorCollector {
+    sq_err: RunningStats,
+    abs_err: RunningStats,
+    err: RunningStats,
+    truth: RunningStats,
+    estimates: RunningStats,
+}
+
+impl ErrorCollector {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one trial.
+    pub fn push(&mut self, estimate: f64, truth: f64) {
+        let e = estimate - truth;
+        self.sq_err.push(e * e);
+        self.abs_err.push(e.abs());
+        self.err.push(e);
+        self.truth.push(truth.abs());
+        self.estimates.push(estimate);
+    }
+
+    /// Number of recorded trials.
+    #[must_use]
+    pub fn trials(&self) -> u64 {
+        self.sq_err.count()
+    }
+
+    /// Finalizes the summary.
+    #[must_use]
+    pub fn summary(&self) -> ErrorSummary {
+        let mse = self.sq_err.mean();
+        let rmse = mse.sqrt();
+        let denom = self.truth.mean();
+        let nrmse = if denom > 0.0 { rmse / denom } else { f64::NAN };
+        // Delta method: se(rmse) ≈ se(mse) / (2 rmse).
+        let rmse_se = if rmse > 0.0 {
+            self.sq_err.std_error() / (2.0 * rmse)
+        } else {
+            0.0
+        };
+        ErrorSummary {
+            trials: self.sq_err.count(),
+            rmse,
+            nrmse,
+            rmse_std_error: rmse_se,
+            mae: self.abs_err.mean(),
+            bias: self.err.mean(),
+            mean_truth: self.truth.mean(),
+            mean_estimate: self.estimates.mean(),
+        }
+    }
+}
+
+/// Summary statistics of an estimator's error over repeated trials.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSummary {
+    /// Number of repetitions aggregated.
+    pub trials: u64,
+    /// Root-mean-squared error.
+    pub rmse: f64,
+    /// RMSE divided by the (mean absolute) true value — the paper's NRMSE.
+    pub nrmse: f64,
+    /// Standard error of the RMSE estimate (delta method), used for the
+    /// paper's error bars.
+    pub rmse_std_error: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Mean signed error; ≈ 0 for unbiased estimators.
+    pub bias: f64,
+    /// Mean absolute ground-truth value (NRMSE denominator).
+    pub mean_truth: f64,
+    /// Mean of the estimates.
+    pub mean_estimate: f64,
+}
+
+impl ErrorSummary {
+    /// Collects a summary directly from an iterator of `(estimate, truth)`
+    /// pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (f64, f64)>>(pairs: I) -> Self {
+        let mut c = ErrorCollector::new();
+        for (e, t) in pairs {
+            c.push(e, t);
+        }
+        c.summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimates_have_zero_error() {
+        let s = ErrorSummary::from_pairs([(5.0, 5.0), (7.0, 7.0)]);
+        assert_eq!(s.rmse, 0.0);
+        assert_eq!(s.nrmse, 0.0);
+        assert_eq!(s.mae, 0.0);
+        assert_eq!(s.bias, 0.0);
+        assert_eq!(s.trials, 2);
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        // Errors: +1, -1, +2 → MSE = (1+1+4)/3 = 2.
+        let s = ErrorSummary::from_pairs([(11.0, 10.0), (9.0, 10.0), (12.0, 10.0)]);
+        assert!((s.rmse - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!((s.nrmse - 2.0_f64.sqrt() / 10.0).abs() < 1e-12);
+        assert!((s.mae - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.bias - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_uses_mean_absolute_truth() {
+        let s = ErrorSummary::from_pairs([(1.0, 2.0), (5.0, 4.0)]);
+        assert!((s.mean_truth - 3.0).abs() < 1e-12);
+        assert!((s.nrmse - s.rmse / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_nan_for_zero_truth() {
+        let s = ErrorSummary::from_pairs([(0.5, 0.0)]);
+        assert!(s.nrmse.is_nan());
+        assert!(s.rmse > 0.0);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_trials() {
+        let few = ErrorSummary::from_pairs((0..10).map(|i| (10.0 + (i % 3) as f64, 10.0)));
+        let many = ErrorSummary::from_pairs((0..1000).map(|i| (10.0 + (i % 3) as f64, 10.0)));
+        assert!(many.rmse_std_error < few.rmse_std_error);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let s = ErrorSummary::from_pairs([(1.0, 1.0)]);
+        let j = serde_json::to_string(&s).unwrap();
+        assert!(j.contains("\"rmse\""));
+        let back: ErrorSummary = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.trials, 1);
+    }
+}

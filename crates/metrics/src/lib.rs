@@ -1,0 +1,26 @@
+//! Error metrics, running statistics, and a seeded experiment harness.
+//!
+//! This crate is the measurement substrate shared by every experiment in the
+//! workspace. It deliberately contains no protocol logic: it knows how to
+//!
+//! * accumulate streaming moments ([`RunningStats`], Welford's algorithm),
+//! * summarize estimator error over repeated seeded trials
+//!   ([`ErrorSummary`], [`ErrorCollector`]), matching the paper's
+//!   normalized-RMSE methodology (Section 4: "compute the mean of the squared
+//!   difference over 100 independent repetitions, then divide by the true
+//!   mean"),
+//! * run seeded repetition sweeps ([`experiment`]), and
+//! * render series as aligned text tables / CSV / JSON ([`table`]).
+//!
+//! Everything is deterministic given a base seed, so figure drivers and tests
+//! reproduce bit-identical numbers.
+
+pub mod error;
+pub mod experiment;
+pub mod stats;
+pub mod table;
+
+pub use error::{ErrorCollector, ErrorSummary};
+pub use experiment::{run_repetitions, run_repetitions_with, Repetitions};
+pub use stats::RunningStats;
+pub use table::{Series, SeriesPoint, SeriesTable};

@@ -1,0 +1,261 @@
+//! Streaming (single-pass) moment accumulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable streaming mean/variance accumulator (Welford's
+/// algorithm), with support for merging partial accumulators.
+///
+/// Used throughout the workspace wherever an exact ground-truth mean or
+/// variance of a population is needed, and to summarize repeated experiment
+/// trials.
+///
+/// # Examples
+///
+/// ```
+/// use fednum_metrics::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12); // sample variance
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds an accumulator from a slice in one pass.
+    #[must_use]
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (n−1 denominator); 0.0 for fewer than two
+    /// observations.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (n denominator); 0.0 when empty.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s / sqrt(n)`.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_mean_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = RunningStats::from_slice(&[7.5]);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 7.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 7.5);
+        assert_eq!(s.max(), 7.5);
+    }
+
+    #[test]
+    fn matches_naive_two_pass() {
+        let xs = [3.1, -2.7, 0.0, 14.9, 5.5, 5.5, -8.25];
+        let s = RunningStats::from_slice(&xs);
+        let (mean, var) = naive_mean_var(&xs);
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), -8.25);
+        assert_eq!(s.max(), 14.9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let mut a = RunningStats::from_slice(&xs[..3]);
+        let b = RunningStats::from_slice(&xs[3..]);
+        a.merge(&b);
+        let full = RunningStats::from_slice(&xs);
+        assert_eq!(a.count(), full.count());
+        assert!((a.mean() - full.mean()).abs() < 1e-12);
+        assert!((a.variance() - full.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let xs = [1.0, 5.0, 9.0];
+        let mut a = RunningStats::from_slice(&xs);
+        a.merge(&RunningStats::new());
+        assert!((a.mean() - 5.0).abs() < 1e-12);
+        let mut e = RunningStats::new();
+        e.merge(&a);
+        assert!((e.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(e.count(), 3);
+    }
+
+    #[test]
+    fn stable_for_large_offsets() {
+        // Classic catastrophic-cancellation scenario for naive sum-of-squares.
+        let base = 1e9;
+        let xs: Vec<f64> = (0..1000).map(|i| base + (i % 10) as f64).collect();
+        let s = RunningStats::from_slice(&xs);
+        let (_, var) = naive_mean_var(&xs);
+        assert!((s.variance() - var).abs() / var < 1e-6);
+    }
+
+    #[test]
+    fn population_variance_denominator() {
+        let s = RunningStats::from_slice(&[0.0, 2.0]);
+        assert!((s.variance() - 2.0).abs() < 1e-12);
+        assert!((s.population_variance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let s: RunningStats = (1..=5).map(f64::from).collect();
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,302 @@
+//! Series containers and plain-text / CSV / JSON rendering.
+//!
+//! Each figure driver produces a [`SeriesTable`]: a shared x-axis and one
+//! [`Series`] per method, mirroring the lines of the paper's plots. Rendering
+//! is deliberately dependency-free (aligned text + CSV) with a JSON export
+//! for machine consumption.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ErrorSummary;
+
+/// One point of a method's curve: x-coordinate plus the error summary
+/// measured there.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// X-axis value (e.g. μ, n, bit depth, ε, threshold).
+    pub x: f64,
+    /// Error summary at this point.
+    pub summary: ErrorSummary,
+}
+
+/// A named curve (one method) across the sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Method label, e.g. `"adaptive"` or `"dithering"`.
+    pub name: String,
+    /// Points in sweep order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, summary: ErrorSummary) {
+        self.points.push(SeriesPoint { x, summary });
+    }
+}
+
+/// A complete figure panel: axis metadata plus one series per method.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesTable {
+    /// Panel identifier, e.g. `"fig1a"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Metric name plotted on y, e.g. `"NRMSE"` or `"RMSE"`.
+    pub y_metric: Metric,
+    /// One series per method.
+    pub series: Vec<Series>,
+}
+
+/// Which field of [`ErrorSummary`] a table reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Normalized RMSE (`rmse / mean_truth`).
+    Nrmse,
+    /// Absolute RMSE.
+    Rmse,
+}
+
+impl Metric {
+    /// Extracts this metric's value from a summary.
+    #[must_use]
+    pub fn value(&self, s: &ErrorSummary) -> f64 {
+        match self {
+            Metric::Nrmse => s.nrmse,
+            Metric::Rmse => s.rmse,
+        }
+    }
+
+    /// Label used in table headers.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::Nrmse => "NRMSE",
+            Metric::Rmse => "RMSE",
+        }
+    }
+}
+
+impl SeriesTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_metric: Metric,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_metric,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// The sorted union of x values across all series.
+    #[must_use]
+    pub fn x_values(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x values"));
+        xs.dedup();
+        xs
+    }
+
+    /// Renders an aligned text table: one row per x value, one column per
+    /// method, cell = metric value (± standard error in parentheses).
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let xs = self.x_values();
+        let mut header: Vec<String> = vec![self.x_label.clone()];
+        for s in &self.series {
+            header.push(format!("{} {}", s.name, self.y_metric.label()));
+        }
+        let mut rows: Vec<Vec<String>> = vec![header];
+        for &x in &xs {
+            let mut row = vec![format_num(x)];
+            for s in &self.series {
+                let cell = s
+                    .points
+                    .iter()
+                    .find(|p| p.x == x)
+                    .map(|p| {
+                        format!(
+                            "{} (±{})",
+                            format_num(self.y_metric.value(&p.summary)),
+                            format_num(p.summary.rmse_std_error / p.summary.mean_truth.max(1e-300))
+                        )
+                    })
+                    .unwrap_or_else(|| "-".to_string());
+                row.push(cell);
+            }
+            rows.push(row);
+        }
+        let widths: Vec<usize> = (0..rows[0].len())
+            .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        out.push_str(&format!("== {} [{}] ==\n", self.title, self.id));
+        for (i, row) in rows.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:>w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+            if i == 0 {
+                let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Renders CSV with columns `x,<method>...`.
+    #[must_use]
+    pub fn render_csv(&self) -> String {
+        let xs = self.x_values();
+        let mut out = String::new();
+        out.push_str(&self.x_label.replace(',', "_"));
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.name.replace(',', "_"));
+        }
+        out.push('\n');
+        for &x in &xs {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                out.push(',');
+                if let Some(p) = s.points.iter().find(|p| p.x == x) {
+                    out.push_str(&format!("{}", self.y_metric.value(&p.summary)));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the whole panel to pretty JSON.
+    ///
+    /// # Panics
+    /// Never: all fields are serializable.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("SeriesTable is serializable")
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v.is_nan() {
+        return "NaN".to_string();
+    }
+    let a = v.abs();
+    if a == 0.0 {
+        "0".to_string()
+    } else if !(0.001..1000.0).contains(&a) {
+        format!("{v:.3e}")
+    } else if a >= 1.0 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorSummary;
+
+    fn summary(rmse: f64, truth: f64) -> ErrorSummary {
+        ErrorSummary::from_pairs([(truth + rmse, truth)])
+    }
+
+    fn sample_table() -> SeriesTable {
+        let mut t = SeriesTable::new("fig0", "Demo", "n", Metric::Nrmse);
+        let mut a = Series::new("adaptive");
+        a.push(1000.0, summary(1.0, 100.0));
+        a.push(10_000.0, summary(0.3, 100.0));
+        let mut d = Series::new("dithering");
+        d.push(1000.0, summary(2.0, 100.0));
+        d.push(10_000.0, summary(0.9, 100.0));
+        t.push_series(a);
+        t.push_series(d);
+        t
+    }
+
+    #[test]
+    fn x_values_sorted_dedup() {
+        let t = sample_table();
+        assert_eq!(t.x_values(), vec![1000.0, 10_000.0]);
+    }
+
+    #[test]
+    fn text_render_contains_all_methods() {
+        let txt = sample_table().render_text();
+        assert!(txt.contains("adaptive"));
+        assert!(txt.contains("dithering"));
+        assert!(txt.contains("Demo"));
+        // Two data rows plus header plus separator.
+        assert_eq!(txt.lines().count(), 5);
+    }
+
+    #[test]
+    fn csv_render_round_numbers() {
+        let csv = sample_table().render_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "n,adaptive,dithering");
+        assert!(lines.next().unwrap().starts_with("1000,"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let t = sample_table();
+        let j = t.to_json();
+        let back: SeriesTable = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.series.len(), 2);
+        assert_eq!(back.id, "fig0");
+    }
+
+    #[test]
+    fn metric_selects_field() {
+        let s = summary(2.0, 10.0);
+        assert!((Metric::Rmse.value(&s) - 2.0).abs() < 1e-12);
+        assert!((Metric::Nrmse.value(&s) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_points_render_dash() {
+        let mut t = SeriesTable::new("x", "t", "x", Metric::Rmse);
+        let mut a = Series::new("a");
+        a.push(1.0, summary(1.0, 1.0));
+        let mut b = Series::new("b");
+        b.push(2.0, summary(1.0, 1.0));
+        t.push_series(a);
+        t.push_series(b);
+        let txt = t.render_text();
+        assert!(txt.contains('-'));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests on the measurement substrate.
+
+use fednum_metrics::experiment::derive_seed;
+use fednum_metrics::table::{Metric, Series, SeriesTable};
+use fednum_metrics::{ErrorSummary, RunningStats};
+use proptest::prelude::*;
+
+proptest! {
+    /// Welford matches the naive two-pass computation for arbitrary data.
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let s = RunningStats::from_slice(&xs);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() <= 1e-6 * var.abs().max(1.0));
+    }
+
+    /// Merging any split of the data matches a single pass.
+    #[test]
+    fn welford_merge_split_invariant(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..120),
+        at in 0usize..120,
+    ) {
+        let split = at % (xs.len() + 1);
+        let mut a = RunningStats::from_slice(&xs[..split]);
+        let b = RunningStats::from_slice(&xs[split..]);
+        a.merge(&b);
+        let whole = RunningStats::from_slice(&xs);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    /// RMSE dominates |bias| and MAE ≤ RMSE (Jensen), for any trial set.
+    #[test]
+    fn error_summary_inequalities(
+        pairs in prop::collection::vec((-1e3f64..1e3, 1.0f64..1e3), 1..100),
+    ) {
+        let s = ErrorSummary::from_pairs(pairs.iter().copied());
+        prop_assert!(s.rmse + 1e-9 >= s.bias.abs());
+        prop_assert!(s.rmse + 1e-9 >= s.mae);
+        prop_assert!(s.nrmse >= 0.0);
+    }
+
+    /// Derived seeds are injective on small index sets.
+    #[test]
+    fn derive_seed_injective(base in any::<u64>()) {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..512u64 {
+            prop_assert!(seen.insert(derive_seed(base, i)));
+        }
+    }
+
+    /// Tables render every series and x value they were given.
+    #[test]
+    fn table_render_complete(
+        names in prop::collection::hash_set("[a-z]{3,8}", 1..5),
+        xs in prop::collection::btree_set(1u32..1000, 1..8),
+    ) {
+        let mut table = SeriesTable::new("p", "prop", "x", Metric::Rmse);
+        for name in &names {
+            let mut series = Series::new(name.clone());
+            for &x in &xs {
+                series.push(f64::from(x), ErrorSummary::from_pairs([(1.5, 1.0)]));
+            }
+            table.push_series(series);
+        }
+        let text = table.render_text();
+        for name in &names {
+            prop_assert!(text.contains(name.as_str()));
+        }
+        prop_assert_eq!(table.x_values().len(), xs.len());
+        // CSV has one header plus one row per x.
+        prop_assert_eq!(table.render_csv().lines().count(), xs.len() + 1);
+    }
+}

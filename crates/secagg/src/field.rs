@@ -1,0 +1,246 @@
+//! The prime field GF(p) with p = 2^61 − 1 (a Mersenne prime).
+//!
+//! All masked values and Shamir shares live in this field. The Mersenne
+//! structure gives a branch-light reduction: for any 122-bit product
+//! `x`, `x mod p` is computed by twice folding the high bits
+//! (`(x & p) + (x >> 61)`).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The field modulus, `2^61 - 1`.
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// A field element, kept in canonical range `0..MODULUS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Fe(u64);
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe(0);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe(1);
+
+    /// Constructs an element, reducing mod p.
+    #[must_use]
+    pub fn new(v: u64) -> Self {
+        // v < 2^64 = 8·2^61, so two folds suffice.
+        let mut x = (v & MODULUS) + (v >> 61);
+        if x >= MODULUS {
+            x -= MODULUS;
+        }
+        Fe(x)
+    }
+
+    /// The canonical representative in `0..MODULUS`.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Modular exponentiation by squaring.
+    #[must_use]
+    pub fn pow(self, mut e: u64) -> Self {
+        let mut base = self;
+        let mut acc = Fe::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    #[must_use]
+    pub fn inv(self) -> Self {
+        assert!(self.0 != 0, "zero has no inverse");
+        self.pow(MODULUS - 2)
+    }
+}
+
+impl From<u64> for Fe {
+    fn from(v: u64) -> Self {
+        Fe::new(v)
+    }
+}
+
+impl fmt::Display for Fe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Add for Fe {
+    type Output = Fe;
+
+    fn add(self, rhs: Fe) -> Fe {
+        let s = self.0 + rhs.0; // < 2^62, no overflow
+        Fe(if s >= MODULUS { s - MODULUS } else { s })
+    }
+}
+
+impl AddAssign for Fe {
+    fn add_assign(&mut self, rhs: Fe) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Fe {
+    type Output = Fe;
+
+    fn sub(self, rhs: Fe) -> Fe {
+        Fe(if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + MODULUS - rhs.0
+        })
+    }
+}
+
+impl SubAssign for Fe {
+    fn sub_assign(&mut self, rhs: Fe) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Fe {
+    type Output = Fe;
+
+    fn neg(self) -> Fe {
+        Fe::ZERO - self
+    }
+}
+
+impl Mul for Fe {
+    type Output = Fe;
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let wide = u128::from(self.0) * u128::from(rhs.0); // < 2^122
+        let folded = (wide & u128::from(MODULUS)) + (wide >> 61); // < 2^62
+        let folded = folded as u64;
+        let mut x = (folded & MODULUS) + (folded >> 61);
+        if x >= MODULUS {
+            x -= MODULUS;
+        }
+        Fe(x)
+    }
+}
+
+impl MulAssign for Fe {
+    fn mul_assign(&mut self, rhs: Fe) {
+        *self = *self * rhs;
+    }
+}
+
+impl std::iter::Sum for Fe {
+    fn sum<I: Iterator<Item = Fe>>(iter: I) -> Fe {
+        iter.fold(Fe::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_construction() {
+        assert_eq!(Fe::new(0).value(), 0);
+        assert_eq!(Fe::new(MODULUS).value(), 0);
+        assert_eq!(Fe::new(MODULUS + 5).value(), 5);
+        assert_eq!(Fe::new(u64::MAX).value(), u64::MAX % MODULUS);
+    }
+
+    #[test]
+    fn addition_wraps() {
+        let a = Fe::new(MODULUS - 1);
+        assert_eq!((a + Fe::ONE).value(), 0);
+        assert_eq!((a + Fe::new(2)).value(), 1);
+    }
+
+    #[test]
+    fn subtraction_wraps() {
+        assert_eq!((Fe::ZERO - Fe::ONE).value(), MODULUS - 1);
+        assert_eq!((Fe::new(5) - Fe::new(3)).value(), 2);
+    }
+
+    #[test]
+    fn negation_is_additive_inverse() {
+        for v in [0u64, 1, 12345, MODULUS - 1] {
+            let a = Fe::new(v);
+            assert_eq!((a + (-a)).value(), 0);
+        }
+    }
+
+    #[test]
+    fn multiplication_known_values() {
+        assert_eq!((Fe::new(3) * Fe::new(7)).value(), 21);
+        assert_eq!((Fe::new(MODULUS - 1) * Fe::new(MODULUS - 1)).value(), 1); // (-1)² = 1
+        assert_eq!((Fe::new(0) * Fe::new(999)).value(), 0);
+    }
+
+    #[test]
+    fn large_multiplication_matches_u128_reference() {
+        let cases = [
+            (MODULUS - 1, MODULUS - 2),
+            (1u64 << 60, (1u64 << 60) + 12345),
+            (0xDEAD_BEEF_CAFE, 0x1234_5678_9ABC),
+        ];
+        for &(a, b) in &cases {
+            let expected = ((u128::from(a) % u128::from(MODULUS))
+                * (u128::from(b) % u128::from(MODULUS))
+                % u128::from(MODULUS)) as u64;
+            assert_eq!((Fe::new(a) * Fe::new(b)).value(), expected, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn pow_and_fermat() {
+        let a = Fe::new(123_456_789);
+        assert_eq!(a.pow(0).value(), 1);
+        assert_eq!(a.pow(1), a);
+        assert_eq!(a.pow(2), a * a);
+        // Fermat: a^(p-1) = 1.
+        assert_eq!(a.pow(MODULUS - 1).value(), 1);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for v in [1u64, 2, 3, 999_999_937, MODULUS - 1] {
+            let a = Fe::new(v);
+            assert_eq!((a * a.inv()).value(), 1, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn field_laws_spot_check() {
+        let xs = [Fe::new(17), Fe::new(MODULUS - 3), Fe::new(1u64 << 45)];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(a + b, b + a);
+                assert_eq!(a * b, b * a);
+                for &c in &xs {
+                    assert_eq!((a + b) + c, a + (b + c));
+                    assert_eq!(a * (b + c), a * b + a * c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Fe = [Fe::new(1), Fe::new(2), Fe::new(3)].into_iter().sum();
+        assert_eq!(total.value(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        let _ = Fe::ZERO.inv();
+    }
+}

@@ -1,0 +1,124 @@
+//! Seeded mask expansion.
+//!
+//! A deterministic stream of field elements from a 64-bit seed, used to
+//! expand pairwise and self-mask seeds into full mask vectors. The stream is
+//! a splitmix64 counter with rejection sampling into GF(2^61 − 1), so every
+//! field element is (statistically) uniform and two parties holding the same
+//! seed derive identical masks.
+
+use crate::field::{Fe, MODULUS};
+
+/// A deterministic pseudo-random stream of field elements.
+#[derive(Debug, Clone)]
+pub struct MaskStream {
+    state: u64,
+}
+
+impl MaskStream {
+    /// Creates a stream from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next uniform field element (rejection sampling on 61-bit draws).
+    pub fn next_fe(&mut self) -> Fe {
+        loop {
+            let v = self.next_u64() & MODULUS; // 61 low bits
+            if v < MODULUS {
+                return Fe::new(v);
+            }
+        }
+    }
+
+    /// Expands the stream into a mask vector of the given length.
+    #[must_use]
+    pub fn expand(&mut self, len: usize) -> Vec<Fe> {
+        (0..len).map(|_| self.next_fe()).collect()
+    }
+}
+
+/// Derives the seed two clients share for their pairwise mask. Symmetric in
+/// its arguments, and domain-separated by the session seed — this stands in
+/// for the Diffie–Hellman agreement of the real protocol.
+#[must_use]
+pub fn pairwise_seed(session: u64, a: u64, b: u64) -> u64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    mix(mix(mix(session, 0x70A1), lo), hi)
+}
+
+/// Derives a client's private self-mask seed.
+#[must_use]
+pub fn self_seed(session: u64, client: u64) -> u64 {
+    mix(mix(session, 0x5E1F), client)
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a = MaskStream::new(42).expand(16);
+        let b = MaskStream::new(42).expand(16);
+        assert_eq!(a, b);
+        let c = MaskStream::new(43).expand(16);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn elements_in_field_range() {
+        let mut s = MaskStream::new(7);
+        for _ in 0..10_000 {
+            assert!(s.next_fe().value() < MODULUS);
+        }
+    }
+
+    #[test]
+    fn stream_looks_uniform() {
+        // Mean of uniform field elements ≈ p/2.
+        let mut s = MaskStream::new(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| s.next_fe().value() as f64).sum::<f64>() / f64::from(n);
+        let expected = MODULUS as f64 / 2.0;
+        assert!((mean / expected - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn pairwise_seed_is_symmetric() {
+        assert_eq!(pairwise_seed(1, 3, 9), pairwise_seed(1, 9, 3));
+        assert_ne!(pairwise_seed(1, 3, 9), pairwise_seed(2, 3, 9));
+        assert_ne!(pairwise_seed(1, 3, 9), pairwise_seed(1, 3, 10));
+    }
+
+    #[test]
+    fn self_seed_differs_from_pairwise() {
+        assert_ne!(self_seed(1, 3), pairwise_seed(1, 3, 3));
+        assert_ne!(self_seed(1, 3), self_seed(1, 4));
+    }
+
+    #[test]
+    fn distinct_pairs_get_distinct_masks() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..30u64 {
+            for b in (a + 1)..30u64 {
+                assert!(seen.insert(pairwise_seed(5, a, b)), "collision {a},{b}");
+            }
+        }
+    }
+}

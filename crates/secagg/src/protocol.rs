@@ -1,0 +1,659 @@
+//! The four-round secure-aggregation protocol, simulated with explicit
+//! dropout phases.
+//!
+//! Round structure (after Bonawitz et al., CCS 2017):
+//!
+//! 1. **Advertise keys** — every client joins; pairwise seeds `s_ij` are
+//!    agreed (simulated by public derivation from the session seed in place
+//!    of Diffie–Hellman; see crate docs).
+//! 2. **Share keys** — every client draws a private self-mask seed `b_i`
+//!    and Shamir-shares both `b_i` and its key material among all clients
+//!    with threshold `k`.
+//! 3. **Masked input** — surviving clients send
+//!    `y_i = x_i + PRG(b_i) ± Σ PRG(s_ij)`.
+//! 4. **Unmask** — surviving clients reveal, for each client that *sent an
+//!    input*, shares of `b_i` (to strip self masks), and for each client
+//!    that *dropped before sending*, shares of its key material (to strip
+//!    the orphaned pairwise masks other clients added for it). The server
+//!    never holds both kinds of share for the same client.
+//!
+//! The server's output is exactly `Σ_{i ∈ U2} x_i (mod 2^61 − 1)` — it sees
+//! sums, never individual inputs, matching the primitive the paper's
+//! Section 3.3 builds on.
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+
+use crate::field::{Fe, MODULUS};
+use crate::masking::{add_assign, client_mask_ring, mask_from_seed, ring_neighbors};
+use crate::prg::{pairwise_seed, self_seed};
+use crate::shamir::{reconstruct, share, Share};
+
+/// Protocol parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecAggConfig {
+    /// Number of clients enrolled in round 1.
+    pub n: usize,
+    /// Shamir reconstruction threshold `k` (also the minimum number of
+    /// unmask-round survivors).
+    pub threshold: usize,
+    /// Length of each client's input vector.
+    pub vector_len: usize,
+    /// Session seed (key-agreement transcript stand-in).
+    pub session_seed: u64,
+    /// Pairwise-mask graph degree: each client exchanges masks with this
+    /// many ring neighbors (Bell et al., CCS 2020), making the protocol
+    /// `O(n·k)`. `None` uses the complete graph of the original Bonawitz
+    /// construction.
+    pub neighbors: Option<usize>,
+}
+
+impl SecAggConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= threshold <= n` and `vector_len > 0`.
+    #[must_use]
+    pub fn new(n: usize, threshold: usize, vector_len: usize, session_seed: u64) -> Self {
+        assert!(n >= 1, "need at least one client");
+        assert!(
+            threshold >= 1 && threshold <= n,
+            "threshold must be in 1..=n"
+        );
+        assert!(vector_len > 0, "vector_len must be positive");
+        Self {
+            n,
+            threshold,
+            vector_len,
+            session_seed,
+            neighbors: None,
+        }
+    }
+
+    /// Switches to a `degree`-regular ring-neighbor mask graph.
+    ///
+    /// # Panics
+    /// Panics if `degree == 0`.
+    #[must_use]
+    pub fn with_neighbors(mut self, degree: usize) -> Self {
+        assert!(degree >= 1, "neighbor degree must be >= 1");
+        self.neighbors = Some(degree);
+        self
+    }
+
+    /// The effective mask-graph degree (complete graph when unset).
+    fn degree(&self) -> usize {
+        self.neighbors.unwrap_or(self.n.saturating_sub(1)).max(1)
+    }
+}
+
+/// Which clients drop out, and when.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DropoutPlan {
+    /// Clients that complete key sharing but never send a masked input
+    /// (their orphaned pairwise masks must be reconstructed).
+    pub before_masking: BTreeSet<usize>,
+    /// Clients that send a masked input but are unavailable for the unmask
+    /// round (their input still counts; they just can't reveal shares).
+    pub after_masking: BTreeSet<usize>,
+}
+
+impl DropoutPlan {
+    /// No dropouts.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// Protocol failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SecAggError {
+    /// Fewer unmask-round survivors than the reconstruction threshold.
+    TooFewSurvivors {
+        /// Clients alive in the unmask round.
+        survivors: usize,
+        /// Required threshold.
+        threshold: usize,
+    },
+    /// An input vector had the wrong length.
+    InputLengthMismatch {
+        /// Offending client.
+        client: usize,
+        /// Its vector length.
+        got: usize,
+        /// Expected length.
+        expected: usize,
+    },
+    /// An input value was too large for exact field aggregation.
+    InputTooLarge {
+        /// Offending client.
+        client: usize,
+    },
+    /// A client appears in both dropout phases.
+    InconsistentDropouts {
+        /// Offending client.
+        client: usize,
+    },
+}
+
+impl std::fmt::Display for SecAggError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SecAggError::TooFewSurvivors {
+                survivors,
+                threshold,
+            } => write!(
+                f,
+                "only {survivors} unmask-round survivors, below threshold {threshold}"
+            ),
+            SecAggError::InputLengthMismatch {
+                client,
+                got,
+                expected,
+            } => write!(
+                f,
+                "client {client} sent a vector of length {got}, expected {expected}"
+            ),
+            SecAggError::InputTooLarge { client } => {
+                write!(f, "client {client} input exceeds the field modulus")
+            }
+            SecAggError::InconsistentDropouts { client } => {
+                write!(f, "client {client} listed in both dropout phases")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SecAggError {}
+
+/// Successful aggregation result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecAggOutcome {
+    /// The exact component-wise sum of the contributing clients' inputs.
+    pub sum: Vec<u64>,
+    /// Clients whose inputs are included (those that sent masked input).
+    pub contributors: Vec<usize>,
+    /// Self-mask seeds the server reconstructed (one per contributor).
+    pub self_masks_reconstructed: usize,
+    /// Dropped clients whose pairwise masks had to be reconstructed.
+    pub pairwise_masks_reconstructed: usize,
+}
+
+/// Secret material one client Shamir-shares — the self-mask seed and the
+/// key seed, each split into two ≤32-bit field elements so a full u64
+/// survives the 61-bit field. Shares go to `holders` (the client itself plus
+/// its mask-graph neighbors; the whole cohort on the complete graph), with
+/// per-client threshold `k`.
+struct SharedSecrets {
+    holders: Vec<usize>,
+    k: usize,
+    b_lo: Vec<Share>,
+    b_hi: Vec<Share>,
+    key_lo: Vec<Share>,
+    key_hi: Vec<Share>,
+}
+
+fn share_u64(v: u64, k: usize, n: usize, rng: &mut dyn Rng) -> (Vec<Share>, Vec<Share>) {
+    let lo = Fe::new(v & 0xFFFF_FFFF);
+    let hi = Fe::new(v >> 32);
+    (share(lo, k, n, rng), share(hi, k, n, rng))
+}
+
+fn reconstruct_u64(lo: &[Share], hi: &[Share]) -> u64 {
+    let lo = reconstruct(lo).value();
+    let hi = reconstruct(hi).value();
+    (hi << 32) | lo
+}
+
+impl SharedSecrets {
+    /// Picks `self.k` shares of the given field (by index into `holders`)
+    /// whose holders survive in `alive`, or reports how many were available.
+    fn surviving<'a>(
+        &'a self,
+        shares: &'a [Share],
+        alive: &std::collections::BTreeSet<usize>,
+    ) -> Result<Vec<Share>, usize> {
+        let picked: Vec<Share> = self
+            .holders
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| alive.contains(h))
+            .map(|(idx, _)| shares[idx])
+            .take(self.k)
+            .collect();
+        if picked.len() < self.k {
+            Err(picked.len())
+        } else {
+            Ok(picked)
+        }
+    }
+}
+
+/// Runs the full protocol.
+///
+/// `inputs[i]` is client `i`'s private vector. Clients listed in
+/// `plan.before_masking` never send their input (it is excluded from the
+/// sum); clients in `plan.after_masking` contribute input but not shares.
+///
+/// # Errors
+/// See [`SecAggError`].
+///
+/// # Panics
+/// Panics if `inputs.len() != config.n`.
+pub fn run_secure_aggregation(
+    config: &SecAggConfig,
+    inputs: &[Vec<u64>],
+    plan: &DropoutPlan,
+    rng: &mut dyn Rng,
+) -> Result<SecAggOutcome, SecAggError> {
+    assert_eq!(inputs.len(), config.n, "one input vector per client");
+    for client in &plan.before_masking {
+        if plan.after_masking.contains(client) {
+            return Err(SecAggError::InconsistentDropouts { client: *client });
+        }
+    }
+    for (i, v) in inputs.iter().enumerate() {
+        if v.len() != config.vector_len {
+            return Err(SecAggError::InputLengthMismatch {
+                client: i,
+                got: v.len(),
+                expected: config.vector_len,
+            });
+        }
+        if v.iter().any(|&x| x >= MODULUS) {
+            return Err(SecAggError::InputTooLarge { client: i });
+        }
+    }
+
+    let session = config.session_seed;
+    let all: Vec<u64> = (0..config.n as u64).collect();
+
+    // Rounds 1–2: every client draws secret material and Shamir-shares it
+    // among itself plus its mask-graph neighbors (the whole cohort on the
+    // complete graph — the original Bonawitz construction; the neighborhood
+    // variant is Bell et al.'s O(n·k) refinement). In this simulation the
+    // self seeds follow the deterministic derivation used by
+    // `client_mask_ring`; the key seed gates pairwise-mask recovery.
+    let degree = config.degree();
+    let secrets: Vec<SharedSecrets> = (0..config.n)
+        .map(|i| {
+            let mut holders: Vec<usize> = ring_neighbors(i as u64, &all, degree)
+                .into_iter()
+                .map(|j| j as usize)
+                .collect();
+            holders.push(i);
+            holders.sort_unstable();
+            // Per-client threshold: the global threshold on the complete
+            // graph; a majority of the neighborhood on the sparse graph.
+            let k = if config.neighbors.is_none() {
+                config.threshold.min(holders.len())
+            } else {
+                holders.len().div_ceil(2)
+            };
+            let b = self_seed(session, i as u64);
+            let key = key_seed(session, i as u64);
+            let (b_lo, b_hi) = share_u64(b, k, holders.len(), rng);
+            let (key_lo, key_hi) = share_u64(key, k, holders.len(), rng);
+            SharedSecrets {
+                holders,
+                k,
+                b_lo,
+                b_hi,
+                key_lo,
+                key_hi,
+            }
+        })
+        .collect();
+
+    // Round 3: surviving clients send masked inputs.
+    let u2: Vec<usize> = (0..config.n)
+        .filter(|i| !plan.before_masking.contains(i))
+        .collect();
+    let mut total = vec![Fe::ZERO; config.vector_len];
+    for &i in &u2 {
+        let mut y: Vec<Fe> = inputs[i].iter().map(|&x| Fe::new(x)).collect();
+        let mask = client_mask_ring(session, i as u64, &all, degree, config.vector_len);
+        add_assign(&mut y, &mask, false);
+        add_assign(&mut total, &y, false);
+    }
+
+    // Round 4: unmasking with the surviving clients' shares.
+    let u3: Vec<usize> = u2
+        .iter()
+        .copied()
+        .filter(|i| !plan.after_masking.contains(i))
+        .collect();
+    if u3.len() < config.threshold {
+        return Err(SecAggError::TooFewSurvivors {
+            survivors: u3.len(),
+            threshold: config.threshold,
+        });
+    }
+    let alive: std::collections::BTreeSet<usize> = u3.iter().copied().collect();
+    let reconstruct_secret =
+        |s: &SharedSecrets, lo: &[Share], hi: &[Share]| -> Result<u64, SecAggError> {
+            let lo = s
+                .surviving(lo, &alive)
+                .map_err(|got| SecAggError::TooFewSurvivors {
+                    survivors: got,
+                    threshold: s.k,
+                })?;
+            let hi = s
+                .surviving(hi, &alive)
+                .map_err(|got| SecAggError::TooFewSurvivors {
+                    survivors: got,
+                    threshold: s.k,
+                })?;
+            Ok(reconstruct_u64(&lo, &hi))
+        };
+
+    // Strip self masks of every contributor (reconstruct b_i from the
+    // surviving share holders — never requested for non-contributors, whose
+    // key material is reconstructed instead).
+    let mut self_masks = 0;
+    for &i in &u2 {
+        let s = &secrets[i];
+        let b = reconstruct_secret(s, &s.b_lo, &s.b_hi)?;
+        debug_assert_eq!(b, self_seed(session, i as u64));
+        let mask = mask_from_seed(b, config.vector_len);
+        add_assign(&mut total, &mask, true);
+        self_masks += 1;
+    }
+
+    // Strip orphaned pairwise masks of clients that dropped before sending:
+    // every contributing *neighbor* i of d added ±PRG(s_id); reconstruct d's
+    // key material and cancel those terms.
+    let u2_set: std::collections::BTreeSet<usize> = u2.iter().copied().collect();
+    let mut pairwise_masks = 0;
+    for &d in &plan.before_masking {
+        let s = &secrets[d];
+        let key = reconstruct_secret(s, &s.key_lo, &s.key_hi)?;
+        // The reconstructed key authorizes recomputing d's pairwise seeds.
+        debug_assert_eq!(key, key_seed(session, d as u64));
+        for j in ring_neighbors(d as u64, &all, degree) {
+            let i = j as usize;
+            if !u2_set.contains(&i) {
+                continue; // that neighbor never sent a mask either
+            }
+            let s = pairwise_seed(session, i as u64, d as u64);
+            let mask = mask_from_seed(s, config.vector_len);
+            // Contributor i added +PRG if i < d, −PRG if i > d; subtract it.
+            let i_added_positive = (i as u64) < (d as u64);
+            add_assign(&mut total, &mask, i_added_positive);
+        }
+        pairwise_masks += 1;
+    }
+
+    Ok(SecAggOutcome {
+        sum: total.iter().map(|fe| fe.value()).collect(),
+        contributors: u2,
+        self_masks_reconstructed: self_masks,
+        pairwise_masks_reconstructed: pairwise_masks,
+    })
+}
+
+/// The key-material seed a client Shamir-shares for dropout recovery
+/// (stands in for its Diffie–Hellman private key).
+#[must_use]
+fn key_seed(session: u64, client: u64) -> u64 {
+    // Domain-separated from both self and pairwise seeds.
+    self_seed(session ^ 0xABCD_EF01_2345_6789, client)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn inputs(n: usize, len: usize) -> Vec<Vec<u64>> {
+        (0..n)
+            .map(|i| (0..len).map(|j| ((i * 31 + j * 7) % 100) as u64).collect())
+            .collect()
+    }
+
+    fn expected_sum(inputs: &[Vec<u64>], include: impl Fn(usize) -> bool) -> Vec<u64> {
+        let len = inputs[0].len();
+        let mut sum = vec![0u64; len];
+        for (i, v) in inputs.iter().enumerate() {
+            if include(i) {
+                for (s, &x) in sum.iter_mut().zip(v) {
+                    *s += x;
+                }
+            }
+        }
+        sum
+    }
+
+    #[test]
+    fn exact_sum_no_dropouts() {
+        let config = SecAggConfig::new(10, 6, 8, 42);
+        let ins = inputs(10, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = run_secure_aggregation(&config, &ins, &DropoutPlan::none(), &mut rng).unwrap();
+        assert_eq!(out.sum, expected_sum(&ins, |_| true));
+        assert_eq!(out.contributors.len(), 10);
+        assert_eq!(out.self_masks_reconstructed, 10);
+        assert_eq!(out.pairwise_masks_reconstructed, 0);
+    }
+
+    #[test]
+    fn dropouts_before_masking_are_excluded_exactly() {
+        let config = SecAggConfig::new(10, 5, 6, 7);
+        let ins = inputs(10, 6);
+        let plan = DropoutPlan {
+            before_masking: [2usize, 7].into_iter().collect(),
+            after_masking: BTreeSet::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = run_secure_aggregation(&config, &ins, &plan, &mut rng).unwrap();
+        assert_eq!(out.sum, expected_sum(&ins, |i| i != 2 && i != 7));
+        assert_eq!(out.contributors.len(), 8);
+        assert_eq!(out.pairwise_masks_reconstructed, 2);
+    }
+
+    #[test]
+    fn dropouts_after_masking_still_counted() {
+        let config = SecAggConfig::new(10, 5, 4, 9);
+        let ins = inputs(10, 4);
+        let plan = DropoutPlan {
+            before_masking: BTreeSet::new(),
+            after_masking: [0usize, 3, 9].into_iter().collect(),
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = run_secure_aggregation(&config, &ins, &plan, &mut rng).unwrap();
+        // Inputs of the late droppers are included.
+        assert_eq!(out.sum, expected_sum(&ins, |_| true));
+    }
+
+    #[test]
+    fn mixed_dropout_phases() {
+        let config = SecAggConfig::new(12, 6, 5, 11);
+        let ins = inputs(12, 5);
+        let plan = DropoutPlan {
+            before_masking: [1usize, 4].into_iter().collect(),
+            after_masking: [0usize, 6, 8].into_iter().collect(),
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = run_secure_aggregation(&config, &ins, &plan, &mut rng).unwrap();
+        assert_eq!(out.sum, expected_sum(&ins, |i| i != 1 && i != 4));
+    }
+
+    #[test]
+    fn below_threshold_fails_closed() {
+        let config = SecAggConfig::new(6, 5, 3, 1);
+        let ins = inputs(6, 3);
+        let plan = DropoutPlan {
+            before_masking: [0usize].into_iter().collect(),
+            after_masking: [1usize].into_iter().collect(),
+        };
+        // Survivors: 4 < threshold 5.
+        let mut rng = StdRng::seed_from_u64(5);
+        let err = run_secure_aggregation(&config, &ins, &plan, &mut rng).unwrap_err();
+        assert_eq!(
+            err,
+            SecAggError::TooFewSurvivors {
+                survivors: 4,
+                threshold: 5
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_vector_length_rejected() {
+        let config = SecAggConfig::new(3, 2, 4, 1);
+        let mut ins = inputs(3, 4);
+        ins[1].pop();
+        let mut rng = StdRng::seed_from_u64(6);
+        let err =
+            run_secure_aggregation(&config, &ins, &DropoutPlan::none(), &mut rng).unwrap_err();
+        assert!(matches!(
+            err,
+            SecAggError::InputLengthMismatch { client: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_input_rejected() {
+        let config = SecAggConfig::new(2, 1, 1, 1);
+        let ins = vec![vec![MODULUS], vec![0]];
+        let mut rng = StdRng::seed_from_u64(7);
+        let err =
+            run_secure_aggregation(&config, &ins, &DropoutPlan::none(), &mut rng).unwrap_err();
+        assert_eq!(err, SecAggError::InputTooLarge { client: 0 });
+    }
+
+    #[test]
+    fn inconsistent_dropout_plan_rejected() {
+        let config = SecAggConfig::new(3, 1, 1, 1);
+        let ins = inputs(3, 1);
+        let plan = DropoutPlan {
+            before_masking: [1usize].into_iter().collect(),
+            after_masking: [1usize].into_iter().collect(),
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let err = run_secure_aggregation(&config, &ins, &plan, &mut rng).unwrap_err();
+        assert_eq!(err, SecAggError::InconsistentDropouts { client: 1 });
+    }
+
+    #[test]
+    fn bit_histogram_shape_round_trip() {
+        // The bit-pushing integration shape: one-hot [ones | counts] rows.
+        let bits = 8;
+        let n = 50;
+        let config = SecAggConfig::new(n, 30, 2 * bits, 99);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ins = Vec::new();
+        for i in 0..n {
+            let j = i % bits; // assigned bit
+            let bit_val = u64::from(i % 3 == 0);
+            let mut v = vec![0u64; 2 * bits];
+            v[j] = bit_val;
+            v[bits + j] = 1;
+            ins.push(v);
+        }
+        let out = run_secure_aggregation(&config, &ins, &DropoutPlan::none(), &mut rng).unwrap();
+        // Counts per bit must sum to n.
+        let total_counts: u64 = out.sum[bits..].iter().sum();
+        assert_eq!(total_counts, n as u64);
+        // Ones never exceed counts.
+        for j in 0..bits {
+            assert!(out.sum[j] <= out.sum[bits + j]);
+        }
+    }
+
+    #[test]
+    fn single_client_degenerate_case() {
+        let config = SecAggConfig::new(1, 1, 2, 5);
+        let ins = vec![vec![17, 3]];
+        let mut rng = StdRng::seed_from_u64(10);
+        let out = run_secure_aggregation(&config, &ins, &DropoutPlan::none(), &mut rng).unwrap();
+        assert_eq!(out.sum, vec![17, 3]);
+    }
+
+    #[test]
+    fn ring_graph_matches_complete_graph_sums() {
+        let n = 40;
+        let ins = inputs(n, 5);
+        let full = SecAggConfig::new(n, 20, 5, 3);
+        let ring = SecAggConfig::new(n, 20, 5, 3).with_neighbors(6);
+        let plan = DropoutPlan {
+            before_masking: [2usize, 19, 33].into_iter().collect(),
+            after_masking: [7usize].into_iter().collect(),
+        };
+        let a = run_secure_aggregation(&full, &ins, &plan, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b = run_secure_aggregation(&ring, &ins, &plan, &mut StdRng::seed_from_u64(2)).unwrap();
+        assert_eq!(a.sum, b.sum, "mask graph must not change the sum");
+    }
+
+    #[test]
+    fn ring_graph_scales_to_large_cohorts() {
+        // The whole point of the sparse graph: 5000 clients in well under a
+        // second, which the complete graph cannot do.
+        let n = 5000;
+        let len = 4;
+        let ins: Vec<Vec<u64>> = (0..n).map(|i| vec![(i % 7) as u64; len]).collect();
+        let config = SecAggConfig::new(n, 2500, len, 9).with_neighbors(20);
+        let plan = DropoutPlan {
+            before_masking: (0..50).map(|i| i * 11).collect(),
+            after_masking: BTreeSet::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let start = std::time::Instant::now();
+        let out = run_secure_aggregation(&config, &ins, &plan, &mut rng).unwrap();
+        assert!(
+            start.elapsed().as_secs() < 30,
+            "ring secagg too slow: {:?}",
+            start.elapsed()
+        );
+        let expected = expected_sum(&ins, |i| !(0..50).map(|x| x * 11).any(|d| d == i));
+        assert_eq!(out.sum, expected);
+        assert_eq!(out.pairwise_masks_reconstructed, 50);
+    }
+
+    #[test]
+    fn adjacent_dropouts_on_the_ring_are_handled() {
+        // Two dropped clients that are each other's neighbors: neither added
+        // a mask, so nothing must be subtracted for their mutual edge. With
+        // degree 4 each dropped client still has a surviving majority of
+        // share holders.
+        let n = 10;
+        let ins = inputs(n, 3);
+        let config = SecAggConfig::new(n, 4, 3, 21).with_neighbors(4);
+        let plan = DropoutPlan {
+            before_masking: [4usize, 5].into_iter().collect(),
+            after_masking: BTreeSet::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = run_secure_aggregation(&config, &ins, &plan, &mut rng).unwrap();
+        assert_eq!(out.sum, expected_sum(&ins, |i| i != 4 && i != 5));
+    }
+
+    #[test]
+    fn too_sparse_graph_fails_closed_on_adjacent_dropouts() {
+        // Degree 2: a dropped client whose only surviving holder is one
+        // neighbor cannot have its key reconstructed — the protocol must
+        // error rather than output a wrong sum.
+        let n = 10;
+        let ins = inputs(n, 3);
+        let config = SecAggConfig::new(n, 4, 3, 21).with_neighbors(2);
+        let plan = DropoutPlan {
+            before_masking: [4usize, 5].into_iter().collect(),
+            after_masking: BTreeSet::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let err = run_secure_aggregation(&config, &ins, &plan, &mut rng).unwrap_err();
+        assert!(matches!(err, SecAggError::TooFewSurvivors { .. }));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = SecAggError::TooFewSurvivors {
+            survivors: 2,
+            threshold: 5,
+        };
+        assert!(e.to_string().contains("below threshold 5"));
+    }
+}

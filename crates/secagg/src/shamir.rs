@@ -1,0 +1,171 @@
+//! Shamir secret sharing over GF(2^61 − 1).
+//!
+//! Used by the secure-aggregation protocol to make mask seeds recoverable:
+//! each client shares its self-mask seed (and, for dropout recovery, its
+//! pairwise key material) among all clients with threshold `k`, so the
+//! server can reconstruct exactly the masks it is entitled to — no fewer
+//! than `k` cooperating clients reveal anything.
+
+use rand::Rng;
+
+use crate::field::Fe;
+use crate::prg::MaskStream;
+
+/// One share: the evaluation point `x` (nonzero) and value `y = f(x)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Share {
+    /// Evaluation point (client index + 1, never 0).
+    pub x: Fe,
+    /// Polynomial evaluation at `x`.
+    pub y: Fe,
+}
+
+/// Splits `secret` into `n` shares with reconstruction threshold `k`:
+/// a random degree-`k-1` polynomial `f` with `f(0) = secret`, evaluated at
+/// `x = 1..=n`.
+///
+/// # Panics
+/// Panics unless `1 <= k <= n`.
+pub fn share(secret: Fe, k: usize, n: usize, rng: &mut dyn Rng) -> Vec<Share> {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n (got k={k}, n={n})");
+    // Random coefficients via a MaskStream keyed off the caller's RNG, so
+    // any Rng source works without needing uniform-field sampling on it.
+    let mut stream = MaskStream::new(rng.next_u64());
+    let mut coeffs = Vec::with_capacity(k);
+    coeffs.push(secret);
+    for _ in 1..k {
+        coeffs.push(stream.next_fe());
+    }
+    (1..=n as u64)
+        .map(|x| {
+            let xf = Fe::new(x);
+            // Horner evaluation.
+            let mut y = Fe::ZERO;
+            for &c in coeffs.iter().rev() {
+                y = y * xf + c;
+            }
+            Share { x: xf, y }
+        })
+        .collect()
+}
+
+/// Reconstructs the secret (`f(0)`) from at least `k` shares with distinct
+/// evaluation points, via Lagrange interpolation at 0.
+///
+/// # Panics
+/// Panics if fewer than one share is given or evaluation points repeat.
+#[must_use]
+pub fn reconstruct(shares: &[Share]) -> Fe {
+    assert!(!shares.is_empty(), "need at least one share");
+    for (i, a) in shares.iter().enumerate() {
+        for b in &shares[i + 1..] {
+            assert!(a.x != b.x, "duplicate evaluation point {}", a.x);
+        }
+    }
+    let mut secret = Fe::ZERO;
+    for (i, si) in shares.iter().enumerate() {
+        // Lagrange basis at 0: Π_{j≠i} x_j / (x_j - x_i).
+        let mut num = Fe::ONE;
+        let mut den = Fe::ONE;
+        for (j, sj) in shares.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num *= sj.x;
+            den *= sj.x - si.x;
+        }
+        secret += si.y * num * den.inv();
+    }
+    secret
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_exact_threshold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let secret = Fe::new(0xDEAD_BEEF);
+        let shares = share(secret, 3, 5, &mut rng);
+        assert_eq!(shares.len(), 5);
+        assert_eq!(reconstruct(&shares[..3]), secret);
+    }
+
+    #[test]
+    fn any_k_subset_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let secret = Fe::new(123_456_789_012_345);
+        let shares = share(secret, 3, 6, &mut rng);
+        // All C(6,3) subsets.
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    let subset = [shares[a], shares[b], shares[c]];
+                    assert_eq!(reconstruct(&subset), secret, "subset {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_than_k_shares_also_work() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let secret = Fe::new(42);
+        let shares = share(secret, 2, 5, &mut rng);
+        assert_eq!(reconstruct(&shares), secret);
+    }
+
+    #[test]
+    fn fewer_than_k_shares_reveal_nothing_useful() {
+        // With k-1 shares the reconstruction is some field element, but it
+        // should not systematically equal the secret across trials.
+        let secret = Fe::new(777);
+        let mut hits = 0;
+        for s in 0..50 {
+            let mut rng = StdRng::seed_from_u64(s);
+            let shares = share(secret, 3, 5, &mut rng);
+            if reconstruct(&shares[..2]) == secret {
+                hits += 1;
+            }
+        }
+        assert!(hits <= 1, "k-1 shares recovered the secret {hits}/50 times");
+    }
+
+    #[test]
+    fn threshold_one_is_replication() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let secret = Fe::new(9);
+        let shares = share(secret, 1, 4, &mut rng);
+        for s in &shares {
+            assert_eq!(reconstruct(&[*s]), secret);
+            assert_eq!(s.y, secret); // degree-0 polynomial
+        }
+    }
+
+    #[test]
+    fn zero_secret() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let shares = share(Fe::ZERO, 2, 3, &mut rng);
+        assert_eq!(reconstruct(&shares[1..]), Fe::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate evaluation point")]
+    fn duplicate_points_rejected() {
+        let s = Share {
+            x: Fe::new(1),
+            y: Fe::new(2),
+        };
+        let _ = reconstruct(&[s, s]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= n")]
+    fn threshold_above_n_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = share(Fe::ONE, 4, 3, &mut rng);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests: for *any* dropout plan and either mask graph, the
+//! protocol either outputs the exact sum of the contributing clients or
+//! fails closed — never a wrong sum.
+
+use std::collections::BTreeSet;
+
+use fednum_secagg::protocol::{run_secure_aggregation, DropoutPlan, SecAggConfig, SecAggError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn expected_sum(inputs: &[Vec<u64>], excluded: &BTreeSet<usize>) -> Vec<u64> {
+    let len = inputs[0].len();
+    let mut sum = vec![0u64; len];
+    for (i, v) in inputs.iter().enumerate() {
+        if !excluded.contains(&i) {
+            for (s, &x) in sum.iter_mut().zip(v) {
+                *s += x;
+            }
+        }
+    }
+    sum
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Complete graph: exact sum or loud failure under arbitrary dropouts.
+    #[test]
+    fn complete_graph_exact_or_fails_closed(
+        n in 2usize..24,
+        len in 1usize..6,
+        threshold_frac in 0.3f64..0.9,
+        seed in any::<u64>(),
+        drop_bits in any::<u32>(),
+    ) {
+        let threshold = ((n as f64 * threshold_frac) as usize).clamp(1, n);
+        let config = SecAggConfig::new(n, threshold, len, seed ^ 0xAB);
+        let inputs: Vec<Vec<u64>> = (0..n)
+            .map(|i| (0..len).map(|j| ((i * 13 + j * 7) % 97) as u64).collect())
+            .collect();
+        // Derive a dropout plan from the random bits: bit 2i = drop-before,
+        // bit 2i+1 = drop-after (before wins).
+        let mut plan = DropoutPlan::none();
+        for i in 0..n.min(16) {
+            if drop_bits >> (2 * i) & 1 == 1 {
+                plan.before_masking.insert(i);
+            } else if drop_bits >> (2 * i + 1) & 1 == 1 {
+                plan.after_masking.insert(i);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        match run_secure_aggregation(&config, &inputs, &plan, &mut rng) {
+            Ok(out) => {
+                prop_assert_eq!(out.sum, expected_sum(&inputs, &plan.before_masking));
+                prop_assert_eq!(
+                    out.contributors.len(),
+                    n - plan.before_masking.len()
+                );
+            }
+            Err(SecAggError::TooFewSurvivors { survivors, threshold: t }) => {
+                // Failing closed is only legitimate when survivors really
+                // are below the applicable threshold.
+                prop_assert!(survivors < t);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    /// Ring graph: same exactness property with a sparse mask graph.
+    #[test]
+    fn ring_graph_exact_or_fails_closed(
+        n in 4usize..40,
+        degree in 2usize..10,
+        seed in any::<u64>(),
+        drop_bits in any::<u32>(),
+    ) {
+        let config = SecAggConfig::new(n, n / 2, 3, seed ^ 0xCD).with_neighbors(degree);
+        let inputs: Vec<Vec<u64>> = (0..n)
+            .map(|i| vec![(i % 11) as u64, 1, (i % 3) as u64])
+            .collect();
+        let mut plan = DropoutPlan::none();
+        for i in 0..n.min(32) {
+            if drop_bits >> i & 1 == 1 {
+                plan.before_masking.insert(i);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        match run_secure_aggregation(&config, &inputs, &plan, &mut rng) {
+            Ok(out) => {
+                prop_assert_eq!(out.sum, expected_sum(&inputs, &plan.before_masking));
+            }
+            Err(SecAggError::TooFewSurvivors { survivors, threshold }) => {
+                prop_assert!(survivors < threshold);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    /// The two graphs agree whenever both succeed.
+    #[test]
+    fn graphs_agree(n in 4usize..20, seed in any::<u64>()) {
+        let inputs: Vec<Vec<u64>> = (0..n).map(|i| vec![(i * i % 19) as u64]).collect();
+        let full = SecAggConfig::new(n, 2, 1, 5);
+        let ring = SecAggConfig::new(n, 2, 1, 5).with_neighbors(4);
+        let a = run_secure_aggregation(&full, &inputs, &DropoutPlan::none(),
+            &mut StdRng::seed_from_u64(seed)).unwrap();
+        let b = run_secure_aggregation(&ring, &inputs, &DropoutPlan::none(),
+            &mut StdRng::seed_from_u64(seed.wrapping_add(1))).unwrap();
+        prop_assert_eq!(a.sum, b.sum);
+    }
+}

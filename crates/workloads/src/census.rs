@@ -1,0 +1,210 @@
+//! Synthetic US census age sampler.
+//!
+//! The paper's "human-generated data" is the distribution of people's ages
+//! from the UCI Census-Income (KDD) dataset, of which the experiments use
+//! only the age column (Section 4: "We only compute the mean age and the
+//! variance of ages"). The dataset is unavailable offline, so this module
+//! samples ages from the published US age pyramid (5-year buckets, 2000-era
+//! census shares, top-coded at 90), which matches the real column in every
+//! property the experiments exercise: integer support `0..=90`, mean in the
+//! mid-30s, moderate right skew, and high-order bits of an 8-bit encoding
+//! that are informative while bits above 7 are vacuous.
+
+use rand::RngExt;
+
+use crate::distributions::Sampler;
+
+/// Share (percent) of population per 5-year age bucket, ages 0–89, plus a
+/// final 90+ bucket collapsed to exactly 90 (top-coding, as in the KDD file).
+const BUCKET_SHARES: [f64; 19] = [
+    6.8, // 0-4
+    7.3, // 5-9
+    7.3, // 10-14
+    7.2, // 15-19
+    6.7, // 20-24
+    6.4, // 25-29
+    7.2, // 30-34
+    8.1, // 35-39
+    8.0, // 40-44
+    7.2, // 45-49
+    6.2, // 50-54
+    4.8, // 55-59
+    3.8, // 60-64
+    3.4, // 65-69
+    3.3, // 70-74
+    2.6, // 75-79
+    1.7, // 80-84
+    1.2, // 85-89
+    0.8, // 90+ (top-coded to 90)
+];
+
+/// Sampler over synthetic census ages (integers in `0..=90`).
+///
+/// # Examples
+///
+/// ```
+/// use fednum_workloads::{CensusAges, Sampler};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let ages = CensusAges::new();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let xs = ages.sample_n(&mut rng, 10_000);
+/// let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+/// assert!(mean > 30.0 && mean < 40.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CensusAges {
+    cdf: [f64; 19],
+}
+
+impl CensusAges {
+    /// Builds the sampler (precomputes the bucket CDF).
+    #[must_use]
+    pub fn new() -> Self {
+        let total: f64 = BUCKET_SHARES.iter().sum();
+        let mut cdf = [0.0; 19];
+        let mut acc = 0.0;
+        for (i, &s) in BUCKET_SHARES.iter().enumerate() {
+            acc += s / total;
+            cdf[i] = acc;
+        }
+        cdf[18] = 1.0;
+        Self { cdf }
+    }
+
+    /// Exact mean age of the synthetic distribution.
+    #[must_use]
+    pub fn exact_mean(&self) -> f64 {
+        self.mean().expect("closed form exists")
+    }
+
+    /// Exact variance of the synthetic distribution.
+    #[must_use]
+    pub fn exact_variance(&self) -> f64 {
+        self.variance().expect("closed form exists")
+    }
+
+    /// Probability of each integer age `0..=90`.
+    #[must_use]
+    pub fn pmf(&self) -> Vec<f64> {
+        let total: f64 = BUCKET_SHARES.iter().sum();
+        let mut pmf = vec![0.0; 91];
+        for (b, &share) in BUCKET_SHARES.iter().enumerate() {
+            let p = share / total;
+            if b == 18 {
+                pmf[90] += p;
+            } else {
+                for a in 0..5 {
+                    pmf[b * 5 + a] += p / 5.0;
+                }
+            }
+        }
+        pmf
+    }
+}
+
+impl Default for CensusAges {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sampler for CensusAges {
+    fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        let bucket = self.cdf.partition_point(|&c| c < u).min(18);
+        if bucket == 18 {
+            90.0
+        } else {
+            (bucket * 5 + rng.random_range(0..5usize)) as f64
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(
+            self.pmf()
+                .iter()
+                .enumerate()
+                .map(|(a, p)| a as f64 * p)
+                .sum(),
+        )
+    }
+
+    fn variance(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        Some(
+            self.pmf()
+                .iter()
+                .enumerate()
+                .map(|(a, p)| (a as f64 - mean).powi(2) * p)
+                .sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let pmf = CensusAges::new().pmf();
+        assert_eq!(pmf.len(), 91);
+        let total: f64 = pmf.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(pmf.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn mean_is_mid_thirties() {
+        let m = CensusAges::new().exact_mean();
+        assert!((33.0..38.0).contains(&m), "mean age {m}");
+    }
+
+    #[test]
+    fn variance_is_positive_and_plausible() {
+        let v = CensusAges::new().exact_variance();
+        // Std dev of US ages is roughly 22 years.
+        assert!((15.0_f64.powi(2)..28.0_f64.powi(2)).contains(&v), "var {v}");
+    }
+
+    #[test]
+    fn samples_are_integer_ages_in_range() {
+        let d = CensusAges::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let a = d.sample(&mut rng);
+            assert_eq!(a, a.trunc());
+            assert!((0.0..=90.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn empirical_moments_match_closed_form() {
+        let d = CensusAges::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs = d.sample_n(&mut rng, 400_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean / d.exact_mean() - 1.0).abs() < 0.01);
+        assert!((var / d.exact_variance() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn top_coding_produces_exact_ninety() {
+        let d = CensusAges::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let got_90 = d.sample_n(&mut rng, 50_000).contains(&90.0);
+        assert!(got_90, "90+ bucket should appear in 50k samples");
+    }
+
+    #[test]
+    fn fits_in_seven_bits() {
+        // Ages ≤ 90 < 128: bit depth 7 suffices, 8 leaves one vacuous bit.
+        let d = CensusAges::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(d.sample_n(&mut rng, 10_000).iter().all(|&a| a < 128.0));
+    }
+}

@@ -1,0 +1,165 @@
+//! Materialized client populations with exact ground truth.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::distributions::Sampler;
+
+/// A materialized population of client values, with exact (empirical) ground
+/// truth.
+///
+/// Experiments compare the estimate against the *empirical* mean of the drawn
+/// population, as the paper does ("we compare the true (empirical) value of
+/// the mean μ to the estimate").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    values: Vec<f64>,
+}
+
+impl Dataset {
+    /// Wraps existing values.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or contains non-finite entries.
+    #[must_use]
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "dataset must be non-empty");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "dataset values must be finite"
+        );
+        Self { values }
+    }
+
+    /// Draws `n` values from `sampler` with a fixed seed.
+    #[must_use]
+    pub fn draw<S: Sampler>(sampler: &S, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::new(sampler.sample_n(&mut rng, n))
+    }
+
+    /// The raw values (one per client).
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of clients.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Empirical mean — the experiments' ground truth.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Empirical (population) variance.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Maximum value.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.values.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+    }
+
+    /// Minimum value.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.values.iter().fold(f64::INFINITY, |a, &b| a.min(b))
+    }
+
+    /// Ground-truth mean after clipping every value into `[0, hi]` — the
+    /// winsorized target used when evaluating clipped protocols (Section 4.3).
+    #[must_use]
+    pub fn clipped_mean(&self, hi: f64) -> f64 {
+        self.values.iter().map(|v| v.clamp(0.0, hi)).sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Ground-truth variance after clipping into `[0, hi]`.
+    #[must_use]
+    pub fn clipped_variance(&self, hi: f64) -> f64 {
+        let n = self.values.len() as f64;
+        let m = self.clipped_mean(hi);
+        self.values
+            .iter()
+            .map(|v| (v.clamp(0.0, hi) - m).powi(2))
+            .sum::<f64>()
+            / n
+    }
+
+    /// Returns a new dataset with every value clipped into `[0, hi]`.
+    #[must_use]
+    pub fn clipped(&self, hi: f64) -> Self {
+        Self::new(self.values.iter().map(|v| v.clamp(0.0, hi)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{Normal, Uniform};
+
+    #[test]
+    fn draw_is_deterministic() {
+        let d = Normal::new(10.0, 2.0);
+        let a = Dataset::draw(&d, 100, 7);
+        let b = Dataset::draw(&d, 100, 7);
+        assert_eq!(a, b);
+        let c = Dataset::draw(&d, 100, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mean_and_variance_hand_checked() {
+        let ds = Dataset::new(vec![1.0, 2.0, 3.0, 6.0]);
+        assert!((ds.mean() - 3.0).abs() < 1e-12);
+        // Population variance: ((−2)²+(−1)²+0²+3²)/4 = 14/4.
+        assert!((ds.variance() - 3.5).abs() < 1e-12);
+        assert_eq!(ds.min(), 1.0);
+        assert_eq!(ds.max(), 6.0);
+        assert_eq!(ds.len(), 4);
+    }
+
+    #[test]
+    fn clipped_mean_truncates_outliers() {
+        let ds = Dataset::new(vec![1.0, 2.0, 1000.0, -5.0]);
+        // Clipped to [0, 10]: 1, 2, 10, 0 → mean 13/4.
+        assert!((ds.clipped_mean(10.0) - 3.25).abs() < 1e-12);
+        let c = ds.clipped(10.0);
+        assert_eq!(c.max(), 10.0);
+        assert_eq!(c.min(), 0.0);
+        assert!((c.mean() - ds.clipped_mean(10.0)).abs() < 1e-12);
+        assert!((c.variance() - ds.clipped_variance(10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipping_with_wide_bound_is_identity_for_nonnegative_data() {
+        let ds = Dataset::draw(&Uniform::new(0.0, 50.0), 1000, 3);
+        assert!((ds.clipped_mean(1e9) - ds.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty() {
+        let _ = Dataset::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = Dataset::new(vec![1.0, f64::NAN]);
+    }
+}

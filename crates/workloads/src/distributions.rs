@@ -1,0 +1,590 @@
+//! Continuous and discrete value distributions, implemented from scratch.
+//!
+//! All samplers draw through [`rand::RngExt`] so any seeded RNG works; the
+//! workspace standardizes on `StdRng::seed_from_u64`.
+
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over client values.
+///
+/// Implementors must be deterministic functions of the RNG stream so that
+/// seeded experiments reproduce exactly.
+pub trait Sampler {
+    /// Draws one value.
+    fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Draws `n` values.
+    fn sample_n<R: RngExt + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Exact mean of the distribution, if known in closed form.
+    fn mean(&self) -> Option<f64> {
+        None
+    }
+
+    /// Exact variance of the distribution, if known in closed form.
+    fn variance(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Normal distribution `N(mu, sigma^2)`, sampled by the Box–Muller transform.
+///
+/// The paper's synthetic experiments (Figures 1) use `sigma = 100` with
+/// varying `mu`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation (must be ≥ 0).
+    pub sigma: f64,
+}
+
+impl Normal {
+    /// Creates a Normal distribution.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or not finite.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+        assert!(mu.is_finite(), "mu must be finite");
+        Self { mu, sigma }
+    }
+}
+
+impl Sampler for Normal {
+    fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller. u1 in (0,1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mu + self.sigma * z
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.mu)
+    }
+
+    fn variance(&self) -> Option<f64> {
+        Some(self.sigma * self.sigma)
+    }
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or bounds are not finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "need lo < hi");
+        Self { lo, hi }
+    }
+}
+
+impl Sampler for Uniform {
+    fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.random::<f64>()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some((self.lo + self.hi) / 2.0)
+    }
+
+    fn variance(&self) -> Option<f64> {
+        let w = self.hi - self.lo;
+        Some(w * w / 12.0)
+    }
+}
+
+/// Exponential distribution with rate `lambda`, sampled by inverse CDF.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    /// Rate parameter (mean is `1/lambda`).
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    ///
+    /// # Panics
+    /// Panics unless `lambda > 0` and finite.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be > 0");
+        Self { lambda }
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.random::<f64>(); // in (0,1]
+        -u.ln() / self.lambda
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.lambda)
+    }
+
+    fn variance(&self) -> Option<f64> {
+        Some(1.0 / (self.lambda * self.lambda))
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`. Used for client latency
+/// modeling and moderately skewed metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or parameters are not finite.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite() && mu.is_finite());
+        Self { mu, sigma }
+    }
+}
+
+impl Sampler for LogNormal {
+    fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64 {
+        Normal::new(self.mu, self.sigma).sample(rng).exp()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some((self.mu + self.sigma * self.sigma / 2.0).exp())
+    }
+
+    fn variance(&self) -> Option<f64> {
+        let s2 = self.sigma * self.sigma;
+        Some((s2.exp() - 1.0) * (2.0 * self.mu + s2).exp())
+    }
+}
+
+/// Pareto (power-law) distribution with scale `x_m` and shape `alpha` —
+/// the canonical heavy tail from the deployment discussion (Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    /// Minimum value (scale).
+    pub x_m: f64,
+    /// Tail index; smaller is heavier. Mean exists only for `alpha > 1`.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    /// Panics unless `x_m > 0` and `alpha > 0`.
+    #[must_use]
+    pub fn new(x_m: f64, alpha: f64) -> Self {
+        assert!(x_m > 0.0 && alpha > 0.0, "need x_m > 0, alpha > 0");
+        Self { x_m, alpha }
+    }
+}
+
+impl Sampler for Pareto {
+    fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.random::<f64>(); // (0,1]
+        self.x_m / u.powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        (self.alpha > 1.0).then(|| self.alpha * self.x_m / (self.alpha - 1.0))
+    }
+
+    fn variance(&self) -> Option<f64> {
+        (self.alpha > 2.0).then(|| {
+            let a = self.alpha;
+            self.x_m * self.x_m * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+        })
+    }
+}
+
+/// Zipf distribution over `{1, ..., n}` with exponent `s`, sampled by binary
+/// search over the precomputed CDF. Models skewed discrete metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zipf {
+    /// Support size.
+    pub n: usize,
+    /// Exponent (`s >= 0`); larger is more skewed.
+    pub s: f64,
+    #[serde(skip)]
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution and precomputes its CDF.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative / not finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "support must be non-empty");
+        assert!(s >= 0.0 && s.is_finite(), "s must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { n, s, cdf }
+    }
+
+    fn ensure_cdf(&self) -> &[f64] {
+        // serde(skip) leaves an empty CDF after deserialization; Zipf values
+        // deserialized from JSON must be rebuilt via `Zipf::new`.
+        assert!(
+            !self.cdf.is_empty(),
+            "Zipf CDF missing: rebuild with Zipf::new after deserialization"
+        );
+        &self.cdf
+    }
+}
+
+impl Sampler for Zipf {
+    fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64 {
+        let cdf = self.ensure_cdf();
+        let u: f64 = rng.random();
+        let idx = cdf.partition_point(|&c| c < u);
+        (idx.min(self.n - 1) + 1) as f64
+    }
+
+    fn mean(&self) -> Option<f64> {
+        let cdf = self.ensure_cdf();
+        let mut prev = 0.0;
+        let mut m = 0.0;
+        for (i, &c) in cdf.iter().enumerate() {
+            m += (i + 1) as f64 * (c - prev);
+            prev = c;
+        }
+        Some(m)
+    }
+
+    fn variance(&self) -> Option<f64> {
+        let cdf = self.ensure_cdf();
+        let mean = self.mean()?;
+        let mut prev = 0.0;
+        let mut m2 = 0.0;
+        for (i, &c) in cdf.iter().enumerate() {
+            let v = (i + 1) as f64;
+            m2 += v * v * (c - prev);
+            prev = c;
+        }
+        Some(m2 - mean * mean)
+    }
+}
+
+/// Degenerate point mass — the "constant feature" corner case from the
+/// deployment experience (Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constant {
+    /// The single value every client holds.
+    pub value: f64,
+}
+
+impl Sampler for Constant {
+    fn sample<R: RngExt + ?Sized>(&self, _rng: &mut R) -> f64 {
+        self.value
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.value)
+    }
+
+    fn variance(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// Finite mixture of workloads with given weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mixture {
+    /// `(weight, component)` pairs; weights need not be normalized.
+    pub components: Vec<(f64, Workload)>,
+}
+
+impl Mixture {
+    /// Creates a mixture.
+    ///
+    /// # Panics
+    /// Panics if empty or any weight is negative / all weights are zero.
+    #[must_use]
+    pub fn new(components: Vec<(f64, Workload)>) -> Self {
+        assert!(!components.is_empty(), "mixture needs components");
+        let total: f64 = components.iter().map(|(w, _)| *w).sum();
+        assert!(
+            components.iter().all(|(w, _)| *w >= 0.0) && total > 0.0,
+            "weights must be nonnegative with positive sum"
+        );
+        Self { components }
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.components.iter().map(|(w, _)| *w).sum()
+    }
+}
+
+impl Sampler for Mixture {
+    fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mut u = rng.random::<f64>() * self.total_weight();
+        for (w, c) in &self.components {
+            if u < *w {
+                return c.sample(rng);
+            }
+            u -= w;
+        }
+        // Floating-point slack: fall back to the last component.
+        self.components
+            .last()
+            .expect("mixture is non-empty")
+            .1
+            .sample(rng)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        let total = self.total_weight();
+        let mut m = 0.0;
+        for (w, c) in &self.components {
+            m += w / total * c.mean()?;
+        }
+        Some(m)
+    }
+
+    fn variance(&self) -> Option<f64> {
+        // Law of total variance.
+        let total = self.total_weight();
+        let mean = self.mean()?;
+        let mut v = 0.0;
+        for (w, c) in &self.components {
+            let cm = c.mean()?;
+            v += w / total * (c.variance()? + (cm - mean) * (cm - mean));
+        }
+        Some(v)
+    }
+}
+
+/// A closed enum over every workload in the crate, for serializable
+/// experiment configurations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Workload {
+    Normal(Normal),
+    Uniform(Uniform),
+    Exponential(Exponential),
+    LogNormal(LogNormal),
+    Pareto(Pareto),
+    Zipf(Zipf),
+    Constant(Constant),
+    Mixture(Box<Mixture>),
+}
+
+impl Sampler for Workload {
+    fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            Workload::Normal(d) => d.sample(rng),
+            Workload::Uniform(d) => d.sample(rng),
+            Workload::Exponential(d) => d.sample(rng),
+            Workload::LogNormal(d) => d.sample(rng),
+            Workload::Pareto(d) => d.sample(rng),
+            Workload::Zipf(d) => d.sample(rng),
+            Workload::Constant(d) => d.sample(rng),
+            Workload::Mixture(d) => d.sample(rng),
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        match self {
+            Workload::Normal(d) => d.mean(),
+            Workload::Uniform(d) => d.mean(),
+            Workload::Exponential(d) => d.mean(),
+            Workload::LogNormal(d) => d.mean(),
+            Workload::Pareto(d) => d.mean(),
+            Workload::Zipf(d) => d.mean(),
+            Workload::Constant(d) => d.mean(),
+            Workload::Mixture(d) => d.mean(),
+        }
+    }
+
+    fn variance(&self) -> Option<f64> {
+        match self {
+            Workload::Normal(d) => d.variance(),
+            Workload::Uniform(d) => d.variance(),
+            Workload::Exponential(d) => d.variance(),
+            Workload::LogNormal(d) => d.variance(),
+            Workload::Pareto(d) => d.variance(),
+            Workload::Zipf(d) => d.variance(),
+            Workload::Constant(d) => d.variance(),
+            Workload::Mixture(d) => d.variance(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical(dist: &impl Sampler, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs = dist.sample_n(&mut rng, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let d = Normal::new(500.0, 100.0);
+        let (m, v) = empirical(&d, 200_000, 1);
+        assert!((m - 500.0).abs() < 1.5, "mean {m}");
+        assert!((v / 10_000.0 - 1.0).abs() < 0.03, "var {v}");
+    }
+
+    #[test]
+    fn uniform_moments_match() {
+        let d = Uniform::new(10.0, 20.0);
+        let (m, v) = empirical(&d, 200_000, 2);
+        assert!((m - 15.0).abs() < 0.05);
+        assert!((v / d.variance().unwrap() - 1.0).abs() < 0.03);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((10.0..20.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_moments_match() {
+        let d = Exponential::new(0.25);
+        let (m, v) = empirical(&d, 200_000, 4);
+        assert!((m - 4.0).abs() < 0.05);
+        assert!((v / 16.0 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn lognormal_mean_matches_closed_form() {
+        let d = LogNormal::new(1.0, 0.5);
+        let (m, _) = empirical(&d, 400_000, 5);
+        assert!((m / d.mean().unwrap() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn pareto_bounds_and_mean() {
+        let d = Pareto::new(1.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 1.0);
+        }
+        let (m, _) = empirical(&d, 400_000, 7);
+        assert!((m / 1.5 - 1.0).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_heavy_tail_has_no_mean() {
+        assert!(Pareto::new(1.0, 0.9).mean().is_none());
+        assert!(Pareto::new(1.0, 1.5).variance().is_none());
+    }
+
+    #[test]
+    fn zipf_support_and_skew() {
+        let d = Zipf::new(100, 1.5);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut count_one = 0;
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&x));
+            assert_eq!(x, x.trunc());
+            if x == 1.0 {
+                count_one += 1;
+            }
+        }
+        // P(1) for s=1.5, n=100 is ≈ 0.39.
+        assert!(count_one > 3000, "rank 1 should dominate, got {count_one}");
+    }
+
+    #[test]
+    fn zipf_closed_form_moments_match_empirical() {
+        let d = Zipf::new(50, 1.1);
+        let (m, v) = empirical(&d, 400_000, 9);
+        assert!((m / d.mean().unwrap() - 1.0).abs() < 0.02);
+        assert!((v / d.variance().unwrap() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Constant { value: 42.0 };
+        let mut rng = StdRng::seed_from_u64(10);
+        assert_eq!(d.sample(&mut rng), 42.0);
+        assert_eq!(d.mean(), Some(42.0));
+        assert_eq!(d.variance(), Some(0.0));
+    }
+
+    #[test]
+    fn mixture_moments_law_of_total_variance() {
+        let mix = Mixture::new(vec![
+            (0.9, Workload::Normal(Normal::new(10.0, 1.0))),
+            (0.1, Workload::Constant(Constant { value: 1000.0 })),
+        ]);
+        let expected_mean = 0.9 * 10.0 + 0.1 * 1000.0;
+        assert!((mix.mean().unwrap() - expected_mean).abs() < 1e-9);
+        let (m, v) = empirical(&mix, 400_000, 11);
+        assert!((m / expected_mean - 1.0).abs() < 0.02);
+        assert!((v / mix.variance().unwrap() - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let d = Normal::new(0.0, 1.0);
+        let a = d.sample_n(&mut StdRng::seed_from_u64(99), 10);
+        let b = d.sample_n(&mut StdRng::seed_from_u64(99), 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workload_enum_dispatch_matches_inner() {
+        let inner = Exponential::new(2.0);
+        let outer = Workload::Exponential(inner);
+        assert_eq!(outer.mean(), inner.mean());
+        assert_eq!(outer.variance(), inner.variance());
+        let a = inner.sample(&mut StdRng::seed_from_u64(1));
+        let b = outer.sample(&mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn normal_rejects_negative_sigma() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_rejects_empty_range() {
+        let _ = Uniform::new(5.0, 5.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Non-stationary (round-indexed) workloads.
+//!
+//! Deployment metrics drift: devices update, usage patterns shift, bugs
+//! ship. These samplers produce a *different distribution per round*, for
+//! exercising the streaming aggregator's forgetting, the upper-bound
+//! tracker's flagging, and the auto-adjustment logic across rounds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distributions::{Normal, Workload};
+use crate::telemetry::MostlyBinaryWithOutliers;
+
+/// A distribution family indexed by round number.
+pub trait RoundSampler {
+    /// The distribution in effect at `round`.
+    fn at_round(&self, round: u64) -> Workload;
+}
+
+/// A Normal whose mean drifts linearly per round (gradual shift).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftingNormal {
+    /// Mean at round 0.
+    pub mu0: f64,
+    /// Additive mean drift per round.
+    pub drift_per_round: f64,
+    /// Fixed standard deviation.
+    pub sigma: f64,
+}
+
+impl DriftingNormal {
+    /// Creates the family.
+    ///
+    /// # Panics
+    /// Panics if `sigma < 0` or parameters are not finite.
+    #[must_use]
+    pub fn new(mu0: f64, drift_per_round: f64, sigma: f64) -> Self {
+        assert!(mu0.is_finite() && drift_per_round.is_finite());
+        assert!(sigma >= 0.0 && sigma.is_finite());
+        Self {
+            mu0,
+            drift_per_round,
+            sigma,
+        }
+    }
+}
+
+impl RoundSampler for DriftingNormal {
+    fn at_round(&self, round: u64) -> Workload {
+        Workload::Normal(Normal::new(
+            self.mu0 + self.drift_per_round * round as f64,
+            self.sigma,
+        ))
+    }
+}
+
+/// An abrupt regime shift at a known round (a release rollout, a
+/// misconfiguration): `before` up to `shift_round − 1`, `after` from then
+/// on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegimeShift {
+    /// Distribution before the shift.
+    pub before: Workload,
+    /// Distribution after the shift.
+    pub after: Workload,
+    /// First round of the new regime.
+    pub shift_round: u64,
+}
+
+impl RoundSampler for RegimeShift {
+    fn at_round(&self, round: u64) -> Workload {
+        if round < self.shift_round {
+            self.before.clone()
+        } else {
+            self.after.clone()
+        }
+    }
+}
+
+/// The canonical "buggy build ships" scenario used by the examples: a
+/// healthy mostly-binary metric that grows a huge-outlier tail at
+/// `shift_round`.
+#[must_use]
+pub fn buggy_rollout(p_one: f64, outlier_value: f64, shift_round: u64) -> RegimeShift {
+    RegimeShift {
+        before: Workload::Mixture(Box::new(crate::distributions::Mixture::new(vec![(
+            1.0,
+            mostly_binary(p_one, 0.0, 1.0),
+        )]))),
+        after: Workload::Mixture(Box::new(crate::distributions::Mixture::new(vec![(
+            1.0,
+            mostly_binary(p_one, 0.001, outlier_value),
+        )]))),
+        shift_round,
+    }
+}
+
+fn mostly_binary(p_one: f64, p_outlier: f64, outlier_value: f64) -> Workload {
+    // Express MostlyBinaryWithOutliers as a three-point mixture so it fits
+    // the serializable Workload enum.
+    let d = MostlyBinaryWithOutliers::new(p_one, p_outlier, outlier_value);
+    let mut components = vec![
+        (
+            1.0 - d.p_one - d.p_outlier,
+            Workload::Constant(crate::distributions::Constant { value: 0.0 }),
+        ),
+        (
+            d.p_one,
+            Workload::Constant(crate::distributions::Constant { value: 1.0 }),
+        ),
+    ];
+    if d.p_outlier > 0.0 {
+        components.push((
+            d.p_outlier,
+            Workload::Constant(crate::distributions::Constant {
+                value: d.outlier_value,
+            }),
+        ));
+    }
+    Workload::Mixture(Box::new(crate::distributions::Mixture::new(components)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::Sampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn drifting_normal_moves_linearly() {
+        let d = DriftingNormal::new(100.0, 5.0, 1.0);
+        assert_eq!(d.at_round(0).mean(), Some(100.0));
+        assert_eq!(d.at_round(10).mean(), Some(150.0));
+        assert_eq!(d.at_round(10).variance(), Some(1.0));
+    }
+
+    #[test]
+    fn regime_shift_switches_at_the_round() {
+        let shift = RegimeShift {
+            before: Workload::Constant(crate::distributions::Constant { value: 1.0 }),
+            after: Workload::Constant(crate::distributions::Constant { value: 9.0 }),
+            shift_round: 3,
+        };
+        assert_eq!(shift.at_round(0).mean(), Some(1.0));
+        assert_eq!(shift.at_round(2).mean(), Some(1.0));
+        assert_eq!(shift.at_round(3).mean(), Some(9.0));
+        assert_eq!(shift.at_round(100).mean(), Some(9.0));
+    }
+
+    #[test]
+    fn buggy_rollout_grows_a_tail() {
+        let scenario = buggy_rollout(0.3, 1e6, 5);
+        let before = scenario.at_round(4);
+        let after = scenario.at_round(5);
+        assert!((before.mean().unwrap() - 0.3).abs() < 1e-9);
+        assert!(after.mean().unwrap() > 500.0, "outlier-dominated mean");
+        // Sampling the post-shift regime produces the outlier value.
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs = after.sample_n(&mut rng, 50_000);
+        assert!(xs.contains(&1e6));
+        assert!(xs.iter().all(|&x| x == 0.0 || x == 1.0 || x == 1e6));
+    }
+
+    #[test]
+    fn drifting_samples_track_the_mean() {
+        let d = DriftingNormal::new(50.0, 10.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let late = d.at_round(20).sample_n(&mut rng, 20_000);
+        let mean = late.iter().sum::<f64>() / late.len() as f64;
+        assert!((mean - 250.0).abs() < 1.0, "mean {mean}");
+    }
+}

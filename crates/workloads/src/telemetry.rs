@@ -1,0 +1,220 @@
+//! Deployment-style telemetry distributions (Section 4.3).
+//!
+//! The paper's deployment experience highlights three corner cases met "in
+//! the wild" when aggregating device health and performance metrics:
+//!
+//! 1. metrics whose typical values are 0 and 1 but where "some rare clients
+//!    report values that are orders of magnitude higher"
+//!    ([`MostlyBinaryWithOutliers`]),
+//! 2. spiky mixtures with extreme outliers where mean estimation is only
+//!    meaningful after winsorization/clipping ([`SpikeMixture`]),
+//! 3. constant features that make mean and variance estimation moot
+//!    ([`ConstantMetric`]).
+
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::distributions::Sampler;
+
+/// Values are 0 or 1 for almost all clients; a rare fraction reports an
+/// extreme magnitude (e.g., a counter that overflowed or a misconfigured
+/// unit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MostlyBinaryWithOutliers {
+    /// Probability that a typical client reports 1 rather than 0.
+    pub p_one: f64,
+    /// Probability of being an outlier client.
+    pub p_outlier: f64,
+    /// Magnitude of the outlier report.
+    pub outlier_value: f64,
+}
+
+impl MostlyBinaryWithOutliers {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    /// Panics if probabilities are outside `[0, 1]` or sum above 1, or if the
+    /// outlier value is not finite.
+    #[must_use]
+    pub fn new(p_one: f64, p_outlier: f64, outlier_value: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_one));
+        assert!((0.0..=1.0).contains(&p_outlier));
+        assert!(p_one + p_outlier <= 1.0, "probabilities exceed 1");
+        assert!(outlier_value.is_finite());
+        Self {
+            p_one,
+            p_outlier,
+            outlier_value,
+        }
+    }
+}
+
+impl Sampler for MostlyBinaryWithOutliers {
+    fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        if u < self.p_outlier {
+            self.outlier_value
+        } else if u < self.p_outlier + self.p_one {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.p_one + self.p_outlier * self.outlier_value)
+    }
+
+    fn variance(&self) -> Option<f64> {
+        let m = self.mean()?;
+        let e2 = self.p_one + self.p_outlier * self.outlier_value * self.outlier_value;
+        Some(e2 - m * m)
+    }
+}
+
+/// A body distribution (log-normal) contaminated by a heavy Pareto spike —
+/// the "extreme outliers" scenario motivating clipping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpikeMixture {
+    /// Log-normal body location.
+    pub body_mu: f64,
+    /// Log-normal body scale.
+    pub body_sigma: f64,
+    /// Fraction of clients in the heavy tail.
+    pub tail_fraction: f64,
+    /// Pareto tail index for the contamination (≤ 1 means no mean exists).
+    pub tail_alpha: f64,
+    /// Pareto tail scale.
+    pub tail_scale: f64,
+}
+
+impl SpikeMixture {
+    /// Creates the mixture.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (fractions outside `[0,1]`, nonpositive
+    /// scales).
+    #[must_use]
+    pub fn new(
+        body_mu: f64,
+        body_sigma: f64,
+        tail_fraction: f64,
+        tail_alpha: f64,
+        tail_scale: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&tail_fraction));
+        assert!(body_sigma >= 0.0 && tail_alpha > 0.0 && tail_scale > 0.0);
+        Self {
+            body_mu,
+            body_sigma,
+            tail_fraction,
+            tail_alpha,
+            tail_scale,
+        }
+    }
+
+    /// True if the mixture's mean exists (tail index above 1 or no tail).
+    #[must_use]
+    pub fn mean_exists(&self) -> bool {
+        self.tail_fraction == 0.0 || self.tail_alpha > 1.0
+    }
+}
+
+impl Sampler for SpikeMixture {
+    fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64 {
+        if rng.random::<f64>() < self.tail_fraction {
+            crate::distributions::Pareto::new(self.tail_scale, self.tail_alpha).sample(rng)
+        } else {
+            crate::distributions::LogNormal::new(self.body_mu, self.body_sigma).sample(rng)
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        let body = crate::distributions::LogNormal::new(self.body_mu, self.body_sigma).mean()?;
+        if self.tail_fraction == 0.0 {
+            return Some(body);
+        }
+        let tail = crate::distributions::Pareto::new(self.tail_scale, self.tail_alpha).mean()?;
+        Some((1.0 - self.tail_fraction) * body + self.tail_fraction * tail)
+    }
+}
+
+/// A constant metric (e.g., a hard-coded configuration value). Aggregation
+/// pipelines should detect these offline rather than spend privacy budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantMetric {
+    /// The constant.
+    pub value: f64,
+}
+
+impl Sampler for ConstantMetric {
+    fn sample<R: RngExt + ?Sized>(&self, _rng: &mut R) -> f64 {
+        self.value
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.value)
+    }
+
+    fn variance(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mostly_binary_support() {
+        let d = MostlyBinaryWithOutliers::new(0.3, 0.001, 1e6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs = d.sample_n(&mut rng, 100_000);
+        assert!(xs.iter().all(|&x| x == 0.0 || x == 1.0 || x == 1e6));
+        let outliers = xs.iter().filter(|&&x| x == 1e6).count();
+        assert!((20..500).contains(&outliers), "got {outliers} outliers");
+    }
+
+    #[test]
+    fn mostly_binary_outliers_dominate_mean() {
+        // The paper's point: the sample mean is hostage to outlier clients.
+        let d = MostlyBinaryWithOutliers::new(0.3, 0.001, 1e6);
+        let m = d.mean().unwrap();
+        assert!(m > 1000.0, "mean {m} should be outlier-dominated");
+        let clipped_mean = 0.3; // if outliers were clipped to ~1
+        assert!(m / clipped_mean > 1000.0);
+    }
+
+    #[test]
+    fn mostly_binary_moments_match_empirical() {
+        let d = MostlyBinaryWithOutliers::new(0.4, 0.01, 100.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs = d.sample_n(&mut rng, 400_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean / d.mean().unwrap() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn spike_mixture_mean_existence() {
+        assert!(SpikeMixture::new(1.0, 0.5, 0.01, 2.0, 10.0).mean_exists());
+        assert!(!SpikeMixture::new(1.0, 0.5, 0.01, 0.8, 10.0).mean_exists());
+        assert!(SpikeMixture::new(1.0, 0.5, 0.0, 0.8, 10.0).mean_exists());
+    }
+
+    #[test]
+    fn spike_mixture_samples_positive() {
+        let d = SpikeMixture::new(2.0, 0.7, 0.05, 1.2, 50.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(d.sample_n(&mut rng, 10_000).iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn constant_metric_is_degenerate() {
+        let d = ConstantMetric { value: 7.0 };
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(d.sample_n(&mut rng, 100).iter().all(|&x| x == 7.0));
+        assert_eq!(d.variance(), Some(0.0));
+    }
+}

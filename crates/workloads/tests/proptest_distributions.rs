@@ -1,0 +1,94 @@
+//! Property tests on the workload samplers.
+
+use fednum_workloads::{
+    CensusAges, Dataset, Exponential, LogNormal, Normal, Pareto, Sampler, Uniform, Zipf,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Every sampler produces finite values for any valid parameters.
+    #[test]
+    fn samples_are_finite(
+        mu in -1e6f64..1e6,
+        sigma in 0.0f64..1e4,
+        lambda in 1e-6f64..1e3,
+        alpha in 0.1f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert!(Normal::new(mu, sigma).sample(&mut rng).is_finite());
+        prop_assert!(Exponential::new(lambda).sample(&mut rng).is_finite());
+        prop_assert!(LogNormal::new((mu / 1e5).clamp(-10.0, 10.0), sigma.min(5.0))
+            .sample(&mut rng)
+            .is_finite());
+        prop_assert!(Pareto::new(1.0, alpha).sample(&mut rng).is_finite());
+    }
+
+    /// Uniform samples respect their bounds exactly.
+    #[test]
+    fn uniform_bounds(lo in -1e6f64..1e6, width in 1e-6f64..1e6, seed in any::<u64>()) {
+        let d = Uniform::new(lo, lo + width);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= lo && x < lo + width);
+        }
+    }
+
+    /// Zipf samples stay in the declared support, and heavier exponents put
+    /// (weakly) more mass on rank 1.
+    #[test]
+    fn zipf_support_and_monotonicity(n in 2usize..200, seed in any::<u64>()) {
+        let flat = Zipf::new(n, 0.5);
+        let steep = Zipf::new(n, 2.5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws = 2000;
+        let count_ones = |d: &Zipf, rng: &mut StdRng| {
+            (0..draws)
+                .filter(|_| {
+                    let x = d.sample(rng);
+                    assert!((1.0..=n as f64).contains(&x));
+                    x == 1.0
+                })
+                .count()
+        };
+        let flat_ones = count_ones(&flat, &mut rng);
+        let steep_ones = count_ones(&steep, &mut rng);
+        // Generous slack: steep should rarely lose by much.
+        prop_assert!(steep_ones + draws / 20 >= flat_ones);
+    }
+
+    /// Dataset ground truths are exchange-invariant: permuting values keeps
+    /// mean and variance.
+    #[test]
+    fn dataset_stats_permutation_invariant(
+        mut values in prop::collection::vec(0.0f64..1e4, 2..100),
+        seed in any::<u64>(),
+    ) {
+        let a = Dataset::new(values.clone());
+        // Deterministic permutation from the seed.
+        let n = values.len();
+        for i in 0..n {
+            let j = (seed as usize).wrapping_mul(31).wrapping_add(i * 17) % n;
+            values.swap(i, j);
+        }
+        let b = Dataset::new(values);
+        prop_assert!((a.mean() - b.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - b.variance()).abs() < 1e-6);
+        prop_assert_eq!(a.max(), b.max());
+    }
+
+    /// Census samples honor the top-coded integer support for any seed.
+    #[test]
+    fn census_support(seed in any::<u64>()) {
+        let d = CensusAges::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let a = d.sample(&mut rng);
+            prop_assert_eq!(a, a.trunc());
+            prop_assert!((0.0..=90.0).contains(&a));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Device-health telemetry monitoring: the Section 4.3 deployment scenario.
+//!
+//! A heavy-tailed metric ("mostly 0/1 with rare huge outliers") is clipped
+//! to a fixed bit depth, aggregated over an unreliable fleet with
+//! auto-adjusted bit sampling, transported through simulated secure
+//! aggregation, and monitored for heavy-tail instability with the
+//! upper-bound tracker.
+//!
+//! ```text
+//! cargo run --release --example telemetry_monitoring
+//! ```
+
+use fednum::core::bounds::UpperBoundTracker;
+use fednum::core::encoding::FixedPointCodec;
+use fednum::core::protocol::basic::BasicConfig;
+use fednum::core::sampling::BitSampling;
+use fednum::fedsim::round::{run_federated_mean, FederatedMeanConfig, SecAggSettings};
+use fednum::fedsim::{DropoutModel, LatencyModel};
+use fednum::workloads::{Dataset, MostlyBinaryWithOutliers, Sampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A metric whose typical values are 0 and 1. From round 2 onward a
+    // buggy client build ships and 0.1% of clients start reporting values
+    // five orders of magnitude larger (non-stationary heavy tail).
+    let healthy = MostlyBinaryWithOutliers::new(0.32, 0.0, 0.0);
+    let regressed = MostlyBinaryWithOutliers::new(0.32, 0.001, 250_000.0);
+    println!(
+        "telemetry metric: typical value ~ 0.32; after the regression the raw population mean \
+         jumps to {:.1} (outlier-dominated!)",
+        regressed.mean().unwrap(),
+    );
+
+    // Deployment guidance: clip to a fixed bit depth so the mean becomes a
+    // meaningful winsorized statistic.
+    let bits = 8;
+    let mut tracker = UpperBoundTracker::new(4.0);
+    let mut rng = StdRng::seed_from_u64(21);
+
+    for round in 0..5u64 {
+        let metric = if round < 2 { &healthy } else { &regressed };
+        let cohort = Dataset::draw(metric, 20_000, 100 + round);
+        tracker.record_round(cohort.max());
+
+        let protocol = BasicConfig::new(
+            FixedPointCodec::integer(bits),
+            BitSampling::geometric(bits, 1.0),
+        );
+        let config = FederatedMeanConfig::new(protocol)
+            .with_dropout(DropoutModel::phased(0.15, 0.05))
+            .with_auto_adjust(4, 50, 0.7)
+            .with_secagg(SecAggSettings {
+                threshold_fraction: 0.5,
+                ..SecAggSettings::default()
+            })
+            .with_latency(LatencyModel::typical_fleet());
+
+        let out = run_federated_mean(cohort.values(), &config, &mut rng)
+            .expect("round should succeed with 80% availability");
+        let winsorized_truth = cohort.clipped_mean(((1u64 << bits) - 1) as f64);
+        println!(
+            "round {round}: clipped mean = {:.3} (truth {:.3}), {} reports in {} wave(s), \
+             {:.1} min, clip rate {:.2}%, secagg recovered {} dropout masks{}",
+            out.outcome.estimate,
+            winsorized_truth,
+            out.reports,
+            out.waves_used,
+            out.completion_time,
+            out.outcome.clip_fraction * 100.0,
+            out.secagg.map_or(0, |s| s.recovered_pairwise),
+            if tracker.flagged() {
+                "  [BOUND JUMP]"
+            } else {
+                ""
+            },
+        );
+    }
+
+    println!(
+        "upper-bound monitor: max observed = {:.0}, heavy-tail flag = {}, suggested clip depth = {} bits",
+        tracker.latest().unwrap(),
+        tracker.ever_flagged(),
+        tracker.suggested_bits().unwrap()
+    );
+    assert!(
+        tracker.ever_flagged(),
+        "the regression must trip the monitor"
+    );
+    println!(
+        "note: the clipped estimate tracks the winsorized target; the post-regression raw mean \
+         ({:.0}) was never a meaningful quantity to estimate — exactly the Section 4.3 finding.",
+        regressed.mean().unwrap()
+    );
+}

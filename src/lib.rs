@@ -1,0 +1,38 @@
+//! # fednum — private and efficient federated numerical aggregation
+//!
+//! Umbrella crate re-exporting the whole workspace: a Rust implementation of
+//! **bit-pushing** (Cormode, Markov, Srinivas — EDBT 2024) together with the
+//! baselines it is evaluated against, a simulated secure-aggregation
+//! substrate, a federated environment simulator, workload generators, and an
+//! experiment harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fednum::core::encoding::FixedPointCodec;
+//! use fednum::core::protocol::basic::{BasicBitPushing, BasicConfig};
+//! use fednum::core::sampling::BitSampling;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // 10k clients each hold a private value in [0, 255].
+//! let values: Vec<f64> = (0..10_000).map(|i| (i % 200) as f64).collect();
+//! let truth = values.iter().sum::<f64>() / values.len() as f64;
+//!
+//! let codec = FixedPointCodec::integer(8);           // 8-bit clipping codec
+//! let sampling = BitSampling::geometric(8, 0.5);     // p_j ∝ 2^{0.5 j}
+//! let protocol = BasicBitPushing::new(BasicConfig::new(codec, sampling));
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let outcome = protocol.run(&values, &mut rng);
+//! assert!((outcome.estimate - truth).abs() / truth < 0.05);
+//! ```
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the
+//! reproduction of every figure in the paper.
+
+pub use fednum_core as core;
+pub use fednum_fedsim as fedsim;
+pub use fednum_ldp as ldp;
+pub use fednum_metrics as metrics;
+pub use fednum_secagg as secagg;
+pub use fednum_workloads as workloads;

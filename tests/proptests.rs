@@ -1,0 +1,199 @@
+//! Property-based tests on the workspace's core invariants.
+
+use fednum::core::accumulator::BitAccumulator;
+use fednum::core::bits::{bit_f64, exact_bit_means, reconstruct};
+use fednum::core::encoding::FixedPointCodec;
+use fednum::core::privacy::RandomizedResponse;
+use fednum::core::sampling::BitSampling;
+use fednum::ldp::ValueRange;
+use fednum::secagg::field::{Fe, MODULUS};
+use fednum::secagg::shamir::{reconstruct as shamir_reconstruct, share};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Codec: encode∘decode is the identity on representable integers.
+    #[test]
+    fn codec_round_trips_integers(bits in 1u32..=32, v in 0u64..=u32::MAX as u64) {
+        let codec = FixedPointCodec::integer(bits);
+        let v = v & codec.max_encoded();
+        prop_assert_eq!(codec.encode(v as f64), v);
+        prop_assert_eq!(codec.decode(codec.encode(v as f64)), v as f64);
+    }
+
+    /// Codec: encoding is monotone (clipping preserves order).
+    #[test]
+    fn codec_is_monotone(bits in 2u32..=16, a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let codec = FixedPointCodec::integer(bits);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(codec.encode(lo) <= codec.encode(hi));
+    }
+
+    /// Linear decomposition: per-bit means reconstruct the exact mean.
+    #[test]
+    fn bit_decomposition_is_linear(values in prop::collection::vec(0u64..4096, 1..200)) {
+        let means = exact_bit_means(&values, 12);
+        let truth = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((reconstruct(&means) - truth).abs() < 1e-9);
+    }
+
+    /// Sampling: probabilities always normalize and apportionment sums to n.
+    #[test]
+    fn apportionment_sums_exactly(
+        weights in prop::collection::vec(0.0f64..100.0, 1..20),
+        n in 1usize..50_000,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let sampling = BitSampling::custom(weights);
+        prop_assert!((sampling.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let counts = sampling.apportion(n);
+        prop_assert_eq!(counts.iter().sum::<usize>(), n);
+        // Largest-remainder: every count within 1 of the exact share.
+        for (j, &c) in counts.iter().enumerate() {
+            let exact = sampling.probs()[j] * n as f64;
+            prop_assert!((c as f64 - exact).abs() < 1.0 + 1e-9);
+        }
+    }
+
+    /// Randomized response: debiasing inverts the report expectation for
+    /// every p and bit value.
+    #[test]
+    fn rr_debias_identity(eps in 0.05f64..8.0, bit in any::<bool>()) {
+        let rr = RandomizedResponse::from_epsilon(eps);
+        let p = rr.p();
+        let y = f64::from(u8::from(bit));
+        let q = p * y + (1.0 - p) * (1.0 - y); // P(report = 1)
+        let expectation = q * rr.debias(true) + (1.0 - q) * rr.debias(false);
+        prop_assert!((expectation - y).abs() < 1e-9);
+    }
+
+    /// GF(2^61−1): field laws hold for arbitrary elements.
+    #[test]
+    fn field_laws(a in 0u64..MODULUS, b in 0u64..MODULUS, c in 0u64..MODULUS) {
+        let (a, b, c) = (Fe::new(a), Fe::new(b), Fe::new(c));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a + Fe::ZERO, a);
+        prop_assert_eq!(a * Fe::ONE, a);
+        prop_assert_eq!(a - a, Fe::ZERO);
+    }
+
+    /// Nonzero field elements have working inverses.
+    #[test]
+    fn field_inverse(a in 1u64..MODULUS) {
+        let a = Fe::new(a);
+        prop_assert_eq!(a * a.inv(), Fe::ONE);
+    }
+
+    /// Shamir: any k of n shares reconstruct the secret.
+    #[test]
+    fn shamir_round_trips(
+        secret in 0u64..MODULUS,
+        k in 1usize..6,
+        extra in 0usize..5,
+        seed in any::<u64>(),
+        offset in 0usize..5,
+    ) {
+        let n = k + extra;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shares = share(Fe::new(secret), k, n, &mut rng);
+        let start = offset % (n - k + 1);
+        prop_assert_eq!(shamir_reconstruct(&shares[start..start + k]), Fe::new(secret));
+    }
+
+    /// Accumulator: merging is equivalent to recording everything in one.
+    #[test]
+    fn accumulator_merge_associative(
+        reports in prop::collection::vec((0u32..8, 0.0f64..1.0), 1..100),
+        at in 0usize..100,
+    ) {
+        let split = at % (reports.len() + 1);
+        let mut whole = BitAccumulator::new(8);
+        for &(j, v) in &reports {
+            whole.record(j, v);
+        }
+        let mut left = BitAccumulator::new(8);
+        for &(j, v) in &reports[..split] {
+            left.record(j, v);
+        }
+        let mut right = BitAccumulator::new(8);
+        for &(j, v) in &reports[split..] {
+            right.record(j, v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.counts(), whole.counts());
+        for (a, b) in left.sums().iter().zip(whole.sums()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// ValueRange: unit mapping round-trips inside the range.
+    #[test]
+    fn value_range_round_trip(lo in -1e6f64..1e6, width in 1e-3f64..1e6, t in 0.0f64..1.0) {
+        let range = ValueRange::new(lo, lo + width);
+        let x = range.from_unit(t);
+        prop_assert!((range.to_unit(x) - t).abs() < 1e-6);
+    }
+
+    /// Bit extraction matches the arithmetic definition.
+    #[test]
+    fn bit_extraction_is_arithmetic(v in any::<u64>(), j in 0u32..52) {
+        let expected = (v >> j) & 1;
+        prop_assert_eq!(bit_f64(v, j), expected as f64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Basic bit-pushing is exact for constant populations (all bit means
+    /// deterministic) *provided every bit index receives at least one
+    /// report* — guaranteed here by uniform sampling with `n ≥ bits`.
+    /// (Bits with no reports default to mean 0, which is why skewed
+    /// distributions need either enough clients or an adaptive first round.)
+    #[test]
+    fn constant_population_exact(v in 0u64..4096, seed in any::<u64>(), n in 24usize..500) {
+        use fednum::core::protocol::basic::{BasicBitPushing, BasicConfig};
+        let protocol = BasicBitPushing::new(BasicConfig::new(
+            FixedPointCodec::integer(12),
+            BitSampling::uniform(12),
+        ));
+        let values = vec![v as f64; n];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = protocol.run(&values, &mut rng);
+        prop_assert!((out.estimate - v as f64).abs() < 1e-9);
+    }
+
+    /// With *any* sampling distribution, the constant-population estimate
+    /// never exceeds the true value and misses exactly the weight of the
+    /// unsampled one-bits.
+    #[test]
+    fn constant_population_underestimates_by_unsampled_bits(
+        v in 0u64..4096,
+        seed in any::<u64>(),
+        n in 2usize..200,
+    ) {
+        use fednum::core::protocol::basic::{BasicBitPushing, BasicConfig};
+        let protocol = BasicBitPushing::new(BasicConfig::new(
+            FixedPointCodec::integer(12),
+            BitSampling::geometric(12, 1.0),
+        ));
+        let values = vec![v as f64; n];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = protocol.run(&values, &mut rng);
+        prop_assert!(out.estimate <= v as f64 + 1e-9);
+        let missing: f64 = out
+            .accumulator
+            .counts()
+            .iter()
+            .enumerate()
+            .filter(|(j, &c)| c == 0 && (v >> j) & 1 == 1)
+            .map(|(j, _)| (1u64 << j) as f64)
+            .sum();
+        prop_assert!((out.estimate + missing - v as f64).abs() < 1e-9);
+    }
+}
