@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Repository CI gate. Run from the repo root:
+#
+#   ./ci.sh          # full gate: build, tests, clippy, fmt
+#   ./ci.sh quick    # skip clippy/fmt (inner-loop smoke)
+#
+# Everything runs --offline: the workspace vendors all dependencies
+# (vendor/) and must never reach a registry.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$1"; }
+
+step "cargo build --release"
+cargo build --release --offline --workspace
+
+step "proptest regression seeds (deterministic smoke)"
+# The shrunk cases recorded in tests/proptests.proptest-regressions are
+# replayed twice: once as explicit unit tests (runner-independent), once by
+# the proptest runner itself, which reads the seed file before generating
+# novel cases. PROPTEST_CASES=1 keeps the second pass to (seeds + 1 case).
+cargo test --release --offline --test proptests \
+    regression_constant_population_v945_seed0_n2 -- --exact
+PROPTEST_CASES=1 cargo test --release --offline --test proptests \
+    constant_population_underestimates_by_unsampled_bits
+
+step "cargo test (workspace)"
+cargo test -q --release --offline --workspace
+
+if [[ "${1:-}" != "quick" ]]; then
+    step "cargo clippy --all-targets -- -D warnings"
+    cargo clippy --all-targets --offline -- -D warnings
+
+    step "cargo fmt --check"
+    cargo fmt --check
+fi
+
+step "CI gate passed"

@@ -33,6 +33,7 @@ const PANELS: &[&str] = &[
     "deploy-bounds",
     "deploy-latency",
     "deploy-secagg",
+    "deploy-faults",
     "ablate-sampling",
     "ablate-caching",
     "ablate-bsend",
@@ -70,6 +71,7 @@ fn run_panel(id: &str, budget: Budget) -> Option<Output> {
         "deploy-bounds" => Output::Text(deploy::deploy_bounds(budget)),
         "deploy-latency" => Output::Text(deploy::deploy_latency(budget)),
         "deploy-secagg" => Output::Text(deploy::deploy_secagg(budget)),
+        "deploy-faults" => Output::Table(deploy::deploy_faults(budget)),
         "ablate-sampling" => Output::Table(ablate::ablate_sampling(budget)),
         "ablate-caching" => Output::Table(ablate::ablate_caching(budget)),
         "ablate-bsend" => Output::Table(ablate::ablate_bsend(budget)),

@@ -72,6 +72,11 @@ pub struct ClientAccount {
     pub bits: u64,
     /// Total ε spent so far (simple composition).
     pub epsilon: f64,
+    /// The last round identifier charged through
+    /// [`PrivacyLedger::charge_round`]; re-charges for the same round are
+    /// no-ops, so retry waves that re-send an already-disclosed report never
+    /// double-bill.
+    pub last_round: Option<u64>,
 }
 
 /// The metering ledger.
@@ -122,6 +127,33 @@ impl PrivacyLedger {
         }
         account.bits += bits;
         account.epsilon += epsilon;
+        Ok(())
+    }
+
+    /// Idempotent per-round variant of [`PrivacyLedger::charge`]: the first
+    /// charge for `(client, round)` is applied; subsequent charges for the
+    /// same round — e.g. when a secure-aggregation retry wave re-sends the
+    /// same masked report, which discloses nothing new — are no-ops.
+    ///
+    /// A client is assumed to participate in one round at a time; only the
+    /// most recent round id is tracked.
+    ///
+    /// # Errors
+    /// [`BudgetExceeded`] when a *new* round's charge would push the client
+    /// past either limit. The account (including its round marker) is
+    /// unchanged on rejection.
+    pub fn charge_round(
+        &mut self,
+        client: u64,
+        round: u64,
+        bits: u64,
+        epsilon: f64,
+    ) -> Result<(), BudgetExceeded> {
+        if self.accounts.get(&client).and_then(|a| a.last_round) == Some(round) {
+            return Ok(());
+        }
+        self.charge(client, bits, epsilon)?;
+        self.accounts.entry(client).or_default().last_round = Some(round);
         Ok(())
     }
 
@@ -209,6 +241,43 @@ mod tests {
         let ledger = PrivacyLedger::new();
         assert_eq!(ledger.account(42), ClientAccount::default());
         assert_eq!(ledger.max_bits_per_client(), 0);
+    }
+
+    #[test]
+    fn round_charges_are_idempotent_within_a_round() {
+        let mut ledger = PrivacyLedger::new();
+        ledger.charge_round(1, 10, 1, 0.5).unwrap();
+        // Retry waves of the same round re-send the same disclosure.
+        ledger.charge_round(1, 10, 1, 0.5).unwrap();
+        ledger.charge_round(1, 10, 1, 0.5).unwrap();
+        assert_eq!(ledger.account(1).bits, 1);
+        assert!((ledger.account(1).epsilon - 0.5).abs() < 1e-12);
+        // A new round charges again.
+        ledger.charge_round(1, 11, 1, 0.5).unwrap();
+        assert_eq!(ledger.account(1).bits, 2);
+        assert_eq!(ledger.account(1).last_round, Some(11));
+    }
+
+    #[test]
+    fn round_charges_respect_budgets() {
+        let mut ledger = PrivacyLedger::with_budget(PrivacyBudget::bits(1));
+        ledger.charge_round(7, 1, 1, 0.0).unwrap();
+        // Same round: free. New round: over budget, account untouched.
+        ledger.charge_round(7, 1, 1, 0.0).unwrap();
+        let err = ledger.charge_round(7, 2, 1, 0.0).unwrap_err();
+        assert_eq!(err.client, 7);
+        assert_eq!(ledger.account(7).bits, 1);
+        assert_eq!(ledger.account(7).last_round, Some(1));
+    }
+
+    #[test]
+    fn round_and_plain_charges_compose() {
+        let mut ledger = PrivacyLedger::new();
+        ledger.charge(3, 1, 0.1).unwrap();
+        assert_eq!(ledger.account(3).last_round, None);
+        ledger.charge_round(3, 5, 1, 0.1).unwrap();
+        assert_eq!(ledger.account(3).bits, 2);
+        assert_eq!(ledger.account(3).last_round, Some(5));
     }
 
     #[test]

@@ -84,16 +84,19 @@ pub struct FederatedAdaptiveOutcome {
 /// Runs two federated rounds with weight re-optimization in between.
 ///
 /// # Errors
-/// Propagates [`RoundError`] from either round.
-///
-/// # Panics
-/// Panics unless there are at least two clients.
+/// [`RoundError::PopulationTooSmall`] unless there are at least two clients;
+/// otherwise propagates the error of either round.
 pub fn run_federated_adaptive(
     values: &[f64],
     config: &FederatedAdaptiveConfig,
     rng: &mut dyn Rng,
 ) -> Result<FederatedAdaptiveOutcome, RoundError> {
-    assert!(values.len() >= 2, "need at least two clients");
+    if values.len() < 2 {
+        return Err(RoundError::PopulationTooSmall {
+            got: values.len(),
+            need: 2,
+        });
+    }
     let base = &config.environment.protocol;
     let bits = base.codec.bits();
 
@@ -285,10 +288,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two clients")]
-    fn rejects_single_client() {
+    fn rejects_single_client_with_typed_error() {
         let cfg = FederatedAdaptiveConfig::new(env(4));
         let mut rng = StdRng::seed_from_u64(0);
-        let _ = run_federated_adaptive(&[1.0], &cfg, &mut rng);
+        assert!(matches!(
+            run_federated_adaptive(&[1.0], &cfg, &mut rng),
+            Err(RoundError::PopulationTooSmall { got: 1, need: 2 })
+        ));
     }
 }

@@ -9,6 +9,8 @@
 
 use rand::{Rng, RngExt};
 
+use crate::error::FedError;
+
 /// A dropout model applied to each contacted client independently.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DropoutModel {
@@ -45,27 +47,60 @@ pub enum Fate {
 impl DropoutModel {
     /// Creates a Bernoulli model.
     ///
+    /// # Errors
+    /// [`FedError::InvalidConfig`] unless `0 <= rate < 1`.
+    pub fn try_bernoulli(rate: f64) -> Result<Self, FedError> {
+        if !(0.0..1.0).contains(&rate) {
+            return Err(FedError::InvalidConfig(format!(
+                "rate must be in [0, 1), got {rate}"
+            )));
+        }
+        Ok(DropoutModel::Bernoulli { rate })
+    }
+
+    /// Creates a Bernoulli model.
+    ///
     /// # Panics
-    /// Panics unless `0 <= rate < 1`.
+    /// Panics unless `0 <= rate < 1`; see [`DropoutModel::try_bernoulli`]
+    /// for the non-panicking variant.
     #[must_use]
     pub fn bernoulli(rate: f64) -> Self {
-        assert!((0.0..1.0).contains(&rate), "rate must be in [0, 1)");
-        DropoutModel::Bernoulli { rate }
+        Self::try_bernoulli(rate).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a phased model.
+    ///
+    /// # Errors
+    /// [`FedError::InvalidConfig`] unless both probabilities are in `[0, 1)`
+    /// and sum below 1.
+    pub fn try_phased(before_report: f64, after_report: f64) -> Result<Self, FedError> {
+        for rate in [before_report, after_report] {
+            if !(0.0..1.0).contains(&rate) {
+                return Err(FedError::InvalidConfig(format!(
+                    "rate must be in [0, 1), got {rate}"
+                )));
+            }
+        }
+        if before_report + after_report >= 1.0 {
+            return Err(FedError::InvalidConfig(format!(
+                "rates must sum below 1, got {}",
+                before_report + after_report
+            )));
+        }
+        Ok(DropoutModel::Phased {
+            before_report,
+            after_report,
+        })
     }
 
     /// Creates a phased model.
     ///
     /// # Panics
-    /// Panics unless both probabilities are in `[0, 1)` and sum below 1.
+    /// Panics unless both probabilities are in `[0, 1)` and sum below 1; see
+    /// [`DropoutModel::try_phased`] for the non-panicking variant.
     #[must_use]
     pub fn phased(before_report: f64, after_report: f64) -> Self {
-        assert!((0.0..1.0).contains(&before_report));
-        assert!((0.0..1.0).contains(&after_report));
-        assert!(before_report + after_report < 1.0, "rates must sum below 1");
-        DropoutModel::Phased {
-            before_report,
-            after_report,
-        }
+        Self::try_phased(before_report, after_report).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Samples one client's fate.
@@ -172,5 +207,30 @@ mod tests {
     #[should_panic(expected = "sum below 1")]
     fn phased_rejects_oversized_rates() {
         let _ = DropoutModel::phased(0.6, 0.5);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        use crate::error::FedError;
+        assert!(matches!(
+            DropoutModel::try_bernoulli(1.0),
+            Err(FedError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            DropoutModel::try_phased(-0.1, 0.2),
+            Err(FedError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            DropoutModel::try_phased(0.6, 0.5),
+            Err(FedError::InvalidConfig(_))
+        ));
+        assert_eq!(
+            DropoutModel::try_bernoulli(0.3).unwrap(),
+            DropoutModel::bernoulli(0.3)
+        );
+        assert_eq!(
+            DropoutModel::try_phased(0.2, 0.1).unwrap(),
+            DropoutModel::phased(0.2, 0.1)
+        );
     }
 }

@@ -22,9 +22,12 @@
 pub mod adaptive_round;
 pub mod cohort;
 pub mod dropout;
+pub mod error;
+pub mod faults;
 pub mod fedlearn;
 pub mod latency;
 pub mod population;
+pub mod retry;
 pub mod round;
 pub mod streaming;
 pub mod validation;
@@ -34,9 +37,15 @@ pub use adaptive_round::{
 };
 pub use cohort::{CohortError, CohortPolicy};
 pub use dropout::DropoutModel;
+pub use error::FedError;
+pub use faults::{FaultKind, FaultPlan, FaultRates, FaultSchedule};
 pub use fedlearn::{train_linear, FedLearnConfig, LinearModel, TrainingTrace};
 pub use latency::LatencyModel;
 pub use population::{Client, ElicitStrategy, Population};
-pub use round::{FederatedMeanConfig, FederatedOutcome, RoundError, SecAggSettings};
+pub use retry::RetryPolicy;
+pub use round::{
+    run_federated_mean, run_federated_mean_metered, DegradedMode, FederatedMeanConfig,
+    FederatedOutcome, RoundError, RoundOutcome, SecAggSettings,
+};
 pub use streaming::StreamingMean;
-pub use validation::{ReportValidator, Violation};
+pub use validation::{RejectionCounts, ReportValidator, Violation};

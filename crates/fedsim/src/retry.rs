@@ -1,0 +1,143 @@
+//! Recovery policy for degraded federated rounds.
+//!
+//! Governs how the orchestrator in [`crate::round`] reacts when a round
+//! degrades: how long it backs off between refill waves (capped exponential,
+//! the standard fleet-friendly schedule), how many times a failed
+//! secure-aggregation unmask is retried over the surviving cohort, and the
+//! minimum cohort size below which the round aborts instead of aggregating —
+//! the "enforce a minimum cohort size for privacy" rule from the paper's
+//! deployment discussion, applied to the recovery path.
+
+use crate::error::FedError;
+
+/// Recovery knobs for a federated round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Re-masked secure-aggregation retries over the surviving cohort after
+    /// a `TooFewSurvivors` unmask failure (0 = fail on first unmask error).
+    pub max_secagg_retries: u32,
+    /// Backoff before the first retry/refill wave, in the latency model's
+    /// time units.
+    pub base_backoff: f64,
+    /// Backoff ceiling.
+    pub max_backoff: f64,
+    /// Abort (with [`FedError::CohortTooSmall`]) rather than retry over a
+    /// surviving cohort smaller than this.
+    pub min_cohort: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_secagg_retries: 2,
+            base_backoff: 1.0,
+            max_backoff: 60.0,
+            min_cohort: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never backs off — the "naive"
+    /// orchestrator baseline in the fault benchmarks.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            max_secagg_retries: 0,
+            base_backoff: 0.0,
+            max_backoff: 0.0,
+            min_cohort: 1,
+        }
+    }
+
+    /// Creates a policy.
+    ///
+    /// # Errors
+    /// [`FedError::InvalidConfig`] unless `0 <= base_backoff <= max_backoff`
+    /// (both finite) and `min_cohort >= 1`.
+    pub fn new(
+        max_secagg_retries: u32,
+        base_backoff: f64,
+        max_backoff: f64,
+        min_cohort: usize,
+    ) -> Result<Self, FedError> {
+        if !(base_backoff >= 0.0 && base_backoff.is_finite()) {
+            return Err(FedError::InvalidConfig(format!(
+                "base_backoff must be finite and >= 0, got {base_backoff}"
+            )));
+        }
+        if !(max_backoff >= base_backoff && max_backoff.is_finite()) {
+            return Err(FedError::InvalidConfig(format!(
+                "max_backoff must be finite and >= base_backoff, got {max_backoff}"
+            )));
+        }
+        if min_cohort == 0 {
+            return Err(FedError::InvalidConfig(
+                "min_cohort must be at least 1".into(),
+            ));
+        }
+        Ok(Self {
+            max_secagg_retries,
+            base_backoff,
+            max_backoff,
+            min_cohort,
+        })
+    }
+
+    /// The capped exponential backoff before retry `attempt` (0-based):
+    /// `min(base · 2^attempt, max)`.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        if self.base_backoff == 0.0 {
+            return 0.0;
+        }
+        let factor = 2.0f64.powi(attempt.min(63) as i32);
+        (self.base_backoff * factor).min(self.max_backoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy::new(3, 2.0, 10.0, 1).unwrap();
+        assert_eq!(p.backoff(0), 2.0);
+        assert_eq!(p.backoff(1), 4.0);
+        assert_eq!(p.backoff(2), 8.0);
+        assert_eq!(p.backoff(3), 10.0);
+        assert_eq!(p.backoff(30), 10.0);
+        assert_eq!(p.backoff(1000), 10.0, "huge attempts must not overflow");
+    }
+
+    #[test]
+    fn none_policy_is_free() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_secagg_retries, 0);
+        assert_eq!(p.backoff(0), 0.0);
+        assert_eq!(p.backoff(5), 0.0);
+    }
+
+    #[test]
+    fn invalid_policies_rejected() {
+        assert!(RetryPolicy::new(1, -1.0, 10.0, 1).is_err());
+        assert!(RetryPolicy::new(1, 5.0, 2.0, 1).is_err());
+        assert!(RetryPolicy::new(1, 0.0, f64::INFINITY, 1).is_err());
+        assert!(RetryPolicy::new(1, 0.0, 0.0, 0).is_err());
+        assert!(RetryPolicy::new(0, 0.0, 0.0, 1).is_ok());
+    }
+
+    #[test]
+    fn default_is_valid() {
+        let d = RetryPolicy::default();
+        let rebuilt = RetryPolicy::new(
+            d.max_secagg_retries,
+            d.base_backoff,
+            d.max_backoff,
+            d.min_cohort,
+        )
+        .unwrap();
+        assert_eq!(d, rebuilt);
+    }
+}

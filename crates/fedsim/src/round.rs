@@ -1,19 +1,28 @@
 //! Federated round orchestration.
 //!
 //! Wires the full deployment pipeline together: contact a cohort in one or
-//! more waves, apply the dropout model, let each client extract (and
-//! randomize) its assigned bit, transport the reports either directly or
-//! through the simulated secure-aggregation protocol, and hand the per-bit
-//! histograms to `fednum-core` for estimation.
+//! more waves, apply the dropout model and any injected faults, let each
+//! client extract (and randomize) its assigned bit, validate what the
+//! transport delivers, carry the reports either directly or through the
+//! simulated secure-aggregation protocol — retrying a failed unmask over
+//! the survivors — and hand the per-bit histograms to `fednum-core` for
+//! estimation.
 //!
 //! Auto-adjustment (Section 4.3: "the bit sampling probabilities were
 //! auto-adjusted based on the dropout rate, improving utility"): after the
 //! first wave, bits whose report counts fell below the target are re-sampled
 //! in follow-up waves over previously uncontacted clients, with weights
-//! proportional to their deficit.
+//! proportional to their deficit. Between waves the orchestrator backs off
+//! on the capped exponential schedule of its [`RetryPolicy`].
+//!
+//! Everything that can go wrong at runtime — total dropout, a cohort below
+//! the privacy minimum, secure aggregation failing past its retry budget —
+//! surfaces as a typed [`FedError`]; the orchestration path never panics on
+//! fleet behaviour.
 
 use fednum_core::accumulator::BitAccumulator;
 use fednum_core::bits::bit;
+use fednum_core::privacy::PrivacyLedger;
 use fednum_core::protocol::basic::{BasicBitPushing, BasicConfig, Outcome};
 use fednum_core::sampling::BitSampling;
 use fednum_secagg::protocol::{run_secure_aggregation, DropoutPlan, SecAggConfig, SecAggError};
@@ -21,7 +30,15 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use crate::dropout::{DropoutModel, Fate};
+use crate::error::FedError;
+use crate::faults::{FaultKind, FaultPlan};
 use crate::latency::LatencyModel;
+use crate::retry::RetryPolicy;
+use crate::validation::{RejectionCounts, ReportValidator};
+
+/// Compatibility alias: round orchestration now reports the crate-wide
+/// [`FedError`] taxonomy.
+pub use crate::error::FedError as RoundError;
 
 /// Secure-aggregation transport settings.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,13 +81,24 @@ pub struct FederatedMeanConfig {
     pub secagg: Option<SecAggSettings>,
     /// Wall-clock model (adds per-wave completion times).
     pub latency: Option<LatencyModel>,
-    /// Session seed for the secure-aggregation masks.
+    /// Session seed for the secure-aggregation masks; doubles as the round
+    /// identifier for fault injection, report validation, and per-round
+    /// privacy metering, so successive metered rounds should use distinct
+    /// seeds.
     pub session_seed: u64,
+    /// Injected transport/client faults, composed on top of `dropout`.
+    pub faults: Option<FaultPlan>,
+    /// Recovery policy: inter-wave backoff, secure-aggregation retries,
+    /// minimum surviving cohort.
+    pub retry: RetryPolicy,
+    /// Server-side report validation (duplicate/replay/stale/deadline
+    /// enforcement). Disabled by the "naive" baseline orchestrator.
+    pub validate: bool,
 }
 
 impl FederatedMeanConfig {
     /// Single-wave defaults: no dropout handling beyond thinning, direct
-    /// transport, no latency model.
+    /// transport, no latency model, validation and recovery enabled.
     #[must_use]
     pub fn new(protocol: BasicConfig) -> Self {
         Self {
@@ -82,6 +110,9 @@ impl FederatedMeanConfig {
             secagg: None,
             latency: None,
             session_seed: 0xF3D5,
+            faults: None,
+            retry: RetryPolicy::default(),
+            validate: true,
         }
     }
 
@@ -96,24 +127,44 @@ impl FederatedMeanConfig {
     /// below `min_reports_per_bit`, holding back `1 - wave_fraction` of the
     /// cohort as reserve.
     ///
-    /// # Panics
-    /// Panics unless `max_waves >= 1` and `0 < wave_fraction <= 1`.
-    #[must_use]
-    pub fn with_auto_adjust(
+    /// # Errors
+    /// [`FedError::InvalidConfig`] unless `max_waves >= 1` and
+    /// `0 < wave_fraction <= 1`.
+    pub fn try_with_auto_adjust(
         mut self,
         max_waves: u32,
         min_reports_per_bit: u64,
         wave_fraction: f64,
-    ) -> Self {
-        assert!(max_waves >= 1, "need at least one wave");
-        assert!(
-            wave_fraction > 0.0 && wave_fraction <= 1.0,
-            "wave_fraction in (0, 1]"
-        );
+    ) -> Result<Self, FedError> {
+        if max_waves < 1 {
+            return Err(FedError::InvalidConfig("need at least one wave".into()));
+        }
+        if !(wave_fraction > 0.0 && wave_fraction <= 1.0) {
+            return Err(FedError::InvalidConfig(format!(
+                "wave_fraction in (0, 1], got {wave_fraction}"
+            )));
+        }
         self.max_waves = max_waves;
         self.min_reports_per_bit = min_reports_per_bit;
         self.wave_fraction = wave_fraction;
-        self
+        Ok(self)
+    }
+
+    /// Enables auto-adjustment; see
+    /// [`FederatedMeanConfig::try_with_auto_adjust`] for the non-panicking
+    /// variant.
+    ///
+    /// # Panics
+    /// Panics unless `max_waves >= 1` and `0 < wave_fraction <= 1`.
+    #[must_use]
+    pub fn with_auto_adjust(
+        self,
+        max_waves: u32,
+        min_reports_per_bit: u64,
+        wave_fraction: f64,
+    ) -> Self {
+        self.try_with_auto_adjust(max_waves, min_reports_per_bit, wave_fraction)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Enables secure-aggregation transport.
@@ -129,6 +180,31 @@ impl FederatedMeanConfig {
         self.latency = Some(latency);
         self
     }
+
+    /// Injects the given fault plan on top of the dropout model.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Sets the recovery policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The naive baseline orchestrator: no report validation, no deadline
+    /// enforcement, no retries, no backoff. Duplicates are double-counted,
+    /// replays and stale reports accepted — the comparison point for the
+    /// `deploy-faults` panel.
+    #[must_use]
+    pub fn naive(mut self) -> Self {
+        self.validate = false;
+        self.retry = RetryPolicy::none();
+        self
+    }
 }
 
 /// Summary of the secure-aggregation transport.
@@ -138,6 +214,39 @@ pub struct SecAggSummary {
     pub contributors: usize,
     /// Dropped clients whose pairwise masks were reconstructed.
     pub recovered_pairwise: usize,
+}
+
+/// How degraded the path to a round's estimate was. Ordered from best to
+/// worst; a round reports the worst mode it hit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradedMode {
+    /// Single wave, no retries, nothing rejected or starved.
+    #[default]
+    Clean,
+    /// Refill waves re-sampled starved bits.
+    Refilled,
+    /// Secure aggregation was retried over the surviving cohort.
+    Retried,
+    /// The estimate stands on incomplete coverage (starved bits remain).
+    Partial,
+    /// Never produced by a successful round: callers mapping a [`FedError`]
+    /// into outcome telemetry use this slot.
+    Aborted,
+}
+
+/// Robustness telemetry for one federated round.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundOutcome {
+    /// The degraded mode that produced the estimate.
+    pub degraded: DegradedMode,
+    /// Per-class rejected-report tally (validation + deadline enforcement).
+    pub rejections: RejectionCounts,
+    /// Re-masked secure-aggregation retries performed.
+    pub secagg_retries: u32,
+    /// Faults the plan injected into contacted clients.
+    pub faults_injected: u64,
+    /// Wall-clock spent backing off between waves and retries.
+    pub backoff_time: f64,
 }
 
 /// Result of a federated mean-estimation task.
@@ -158,58 +267,71 @@ pub struct FederatedOutcome {
     pub starved_bits: Vec<u32>,
     /// Secure-aggregation diagnostics, when enabled.
     pub secagg: Option<SecAggSummary>,
+    /// Robustness telemetry: degraded mode, rejections, retries.
+    pub robustness: RoundOutcome,
 }
 
-/// Failure modes of a federated round.
-#[derive(Debug, Clone, PartialEq)]
-pub enum RoundError {
-    /// No client produced any report (e.g., total dropout).
-    NoReports,
-    /// The secure-aggregation protocol failed.
-    SecAgg(SecAggError),
-}
-
-impl std::fmt::Display for RoundError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RoundError::NoReports => write!(f, "no reports were received"),
-            RoundError::SecAgg(e) => write!(f, "secure aggregation failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for RoundError {}
-
-impl From<SecAggError> for RoundError {
-    fn from(e: SecAggError) -> Self {
-        RoundError::SecAgg(e)
-    }
-}
-
-/// One contacted client's record.
+/// One contacted client's record, as the server saw it after validation.
+#[derive(Clone)]
 struct Contact {
+    client: usize,
     bit: u32,
-    report: Option<bool>, // None = dropped before reporting
+    report: Option<bool>, // None = nothing (valid) delivered
     fate: Fate,
+    copies: u64, // > 1 only for unvalidated duplicate deliveries
 }
 
 /// Runs a complete federated mean-estimation task over one private value per
 /// client.
 ///
 /// # Errors
-/// See [`RoundError`].
-///
-/// # Panics
-/// Panics if `values` is empty.
+/// See [`FedError`].
 pub fn run_federated_mean(
     values: &[f64],
     config: &FederatedMeanConfig,
     rng: &mut dyn Rng,
-) -> Result<FederatedOutcome, RoundError> {
-    assert!(!values.is_empty(), "need at least one client");
+) -> Result<FederatedOutcome, FedError> {
+    run_round(values, config, None, rng)
+}
+
+/// As [`run_federated_mean`], but meters every client's disclosure through
+/// the ledger: one bit (and the randomized-response ε, if configured) per
+/// client per round, idempotently across secure-aggregation retry waves.
+///
+/// The round identifier is `config.session_seed`; successive metered rounds
+/// must use distinct seeds so each round is billed.
+///
+/// # Errors
+/// See [`FedError`]; [`FedError::Budget`] if a client's budget would be
+/// exceeded by participating.
+pub fn run_federated_mean_metered(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    ledger: &mut PrivacyLedger,
+    rng: &mut dyn Rng,
+) -> Result<FederatedOutcome, FedError> {
+    run_round(values, config, Some(ledger), rng)
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_round(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    mut ledger: Option<&mut PrivacyLedger>,
+    rng: &mut dyn Rng,
+) -> Result<FederatedOutcome, FedError> {
+    if values.is_empty() {
+        return Err(FedError::PopulationTooSmall { got: 0, need: 1 });
+    }
     let codec = config.protocol.codec;
     let bits = codec.bits();
     let (codes, clip_fraction) = codec.encode_all(values);
+    let round_id = config.session_seed;
+    let epsilon = config
+        .protocol
+        .privacy
+        .as_ref()
+        .map_or(0.0, fednum_core::privacy::RandomizedResponse::epsilon);
 
     // Uncontacted-client pool, randomly ordered.
     let mut pool: Vec<usize> = (0..codes.len()).collect();
@@ -219,7 +341,10 @@ pub fn run_federated_mean(
     let mut counts = vec![0u64; bits as usize];
     let mut contacts: Vec<Contact> = Vec::new();
     let mut completion_time = 0.0;
+    let mut backoff_time = 0.0;
     let mut waves_used = 0;
+    let mut rejections = RejectionCounts::default();
+    let mut faults_injected: u64 = 0;
 
     for wave in 0..config.max_waves {
         if pool.is_empty() {
@@ -264,88 +389,315 @@ pub fn run_federated_mean(
                 (deficit_total as f64 / config.dropout.response_rate().max(0.01)).ceil() as usize;
             needed.clamp(1, pool.len())
         };
+        if wave > 0 {
+            // Capped exponential backoff before each refill wave.
+            let pause = config.retry.backoff(wave - 1);
+            backoff_time += pause;
+            completion_time += pause;
+        }
         waves_used = wave + 1;
 
         let batch: Vec<usize> = pool.drain(..wave_size).collect();
         let assignment = sampling.assign(config.protocol.assignment, batch.len(), rng);
-        if let Some(lat) = &config.latency {
-            completion_time += lat.simulate_round(batch.len(), 0.9, rng).completion_time;
-        }
+        let mut wave_time = match &config.latency {
+            Some(lat) => lat.simulate_round(batch.len(), 0.9, rng).completion_time,
+            None => 0.0,
+        };
+        // The validator only engages under fault injection: without faults
+        // every delivery is trivially valid and the identical tallies come
+        // out of the fast path below.
+        let mut validator = if config.validate && config.faults.is_some() {
+            let assigned: Vec<(u64, u32)> = batch
+                .iter()
+                .zip(&assignment)
+                .map(|(&c, &j)| (c as u64, j))
+                .collect();
+            Some(ReportValidator::for_round(bits, &assigned, round_id))
+        } else {
+            None
+        };
+        let mut wave_stragglers = 0u64;
+        // The most recent delivery, for replay faults: (bit, value, nonce).
+        let mut last_delivered: Option<(u32, bool, u64)> = None;
+
         for (slot, &client) in batch.iter().enumerate() {
             let j = assignment[slot];
-            let fate = config.dropout.sample(rng);
-            let report = if fate == Fate::DropsBeforeReport {
-                None
-            } else {
-                let raw = bit(codes[client], j);
-                let sent = match &config.protocol.privacy {
-                    Some(rr) => rr.flip(raw, rng),
-                    None => raw,
-                };
-                counts[j as usize] += 1;
-                Some(sent)
+            let mut fate = config.dropout.sample(rng);
+            let fault = config
+                .faults
+                .as_ref()
+                .and_then(|p| p.fault_for(round_id, client as u64));
+            faults_injected += u64::from(fault.is_some());
+            if fault == Some(FaultKind::DropBeforeReport) {
+                fate = Fate::DropsBeforeReport;
+            }
+            if fate == Fate::DropsBeforeReport {
+                contacts.push(Contact {
+                    client,
+                    bit: j,
+                    report: None,
+                    fate,
+                    copies: 0,
+                });
+                continue;
+            }
+
+            // The client computes and sends its randomized bit. This is the
+            // privacy disclosure: it is metered here, once per round, no
+            // matter what the transport then does to the report. A
+            // stale-round fault sends an *old* report instead, so nothing
+            // new is disclosed.
+            let raw = bit(codes[client], j);
+            let sent = match &config.protocol.privacy {
+                Some(rr) => rr.flip(raw, rng),
+                None => raw,
             };
+            if fault != Some(FaultKind::StaleRound) {
+                if let Some(ledger) = ledger.as_deref_mut() {
+                    ledger.charge_round(client as u64, round_id, 1, epsilon)?;
+                }
+            }
+            if fault == Some(FaultKind::DropBeforeUnmask) && fate == Fate::Responds {
+                fate = Fate::DropsAfterReport;
+            }
+
+            // What arrives at the server: (bit, value, round tag, nonce,
+            // delivered copies).
+            let nonce = client as u64;
+            let delivery = match fault {
+                Some(FaultKind::Straggle) => {
+                    wave_stragglers += 1;
+                    if config.validate {
+                        // Past the wave deadline: the report is discarded
+                        // and the client misses the masking round.
+                        rejections.straggler += 1;
+                        contacts.push(Contact {
+                            client,
+                            bit: j,
+                            report: None,
+                            fate: Fate::DropsBeforeReport,
+                            copies: 0,
+                        });
+                        continue;
+                    }
+                    // The naive server waits past the deadline and accepts.
+                    (j, sent, round_id, nonce, 1)
+                }
+                Some(FaultKind::CorruptBit) => (j, !sent, round_id, nonce, 1),
+                Some(FaultKind::DuplicateReport) => (j, sent, round_id, nonce, 2),
+                Some(FaultKind::ReplayReport) => match last_delivered {
+                    // The fresh report is replaced by a verbatim copy of an
+                    // earlier one — same nonce, so validation catches it.
+                    Some((pb, pv, pn)) => (pb, pv, round_id, pn, 1),
+                    // Nothing to replay yet: the report is simply lost.
+                    None => {
+                        contacts.push(Contact {
+                            client,
+                            bit: j,
+                            report: None,
+                            fate: Fate::DropsBeforeReport,
+                            copies: 0,
+                        });
+                        continue;
+                    }
+                },
+                Some(FaultKind::StaleRound) => {
+                    // A report from a previous collection: wrong round tag,
+                    // payload uncorrelated with this round's assignment.
+                    let stale = config
+                        .faults
+                        .as_ref()
+                        .expect("fault implies plan")
+                        .payload_bit(round_id, client as u64);
+                    (j, stale, round_id.wrapping_sub(1), nonce, 1)
+                }
+                _ => (j, sent, round_id, nonce, 1),
+            };
+            let (d_bit, d_value, d_round, d_nonce, d_copies) = delivery;
+            // Secure aggregation carries one masked vector per client, so
+            // duplicate deliveries collapse by construction.
+            let d_copies = if config.secagg.is_some() {
+                d_copies.min(1)
+            } else {
+                d_copies
+            };
+
+            let accepted = match &mut validator {
+                Some(v) => {
+                    let mut ok = 0u64;
+                    for copy in 0..d_copies {
+                        // A transport-level re-send gets a fresh envelope
+                        // nonce; the payload is what repeats.
+                        let copy_nonce = if copy == 0 {
+                            d_nonce
+                        } else {
+                            d_nonce | (1 << 63)
+                        };
+                        if v.submit_tagged(
+                            client as u64,
+                            d_bit,
+                            f64::from(u8::from(d_value)),
+                            d_round,
+                            copy_nonce,
+                        )
+                        .is_ok()
+                        {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                }
+                None => d_copies,
+            };
+            if accepted == 0 {
+                // Everything this client's transport produced was rejected;
+                // for secure aggregation it contributes no masked input.
+                contacts.push(Contact {
+                    client,
+                    bit: j,
+                    report: None,
+                    fate: Fate::DropsBeforeReport,
+                    copies: 0,
+                });
+                continue;
+            }
+            last_delivered = Some((d_bit, d_value, d_nonce));
+            counts[d_bit as usize] += accepted;
             contacts.push(Contact {
-                bit: j,
-                report,
+                client,
+                bit: d_bit,
+                report: Some(d_value),
                 fate,
+                copies: accepted,
             });
         }
+
+        if let Some(v) = validator {
+            rejections.absorb(&v.rejection_counts());
+        }
+        if let Some(lat) = &config.latency {
+            if wave_stragglers > 0 {
+                // Stragglers hold the wave open to its deadline.
+                wave_time = wave_time.max(lat.timeout);
+            }
+        }
+        completion_time += wave_time;
     }
 
     let total_reports: u64 = counts.iter().sum();
     if total_reports == 0 {
-        return Err(RoundError::NoReports);
+        return Err(FedError::NoReports);
+    }
+    let reporters = contacts.iter().filter(|c| c.report.is_some()).count();
+    if reporters < config.retry.min_cohort {
+        return Err(FedError::CohortTooSmall {
+            survivors: reporters,
+            minimum: config.retry.min_cohort,
+        });
     }
 
     // Transport: aggregate per-bit (ones, counts).
-    let (ones, secagg_summary) = match &config.secagg {
+    let mut secagg_retries = 0u32;
+    let (ones, eff_counts, secagg_summary) = match &config.secagg {
         Some(settings) => {
-            let n = contacts.len();
-            let threshold = ((settings.threshold_fraction * n as f64).ceil() as usize).clamp(1, n);
             let vector_len = 2 * bits as usize;
-            let mut inputs = Vec::with_capacity(n);
-            let mut plan = DropoutPlan::none();
-            for (i, c) in contacts.iter().enumerate() {
-                let mut v = vec![0u64; vector_len];
-                match c.report {
-                    Some(sent) => {
-                        v[c.bit as usize] = u64::from(sent);
-                        v[bits as usize + c.bit as usize] = 1;
-                        if c.fate == Fate::DropsAfterReport {
-                            plan.after_masking.insert(i);
+            // First attempt runs over every contact (reporting or not);
+            // retries re-mask over the verified survivors only.
+            let mut cohort: Vec<usize> = (0..contacts.len()).collect();
+            loop {
+                let n = cohort.len();
+                let threshold =
+                    ((settings.threshold_fraction * n as f64).ceil() as usize).clamp(1, n);
+                let mut inputs = Vec::with_capacity(n);
+                let mut plan = DropoutPlan::none();
+                let mut eff = vec![0u64; bits as usize];
+                for (i, &ci) in cohort.iter().enumerate() {
+                    let c = &contacts[ci];
+                    let mut v = vec![0u64; vector_len];
+                    match c.report {
+                        Some(sent) => {
+                            v[c.bit as usize] = u64::from(sent);
+                            v[bits as usize + c.bit as usize] = 1;
+                            eff[c.bit as usize] += 1;
+                            if c.fate == Fate::DropsAfterReport {
+                                plan.after_masking.insert(i);
+                            }
+                        }
+                        None => {
+                            plan.before_masking.insert(i);
                         }
                     }
-                    None => {
-                        plan.before_masking.insert(i);
-                    }
+                    inputs.push(v);
                 }
-                inputs.push(v);
+                // Fresh masks per attempt, deterministically derived.
+                let session = config.session_seed
+                    ^ u64::from(secagg_retries).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut sa_config = SecAggConfig::new(n, threshold, vector_len, session);
+                if let Some(k) = settings.neighbors {
+                    sa_config = sa_config.with_neighbors(k);
+                }
+                match run_secure_aggregation(&sa_config, &inputs, &plan, rng) {
+                    Ok(out) => {
+                        // Sanity: the securely aggregated counts match the
+                        // tally over this attempt's cohort.
+                        debug_assert_eq!(&out.sum[bits as usize..], eff.as_slice());
+                        let ones: Vec<u64> = out.sum[..bits as usize].to_vec();
+                        break (
+                            ones,
+                            eff,
+                            Some(SecAggSummary {
+                                contributors: out.contributors.len(),
+                                recovered_pairwise: out.pairwise_masks_reconstructed,
+                            }),
+                        );
+                    }
+                    Err(e @ SecAggError::TooFewSurvivors { .. }) => {
+                        if secagg_retries >= config.retry.max_secagg_retries {
+                            return Err(e.into());
+                        }
+                        let pause = config.retry.backoff(secagg_retries);
+                        secagg_retries += 1;
+                        backoff_time += pause;
+                        completion_time += pause;
+                        // The unmask failed: the late droppers' inputs are
+                        // unrecoverable, so the survivors re-send re-masked
+                        // reports. That re-send discloses nothing new, which
+                        // the idempotent per-round charge reflects.
+                        cohort.retain(|&ci| {
+                            contacts[ci].fate == Fate::Responds && contacts[ci].report.is_some()
+                        });
+                        if cohort.len() < config.retry.min_cohort {
+                            return Err(FedError::CohortTooSmall {
+                                survivors: cohort.len(),
+                                minimum: config.retry.min_cohort,
+                            });
+                        }
+                        if cohort.is_empty() {
+                            return Err(FedError::NoReports);
+                        }
+                        if let Some(ledger) = ledger.as_deref_mut() {
+                            for &ci in &cohort {
+                                ledger.charge_round(
+                                    contacts[ci].client as u64,
+                                    round_id,
+                                    1,
+                                    epsilon,
+                                )?;
+                            }
+                        }
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
-            let mut sa_config = SecAggConfig::new(n, threshold, vector_len, config.session_seed);
-            if let Some(k) = settings.neighbors {
-                sa_config = sa_config.with_neighbors(k);
-            }
-            let out = run_secure_aggregation(&sa_config, &inputs, &plan, rng)?;
-            // Sanity: the securely aggregated counts match the tally.
-            debug_assert_eq!(&out.sum[bits as usize..], counts.as_slice());
-            let ones: Vec<u64> = out.sum[..bits as usize].to_vec();
-            (
-                ones,
-                Some(SecAggSummary {
-                    contributors: out.contributors.len(),
-                    recovered_pairwise: out.pairwise_masks_reconstructed,
-                }),
-            )
         }
         None => {
             let mut ones = vec![0u64; bits as usize];
             for c in &contacts {
                 if let Some(true) = c.report {
-                    ones[c.bit as usize] += 1;
+                    ones[c.bit as usize] += c.copies;
                 }
             }
-            (ones, None)
+            (ones, counts.clone(), None)
         }
     };
 
@@ -354,23 +706,33 @@ pub fn run_federated_mean(
     // protocol: squashing, reconstruction, decoding, predicted error.
     let sums: Vec<f64> = ones
         .iter()
-        .zip(&counts)
+        .zip(&eff_counts)
         .map(|(&o, &c)| match (&config.protocol.privacy, c) {
             (_, 0) => 0.0,
             (Some(rr), c) => c as f64 * rr.debias_mean(o as f64 / c as f64),
             (None, _) => o as f64,
         })
         .collect();
-    let acc = BitAccumulator::from_parts(sums, counts.clone());
+    let acc = BitAccumulator::from_parts(sums, eff_counts.clone());
     let outcome = BasicBitPushing::new(config.protocol.clone()).finish(acc, clip_fraction);
 
-    let starved_bits = base_probs
+    let starved_bits: Vec<u32> = base_probs
         .iter()
-        .zip(&counts)
+        .zip(&eff_counts)
         .enumerate()
         .filter(|(_, (&p, &c))| p > 0.0 && c < config.min_reports_per_bit)
         .map(|(j, _)| j as u32)
         .collect();
+
+    let degraded = if !starved_bits.is_empty() {
+        DegradedMode::Partial
+    } else if secagg_retries > 0 {
+        DegradedMode::Retried
+    } else if waves_used > 1 {
+        DegradedMode::Refilled
+    } else {
+        DegradedMode::Clean
+    };
 
     Ok(FederatedOutcome {
         outcome,
@@ -380,13 +742,22 @@ pub fn run_federated_mean(
         completion_time,
         starved_bits,
         secagg: secagg_summary,
+        robustness: RoundOutcome {
+            degraded,
+            rejections,
+            secagg_retries,
+            faults_injected,
+            backoff_time,
+        },
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultRates;
     use fednum_core::encoding::FixedPointCodec;
+    use fednum_core::privacy::{PrivacyBudget, PrivacyLedger};
     use fednum_core::sampling::BitSampling;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -413,6 +784,9 @@ mod tests {
         assert_eq!(out.reports, 20_000);
         assert_eq!(out.waves_used, 1);
         assert!(out.secagg.is_none());
+        assert_eq!(out.robustness.degraded, DegradedMode::Clean);
+        assert_eq!(out.robustness.rejections.total(), 0);
+        assert_eq!(out.robustness.faults_injected, 0);
     }
 
     #[test]
@@ -542,5 +916,217 @@ mod tests {
             RoundError::NoReports.to_string(),
             "no reports were received"
         );
+    }
+
+    #[test]
+    fn empty_population_is_a_typed_error() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            run_federated_mean(&[], &base_config(4), &mut rng),
+            Err(FedError::PopulationTooSmall { got: 0, need: 1 })
+        ));
+    }
+
+    #[test]
+    fn try_with_auto_adjust_rejects_bad_config() {
+        assert!(matches!(
+            base_config(4).try_with_auto_adjust(0, 1, 1.0),
+            Err(FedError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            base_config(4).try_with_auto_adjust(2, 1, 0.0),
+            Err(FedError::InvalidConfig(_))
+        ));
+        assert!(base_config(4).try_with_auto_adjust(2, 10, 0.5).is_ok());
+    }
+
+    #[test]
+    fn fault_injection_is_counted_and_survived() {
+        let vs = values(5_000, 100);
+        let truth = vs.iter().sum::<f64>() / vs.len() as f64;
+        let plan = FaultPlan::new(FaultRates::uniform(0.02), 99).unwrap();
+        let cfg = base_config(7).with_faults(plan);
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = run_federated_mean(&vs, &cfg, &mut rng).unwrap();
+        assert!(out.robustness.faults_injected > 300, "~14% of 5000 faulted");
+        // Validation rejected the duplicates, replays and stale reports.
+        let rej = out.robustness.rejections;
+        assert!(rej.duplicate > 0 && rej.replayed > 0 && rej.stale_round > 0);
+        assert!(
+            (out.outcome.estimate - truth).abs() / truth < 0.1,
+            "estimate {} vs {truth} should survive 2% faults per class",
+            out.outcome.estimate
+        );
+    }
+
+    #[test]
+    fn naive_orchestrator_double_counts_duplicates() {
+        let vs = values(2_000, 100);
+        let rates = FaultRates {
+            duplicate: 0.3,
+            ..FaultRates::none()
+        };
+        let plan = FaultPlan::new(rates, 5).unwrap();
+        let validated = base_config(7).with_faults(plan.clone());
+        let naive = base_config(7).with_faults(plan).naive();
+        let v_out = run_federated_mean(&vs, &validated, &mut StdRng::seed_from_u64(8)).unwrap();
+        let n_out = run_federated_mean(&vs, &naive, &mut StdRng::seed_from_u64(8)).unwrap();
+        // Validated: one report per client, duplicates rejected and tallied.
+        assert_eq!(v_out.reports, 2_000);
+        assert!(v_out.robustness.rejections.duplicate > 400);
+        // Naive: second deliveries counted again.
+        assert_eq!(
+            n_out.reports,
+            2_000 + n_out.robustness.faults_injected,
+            "every duplicate fault adds one extra counted report"
+        );
+        assert_eq!(n_out.robustness.rejections.total(), 0);
+    }
+
+    #[test]
+    fn stragglers_are_discarded_at_the_wave_deadline() {
+        let vs = values(3_000, 100);
+        let rates = FaultRates {
+            straggle: 0.1,
+            ..FaultRates::none()
+        };
+        let cfg = base_config(7)
+            .with_faults(FaultPlan::new(rates, 11).unwrap())
+            .with_latency(LatencyModel::typical_fleet());
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = run_federated_mean(&vs, &cfg, &mut rng).unwrap();
+        assert!(out.robustness.rejections.straggler > 200);
+        assert_eq!(
+            u64::from(out.contacted as u32) - out.reports,
+            out.robustness.rejections.straggler,
+            "every missing report is an enforced deadline"
+        );
+        // Stragglers hold the wave open to its timeout.
+        assert!(out.completion_time >= LatencyModel::typical_fleet().timeout);
+    }
+
+    #[test]
+    fn secagg_unmask_failure_recovers_by_retry_over_survivors() {
+        let vs = values(300, 100);
+        let cfg = base_config(7)
+            .with_dropout(DropoutModel::phased(0.05, 0.35))
+            .with_secagg(SecAggSettings {
+                threshold_fraction: 0.75,
+                neighbors: None,
+            })
+            .with_retry(RetryPolicy {
+                max_secagg_retries: 2,
+                base_backoff: 1.0,
+                max_backoff: 8.0,
+                min_cohort: 10,
+            });
+        // ~40% of the cohort is gone by the unmask round, under a 75%
+        // threshold: the first attempt fails, the re-masked retry over the
+        // survivors succeeds.
+        let mut recovered = 0;
+        for s in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(s);
+            let out = run_federated_mean(&vs, &cfg, &mut rng).unwrap();
+            if out.robustness.secagg_retries > 0 {
+                recovered += 1;
+                // At least Retried; a retry that also starves a bit reports
+                // the more severe Partial.
+                assert!(out.robustness.degraded >= DegradedMode::Retried);
+                assert!(out.robustness.backoff_time > 0.0);
+                let truth = vs.iter().sum::<f64>() / vs.len() as f64;
+                assert!(
+                    (out.outcome.estimate - truth).abs() / truth < 0.6,
+                    "retried estimate {} is usable",
+                    out.outcome.estimate
+                );
+            }
+        }
+        assert!(recovered >= 8, "retry path should fire, got {recovered}/10");
+    }
+
+    #[test]
+    fn naive_policy_surfaces_the_unmask_failure() {
+        let vs = values(300, 100);
+        let cfg = base_config(7)
+            .with_dropout(DropoutModel::phased(0.05, 0.35))
+            .with_secagg(SecAggSettings {
+                threshold_fraction: 0.75,
+                neighbors: None,
+            })
+            .with_retry(RetryPolicy::none());
+        let mut failures = 0;
+        for s in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(s);
+            if matches!(
+                run_federated_mean(&vs, &cfg, &mut rng),
+                Err(FedError::SecAgg(SecAggError::TooFewSurvivors { .. }))
+            ) {
+                failures += 1;
+            }
+        }
+        assert!(failures >= 8, "no-retry policy should fail, got {failures}");
+    }
+
+    #[test]
+    fn min_cohort_aborts_small_rounds() {
+        let vs = values(30, 10);
+        let cfg = base_config(4)
+            .with_dropout(DropoutModel::bernoulli(0.8))
+            .with_retry(RetryPolicy {
+                min_cohort: 25,
+                ..RetryPolicy::default()
+            });
+        let mut rng = StdRng::seed_from_u64(10);
+        match run_federated_mean(&vs, &cfg, &mut rng) {
+            Err(FedError::CohortTooSmall { survivors, minimum }) => {
+                assert_eq!(minimum, 25);
+                assert!(survivors < 25);
+            }
+            other => panic!("expected CohortTooSmall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metered_rounds_never_double_charge_across_retries() {
+        let vs = values(300, 100);
+        let mut cfg = base_config(7)
+            .with_dropout(DropoutModel::phased(0.05, 0.35))
+            .with_secagg(SecAggSettings {
+                threshold_fraction: 0.75,
+                neighbors: None,
+            })
+            .with_retry(RetryPolicy {
+                max_secagg_retries: 2,
+                base_backoff: 0.5,
+                max_backoff: 4.0,
+                min_cohort: 10,
+            });
+        // The paper's headline budget: one bit per client per task.
+        let mut ledger = PrivacyLedger::with_budget(PrivacyBudget::bits(1));
+        let mut retried = false;
+        for s in 0..10u64 {
+            cfg.session_seed = 1000 + s; // fresh round id per attempt set
+            let mut ledger = ledger.clone();
+            let mut rng = StdRng::seed_from_u64(s);
+            let out = run_federated_mean_metered(&vs, &cfg, &mut ledger, &mut rng).unwrap();
+            retried |= out.robustness.secagg_retries > 0;
+            assert!(ledger.max_bits_per_client() <= 1);
+        }
+        assert!(retried, "the retry path must be exercised");
+        // Across two *distinct* rounds the second charge trips the budget.
+        cfg.session_seed = 1;
+        run_federated_mean_metered(&vs, &cfg, &mut ledger, &mut StdRng::seed_from_u64(0)).unwrap();
+        cfg.session_seed = 2;
+        let second =
+            run_federated_mean_metered(&vs, &cfg, &mut ledger, &mut StdRng::seed_from_u64(1));
+        assert!(matches!(second, Err(FedError::Budget(_))));
+    }
+
+    #[test]
+    fn degraded_mode_ordering_reflects_severity() {
+        assert!(DegradedMode::Clean < DegradedMode::Refilled);
+        assert!(DegradedMode::Refilled < DegradedMode::Retried);
+        assert!(DegradedMode::Retried < DegradedMode::Partial);
+        assert!(DegradedMode::Partial < DegradedMode::Aborted);
     }
 }

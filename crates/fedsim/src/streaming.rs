@@ -14,6 +14,8 @@ use fednum_core::privacy::RandomizedResponse;
 use fednum_core::sampling::BitSampling;
 use rand::Rng;
 
+use crate::error::FedError;
+
 /// A continuously updatable bit-pushing mean estimator.
 #[derive(Debug, Clone)]
 pub struct StreamingMean {
@@ -67,14 +69,36 @@ impl StreamingMean {
     /// Ingests a pre-assigned report (server-side central assignment over an
     /// asynchronous transport).
     ///
-    /// # Panics
-    /// Panics if `bit_index` is out of range.
-    pub fn ingest_report(&mut self, bit_index: u32, debiased_value: f64) {
+    /// # Errors
+    /// [`FedError::BitOutOfRange`] if `bit_index` exceeds the codec depth;
+    /// the aggregator is unchanged.
+    pub fn try_ingest_report(
+        &mut self,
+        bit_index: u32,
+        debiased_value: f64,
+    ) -> Result<(), FedError> {
         let j = bit_index as usize;
-        assert!(j < self.sums.len(), "bit index out of range");
+        if j >= self.sums.len() {
+            return Err(FedError::BitOutOfRange {
+                bit: bit_index,
+                bits: self.codec.bits(),
+            });
+        }
         self.sums[j] += debiased_value;
         self.counts[j] += 1.0;
         self.reports += 1;
+        Ok(())
+    }
+
+    /// Ingests a pre-assigned report (server-side central assignment over an
+    /// asynchronous transport).
+    ///
+    /// # Panics
+    /// Panics if `bit_index` is out of range; see
+    /// [`StreamingMean::try_ingest_report`] for the non-panicking variant.
+    pub fn ingest_report(&mut self, bit_index: u32, debiased_value: f64) {
+        self.try_ingest_report(bit_index, debiased_value)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// The current mean estimate; `None` until at least one report arrived.
@@ -135,16 +159,31 @@ impl StreamingMean {
     /// `factor`, so the estimator tracks non-stationary metrics. Call once
     /// per epoch with e.g. `factor = 0.9`.
     ///
-    /// # Panics
-    /// Panics unless `0 < factor <= 1`.
-    pub fn decay(&mut self, factor: f64) {
-        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+    /// # Errors
+    /// [`FedError::InvalidConfig`] unless `0 < factor <= 1`; the aggregator
+    /// is unchanged.
+    pub fn try_decay(&mut self, factor: f64) -> Result<(), FedError> {
+        if !(factor > 0.0 && factor <= 1.0) {
+            return Err(FedError::InvalidConfig(format!(
+                "decay factor must be in (0, 1], got {factor}"
+            )));
+        }
         for s in &mut self.sums {
             *s *= factor;
         }
         for c in &mut self.counts {
             *c *= factor;
         }
+        Ok(())
+    }
+
+    /// Applies exponential forgetting; see [`StreamingMean::try_decay`] for
+    /// the non-panicking variant.
+    ///
+    /// # Panics
+    /// Panics unless `0 < factor <= 1`.
+    pub fn decay(&mut self, factor: f64) {
+        self.try_decay(factor).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Snapshot of the internal histogram (rounded counts), e.g. for
@@ -287,5 +326,23 @@ mod tests {
     #[should_panic(expected = "factor must be in")]
     fn rejects_bad_decay() {
         aggregator().decay(0.0);
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors_without_mutating() {
+        use crate::error::FedError;
+        let mut agg = aggregator();
+        assert_eq!(
+            agg.try_ingest_report(10, 1.0),
+            Err(FedError::BitOutOfRange { bit: 10, bits: 10 })
+        );
+        assert_eq!(agg.reports(), 0);
+        assert!(matches!(
+            agg.try_decay(1.5),
+            Err(FedError::InvalidConfig(_))
+        ));
+        agg.try_ingest_report(3, 1.0).unwrap();
+        agg.try_decay(0.5).unwrap();
+        assert_eq!(agg.estimate(), Some(8.0));
     }
 }

@@ -2,13 +2,15 @@
 //!
 //! Central randomness only blunts poisoning if the server *enforces* it
 //! (Section 3.1 / the conclusions' robustness discussion): a client must
-//! report on the bit it was assigned, exactly once. This module is the
-//! enforcement layer: it checks incoming reports against the assignment,
-//! rejects duplicates, unknown clients, and bit-index mismatches, and
-//! surfaces per-client violation counts so repeat offenders can be excluded
-//! from future cohorts.
+//! report on the bit it was assigned, exactly once, in the round it was
+//! assigned it. This module is the enforcement layer: it checks incoming
+//! reports against the assignment, rejects duplicates, replays, stale-round
+//! submissions, unknown clients, and bit-index mismatches, and surfaces
+//! per-client violation lists plus per-class rejection counts so repeat
+//! offenders can be excluded from future cohorts and round outcomes can
+//! report how degraded their input stream was.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use fednum_core::accumulator::BitAccumulator;
 
@@ -22,6 +24,11 @@ pub enum Violation {
     /// The report's bit index differs from the assigned one — the classic
     /// "pick the top bit" poisoning move.
     WrongBit,
+    /// The report's nonce was already consumed — a replay of a previously
+    /// observed report.
+    ReplayedReport,
+    /// The report carries a different round's identifier.
+    StaleRound,
 }
 
 impl std::fmt::Display for Violation {
@@ -30,6 +37,61 @@ impl std::fmt::Display for Violation {
             Violation::UnknownClient => write!(f, "client not in cohort"),
             Violation::DuplicateReport => write!(f, "duplicate report"),
             Violation::WrongBit => write!(f, "reported bit differs from assignment"),
+            Violation::ReplayedReport => write!(f, "replayed report (nonce already seen)"),
+            Violation::StaleRound => write!(f, "report from a different round"),
+        }
+    }
+}
+
+/// Per-class rejection tally for one round, surfaced in round outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejectionCounts {
+    /// Reports from clients outside the cohort.
+    pub unknown_client: u64,
+    /// Second (and later) deliveries of an already-accepted report.
+    pub duplicate: u64,
+    /// Reports on a bit other than the assigned one.
+    pub wrong_bit: u64,
+    /// Replays of previously observed reports.
+    pub replayed: u64,
+    /// Reports carrying a stale round identifier.
+    pub stale_round: u64,
+    /// Reports discarded for arriving after the wave deadline (recorded by
+    /// the orchestrator, not the validator).
+    pub straggler: u64,
+}
+
+impl RejectionCounts {
+    /// Total rejected submissions.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.unknown_client
+            + self.duplicate
+            + self.wrong_bit
+            + self.replayed
+            + self.stale_round
+            + self.straggler
+    }
+
+    /// Folds another tally into this one (e.g. per-wave validator tallies
+    /// into the round total).
+    pub fn absorb(&mut self, other: &RejectionCounts) {
+        self.unknown_client += other.unknown_client;
+        self.duplicate += other.duplicate;
+        self.wrong_bit += other.wrong_bit;
+        self.replayed += other.replayed;
+        self.stale_round += other.stale_round;
+        self.straggler += other.straggler;
+    }
+
+    /// Tallies one violation.
+    pub fn record(&mut self, violation: Violation) {
+        match violation {
+            Violation::UnknownClient => self.unknown_client += 1,
+            Violation::DuplicateReport => self.duplicate += 1,
+            Violation::WrongBit => self.wrong_bit += 1,
+            Violation::ReplayedReport => self.replayed += 1,
+            Violation::StaleRound => self.stale_round += 1,
         }
     }
 }
@@ -42,16 +104,31 @@ pub struct ReportValidator {
     reported: HashMap<u64, bool>,
     violations: HashMap<u64, Vec<Violation>>,
     accumulator: BitAccumulator,
+    round: u64,
+    seen_nonces: HashSet<u64>,
+    counts: RejectionCounts,
+    next_nonce: u64,
 }
 
 impl ReportValidator {
-    /// Creates a validator for a round: `assignment[i] = (client id, bit)`.
+    /// Creates a validator for round 0: `assignment[i] = (client id, bit)`.
     ///
     /// # Panics
     /// Panics if `bits` is out of range, a client is assigned twice, or an
     /// assigned bit exceeds the depth.
     #[must_use]
     pub fn new(bits: u32, assignment: &[(u64, u32)]) -> Self {
+        Self::for_round(bits, assignment, 0)
+    }
+
+    /// Creates a validator bound to a specific round identifier; tagged
+    /// submissions from any other round are rejected as stale.
+    ///
+    /// # Panics
+    /// Panics if `bits` is out of range, a client is assigned twice, or an
+    /// assigned bit exceeds the depth.
+    #[must_use]
+    pub fn for_round(bits: u32, assignment: &[(u64, u32)], round: u64) -> Self {
         let mut map = HashMap::with_capacity(assignment.len());
         for &(client, bit) in assignment {
             assert!(bit < bits, "assigned bit {bit} exceeds depth {bits}");
@@ -65,11 +142,16 @@ impl ReportValidator {
             reported: HashMap::new(),
             violations: HashMap::new(),
             accumulator: BitAccumulator::new(bits),
+            round,
+            seen_nonces: HashSet::new(),
+            counts: RejectionCounts::default(),
+            next_nonce: 0,
         }
     }
 
-    /// Submits one report; accepted reports are accumulated, rejected ones
-    /// recorded against the client.
+    /// Submits one report over a trusted transport (current round, fresh
+    /// nonce); accepted reports are accumulated, rejected ones recorded
+    /// against the client.
     ///
     /// `debiased_value` is the (possibly randomized-response-debiased) bit
     /// contribution.
@@ -77,30 +159,54 @@ impl ReportValidator {
     /// # Errors
     /// The violation, when rejected.
     pub fn submit(&mut self, client: u64, bit: u32, debiased_value: f64) -> Result<(), Violation> {
-        let Some(&assigned) = self.assignment.get(&client) else {
-            self.violations
-                .entry(client)
-                .or_default()
-                .push(Violation::UnknownClient);
-            return Err(Violation::UnknownClient);
-        };
+        self.next_nonce += 1;
+        // Fresh nonces live in a namespace tagged submissions cannot collide
+        // with deliberately (the orchestrator derives theirs from client ids).
+        let nonce = u64::MAX - self.next_nonce;
+        self.submit_tagged(client, bit, debiased_value, self.round, nonce)
+    }
+
+    /// Submits one report as received off an untrusted transport, carrying
+    /// the round identifier and a per-report nonce. Reports from a different
+    /// round are rejected as [`Violation::StaleRound`]; reports whose nonce
+    /// was already consumed are rejected as [`Violation::ReplayedReport`].
+    ///
+    /// # Errors
+    /// The violation, when rejected.
+    pub fn submit_tagged(
+        &mut self,
+        client: u64,
+        bit: u32,
+        debiased_value: f64,
+        round: u64,
+        nonce: u64,
+    ) -> Result<(), Violation> {
+        if round != self.round {
+            return Err(self.reject(client, Violation::StaleRound));
+        }
+        if self.seen_nonces.contains(&nonce) {
+            return Err(self.reject(client, Violation::ReplayedReport));
+        }
+        if !self.assignment.contains_key(&client) {
+            return Err(self.reject(client, Violation::UnknownClient));
+        }
+        let assigned = self.assignment[&client];
         if self.reported.get(&client).copied().unwrap_or(false) {
-            self.violations
-                .entry(client)
-                .or_default()
-                .push(Violation::DuplicateReport);
-            return Err(Violation::DuplicateReport);
+            return Err(self.reject(client, Violation::DuplicateReport));
         }
         if bit != assigned {
-            self.violations
-                .entry(client)
-                .or_default()
-                .push(Violation::WrongBit);
-            return Err(Violation::WrongBit);
+            return Err(self.reject(client, Violation::WrongBit));
         }
+        self.seen_nonces.insert(nonce);
         self.reported.insert(client, true);
         self.accumulator.record(bit, debiased_value);
         Ok(())
+    }
+
+    fn reject(&mut self, client: u64, violation: Violation) -> Violation {
+        self.violations.entry(client).or_default().push(violation);
+        self.counts.record(violation);
+        violation
     }
 
     /// The accumulated (validated) histogram.
@@ -119,6 +225,19 @@ impl ReportValidator {
     #[must_use]
     pub fn rejected(&self) -> usize {
         self.violations.values().map(Vec::len).sum()
+    }
+
+    /// Per-class rejection tally (the `straggler` class is orchestrator-side
+    /// and stays zero here).
+    #[must_use]
+    pub fn rejection_counts(&self) -> RejectionCounts {
+        self.counts
+    }
+
+    /// The round identifier tagged submissions are checked against.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
     }
 
     /// Clients with at least one violation, with their violation lists —
@@ -227,5 +346,76 @@ mod tests {
     #[should_panic(expected = "assigned twice")]
     fn duplicate_assignment_rejected() {
         let _ = ReportValidator::new(4, &[(1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn stale_round_reports_rejected() {
+        let mut v = ReportValidator::for_round(8, &[(10, 0), (11, 3)], 7);
+        assert_eq!(v.round(), 7);
+        assert_eq!(
+            v.submit_tagged(10, 0, 1.0, 6, 100),
+            Err(Violation::StaleRound)
+        );
+        assert_eq!(
+            v.submit_tagged(10, 0, 1.0, 8, 101),
+            Err(Violation::StaleRound)
+        );
+        // The same client can still deliver its current-round report.
+        v.submit_tagged(10, 0, 1.0, 7, 102).unwrap();
+        assert_eq!(v.accepted(), 1);
+        let counts = v.rejection_counts();
+        assert_eq!(counts.stale_round, 2);
+        assert_eq!(counts.total(), 2);
+    }
+
+    #[test]
+    fn replayed_nonces_rejected() {
+        let mut v = ReportValidator::for_round(8, &[(10, 0), (11, 3)], 0);
+        v.submit_tagged(10, 0, 1.0, 0, 500).unwrap();
+        // Replay of client 10's report, resubmitted verbatim (even under a
+        // different client id the nonce gives it away).
+        assert_eq!(
+            v.submit_tagged(10, 0, 1.0, 0, 500),
+            Err(Violation::ReplayedReport)
+        );
+        assert_eq!(
+            v.submit_tagged(11, 3, 1.0, 0, 500),
+            Err(Violation::ReplayedReport)
+        );
+        v.submit_tagged(11, 3, 0.0, 0, 501).unwrap();
+        assert_eq!(v.accepted(), 2);
+        assert_eq!(v.rejection_counts().replayed, 2);
+    }
+
+    #[test]
+    fn per_class_counts_are_disjoint() {
+        let mut v = ReportValidator::for_round(8, &[(10, 0), (11, 3)], 1);
+        let _ = v.submit_tagged(10, 0, 1.0, 0, 1); // stale
+        let _ = v.submit_tagged(99, 0, 1.0, 1, 2); // unknown client
+        v.submit_tagged(10, 0, 1.0, 1, 3).unwrap();
+        let _ = v.submit_tagged(10, 0, 1.0, 1, 4); // duplicate (fresh nonce)
+        let _ = v.submit_tagged(11, 7, 1.0, 1, 5); // wrong bit
+        let _ = v.submit_tagged(11, 3, 1.0, 1, 3); // replayed nonce
+        let counts = v.rejection_counts();
+        assert_eq!(counts.stale_round, 1);
+        assert_eq!(counts.unknown_client, 1);
+        assert_eq!(counts.duplicate, 1);
+        assert_eq!(counts.wrong_bit, 1);
+        assert_eq!(counts.replayed, 1);
+        assert_eq!(counts.straggler, 0);
+        assert_eq!(counts.total(), 5);
+        assert_eq!(v.rejected(), 5);
+        assert_eq!(v.accepted(), 1);
+    }
+
+    #[test]
+    fn untagged_submissions_never_trip_the_new_classes() {
+        let mut v = validator();
+        v.submit(10, 0, 1.0).unwrap();
+        v.submit(11, 3, 0.0).unwrap();
+        v.submit(12, 7, 1.0).unwrap();
+        let counts = v.rejection_counts();
+        assert_eq!(counts.total(), 0);
+        assert_eq!(v.accepted(), 3);
     }
 }

@@ -136,6 +136,13 @@ pub enum SecAggError {
         /// Offending client.
         client: usize,
     },
+    /// The number of input vectors differs from the configured cohort size.
+    WrongClientCount {
+        /// Vectors supplied.
+        got: usize,
+        /// Configured cohort size.
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for SecAggError {
@@ -161,6 +168,9 @@ impl std::fmt::Display for SecAggError {
             }
             SecAggError::InconsistentDropouts { client } => {
                 write!(f, "client {client} listed in both dropout phases")
+            }
+            SecAggError::WrongClientCount { got, expected } => {
+                write!(f, "{got} input vectors for a cohort of {expected}")
             }
         }
     }
@@ -239,16 +249,18 @@ impl SharedSecrets {
 ///
 /// # Errors
 /// See [`SecAggError`].
-///
-/// # Panics
-/// Panics if `inputs.len() != config.n`.
 pub fn run_secure_aggregation(
     config: &SecAggConfig,
     inputs: &[Vec<u64>],
     plan: &DropoutPlan,
     rng: &mut dyn Rng,
 ) -> Result<SecAggOutcome, SecAggError> {
-    assert_eq!(inputs.len(), config.n, "one input vector per client");
+    if inputs.len() != config.n {
+        return Err(SecAggError::WrongClientCount {
+            got: inputs.len(),
+            expected: config.n,
+        });
+    }
     for client in &plan.before_masking {
         if plan.after_masking.contains(client) {
             return Err(SecAggError::InconsistentDropouts { client: *client });
@@ -523,6 +535,23 @@ mod tests {
         let err =
             run_secure_aggregation(&config, &ins, &DropoutPlan::none(), &mut rng).unwrap_err();
         assert_eq!(err, SecAggError::InputTooLarge { client: 0 });
+    }
+
+    #[test]
+    fn wrong_client_count_rejected() {
+        let config = SecAggConfig::new(4, 2, 2, 1);
+        let ins = inputs(3, 2);
+        let mut rng = StdRng::seed_from_u64(10);
+        let err =
+            run_secure_aggregation(&config, &ins, &DropoutPlan::none(), &mut rng).unwrap_err();
+        assert_eq!(
+            err,
+            SecAggError::WrongClientCount {
+                got: 3,
+                expected: 4
+            }
+        );
+        assert!(err.to_string().contains("cohort of 4"));
     }
 
     #[test]

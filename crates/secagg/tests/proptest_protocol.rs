@@ -110,3 +110,81 @@ proptest! {
         prop_assert_eq!(a.sum, b.sum);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Threshold boundary, complete graph: exactly `t` survivors at the
+    /// unmask round reconstruct the exact sum; `t − 1` fail closed with
+    /// `TooFewSurvivors` — never a panic, never a wrong sum.
+    #[test]
+    fn complete_graph_threshold_boundary_is_exact(
+        n in 3usize..24,
+        t_frac in 0.2f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let threshold = ((n as f64 * t_frac).ceil() as usize).clamp(2, n - 1);
+        let config = SecAggConfig::new(n, threshold, 2, seed ^ 0xEF);
+        let inputs: Vec<Vec<u64>> = (0..n).map(|i| vec![i as u64, 1]).collect();
+
+        // Exactly `threshold` clients alive at the unmask round: success,
+        // and the after-masking droppers' inputs still count.
+        let mut plan = DropoutPlan::none();
+        for i in 0..(n - threshold) {
+            plan.after_masking.insert(i);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = run_secure_aggregation(&config, &inputs, &plan, &mut rng)
+            .expect("exactly t survivors must reconstruct");
+        prop_assert_eq!(out.sum, expected_sum(&inputs, &BTreeSet::new()));
+
+        // One fewer survivor: a typed failure, not a panic.
+        plan.after_masking.insert(n - threshold);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match run_secure_aggregation(&config, &inputs, &plan, &mut rng) {
+            Err(SecAggError::TooFewSurvivors { survivors, threshold: th }) => {
+                prop_assert_eq!(survivors, threshold - 1);
+                prop_assert_eq!(th, threshold);
+            }
+            other => prop_assert!(false, "expected TooFewSurvivors, got {other:?}"),
+        }
+    }
+
+    /// Threshold boundary, ring-neighbor graph. Share reconstruction there
+    /// needs a majority of each neighborhood, so the droppers are spread
+    /// evenly around the ring; the global threshold check still gives the
+    /// exact `t` / `t − 1` boundary.
+    #[test]
+    fn ring_graph_threshold_boundary_is_exact(
+        n in 12usize..40,
+        seed in any::<u64>(),
+    ) {
+        let threshold = (n as f64 * 0.75).ceil() as usize;
+        let config = SecAggConfig::new(n, threshold, 2, seed ^ 0xF1).with_neighbors(6);
+        let inputs: Vec<Vec<u64>> = (0..n).map(|i| vec![(i % 7) as u64, 1]).collect();
+
+        // Evenly spaced after-masking droppers, exactly `threshold` alive:
+        // every 6-neighborhood keeps its share majority.
+        let droppers = n - threshold;
+        let mut plan = DropoutPlan::none();
+        for j in 0..droppers {
+            plan.after_masking.insert(j * n / droppers.max(1));
+        }
+        prop_assert_eq!(plan.after_masking.len(), droppers);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = run_secure_aggregation(&config, &inputs, &plan, &mut rng)
+            .expect("exactly t spread-out survivors must reconstruct");
+        prop_assert_eq!(out.sum, expected_sum(&inputs, &BTreeSet::new()));
+
+        // Drop one more (first index not already dropped): typed failure.
+        let extra = (0..n).find(|i| !plan.after_masking.contains(i)).unwrap();
+        plan.after_masking.insert(extra);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match run_secure_aggregation(&config, &inputs, &plan, &mut rng) {
+            Err(SecAggError::TooFewSurvivors { survivors, .. }) => {
+                prop_assert_eq!(survivors, threshold - 1);
+            }
+            other => prop_assert!(false, "expected TooFewSurvivors, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Chaos suite: seeded fault-injection scenarios over the full
+//! population → fedsim → secagg → core pipeline.
+//!
+//! Every scenario runs under `catch_unwind`: whatever the fleet does —
+//! dropouts, stragglers, corrupted bits, duplicated/replayed/stale reports,
+//! unmask failures — the orchestrator must either produce a usable estimate
+//! or fail with a typed [`FedError`], never panic. Successful degraded
+//! rounds must land within a predicted-error envelope, and the privacy
+//! ledger must never charge a client twice for one round, no matter how many
+//! retry waves re-sent its report.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fednum::core::encoding::FixedPointCodec;
+use fednum::core::privacy::{PrivacyLedger, RandomizedResponse};
+use fednum::core::protocol::basic::BasicConfig;
+use fednum::core::sampling::BitSampling;
+use fednum::fedsim::faults::{FaultPlan, FaultRates};
+use fednum::fedsim::round::{
+    run_federated_mean_metered, DegradedMode, FederatedMeanConfig, SecAggSettings,
+};
+use fednum::fedsim::{Client, DropoutModel, ElicitStrategy, FedError, Population, RetryPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BITS: u32 = 8;
+const DOMAIN: f64 = 256.0; // integer(8) codec span
+
+/// One cell of the scenario grid.
+struct Scenario {
+    id: u64,
+    population: usize,
+    dropout: DropoutModel,
+    fault_scale: f64,
+    rates: FaultRates,
+    secagg: Option<SecAggSettings>,
+    max_waves: u32,
+}
+
+fn scenario_grid() -> Vec<Scenario> {
+    let populations = [60usize, 250, 1000];
+    let dropouts = [
+        DropoutModel::None,
+        DropoutModel::bernoulli(0.25),
+        DropoutModel::phased(0.1, 0.2),
+    ];
+    let fault_scales = [0.0f64, 0.01, 0.03];
+    // Plus one skewed mix dominated by the replay/duplicate classes.
+    let skewed = FaultRates {
+        duplicate: 0.08,
+        replay: 0.05,
+        stale_round: 0.03,
+        ..FaultRates::none()
+    };
+    let transports = [
+        None,
+        Some(SecAggSettings {
+            threshold_fraction: 0.5,
+            neighbors: Some(32),
+        }),
+        // Tight threshold: after-masking dropout regularly forces the
+        // re-masked retry path.
+        Some(SecAggSettings {
+            threshold_fraction: 0.8,
+            neighbors: Some(32),
+        }),
+    ];
+    let waves = [1u32, 3];
+
+    let mut grid = Vec::new();
+    let mut id = 0u64;
+    for &population in &populations {
+        for &dropout in &dropouts {
+            for fault_case in 0..=fault_scales.len() {
+                for &secagg in &transports {
+                    for &max_waves in &waves {
+                        let (fault_scale, rates) = if fault_case < fault_scales.len() {
+                            let s = fault_scales[fault_case];
+                            (s, FaultRates::uniform(s))
+                        } else {
+                            (0.16 / 7.0, skewed)
+                        };
+                        id += 1;
+                        grid.push(Scenario {
+                            id,
+                            population,
+                            dropout,
+                            fault_scale,
+                            rates,
+                            secagg,
+                            max_waves,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// Builds a multi-value population and elicits one value per client, so the
+/// scenario exercises the population layer too.
+fn elicit(scenario: &Scenario) -> Vec<f64> {
+    let clients: Vec<Client> = (0..scenario.population as u64)
+        .map(|i| {
+            let base = (i * 37 + scenario.id * 13) % 200;
+            let values: Vec<f64> = (0..=(i % 3)).map(|k| (base + 10 * k) as f64).collect();
+            Client::new(i, (i % 4) as u32, values)
+        })
+        .collect();
+    let strategy = if scenario.id.is_multiple_of(2) {
+        ElicitStrategy::Sample
+    } else {
+        ElicitStrategy::LocalAggregate
+    };
+    let mut rng = StdRng::seed_from_u64(scenario.id ^ 0xE11C);
+    Population::new(clients).elicit(strategy, &mut rng)
+}
+
+fn config_for(scenario: &Scenario) -> FederatedMeanConfig {
+    let mut protocol = BasicConfig::new(
+        FixedPointCodec::integer(BITS),
+        BitSampling::geometric(BITS, 1.0),
+    );
+    if scenario.id.is_multiple_of(5) {
+        protocol = protocol.with_privacy(RandomizedResponse::from_epsilon(3.0));
+    }
+    let mut cfg = FederatedMeanConfig::new(protocol)
+        .with_dropout(scenario.dropout)
+        .with_retry(RetryPolicy {
+            max_secagg_retries: 2,
+            base_backoff: 0.5,
+            max_backoff: 8.0,
+            min_cohort: 5,
+        });
+    if scenario.max_waves > 1 {
+        cfg = cfg.with_auto_adjust(scenario.max_waves, 5, 0.7);
+    }
+    if let Some(settings) = scenario.secagg {
+        cfg = cfg.with_secagg(settings);
+    }
+    if scenario.fault_scale > 0.0 {
+        cfg = cfg.with_faults(FaultPlan::new(scenario.rates, scenario.id ^ 0xFA17).unwrap());
+    }
+    cfg.session_seed = 0x1000 + scenario.id;
+    cfg
+}
+
+#[test]
+fn chaos_scenarios_never_panic_and_degrade_predictably() {
+    let grid = scenario_grid();
+    assert!(
+        grid.len() >= 200,
+        "chaos grid must span at least 200 scenarios, has {}",
+        grid.len()
+    );
+
+    let mut successes = 0usize;
+    let mut degraded_successes = 0usize;
+    let mut retried = 0usize;
+    let mut typed_failures = 0usize;
+    let mut out_of_envelope = 0usize;
+
+    for scenario in &grid {
+        let values = elicit(scenario);
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let config = config_for(scenario);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut ledger = PrivacyLedger::new();
+            let mut rng = StdRng::seed_from_u64(scenario.id ^ 0xC4A0);
+            let out = run_federated_mean_metered(&values, &config, &mut ledger, &mut rng);
+            (out, ledger)
+        }));
+        let (outcome, ledger) = result.unwrap_or_else(|_| {
+            panic!(
+                "scenario {} (n={}, faults={:.3}, secagg={}) panicked",
+                scenario.id,
+                scenario.population,
+                scenario.fault_scale,
+                scenario.secagg.is_some()
+            )
+        });
+        // Whatever happened, the round billed each client at most one bit:
+        // retry waves never double-charge.
+        assert!(
+            ledger.max_bits_per_client() <= 1,
+            "scenario {}: ledger charged {} bits to one client",
+            scenario.id,
+            ledger.max_bits_per_client()
+        );
+        match outcome {
+            Ok(out) => {
+                successes += 1;
+                if out.robustness.degraded != DegradedMode::Clean {
+                    degraded_successes += 1;
+                }
+                retried += usize::from(out.robustness.secagg_retries > 0);
+                // Predicted-error envelope: statistical spread plus a bias
+                // allowance for the undetectable corruption classes
+                // (corrupted bits, naive-accepted stale payloads), which
+                // shift bit means by up to their injection rate.
+                let bias_allowance =
+                    2.0 * (scenario.rates.corrupt_bit + scenario.rates.stale_round) * DOMAIN;
+                let tolerance = 8.0 * out.outcome.predicted_std.max(DOMAIN * 0.005)
+                    + bias_allowance
+                    + DOMAIN * 0.02;
+                if (out.outcome.estimate - truth).abs() > tolerance {
+                    out_of_envelope += 1;
+                    eprintln!(
+                        "scenario {}: estimate {} vs truth {truth} outside ±{tolerance:.2}",
+                        scenario.id, out.outcome.estimate
+                    );
+                }
+            }
+            Err(e) => {
+                // Every failure must be one of the typed classes.
+                typed_failures += 1;
+                match e {
+                    FedError::NoReports
+                    | FedError::SecAgg(_)
+                    | FedError::CohortTooSmall { .. }
+                    | FedError::PopulationTooSmall { .. }
+                    | FedError::Budget(_)
+                    | FedError::BitOutOfRange { .. }
+                    | FedError::InvalidConfig(_) => {}
+                }
+            }
+        }
+    }
+
+    assert_eq!(out_of_envelope, 0, "estimates escaped the error envelope");
+    assert!(
+        successes >= grid.len() / 2,
+        "most scenarios should produce an estimate: {successes}/{}",
+        grid.len()
+    );
+    assert!(
+        degraded_successes > 20,
+        "degraded recovery paths must be exercised, got {degraded_successes}"
+    );
+    assert!(
+        retried > 0,
+        "the secagg retry path must fire somewhere in the grid"
+    );
+    eprintln!(
+        "chaos: {} scenarios, {successes} ok ({degraded_successes} degraded, {retried} retried), \
+         {typed_failures} typed failures",
+        grid.len()
+    );
+}
+
+#[test]
+fn hostile_scenarios_fail_typed_never_panic() {
+    // Fleets hostile enough that the round cannot complete: near-total
+    // dropout, cohorts below the privacy minimum, unmask failures with no
+    // retry budget. Every one must surface a typed error.
+    let mut failures = 0usize;
+    for seed in 0..40u64 {
+        let values: Vec<f64> = (0..25).map(|i| f64::from(i % 10)).collect();
+        let mut cfg = config_for(&Scenario {
+            id: seed,
+            population: values.len(),
+            dropout: DropoutModel::bernoulli(0.95),
+            fault_scale: 0.05,
+            rates: FaultRates::uniform(0.05),
+            secagg: seed.is_multiple_of(2).then_some(SecAggSettings {
+                threshold_fraction: 0.9,
+                neighbors: None,
+            }),
+            max_waves: 1,
+        });
+        cfg.retry = RetryPolicy {
+            max_secagg_retries: 0,
+            base_backoff: 0.0,
+            max_backoff: 0.0,
+            min_cohort: 8,
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut ledger = PrivacyLedger::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            run_federated_mean_metered(&values, &cfg, &mut ledger, &mut rng)
+        }))
+        .unwrap_or_else(|_| panic!("hostile scenario {seed} panicked"));
+        if let Err(e) = outcome {
+            failures += 1;
+            assert!(!e.to_string().is_empty());
+        }
+    }
+    assert!(
+        failures >= 30,
+        "hostile fleets should fail in most runs, got {failures}/40"
+    );
+}
+
+#[test]
+fn chaos_failures_are_deterministic_per_seed() {
+    // The same scenario id replays to the identical outcome: fault sampling
+    // is hash-based and draws nothing from the orchestrator RNG stream.
+    let grid = scenario_grid();
+    for scenario in grid.iter().step_by(37) {
+        let values = elicit(scenario);
+        let config = config_for(scenario);
+        let run = || {
+            let mut ledger = PrivacyLedger::new();
+            let mut rng = StdRng::seed_from_u64(scenario.id ^ 0xC4A0);
+            run_federated_mean_metered(&values, &config, &mut ledger, &mut rng)
+                .map(|o| (o.outcome.estimate, o.reports, o.robustness))
+                .map_err(|e| e.to_string())
+        };
+        assert_eq!(run(), run(), "scenario {} must replay", scenario.id);
+    }
+}

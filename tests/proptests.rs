@@ -197,3 +197,30 @@ proptest! {
         prop_assert!((out.estimate + missing - v as f64).abs() < 1e-9);
     }
 }
+
+/// Deterministic replay of the shrunk case recorded in
+/// `tests/proptests.proptest-regressions` (`v = 945, seed = 0, n = 2`):
+/// `ci.sh` runs this by name so the saved regression is exercised even in
+/// environments where the proptest runner or its seed file is unavailable.
+#[test]
+fn regression_constant_population_v945_seed0_n2() {
+    use fednum::core::protocol::basic::{BasicBitPushing, BasicConfig};
+    let (v, seed, n) = (945u64, 0u64, 2usize);
+    let protocol = BasicBitPushing::new(BasicConfig::new(
+        FixedPointCodec::integer(12),
+        BitSampling::geometric(12, 1.0),
+    ));
+    let values = vec![v as f64; n];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out = protocol.run(&values, &mut rng);
+    assert!(out.estimate <= v as f64 + 1e-9);
+    let missing: f64 = out
+        .accumulator
+        .counts()
+        .iter()
+        .enumerate()
+        .filter(|(j, &c)| c == 0 && (v >> j) & 1 == 1)
+        .map(|(j, _)| (1u64 << j) as f64)
+        .sum();
+    assert!((out.estimate + missing - v as f64).abs() < 1e-9);
+}

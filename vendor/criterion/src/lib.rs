@@ -1,0 +1,105 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! This container has no registry access, so the workspace carries a minimal
+//! stand-in that supports the idioms the benches use: `Criterion::bench_function`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. It runs a short calibrated timing loop and prints median ns/iter —
+//! enough to compare kernels locally, with none of upstream's statistics,
+//! plotting, or CLI machinery.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark timing driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Total wall-clock spent in the measured closure across all sample runs.
+    elapsed: Duration,
+    /// Number of closure invocations that contributed to `elapsed`.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly: a warm-up phase sizes the batch so one sample
+    /// takes a measurable slice of time, then several samples accumulate.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: find a batch size that takes at least ~1ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        // Measurement: fixed number of samples at the calibrated batch size,
+        // bounded by a total time budget so slow benches still terminate.
+        let budget = Duration::from_millis(200);
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..32 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            spent += start.elapsed();
+            iters += batch;
+            if spent >= budget {
+                break;
+            }
+        }
+        self.elapsed = spent;
+        self.iters = iters;
+    }
+}
+
+/// Benchmark registry/driver; a far smaller cousin of upstream's type.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+            println!("{id:<40} {ns_per_iter:>12.1} ns/iter ({} iters)", b.iters);
+        } else {
+            println!("{id:<40} (no measurement)");
+        }
+        self
+    }
+}
+
+/// Bundle benchmark functions into a single runner function, mirroring
+/// upstream's plain `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generate `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

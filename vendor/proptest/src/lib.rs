@@ -1,0 +1,532 @@
+//! Offline vendored proptest stand-in.
+//!
+//! This container has no registry access, so the workspace carries a minimal
+//! replacement for the proptest API surface its suites use: the `proptest!`
+//! macro (with `#![proptest_config(...)]`), `prop_assert*`/`prop_assume!`,
+//! integer/float range strategies, `any::<T>()`, tuple strategies, the
+//! `prop::collection::{vec, hash_set, btree_set}` constructors, and simple
+//! `[class]{m,n}` string patterns.
+//!
+//! Deliberate divergences from upstream: no shrinking (a failing case prints
+//! its full inputs instead of a minimized one) and a fixed per-test seed
+//! derived from the test's module path (upstream defaults to OS entropy plus
+//! a regression file). Every run is therefore deterministic; set
+//! `PROPTEST_CASES` to scale case counts up or down.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Subset of upstream's config: only the case count is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the case out; it is re-drawn, not failed.
+        Reject(String),
+        /// `prop_assert*` failed; the test panics with this message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// Deterministic per-case RNG handed to strategies.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seed from the test's identity and the case index, so each test has
+        /// its own reproducible stream and each case is independent.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(
+                h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ))
+        }
+    }
+
+    impl Rng for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+    }
+
+    /// Case count after the `PROPTEST_CASES` environment override.
+    pub fn effective_cases(configured: u32) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(configured),
+            Err(_) => configured,
+        }
+    }
+
+    /// Drive one property: draw cases until `cases` of them ran (rejections
+    /// are re-drawn with a budget), panicking on the first failure with the
+    /// generated inputs attached. Called by the `proptest!` expansion.
+    pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+    {
+        let cases = effective_cases(config.cases);
+        let mut runs: u32 = 0;
+        let mut rejects: u32 = 0;
+        let mut case_idx: u64 = 0;
+        while runs < cases {
+            if rejects > cases.saturating_mul(16).max(256) {
+                panic!("proptest `{name}`: too many prop_assume! rejections ({rejects})");
+            }
+            let mut rng = TestRng::for_case(name, case_idx);
+            case_idx += 1;
+            let (result, inputs) = case(&mut rng);
+            match result {
+                Ok(()) => runs += 1,
+                Err(TestCaseError::Reject(_)) => rejects += 1,
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest `{name}` failed at case #{}:\n    {msg}\n    inputs: {inputs}",
+                    case_idx - 1
+                ),
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating one value of `Self::Value` per test case.
+    /// Unlike upstream there is no value tree: no shrinking, just sampling.
+    pub trait Strategy {
+        type Value: fmt::Debug;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Marker returned by [`any`]; the `T`s it supports are the primitive
+    /// impls below.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// `any::<T>()` — uniform over `T`'s whole domain.
+    pub fn any<T>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! impl_any {
+        ($($t:ty => |$rng:ident| $gen:expr;)*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, $rng: &mut TestRng) -> $t {
+                    $gen
+                }
+            }
+        )*};
+    }
+
+    impl_any! {
+        u8 => |rng| (rng.random::<u32>() & 0xFF) as u8;
+        u16 => |rng| (rng.random::<u32>() & 0xFFFF) as u16;
+        u32 => |rng| rng.random::<u32>();
+        u64 => |rng| rng.random::<u64>();
+        usize => |rng| rng.random::<u64>() as usize;
+        i32 => |rng| rng.random::<u32>() as i32;
+        i64 => |rng| rng.random::<u64>() as i64;
+        bool => |rng| rng.random::<bool>();
+        f64 => |rng| rng.random::<f64>();
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident : $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+
+    /// String patterns: either a literal with no regex metacharacters, or a
+    /// single character class with a bounded repetition, `[class]{m,n}`.
+    /// Anything fancier panics so an unsupported pattern is caught loudly.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            if let Some((alphabet, min, max)) = parse_class_repeat(self) {
+                let len = rng.random_range(min..=max);
+                (0..len)
+                    .map(|_| alphabet[rng.random_range(0..alphabet.len())])
+                    .collect()
+            } else if !self.contains(['[', ']', '{', '}', '*', '+', '?', '|', '(', ')', '\\']) {
+                (*self).to_string()
+            } else {
+                panic!("vendored proptest: unsupported string pattern `{self}`");
+            }
+        }
+    }
+
+    /// Parse `[a-z0_]{m,n}` into (alphabet, m, n).
+    fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+        let rest = rest.strip_prefix('{')?;
+        let bounds = rest.strip_suffix('}')?;
+        let (min, max) = bounds.split_once(',')?;
+        let (min, max): (usize, usize) = (min.trim().parse().ok()?, max.trim().parse().ok()?);
+        let mut alphabet = Vec::new();
+        let chars: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                for c in (lo as u32)..=(hi as u32) {
+                    alphabet.push(char::from_u32(c)?);
+                }
+                i += 3;
+            } else {
+                alphabet.push(chars[i]);
+                i += 1;
+            }
+        }
+        (!alphabet.is_empty() && min <= max).then_some((alphabet, min, max))
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::RngExt;
+    use std::collections::{BTreeSet, HashSet};
+    use std::fmt;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    pub fn hash_set<S: Strategy>(elem: S, size: Range<usize>) -> HashSetStrategy<S> {
+        HashSetStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash + fmt::Debug,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.random_range(self.size.clone());
+            let mut out = HashSet::new();
+            // Duplicates don't grow the set; cap the attempts so a
+            // low-entropy element strategy cannot loop forever.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 20 + 50 {
+                out.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    pub fn btree_set<S: Strategy>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord + fmt::Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.random_range(self.size.clone());
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 20 + 50 {
+                out.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Upstream exposes strategy constructors under `proptest::prop`; mirror the
+/// pieces the workspace uses.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fail the current case (returns `Err(TestCaseError::Fail)` from the body).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            __l, __r, stringify!($left), stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` == `{:?}` ({} == {})",
+            __l,
+            __r,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+}
+
+/// Discard the current case without failing (it is re-drawn).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// The `proptest!` block: expands each `fn name(pat in strategy, ...) { .. }`
+/// into a deterministic multi-case test driven by
+/// [`test_runner::run_cases`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            $crate::test_runner::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                &($cfg),
+                |__rng| {
+                    let __vals = ($($crate::strategy::Strategy::generate(&($s), __rng),)+);
+                    let __inputs = ::std::format!("{:?}", __vals);
+                    let ($($p,)+) = __vals;
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            let _: () = $body;
+                            ::std::result::Result::Ok(())
+                        })();
+                    (__result, __inputs)
+                },
+            );
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3u32..10,
+            b in 5u64..=9,
+            x in -2.0f64..2.0,
+            n in 1usize..4,
+        ) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0u64..100, 2..6),
+            hs in prop::collection::hash_set("[a-z]{3,8}", 1..5),
+            bs in prop::collection::btree_set(1u32..1000, 1..8),
+            pair in (0u32..4, any::<bool>()),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(!hs.is_empty() && hs.len() < 5);
+            prop_assert!(hs.iter().all(|s| (3..=8).contains(&s.len())));
+            prop_assert!(hs.iter().all(|s| s.chars().all(|c| c.is_ascii_lowercase())));
+            prop_assert!(!bs.is_empty() && bs.len() < 8);
+            prop_assert!(pair.0 < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Rejections re-draw instead of failing; equality macros fire.
+        #[test]
+        fn assume_and_eq_macros(mut a in 0u32..100, b in any::<u32>()) {
+            prop_assume!(a != 1);
+            a += 0;
+            prop_assert_ne!(a, 1);
+            prop_assert_eq!(b, b);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(0u64..1000, 3..9);
+        let a = s.generate(&mut TestRng::for_case("x", 7));
+        let b = s.generate(&mut TestRng::for_case("x", 7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case #0")]
+    fn failing_property_panics_with_inputs() {
+        crate::proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(v in 0u64..10) {
+                prop_assert!(v > 100, "v was {v}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,407 @@
+//! Minimal, dependency-free subset of the `rand` crate API, vendored so the
+//! workspace builds in fully offline environments.
+//!
+//! Only the surface this workspace actually uses is provided:
+//!
+//! * [`Rng`] — the dyn-safe core trait (`next_u32` / `next_u64` /
+//!   `fill_bytes`);
+//! * [`RngExt`] — generic convenience methods (`random`, `random_bool`,
+//!   `random_range`), blanket-implemented for every `Rng` including trait
+//!   objects;
+//! * [`SeedableRng`] with `from_seed` / `seed_from_u64`;
+//! * [`rngs::StdRng`] — a deterministic xoshiro256\*\* generator (not the
+//!   upstream ChaCha12; streams differ from upstream `rand`, which is fine
+//!   for this workspace's seeded simulations);
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates.
+//!
+//! Determinism is part of the contract: the same seed always yields the same
+//! stream, across runs and platforms.
+
+/// Dyn-safe random number generator core.
+pub trait Rng {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            let n = rem.len();
+            rem.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// Types samplable from the "standard" distribution: `u32`/`u64` uniform
+/// over the full range, `f64` uniform in `[0, 1)`, `bool` fair.
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1), the standard multiply-by-2^-53 scheme.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`RngExt::random_range`].
+pub trait SampleRange {
+    /// The element type the range produces.
+    type Output;
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform integer draw in `[0, span)` without modulo bias.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                if start == <$t>::MIN && (end as u64) == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (end - start) as u64 + 1;
+                start + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample_standard(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+/// Generic convenience methods over any [`Rng`], including `dyn Rng`.
+pub trait RngExt: Rng {
+    /// Draws a value from the standard distribution for `T`.
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p <= 1`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        f64::sample_standard(self) < p
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn random_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// A generator constructible from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded via SplitMix64 — the same
+    /// expansion upstream `rand` uses, so small seeds still produce
+    /// well-mixed states.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        let bytes = seed.as_mut();
+        let mut chunks = bytes.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&sm.next().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let b = sm.next().to_le_bytes();
+            let n = rem.len();
+            rem.copy_from_slice(&b[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256\*\*
+    /// (Blackman–Vigna), 256-bit state, passes BigCrush. Not the upstream
+    /// ChaCha12 `StdRng` — seeded streams differ from upstream `rand`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn next(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.next()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // An all-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            Self { s }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence utilities.
+
+    use super::{uniform_below, Rng};
+
+    /// Random slice operations.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns one uniformly chosen element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_below(rng, (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_uniform_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn random_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        let rate = hits as f64 / 1e5;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn range_sampling_is_in_bounds_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.random_range(0..5usize)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 / 10_000.0 - 1.0).abs() < 0.05,
+                "counts {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dyn_rng_object_safety() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dyn_rng: &mut dyn Rng = &mut rng;
+        let u: f64 = dyn_rng.random();
+        assert!((0.0..1.0).contains(&u));
+        assert_eq!(dyn_rng.random_range(3..4u64), 3);
+        assert!(!dyn_rng.random_bool(0.0));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn inclusive_range_covers_endpoints() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut saw = [false; 3];
+        for _ in 0..200 {
+            saw[rng.random_range(0..=2usize)] = true;
+        }
+        assert!(saw.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,481 @@
+//! Offline vendored serde stand-in.
+//!
+//! This container has no registry access, so the workspace carries a minimal
+//! replacement for the serde API surface it uses. The model is deliberately
+//! simpler than upstream's visitor architecture: serialization is conversion
+//! to a [`Value`] tree (`Serialize::to_value`), deserialization is conversion
+//! back (`Deserialize::from_value`), and `serde_json` renders/parses that
+//! tree. The derive macros (`features = ["derive"]`, see `vendor/serde_derive`)
+//! generate exactly those two methods from a type's shape.
+//!
+//! JSON-visible behavior matches upstream where the workspace depends on it:
+//! externally tagged enums, structs as objects, integer-keyed maps with
+//! stringified keys. One deliberate divergence: non-finite floats serialize to
+//! `Null` and `Null` deserializes to `f64::NAN` (upstream errors), which keeps
+//! round-trips of statistical tables total.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// A JSON-shaped value tree. Object entries preserve insertion order so
+/// serialized output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable tag for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a message describing what failed to convert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError(format!("missing field `{field}` for `{ty}`"))
+    }
+
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant `{variant}` for enum `{ty}`"))
+    }
+
+    pub fn invalid_type(expected: &str, got: &Value) -> Self {
+        DeError(format!(
+            "invalid type: expected {expected}, got {}",
+            got.kind()
+        ))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match v {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    _ => return Err(DeError::invalid_type(stringify!($t), v)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!(
+                        "integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u).map_err(|_| {
+                        DeError::custom(format!("integer {u} out of range for i64"))
+                    })?,
+                    _ => return Err(DeError::invalid_type(stringify!($t), v)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!(
+                        "integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    // Non-finite floats serialize to null; restore as NaN.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(DeError::invalid_type(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::invalid_type("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::invalid_type("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::invalid_type("single-character string", v)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::invalid_type("array", v)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const ARITY: usize = [$($idx),+].len();
+                match v {
+                    Value::Array(items) if items.len() == ARITY => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(DeError::invalid_type("tuple array", v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Map keys must render as JSON object keys (strings) and parse back.
+pub trait MapKey: Sized {
+    fn to_key(&self) -> String;
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| {
+                    DeError::custom(format!(
+                        "invalid map key `{s}` for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys for deterministic output regardless of hash order.
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<K: MapKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, val)| Ok((K::from_key(k)?, V::from_value(val)?)))
+                .collect(),
+            _ => Err(DeError::invalid_type("object", v)),
+        }
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, val)| Ok((K::from_key(k)?, V::from_value(val)?)))
+                .collect(),
+            _ => Err(DeError::invalid_type("object", v)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by derive-generated code
+// ---------------------------------------------------------------------------
+
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    pub fn as_object<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], DeError> {
+        match v {
+            Value::Object(pairs) => Ok(pairs),
+            _ => Err(DeError::invalid_type(ty, v)),
+        }
+    }
+
+    pub fn as_array<'v>(v: &'v Value, ty: &str) -> Result<&'v [Value], DeError> {
+        match v {
+            Value::Array(items) => Ok(items),
+            _ => Err(DeError::invalid_type(ty, v)),
+        }
+    }
+
+    /// Look up `key` in an object's pairs and deserialize it. A missing key
+    /// deserializes from `Null`, so `Option` fields default to `None`; types
+    /// that reject `Null` surface a missing-field error instead.
+    pub fn field<T: Deserialize>(
+        pairs: &[(String, Value)],
+        key: &str,
+        ty: &str,
+    ) -> Result<T, DeError> {
+        match pairs.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => T::from_value(v)
+                .map_err(|e| DeError::custom(format!("field `{key}` of `{ty}`: {e}"))),
+            None => T::from_value(&Value::Null).map_err(|_| DeError::missing_field(key, ty)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn nan_round_trips_via_null() {
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn option_and_missing_field() {
+        let obj = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        let a: Option<u64> =
+            __private::field(__private::as_object(&obj, "T").unwrap(), "a", "T").unwrap();
+        assert_eq!(a, Some(1));
+        let b: Option<u64> =
+            __private::field(__private::as_object(&obj, "T").unwrap(), "b", "T").unwrap();
+        assert_eq!(b, None);
+        let err: Result<u64, _> =
+            __private::field(__private::as_object(&obj, "T").unwrap(), "b", "T");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn maps_use_string_keys() {
+        let mut m: HashMap<u64, u32> = HashMap::new();
+        m.insert(10, 1);
+        m.insert(2, 2);
+        let v = m.to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("10".into(), Value::UInt(1)),
+                ("2".into(), Value::UInt(2)),
+            ])
+        );
+        let back: HashMap<u64, u32> = HashMap::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+}

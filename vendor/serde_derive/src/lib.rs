@@ -1,0 +1,414 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The workspace's serde stand-in (see `vendor/serde`) models serialization as
+//! conversion to/from a `serde::Value` tree, so the derive only needs the
+//! *shape* of a type — field names, variant names, payload arities — never the
+//! field types (those resolve through trait dispatch at the use site). That
+//! lets this crate parse the item with a small hand-written token walker
+//! instead of depending on `syn`/`quote`, which the container cannot download.
+//!
+//! Supported: non-generic structs (named, tuple, unit) and enums whose
+//! variants are unit, tuple, or struct-like; the `#[serde(skip)]` field
+//! attribute (skip on serialize, `Default::default()` on deserialize).
+//! Enums use serde's externally-tagged JSON representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+/// Consume any number of `#[...]` attributes at position `i`; returns whether
+/// one of them was `#[serde(skip)]` (or any `serde(...)` list naming `skip`).
+fn eat_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        // Inner attributes (`#![...]`) cannot appear here; the next token is
+        // always the bracket group.
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde"
+                        && args
+                            .stream()
+                            .into_iter()
+                            .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "skip"))
+                    {
+                        skip = true;
+                    }
+                }
+                *i += 1;
+            }
+        }
+    }
+    skip
+}
+
+/// Consume `pub` / `pub(...)` visibility at position `i`.
+fn eat_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Consume tokens until a comma at angle-bracket depth zero (used to skip a
+/// type or a discriminant expression). Leaves `i` past the comma.
+fn eat_until_top_level_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(g: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let skip = eat_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        eat_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        eat_until_top_level_comma(&toks, &mut i);
+        out.push(Field { name, skip });
+    }
+    out
+}
+
+/// Number of comma-separated items in a tuple payload, ignoring commas nested
+/// inside angle brackets (parenthesized/bracketed nesting is already opaque:
+/// those arrive as single `Group` tokens).
+fn tuple_arity(g: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut arity = 1usize;
+    let mut trailing_comma = false;
+    for t in &toks {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+fn parse_variants(g: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        eat_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(pg)) if pg.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(tuple_arity(pg));
+                i += 1;
+                k
+            }
+            Some(TokenTree::Group(bg)) if bg.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Struct(parse_named_fields(bg));
+                i += 1;
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant and/or the separating comma.
+        eat_until_top_level_comma(&toks, &mut i);
+        out.push(Variant { name, kind });
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    eat_attrs(&toks, &mut i);
+    eat_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic types are not supported; `{name}` is generic");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(tuple_arity(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            other => panic!("serde derive: expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    (name, shape)
+}
+
+/// `{ let mut __fields = ...; push each non-skipped field; Value::Object }`
+/// where each field value expression is produced by `access` (e.g. `&self.a`
+/// for structs, the match binding for struct variants).
+fn named_to_object(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut s = String::from(
+        "{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new(); ",
+    );
+    for f in fields.iter().filter(|f| !f.skip) {
+        s.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_value({a})));",
+            n = f.name,
+            a = access(&f.name)
+        ));
+    }
+    s.push_str(" ::serde::Value::Object(__fields) }");
+    s
+}
+
+/// `{ a: field(__obj, "a")?, skipped: Default::default(), ... }`
+fn named_from_object(fields: &[Field], ty_label: &str) -> String {
+    let mut s = String::from("{ ");
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!("{}: ::std::default::Default::default(), ", f.name));
+        } else {
+            s.push_str(&format!(
+                "{n}: ::serde::__private::field(__obj, \"{n}\", \"{ty_label}\")?, ",
+                n = f.name
+            ));
+        }
+    }
+    s.push('}');
+    s
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Shape::NamedStruct(fields) => named_to_object(fields, |f| format!("&self.{f}")),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_value(__f0))]),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({b}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Array(::std::vec![{e}]))]),",
+                            b = binds.join(", "),
+                            e = elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.clone())
+                            .collect();
+                        let obj = named_to_object(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {b}, .. }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), {obj})]),",
+                            b = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+    .parse()
+    .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::UnitStruct => format!(
+            "match __v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             _ => ::std::result::Result::Err(::serde::DeError::invalid_type(\"null (unit \
+             struct {name})\", __v)) }}"
+        ),
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                .collect();
+            format!(
+                "{{ let __arr = ::serde::__private::as_array(__v, \"{name}\")?; \
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(\"wrong tuple arity for {name}\")); }} \
+                 ::std::result::Result::Ok({name}({e})) }}",
+                e = elems.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => format!(
+            "{{ let __obj = ::serde::__private::as_object(__v, \"{name}\")?; \
+             ::std::result::Result::Ok({name} {f}) }}",
+            f = named_from_object(fields, &name)
+        ),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __arr = ::serde::__private::as_array(__inner, \
+                             \"{name}::{vn}\")?; if __arr.len() != {n} {{ return \
+                             ::std::result::Result::Err(::serde::DeError::custom(\
+                             \"wrong payload arity for {name}::{vn}\")); }} \
+                             ::std::result::Result::Ok({name}::{vn}({e})) }}",
+                            e = elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{ let __obj = ::serde::__private::as_object(__inner, \
+                         \"{name}::{vn}\")?; ::std::result::Result::Ok({name}::{vn} {f}) }}",
+                        f = named_from_object(fields, &format!("{name}::{vn}"))
+                    )),
+                }
+            }
+            format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, \"{name}\")) }}, \
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                 let (__tag, __inner) = (&__pairs[0].0, &__pairs[0].1); \
+                 match __tag.as_str() {{ {data_arms} \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, \"{name}\")) }} }}, \
+                 _ => ::std::result::Result::Err(\
+                 ::serde::DeError::invalid_type(\"externally tagged enum {name}\", __v)) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+    .parse()
+    .expect("serde derive: generated Deserialize impl failed to parse")
+}
