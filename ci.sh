@@ -23,6 +23,14 @@ cargo test --release --offline --test proptests \
     regression_constant_population_v945_seed0_n2 -- --exact
 PROPTEST_CASES=1 cargo test --release --offline --test proptests \
     constant_population_underestimates_by_unsampled_bits
+# Transport wire-codec regression anchors (boundary frames pinned as unit
+# tests), plus a 1-case proptest replay of the round-trip property.
+cargo test --release --offline -p fednum-transport --test proptest_messages \
+    regression_max_varint_fields_round_trip -- --exact
+cargo test --release --offline -p fednum-transport --test proptest_messages \
+    regression_hostile_count_fails_closed -- --exact
+PROPTEST_CASES=1 cargo test --release --offline -p fednum-transport \
+    --test proptest_messages encode_decode_identity
 
 step "cargo test (workspace)"
 cargo test -q --release --offline --workspace

@@ -1,0 +1,161 @@
+//! Machine-readable transport benchmarks.
+//!
+//! Runs the event-driven coordinator — single and sharded — across a grid
+//! of fleet sizes, measuring wall-clock time and metered uplink bytes per
+//! client, and writes `results/BENCH_transport.json`. The headline
+//! configuration is the one the subsystem exists for: a **1,000,000-client**
+//! bit-pushing round through the sharded coordinator, which must finish in
+//! seconds (enforced here: the full run exits nonzero past 10 s).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_transport [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the grid (top size 100k) for CI smoke runs. Per-config
+//! fields: wall seconds, metered uplink bytes/client next to the raw
+//! `core::wire` report encoding (their difference is the framing overhead:
+//! message tag + nonce varint), total messages, and the estimate error.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fednum_core::encoding::FixedPointCodec;
+use fednum_core::protocol::basic::BasicConfig;
+use fednum_core::sampling::BitSampling;
+use fednum_core::wire::bitpush_upload_bytes;
+use fednum_fedsim::round::FederatedMeanConfig;
+use fednum_transport::{run_federated_mean_transport, run_sharded_mean, InMemoryTransport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BITS: u32 = 10;
+const SECONDS_BUDGET: f64 = 10.0;
+
+struct Row {
+    clients: usize,
+    shards: usize,
+    wall_s: f64,
+    uplink_bytes_per_client: f64,
+    wire_report_bytes: usize,
+    total_messages: u64,
+    total_bytes: u64,
+    estimate: f64,
+    truth: f64,
+}
+
+fn values(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i % 1000) as f64).collect()
+}
+
+fn config() -> FederatedMeanConfig {
+    FederatedMeanConfig::new(BasicConfig::new(
+        FixedPointCodec::integer(BITS),
+        BitSampling::geometric(BITS, 1.0),
+    ))
+}
+
+fn run_config(clients: usize, shards: usize) -> Row {
+    let vs = values(clients);
+    let truth = vs.iter().sum::<f64>() / vs.len() as f64;
+    let cfg = config();
+    let start = Instant::now();
+    let (estimate, traffic) = if shards > 1 {
+        let out = run_sharded_mean(&vs, &cfg, shards, 42).expect("sharded round");
+        (out.outcome.estimate, out.traffic)
+    } else {
+        let mut t = InMemoryTransport::new(42);
+        let out = run_federated_mean_transport(&vs, &cfg, &mut t, &mut StdRng::seed_from_u64(42))
+            .expect("transport round");
+        (out.outcome.estimate, out.robustness.traffic)
+    };
+    let wall_s = start.elapsed().as_secs_f64();
+    Row {
+        clients,
+        shards,
+        wall_s,
+        uplink_bytes_per_client: traffic.uplink_bytes_per_client(clients),
+        wire_report_bytes: bitpush_upload_bytes(cfg.session_seed, 1),
+        total_messages: traffic.total_messages(),
+        total_bytes: traffic.total_bytes(),
+        estimate,
+        truth,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/BENCH_transport.json".into());
+
+    let grid: &[(usize, usize)] = if quick {
+        &[(5_000, 1), (20_000, 4), (100_000, 16)]
+    } else {
+        &[(10_000, 1), (100_000, 8), (1_000_000, 64)]
+    };
+
+    let mut rows = Vec::new();
+    for &(clients, shards) in grid {
+        let row = run_config(clients, shards);
+        println!(
+            "{:>9} clients x {:>2} shard(s): {:>7.2}s wall, {:>5.1} uplink B/client \
+             (wire report = {} B), {} msgs, est {:.3} vs truth {:.3}",
+            row.clients,
+            row.shards,
+            row.wall_s,
+            row.uplink_bytes_per_client,
+            row.wire_report_bytes,
+            row.total_messages,
+            row.estimate,
+            row.truth
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"transport\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"bits\": {BITS},");
+    let _ = writeln!(json, "  \"seconds_budget\": {SECONDS_BUDGET},");
+    json.push_str("  \"configs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"clients\": {}, \"shards\": {}, \"wall_s\": {:.4}, \
+             \"uplink_bytes_per_client\": {:.3}, \"wire_report_bytes\": {}, \
+             \"total_messages\": {}, \"total_bytes\": {}, \
+             \"estimate\": {:.6}, \"truth\": {:.6}, \"abs_err\": {:.6}}}",
+            r.clients,
+            r.shards,
+            r.wall_s,
+            r.uplink_bytes_per_client,
+            r.wire_report_bytes,
+            r.total_messages,
+            r.total_bytes,
+            r.estimate,
+            r.truth,
+            (r.estimate - r.truth).abs()
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+
+    let flagship = rows.last().expect("non-empty grid");
+    if !quick && flagship.wall_s > SECONDS_BUDGET {
+        eprintln!(
+            "FAIL: {} clients took {:.2}s, budget is {SECONDS_BUDGET}s",
+            flagship.clients, flagship.wall_s
+        );
+        std::process::exit(1);
+    }
+}

@@ -13,7 +13,7 @@
 
 use std::io::Write as _;
 
-use fednum_bench::figures::{ablate, deploy, extend, fig1, fig2, fig3, fig4, Budget};
+use fednum_bench::figures::{ablate, deploy, extend, fig1, fig2, fig3, fig4, transport, Budget};
 use fednum_metrics::table::SeriesTable;
 
 const PANELS: &[&str] = &[
@@ -46,6 +46,8 @@ const PANELS: &[&str] = &[
     "extend-streaming",
     "extend-fedlearn",
     "extend-comms",
+    "transport-scale",
+    "transport-parity",
 ];
 
 enum Output {
@@ -84,6 +86,8 @@ fn run_panel(id: &str, budget: Budget) -> Option<Output> {
         "extend-streaming" => Output::Text(extend::extend_streaming(budget)),
         "extend-fedlearn" => Output::Text(extend::extend_fedlearn(budget)),
         "extend-comms" => Output::Text(extend::extend_comms(budget)),
+        "transport-scale" => Output::Text(transport::transport_scale(budget)),
+        "transport-parity" => Output::Table(transport::transport_parity(budget)),
         _ => return None,
     })
 }

@@ -7,6 +7,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod transport;
 
 use fednum_workloads::{CensusAges, Dataset, Normal};
 

@@ -34,6 +34,10 @@ pub enum WireError {
     VarintOverflow,
     /// Trailing bytes after a complete message.
     TrailingBytes,
+    /// A framed message carried a type tag this codec does not know.
+    UnknownTag(u8),
+    /// A field's value violated a protocol bound (e.g. an oversized count).
+    InvalidField(&'static str),
 }
 
 impl std::fmt::Display for WireError {
@@ -42,13 +46,20 @@ impl std::fmt::Display for WireError {
             WireError::Truncated => write!(f, "message truncated"),
             WireError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
             WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+            WireError::UnknownTag(tag) => write!(f, "unknown message tag {tag:#04x}"),
+            WireError::InvalidField(field) => write!(f, "invalid field: {field}"),
         }
     }
 }
 
 impl std::error::Error for WireError {}
 
-fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+/// Appends `v` as a 7-bit-per-byte varint (LEB128, as protobuf uses).
+///
+/// Exposed so higher protocol layers (the `fednum-transport` message codec)
+/// can frame their headers through the same primitive this module uses for
+/// report messages.
+pub fn push_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -60,7 +71,12 @@ fn push_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+/// Reads one varint starting at `*pos`, advancing `*pos` past it.
+///
+/// # Errors
+/// [`WireError::Truncated`] if the buffer ends mid-varint;
+/// [`WireError::VarintOverflow`] past 10 bytes.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
     let mut v = 0u64;
     for i in 0..10 {
         let &byte = buf.get(*pos).ok_or(WireError::Truncated)?;
@@ -73,14 +89,38 @@ fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
     Err(WireError::VarintOverflow)
 }
 
+/// Encoded size of `v` as a varint, in bytes.
+#[must_use]
+pub fn varint_len(v: u64) -> usize {
+    (1 + (63_u32.saturating_sub(v.leading_zeros())) / 7) as usize
+}
+
+/// Reads exactly `n` bytes starting at `*pos`, advancing `*pos` past them.
+///
+/// # Errors
+/// [`WireError::Truncated`] if fewer than `n` bytes remain.
+pub fn read_bytes<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], WireError> {
+    let end = pos.checked_add(n).ok_or(WireError::Truncated)?;
+    let bytes = buf.get(*pos..end).ok_or(WireError::Truncated)?;
+    *pos = end;
+    Ok(bytes)
+}
+
 impl ReportMessage {
     /// Encodes: `varint(task_id) · varint(count) · count × u8 bit-index ·
     /// ceil(count/8) packed payload bits`.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(4 + self.reports.len() * 2);
-        push_varint(&mut out, self.task_id);
-        push_varint(&mut out, self.reports.len() as u64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes into an existing buffer (for embedding inside a framed
+    /// transport message).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        push_varint(out, self.task_id);
+        push_varint(out, self.reports.len() as u64);
         for &(idx, _) in &self.reports {
             out.push(idx);
         }
@@ -91,7 +131,6 @@ impl ReportMessage {
             }
         }
         out.extend_from_slice(&packed);
-        out
     }
 
     /// Decodes a message, requiring the buffer to be fully consumed.
@@ -100,19 +139,33 @@ impl ReportMessage {
     /// See [`WireError`].
     pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
         let mut pos = 0;
-        let task_id = read_varint(buf, &mut pos)?;
-        let count = read_varint(buf, &mut pos)? as usize;
-        let mut indices = Vec::with_capacity(count);
-        for _ in 0..count {
-            indices.push(*buf.get(pos).ok_or(WireError::Truncated)?);
-            pos += 1;
-        }
-        let packed_len = count.div_ceil(8);
-        let packed = buf.get(pos..pos + packed_len).ok_or(WireError::Truncated)?;
-        pos += packed_len;
+        let msg = Self::decode_from(buf, &mut pos)?;
         if pos != buf.len() {
             return Err(WireError::TrailingBytes);
         }
+        Ok(msg)
+    }
+
+    /// Decodes a message starting at `*pos`, advancing `*pos` past it and
+    /// leaving any trailing bytes for the caller (the embedding codec).
+    ///
+    /// # Errors
+    /// See [`WireError`].
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let task_id = read_varint(buf, pos)?;
+        let count = read_varint(buf, pos)? as usize;
+        // A count larger than the remaining bytes is impossible for a valid
+        // message; reject before reserving capacity for it.
+        if count > buf.len().saturating_sub(*pos) {
+            return Err(WireError::Truncated);
+        }
+        let mut indices = Vec::with_capacity(count);
+        for _ in 0..count {
+            indices.push(*buf.get(*pos).ok_or(WireError::Truncated)?);
+            *pos += 1;
+        }
+        let packed_len = count.div_ceil(8);
+        let packed = read_bytes(buf, pos, packed_len)?;
         let reports = indices
             .into_iter()
             .enumerate()
@@ -234,6 +287,72 @@ mod tests {
         let mut bytes = msg.encode();
         bytes.push(0);
         assert_eq!(ReportMessage::decode(&bytes), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn varint_primitives_round_trip_and_size() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, 1 << 35, u64::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "size accounting for {v}");
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+        // 11 continuation bytes overflow.
+        let overflow = vec![0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&overflow, &mut pos),
+            Err(WireError::VarintOverflow)
+        );
+    }
+
+    #[test]
+    fn read_bytes_guards_truncation() {
+        let buf = [1u8, 2, 3];
+        let mut pos = 1;
+        assert_eq!(read_bytes(&buf, &mut pos, 2).unwrap(), &[2, 3]);
+        assert_eq!(pos, 3);
+        assert_eq!(read_bytes(&buf, &mut pos, 1), Err(WireError::Truncated));
+        let mut huge = usize::MAX;
+        assert_eq!(
+            read_bytes(&buf, &mut huge, usize::MAX),
+            Err(WireError::Truncated),
+            "offset overflow must not panic"
+        );
+    }
+
+    #[test]
+    fn decode_from_leaves_trailing_bytes() {
+        let msg = ReportMessage {
+            task_id: 9,
+            reports: vec![(2, true)],
+        };
+        let mut bytes = msg.encode();
+        let frame_len = bytes.len();
+        bytes.extend_from_slice(&[0xAA, 0xBB]);
+        let mut pos = 0;
+        assert_eq!(ReportMessage::decode_from(&bytes, &mut pos).unwrap(), msg);
+        assert_eq!(pos, frame_len);
+        // The strict entry point still rejects the same buffer.
+        assert_eq!(ReportMessage::decode(&bytes), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn oversized_count_rejected_without_allocation() {
+        // varint task_id 0, then count = u64::MAX: must fail cleanly.
+        let mut buf = vec![0u8];
+        push_varint(&mut buf, u64::MAX);
+        assert_eq!(ReportMessage::decode(&buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn new_error_variants_display() {
+        assert!(WireError::UnknownTag(0x7F).to_string().contains("0x7f"));
+        assert!(WireError::InvalidField("bit index")
+            .to_string()
+            .contains("bit index"));
     }
 
     #[test]

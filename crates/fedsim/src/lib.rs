@@ -30,6 +30,7 @@ pub mod population;
 pub mod retry;
 pub mod round;
 pub mod streaming;
+pub mod traffic;
 pub mod validation;
 
 pub use adaptive_round::{
@@ -48,4 +49,5 @@ pub use round::{
     FederatedOutcome, RoundError, RoundOutcome, SecAggSettings,
 };
 pub use streaming::StreamingMean;
+pub use traffic::{Direction, TrafficPhase, TrafficStats};
 pub use validation::{RejectionCounts, ReportValidator, Violation};

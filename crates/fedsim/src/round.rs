@@ -34,6 +34,7 @@ use crate::error::FedError;
 use crate::faults::{FaultKind, FaultPlan};
 use crate::latency::LatencyModel;
 use crate::retry::RetryPolicy;
+use crate::traffic::TrafficStats;
 use crate::validation::{RejectionCounts, ReportValidator};
 
 /// Compatibility alias: round orchestration now reports the crate-wide
@@ -247,6 +248,10 @@ pub struct RoundOutcome {
     pub faults_injected: u64,
     /// Wall-clock spent backing off between waves and retries.
     pub backoff_time: f64,
+    /// Per-phase, per-direction message traffic. All-zero on the legacy
+    /// synchronous path (nothing crosses a wire there); filled in by the
+    /// `fednum-transport` coordinator.
+    pub traffic: TrafficStats,
 }
 
 /// Result of a federated mean-estimation task.
@@ -748,6 +753,7 @@ fn run_round(
             secagg_retries,
             faults_injected,
             backoff_time,
+            traffic: TrafficStats::default(),
         },
     })
 }

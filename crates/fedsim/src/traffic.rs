@@ -1,0 +1,258 @@
+//! Per-round traffic accounting.
+//!
+//! The paper's conclusions argue the real cost comparison is end-to-end
+//! message/byte traffic — "both can be easily communicated within a single
+//! (encrypted) network packet" — and secure aggregation's overhead is part
+//! of that bill. [`TrafficStats`] makes the bill itemized: message and byte
+//! counts per protocol phase and direction, filled in by the
+//! `fednum-transport` coordinator (the legacy synchronous orchestrator
+//! reports all-zero traffic, since nothing crosses a wire there) and
+//! surfaced on [`crate::round::RoundOutcome`].
+
+/// Protocol phase a message belongs to, in session order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TrafficPhase {
+    /// Client check-in before the round starts.
+    Rendezvous,
+    /// Round-configuration downlink (assigned bit, round id, transport).
+    Configure,
+    /// Bit-pushing report uplink.
+    Collect,
+    /// Secure-aggregation key advertisement and share distribution.
+    KeyExchange,
+    /// Secure-aggregation masked-input uplink.
+    Masking,
+    /// Secure-aggregation unmask-share uplink.
+    Unmask,
+    /// Result broadcast.
+    Publish,
+}
+
+impl TrafficPhase {
+    /// Every phase, in session order.
+    pub const ALL: [TrafficPhase; 7] = [
+        TrafficPhase::Rendezvous,
+        TrafficPhase::Configure,
+        TrafficPhase::Collect,
+        TrafficPhase::KeyExchange,
+        TrafficPhase::Masking,
+        TrafficPhase::Unmask,
+        TrafficPhase::Publish,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            TrafficPhase::Rendezvous => 0,
+            TrafficPhase::Configure => 1,
+            TrafficPhase::Collect => 2,
+            TrafficPhase::KeyExchange => 3,
+            TrafficPhase::Masking => 4,
+            TrafficPhase::Unmask => 5,
+            TrafficPhase::Publish => 6,
+        }
+    }
+}
+
+/// Message direction relative to the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → coordinator.
+    Uplink,
+    /// Coordinator → client.
+    Downlink,
+}
+
+/// A message/byte pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    /// Messages counted.
+    pub messages: u64,
+    /// Total payload bytes across those messages.
+    pub bytes: u64,
+}
+
+impl Counter {
+    fn add(&mut self, bytes: u64) {
+        self.messages += 1;
+        self.bytes += bytes;
+    }
+
+    fn merge(&mut self, other: &Counter) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+    }
+}
+
+/// Per-phase, per-direction traffic tally for one round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    up: [Counter; 7],
+    down: [Counter; 7],
+}
+
+impl TrafficStats {
+    /// An empty tally.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one `bytes`-byte message.
+    pub fn record(&mut self, phase: TrafficPhase, direction: Direction, bytes: u64) {
+        let i = phase.index();
+        match direction {
+            Direction::Uplink => self.up[i].add(bytes),
+            Direction::Downlink => self.down[i].add(bytes),
+        }
+    }
+
+    /// Folds another tally into this one (e.g. per-shard tallies at publish).
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for i in 0..7 {
+            self.up[i].merge(&other.up[i]);
+            self.down[i].merge(&other.down[i]);
+        }
+    }
+
+    /// The tally for one phase/direction cell.
+    #[must_use]
+    pub fn get(&self, phase: TrafficPhase, direction: Direction) -> Counter {
+        let i = phase.index();
+        match direction {
+            Direction::Uplink => self.up[i],
+            Direction::Downlink => self.down[i],
+        }
+    }
+
+    /// Total traffic in one direction across all phases.
+    #[must_use]
+    pub fn direction_total(&self, direction: Direction) -> Counter {
+        let mut total = Counter::default();
+        for phase in TrafficPhase::ALL {
+            total.merge(&self.get(phase, direction));
+        }
+        total
+    }
+
+    /// Total messages, both directions.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.direction_total(Direction::Uplink).messages
+            + self.direction_total(Direction::Downlink).messages
+    }
+
+    /// Total bytes, both directions.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.direction_total(Direction::Uplink).bytes
+            + self.direction_total(Direction::Downlink).bytes
+    }
+
+    /// Mean uplink bytes per client over `clients` contacted clients — the
+    /// number the paper's "single encrypted packet" statement is about.
+    #[must_use]
+    pub fn uplink_bytes_per_client(&self, clients: usize) -> f64 {
+        if clients == 0 {
+            return 0.0;
+        }
+        self.direction_total(Direction::Uplink).bytes as f64 / clients as f64
+    }
+
+    /// True when nothing was recorded (the legacy synchronous path).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total_messages() == 0
+    }
+}
+
+impl std::fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>12} {:>10} {:>12}",
+            "phase", "up msgs", "up bytes", "dn msgs", "dn bytes"
+        )?;
+        for phase in TrafficPhase::ALL {
+            let up = self.get(phase, Direction::Uplink);
+            let down = self.get(phase, Direction::Downlink);
+            if up.messages == 0 && down.messages == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<12} {:>10} {:>12} {:>10} {:>12}",
+                format!("{phase:?}"),
+                up.messages,
+                up.bytes,
+                down.messages,
+                down.bytes
+            )?;
+        }
+        let up = self.direction_total(Direction::Uplink);
+        let down = self.direction_total(Direction::Downlink);
+        write!(
+            f,
+            "{:<12} {:>10} {:>12} {:>10} {:>12}",
+            "total", up.messages, up.bytes, down.messages, down.bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_phase_and_direction() {
+        let mut t = TrafficStats::new();
+        t.record(TrafficPhase::Collect, Direction::Uplink, 5);
+        t.record(TrafficPhase::Collect, Direction::Uplink, 7);
+        t.record(TrafficPhase::Configure, Direction::Downlink, 11);
+        let up = t.get(TrafficPhase::Collect, Direction::Uplink);
+        assert_eq!((up.messages, up.bytes), (2, 12));
+        let down = t.get(TrafficPhase::Configure, Direction::Downlink);
+        assert_eq!((down.messages, down.bytes), (1, 11));
+        assert_eq!(
+            t.get(TrafficPhase::Collect, Direction::Downlink).messages,
+            0
+        );
+        assert_eq!(t.total_messages(), 3);
+        assert_eq!(t.total_bytes(), 23);
+    }
+
+    #[test]
+    fn merge_sums_cells() {
+        let mut a = TrafficStats::new();
+        a.record(TrafficPhase::Masking, Direction::Uplink, 100);
+        let mut b = TrafficStats::new();
+        b.record(TrafficPhase::Masking, Direction::Uplink, 50);
+        b.record(TrafficPhase::Publish, Direction::Downlink, 9);
+        a.merge(&b);
+        assert_eq!(a.get(TrafficPhase::Masking, Direction::Uplink).bytes, 150);
+        assert_eq!(a.get(TrafficPhase::Masking, Direction::Uplink).messages, 2);
+        assert_eq!(a.get(TrafficPhase::Publish, Direction::Downlink).bytes, 9);
+    }
+
+    #[test]
+    fn per_client_average_and_empty() {
+        let mut t = TrafficStats::new();
+        assert!(t.is_empty());
+        assert_eq!(t.uplink_bytes_per_client(10), 0.0);
+        assert_eq!(t.uplink_bytes_per_client(0), 0.0);
+        for _ in 0..10 {
+            t.record(TrafficPhase::Collect, Direction::Uplink, 4);
+        }
+        assert!(!t.is_empty());
+        assert!((t.uplink_bytes_per_client(10) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_nonempty_rows() {
+        let mut t = TrafficStats::new();
+        t.record(TrafficPhase::Collect, Direction::Uplink, 4);
+        let s = t.to_string();
+        assert!(s.contains("Collect"));
+        assert!(!s.contains("Masking"));
+        assert!(s.contains("total"));
+    }
+}

@@ -1,0 +1,944 @@
+//! The coordinator session state machine.
+//!
+//! Replaces the synchronous wave loop of `fednum_fedsim::round` with
+//! message passing: a session advances rendezvous → configure → collect
+//! (per wave) → unmask → publish, every step carried as framed
+//! [`Message`]s over a [`Transport`] and ordered by the discrete-event
+//! scheduler inside it.
+//!
+//! ```text
+//!  client                      coordinator
+//!    │ ── Hello ──────────────────▶ │   rendezvous
+//!    │ ◀────────────── RoundConfig ─│   configure
+//!    │ ── Report ─────────────────▶ │   collect (validated, per wave)
+//!    │ ── KeyAdvertise/KeyShares ──▶ │   key exchange   ┐
+//!    │ ── MaskedInput ────────────▶ │   masking        │ secagg only
+//!    │ ── UnmaskShares ───────────▶ │   unmask         ┘
+//!    │ ◀─────────────────── Publish │   publish
+//! ```
+//!
+//! **Parity contract.** Estimates are bit-identical to
+//! [`run_federated_mean`](fednum_fedsim::round::run_federated_mean) under
+//! the same seed: the session consumes the shared RNG in exactly the legacy
+//! draw order (pool shuffle, per-wave assignment, latency, then per client
+//! dropout and randomized response), while everything transport-level —
+//! event tie-breaks, key material, arrival jitter — is hash-derived and
+//! never touches that stream. The tests pin this contract.
+//!
+//! On top of the legacy semantics, the session meters traffic: every frame
+//! is tallied per phase and direction at delivery into
+//! [`TrafficStats`], surfaced on `RoundOutcome::traffic`. Frames a fault
+//! destroys before delivery (a replay with nothing to replay) are never
+//! counted — the server cannot bill what never arrived.
+
+use fednum_core::accumulator::BitAccumulator;
+use fednum_core::bits::bit;
+use fednum_core::privacy::{PrivacyLedger, RandomizedResponse};
+use fednum_core::protocol::basic::BasicBitPushing;
+use fednum_core::sampling::BitSampling;
+use fednum_core::wire::ReportMessage;
+use fednum_secagg::protocol::{run_secure_aggregation, DropoutPlan, SecAggConfig, SecAggError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use fednum_fedsim::dropout::Fate;
+use fednum_fedsim::error::FedError;
+use fednum_fedsim::faults::FaultKind;
+use fednum_fedsim::round::{
+    DegradedMode, FederatedMeanConfig, FederatedOutcome, RoundOutcome, SecAggSummary,
+};
+use fednum_fedsim::traffic::{Direction, TrafficStats};
+use fednum_fedsim::validation::{RejectionCounts, ReportValidator};
+
+use crate::message::{
+    EncryptedShare, KeyAdvertise, KeyShares, MaskedInput, Message, Publish, Report, RoundConfig,
+    UnmaskShares, ENCRYPTED_SHARE_LEN, PUBLIC_KEY_LEN,
+};
+use crate::net::{Envelope, Transport, COORDINATOR};
+use crate::scheduler::mix;
+
+/// Virtual-time spacing between consecutive clients' message chains.
+const STEP: f64 = 3e-9;
+/// Virtual-time cost of one message hop within a chain.
+const HOP: f64 = 1e-9;
+/// 61-bit field mask for hash-derived stand-in payload elements.
+const MASK61: u64 = (1 << 61) - 1;
+
+/// One contacted client's record, as the server saw it after validation.
+/// Mirrors the legacy orchestrator's internal record field for field.
+pub(crate) struct Contact {
+    pub(crate) client: usize,
+    pub(crate) bit: u32,
+    pub(crate) report: Option<bool>,
+    pub(crate) fate: Fate,
+    pub(crate) copies: u64,
+}
+
+/// Everything the collect phase produced, ready for the tally stage.
+pub(crate) struct CollectState {
+    pub(crate) contacts: Vec<Contact>,
+    pub(crate) counts: Vec<u64>,
+    pub(crate) completion_time: f64,
+    pub(crate) backoff_time: f64,
+    pub(crate) waves_used: u32,
+    pub(crate) rejections: RejectionCounts,
+    pub(crate) faults_injected: u64,
+    pub(crate) traffic: TrafficStats,
+    /// Virtual clock after the last collection window.
+    pub(crate) clock: f64,
+}
+
+/// Runs a complete federated mean-estimation session over the given
+/// transport. Same semantics (and, seed for seed, the same estimate) as
+/// [`run_federated_mean`](fednum_fedsim::round::run_federated_mean), plus
+/// per-phase traffic accounting in the returned
+/// `FederatedOutcome::robustness.traffic`.
+///
+/// Pass [`SimNetTransport::for_config`](crate::net::SimNetTransport) when
+/// `config.faults` is set — the wire-level fault kinds (straggle, corrupt,
+/// duplicate, replay) are transport behaviour; an [`InMemoryTransport`]
+/// (crate::net::InMemoryTransport) would not act them out.
+///
+/// # Errors
+/// See [`FedError`].
+pub fn run_federated_mean_transport(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<FederatedOutcome, FedError> {
+    run_session(values, config, None, transport, rng)
+}
+
+/// As [`run_federated_mean_transport`], metering each client's disclosure
+/// through the ledger exactly as
+/// [`run_federated_mean_metered`](fednum_fedsim::round::run_federated_mean_metered)
+/// does.
+///
+/// # Errors
+/// See [`FedError`].
+pub fn run_federated_mean_transport_metered(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    ledger: &mut PrivacyLedger,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<FederatedOutcome, FedError> {
+    run_session(values, config, Some(ledger), transport, rng)
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_session(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    mut ledger: Option<&mut PrivacyLedger>,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<FederatedOutcome, FedError> {
+    if values.is_empty() {
+        return Err(FedError::PopulationTooSmall { got: 0, need: 1 });
+    }
+    let codec = config.protocol.codec;
+    let bits = codec.bits();
+    let (codes, clip_fraction) = codec.encode_all(values);
+    let round_id = config.session_seed;
+    let epsilon = config
+        .protocol
+        .privacy
+        .as_ref()
+        .map_or(0.0, RandomizedResponse::epsilon);
+
+    let mut st = collect_waves(&codes, config, 0, ledger.as_deref_mut(), transport, rng)?;
+
+    let total_reports: u64 = st.counts.iter().sum();
+    if total_reports == 0 {
+        return Err(FedError::NoReports);
+    }
+    let reporters = st.contacts.iter().filter(|c| c.report.is_some()).count();
+    if reporters < config.retry.min_cohort {
+        return Err(FedError::CohortTooSmall {
+            survivors: reporters,
+            minimum: config.retry.min_cohort,
+        });
+    }
+
+    // Tally stage: aggregate per-bit (ones, counts), directly or through
+    // the four secure-aggregation message rounds.
+    let mut secagg_retries = 0u32;
+    let (ones, eff_counts, secagg_summary) = match &config.secagg {
+        Some(settings) => {
+            let vector_len = 2 * bits as usize;
+            let mut cohort: Vec<usize> = (0..st.contacts.len()).collect();
+            loop {
+                let n = cohort.len();
+                let threshold =
+                    ((settings.threshold_fraction * n as f64).ceil() as usize).clamp(1, n);
+                let mut inputs = Vec::with_capacity(n);
+                let mut plan = DropoutPlan::none();
+                let mut eff = vec![0u64; bits as usize];
+                for (i, &ci) in cohort.iter().enumerate() {
+                    let c = &st.contacts[ci];
+                    let mut v = vec![0u64; vector_len];
+                    match c.report {
+                        Some(sent) => {
+                            v[c.bit as usize] = u64::from(sent);
+                            v[bits as usize + c.bit as usize] = 1;
+                            eff[c.bit as usize] += 1;
+                            if c.fate == Fate::DropsAfterReport {
+                                plan.after_masking.insert(i);
+                            }
+                        }
+                        None => {
+                            plan.before_masking.insert(i);
+                        }
+                    }
+                    inputs.push(v);
+                }
+                let session = config.session_seed
+                    ^ u64::from(secagg_retries).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                // The key-exchange / masking / unmask message rounds for
+                // this attempt, sized like the real protocol.
+                let members: Vec<u64> = cohort
+                    .iter()
+                    .map(|&ci| st.contacts[ci].client as u64)
+                    .collect();
+                let degree = settings
+                    .neighbors
+                    .unwrap_or(n.saturating_sub(1))
+                    .clamp(1, n.max(2) - 1);
+                secagg_attempt_messages(
+                    transport,
+                    &mut st.traffic,
+                    &members,
+                    &plan,
+                    vector_len,
+                    degree,
+                    session,
+                    round_id,
+                    st.clock,
+                );
+                st.clock += 1.0;
+                let mut sa_config = SecAggConfig::new(n, threshold, vector_len, session);
+                if let Some(k) = settings.neighbors {
+                    sa_config = sa_config.with_neighbors(k);
+                }
+                match run_secure_aggregation(&sa_config, &inputs, &plan, rng) {
+                    Ok(out) => {
+                        debug_assert_eq!(&out.sum[bits as usize..], eff.as_slice());
+                        let ones: Vec<u64> = out.sum[..bits as usize].to_vec();
+                        break (
+                            ones,
+                            eff,
+                            Some(SecAggSummary {
+                                contributors: out.contributors.len(),
+                                recovered_pairwise: out.pairwise_masks_reconstructed,
+                            }),
+                        );
+                    }
+                    Err(e @ SecAggError::TooFewSurvivors { .. }) => {
+                        if secagg_retries >= config.retry.max_secagg_retries {
+                            return Err(e.into());
+                        }
+                        let pause = config.retry.backoff(secagg_retries);
+                        secagg_retries += 1;
+                        st.backoff_time += pause;
+                        st.completion_time += pause;
+                        cohort.retain(|&ci| {
+                            st.contacts[ci].fate == Fate::Responds
+                                && st.contacts[ci].report.is_some()
+                        });
+                        if cohort.len() < config.retry.min_cohort {
+                            return Err(FedError::CohortTooSmall {
+                                survivors: cohort.len(),
+                                minimum: config.retry.min_cohort,
+                            });
+                        }
+                        if cohort.is_empty() {
+                            return Err(FedError::NoReports);
+                        }
+                        if let Some(ledger) = ledger.as_deref_mut() {
+                            for &ci in &cohort {
+                                ledger.charge_round(
+                                    st.contacts[ci].client as u64,
+                                    round_id,
+                                    1,
+                                    epsilon,
+                                )?;
+                            }
+                        }
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        None => (direct_tally(&st.contacts, bits), st.counts.clone(), None),
+    };
+
+    let acc = BitAccumulator::from_parts(
+        debias_sums(&ones, &eff_counts, config.protocol.privacy.as_ref()),
+        eff_counts.clone(),
+    );
+    let outcome = BasicBitPushing::new(config.protocol.clone()).finish(acc, clip_fraction);
+
+    // Publish: the result broadcast, modeled as one closing frame.
+    let publish = Message::Publish(Publish {
+        round_id,
+        estimate: outcome.estimate,
+        reports: total_reports,
+    });
+    transport.send(Envelope {
+        from: COORDINATOR,
+        to: 0,
+        sent_at: st.clock,
+        payload: publish.encode(),
+    });
+    drain_counting(transport, &mut st.traffic);
+
+    let base_probs = config.protocol.sampling.probs();
+    let starved_bits: Vec<u32> = base_probs
+        .iter()
+        .zip(&eff_counts)
+        .enumerate()
+        .filter(|(_, (&p, &c))| p > 0.0 && c < config.min_reports_per_bit)
+        .map(|(j, _)| j as u32)
+        .collect();
+
+    let degraded = if !starved_bits.is_empty() {
+        DegradedMode::Partial
+    } else if secagg_retries > 0 {
+        DegradedMode::Retried
+    } else if st.waves_used > 1 {
+        DegradedMode::Refilled
+    } else {
+        DegradedMode::Clean
+    };
+
+    Ok(FederatedOutcome {
+        outcome,
+        contacted: st.contacts.len(),
+        reports: total_reports,
+        waves_used: st.waves_used,
+        completion_time: st.completion_time,
+        starved_bits,
+        secagg: secagg_summary,
+        robustness: RoundOutcome {
+            degraded,
+            rejections: st.rejections,
+            secagg_retries,
+            faults_injected: st.faults_injected,
+            backoff_time: st.backoff_time,
+            traffic: st.traffic,
+        },
+    })
+}
+
+/// The collect phase: contacts the cohort in waves over the transport —
+/// Hello uplink, RoundConfig downlink, Report uplink per client — applying
+/// the dropout model, client-phase faults, validation, and deficit-weighted
+/// refills exactly as the legacy orchestrator does, in the same RNG draw
+/// order.
+///
+/// `client_offset` shifts local population indices into global client
+/// identity space (nonzero under sharding), so fault plans and privacy
+/// ledgers see fleet-wide client ids.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn collect_waves(
+    codes: &[u64],
+    config: &FederatedMeanConfig,
+    client_offset: u64,
+    mut ledger: Option<&mut PrivacyLedger>,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<CollectState, FedError> {
+    let bits = config.protocol.codec.bits();
+    let round_id = config.session_seed;
+    let epsilon = config
+        .protocol
+        .privacy
+        .as_ref()
+        .map_or(0.0, RandomizedResponse::epsilon);
+    let secagg_on = config.secagg.is_some();
+
+    // Uncontacted-client pool, randomly ordered (first legacy RNG draw).
+    let mut pool: Vec<usize> = (0..codes.len()).collect();
+    pool.shuffle(rng);
+
+    let base_probs = config.protocol.sampling.probs().to_vec();
+    let mut counts = vec![0u64; bits as usize];
+    let mut contacts: Vec<Contact> = Vec::new();
+    let mut completion_time = 0.0;
+    let mut backoff_time = 0.0;
+    let mut waves_used = 0;
+    let mut rejections = RejectionCounts::default();
+    let mut faults_injected: u64 = 0;
+    let mut traffic = TrafficStats::new();
+    // Collection-window length in virtual time; the deadline stragglers
+    // miss. Matches the latency model's timeout when one is configured.
+    let window_len = config.latency.as_ref().map_or(1.0, |l| l.timeout);
+    // client → (slot in current wave) + 1; 0 = not contacted this wave.
+    let mut wave_slot = vec![0u32; codes.len()];
+
+    for wave in 0..config.max_waves {
+        if pool.is_empty() {
+            break;
+        }
+        let sampling = if wave == 0 {
+            config.protocol.sampling.clone()
+        } else {
+            let deficits: Vec<f64> = base_probs
+                .iter()
+                .zip(&counts)
+                .map(|(&p, &c)| {
+                    if p > 0.0 && c < config.min_reports_per_bit {
+                        (config.min_reports_per_bit - c) as f64
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            if deficits.iter().all(|&d| d == 0.0) {
+                break;
+            }
+            BitSampling::custom(deficits)
+        };
+
+        let wave_size = if wave == 0 {
+            ((config.wave_fraction * pool.len() as f64).ceil() as usize).clamp(1, pool.len())
+        } else {
+            let deficit_total: u64 = base_probs
+                .iter()
+                .zip(&counts)
+                .filter(|(&p, &c)| p > 0.0 && c < config.min_reports_per_bit)
+                .map(|(_, &c)| config.min_reports_per_bit - c)
+                .sum();
+            let needed =
+                (deficit_total as f64 / config.dropout.response_rate().max(0.01)).ceil() as usize;
+            needed.clamp(1, pool.len())
+        };
+        if wave > 0 {
+            let pause = config.retry.backoff(wave - 1);
+            backoff_time += pause;
+            completion_time += pause;
+        }
+        waves_used = wave + 1;
+
+        let batch: Vec<usize> = pool.drain(..wave_size).collect();
+        let assignment = sampling.assign(config.protocol.assignment, batch.len(), rng);
+        let mut wave_time = match &config.latency {
+            Some(lat) => lat.simulate_round(batch.len(), 0.9, rng).completion_time,
+            None => 0.0,
+        };
+        let mut validator = if config.validate && config.faults.is_some() {
+            let assigned: Vec<(u64, u32)> = batch
+                .iter()
+                .zip(&assignment)
+                .map(|(&c, &j)| (client_offset + c as u64, j))
+                .collect();
+            Some(ReportValidator::for_round(bits, &assigned, round_id))
+        } else {
+            None
+        };
+
+        // The wave's collection window in virtual time.
+        let t0 = 2.0 * window_len * f64::from(wave);
+        let deadline = t0 + window_len;
+        transport.open_window(t0, deadline);
+        for (slot, &client) in batch.iter().enumerate() {
+            wave_slot[client] = slot as u32 + 1;
+        }
+        let threshold_hint = config.secagg.map_or(0, |s| {
+            ((s.threshold_fraction * batch.len() as f64).ceil() as u64).clamp(1, batch.len() as u64)
+        });
+        let vector_hint = if secagg_on { 2 * u64::from(bits) } else { 0 };
+        // Per-slot client-model fate and staged delivery (bit, value, copies).
+        let mut slot_fate = vec![Fate::DropsBeforeReport; batch.len()];
+        let mut slot_staged: Vec<(u32, bool, u64)> = vec![(0, false, 0); batch.len()];
+        let mut wave_stragglers = 0u64;
+
+        // Rendezvous: every contacted client checks in; the rest of the
+        // wave unrolls event by event.
+        for (k, &client) in batch.iter().enumerate() {
+            transport.send(Envelope {
+                from: client_offset + client as u64,
+                to: COORDINATOR,
+                sent_at: t0 + k as f64 * STEP,
+                payload: Message::Hello { round_id }.encode(),
+            });
+        }
+
+        while let Some((at, env)) = transport.poll() {
+            let Ok(msg) = Message::decode(&env.payload) else {
+                continue;
+            };
+            let nbytes = env.payload.len() as u64;
+            if env.to == COORDINATOR {
+                traffic.record(msg.phase(), Direction::Uplink, nbytes);
+                match msg {
+                    Message::Hello { .. } => {
+                        // Configure: reply with the client's task.
+                        let local = (env.from - client_offset) as usize;
+                        let Some(slot) = wave_slot[local].checked_sub(1) else {
+                            continue;
+                        };
+                        let rc = Message::RoundConfig(RoundConfig {
+                            round_id,
+                            assigned_bit: assignment[slot as usize] as u8,
+                            secagg: secagg_on,
+                            threshold: threshold_hint,
+                            vector_len: vector_hint,
+                        });
+                        transport.send(Envelope {
+                            from: COORDINATOR,
+                            to: env.from,
+                            sent_at: at + HOP,
+                            payload: rc.encode(),
+                        });
+                    }
+                    Message::Report(r) => {
+                        if at > deadline {
+                            // Past the wave deadline.
+                            wave_stragglers += 1;
+                            if config.validate {
+                                rejections.straggler += 1;
+                                continue;
+                            }
+                        }
+                        // Secure aggregation carries one masked vector per
+                        // client: a transport-level re-send collapses.
+                        if secagg_on && r.nonce & (1 << 63) != 0 {
+                            continue;
+                        }
+                        if r.body.reports.len() != 1 {
+                            continue;
+                        }
+                        let (d_bit8, d_value) = r.body.reports[0];
+                        let d_bit = u32::from(d_bit8);
+                        let accepted = match &mut validator {
+                            Some(v) => v
+                                .submit_tagged(
+                                    env.from,
+                                    d_bit,
+                                    f64::from(u8::from(d_value)),
+                                    r.body.task_id,
+                                    r.nonce,
+                                )
+                                .is_ok(),
+                            None => true,
+                        };
+                        if accepted {
+                            let local = (env.from - client_offset) as usize;
+                            let Some(slot) = wave_slot[local].checked_sub(1) else {
+                                continue;
+                            };
+                            let staged = &mut slot_staged[slot as usize];
+                            staged.0 = d_bit;
+                            staged.1 = d_value;
+                            staged.2 += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            } else {
+                traffic.record(msg.phase(), Direction::Downlink, nbytes);
+                let Message::RoundConfig(rc) = msg else {
+                    continue;
+                };
+                // The client model: dropout fate, fault, disclosure.
+                let local = (env.to - client_offset) as usize;
+                let Some(slot) = wave_slot[local].checked_sub(1) else {
+                    continue;
+                };
+                let j = u32::from(rc.assigned_bit);
+                let mut fate = config.dropout.sample(rng);
+                let fault = config
+                    .faults
+                    .as_ref()
+                    .and_then(|p| p.fault_for(round_id, env.to));
+                faults_injected += u64::from(fault.is_some());
+                if fault == Some(FaultKind::DropBeforeReport) {
+                    fate = Fate::DropsBeforeReport;
+                }
+                if fate == Fate::DropsBeforeReport {
+                    slot_fate[slot as usize] = fate;
+                    continue;
+                }
+                // The privacy disclosure: computed and metered here, once,
+                // whatever the transport then does to the frame. A stale
+                // fault re-sends an old report, disclosing nothing new.
+                let raw = bit(codes[local], j);
+                let sent = match &config.protocol.privacy {
+                    Some(rr) => rr.flip(raw, rng),
+                    None => raw,
+                };
+                if fault != Some(FaultKind::StaleRound) {
+                    if let Some(ledger) = ledger.as_deref_mut() {
+                        ledger.charge_round(env.to, round_id, 1, epsilon)?;
+                    }
+                }
+                if fault == Some(FaultKind::DropBeforeUnmask) && fate == Fate::Responds {
+                    fate = Fate::DropsAfterReport;
+                }
+                slot_fate[slot as usize] = fate;
+                let body = if fault == Some(FaultKind::StaleRound) {
+                    ReportMessage {
+                        task_id: round_id.wrapping_sub(1),
+                        reports: vec![(
+                            rc.assigned_bit,
+                            config
+                                .faults
+                                .as_ref()
+                                .expect("fault implies plan")
+                                .payload_bit(round_id, env.to),
+                        )],
+                    }
+                } else {
+                    ReportMessage {
+                        task_id: round_id,
+                        reports: vec![(rc.assigned_bit, sent)],
+                    }
+                };
+                transport.send(Envelope {
+                    from: env.to,
+                    to: COORDINATOR,
+                    sent_at: at + HOP,
+                    payload: Message::Report(Report {
+                        nonce: env.to,
+                        body,
+                    })
+                    .encode(),
+                });
+            }
+        }
+
+        if let Some(v) = validator {
+            rejections.absorb(&v.rejection_counts());
+        }
+        if let Some(lat) = &config.latency {
+            if wave_stragglers > 0 {
+                wave_time = wave_time.max(lat.timeout);
+            }
+        }
+        completion_time += wave_time;
+
+        // Close the wave in batch (contact) order, as the synchronous
+        // orchestrator records it: anything that produced no accepted
+        // delivery — vanished client, enforced deadline, rejected-everything
+        // transport — is one uniform "nothing arrived" record.
+        for (slot, &client) in batch.iter().enumerate() {
+            let (d_bit, d_value, copies) = slot_staged[slot];
+            if copies > 0 {
+                counts[d_bit as usize] += copies;
+                contacts.push(Contact {
+                    client,
+                    bit: d_bit,
+                    report: Some(d_value),
+                    fate: slot_fate[slot],
+                    copies,
+                });
+            } else {
+                contacts.push(Contact {
+                    client,
+                    bit: assignment[slot],
+                    report: None,
+                    fate: Fate::DropsBeforeReport,
+                    copies: 0,
+                });
+            }
+            wave_slot[client] = 0;
+        }
+    }
+
+    Ok(CollectState {
+        contacts,
+        counts,
+        completion_time,
+        backoff_time,
+        waves_used,
+        rejections,
+        faults_injected,
+        traffic,
+        clock: 2.0 * window_len * f64::from(waves_used),
+    })
+}
+
+/// Per-bit ones tally over direct (non-secagg) contacts.
+pub(crate) fn direct_tally(contacts: &[Contact], bits: u32) -> Vec<u64> {
+    let mut ones = vec![0u64; bits as usize];
+    for c in contacts {
+        if let Some(true) = c.report {
+            ones[c.bit as usize] += c.copies;
+        }
+    }
+    ones
+}
+
+/// Debiases per-bit sums through randomized response (affine, so debiasing
+/// the sum equals debiasing every report).
+pub(crate) fn debias_sums(
+    ones: &[u64],
+    eff_counts: &[u64],
+    privacy: Option<&RandomizedResponse>,
+) -> Vec<f64> {
+    ones.iter()
+        .zip(eff_counts)
+        .map(|(&o, &c)| match (privacy, c) {
+            (_, 0) => 0.0,
+            (Some(rr), c) => c as f64 * rr.debias_mean(o as f64 / c as f64),
+            (None, _) => o as f64,
+        })
+        .collect()
+}
+
+/// Fills `out` with hash-derived bytes from `seed` (key/ciphertext
+/// stand-ins: content is irrelevant, size is what's accounted).
+fn fill_derived(out: &mut [u8], seed: u64) {
+    for (i, chunk) in out.chunks_mut(8).enumerate() {
+        let word = mix(seed.wrapping_add(i as u64)).to_le_bytes();
+        chunk.copy_from_slice(&word[..chunk.len()]);
+    }
+}
+
+/// Frames one secure-aggregation attempt's four message rounds through the
+/// transport, sized like the real protocol (Bell et al. ring graph of the
+/// given degree), and tallies them at delivery. Payload *content* is
+/// hash-derived stand-in material — the aggregation math itself runs in
+/// `fednum-secagg` — but every message count and byte matches what the
+/// cohort would send.
+#[allow(clippy::too_many_arguments)]
+fn secagg_attempt_messages(
+    transport: &mut dyn Transport,
+    traffic: &mut TrafficStats,
+    members: &[u64],
+    plan: &DropoutPlan,
+    vector_len: usize,
+    degree: usize,
+    session: u64,
+    round_id: u64,
+    t0: f64,
+) {
+    let n = members.len();
+    let mut seq = 0u64;
+    let mut next_at = || {
+        seq += 1;
+        t0 + seq as f64 * STEP
+    };
+    // Round 0 — key exchange: every cohort member advertises both keys.
+    for (i, &c) in members.iter().enumerate() {
+        let seed = mix(session ^ (i as u64).wrapping_mul(0x9E6C_63D0_876A_68DE));
+        let mut kem_pk = [0u8; PUBLIC_KEY_LEN];
+        let mut mask_pk = [0u8; PUBLIC_KEY_LEN];
+        fill_derived(&mut kem_pk, seed);
+        fill_derived(&mut mask_pk, mix(seed));
+        transport.send(Envelope {
+            from: c,
+            to: COORDINATOR,
+            sent_at: next_at(),
+            payload: Message::KeyAdvertise(KeyAdvertise {
+                round_id,
+                kem_pk,
+                mask_pk,
+            })
+            .encode(),
+        });
+    }
+    // Round 1 — key exchange: encrypted Shamir shares, one per ring
+    // neighbor, relayed through the coordinator.
+    for (i, &c) in members.iter().enumerate() {
+        let shares: Vec<EncryptedShare> = (0..degree)
+            .map(|d| {
+                let mut ct = [0u8; ENCRYPTED_SHARE_LEN];
+                fill_derived(&mut ct, mix(session ^ (i as u64) << 20 ^ d as u64));
+                EncryptedShare {
+                    recipient: members[(i + d + 1) % n],
+                    ct,
+                }
+            })
+            .collect();
+        transport.send(Envelope {
+            from: c,
+            to: COORDINATOR,
+            sent_at: next_at(),
+            payload: Message::KeyShares(KeyShares { round_id, shares }).encode(),
+        });
+    }
+    // Round 2 — masking: clients still alive upload masked inputs
+    // (uniform field elements, ≈ 9 varint bytes each).
+    for (i, &c) in members.iter().enumerate() {
+        if plan.before_masking.contains(&i) {
+            continue;
+        }
+        let values: Vec<u64> = (0..vector_len)
+            .map(|v| mix(session ^ (i as u64) << 24 ^ v as u64) & MASK61)
+            .collect();
+        transport.send(Envelope {
+            from: c,
+            to: COORDINATOR,
+            sent_at: next_at(),
+            payload: Message::MaskedInput(MaskedInput { round_id, values }).encode(),
+        });
+    }
+    // Round 3 — unmask: survivors send shares covering the dropped (their
+    // pairwise-mask seeds) capped at their neighborhood size.
+    let dropped = plan.before_masking.len() + plan.after_masking.len();
+    for (i, &c) in members.iter().enumerate() {
+        if plan.before_masking.contains(&i) || plan.after_masking.contains(&i) {
+            continue;
+        }
+        let shares: Vec<(u64, u64)> = (0..dropped.min(degree))
+            .map(|d| {
+                (
+                    d as u64,
+                    mix(session ^ (i as u64) << 28 ^ d as u64) & MASK61,
+                )
+            })
+            .collect();
+        transport.send(Envelope {
+            from: c,
+            to: COORDINATOR,
+            sent_at: next_at(),
+            payload: Message::UnmaskShares(UnmaskShares { round_id, shares }).encode(),
+        });
+    }
+    drain_counting(transport, traffic);
+}
+
+/// Drains the transport, tallying every delivered frame.
+fn drain_counting(transport: &mut dyn Transport, traffic: &mut TrafficStats) {
+    while let Some((_, env)) = transport.poll() {
+        if let Ok(msg) = Message::decode(&env.payload) {
+            traffic.record(msg.phase(), msg.direction(), env.payload.len() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::InMemoryTransport;
+    use fednum_core::encoding::FixedPointCodec;
+    use fednum_core::protocol::basic::BasicConfig;
+    use fednum_fedsim::dropout::DropoutModel;
+    use fednum_fedsim::round::{run_federated_mean, SecAggSettings};
+    use fednum_fedsim::traffic::TrafficPhase;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base_config(bits: u32) -> FederatedMeanConfig {
+        FederatedMeanConfig::new(BasicConfig::new(
+            FixedPointCodec::integer(bits),
+            BitSampling::geometric(bits, 1.0),
+        ))
+    }
+
+    fn values(n: usize, hi: u64) -> Vec<f64> {
+        (0..n).map(|i| (i as u64 % hi) as f64).collect()
+    }
+
+    #[test]
+    fn plain_round_is_bit_identical_to_legacy() {
+        let vs = values(4_000, 100);
+        let cfg = base_config(7);
+        let legacy = run_federated_mean(&vs, &cfg, &mut StdRng::seed_from_u64(1)).unwrap();
+        let mut t = InMemoryTransport::new(0xBEEF);
+        let evented =
+            run_federated_mean_transport(&vs, &cfg, &mut t, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert_eq!(legacy.outcome.estimate, evented.outcome.estimate);
+        assert_eq!(legacy.reports, evented.reports);
+        assert_eq!(legacy.contacted, evented.contacted);
+    }
+
+    #[test]
+    fn dropout_and_refill_stay_bit_identical() {
+        let vs = values(6_000, 100);
+        let cfg = base_config(7)
+            .with_dropout(DropoutModel::bernoulli(0.4))
+            .with_auto_adjust(3, 20, 0.6);
+        for seed in 0..5 {
+            let legacy = run_federated_mean(&vs, &cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+            let mut t = InMemoryTransport::new(seed);
+            let evented =
+                run_federated_mean_transport(&vs, &cfg, &mut t, &mut StdRng::seed_from_u64(seed))
+                    .unwrap();
+            assert_eq!(legacy.outcome.estimate, evented.outcome.estimate, "s{seed}");
+            assert_eq!(legacy.waves_used, evented.waves_used);
+            assert_eq!(legacy.robustness.degraded, evented.robustness.degraded);
+        }
+    }
+
+    #[test]
+    fn secagg_session_is_bit_identical_and_meters_all_phases() {
+        let vs = values(300, 50);
+        let cfg = base_config(6)
+            .with_dropout(DropoutModel::phased(0.1, 0.05))
+            .with_secagg(SecAggSettings::default());
+        let legacy = run_federated_mean(&vs, &cfg, &mut StdRng::seed_from_u64(3)).unwrap();
+        let mut t = InMemoryTransport::new(3);
+        let evented =
+            run_federated_mean_transport(&vs, &cfg, &mut t, &mut StdRng::seed_from_u64(3)).unwrap();
+        assert_eq!(legacy.outcome.estimate, evented.outcome.estimate);
+        assert_eq!(legacy.secagg, evented.secagg);
+        let tr = evented.robustness.traffic;
+        for phase in TrafficPhase::ALL {
+            assert!(
+                tr.get(phase, Direction::Uplink).messages > 0
+                    || tr.get(phase, Direction::Downlink).messages > 0,
+                "phase {phase:?} saw no traffic"
+            );
+        }
+    }
+
+    #[test]
+    fn collect_traffic_matches_frame_sizes_exactly() {
+        let vs = values(500, 100);
+        let cfg = base_config(8);
+        let mut t = InMemoryTransport::new(7);
+        let out =
+            run_federated_mean_transport(&vs, &cfg, &mut t, &mut StdRng::seed_from_u64(7)).unwrap();
+        let tr = out.robustness.traffic;
+        // No dropout: every client sends Hello, receives RoundConfig,
+        // sends exactly one report frame.
+        let hello = tr.get(TrafficPhase::Rendezvous, Direction::Uplink);
+        let cfg_dl = tr.get(TrafficPhase::Configure, Direction::Downlink);
+        let col = tr.get(TrafficPhase::Collect, Direction::Uplink);
+        assert_eq!(hello.messages, 500);
+        assert_eq!(cfg_dl.messages, 500);
+        assert_eq!(col.messages, 500);
+        // Each report frame: tag + nonce varint + ReportMessage body.
+        let expected: u64 = (0..500u64)
+            .map(|c| {
+                Message::Report(Report {
+                    nonce: c,
+                    body: ReportMessage {
+                        task_id: cfg.session_seed,
+                        reports: vec![(0, false)],
+                    },
+                })
+                .encoded_len() as u64
+            })
+            .sum();
+        assert_eq!(col.bytes, expected);
+        assert_eq!(
+            tr.get(TrafficPhase::Publish, Direction::Downlink).messages,
+            1
+        );
+        assert!(
+            tr.get(TrafficPhase::KeyExchange, Direction::Uplink)
+                .messages
+                == 0
+        );
+    }
+
+    #[test]
+    fn empty_population_is_a_typed_error() {
+        let mut t = InMemoryTransport::new(0);
+        assert!(matches!(
+            run_federated_mean_transport(
+                &[],
+                &base_config(4),
+                &mut t,
+                &mut StdRng::seed_from_u64(0)
+            ),
+            Err(FedError::PopulationTooSmall { got: 0, need: 1 })
+        ));
+    }
+}

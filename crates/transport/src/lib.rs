@@ -1,0 +1,25 @@
+//! Event-driven transport and coordinator for federated bit-pushing.
+//!
+//! The `fednum-fedsim` orchestrator models a round as a synchronous loop;
+//! this crate models it as what it really is — message passing. Every
+//! protocol interaction is a typed [`message::Message`] framed through the
+//! `fednum-core::wire` varint codec, carried by a [`net::Transport`], and
+//! ordered by a deterministic discrete-event [`scheduler::EventQueue`].
+//! The [`coordinator`] drives the session state machine (rendezvous →
+//! configure → collect → unmask → publish) over any transport, reproducing
+//! the synchronous orchestrator's estimates bit for bit while additionally
+//! accounting every byte per phase and direction; [`shard`] partitions a
+//! cohort across independently scheduled coordinator shards, scaling a
+//! round to a million simulated clients.
+
+pub mod coordinator;
+pub mod message;
+pub mod net;
+pub mod scheduler;
+pub mod shard;
+
+pub use coordinator::{run_federated_mean_transport, run_federated_mean_transport_metered};
+pub use message::Message;
+pub use net::{Envelope, InMemoryTransport, SimNetTransport, Transport, COORDINATOR};
+pub use scheduler::EventQueue;
+pub use shard::{run_sharded_mean, ShardedOutcome};

@@ -1,0 +1,517 @@
+//! The typed protocol surface, framed through the `fednum-core::wire`
+//! binary codec.
+//!
+//! Every byte that crosses the simulated network is one of these messages,
+//! encoded as a one-byte type tag followed by varint-framed fields. Sender
+//! identity is *not* part of the frame: like a real deployment, it comes
+//! from the authenticated connection (the [`crate::net::Envelope`] around
+//! the frame). The round identifier *is* in-band, because stale-round
+//! detection is a payload property, not a connection property.
+//!
+//! Sizes are the point of this module — the paper's communication claims
+//! ("only a single private bit of data is disclosed... both can be easily
+//! communicated within a single (encrypted) network packet") become
+//! measurable through [`Message::encoded_len`] and the per-phase traffic
+//! accounting in the coordinator.
+
+use fednum_core::wire::{push_varint, read_bytes, read_varint, ReportMessage, WireError};
+use fednum_fedsim::traffic::{Direction, TrafficPhase};
+
+/// Bytes of an X25519-style public key.
+pub const PUBLIC_KEY_LEN: usize = 32;
+/// Bytes of one encrypted Shamir share (two masked field elements plus an
+/// AEAD tag).
+pub const ENCRYPTED_SHARE_LEN: usize = 48;
+
+const TAG_HELLO: u8 = 0;
+const TAG_ROUND_CONFIG: u8 = 1;
+pub(crate) const TAG_REPORT: u8 = 2;
+const TAG_KEY_ADVERTISE: u8 = 3;
+const TAG_KEY_SHARES: u8 = 4;
+const TAG_MASKED_INPUT: u8 = 5;
+const TAG_UNMASK_SHARES: u8 = 6;
+const TAG_PUBLISH: u8 = 7;
+
+/// Round-configuration downlink: the per-client task description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundConfig {
+    /// Round/task identifier.
+    pub round_id: u64,
+    /// The bit index this client must report on (central QMC assignment).
+    pub assigned_bit: u8,
+    /// Whether reports travel through secure aggregation.
+    pub secagg: bool,
+    /// Shamir threshold for the secure-aggregation session (0 when direct).
+    pub threshold: u64,
+    /// Masked-input vector length (0 when direct).
+    pub vector_len: u64,
+}
+
+/// Bit-pushing report uplink: the core wire message plus an envelope nonce
+/// for replay detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Per-submission nonce; replays repeat it verbatim.
+    pub nonce: u64,
+    /// The report payload (`task_id` carries the round tag).
+    pub body: ReportMessage,
+}
+
+/// Secure-aggregation round 0: key advertisement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyAdvertise {
+    /// Round identifier.
+    pub round_id: u64,
+    /// Key-agreement public key.
+    pub kem_pk: [u8; PUBLIC_KEY_LEN],
+    /// Pairwise-mask public key.
+    pub mask_pk: [u8; PUBLIC_KEY_LEN],
+}
+
+/// One encrypted Shamir share addressed to a mask-graph neighbor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncryptedShare {
+    /// Receiving client.
+    pub recipient: u64,
+    /// The encrypted share blob.
+    pub ct: [u8; ENCRYPTED_SHARE_LEN],
+}
+
+/// Secure-aggregation round 1: Shamir shares of the self-mask and key
+/// seeds, relayed through the coordinator to each neighbor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyShares {
+    /// Round identifier.
+    pub round_id: u64,
+    /// One encrypted share per mask-graph neighbor.
+    pub shares: Vec<EncryptedShare>,
+}
+
+/// Secure-aggregation round 2: the masked input vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedInput {
+    /// Round identifier.
+    pub round_id: u64,
+    /// Masked field elements (uniform in the 61-bit field, so ≈ 9 varint
+    /// bytes each on the wire).
+    pub values: Vec<u64>,
+}
+
+/// Secure-aggregation round 3: unmask shares for dropped neighbors (and the
+/// sender's own self-mask).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnmaskShares {
+    /// Round identifier.
+    pub round_id: u64,
+    /// `(subject client, share)` pairs.
+    pub shares: Vec<(u64, u64)>,
+}
+
+/// Result broadcast closing the session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Publish {
+    /// Round identifier.
+    pub round_id: u64,
+    /// The published mean estimate.
+    pub estimate: f64,
+    /// Reports behind the estimate.
+    pub reports: u64,
+}
+
+/// Every message of the protocol surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client check-in (rendezvous uplink).
+    Hello {
+        /// Round the client is checking in for.
+        round_id: u64,
+    },
+    /// Round-configuration downlink.
+    RoundConfig(RoundConfig),
+    /// Bit-pushing report uplink.
+    Report(Report),
+    /// Secure-aggregation key advertisement uplink.
+    KeyAdvertise(KeyAdvertise),
+    /// Secure-aggregation encrypted-share uplink.
+    KeyShares(KeyShares),
+    /// Secure-aggregation masked-input uplink.
+    MaskedInput(MaskedInput),
+    /// Secure-aggregation unmask-share uplink.
+    UnmaskShares(UnmaskShares),
+    /// Result broadcast downlink.
+    Publish(Publish),
+}
+
+impl Message {
+    /// The protocol phase this message belongs to.
+    #[must_use]
+    pub fn phase(&self) -> TrafficPhase {
+        match self {
+            Message::Hello { .. } => TrafficPhase::Rendezvous,
+            Message::RoundConfig(_) => TrafficPhase::Configure,
+            Message::Report(_) => TrafficPhase::Collect,
+            Message::KeyAdvertise(_) | Message::KeyShares(_) => TrafficPhase::KeyExchange,
+            Message::MaskedInput(_) => TrafficPhase::Masking,
+            Message::UnmaskShares(_) => TrafficPhase::Unmask,
+            Message::Publish(_) => TrafficPhase::Publish,
+        }
+    }
+
+    /// The direction this message travels.
+    #[must_use]
+    pub fn direction(&self) -> Direction {
+        match self {
+            Message::RoundConfig(_) | Message::Publish(_) => Direction::Downlink,
+            _ => Direction::Uplink,
+        }
+    }
+
+    /// Encodes as `tag · body`.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes into an existing buffer.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Hello { round_id } => {
+                out.push(TAG_HELLO);
+                push_varint(out, *round_id);
+            }
+            Message::RoundConfig(c) => {
+                out.push(TAG_ROUND_CONFIG);
+                push_varint(out, c.round_id);
+                out.push(c.assigned_bit);
+                out.push(u8::from(c.secagg));
+                push_varint(out, c.threshold);
+                push_varint(out, c.vector_len);
+            }
+            Message::Report(r) => {
+                out.push(TAG_REPORT);
+                push_varint(out, r.nonce);
+                r.body.encode_into(out);
+            }
+            Message::KeyAdvertise(k) => {
+                out.push(TAG_KEY_ADVERTISE);
+                push_varint(out, k.round_id);
+                out.extend_from_slice(&k.kem_pk);
+                out.extend_from_slice(&k.mask_pk);
+            }
+            Message::KeyShares(k) => {
+                out.push(TAG_KEY_SHARES);
+                push_varint(out, k.round_id);
+                push_varint(out, k.shares.len() as u64);
+                for s in &k.shares {
+                    push_varint(out, s.recipient);
+                    out.extend_from_slice(&s.ct);
+                }
+            }
+            Message::MaskedInput(m) => {
+                out.push(TAG_MASKED_INPUT);
+                push_varint(out, m.round_id);
+                push_varint(out, m.values.len() as u64);
+                for &v in &m.values {
+                    push_varint(out, v);
+                }
+            }
+            Message::UnmaskShares(u) => {
+                out.push(TAG_UNMASK_SHARES);
+                push_varint(out, u.round_id);
+                push_varint(out, u.shares.len() as u64);
+                for &(subject, share) in &u.shares {
+                    push_varint(out, subject);
+                    push_varint(out, share);
+                }
+            }
+            Message::Publish(p) => {
+                out.push(TAG_PUBLISH);
+                push_varint(out, p.round_id);
+                out.extend_from_slice(&p.estimate.to_bits().to_le_bytes());
+                push_varint(out, p.reports);
+            }
+        }
+    }
+
+    /// Encoded size in bytes.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        let mut buf = Vec::with_capacity(16);
+        self.encode_into(&mut buf);
+        buf.len()
+    }
+
+    /// Decodes one message, requiring the buffer to be fully consumed.
+    ///
+    /// # Errors
+    /// See [`WireError`]; [`WireError::UnknownTag`] for an unrecognized
+    /// type tag.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut pos = 0;
+        let msg = Self::decode_from(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(msg)
+    }
+
+    /// Decodes one message starting at `*pos`, advancing `*pos` past it.
+    ///
+    /// # Errors
+    /// See [`WireError`].
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let &tag = buf.get(*pos).ok_or(WireError::Truncated)?;
+        *pos += 1;
+        match tag {
+            TAG_HELLO => Ok(Message::Hello {
+                round_id: read_varint(buf, pos)?,
+            }),
+            TAG_ROUND_CONFIG => {
+                let round_id = read_varint(buf, pos)?;
+                let assigned_bit = *buf.get(*pos).ok_or(WireError::Truncated)?;
+                *pos += 1;
+                let secagg = match buf.get(*pos).ok_or(WireError::Truncated)? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::InvalidField("secagg flag")),
+                };
+                *pos += 1;
+                let threshold = read_varint(buf, pos)?;
+                let vector_len = read_varint(buf, pos)?;
+                Ok(Message::RoundConfig(RoundConfig {
+                    round_id,
+                    assigned_bit,
+                    secagg,
+                    threshold,
+                    vector_len,
+                }))
+            }
+            TAG_REPORT => {
+                let nonce = read_varint(buf, pos)?;
+                let body = ReportMessage::decode_from(buf, pos)?;
+                Ok(Message::Report(Report { nonce, body }))
+            }
+            TAG_KEY_ADVERTISE => {
+                let round_id = read_varint(buf, pos)?;
+                let mut kem_pk = [0u8; PUBLIC_KEY_LEN];
+                kem_pk.copy_from_slice(read_bytes(buf, pos, PUBLIC_KEY_LEN)?);
+                let mut mask_pk = [0u8; PUBLIC_KEY_LEN];
+                mask_pk.copy_from_slice(read_bytes(buf, pos, PUBLIC_KEY_LEN)?);
+                Ok(Message::KeyAdvertise(KeyAdvertise {
+                    round_id,
+                    kem_pk,
+                    mask_pk,
+                }))
+            }
+            TAG_KEY_SHARES => {
+                let round_id = read_varint(buf, pos)?;
+                let count = read_varint(buf, pos)? as usize;
+                // Each share costs at least 1 + ENCRYPTED_SHARE_LEN bytes;
+                // an impossible count fails before any allocation.
+                if count > buf.len().saturating_sub(*pos) / (1 + ENCRYPTED_SHARE_LEN) {
+                    return Err(WireError::Truncated);
+                }
+                let mut shares = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let recipient = read_varint(buf, pos)?;
+                    let mut ct = [0u8; ENCRYPTED_SHARE_LEN];
+                    ct.copy_from_slice(read_bytes(buf, pos, ENCRYPTED_SHARE_LEN)?);
+                    shares.push(EncryptedShare { recipient, ct });
+                }
+                Ok(Message::KeyShares(KeyShares { round_id, shares }))
+            }
+            TAG_MASKED_INPUT => {
+                let round_id = read_varint(buf, pos)?;
+                let count = read_varint(buf, pos)? as usize;
+                if count > buf.len().saturating_sub(*pos) {
+                    return Err(WireError::Truncated);
+                }
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(read_varint(buf, pos)?);
+                }
+                Ok(Message::MaskedInput(MaskedInput { round_id, values }))
+            }
+            TAG_UNMASK_SHARES => {
+                let round_id = read_varint(buf, pos)?;
+                let count = read_varint(buf, pos)? as usize;
+                if count > buf.len().saturating_sub(*pos) / 2 {
+                    return Err(WireError::Truncated);
+                }
+                let mut shares = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let subject = read_varint(buf, pos)?;
+                    let share = read_varint(buf, pos)?;
+                    shares.push((subject, share));
+                }
+                Ok(Message::UnmaskShares(UnmaskShares { round_id, shares }))
+            }
+            TAG_PUBLISH => {
+                let round_id = read_varint(buf, pos)?;
+                let mut bits = [0u8; 8];
+                bits.copy_from_slice(read_bytes(buf, pos, 8)?);
+                let estimate = f64::from_bits(u64::from_le_bytes(bits));
+                let reports = read_varint(buf, pos)?;
+                Ok(Message::Publish(Publish {
+                    round_id,
+                    estimate,
+                    reports,
+                }))
+            }
+            other => Err(WireError::UnknownTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::Hello { round_id: 7 },
+            Message::RoundConfig(RoundConfig {
+                round_id: 0x1234,
+                assigned_bit: 5,
+                secagg: true,
+                threshold: 128,
+                vector_len: 16,
+            }),
+            Message::Report(Report {
+                nonce: 99,
+                body: ReportMessage {
+                    task_id: 0x1234,
+                    reports: vec![(5, true)],
+                },
+            }),
+            Message::KeyAdvertise(KeyAdvertise {
+                round_id: 3,
+                kem_pk: [0xAB; PUBLIC_KEY_LEN],
+                mask_pk: [0xCD; PUBLIC_KEY_LEN],
+            }),
+            Message::KeyShares(KeyShares {
+                round_id: 3,
+                shares: vec![
+                    EncryptedShare {
+                        recipient: 1,
+                        ct: [1; ENCRYPTED_SHARE_LEN],
+                    },
+                    EncryptedShare {
+                        recipient: u64::MAX,
+                        ct: [2; ENCRYPTED_SHARE_LEN],
+                    },
+                ],
+            }),
+            Message::MaskedInput(MaskedInput {
+                round_id: 3,
+                values: vec![0, 1, (1 << 61) - 2, 12345],
+            }),
+            Message::UnmaskShares(UnmaskShares {
+                round_id: 3,
+                shares: vec![(0, 42), (17, (1 << 61) - 3)],
+            }),
+            Message::Publish(Publish {
+                round_id: 3,
+                estimate: -12.75,
+                reports: 100_000,
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            assert_eq!(bytes.len(), msg.encoded_len());
+            assert_eq!(Message::decode(&bytes).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn every_variant_rejects_truncation_and_trailing() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Message::decode(&bytes[..cut]).is_err(),
+                    "{msg:?} cut at {cut}"
+                );
+            }
+            let mut extended = bytes.clone();
+            extended.push(0);
+            assert_eq!(
+                Message::decode(&extended),
+                Err(WireError::TrailingBytes),
+                "{msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        for tag in 8..=255u8 {
+            assert_eq!(Message::decode(&[tag]), Err(WireError::UnknownTag(tag)));
+        }
+        assert_eq!(Message::decode(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn malformed_secagg_flag_rejected() {
+        let mut bytes = Message::RoundConfig(RoundConfig {
+            round_id: 1,
+            assigned_bit: 0,
+            secagg: false,
+            threshold: 0,
+            vector_len: 0,
+        })
+        .encode();
+        // tag, round_id varint, bit, flag...
+        bytes[3] = 2;
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(WireError::InvalidField("secagg flag"))
+        );
+    }
+
+    #[test]
+    fn oversized_counts_fail_before_allocating() {
+        for tag in [TAG_KEY_SHARES, TAG_MASKED_INPUT, TAG_UNMASK_SHARES] {
+            let mut buf = vec![tag, 0]; // round_id = 0
+            push_varint(&mut buf, u64::MAX); // impossible count
+            assert_eq!(Message::decode(&buf), Err(WireError::Truncated));
+        }
+    }
+
+    #[test]
+    fn phases_and_directions_partition_the_surface() {
+        use fednum_fedsim::traffic::Direction::{Downlink, Uplink};
+        for msg in samples() {
+            let dir = msg.direction();
+            match msg {
+                Message::RoundConfig(_) | Message::Publish(_) => assert_eq!(dir, Downlink),
+                _ => assert_eq!(dir, Uplink),
+            }
+        }
+    }
+
+    #[test]
+    fn report_frame_is_single_packet_class() {
+        // The paper's point, now at the transport layer: a full framed
+        // one-feature report (tag + nonce + header + index + payload bit)
+        // stays within a handful of bytes.
+        let msg = Message::Report(Report {
+            nonce: 1_000_000,
+            body: ReportMessage {
+                task_id: 0xF3D5,
+                reports: vec![(11, true)],
+            },
+        });
+        assert!(
+            msg.encoded_len() <= 10,
+            "framed report is {} bytes",
+            msg.encoded_len()
+        );
+    }
+}

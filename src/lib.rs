@@ -35,4 +35,5 @@ pub use fednum_fedsim as fedsim;
 pub use fednum_ldp as ldp;
 pub use fednum_metrics as metrics;
 pub use fednum_secagg as secagg;
+pub use fednum_transport as transport;
 pub use fednum_workloads as workloads;

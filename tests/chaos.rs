@@ -310,3 +310,87 @@ fn chaos_failures_are_deterministic_per_seed() {
         assert_eq!(run(), run(), "scenario {} must replay", scenario.id);
     }
 }
+
+#[test]
+fn chaos_scenarios_degrade_identically_over_the_simulated_network() {
+    // The whole scenario matrix, replayed through the event-driven
+    // transport: wire faults acted out by `SimNetTransport`, client faults
+    // by the coordinator's client model. Every scenario must land exactly
+    // where the legacy synchronous loop landed — same estimate bits, same
+    // degradation class, same typed error — with zero panics.
+    use fednum::transport::net::SimNetTransport;
+    use fednum::transport::{run_federated_mean_transport_metered, InMemoryTransport, Transport};
+
+    let grid = scenario_grid();
+    let mut identical = 0usize;
+    let mut degraded = 0usize;
+    for scenario in &grid {
+        let values = elicit(scenario);
+        let config = config_for(scenario);
+        let legacy = {
+            let mut ledger = PrivacyLedger::new();
+            let mut rng = StdRng::seed_from_u64(scenario.id ^ 0xC4A0);
+            run_federated_mean_metered(&values, &config, &mut ledger, &mut rng)
+        };
+        let evented = catch_unwind(AssertUnwindSafe(|| {
+            let mut ledger = PrivacyLedger::new();
+            let mut rng = StdRng::seed_from_u64(scenario.id ^ 0xC4A0);
+            let mut transport: Box<dyn Transport> = if config.faults.is_some() {
+                Box::new(SimNetTransport::for_config(&config, scenario.id))
+            } else {
+                Box::new(InMemoryTransport::new(scenario.id))
+            };
+            run_federated_mean_transport_metered(
+                &values,
+                &config,
+                &mut ledger,
+                transport.as_mut(),
+                &mut rng,
+            )
+        }))
+        .unwrap_or_else(|_| panic!("scenario {} panicked over the transport", scenario.id));
+        match (legacy, evented) {
+            (Ok(l), Ok(e)) => {
+                identical += 1;
+                degraded += usize::from(e.robustness.degraded != DegradedMode::Clean);
+                assert_eq!(
+                    l.outcome.estimate.to_bits(),
+                    e.outcome.estimate.to_bits(),
+                    "scenario {}: transport estimate diverged",
+                    scenario.id
+                );
+                assert_eq!(
+                    l.robustness.degraded, e.robustness.degraded,
+                    "scenario {}: degradation class diverged",
+                    scenario.id
+                );
+                assert_eq!(
+                    l.robustness.rejections, e.robustness.rejections,
+                    "scenario {}: rejection counts diverged",
+                    scenario.id
+                );
+                assert!(
+                    e.robustness.traffic.total_messages() > 0,
+                    "scenario {}: transport path metered no traffic",
+                    scenario.id
+                );
+            }
+            (Err(l), Err(e)) => {
+                assert_eq!(l, e, "scenario {}: error classes diverged", scenario.id)
+            }
+            (l, e) => panic!(
+                "scenario {}: paths disagree on success: legacy={l:?} transport={e:?}",
+                scenario.id
+            ),
+        }
+    }
+    assert!(
+        identical >= grid.len() / 2,
+        "most scenarios should succeed identically: {identical}/{}",
+        grid.len()
+    );
+    assert!(
+        degraded > 20,
+        "degraded classes must be exercised over the transport, got {degraded}"
+    );
+}

@@ -7,7 +7,37 @@
 //! enough to compare kernels locally, with none of upstream's statistics,
 //! plotting, or CLI machinery.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results accumulated for `CRITERION_JSON` output, shared across the
+/// per-group `Criterion` instances of one bench binary.
+static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+
+/// When the `CRITERION_JSON` environment variable names a path, append this
+/// measurement and rewrite the file as a complete JSON array — the file is
+/// valid after every benchmark, however many groups the binary runs.
+fn record_json(id: &str, ns_per_iter: f64, iters: u64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let mut results = RESULTS.lock().expect("criterion json lock");
+    results.push((id.to_string(), ns_per_iter, iters));
+    let mut out = String::from("[\n");
+    for (i, (id, ns, it)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"id\": \"{id}\", \"ns_per_iter\": {ns:.1}, \"iters\": {it}}}"
+        ));
+    }
+    out.push_str("\n]\n");
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let _ = std::fs::write(&path, out);
+}
 
 /// Opaque-to-the-optimizer identity function.
 pub fn black_box<T>(x: T) -> T {
@@ -75,6 +105,7 @@ impl Criterion {
         if b.iters > 0 {
             let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
             println!("{id:<40} {ns_per_iter:>12.1} ns/iter ({} iters)", b.iters);
+            record_json(id, ns_per_iter, b.iters);
         } else {
             println!("{id:<40} (no measurement)");
         }
