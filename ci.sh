@@ -35,6 +35,16 @@ PROPTEST_CASES=1 cargo test --release --offline -p fednum-transport \
 step "cargo test (workspace)"
 cargo test -q --release --offline --workspace
 
+step "hierarchical chaos matrix (both secagg tiers under fault injection)"
+cargo test -q --release --offline --test chaos \
+    chaos_matrix_composes_with_hierarchical_secagg -- --exact
+
+step "bench_transport --hiersec smoke (fixed seed, 10s budget)"
+# Quick grid (50k clients, K in {4,16}, 1/4 workers); the binary itself
+# enforces the wall-clock budget and the >=2x modeled pool speedup.
+./target/release/bench_transport --hiersec --quick \
+    --out results/BENCH_hiersec_smoke.json
+
 if [[ "${1:-}" != "quick" ]]; then
     step "cargo clippy --all-targets -- -D warnings"
     cargo clippy --all-targets --offline -- -D warnings

@@ -95,6 +95,13 @@ pub struct FederatedMeanConfig {
     /// Server-side report validation (duplicate/replay/stale/deadline
     /// enforcement). Disabled by the "naive" baseline orchestrator.
     pub validate: bool,
+    /// Compress the configure downlink: one broadcast `RoundConfig` header
+    /// per wave plus a 1-byte per-client assigned-bit delta, instead of a
+    /// full `RoundConfig` frame per client. Purely a wire-path codec choice
+    /// — estimates are unaffected; byte savings are credited to
+    /// `TrafficStats::config_bytes_saved`. The legacy synchronous
+    /// orchestrator ignores it (nothing crosses a wire there).
+    pub compress_config: bool,
 }
 
 impl FederatedMeanConfig {
@@ -114,6 +121,7 @@ impl FederatedMeanConfig {
             faults: None,
             retry: RetryPolicy::default(),
             validate: true,
+            compress_config: false,
         }
     }
 
@@ -193,6 +201,14 @@ impl FederatedMeanConfig {
     #[must_use]
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Compresses the configure downlink (broadcast header + per-client bit
+    /// delta). See [`FederatedMeanConfig::compress_config`].
+    #[must_use]
+    pub fn with_config_compression(mut self) -> Self {
+        self.compress_config = true;
         self
     }
 

@@ -88,6 +88,9 @@ impl Counter {
 pub struct TrafficStats {
     up: [Counter; 7],
     down: [Counter; 7],
+    /// Downlink bytes avoided by config compression (broadcast header +
+    /// per-client bit delta instead of one full `RoundConfig` each).
+    config_saved: u64,
 }
 
 impl TrafficStats {
@@ -112,6 +115,20 @@ impl TrafficStats {
             self.up[i].merge(&other.up[i]);
             self.down[i].merge(&other.down[i]);
         }
+        self.config_saved += other.config_saved;
+    }
+
+    /// Credits downlink bytes the compressed config codec avoided sending
+    /// (relative to one full `RoundConfig` frame per contacted client).
+    pub fn credit_config_savings(&mut self, bytes: u64) {
+        self.config_saved += bytes;
+    }
+
+    /// Downlink bytes avoided by config compression; zero on the
+    /// uncompressed path.
+    #[must_use]
+    pub fn config_bytes_saved(&self) -> u64 {
+        self.config_saved
     }
 
     /// The tally for one phase/direction cell.
@@ -194,7 +211,15 @@ impl std::fmt::Display for TrafficStats {
             f,
             "{:<12} {:>10} {:>12} {:>10} {:>12}",
             "total", up.messages, up.bytes, down.messages, down.bytes
-        )
+        )?;
+        if self.config_saved > 0 {
+            write!(
+                f,
+                "\nconfig compression saved {} downlink bytes",
+                self.config_saved
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -244,6 +269,18 @@ mod tests {
         }
         assert!(!t.is_empty());
         assert!((t.uplink_bytes_per_client(10) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_savings_are_credited_and_merged() {
+        let mut a = TrafficStats::new();
+        assert_eq!(a.config_bytes_saved(), 0);
+        a.credit_config_savings(120);
+        let mut b = TrafficStats::new();
+        b.credit_config_savings(30);
+        a.merge(&b);
+        assert_eq!(a.config_bytes_saved(), 150);
+        assert!(a.to_string().contains("saved 150 downlink bytes"));
     }
 
     #[test]

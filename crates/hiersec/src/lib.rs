@@ -1,0 +1,35 @@
+//! Two-tier hierarchical secure aggregation.
+//!
+//! The flat secure-aggregation protocol (`fednum-secagg`) cancels pairwise
+//! masks only within one unmask domain, so a masked cohort cannot be split
+//! across coordinator shards — which is exactly what the scaled transport
+//! path does. This crate resolves that tension the way scalable
+//! shuffled/hierarchical aggregation systems do (Ghazi et al.): run one
+//! *independent* Bonawitz-style instance per shard, then treat the K
+//! shard aggregators as the cohort of a second instance and securely
+//! aggregate the per-shard sums.
+//!
+//! * [`config`] — [`HierSecConfig`]: shard count K, per-shard threshold
+//!   settings, merge threshold, and per-instance session-seed derivation
+//!   (every tier/shard gets its own key graph via
+//!   `fednum_secagg::instance_seed`);
+//! * [`pool`] — a deterministic `std::thread` worker pool: jobs carry
+//!   index-derived seeds and results are returned in index order, so the
+//!   pooled execution is bit-identical to sequential whatever the thread
+//!   interleaving;
+//! * [`tiers`] — the two-tier protocol core: per-shard instances whose
+//!   `TooFewSurvivors` failures *degrade* (exclude) that shard, and the
+//!   merge instance over shard sums, whose failure aborts the round.
+//!
+//! Trust model in one line: each shard aggregator learns only its own
+//! shard's sum; the top-level coordinator learns only the masked per-shard
+//! sums and their total — no individual shard sum, and no individual
+//! client value anywhere.
+
+pub mod config;
+pub mod pool;
+pub mod tiers;
+
+pub use config::HierSecConfig;
+pub use pool::run_indexed;
+pub use tiers::{merge_shard_sums, run_two_tier, MergeOutcome, ShardCohort, TwoTierOutcome};

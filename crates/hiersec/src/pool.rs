@@ -1,0 +1,91 @@
+//! Deterministic `std::thread` worker pool for per-shard jobs.
+//!
+//! The pool hands out job indices through an atomic counter and stores each
+//! result in its index slot, so the returned vector is always in job order
+//! no matter which worker ran which job or in what interleaving. Combined
+//! with index-derived seeds (each job builds its own RNG from its index),
+//! pooled execution is bit-identical to sequential execution — the property
+//! the parity suite pins.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `jobs` invocations of `job(index)` on up to `workers` OS threads
+/// and returns the results in index order.
+///
+/// `workers <= 1` (or a single job) short-circuits to a plain sequential
+/// loop on the calling thread — the reference execution the pooled path
+/// must match bit-for-bit.
+///
+/// # Panics
+/// Propagates a panic from any job after the scope joins.
+pub fn run_indexed<T, F>(workers: usize, jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(jobs);
+    if workers == 1 {
+        return (0..jobs).map(job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let job = &job;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let out = job(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("pool finished with an unfilled slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for workers in [1, 2, 4, 9] {
+            let out = run_indexed(workers, 17, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pooled_matches_sequential_for_seeded_jobs() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let job = |i: usize| {
+            let mut rng = StdRng::seed_from_u64(0xBEEF ^ i as u64);
+            (0..8).map(|_| rng.random::<u64>()).collect::<Vec<_>>()
+        };
+        let sequential = run_indexed(1, 12, job);
+        for workers in [2, 3, 8] {
+            assert_eq!(run_indexed(workers, 12, job), sequential);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_and_excess_workers_are_fine() {
+        assert!(run_indexed::<u8, _>(4, 0, |_| unreachable!()).is_empty());
+        assert_eq!(run_indexed(64, 2, |i| i), vec![0, 1]);
+    }
+}

@@ -14,6 +14,23 @@
 use crate::field::Fe;
 use crate::prg::{pairwise_seed, self_seed, MaskStream};
 
+/// Streams `PRG(seed)` directly into an accumulator — adding, or
+/// subtracting when `negate` — without materialising the mask vector.
+/// The hot loops (one call per client per mask-graph edge) use this to
+/// stay allocation-free; it is element-for-element identical to
+/// `add_assign(acc, &mask_from_seed(seed, acc.len()), negate)`.
+pub fn accumulate_mask(acc: &mut [Fe], seed: u64, negate: bool) {
+    let mut stream = MaskStream::new(seed);
+    for a in acc.iter_mut() {
+        let m = stream.next_fe();
+        if negate {
+            *a -= m;
+        } else {
+            *a += m;
+        }
+    }
+}
+
 /// Expands a seed into a mask vector.
 #[must_use]
 pub fn mask_from_seed(seed: u64, len: usize) -> Vec<Fe> {
@@ -60,7 +77,10 @@ pub fn client_mask(session: u64, i: u64, participants: &[u64], len: usize) -> Ve
 /// Panics if `i` is not in `participants` or `participants` is not sorted.
 #[must_use]
 pub fn ring_neighbors(i: u64, participants: &[u64], k: usize) -> Vec<u64> {
-    assert!(
+    // Sortedness is the caller's contract; checking it here would make
+    // every call O(n) and the per-cohort total quadratic (this sits on the
+    // per-client hot path of share setup and round 3).
+    debug_assert!(
         participants.windows(2).all(|w| w[0] < w[1]),
         "participants must be sorted and distinct"
     );
@@ -101,14 +121,7 @@ pub fn client_mask_ring(
 ) -> Vec<Fe> {
     let mut mask = mask_from_seed(self_seed(session, i), len);
     for j in ring_neighbors(i, participants, k) {
-        let pair = mask_from_seed(pairwise_seed(session, i, j), len);
-        for (m, p) in mask.iter_mut().zip(&pair) {
-            if i < j {
-                *m += *p;
-            } else {
-                *m -= *p;
-            }
-        }
+        accumulate_mask(&mut mask, pairwise_seed(session, i, j), i > j);
     }
     mask
 }

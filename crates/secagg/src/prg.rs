@@ -61,6 +61,20 @@ pub fn self_seed(session: u64, client: u64) -> u64 {
     mix(mix(session, 0x5E1F), client)
 }
 
+/// Derives an independent session seed for one secure-aggregation instance
+/// inside a hierarchy. Every `(tier, index)` pair gets its own seed — and
+/// with it its own pairwise key graph, self masks, and Shamir shares — so
+/// per-shard instances and the cross-shard merge instance share nothing but
+/// the parent session. Domain-separated from [`self_seed`] and
+/// [`pairwise_seed`] by a distinct tweak constant.
+#[must_use]
+pub fn instance_seed(session: u64, tier: u32, index: u64) -> u64 {
+    mix(
+        mix(mix(session, 0x712E_5EC0_11E2_A3C7), u64::from(tier)),
+        index,
+    )
+}
+
 fn mix(a: u64, b: u64) -> u64 {
     let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -110,6 +124,25 @@ mod tests {
     fn self_seed_differs_from_pairwise() {
         assert_ne!(self_seed(1, 3), pairwise_seed(1, 3, 3));
         assert_ne!(self_seed(1, 3), self_seed(1, 4));
+    }
+
+    #[test]
+    fn instance_seeds_are_distinct_across_tiers_and_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for tier in 0..3u32 {
+            for index in 0..50u64 {
+                assert!(
+                    seen.insert(instance_seed(9, tier, index)),
+                    "collision tier={tier} index={index}"
+                );
+            }
+        }
+        // And separated from the flat derivations.
+        assert_ne!(instance_seed(9, 0, 3), self_seed(9, 3));
+        assert_ne!(instance_seed(9, 0, 3), pairwise_seed(9, 0, 3));
+        // Deterministic per (session, tier, index).
+        assert_eq!(instance_seed(9, 1, 4), instance_seed(9, 1, 4));
+        assert_ne!(instance_seed(9, 1, 4), instance_seed(10, 1, 4));
     }
 
     #[test]

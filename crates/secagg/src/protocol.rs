@@ -26,9 +26,9 @@ use std::collections::BTreeSet;
 use rand::Rng;
 
 use crate::field::{Fe, MODULUS};
-use crate::masking::{add_assign, client_mask_ring, mask_from_seed, ring_neighbors};
+use crate::masking::{accumulate_mask, add_assign, ring_neighbors};
 use crate::prg::{pairwise_seed, self_seed};
-use crate::shamir::{reconstruct, share, Share};
+use crate::shamir::{share, Share, WeightCache};
 
 /// Protocol parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -211,25 +211,17 @@ fn share_u64(v: u64, k: usize, n: usize, rng: &mut dyn Rng) -> (Vec<Share>, Vec<
     (share(lo, k, n, rng), share(hi, k, n, rng))
 }
 
-fn reconstruct_u64(lo: &[Share], hi: &[Share]) -> u64 {
-    let lo = reconstruct(lo).value();
-    let hi = reconstruct(hi).value();
-    (hi << 32) | lo
-}
-
 impl SharedSecrets {
     /// Picks `self.k` shares of the given field (by index into `holders`)
-    /// whose holders survive in `alive`, or reports how many were available.
-    fn surviving<'a>(
-        &'a self,
-        shares: &'a [Share],
-        alive: &std::collections::BTreeSet<usize>,
-    ) -> Result<Vec<Share>, usize> {
+    /// whose holders survive per the `alive` mask, or reports how many were
+    /// available. The mask is indexed by client id: this test runs for
+    /// every holder of every contributor, so it must stay O(1) per lookup.
+    fn surviving<'a>(&'a self, shares: &'a [Share], alive: &[bool]) -> Result<Vec<Share>, usize> {
         let picked: Vec<Share> = self
             .holders
             .iter()
             .enumerate()
-            .filter(|(_, h)| alive.contains(h))
+            .filter(|(_, &h)| alive[h])
             .map(|(idx, _)| shares[idx])
             .take(self.k)
             .collect();
@@ -324,10 +316,18 @@ pub fn run_secure_aggregation(
         .filter(|i| !plan.before_masking.contains(i))
         .collect();
     let mut total = vec![Fe::ZERO; config.vector_len];
+    let mut y = vec![Fe::ZERO; config.vector_len];
     for &i in &u2 {
-        let mut y: Vec<Fe> = inputs[i].iter().map(|&x| Fe::new(x)).collect();
-        let mask = client_mask_ring(session, i as u64, &all, degree, config.vector_len);
-        add_assign(&mut y, &mask, false);
+        for (slot, &x) in y.iter_mut().zip(&inputs[i]) {
+            *slot = Fe::new(x);
+        }
+        // The client's full mask, streamed straight into its input vector —
+        // identical math to `client_mask_ring`, minus the per-client
+        // allocations (this loop runs once per client per round).
+        accumulate_mask(&mut y, self_seed(session, i as u64), false);
+        for j in ring_neighbors(i as u64, &all, degree) {
+            accumulate_mask(&mut y, pairwise_seed(session, i as u64, j), i as u64 > j);
+        }
         add_assign(&mut total, &y, false);
     }
 
@@ -343,23 +343,28 @@ pub fn run_secure_aggregation(
             threshold: config.threshold,
         });
     }
-    let alive: std::collections::BTreeSet<usize> = u3.iter().copied().collect();
-    let reconstruct_secret =
-        |s: &SharedSecrets, lo: &[Share], hi: &[Share]| -> Result<u64, SecAggError> {
-            let lo = s
-                .surviving(lo, &alive)
-                .map_err(|got| SecAggError::TooFewSurvivors {
-                    survivors: got,
-                    threshold: s.k,
-                })?;
-            let hi = s
-                .surviving(hi, &alive)
-                .map_err(|got| SecAggError::TooFewSurvivors {
-                    survivors: got,
-                    threshold: s.k,
-                })?;
-            Ok(reconstruct_u64(&lo, &hi))
+    // Membership as a bitmask (not a tree set): `surviving` probes it once
+    // per holder of every contributor. The weight cache makes the repeated
+    // reconstructions cheap — absent dropouts, every contributor's share
+    // points coincide, so the Lagrange weights are computed once.
+    let mut alive = vec![false; config.n];
+    for &i in &u3 {
+        alive[i] = true;
+    }
+    let mut cache = WeightCache::new();
+    let reconstruct_secret = |cache: &mut WeightCache,
+                              s: &SharedSecrets,
+                              lo: &[Share],
+                              hi: &[Share]|
+     -> Result<u64, SecAggError> {
+        let too_few = |got| SecAggError::TooFewSurvivors {
+            survivors: got,
+            threshold: s.k,
         };
+        let lo = s.surviving(lo, &alive).map_err(too_few)?;
+        let hi = s.surviving(hi, &alive).map_err(too_few)?;
+        Ok((cache.reconstruct(&hi).value() << 32) | cache.reconstruct(&lo).value())
+    };
 
     // Strip self masks of every contributor (reconstruct b_i from the
     // surviving share holders — never requested for non-contributors, whose
@@ -367,33 +372,34 @@ pub fn run_secure_aggregation(
     let mut self_masks = 0;
     for &i in &u2 {
         let s = &secrets[i];
-        let b = reconstruct_secret(s, &s.b_lo, &s.b_hi)?;
+        let b = reconstruct_secret(&mut cache, s, &s.b_lo, &s.b_hi)?;
         debug_assert_eq!(b, self_seed(session, i as u64));
-        let mask = mask_from_seed(b, config.vector_len);
-        add_assign(&mut total, &mask, true);
+        accumulate_mask(&mut total, b, true);
         self_masks += 1;
     }
 
     // Strip orphaned pairwise masks of clients that dropped before sending:
     // every contributing *neighbor* i of d added ±PRG(s_id); reconstruct d's
     // key material and cancel those terms.
-    let u2_set: std::collections::BTreeSet<usize> = u2.iter().copied().collect();
+    let mut contributed = vec![false; config.n];
+    for &i in &u2 {
+        contributed[i] = true;
+    }
     let mut pairwise_masks = 0;
     for &d in &plan.before_masking {
         let s = &secrets[d];
-        let key = reconstruct_secret(s, &s.key_lo, &s.key_hi)?;
+        let key = reconstruct_secret(&mut cache, s, &s.key_lo, &s.key_hi)?;
         // The reconstructed key authorizes recomputing d's pairwise seeds.
         debug_assert_eq!(key, key_seed(session, d as u64));
         for j in ring_neighbors(d as u64, &all, degree) {
             let i = j as usize;
-            if !u2_set.contains(&i) {
+            if !contributed[i] {
                 continue; // that neighbor never sent a mask either
             }
             let s = pairwise_seed(session, i as u64, d as u64);
-            let mask = mask_from_seed(s, config.vector_len);
             // Contributor i added +PRG if i < d, −PRG if i > d; subtract it.
             let i_added_positive = (i as u64) < (d as u64);
-            add_assign(&mut total, &mask, i_added_positive);
+            accumulate_mask(&mut total, s, i_added_positive);
         }
         pairwise_masks += 1;
     }

@@ -62,21 +62,117 @@ pub fn reconstruct(shares: &[Share]) -> Fe {
             assert!(a.x != b.x, "duplicate evaluation point {}", a.x);
         }
     }
-    let mut secret = Fe::ZERO;
+    // Lagrange basis at 0: Π_{j≠i} x_j / (x_j - x_i). The denominators are
+    // inverted in one batch (Montgomery's trick: invert the running product
+    // once and unwind), turning k field inversions — ~61 squarings each —
+    // into one. Addition is exact and commutative, so the result is
+    // identical to inverting each denominator separately.
+    let k = shares.len();
+    let mut nums = Vec::with_capacity(k);
+    let mut dens = Vec::with_capacity(k);
     for (i, si) in shares.iter().enumerate() {
-        // Lagrange basis at 0: Π_{j≠i} x_j / (x_j - x_i).
         let mut num = Fe::ONE;
         let mut den = Fe::ONE;
         for (j, sj) in shares.iter().enumerate() {
-            if i == j {
-                continue;
+            if i != j {
+                num *= sj.x;
+                den *= sj.x - si.x;
             }
-            num *= sj.x;
-            den *= sj.x - si.x;
         }
-        secret += si.y * num * den.inv();
+        nums.push(num);
+        dens.push(den);
+    }
+    let mut prefix = Vec::with_capacity(k);
+    let mut acc = Fe::ONE;
+    for &d in &dens {
+        prefix.push(acc);
+        acc *= d;
+    }
+    let mut inv_acc = acc.inv();
+    let mut secret = Fe::ZERO;
+    for i in (0..k).rev() {
+        let inv_den = inv_acc * prefix[i];
+        inv_acc *= dens[i];
+        secret += shares[i].y * nums[i] * inv_den;
     }
     secret
+}
+
+/// Reconstruction with memoized Lagrange weights.
+///
+/// The weights `λ_i = Π_{j≠i} x_j / (x_j − x_i)` depend only on the
+/// evaluation points, and the secure-aggregation unmask round reconstructs
+/// one secret per contributor over (in the common no-dropout case) the
+/// *same* point set every time. Caching the weights turns each repeat
+/// reconstruction from an O(k²) basis build plus a field inversion into
+/// `k` multiply-adds. Field arithmetic is exact, so the result is
+/// bit-identical to [`reconstruct`] regardless of cache hits.
+#[derive(Debug, Default)]
+pub struct WeightCache {
+    xs: Vec<Fe>,
+    weights: Vec<Fe>,
+}
+
+impl WeightCache {
+    /// An empty cache (first reconstruction always computes weights).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reconstructs `f(0)` from the shares, reusing cached weights when the
+    /// evaluation points match the previous call.
+    ///
+    /// # Panics
+    /// Panics if no shares are given or evaluation points repeat.
+    pub fn reconstruct(&mut self, shares: &[Share]) -> Fe {
+        assert!(!shares.is_empty(), "need at least one share");
+        if self.xs.len() != shares.len() || !self.xs.iter().zip(shares).all(|(x, s)| *x == s.x) {
+            self.recompute(shares);
+        }
+        shares
+            .iter()
+            .zip(&self.weights)
+            .map(|(s, &w)| s.y * w)
+            .sum()
+    }
+
+    fn recompute(&mut self, shares: &[Share]) {
+        for (i, a) in shares.iter().enumerate() {
+            for b in &shares[i + 1..] {
+                assert!(a.x != b.x, "duplicate evaluation point {}", a.x);
+            }
+        }
+        let k = shares.len();
+        let mut nums = Vec::with_capacity(k);
+        let mut dens = Vec::with_capacity(k);
+        for (i, si) in shares.iter().enumerate() {
+            let mut num = Fe::ONE;
+            let mut den = Fe::ONE;
+            for (j, sj) in shares.iter().enumerate() {
+                if i != j {
+                    num *= sj.x;
+                    den *= sj.x - si.x;
+                }
+            }
+            nums.push(num);
+            dens.push(den);
+        }
+        // Batch inversion, as in `reconstruct`.
+        let mut prefix = Vec::with_capacity(k);
+        let mut acc = Fe::ONE;
+        for &d in &dens {
+            prefix.push(acc);
+            acc *= d;
+        }
+        let mut inv_acc = acc.inv();
+        self.weights = vec![Fe::ZERO; k];
+        for i in (0..k).rev() {
+            self.weights[i] = nums[i] * (inv_acc * prefix[i]);
+            inv_acc *= dens[i];
+        }
+        self.xs = shares.iter().map(|s| s.x).collect();
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +246,33 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let shares = share(Fe::ZERO, 2, 3, &mut rng);
         assert_eq!(reconstruct(&shares[1..]), Fe::ZERO);
+    }
+
+    #[test]
+    fn weight_cache_matches_plain_reconstruct() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut cache = WeightCache::new();
+        // Same point set twice (cache hit), then a different subset (miss).
+        for (secret, range) in [
+            (Fe::new(0xFEED), 0..3),
+            (Fe::new(77), 0..3),
+            (Fe::new(31_337), 2..5),
+        ] {
+            let shares = share(secret, 3, 5, &mut rng);
+            let subset = &shares[range];
+            assert_eq!(cache.reconstruct(subset), reconstruct(subset));
+            assert_eq!(cache.reconstruct(subset), secret);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate evaluation point")]
+    fn weight_cache_rejects_duplicate_points() {
+        let s = Share {
+            x: Fe::new(3),
+            y: Fe::new(2),
+        };
+        let _ = WeightCache::new().reconstruct(&[s, s]);
     }
 
     #[test]

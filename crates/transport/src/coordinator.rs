@@ -45,16 +45,17 @@ use fednum_fedsim::dropout::Fate;
 use fednum_fedsim::error::FedError;
 use fednum_fedsim::faults::FaultKind;
 use fednum_fedsim::round::{
-    DegradedMode, FederatedMeanConfig, FederatedOutcome, RoundOutcome, SecAggSummary,
+    DegradedMode, FederatedMeanConfig, FederatedOutcome, RoundOutcome, SecAggSettings,
+    SecAggSummary,
 };
 use fednum_fedsim::traffic::{Direction, TrafficStats};
 use fednum_fedsim::validation::{RejectionCounts, ReportValidator};
 
 use crate::message::{
-    EncryptedShare, KeyAdvertise, KeyShares, MaskedInput, Message, Publish, Report, RoundConfig,
-    UnmaskShares, ENCRYPTED_SHARE_LEN, PUBLIC_KEY_LEN,
+    ConfigHeader, EncryptedShare, KeyAdvertise, KeyShares, MaskedInput, Message, Publish, Report,
+    RoundConfig, UnmaskShares, ENCRYPTED_SHARE_LEN, PUBLIC_KEY_LEN,
 };
-use crate::net::{Envelope, Transport, COORDINATOR};
+use crate::net::{Envelope, Transport, BROADCAST, COORDINATOR};
 use crate::scheduler::mix;
 
 /// Virtual-time spacing between consecutive clients' message chains.
@@ -86,6 +87,141 @@ pub(crate) struct CollectState {
     pub(crate) traffic: TrafficStats,
     /// Virtual clock after the last collection window.
     pub(crate) clock: f64,
+}
+
+/// What the secure-aggregation tally stage produced.
+pub(crate) struct TallyOutput {
+    pub(crate) ones: Vec<u64>,
+    pub(crate) eff_counts: Vec<u64>,
+    pub(crate) summary: SecAggSummary,
+    pub(crate) retries: u32,
+}
+
+/// The secure-aggregation tally stage over an already-collected cohort:
+/// builds the one-hot `[ones | counts]` vectors, frames the four protocol
+/// message rounds through the transport, runs the aggregation, and retries
+/// with an exponentially backed-off, shrunken cohort on
+/// `TooFewSurvivors` — exactly the flat session's loop, parameterized on
+/// `session_base` so each instance of a hierarchy derives its own retry
+/// session sequence.
+///
+/// # Errors
+/// See [`FedError`]; `TooFewSurvivors` after the last permitted retry
+/// surfaces as [`FedError::SecAgg`].
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub(crate) fn secagg_tally(
+    st: &mut CollectState,
+    config: &FederatedMeanConfig,
+    settings: &SecAggSettings,
+    session_base: u64,
+    round_id: u64,
+    mut ledger: Option<&mut PrivacyLedger>,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<TallyOutput, FedError> {
+    let bits = config.protocol.codec.bits();
+    let epsilon = config
+        .protocol
+        .privacy
+        .as_ref()
+        .map_or(0.0, RandomizedResponse::epsilon);
+    let vector_len = 2 * bits as usize;
+    let mut secagg_retries = 0u32;
+    let mut cohort: Vec<usize> = (0..st.contacts.len()).collect();
+    loop {
+        let n = cohort.len();
+        let threshold = ((settings.threshold_fraction * n as f64).ceil() as usize).clamp(1, n);
+        let mut inputs = Vec::with_capacity(n);
+        let mut plan = DropoutPlan::none();
+        let mut eff = vec![0u64; bits as usize];
+        for (i, &ci) in cohort.iter().enumerate() {
+            let c = &st.contacts[ci];
+            let mut v = vec![0u64; vector_len];
+            match c.report {
+                Some(sent) => {
+                    v[c.bit as usize] = u64::from(sent);
+                    v[bits as usize + c.bit as usize] = 1;
+                    eff[c.bit as usize] += 1;
+                    if c.fate == Fate::DropsAfterReport {
+                        plan.after_masking.insert(i);
+                    }
+                }
+                None => {
+                    plan.before_masking.insert(i);
+                }
+            }
+            inputs.push(v);
+        }
+        let session = session_base ^ u64::from(secagg_retries).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // The key-exchange / masking / unmask message rounds for
+        // this attempt, sized like the real protocol.
+        let members: Vec<u64> = cohort
+            .iter()
+            .map(|&ci| st.contacts[ci].client as u64)
+            .collect();
+        let degree = settings
+            .neighbors
+            .unwrap_or(n.saturating_sub(1))
+            .clamp(1, n.max(2) - 1);
+        secagg_attempt_messages(
+            transport,
+            &mut st.traffic,
+            &members,
+            &plan,
+            vector_len,
+            degree,
+            session,
+            round_id,
+            st.clock,
+        );
+        st.clock += 1.0;
+        let mut sa_config = SecAggConfig::new(n, threshold, vector_len, session);
+        if let Some(k) = settings.neighbors {
+            sa_config = sa_config.with_neighbors(k);
+        }
+        match run_secure_aggregation(&sa_config, &inputs, &plan, rng) {
+            Ok(out) => {
+                debug_assert_eq!(&out.sum[bits as usize..], eff.as_slice());
+                let ones: Vec<u64> = out.sum[..bits as usize].to_vec();
+                return Ok(TallyOutput {
+                    ones,
+                    eff_counts: eff,
+                    summary: SecAggSummary {
+                        contributors: out.contributors.len(),
+                        recovered_pairwise: out.pairwise_masks_reconstructed,
+                    },
+                    retries: secagg_retries,
+                });
+            }
+            Err(e @ SecAggError::TooFewSurvivors { .. }) => {
+                if secagg_retries >= config.retry.max_secagg_retries {
+                    return Err(e.into());
+                }
+                let pause = config.retry.backoff(secagg_retries);
+                secagg_retries += 1;
+                st.backoff_time += pause;
+                st.completion_time += pause;
+                cohort.retain(|&ci| {
+                    st.contacts[ci].fate == Fate::Responds && st.contacts[ci].report.is_some()
+                });
+                if cohort.len() < config.retry.min_cohort {
+                    return Err(FedError::CohortTooSmall {
+                        survivors: cohort.len(),
+                        minimum: config.retry.min_cohort,
+                    });
+                }
+                if cohort.is_empty() {
+                    return Err(FedError::NoReports);
+                }
+                if let Some(ledger) = ledger.as_deref_mut() {
+                    for &ci in &cohort {
+                        ledger.charge_round(st.contacts[ci].client as u64, round_id, 1, epsilon)?;
+                    }
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
 }
 
 /// Runs a complete federated mean-estimation session over the given
@@ -142,11 +278,6 @@ fn run_session(
     let bits = codec.bits();
     let (codes, clip_fraction) = codec.encode_all(values);
     let round_id = config.session_seed;
-    let epsilon = config
-        .protocol
-        .privacy
-        .as_ref()
-        .map_or(0.0, RandomizedResponse::epsilon);
 
     let mut st = collect_waves(&codes, config, 0, ledger.as_deref_mut(), transport, rng)?;
 
@@ -167,109 +298,18 @@ fn run_session(
     let mut secagg_retries = 0u32;
     let (ones, eff_counts, secagg_summary) = match &config.secagg {
         Some(settings) => {
-            let vector_len = 2 * bits as usize;
-            let mut cohort: Vec<usize> = (0..st.contacts.len()).collect();
-            loop {
-                let n = cohort.len();
-                let threshold =
-                    ((settings.threshold_fraction * n as f64).ceil() as usize).clamp(1, n);
-                let mut inputs = Vec::with_capacity(n);
-                let mut plan = DropoutPlan::none();
-                let mut eff = vec![0u64; bits as usize];
-                for (i, &ci) in cohort.iter().enumerate() {
-                    let c = &st.contacts[ci];
-                    let mut v = vec![0u64; vector_len];
-                    match c.report {
-                        Some(sent) => {
-                            v[c.bit as usize] = u64::from(sent);
-                            v[bits as usize + c.bit as usize] = 1;
-                            eff[c.bit as usize] += 1;
-                            if c.fate == Fate::DropsAfterReport {
-                                plan.after_masking.insert(i);
-                            }
-                        }
-                        None => {
-                            plan.before_masking.insert(i);
-                        }
-                    }
-                    inputs.push(v);
-                }
-                let session = config.session_seed
-                    ^ u64::from(secagg_retries).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                // The key-exchange / masking / unmask message rounds for
-                // this attempt, sized like the real protocol.
-                let members: Vec<u64> = cohort
-                    .iter()
-                    .map(|&ci| st.contacts[ci].client as u64)
-                    .collect();
-                let degree = settings
-                    .neighbors
-                    .unwrap_or(n.saturating_sub(1))
-                    .clamp(1, n.max(2) - 1);
-                secagg_attempt_messages(
-                    transport,
-                    &mut st.traffic,
-                    &members,
-                    &plan,
-                    vector_len,
-                    degree,
-                    session,
-                    round_id,
-                    st.clock,
-                );
-                st.clock += 1.0;
-                let mut sa_config = SecAggConfig::new(n, threshold, vector_len, session);
-                if let Some(k) = settings.neighbors {
-                    sa_config = sa_config.with_neighbors(k);
-                }
-                match run_secure_aggregation(&sa_config, &inputs, &plan, rng) {
-                    Ok(out) => {
-                        debug_assert_eq!(&out.sum[bits as usize..], eff.as_slice());
-                        let ones: Vec<u64> = out.sum[..bits as usize].to_vec();
-                        break (
-                            ones,
-                            eff,
-                            Some(SecAggSummary {
-                                contributors: out.contributors.len(),
-                                recovered_pairwise: out.pairwise_masks_reconstructed,
-                            }),
-                        );
-                    }
-                    Err(e @ SecAggError::TooFewSurvivors { .. }) => {
-                        if secagg_retries >= config.retry.max_secagg_retries {
-                            return Err(e.into());
-                        }
-                        let pause = config.retry.backoff(secagg_retries);
-                        secagg_retries += 1;
-                        st.backoff_time += pause;
-                        st.completion_time += pause;
-                        cohort.retain(|&ci| {
-                            st.contacts[ci].fate == Fate::Responds
-                                && st.contacts[ci].report.is_some()
-                        });
-                        if cohort.len() < config.retry.min_cohort {
-                            return Err(FedError::CohortTooSmall {
-                                survivors: cohort.len(),
-                                minimum: config.retry.min_cohort,
-                            });
-                        }
-                        if cohort.is_empty() {
-                            return Err(FedError::NoReports);
-                        }
-                        if let Some(ledger) = ledger.as_deref_mut() {
-                            for &ci in &cohort {
-                                ledger.charge_round(
-                                    st.contacts[ci].client as u64,
-                                    round_id,
-                                    1,
-                                    epsilon,
-                                )?;
-                            }
-                        }
-                    }
-                    Err(e) => return Err(e.into()),
-                }
-            }
+            let tally = secagg_tally(
+                &mut st,
+                config,
+                settings,
+                config.session_seed,
+                round_id,
+                ledger,
+                transport,
+                rng,
+            )?;
+            secagg_retries = tally.retries;
+            (tally.ones, tally.eff_counts, Some(tally.summary))
         }
         None => (direct_tally(&st.contacts, bits), st.counts.clone(), None),
     };
@@ -358,6 +398,10 @@ pub(crate) fn collect_waves(
         .as_ref()
         .map_or(0.0, RandomizedResponse::epsilon);
     let secagg_on = config.secagg.is_some();
+    let compress = config.compress_config;
+    // Net downlink bytes the compressed config codec avoids: banked per
+    // delivered AssignBit delta, debited per broadcast header.
+    let mut saved: i64 = 0;
 
     // Uncontacted-client pool, randomly ordered (first legacy RNG draw).
     let mut pool: Vec<usize> = (0..codes.len()).collect();
@@ -450,6 +494,22 @@ pub(crate) fn collect_waves(
             ((s.threshold_fraction * batch.len() as f64).ceil() as u64).clamp(1, batch.len() as u64)
         });
         let vector_hint = if secagg_on { 2 * u64::from(bits) } else { 0 };
+        if compress {
+            // One shared header for the whole wave; Hellos are answered
+            // with a 2-byte AssignBit delta instead of a full RoundConfig.
+            transport.send(Envelope {
+                from: COORDINATOR,
+                to: BROADCAST,
+                sent_at: t0,
+                payload: Message::ConfigHeader(ConfigHeader {
+                    round_id,
+                    secagg: secagg_on,
+                    threshold: threshold_hint,
+                    vector_len: vector_hint,
+                })
+                .encode(),
+            });
+        }
         // Per-slot client-model fate and staged delivery (bit, value, copies).
         let mut slot_fate = vec![Fate::DropsBeforeReport; batch.len()];
         let mut slot_staged: Vec<(u32, bool, u64)> = vec![(0, false, 0); batch.len()];
@@ -480,13 +540,19 @@ pub(crate) fn collect_waves(
                         let Some(slot) = wave_slot[local].checked_sub(1) else {
                             continue;
                         };
-                        let rc = Message::RoundConfig(RoundConfig {
-                            round_id,
-                            assigned_bit: assignment[slot as usize] as u8,
-                            secagg: secagg_on,
-                            threshold: threshold_hint,
-                            vector_len: vector_hint,
-                        });
+                        let rc = if compress {
+                            Message::AssignBit {
+                                assigned_bit: assignment[slot as usize] as u8,
+                            }
+                        } else {
+                            Message::RoundConfig(RoundConfig {
+                                round_id,
+                                assigned_bit: assignment[slot as usize] as u8,
+                                secagg: secagg_on,
+                                threshold: threshold_hint,
+                                vector_len: vector_hint,
+                            })
+                        };
                         transport.send(Envelope {
                             from: COORDINATOR,
                             to: env.from,
@@ -540,15 +606,38 @@ pub(crate) fn collect_waves(
                 }
             } else {
                 traffic.record(msg.phase(), Direction::Downlink, nbytes);
-                let Message::RoundConfig(rc) = msg else {
+                if env.to == BROADCAST {
+                    // The shared header: metered above, debited against the
+                    // per-client delta savings, no client model to run.
+                    if matches!(msg, Message::ConfigHeader(_)) {
+                        saved -= nbytes as i64;
+                    }
                     continue;
+                }
+                let assigned_bit = match msg {
+                    Message::RoundConfig(rc) => rc.assigned_bit,
+                    Message::AssignBit { assigned_bit } => {
+                        // Bank what the full per-client frame would have
+                        // cost on the uncompressed codec.
+                        let full = Message::RoundConfig(RoundConfig {
+                            round_id,
+                            assigned_bit,
+                            secagg: secagg_on,
+                            threshold: threshold_hint,
+                            vector_len: vector_hint,
+                        })
+                        .encoded_len() as i64;
+                        saved += full - nbytes as i64;
+                        assigned_bit
+                    }
+                    _ => continue,
                 };
                 // The client model: dropout fate, fault, disclosure.
                 let local = (env.to - client_offset) as usize;
                 let Some(slot) = wave_slot[local].checked_sub(1) else {
                     continue;
                 };
-                let j = u32::from(rc.assigned_bit);
+                let j = u32::from(assigned_bit);
                 let mut fate = config.dropout.sample(rng);
                 let fault = config
                     .faults
@@ -583,7 +672,7 @@ pub(crate) fn collect_waves(
                     ReportMessage {
                         task_id: round_id.wrapping_sub(1),
                         reports: vec![(
-                            rc.assigned_bit,
+                            assigned_bit,
                             config
                                 .faults
                                 .as_ref()
@@ -594,7 +683,7 @@ pub(crate) fn collect_waves(
                 } else {
                     ReportMessage {
                         task_id: round_id,
-                        reports: vec![(rc.assigned_bit, sent)],
+                        reports: vec![(assigned_bit, sent)],
                     }
                 };
                 transport.send(Envelope {
@@ -648,6 +737,10 @@ pub(crate) fn collect_waves(
         }
     }
 
+    if saved > 0 {
+        traffic.credit_config_savings(saved as u64);
+    }
+
     Ok(CollectState {
         contacts,
         counts,
@@ -691,7 +784,7 @@ pub(crate) fn debias_sums(
 
 /// Fills `out` with hash-derived bytes from `seed` (key/ciphertext
 /// stand-ins: content is irrelevant, size is what's accounted).
-fn fill_derived(out: &mut [u8], seed: u64) {
+pub(crate) fn fill_derived(out: &mut [u8], seed: u64) {
     for (i, chunk) in out.chunks_mut(8).enumerate() {
         let word = mix(seed.wrapping_add(i as u64)).to_le_bytes();
         chunk.copy_from_slice(&word[..chunk.len()]);

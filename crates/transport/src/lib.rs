@@ -10,16 +10,20 @@
 //! the synchronous orchestrator's estimates bit for bit while additionally
 //! accounting every byte per phase and direction; [`shard`] partitions a
 //! cohort across independently scheduled coordinator shards, scaling a
-//! round to a million simulated clients.
+//! round to a million simulated clients; [`hier`] layers two-tier secure
+//! aggregation on top of sharding (per-shard instances merged through a
+//! second instance over the shard aggregators, on a worker pool).
 
 pub mod coordinator;
+pub mod hier;
 pub mod message;
 pub mod net;
 pub mod scheduler;
 pub mod shard;
 
 pub use coordinator::{run_federated_mean_transport, run_federated_mean_transport_metered};
+pub use hier::{run_hierarchical_mean, HierShardedOutcome};
 pub use message::Message;
-pub use net::{Envelope, InMemoryTransport, SimNetTransport, Transport, COORDINATOR};
+pub use net::{Envelope, InMemoryTransport, SimNetTransport, Transport, BROADCAST, COORDINATOR};
 pub use scheduler::EventQueue;
 pub use shard::{run_sharded_mean, ShardedOutcome};

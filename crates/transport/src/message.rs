@@ -31,6 +31,8 @@ const TAG_KEY_SHARES: u8 = 4;
 const TAG_MASKED_INPUT: u8 = 5;
 const TAG_UNMASK_SHARES: u8 = 6;
 const TAG_PUBLISH: u8 = 7;
+const TAG_CONFIG_HEADER: u8 = 8;
+const TAG_ASSIGN_BIT: u8 = 9;
 
 /// Round-configuration downlink: the per-client task description.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +41,23 @@ pub struct RoundConfig {
     pub round_id: u64,
     /// The bit index this client must report on (central QMC assignment).
     pub assigned_bit: u8,
+    /// Whether reports travel through secure aggregation.
+    pub secagg: bool,
+    /// Shamir threshold for the secure-aggregation session (0 when direct).
+    pub threshold: u64,
+    /// Masked-input vector length (0 when direct).
+    pub vector_len: u64,
+}
+
+/// Shared round-configuration broadcast: everything in [`RoundConfig`]
+/// except the per-client bit assignment. With config compression enabled
+/// the coordinator broadcasts one of these per wave and answers each Hello
+/// with a tiny [`Message::AssignBit`] delta instead of a full per-client
+/// `RoundConfig`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigHeader {
+    /// Round/task identifier.
+    pub round_id: u64,
     /// Whether reports travel through secure aggregation.
     pub secagg: bool,
     /// Shamir threshold for the secure-aggregation session (0 when direct).
@@ -140,6 +159,13 @@ pub enum Message {
     UnmaskShares(UnmaskShares),
     /// Result broadcast downlink.
     Publish(Publish),
+    /// Compressed-config broadcast downlink (shared round parameters).
+    ConfigHeader(ConfigHeader),
+    /// Compressed-config per-client downlink: just the assigned bit.
+    AssignBit {
+        /// The bit index this client must report on.
+        assigned_bit: u8,
+    },
 }
 
 impl Message {
@@ -148,7 +174,9 @@ impl Message {
     pub fn phase(&self) -> TrafficPhase {
         match self {
             Message::Hello { .. } => TrafficPhase::Rendezvous,
-            Message::RoundConfig(_) => TrafficPhase::Configure,
+            Message::RoundConfig(_) | Message::ConfigHeader(_) | Message::AssignBit { .. } => {
+                TrafficPhase::Configure
+            }
             Message::Report(_) => TrafficPhase::Collect,
             Message::KeyAdvertise(_) | Message::KeyShares(_) => TrafficPhase::KeyExchange,
             Message::MaskedInput(_) => TrafficPhase::Masking,
@@ -161,7 +189,10 @@ impl Message {
     #[must_use]
     pub fn direction(&self) -> Direction {
         match self {
-            Message::RoundConfig(_) | Message::Publish(_) => Direction::Downlink,
+            Message::RoundConfig(_)
+            | Message::Publish(_)
+            | Message::ConfigHeader(_)
+            | Message::AssignBit { .. } => Direction::Downlink,
             _ => Direction::Uplink,
         }
     }
@@ -231,6 +262,17 @@ impl Message {
                 push_varint(out, p.round_id);
                 out.extend_from_slice(&p.estimate.to_bits().to_le_bytes());
                 push_varint(out, p.reports);
+            }
+            Message::ConfigHeader(h) => {
+                out.push(TAG_CONFIG_HEADER);
+                push_varint(out, h.round_id);
+                out.push(u8::from(h.secagg));
+                push_varint(out, h.threshold);
+                push_varint(out, h.vector_len);
+            }
+            Message::AssignBit { assigned_bit } => {
+                out.push(TAG_ASSIGN_BIT);
+                out.push(*assigned_bit);
             }
         }
     }
@@ -360,6 +402,28 @@ impl Message {
                     reports,
                 }))
             }
+            TAG_CONFIG_HEADER => {
+                let round_id = read_varint(buf, pos)?;
+                let secagg = match buf.get(*pos).ok_or(WireError::Truncated)? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::InvalidField("secagg flag")),
+                };
+                *pos += 1;
+                let threshold = read_varint(buf, pos)?;
+                let vector_len = read_varint(buf, pos)?;
+                Ok(Message::ConfigHeader(ConfigHeader {
+                    round_id,
+                    secagg,
+                    threshold,
+                    vector_len,
+                }))
+            }
+            TAG_ASSIGN_BIT => {
+                let assigned_bit = *buf.get(*pos).ok_or(WireError::Truncated)?;
+                *pos += 1;
+                Ok(Message::AssignBit { assigned_bit })
+            }
             other => Err(WireError::UnknownTag(other)),
         }
     }
@@ -417,6 +481,13 @@ mod tests {
                 estimate: -12.75,
                 reports: 100_000,
             }),
+            Message::ConfigHeader(ConfigHeader {
+                round_id: 0x1234,
+                secagg: true,
+                threshold: 128,
+                vector_len: 16,
+            }),
+            Message::AssignBit { assigned_bit: 5 },
         ]
     }
 
@@ -451,7 +522,7 @@ mod tests {
 
     #[test]
     fn unknown_tags_rejected() {
-        for tag in 8..=255u8 {
+        for tag in 10..=255u8 {
             assert_eq!(Message::decode(&[tag]), Err(WireError::UnknownTag(tag)));
         }
         assert_eq!(Message::decode(&[]), Err(WireError::Truncated));
@@ -476,6 +547,39 @@ mod tests {
     }
 
     #[test]
+    fn malformed_header_secagg_flag_rejected() {
+        let mut bytes = Message::ConfigHeader(ConfigHeader {
+            round_id: 1,
+            secagg: false,
+            threshold: 0,
+            vector_len: 0,
+        })
+        .encode();
+        // tag, round_id varint, flag...
+        bytes[2] = 7;
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(WireError::InvalidField("secagg flag"))
+        );
+    }
+
+    #[test]
+    fn assign_bit_delta_is_two_bytes_and_beats_full_config() {
+        let full = Message::RoundConfig(RoundConfig {
+            round_id: 0xF3D5,
+            assigned_bit: 5,
+            secagg: true,
+            threshold: 500,
+            vector_len: 20,
+        });
+        let delta = Message::AssignBit { assigned_bit: 5 };
+        assert_eq!(delta.encoded_len(), 2);
+        // The savings the compressed codec banks per client: everything in
+        // the full config except the tag and the bit itself.
+        assert!(full.encoded_len() >= delta.encoded_len() + 5);
+    }
+
+    #[test]
     fn oversized_counts_fail_before_allocating() {
         for tag in [TAG_KEY_SHARES, TAG_MASKED_INPUT, TAG_UNMASK_SHARES] {
             let mut buf = vec![tag, 0]; // round_id = 0
@@ -490,7 +594,10 @@ mod tests {
         for msg in samples() {
             let dir = msg.direction();
             match msg {
-                Message::RoundConfig(_) | Message::Publish(_) => assert_eq!(dir, Downlink),
+                Message::RoundConfig(_)
+                | Message::Publish(_)
+                | Message::ConfigHeader(_)
+                | Message::AssignBit { .. } => assert_eq!(dir, Downlink),
                 _ => assert_eq!(dir, Uplink),
             }
         }

@@ -27,6 +27,11 @@ use fednum_core::wire::ReportMessage;
 /// The coordinator's address. Clients use their population index.
 pub const COORDINATOR: u64 = u64::MAX;
 
+/// Downlink broadcast address: one frame delivered to every contacted
+/// client in the wave (the compressed-config header). Client population
+/// indices are always far below this.
+pub const BROADCAST: u64 = u64::MAX - 1;
+
 /// A framed message in flight.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {

@@ -17,7 +17,8 @@
 //!
 //! Secure aggregation is deliberately rejected here: masked vectors cancel
 //! only within one unmask domain, so a secagg cohort cannot be split across
-//! shards without a cross-shard key exchange (see ROADMAP open items).
+//! shards without a second aggregation tier — which is exactly what
+//! [`run_hierarchical_mean`](crate::hier::run_hierarchical_mean) provides.
 
 use fednum_core::accumulator::BitAccumulator;
 use fednum_core::protocol::basic::{BasicBitPushing, Outcome};
@@ -80,8 +81,9 @@ pub fn run_sharded_mean(
     }
     if config.secagg.is_some() {
         return Err(FedError::InvalidConfig(
-            "secure aggregation cannot span coordinator shards; \
-             use run_federated_mean_transport"
+            "secure aggregation cannot span coordinator shards directly; \
+             use run_hierarchical_mean (two-tier secagg over shards) or \
+             run_federated_mean_transport (one flat cohort)"
                 .into(),
         ));
     }

@@ -1,0 +1,239 @@
+//! End-to-end guarantees of the hierarchical secure-aggregation path.
+//!
+//! Three contracts are pinned here, each against realistic configurations
+//! (sparse mask graphs, refill waves, injected faults):
+//!
+//! 1. **Privacy surface** — every uplink frame the top-level coordinator
+//!    receives in the merge session is key material, share relay, or a
+//!    *masked* per-shard sum; no plaintext shard aggregate ever appears on
+//!    that wire, while the published mean still matches the non-secagg
+//!    sharded estimate.
+//! 2. **Pool parity** — any worker count reproduces the sequential run bit
+//!    for bit, including under fault injection on both tiers.
+//! 3. **Config compression** — the broadcast-header + per-client-delta
+//!    downlink changes bytes only: estimates are bit-identical with the
+//!    uncompressed fallback codec and the savings land in the ledger.
+
+use fednum_core::encoding::FixedPointCodec;
+use fednum_core::protocol::basic::BasicConfig;
+use fednum_core::sampling::BitSampling;
+use fednum_fedsim::faults::{FaultPlan, FaultRates};
+use fednum_fedsim::round::{DegradedMode, FederatedMeanConfig, SecAggSettings};
+use fednum_fedsim::traffic::{Direction, TrafficPhase};
+use fednum_fedsim::{DropoutModel, FedError, RetryPolicy};
+use fednum_hiersec::HierSecConfig;
+use fednum_secagg::SecAggError;
+use fednum_transport::message::MaskedInput;
+use fednum_transport::{
+    run_federated_mean_transport, run_hierarchical_mean, run_sharded_mean, InMemoryTransport,
+    Message,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BITS: u32 = 8;
+
+fn settings() -> SecAggSettings {
+    SecAggSettings {
+        threshold_fraction: 0.5,
+        neighbors: Some(16),
+    }
+}
+
+fn base_config() -> FederatedMeanConfig {
+    FederatedMeanConfig::new(BasicConfig::new(
+        FixedPointCodec::integer(BITS),
+        BitSampling::geometric(BITS, 1.0),
+    ))
+}
+
+fn secure_config() -> FederatedMeanConfig {
+    base_config().with_secagg(settings())
+}
+
+fn population(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9) % 200) as f64)
+        .collect()
+}
+
+/// The ISSUE acceptance test: the top-level coordinator observes only
+/// masked per-shard frames, yet the published mean matches the plain
+/// (non-secagg) sharded estimate.
+#[test]
+fn coordinator_sees_only_masked_frames_while_estimate_survives() {
+    let values = population(2_000);
+    let truth = values.iter().sum::<f64>() / values.len() as f64;
+    let hier = HierSecConfig::try_new(8, settings(), 6, 0xE2E).unwrap();
+    let out = run_hierarchical_mean(&values, &secure_config(), &hier, 4, 17).unwrap();
+
+    // Accuracy: against the non-secagg sharded path (same seed, same
+    // partition — secagg is exact arithmetic over the same reports) and
+    // against ground truth within the bit-pushing sampling error.
+    let plain = run_sharded_mean(&values, &base_config(), 8, 17).unwrap();
+    assert_eq!(
+        out.outcome.estimate.to_bits(),
+        plain.outcome.estimate.to_bits(),
+        "secure estimate diverged: {} vs {}",
+        out.outcome.estimate,
+        plain.outcome.estimate
+    );
+    assert!((out.outcome.estimate - truth).abs() < 2.0);
+    assert_eq!(out.reports, plain.reports);
+    assert_eq!(out.included_shards, (0..8).collect::<Vec<_>>());
+
+    // Privacy: the shard-tier plaintext sums are bounded by the cohort's
+    // total report count (≤ 2000 · 255); a masked frame is uniform over the
+    // 61-bit field. Assert every MaskedInput is in masked range and that
+    // nothing but the four protocol message kinds reaches the coordinator.
+    let plaintext_bound = 1u64 << 32;
+    let mut masked = 0usize;
+    for frame in &out.merge_frames {
+        match Message::decode(frame).expect("coordinator frames must decode") {
+            Message::MaskedInput(MaskedInput { values, .. }) => {
+                masked += 1;
+                assert_eq!(values.len(), 2 * BITS as usize);
+                let max = values.iter().copied().max().unwrap();
+                assert!(
+                    max > plaintext_bound,
+                    "merge frame within plaintext range (max {max}): \
+                     shard sum leaked unmasked"
+                );
+            }
+            Message::KeyAdvertise(_) | Message::KeyShares(_) | Message::UnmaskShares(_) => {}
+            other => panic!("non-protocol frame reached the coordinator: {other:?}"),
+        }
+    }
+    assert_eq!(masked, 8, "one masked upload per live shard");
+}
+
+/// Pool parity under chaos: fault injection on the shard tier must not make
+/// the outcome depend on how many OS threads executed the shards.
+#[test]
+fn pooled_execution_is_bit_identical_under_faults() {
+    let values = population(1_200);
+    let cfg = secure_config()
+        .with_dropout(DropoutModel::bernoulli(0.15))
+        .with_faults(FaultPlan::new(FaultRates::uniform(0.03), 0xFA17).unwrap());
+    let hier = HierSecConfig::try_new(6, settings(), 4, 0x9A11).unwrap();
+    let sequential = run_hierarchical_mean(&values, &cfg, &hier, 1, 23).unwrap();
+    assert!(
+        sequential.faults_injected > 0,
+        "chaos case failed to exercise the fault layer"
+    );
+    for workers in [2, 3, 8] {
+        let pooled = run_hierarchical_mean(&values, &cfg, &hier, workers, 23).unwrap();
+        assert_eq!(
+            pooled.outcome.estimate.to_bits(),
+            sequential.outcome.estimate.to_bits(),
+            "workers={workers}: estimate bits diverge"
+        );
+        assert_eq!(pooled.reports, sequential.reports, "workers={workers}");
+        assert_eq!(pooled.traffic, sequential.traffic, "workers={workers}");
+        assert_eq!(
+            pooled.faults_injected, sequential.faults_injected,
+            "workers={workers}"
+        );
+        assert_eq!(
+            pooled.merge_frames, sequential.merge_frames,
+            "workers={workers}"
+        );
+        assert_eq!(pooled.degraded, sequential.degraded, "workers={workers}");
+    }
+}
+
+/// When more shards degrade than the merge threshold tolerates, the round
+/// aborts with the typed merge-tier error (telemetry maps it to
+/// [`DegradedMode::Aborted`]) instead of publishing a partial estimate.
+#[test]
+fn merge_tier_failure_aborts_with_a_typed_error() {
+    let values = population(400);
+    // Per-shard thresholds of 95% with a 30% dropout and no retries: every
+    // shard's instance fails, so zero shard aggregators survive unmasking.
+    let strict = SecAggSettings {
+        threshold_fraction: 0.95,
+        neighbors: None,
+    };
+    let cfg = base_config()
+        .with_secagg(strict)
+        .with_dropout(DropoutModel::bernoulli(0.3))
+        .with_retry(RetryPolicy {
+            max_secagg_retries: 0,
+            base_backoff: 0.5,
+            max_backoff: 8.0,
+            min_cohort: 5,
+        });
+    let hier = HierSecConfig::try_new(4, strict, 3, 0xAB0).unwrap();
+    let err = run_hierarchical_mean(&values, &cfg, &hier, 2, 31).unwrap_err();
+    match err {
+        FedError::SecAgg(SecAggError::TooFewSurvivors {
+            survivors,
+            threshold,
+        }) => {
+            assert!(survivors < threshold);
+            assert_eq!(threshold, 3, "merge threshold governs the abort");
+        }
+        other => panic!("expected a merge-tier TooFewSurvivors abort, got {other:?}"),
+    }
+    // The matching telemetry slot exists and is distinct from every mode a
+    // successful round can report.
+    assert_ne!(DegradedMode::Aborted, DegradedMode::Partial);
+}
+
+/// Config compression changes bytes, not estimates: the compressed
+/// downlink (broadcast header + 2-byte per-client delta) reproduces the
+/// uncompressed run bit for bit, books its savings in the traffic ledger,
+/// and the uncompressed codec keeps working as the fallback.
+#[test]
+fn config_compression_round_trips_and_books_savings() {
+    let values = population(900);
+    let cfg = base_config().with_dropout(DropoutModel::bernoulli(0.1));
+    let compressed_cfg = cfg.clone().with_config_compression();
+
+    let mut t1 = InMemoryTransport::new(77);
+    let plain =
+        run_federated_mean_transport(&values, &cfg, &mut t1, &mut StdRng::seed_from_u64(41))
+            .unwrap();
+    let mut t2 = InMemoryTransport::new(77);
+    let compressed = run_federated_mean_transport(
+        &values,
+        &compressed_cfg,
+        &mut t2,
+        &mut StdRng::seed_from_u64(41),
+    )
+    .unwrap();
+
+    assert_eq!(
+        plain.outcome.estimate.to_bits(),
+        compressed.outcome.estimate.to_bits(),
+        "compression must be wire-only"
+    );
+    assert_eq!(plain.reports, compressed.reports);
+    assert_eq!(plain.robustness.traffic.config_bytes_saved(), 0);
+    let saved = compressed.robustness.traffic.config_bytes_saved();
+    assert!(saved > 0, "no savings booked");
+    let plain_cfg_down = cfg_downlink_bytes(&plain);
+    let compressed_cfg_down = cfg_downlink_bytes(&compressed);
+    assert!(
+        compressed_cfg_down < plain_cfg_down,
+        "configure downlink did not shrink: {compressed_cfg_down} vs {plain_cfg_down}"
+    );
+
+    // The hierarchical path inherits the same collect machinery, so the
+    // compressed downlink composes with two-tier secagg unchanged.
+    let hier = HierSecConfig::try_new(4, settings(), 3, 0xC0).unwrap();
+    let secure = secure_config().with_dropout(DropoutModel::bernoulli(0.1));
+    let secure_compressed = secure.clone().with_config_compression();
+    let a = run_hierarchical_mean(&values, &secure, &hier, 2, 41).unwrap();
+    let b = run_hierarchical_mean(&values, &secure_compressed, &hier, 2, 41).unwrap();
+    assert_eq!(a.outcome.estimate.to_bits(), b.outcome.estimate.to_bits());
+    assert!(b.traffic.config_bytes_saved() > 0);
+    assert_eq!(a.traffic.config_bytes_saved(), 0);
+}
+
+fn cfg_downlink_bytes(out: &fednum_fedsim::round::FederatedOutcome) -> u64 {
+    out.robustness
+        .traffic
+        .get(TrafficPhase::Configure, Direction::Downlink)
+        .bytes
+}

@@ -32,6 +32,7 @@
 
 pub use fednum_core as core;
 pub use fednum_fedsim as fedsim;
+pub use fednum_hiersec as hiersec;
 pub use fednum_ldp as ldp;
 pub use fednum_metrics as metrics;
 pub use fednum_secagg as secagg;

@@ -394,3 +394,170 @@ fn chaos_scenarios_degrade_identically_over_the_simulated_network() {
         "degraded classes must be exercised over the transport, got {degraded}"
     );
 }
+
+#[test]
+fn chaos_matrix_composes_with_hierarchical_secagg() {
+    // A reduced cut of the scenario matrix replayed through the two-tier
+    // path: the same fault plans now hit K independent shard sessions, and
+    // shard-level secagg failures degrade shards into the merge tier
+    // instead of killing the round. Contracts: no panics, every failure
+    // typed (merge-tier aborts map to `DegradedMode::Aborted` in
+    // telemetry), shard bookkeeping partitions cleanly, and the worker
+    // pool never changes the outcome.
+    use fednum::hiersec::HierSecConfig;
+    use fednum::transport::run_hierarchical_mean;
+
+    let grid: Vec<Scenario> = scenario_grid()
+        .into_iter()
+        .filter(|s| s.population >= 250)
+        .step_by(4)
+        .collect();
+    assert!(
+        grid.len() >= 30,
+        "reduced hier grid too thin: {}",
+        grid.len()
+    );
+
+    let mut successes = 0usize;
+    let mut shard_degraded = 0usize;
+    let mut aborted = 0usize;
+    let mut other_failures = 0usize;
+    for scenario in &grid {
+        let values = elicit(scenario);
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let mut config = config_for(scenario);
+        // The hierarchy is the secure path: force secagg on so every cell
+        // exercises both tiers.
+        let settings = scenario.secagg.unwrap_or(SecAggSettings {
+            threshold_fraction: 0.5,
+            neighbors: Some(32),
+        });
+        config = config.with_secagg(settings);
+        let hier = HierSecConfig::try_new(4, settings, 3, 0x41E5 ^ scenario.id).unwrap();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_hierarchical_mean(&values, &config, &hier, 2, scenario.id ^ 0xC4A0)
+        }))
+        .unwrap_or_else(|_| panic!("hier scenario {} panicked", scenario.id));
+        match outcome {
+            Ok(out) => {
+                successes += 1;
+                let mut all: Vec<usize> = out
+                    .included_shards
+                    .iter()
+                    .chain(&out.degraded_shards)
+                    .copied()
+                    .collect();
+                all.sort_unstable();
+                assert_eq!(
+                    all,
+                    (0..4).collect::<Vec<_>>(),
+                    "scenario {}: shards neither included nor degraded",
+                    scenario.id
+                );
+                if !out.degraded_shards.is_empty() {
+                    shard_degraded += 1;
+                    assert_eq!(
+                        out.degraded,
+                        DegradedMode::Partial,
+                        "scenario {}: degraded shards must report Partial",
+                        scenario.id
+                    );
+                }
+                let bias_allowance =
+                    2.0 * (scenario.rates.corrupt_bit + scenario.rates.stale_round) * DOMAIN;
+                let tolerance = 8.0 * out.outcome.predicted_std.max(DOMAIN * 0.005)
+                    + bias_allowance
+                    + DOMAIN * 0.05;
+                assert!(
+                    (out.outcome.estimate - truth).abs() <= tolerance,
+                    "scenario {}: estimate {} vs truth {truth} outside ±{tolerance:.2}",
+                    scenario.id,
+                    out.outcome.estimate
+                );
+                // Pool parity holds cell by cell, chaos included.
+                let replay =
+                    run_hierarchical_mean(&values, &config, &hier, 4, scenario.id ^ 0xC4A0)
+                        .expect("replay of a successful scenario must succeed");
+                assert_eq!(
+                    replay.outcome.estimate.to_bits(),
+                    out.outcome.estimate.to_bits(),
+                    "scenario {}: worker pool changed the estimate",
+                    scenario.id
+                );
+            }
+            Err(FedError::SecAgg(_)) => {
+                // Merge-tier failure: the round aborts; telemetry maps this
+                // to the reserved slot.
+                aborted += 1;
+                let mapped = DegradedMode::Aborted;
+                assert_ne!(mapped, DegradedMode::Clean);
+            }
+            Err(
+                FedError::NoReports
+                | FedError::CohortTooSmall { .. }
+                | FedError::PopulationTooSmall { .. }
+                | FedError::InvalidConfig(_),
+            ) => other_failures += 1,
+            Err(e) => panic!("scenario {}: unexpected failure class {e:?}", scenario.id),
+        }
+    }
+    assert!(
+        successes >= grid.len() / 2,
+        "most hier scenarios should publish: {successes}/{}",
+        grid.len()
+    );
+
+    // A hostile sweep on top: per-shard thresholds tuned to the dropout
+    // rate so each shard's survival is roughly a coin flip. Across seeds
+    // this must surface both failure tiers — rounds that publish *around*
+    // degraded shards, and rounds the merge threshold aborts.
+    let strict = SecAggSettings {
+        threshold_fraction: 0.7,
+        neighbors: None,
+    };
+    for seed in 0..10u64 {
+        let values: Vec<f64> = (0..248).map(|i| f64::from(i % 100)).collect();
+        let mut cfg = FederatedMeanConfig::new(BasicConfig::new(
+            FixedPointCodec::integer(BITS),
+            BitSampling::geometric(BITS, 1.0),
+        ))
+        .with_dropout(DropoutModel::bernoulli(0.3))
+        .with_secagg(strict);
+        cfg.retry = RetryPolicy {
+            max_secagg_retries: 0,
+            base_backoff: 0.0,
+            max_backoff: 0.0,
+            min_cohort: 5,
+        };
+        cfg.session_seed = 0x2000 + seed;
+        let hier = HierSecConfig::try_new(4, strict, 2, 0x9057 ^ seed).unwrap();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_hierarchical_mean(&values, &cfg, &hier, 2, seed)
+        }))
+        .unwrap_or_else(|_| panic!("hostile hier seed {seed} panicked"));
+        match outcome {
+            Ok(out) => {
+                if !out.degraded_shards.is_empty() {
+                    shard_degraded += 1;
+                    assert_eq!(out.degraded, DegradedMode::Partial);
+                }
+            }
+            Err(FedError::SecAgg(_)) => aborted += 1,
+            Err(FedError::NoReports | FedError::CohortTooSmall { .. }) => other_failures += 1,
+            Err(e) => panic!("hostile hier seed {seed}: unexpected class {e:?}"),
+        }
+    }
+    assert!(
+        shard_degraded > 0,
+        "the sweep never degraded a shard — tier-1 recovery untested"
+    );
+    assert!(
+        aborted > 0,
+        "the sweep never aborted a merge — tier-2 failure untested"
+    );
+    eprintln!(
+        "hier chaos: {} scenarios + 10 hostile, {successes} ok ({shard_degraded} with degraded \
+         shards), {aborted} merge aborts, {other_failures} other typed failures",
+        grid.len()
+    );
+}
