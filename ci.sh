@@ -31,6 +31,10 @@ cargo test --release --offline -p fednum-transport --test proptest_messages \
     regression_hostile_count_fails_closed -- --exact
 PROPTEST_CASES=1 cargo test --release --offline -p fednum-transport \
     --test proptest_messages encode_decode_identity
+# Straggler-salvage regression anchor: a pinned seed that must keep
+# recovering >50 stragglers and replaying bit-identically.
+cargo test --release --offline -p fednum-transport --test salvage \
+    regression_salvage_seed_0x5a17_recovers_and_stays_pinned -- --exact
 
 step "cargo test (workspace)"
 cargo test -q --release --offline --workspace
@@ -39,11 +43,21 @@ step "hierarchical chaos matrix (both secagg tiers under fault injection)"
 cargo test -q --release --offline --test chaos \
     chaos_matrix_composes_with_hierarchical_secagg -- --exact
 
+step "salvage chaos pass (salvage never worse than discard)"
+cargo test -q --release --offline --test chaos \
+    salvage_never_worsens_the_estimate_across_the_chaos_grid -- --exact
+
 step "bench_transport --hiersec smoke (fixed seed, 10s budget)"
 # Quick grid (50k clients, K in {4,16}, 1/4 workers); the binary itself
 # enforces the wall-clock budget and the >=2x modeled pool speedup.
 ./target/release/bench_transport --hiersec --quick \
     --out results/BENCH_hiersec_smoke.json
+
+step "bench_transport --salvage smoke (fixed seed, recovery/overhead gates)"
+# Quick sweep (50k clients, straggle rates {0.05,0.1,0.2}); the binary
+# enforces >=90% straggler recovery per rate and <=15% wall overhead.
+./target/release/bench_transport --salvage --quick \
+    --out results/BENCH_salvage_smoke.json
 
 if [[ "${1:-}" != "quick" ]]; then
     step "cargo clippy --all-targets -- -D warnings"

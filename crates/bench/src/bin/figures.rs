@@ -34,6 +34,7 @@ const PANELS: &[&str] = &[
     "deploy-latency",
     "deploy-secagg",
     "deploy-faults",
+    "deploy-salvage",
     "ablate-sampling",
     "ablate-caching",
     "ablate-bsend",
@@ -74,6 +75,7 @@ fn run_panel(id: &str, budget: Budget) -> Option<Output> {
         "deploy-latency" => Output::Text(deploy::deploy_latency(budget)),
         "deploy-secagg" => Output::Text(deploy::deploy_secagg(budget)),
         "deploy-faults" => Output::Table(deploy::deploy_faults(budget)),
+        "deploy-salvage" => Output::Table(deploy::deploy_salvage(budget)),
         "ablate-sampling" => Output::Table(ablate::ablate_sampling(budget)),
         "ablate-caching" => Output::Table(ablate::ablate_caching(budget)),
         "ablate-bsend" => Output::Table(ablate::ablate_bsend(budget)),

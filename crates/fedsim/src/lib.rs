@@ -43,10 +43,10 @@ pub use faults::{FaultKind, FaultPlan, FaultRates, FaultSchedule};
 pub use fedlearn::{train_linear, FedLearnConfig, LinearModel, TrainingTrace};
 pub use latency::LatencyModel;
 pub use population::{Client, ElicitStrategy, Population};
-pub use retry::RetryPolicy;
+pub use retry::{RetryPolicy, SalvagePolicy};
 pub use round::{
     run_federated_mean, run_federated_mean_metered, DegradedMode, FederatedMeanConfig,
-    FederatedOutcome, RoundError, RoundOutcome, SecAggSettings,
+    FederatedOutcome, RoundError, RoundOutcome, SalvageOutcome, SecAggSettings,
 };
 pub use streaming::StreamingMean;
 pub use traffic::{Direction, TrafficPhase, TrafficStats};

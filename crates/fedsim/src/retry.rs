@@ -96,6 +96,78 @@ impl RetryPolicy {
     }
 }
 
+/// When and how a coordinator runs a straggler-salvage session: reports
+/// arriving after the collection deadline are parked in a bounded buffer,
+/// and once the base estimate is tallied a follow-up session re-opens a
+/// collection window, re-validates the parked reports, and merges the
+/// salvaged sum into the published estimate with exact-count weighting.
+///
+/// Salvage is strictly additive: if the policy never fires, or the salvage
+/// session fails, the round publishes exactly what today's discard
+/// behaviour would.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SalvagePolicy {
+    /// Don't bother re-opening a window for fewer parked reports than this.
+    pub min_parked: usize,
+    /// Ceiling on the extra virtual time the salvage window may add to the
+    /// round (the follow-up window is clipped to this length).
+    pub max_extra_time: f64,
+    /// Secure-aggregation attempts over the salvaged cohort before the
+    /// session aborts (each attempt re-masks under a fresh instance seed,
+    /// with the round's capped-exponential backoff between attempts).
+    pub max_attempts: u32,
+    /// Bound on the salvage buffer: late frames beyond this are dropped
+    /// exactly as the discard path would drop them.
+    pub buffer_cap: usize,
+}
+
+impl Default for SalvagePolicy {
+    fn default() -> Self {
+        Self {
+            min_parked: 1,
+            max_extra_time: 30.0,
+            max_attempts: 2,
+            buffer_cap: 4096,
+        }
+    }
+}
+
+impl SalvagePolicy {
+    /// Creates a policy.
+    ///
+    /// # Errors
+    /// [`FedError::InvalidConfig`] unless `max_extra_time` is finite and
+    /// positive, `min_parked >= 1`, and `buffer_cap >= min_parked`.
+    pub fn new(
+        min_parked: usize,
+        max_extra_time: f64,
+        max_attempts: u32,
+        buffer_cap: usize,
+    ) -> Result<Self, FedError> {
+        if min_parked == 0 {
+            return Err(FedError::InvalidConfig(
+                "salvage min_parked must be at least 1".into(),
+            ));
+        }
+        if !(max_extra_time > 0.0 && max_extra_time.is_finite()) {
+            return Err(FedError::InvalidConfig(format!(
+                "salvage max_extra_time must be finite and positive, got {max_extra_time}"
+            )));
+        }
+        if buffer_cap < min_parked {
+            return Err(FedError::InvalidConfig(format!(
+                "salvage buffer_cap {buffer_cap} below min_parked {min_parked}"
+            )));
+        }
+        Ok(Self {
+            min_parked,
+            max_extra_time,
+            max_attempts,
+            buffer_cap,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +198,20 @@ mod tests {
         assert!(RetryPolicy::new(1, 0.0, f64::INFINITY, 1).is_err());
         assert!(RetryPolicy::new(1, 0.0, 0.0, 0).is_err());
         assert!(RetryPolicy::new(0, 0.0, 0.0, 1).is_ok());
+    }
+
+    #[test]
+    fn salvage_policy_validation() {
+        assert!(SalvagePolicy::new(0, 1.0, 1, 16).is_err());
+        assert!(SalvagePolicy::new(1, 0.0, 1, 16).is_err());
+        assert!(SalvagePolicy::new(1, f64::INFINITY, 1, 16).is_err());
+        assert!(SalvagePolicy::new(8, 1.0, 1, 4).is_err());
+        assert!(SalvagePolicy::new(1, 1.0, 0, 1).is_ok());
+        let d = SalvagePolicy::default();
+        let rebuilt =
+            SalvagePolicy::new(d.min_parked, d.max_extra_time, d.max_attempts, d.buffer_cap)
+                .unwrap();
+        assert_eq!(d, rebuilt);
     }
 
     #[test]

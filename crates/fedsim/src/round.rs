@@ -33,7 +33,7 @@ use crate::dropout::{DropoutModel, Fate};
 use crate::error::FedError;
 use crate::faults::{FaultKind, FaultPlan};
 use crate::latency::LatencyModel;
-use crate::retry::RetryPolicy;
+use crate::retry::{RetryPolicy, SalvagePolicy};
 use crate::traffic::TrafficStats;
 use crate::validation::{RejectionCounts, ReportValidator};
 
@@ -92,6 +92,15 @@ pub struct FederatedMeanConfig {
     /// Recovery policy: inter-wave backoff, secure-aggregation retries,
     /// minimum surviving cohort.
     pub retry: RetryPolicy,
+    /// Straggler salvage: park post-deadline report frames in a bounded
+    /// buffer and, once the base estimate is tallied, run a follow-up
+    /// session that re-validates and re-admits them (exact-count merge into
+    /// the published estimate). Implemented by the event-driven transport
+    /// coordinator; the legacy synchronous orchestrator ignores it — it has
+    /// no wire on which a frame can be late yet present. Requires
+    /// `validate` (the naive server accepts stragglers directly, leaving
+    /// nothing to salvage).
+    pub salvage: Option<SalvagePolicy>,
     /// Server-side report validation (duplicate/replay/stale/deadline
     /// enforcement). Disabled by the "naive" baseline orchestrator.
     pub validate: bool,
@@ -120,6 +129,7 @@ impl FederatedMeanConfig {
             session_seed: 0xF3D5,
             faults: None,
             retry: RetryPolicy::default(),
+            salvage: None,
             validate: true,
             compress_config: false,
         }
@@ -204,6 +214,14 @@ impl FederatedMeanConfig {
         self
     }
 
+    /// Enables straggler salvage under the given policy. See
+    /// [`FederatedMeanConfig::salvage`].
+    #[must_use]
+    pub fn with_salvage(mut self, policy: SalvagePolicy) -> Self {
+        self.salvage = Some(policy);
+        self
+    }
+
     /// Compresses the configure downlink (broadcast header + per-client bit
     /// delta). See [`FederatedMeanConfig::compress_config`].
     #[must_use]
@@ -251,6 +269,25 @@ pub enum DegradedMode {
     Aborted,
 }
 
+/// Outcome of a straggler-salvage session, as typed telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SalvageOutcome {
+    /// The follow-up session re-admitted this many parked reports into the
+    /// published estimate.
+    Salvaged {
+        /// Re-admitted report count.
+        reports: u64,
+    },
+    /// The policy never fired: nothing parked, or fewer parked reports than
+    /// `min_parked`.
+    SalvageSkipped,
+    /// The salvage session ran but could not complete (re-validation left a
+    /// cohort too small for a private aggregate, or every re-masked attempt
+    /// failed); the round published the base estimate — exactly the discard
+    /// behaviour.
+    SalvageAborted,
+}
+
 /// Robustness telemetry for one federated round.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RoundOutcome {
@@ -258,6 +295,15 @@ pub struct RoundOutcome {
     pub degraded: DegradedMode,
     /// Per-class rejected-report tally (validation + deadline enforcement).
     pub rejections: RejectionCounts,
+    /// Report frames that arrived after their wave deadline, counted
+    /// identically whether or not the server validates. The validated
+    /// server also rejects them, so `rejections.straggler == late_frames`
+    /// exactly when `validate` is set; the naive server accepts them and
+    /// leaves `rejections.straggler` at zero.
+    pub late_frames: u64,
+    /// Straggler-salvage telemetry; `None` when salvage is not configured
+    /// or the path (legacy synchronous) does not implement it.
+    pub salvage: Option<SalvageOutcome>,
     /// Re-masked secure-aggregation retries performed.
     pub secagg_retries: u32,
     /// Faults the plan injected into contacted clients.
@@ -366,6 +412,7 @@ fn run_round(
     let mut waves_used = 0;
     let mut rejections = RejectionCounts::default();
     let mut faults_injected: u64 = 0;
+    let mut late_frames: u64 = 0;
 
     for wave in 0..config.max_waves {
         if pool.is_empty() {
@@ -602,6 +649,7 @@ fn run_round(
                 wave_time = wave_time.max(lat.timeout);
             }
         }
+        late_frames += wave_stragglers;
         completion_time += wave_time;
     }
 
@@ -766,6 +814,8 @@ fn run_round(
         robustness: RoundOutcome {
             degraded,
             rejections,
+            late_frames,
+            salvage: None,
             secagg_retries,
             faults_injected,
             backoff_time,

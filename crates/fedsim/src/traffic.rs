@@ -26,11 +26,17 @@ pub enum TrafficPhase {
     Unmask,
     /// Result broadcast.
     Publish,
+    /// Straggler-salvage follow-up session: every frame a salvage round
+    /// adds on top of the base round (fresh secure-aggregation material,
+    /// the re-opened window's control traffic). Re-admitted report frames
+    /// are *not* re-billed here — they were metered at original arrival,
+    /// and the traffic ledger stays idempotent across sessions.
+    Salvage,
 }
 
 impl TrafficPhase {
     /// Every phase, in session order.
-    pub const ALL: [TrafficPhase; 7] = [
+    pub const ALL: [TrafficPhase; 8] = [
         TrafficPhase::Rendezvous,
         TrafficPhase::Configure,
         TrafficPhase::Collect,
@@ -38,6 +44,7 @@ impl TrafficPhase {
         TrafficPhase::Masking,
         TrafficPhase::Unmask,
         TrafficPhase::Publish,
+        TrafficPhase::Salvage,
     ];
 
     fn index(self) -> usize {
@@ -49,6 +56,7 @@ impl TrafficPhase {
             TrafficPhase::Masking => 4,
             TrafficPhase::Unmask => 5,
             TrafficPhase::Publish => 6,
+            TrafficPhase::Salvage => 7,
         }
     }
 }
@@ -86,8 +94,8 @@ impl Counter {
 /// Per-phase, per-direction traffic tally for one round.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficStats {
-    up: [Counter; 7],
-    down: [Counter; 7],
+    up: [Counter; 8],
+    down: [Counter; 8],
     /// Downlink bytes avoided by config compression (broadcast header +
     /// per-client bit delta instead of one full `RoundConfig` each).
     config_saved: u64,
@@ -111,10 +119,21 @@ impl TrafficStats {
 
     /// Folds another tally into this one (e.g. per-shard tallies at publish).
     pub fn merge(&mut self, other: &TrafficStats) {
-        for i in 0..7 {
+        for i in 0..TrafficPhase::ALL.len() {
             self.up[i].merge(&other.up[i]);
             self.down[i].merge(&other.down[i]);
         }
+        self.config_saved += other.config_saved;
+    }
+
+    /// Folds another tally into this one with every message re-attributed
+    /// to `phase` — how a salvage session's secure-aggregation traffic is
+    /// booked: the bytes are real, but they belong to the salvage line of
+    /// the bill, not the base round's key-exchange/masking/unmask rows.
+    pub fn absorb_as(&mut self, other: &TrafficStats, phase: TrafficPhase) {
+        let i = phase.index();
+        self.up[i].merge(&other.direction_total(Direction::Uplink));
+        self.down[i].merge(&other.direction_total(Direction::Downlink));
         self.config_saved += other.config_saved;
     }
 
@@ -281,6 +300,23 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.config_bytes_saved(), 150);
         assert!(a.to_string().contains("saved 150 downlink bytes"));
+    }
+
+    #[test]
+    fn absorb_as_reattributes_every_cell_to_the_target_phase() {
+        let mut session = TrafficStats::new();
+        session.record(TrafficPhase::KeyExchange, Direction::Downlink, 40);
+        session.record(TrafficPhase::Masking, Direction::Uplink, 100);
+        session.record(TrafficPhase::Unmask, Direction::Uplink, 25);
+        let mut round = TrafficStats::new();
+        round.record(TrafficPhase::Collect, Direction::Uplink, 8);
+        round.absorb_as(&session, TrafficPhase::Salvage);
+        let up = round.get(TrafficPhase::Salvage, Direction::Uplink);
+        assert_eq!((up.messages, up.bytes), (2, 125));
+        let down = round.get(TrafficPhase::Salvage, Direction::Downlink);
+        assert_eq!((down.messages, down.bytes), (1, 40));
+        assert_eq!(round.get(TrafficPhase::Masking, Direction::Uplink).bytes, 0);
+        assert_eq!(round.total_bytes(), 173);
     }
 
     #[test]

@@ -8,6 +8,13 @@ use fednum_secagg::instance_seed;
 pub const TIER_SHARD: u32 = 1;
 /// Tier tag for the cross-shard merge instance.
 pub const TIER_MERGE: u32 = 2;
+/// Tier tag for a shard's straggler-salvage instance: the follow-up
+/// aggregation over re-admitted late reporters must derive its own key
+/// graph, never reusing shares from the shard's base (possibly aborted)
+/// instance.
+pub const TIER_SALVAGE_SHARD: u32 = 3;
+/// Tier tag for the salvage merge instance over recovered shard sums.
+pub const TIER_SALVAGE_MERGE: u32 = 4;
 
 /// Parameters of a two-tier secure-aggregation hierarchy: K per-shard
 /// instances feeding one merge instance among the K shard aggregators.
@@ -116,6 +123,22 @@ impl HierSecConfig {
     pub fn merge_session(&self) -> u64 {
         instance_seed(self.session_seed, TIER_MERGE, 0)
     }
+
+    /// Session seed of shard `s`'s straggler-salvage instance — independent
+    /// of [`shard_session`](Self::shard_session) so re-admitted clients are
+    /// masked under fresh key material.
+    #[must_use]
+    pub fn salvage_shard_session(&self, s: usize) -> u64 {
+        instance_seed(self.session_seed, TIER_SALVAGE_SHARD, s as u64)
+    }
+
+    /// Session seed of the second merge instance over late-recovered shard
+    /// sums — independent of [`merge_session`](Self::merge_session) for the
+    /// same mask-freshness reason.
+    #[must_use]
+    pub fn salvage_merge_session(&self) -> u64 {
+        instance_seed(self.session_seed, TIER_SALVAGE_MERGE, 0)
+    }
 }
 
 #[cfg(test)]
@@ -200,8 +223,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for s in 0..c.shards {
             assert!(seen.insert(c.shard_session(s)));
+            assert!(seen.insert(c.salvage_shard_session(s)));
         }
         assert!(seen.insert(c.merge_session()));
+        assert!(seen.insert(c.salvage_merge_session()));
         assert!(!seen.contains(&c.session_seed) || c.session_seed == 0);
     }
 }

@@ -32,4 +32,7 @@ pub mod tiers;
 
 pub use config::HierSecConfig;
 pub use pool::run_indexed;
-pub use tiers::{merge_shard_sums, run_two_tier, MergeOutcome, ShardCohort, TwoTierOutcome};
+pub use tiers::{
+    merge_salvaged_shard_sums, merge_shard_sums, run_two_tier, MergeOutcome, ShardCohort,
+    TwoTierOutcome,
+};

@@ -197,6 +197,58 @@ pub fn merge_shard_sums(
     })
 }
 
+/// Runs the *salvage* merge instance: a fresh K'-party aggregation over the
+/// sums of shards that missed the base merge cut but recovered late. Every
+/// party is a coordinator-side shard aggregator holding a sum it just
+/// produced, so the instance models no dropout and sets its Shamir
+/// threshold to K' — either every recovered shard unmasks or the salvage
+/// aborts (worst case: the base estimate stands, exactly as discard).
+///
+/// Mask freshness: the instance seed is
+/// [`salvage_merge_session`](HierSecConfig::salvage_merge_session), derived
+/// under its own tier tag, so its key graph is independent of the base
+/// merge instance *and* of every aborted shard instance — no share or mask
+/// from a failed base attempt is ever reused.
+///
+/// # Errors
+/// [`FedError::InvalidConfig`] for fewer than two recovered shards (a
+/// one-party "aggregate" would publish that shard's sum in the clear, which
+/// the base merge's degradation semantics deliberately never do) or for
+/// mismatched sum lengths; [`FedError::SecAgg`] when the instance fails.
+pub fn merge_salvaged_shard_sums(
+    config: &HierSecConfig,
+    late: &[(usize, Vec<u64>)],
+    vector_len: usize,
+    rng: &mut dyn Rng,
+) -> Result<MergeOutcome, FedError> {
+    if late.len() < 2 {
+        return Err(FedError::InvalidConfig(format!(
+            "salvage merge needs >= 2 recovered shards, got {}",
+            late.len()
+        )));
+    }
+    if late.iter().any(|(_, v)| v.len() != vector_len) {
+        return Err(FedError::InvalidConfig(
+            "salvaged shard sum length mismatch".into(),
+        ));
+    }
+    let inputs: Vec<Vec<u64>> = late.iter().map(|(_, v)| v.clone()).collect();
+    let sa = SecAggConfig::new(
+        late.len(),
+        late.len(),
+        vector_len,
+        config.salvage_merge_session(),
+    );
+    let out = run_secure_aggregation(&sa, &inputs, &DropoutPlan::none(), rng)?;
+    let survivors = out.contributors.len();
+    Ok(MergeOutcome {
+        sum: out.sum,
+        included_shards: late.iter().map(|&(s, _)| s).collect(),
+        degraded_shards: Vec::new(),
+        survivors,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +364,42 @@ mod tests {
             merge_shard_sums(&config, &sums, 2, &mut rng),
             Err(FedError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn salvage_merge_recovers_the_plaintext_sum_of_late_shards() {
+        let config = HierSecConfig::try_new(4, settings(), 3, 0xCAFE).unwrap();
+        let late = vec![(1usize, vec![5u64, 7, 11]), (3usize, vec![2u64, 0, 9])];
+        let mut rng = StdRng::seed_from_u64(21);
+        let out = merge_salvaged_shard_sums(&config, &late, 3, &mut rng).unwrap();
+        assert_eq!(out.sum, vec![7, 7, 20]);
+        assert_eq!(out.included_shards, vec![1, 3]);
+        assert!(out.degraded_shards.is_empty());
+        assert_eq!(out.survivors, 2);
+    }
+
+    #[test]
+    fn salvage_merge_rejects_a_single_shard_and_bad_lengths() {
+        let config = HierSecConfig::try_new(3, settings(), 2, 0xF00).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            merge_salvaged_shard_sums(&config, &[(0, vec![1, 2])], 2, &mut rng),
+            Err(FedError::InvalidConfig(_))
+        ));
+        let bad = vec![(0usize, vec![1u64, 2]), (1usize, vec![3u64])];
+        assert!(matches!(
+            merge_salvaged_shard_sums(&config, &bad, 2, &mut rng),
+            Err(FedError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn salvage_merge_session_is_independent_of_the_base_merge() {
+        let config = HierSecConfig::try_new(2, settings(), 2, 0x5EED).unwrap();
+        assert_ne!(config.salvage_merge_session(), config.merge_session());
+        for s in 0..config.shards {
+            assert_ne!(config.salvage_shard_session(s), config.shard_session(s));
+        }
     }
 
     #[test]

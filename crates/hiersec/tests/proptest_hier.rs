@@ -161,6 +161,49 @@ proptest! {
         }
     }
 
+    /// The salvage merge is exact arithmetic: over any ≥2 late shards the
+    /// masked K'-party merge recovers precisely the plaintext sum of the
+    /// re-admitted shard sums, under key material independent of the base
+    /// merge (same parent seed, different tier tag).
+    #[test]
+    fn salvage_merge_recovers_exactly_the_late_sums(
+        late_sums in prop::collection::vec(
+            prop::collection::vec(0u64..50_000, VECTOR_LEN..VECTOR_LEN + 1),
+            2..6,
+        ),
+        shard_ids in prop::collection::vec(0usize..32, 2..6),
+        seed in 0u64..1_000,
+    ) {
+        use fednum_hiersec::merge_salvaged_shard_sums;
+        let k = late_sums.len().min(shard_ids.len());
+        let mut ids: Vec<usize> = shard_ids[..k].to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assume!(ids.len() >= 2);
+        let late: Vec<(usize, Vec<u64>)> = ids
+            .iter()
+            .zip(&late_sums)
+            .map(|(&s, sum)| (s, sum.clone()))
+            .collect();
+        let config = HierSecConfig::try_new(
+            ids.iter().max().unwrap() + 2,
+            settings(),
+            2,
+            seed ^ 0x5A1,
+        ).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = merge_salvaged_shard_sums(&config, &late, VECTOR_LEN, &mut rng).unwrap();
+        let mut expected = vec![0u64; VECTOR_LEN];
+        for (_, sum) in &late {
+            for (acc, v) in expected.iter_mut().zip(sum) {
+                *acc += v;
+            }
+        }
+        prop_assert_eq!(&out.sum, &expected);
+        prop_assert_eq!(&out.included_shards, &ids);
+        prop_assert!(out.degraded_shards.is_empty());
+    }
+
     /// Worker-count invariance under random dropout patterns.
     #[test]
     fn pool_width_never_changes_the_outcome(

@@ -44,11 +44,12 @@ use rand::Rng;
 use fednum_fedsim::dropout::Fate;
 use fednum_fedsim::error::FedError;
 use fednum_fedsim::faults::FaultKind;
+use fednum_fedsim::retry::SalvagePolicy;
 use fednum_fedsim::round::{
-    DegradedMode, FederatedMeanConfig, FederatedOutcome, RoundOutcome, SecAggSettings,
-    SecAggSummary,
+    DegradedMode, FederatedMeanConfig, FederatedOutcome, RoundOutcome, SalvageOutcome,
+    SecAggSettings, SecAggSummary,
 };
-use fednum_fedsim::traffic::{Direction, TrafficStats};
+use fednum_fedsim::traffic::{Direction, TrafficPhase, TrafficStats};
 use fednum_fedsim::validation::{RejectionCounts, ReportValidator};
 
 use crate::message::{
@@ -57,6 +58,7 @@ use crate::message::{
 };
 use crate::net::{Envelope, Transport, BROADCAST, COORDINATOR};
 use crate::scheduler::mix;
+use crate::session::MultiSessionEngine;
 
 /// Virtual-time spacing between consecutive clients' message chains.
 const STEP: f64 = 3e-9;
@@ -64,6 +66,10 @@ const STEP: f64 = 3e-9;
 const HOP: f64 = 1e-9;
 /// 61-bit field mask for hash-derived stand-in payload elements.
 const MASK61: u64 = (1 << 61) - 1;
+/// Session-seed tag for the flat coordinator's salvage instance: the
+/// follow-up secure aggregation must derive a key graph independent of
+/// every base-round attempt so re-admitted clients get fresh masks.
+const SALVAGE_TAG: u64 = 0x5A1C_6E55_0C3B_92D1;
 
 /// One contacted client's record, as the server saw it after validation.
 /// Mirrors the legacy orchestrator's internal record field for field.
@@ -73,6 +79,17 @@ pub(crate) struct Contact {
     pub(crate) report: Option<bool>,
     pub(crate) fate: Fate,
     pub(crate) copies: u64,
+}
+
+/// A post-deadline report frame held for a possible salvage session.
+pub(crate) struct ParkedReport {
+    /// Global client id (`Envelope::from`).
+    pub(crate) client: u64,
+    /// The wave's bit assignment for that client, for re-validation under a
+    /// fresh [`ReportValidator`].
+    pub(crate) assigned_bit: u32,
+    /// The frame exactly as it arrived — already metered, never re-billed.
+    pub(crate) payload: Vec<u8>,
 }
 
 /// Everything the collect phase produced, ready for the tally stage.
@@ -87,6 +104,12 @@ pub(crate) struct CollectState {
     pub(crate) traffic: TrafficStats,
     /// Virtual clock after the last collection window.
     pub(crate) clock: f64,
+    /// Report frames that arrived after their wave deadline, counted in
+    /// both validation modes (the validated server also rejects them).
+    pub(crate) late_frames: u64,
+    /// Late frames parked for salvage (validated mode with a salvage
+    /// policy only), bounded by the policy's buffer cap.
+    pub(crate) parked: Vec<ParkedReport>,
 }
 
 /// What the secure-aggregation tally stage produced.
@@ -224,6 +247,218 @@ pub(crate) fn secagg_tally(
     }
 }
 
+/// What a salvage session contributed to the round's tallies. On every
+/// non-`Salvaged` outcome the vectors are all-zero, so merging the result
+/// is unconditional-safe: worst case equals today's discard behaviour.
+pub(crate) struct SalvageResult {
+    pub(crate) outcome: SalvageOutcome,
+    pub(crate) ones: Vec<u64>,
+    pub(crate) counts: Vec<u64>,
+    pub(crate) reports: u64,
+}
+
+impl SalvageResult {
+    fn empty(outcome: SalvageOutcome, bits: u32) -> Self {
+        Self {
+            outcome,
+            ones: vec![0; bits as usize],
+            counts: vec![0; bits as usize],
+            reports: 0,
+        }
+    }
+}
+
+/// The straggler-salvage session: re-opens a bounded collection window as a
+/// follow-up session on the same transport timeline, re-validates the
+/// parked report frames under a fresh [`ReportValidator`], and tallies the
+/// re-admitted cohort — directly, or through a *fresh* secure-aggregation
+/// instance (`session_base` must be independent of every base-round
+/// attempt so salvaged clients get fresh masks; shares from an aborted
+/// base instance are never reused).
+///
+/// Strictly additive: every failure path returns zero tallies and typed
+/// telemetry, leaving the published estimate exactly what discard would
+/// have published. Parked frames were metered and privacy-charged at
+/// original arrival; re-admission re-bills neither (the ledger re-charge
+/// below is an idempotent no-op that only guards against external ledger
+/// mutation). RNG discipline: every draw here happens strictly after all
+/// base-round draws, so salvage-off runs stay bit-identical to
+/// single-session rounds.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub(crate) fn run_salvage(
+    st: &mut CollectState,
+    config: &FederatedMeanConfig,
+    policy: &SalvagePolicy,
+    settings: Option<&SecAggSettings>,
+    session_base: u64,
+    round_id: u64,
+    client_offset: u64,
+    mut ledger: Option<&mut PrivacyLedger>,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> SalvageResult {
+    let bits = config.protocol.codec.bits();
+    if st.parked.len() < policy.min_parked {
+        return SalvageResult::empty(SalvageOutcome::SalvageSkipped, bits);
+    }
+    let epsilon = config
+        .protocol
+        .privacy
+        .as_ref()
+        .map_or(0.0, RandomizedResponse::epsilon);
+    let window = config
+        .latency
+        .as_ref()
+        .map_or(1.0, |l| l.timeout)
+        .min(policy.max_extra_time);
+
+    let mut engine = MultiSessionEngine::new(transport, st.clock);
+    let mut slot = engine.open_session();
+    slot.open_window(0.0, window);
+    // Re-admit each parked frame verbatim. `redeliver` bypasses fault
+    // dispatch and the replay register — the frame already paid both at
+    // original arrival — and nothing here meters it again.
+    for (k, p) in st.parked.iter().enumerate() {
+        slot.redeliver(Envelope {
+            from: p.client,
+            to: COORDINATOR,
+            sent_at: k as f64 * STEP,
+            payload: p.payload.clone(),
+        });
+    }
+
+    // Fresh validator scoped to exactly the parked cohort and their
+    // original bit assignments; its rejections are not absorbed into the
+    // round's counts (these frames were already rejected once as
+    // stragglers — salvage only decides whether to un-reject them).
+    let assigned: Vec<(u64, u32)> = st
+        .parked
+        .iter()
+        .map(|p| (p.client, p.assigned_bit))
+        .collect();
+    let mut validator = ReportValidator::for_round(bits, &assigned, round_id);
+    let mut salvaged: Vec<Contact> = Vec::new();
+    let mut counts = vec![0u64; bits as usize];
+    while let Some((at, env)) = slot.poll() {
+        if at > window {
+            // Missed even the salvage window: the final discard.
+            continue;
+        }
+        let Ok(Message::Report(r)) = Message::decode(&env.payload) else {
+            continue;
+        };
+        if r.body.reports.len() != 1 {
+            continue;
+        }
+        let (d_bit8, d_value) = r.body.reports[0];
+        let d_bit = u32::from(d_bit8);
+        if validator
+            .submit_tagged(
+                env.from,
+                d_bit,
+                f64::from(u8::from(d_value)),
+                r.body.task_id,
+                r.nonce,
+            )
+            .is_err()
+        {
+            continue;
+        }
+        salvaged.push(Contact {
+            client: (env.from - client_offset) as usize,
+            bit: d_bit,
+            report: Some(d_value),
+            fate: Fate::Responds,
+            copies: 1,
+        });
+        counts[d_bit as usize] += 1;
+    }
+    st.completion_time += window;
+
+    // Privacy floor: a one-party secure aggregate would reveal that
+    // client's report outright, so a masked salvage needs at least two
+    // re-admitted members. Direct mode has no such floor — validated
+    // direct reports are individually visible by construction.
+    let floor = if settings.is_some() { 2 } else { 1 };
+    if salvaged.len() < floor {
+        st.clock = engine.watermark();
+        return SalvageResult::empty(SalvageOutcome::SalvageAborted, bits);
+    }
+    if let Some(ledger) = ledger.as_deref_mut() {
+        for c in &salvaged {
+            if ledger
+                .charge_round(client_offset + c.client as u64, round_id, 1, epsilon)
+                .is_err()
+            {
+                st.clock = engine.watermark();
+                return SalvageResult::empty(SalvageOutcome::SalvageAborted, bits);
+            }
+        }
+    }
+
+    let reports: u64 = counts.iter().sum();
+    match settings {
+        Some(settings) => {
+            // Clamp the mask-graph degree to the (small) salvaged cohort
+            // and cap re-mask attempts by the policy, not the base retry
+            // budget; min_cohort drops to the privacy floor.
+            let mut salvage_settings = *settings;
+            if let Some(k) = settings.neighbors {
+                salvage_settings.neighbors = Some(k.clamp(1, salvaged.len() - 1));
+            }
+            let mut salvage_config = config.clone();
+            salvage_config.retry.max_secagg_retries = policy.max_attempts;
+            salvage_config.retry.min_cohort = floor;
+            let mut st2 = CollectState {
+                contacts: salvaged,
+                counts: counts.clone(),
+                completion_time: 0.0,
+                backoff_time: 0.0,
+                waves_used: 1,
+                rejections: RejectionCounts::default(),
+                faults_injected: 0,
+                traffic: TrafficStats::new(),
+                clock: window,
+                late_frames: 0,
+                parked: Vec::new(),
+            };
+            let tally = secagg_tally(
+                &mut st2,
+                &salvage_config,
+                &salvage_settings,
+                session_base,
+                round_id,
+                ledger,
+                &mut slot,
+                rng,
+            );
+            st.clock = engine.watermark();
+            st.traffic.absorb_as(&st2.traffic, TrafficPhase::Salvage);
+            st.completion_time += st2.completion_time;
+            st.backoff_time += st2.backoff_time;
+            match tally {
+                Ok(t) => SalvageResult {
+                    outcome: SalvageOutcome::Salvaged { reports },
+                    ones: t.ones,
+                    counts: t.eff_counts,
+                    reports,
+                },
+                Err(_) => SalvageResult::empty(SalvageOutcome::SalvageAborted, bits),
+            }
+        }
+        None => {
+            let ones = direct_tally(&salvaged, bits);
+            st.clock = engine.watermark();
+            SalvageResult {
+                outcome: SalvageOutcome::Salvaged { reports },
+                ones,
+                counts,
+                reports,
+            }
+        }
+    }
+}
+
 /// Runs a complete federated mean-estimation session over the given
 /// transport. Same semantics (and, seed for seed, the same estimate) as
 /// [`run_federated_mean`](fednum_fedsim::round::run_federated_mean), plus
@@ -263,14 +498,29 @@ pub fn run_federated_mean_transport_metered(
     run_session(values, config, Some(ledger), transport, rng)
 }
 
-#[allow(clippy::too_many_lines)]
 fn run_session(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    ledger: Option<&mut PrivacyLedger>,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<FederatedOutcome, FedError> {
+    run_session_inner(values, config, ledger, transport, rng, false).map(|(out, _)| out)
+}
+
+/// The full session body. `with_feedback` embeds the round's per-bit means
+/// in the Publish frame (the adaptive two-round protocol's round-1 → round-2
+/// feedback channel); the returned bytes are that frame, so a follow-up
+/// session can decode exactly what was broadcast.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn run_session_inner(
     values: &[f64],
     config: &FederatedMeanConfig,
     mut ledger: Option<&mut PrivacyLedger>,
     transport: &mut dyn Transport,
     rng: &mut dyn Rng,
-) -> Result<FederatedOutcome, FedError> {
+    with_feedback: bool,
+) -> Result<(FederatedOutcome, Vec<u8>), FedError> {
     if values.is_empty() {
         return Err(FedError::PopulationTooSmall { got: 0, need: 1 });
     }
@@ -281,7 +531,7 @@ fn run_session(
 
     let mut st = collect_waves(&codes, config, 0, ledger.as_deref_mut(), transport, rng)?;
 
-    let total_reports: u64 = st.counts.iter().sum();
+    let mut total_reports: u64 = st.counts.iter().sum();
     if total_reports == 0 {
         return Err(FedError::NoReports);
     }
@@ -296,7 +546,7 @@ fn run_session(
     // Tally stage: aggregate per-bit (ones, counts), directly or through
     // the four secure-aggregation message rounds.
     let mut secagg_retries = 0u32;
-    let (ones, eff_counts, secagg_summary) = match &config.secagg {
+    let (mut ones, mut eff_counts, secagg_summary) = match &config.secagg {
         Some(settings) => {
             let tally = secagg_tally(
                 &mut st,
@@ -304,7 +554,7 @@ fn run_session(
                 settings,
                 config.session_seed,
                 round_id,
-                ledger,
+                ledger.as_deref_mut(),
                 transport,
                 rng,
             )?;
@@ -312,6 +562,37 @@ fn run_session(
             (tally.ones, tally.eff_counts, Some(tally.summary))
         }
         None => (direct_tally(&st.contacts, bits), st.counts.clone(), None),
+    };
+
+    // Salvage: a strictly additive follow-up session over the parked
+    // stragglers, merged into the published tallies with exact-count
+    // weighting. The naive (unvalidated) server parks nothing — it already
+    // accepted the stragglers inline — so salvage reports Skipped there.
+    let salvage_outcome = match (&config.salvage, config.validate) {
+        (Some(policy), true) => {
+            let res = run_salvage(
+                &mut st,
+                config,
+                policy,
+                config.secagg.as_ref(),
+                mix(config.session_seed ^ SALVAGE_TAG),
+                round_id,
+                0,
+                ledger,
+                transport,
+                rng,
+            );
+            if matches!(res.outcome, SalvageOutcome::Salvaged { .. }) {
+                for j in 0..bits as usize {
+                    ones[j] += res.ones[j];
+                    eff_counts[j] += res.counts[j];
+                }
+                total_reports += res.reports;
+            }
+            Some(res.outcome)
+        }
+        (Some(_), false) => Some(SalvageOutcome::SalvageSkipped),
+        (None, _) => None,
     };
 
     let acc = BitAccumulator::from_parts(
@@ -325,12 +606,18 @@ fn run_session(
         round_id,
         estimate: outcome.estimate,
         reports: total_reports,
+        feedback: if with_feedback {
+            outcome.bit_means.clone()
+        } else {
+            Vec::new()
+        },
     });
+    let publish_frame = publish.encode();
     transport.send(Envelope {
         from: COORDINATOR,
         to: 0,
         sent_at: st.clock,
-        payload: publish.encode(),
+        payload: publish_frame.clone(),
     });
     drain_counting(transport, &mut st.traffic);
 
@@ -353,23 +640,28 @@ fn run_session(
         DegradedMode::Clean
     };
 
-    Ok(FederatedOutcome {
-        outcome,
-        contacted: st.contacts.len(),
-        reports: total_reports,
-        waves_used: st.waves_used,
-        completion_time: st.completion_time,
-        starved_bits,
-        secagg: secagg_summary,
-        robustness: RoundOutcome {
-            degraded,
-            rejections: st.rejections,
-            secagg_retries,
-            faults_injected: st.faults_injected,
-            backoff_time: st.backoff_time,
-            traffic: st.traffic,
+    Ok((
+        FederatedOutcome {
+            outcome,
+            contacted: st.contacts.len(),
+            reports: total_reports,
+            waves_used: st.waves_used,
+            completion_time: st.completion_time,
+            starved_bits,
+            secagg: secagg_summary,
+            robustness: RoundOutcome {
+                degraded,
+                rejections: st.rejections,
+                late_frames: st.late_frames,
+                salvage: salvage_outcome,
+                secagg_retries,
+                faults_injected: st.faults_injected,
+                backoff_time: st.backoff_time,
+                traffic: st.traffic,
+            },
         },
-    })
+        publish_frame,
+    ))
 }
 
 /// The collect phase: contacts the cohort in waves over the transport —
@@ -416,6 +708,15 @@ pub(crate) fn collect_waves(
     let mut rejections = RejectionCounts::default();
     let mut faults_injected: u64 = 0;
     let mut traffic = TrafficStats::new();
+    let mut late_frames: u64 = 0;
+    let mut parked: Vec<ParkedReport> = Vec::new();
+    // Late frames are parked only when a salvage policy may re-admit them;
+    // without one the buffer stays empty and the path is cost-free.
+    let salvage_cap = if config.validate {
+        config.salvage.as_ref().map_or(0, |p| p.buffer_cap)
+    } else {
+        0
+    };
     // Collection-window length in virtual time; the deadline stragglers
     // miss. Matches the latency model's timeout when one is configured.
     let window_len = config.latency.as_ref().map_or(1.0, |l| l.timeout);
@@ -566,6 +867,18 @@ pub(crate) fn collect_waves(
                             wave_stragglers += 1;
                             if config.validate {
                                 rejections.straggler += 1;
+                                if parked.len() < salvage_cap {
+                                    let local = (env.from - client_offset) as usize;
+                                    if let Some(slot) =
+                                        wave_slot.get(local).and_then(|s| s.checked_sub(1))
+                                    {
+                                        parked.push(ParkedReport {
+                                            client: env.from,
+                                            assigned_bit: assignment[slot as usize],
+                                            payload: env.payload.clone(),
+                                        });
+                                    }
+                                }
                                 continue;
                             }
                         }
@@ -707,6 +1020,7 @@ pub(crate) fn collect_waves(
                 wave_time = wave_time.max(lat.timeout);
             }
         }
+        late_frames += wave_stragglers;
         completion_time += wave_time;
 
         // Close the wave in batch (contact) order, as the synchronous
@@ -751,6 +1065,8 @@ pub(crate) fn collect_waves(
         faults_injected,
         traffic,
         clock: 2.0 * window_len * f64::from(waves_used),
+        late_frames,
+        parked,
     })
 }
 
@@ -972,6 +1288,11 @@ mod tests {
         assert_eq!(legacy.secagg, evented.secagg);
         let tr = evented.robustness.traffic;
         for phase in TrafficPhase::ALL {
+            if phase == TrafficPhase::Salvage {
+                // No salvage policy configured: the phase stays silent.
+                assert_eq!(tr.get(phase, Direction::Uplink).messages, 0);
+                continue;
+            }
             assert!(
                 tr.get(phase, Direction::Uplink).messages > 0
                     || tr.get(phase, Direction::Downlink).messages > 0,

@@ -27,17 +27,17 @@
 
 use fednum_core::accumulator::BitAccumulator;
 use fednum_core::protocol::basic::{BasicBitPushing, Outcome};
-use fednum_hiersec::{merge_shard_sums, run_indexed, HierSecConfig};
+use fednum_hiersec::{merge_salvaged_shard_sums, merge_shard_sums, run_indexed, HierSecConfig};
 use fednum_secagg::{add_assign, client_mask_ring, Fe};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fednum_fedsim::error::FedError;
-use fednum_fedsim::round::{DegradedMode, FederatedMeanConfig};
+use fednum_fedsim::round::{DegradedMode, FederatedMeanConfig, SalvageOutcome};
 use fednum_fedsim::traffic::{Direction, TrafficPhase, TrafficStats};
 use fednum_fedsim::validation::RejectionCounts;
 
-use crate::coordinator::{collect_waves, debias_sums, fill_derived, secagg_tally};
+use crate::coordinator::{collect_waves, debias_sums, fill_derived, run_salvage, secagg_tally};
 use crate::message::{
     EncryptedShare, KeyAdvertise, KeyShares, MaskedInput, Message, Publish, UnmaskShares,
     ENCRYPTED_SHARE_LEN, PUBLIC_KEY_LEN,
@@ -71,10 +71,21 @@ pub struct HierShardedOutcome {
     pub completion_time: f64,
     /// Validator rejections, merged across shards.
     pub rejections: RejectionCounts,
+    /// Report frames that arrived after their wave deadline, summed across
+    /// shards (`rejections.straggler` equals this iff `config.validate`).
+    pub late_frames: u64,
     /// Faults injected, summed across shards.
     pub faults_injected: u64,
     /// Secagg retries summed across shard instances.
     pub secagg_retries: u32,
+    /// Straggler-salvage telemetry for the whole hierarchy: `Salvaged`
+    /// counts the late reports the second merge instance folded into the
+    /// estimate; `None` when no salvage policy is configured.
+    pub salvage: Option<SalvageOutcome>,
+    /// Shards whose late-recovered sums entered the salvage merge. A shard
+    /// may appear here *and* in `degraded_shards`: degraded at the base
+    /// merge cut, partially recovered (its parked stragglers only) late.
+    pub salvaged_shards: Vec<usize>,
     /// Shards excluded because their tier-1 instance degraded.
     pub degraded_shards: Vec<usize>,
     /// Shards whose sums are inside the estimate.
@@ -107,10 +118,18 @@ struct ShardRun {
     waves_used: u32,
     completion: f64,
     rejections: RejectionCounts,
+    late_frames: u64,
     faults_injected: u64,
     retries: u32,
     /// `[ones | counts]` secagg output, `None` when the shard degraded.
     sum: Option<Vec<u64>>,
+    /// `[ones | counts]` of the shard's *salvage* instance over re-admitted
+    /// stragglers (fresh masks under the salvage tier seed), `None` when the
+    /// shard salvaged nothing. Kept separate from `sum`: a degraded shard's
+    /// base instance stays degraded — only its parked late reports recover.
+    late_sum: Option<Vec<u64>>,
+    /// Reports the shard's salvage instance re-admitted.
+    salvaged: u64,
     compute_seconds: f64,
 }
 
@@ -200,9 +219,12 @@ pub fn run_hierarchical_mean(
             waves_used: st.waves_used,
             completion: 0.0,
             rejections: st.rejections,
+            late_frames: st.late_frames,
             faults_injected: st.faults_injected,
             retries: 0,
             sum: None,
+            late_sum: None,
+            salvaged: 0,
             compute_seconds: 0.0,
         };
         if reporters > 0 {
@@ -234,6 +256,33 @@ pub fn run_hierarchical_mean(
                 Err(e) => return Err(e),
             }
         }
+        // Shard-tier salvage: re-admit this shard's parked stragglers
+        // through a follow-up session on the same transport timeline,
+        // aggregated by a *fresh* instance under the salvage tier seed —
+        // shares from the base instance (aborted or not) are never reused.
+        // Deterministic per shard, so any worker count stays bit-identical.
+        if let Some(policy) = &config.salvage {
+            if config.validate {
+                let res = run_salvage(
+                    &mut st,
+                    config,
+                    policy,
+                    Some(&hier.shard),
+                    hier.salvage_shard_session(s),
+                    round_id,
+                    offsets[s] as u64,
+                    None,
+                    transport.as_mut(),
+                    &mut rng,
+                );
+                if matches!(res.outcome, SalvageOutcome::Salvaged { .. }) {
+                    let mut sum = res.ones;
+                    sum.extend_from_slice(&res.counts);
+                    run.late_sum = Some(sum);
+                    run.salvaged = res.reports;
+                }
+            }
+        }
         run.traffic = st.traffic;
         run.completion = st.completion_time + st.backoff_time;
         run.compute_seconds = clock.elapsed().as_secs_f64();
@@ -250,7 +299,10 @@ pub fn run_hierarchical_mean(
     let mut secagg_retries = 0u32;
     let mut shard_sums: Vec<Option<Vec<u64>>> = Vec::with_capacity(k);
     let mut shard_compute_seconds = Vec::with_capacity(k);
-    for r in runs {
+    let mut late_frames = 0u64;
+    let mut late: Vec<(usize, Vec<u64>)> = Vec::new();
+    let mut salvaged_reports = 0u64;
+    for (s, r) in runs.into_iter().enumerate() {
         let run = r?;
         shard_traffic.merge(&run.traffic);
         contacted += run.contacted;
@@ -258,9 +310,14 @@ pub fn run_hierarchical_mean(
         waves_used = waves_used.max(run.waves_used);
         completion_time = completion_time.max(run.completion);
         rejections.absorb(&run.rejections);
+        late_frames += run.late_frames;
         faults_injected += run.faults_injected;
         secagg_retries += run.retries;
         shard_sums.push(run.sum);
+        if let Some(sum) = run.late_sum {
+            late.push((s, sum));
+            salvaged_reports += run.salvaged;
+        }
         shard_compute_seconds.push(run.compute_seconds);
     }
 
@@ -282,8 +339,10 @@ pub fn run_hierarchical_mean(
     // everything the top-level coordinator sees.
     let mut merge_transport = InMemoryTransport::new(mix(seed ^ MERGE_TAG));
     let merge_session = hier.merge_session();
+    let base_parties: Vec<u64> = (0..k as u64).collect();
     frame_merge_session(
         &mut merge_transport,
+        &base_parties,
         &shard_sums,
         merge_session,
         round_id,
@@ -304,15 +363,71 @@ pub fn run_hierarchical_mean(
     let merge = merge_shard_sums(hier, &shard_sums, vector_len, &mut merge_rng)?;
     completion_time += 1.0;
 
-    let ones = &merge.sum[..bits as usize];
-    let eff_counts = merge.sum[bits as usize..].to_vec();
-    let total_reports: u64 = eff_counts.iter().sum();
+    let mut ones = merge.sum[..bits as usize].to_vec();
+    let mut eff_counts = merge.sum[bits as usize..].to_vec();
+    let mut total_reports: u64 = eff_counts.iter().sum();
     if total_reports == 0 {
         return Err(FedError::NoReports);
     }
 
+    // Salvage merge: shards that recovered late reports run a *second*
+    // K'-party instance over their late sums — fresh masks under the
+    // salvage merge session, traffic re-attributed to the Salvage phase,
+    // frames appended to the same audit surface. One recovered shard is
+    // below the trust floor (its late sum would reach the top coordinator
+    // in the clear), so K' < 2 skips and the base estimate stands.
+    let mut salvaged_shards: Vec<usize> = Vec::new();
+    let salvage = match (&config.salvage, config.validate) {
+        (None, _) => None,
+        (Some(_), false) => Some(SalvageOutcome::SalvageSkipped),
+        (Some(_), true) if late.len() < 2 => Some(SalvageOutcome::SalvageSkipped),
+        (Some(_), true) => {
+            let parties: Vec<u64> = late.iter().map(|&(s, _)| s as u64).collect();
+            let sums: Vec<Option<Vec<u64>>> = late.iter().map(|(_, v)| Some(v.clone())).collect();
+            frame_merge_session(
+                &mut merge_transport,
+                &parties,
+                &sums,
+                hier.salvage_merge_session(),
+                round_id,
+                vector_len,
+                completion_time,
+            );
+            let mut salvage_tier_traffic = TrafficStats::new();
+            while let Some((_, env)) = merge_transport.poll() {
+                if let Ok(msg) = Message::decode(&env.payload) {
+                    salvage_tier_traffic.record(
+                        msg.phase(),
+                        msg.direction(),
+                        env.payload.len() as u64,
+                    );
+                    if env.to == COORDINATOR {
+                        merge_frames.push(env.payload);
+                    }
+                }
+            }
+            merge_traffic.absorb_as(&salvage_tier_traffic, TrafficPhase::Salvage);
+            completion_time += 1.0;
+            let mut salvage_rng = StdRng::seed_from_u64(mix(seed.wrapping_add(2) ^ MERGE_TAG));
+            match merge_salvaged_shard_sums(hier, &late, vector_len, &mut salvage_rng) {
+                Ok(sm) => {
+                    for j in 0..bits as usize {
+                        ones[j] += sm.sum[j];
+                        eff_counts[j] += sm.sum[bits as usize + j];
+                    }
+                    let recovered: u64 = sm.sum[bits as usize..].iter().sum();
+                    debug_assert_eq!(recovered, salvaged_reports);
+                    total_reports += recovered;
+                    salvaged_shards = sm.included_shards;
+                    Some(SalvageOutcome::Salvaged { reports: recovered })
+                }
+                Err(_) => Some(SalvageOutcome::SalvageAborted),
+            }
+        }
+    };
+
     let acc = BitAccumulator::from_parts(
-        debias_sums(ones, &eff_counts, config.protocol.privacy.as_ref()),
+        debias_sums(&ones, &eff_counts, config.protocol.privacy.as_ref()),
         eff_counts.clone(),
     );
     let outcome = BasicBitPushing::new(config.protocol.clone()).finish(acc, clip_fraction);
@@ -322,6 +437,7 @@ pub fn run_hierarchical_mean(
         round_id,
         estimate: outcome.estimate,
         reports: total_reports,
+        feedback: Vec::new(),
     });
     merge_traffic.record(
         TrafficPhase::Publish,
@@ -358,8 +474,11 @@ pub fn run_hierarchical_mean(
         waves_used,
         completion_time,
         rejections,
+        late_frames,
         faults_injected,
         secagg_retries,
+        salvage,
+        salvaged_shards,
         degraded_shards: merge.degraded_shards,
         included_shards: merge.included_shards,
         starved_bits,
@@ -372,18 +491,23 @@ pub fn run_hierarchical_mean(
     })
 }
 
-/// Frames the merge-tier message rounds: key material and unmask shares as
-/// sized stand-ins, masked inputs as the genuine masked per-shard sums.
+/// Frames one merge-tier instance's message rounds: key material and unmask
+/// shares as sized stand-ins, masked inputs as the genuine masked per-party
+/// sums. `parties[i]` is the wire identity masking (and sending)
+/// `shard_sums[i]` — contiguous shard indices for the base merge, the
+/// recovered shards' indices for the salvage merge, so the two instances
+/// derive disjoint mask material even beyond their distinct sessions.
 fn frame_merge_session(
     transport: &mut dyn Transport,
+    parties: &[u64],
     shard_sums: &[Option<Vec<u64>>],
     session: u64,
     round_id: u64,
     vector_len: usize,
     t0: f64,
 ) {
-    let k = shard_sums.len();
-    let parties: Vec<u64> = (0..k as u64).collect();
+    let k = parties.len();
+    debug_assert_eq!(k, shard_sums.len());
     let degree = k.saturating_sub(1).max(1);
     let mut seq = 0u64;
     let mut next_at = || {
@@ -393,14 +517,14 @@ fn frame_merge_session(
     // Rounds 0–1: every shard aggregator advertises keys and relays
     // encrypted Shamir shares to its neighbors (the whole merge cohort —
     // the merge instance runs the complete graph).
-    for s in 0..k {
-        let kseed = mix(session ^ (s as u64).wrapping_mul(0x9E6C_63D0_876A_68DE));
+    for &p in parties {
+        let kseed = mix(session ^ p.wrapping_mul(0x9E6C_63D0_876A_68DE));
         let mut kem_pk = [0u8; PUBLIC_KEY_LEN];
         let mut mask_pk = [0u8; PUBLIC_KEY_LEN];
         fill_derived(&mut kem_pk, kseed);
         fill_derived(&mut mask_pk, mix(kseed));
         transport.send(Envelope {
-            from: s as u64,
+            from: p,
             to: COORDINATOR,
             sent_at: next_at(),
             payload: Message::KeyAdvertise(KeyAdvertise {
@@ -411,19 +535,19 @@ fn frame_merge_session(
             .encode(),
         });
     }
-    for s in 0..k {
+    for (i, &p) in parties.iter().enumerate() {
         let shares: Vec<EncryptedShare> = (0..degree)
             .map(|d| {
                 let mut ct = [0u8; ENCRYPTED_SHARE_LEN];
-                fill_derived(&mut ct, mix(session ^ (s as u64) << 20 ^ d as u64));
+                fill_derived(&mut ct, mix(session ^ p << 20 ^ d as u64));
                 EncryptedShare {
-                    recipient: parties[(s + d + 1) % k],
+                    recipient: parties[(i + d + 1) % k],
                     ct,
                 }
             })
             .collect();
         transport.send(Envelope {
-            from: s as u64,
+            from: p,
             to: COORDINATOR,
             sent_at: next_at(),
             payload: Message::KeyShares(KeyShares { round_id, shares }).encode(),
@@ -432,14 +556,14 @@ fn frame_merge_session(
     // Round 2: live shard aggregators upload their genuinely masked sums —
     // the exact vectors the merge protocol's round 3 computes, so the
     // coordinator-facing wire carries no plaintext shard sum.
-    for (s, sum) in shard_sums.iter().enumerate() {
+    for (i, sum) in shard_sums.iter().enumerate() {
         let Some(vals) = sum else { continue };
         let mut y: Vec<Fe> = vals.iter().map(|&v| Fe::new(v)).collect();
-        let mask = client_mask_ring(session, s as u64, &parties, degree, vector_len);
+        let mask = client_mask_ring(session, parties[i], parties, degree, vector_len);
         add_assign(&mut y, &mask, false);
         let values: Vec<u64> = y.iter().map(|f| f.value()).collect();
         transport.send(Envelope {
-            from: s as u64,
+            from: parties[i],
             to: COORDINATOR,
             sent_at: next_at(),
             payload: Message::MaskedInput(MaskedInput { round_id, values }).encode(),
@@ -447,7 +571,7 @@ fn frame_merge_session(
     }
     // Round 3: survivors send unmask shares covering degraded shards.
     let dropped = shard_sums.iter().filter(|s| s.is_none()).count();
-    for (s, sum) in shard_sums.iter().enumerate() {
+    for (i, sum) in shard_sums.iter().enumerate() {
         if sum.is_none() {
             continue;
         }
@@ -455,12 +579,12 @@ fn frame_merge_session(
             .map(|d| {
                 (
                     d as u64,
-                    mix(session ^ (s as u64) << 28 ^ d as u64) & ((1 << 61) - 1),
+                    mix(session ^ parties[i] << 28 ^ d as u64) & ((1 << 61) - 1),
                 )
             })
             .collect();
         transport.send(Envelope {
-            from: s as u64,
+            from: parties[i],
             to: COORDINATOR,
             sent_at: next_at(),
             payload: Message::UnmaskShares(UnmaskShares { round_id, shares }).encode(),

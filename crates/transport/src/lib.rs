@@ -14,16 +14,20 @@
 //! aggregation on top of sharding (per-shard instances merged through a
 //! second instance over the shard aggregators, on a worker pool).
 
+pub mod adaptive;
 pub mod coordinator;
 pub mod hier;
 pub mod message;
 pub mod net;
 pub mod scheduler;
+pub mod session;
 pub mod shard;
 
+pub use adaptive::run_federated_adaptive_transport;
 pub use coordinator::{run_federated_mean_transport, run_federated_mean_transport_metered};
 pub use hier::{run_hierarchical_mean, HierShardedOutcome};
 pub use message::Message;
 pub use net::{Envelope, InMemoryTransport, SimNetTransport, Transport, BROADCAST, COORDINATOR};
 pub use scheduler::EventQueue;
+pub use session::{MultiSessionEngine, SessionSlot};
 pub use shard::{run_sharded_mean, ShardedOutcome};

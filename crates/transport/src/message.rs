@@ -135,6 +135,12 @@ pub struct Publish {
     pub estimate: f64,
     /// Reports behind the estimate.
     pub reports: u64,
+    /// Session-to-session feedback riding the broadcast: the adaptive
+    /// two-round protocol publishes round 1's observed per-bit means here,
+    /// and the round-2 session reads its variance-adapted sampling weights
+    /// off this frame instead of out of shared coordinator state. Empty for
+    /// single-session rounds (and costs one count byte on the wire).
+    pub feedback: Vec<f64>,
 }
 
 /// Every message of the protocol surface.
@@ -262,6 +268,10 @@ impl Message {
                 push_varint(out, p.round_id);
                 out.extend_from_slice(&p.estimate.to_bits().to_le_bytes());
                 push_varint(out, p.reports);
+                push_varint(out, p.feedback.len() as u64);
+                for &f in &p.feedback {
+                    out.extend_from_slice(&f.to_bits().to_le_bytes());
+                }
             }
             Message::ConfigHeader(h) => {
                 out.push(TAG_CONFIG_HEADER);
@@ -396,10 +406,23 @@ impl Message {
                 bits.copy_from_slice(read_bytes(buf, pos, 8)?);
                 let estimate = f64::from_bits(u64::from_le_bytes(bits));
                 let reports = read_varint(buf, pos)?;
+                let count = read_varint(buf, pos)?;
+                let count = usize::try_from(count).map_err(|_| WireError::Truncated)?;
+                // 8 bytes per entry must still fit in the buffer.
+                if buf.len().saturating_sub(*pos) < count.saturating_mul(8) {
+                    return Err(WireError::Truncated);
+                }
+                let mut feedback = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let mut fb = [0u8; 8];
+                    fb.copy_from_slice(read_bytes(buf, pos, 8)?);
+                    feedback.push(f64::from_bits(u64::from_le_bytes(fb)));
+                }
                 Ok(Message::Publish(Publish {
                     round_id,
                     estimate,
                     reports,
+                    feedback,
                 }))
             }
             TAG_CONFIG_HEADER => {
@@ -480,6 +503,7 @@ mod tests {
                 round_id: 3,
                 estimate: -12.75,
                 reports: 100_000,
+                feedback: vec![0.0, 0.25, -1.5, f64::MAX],
             }),
             Message::ConfigHeader(ConfigHeader {
                 round_id: 0x1234,
@@ -586,6 +610,13 @@ mod tests {
             push_varint(&mut buf, u64::MAX); // impossible count
             assert_eq!(Message::decode(&buf), Err(WireError::Truncated));
         }
+        // Publish: round_id, 8-byte estimate, reports, then the feedback
+        // count — an impossible count must fail without allocating.
+        let mut buf = vec![TAG_PUBLISH, 0];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.push(0); // reports = 0
+        push_varint(&mut buf, u64::MAX);
+        assert_eq!(Message::decode(&buf), Err(WireError::Truncated));
     }
 
     #[test]

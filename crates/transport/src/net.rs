@@ -21,7 +21,7 @@ use fednum_fedsim::faults::{FaultKind, FaultPlan};
 use fednum_fedsim::round::FederatedMeanConfig;
 
 use crate::message::{Message, Report, TAG_REPORT};
-use crate::scheduler::EventQueue;
+use crate::scheduler::{next_tick, EventQueue};
 use fednum_core::wire::ReportMessage;
 
 /// The coordinator's address. Clients use their population index.
@@ -62,6 +62,22 @@ pub trait Transport {
     fn open_window(&mut self, start: f64, deadline: f64) {
         let _ = (start, deadline);
     }
+
+    /// Re-delivers a frame that already traversed the wire once — a parked
+    /// straggler re-admitted by a salvage session. The envelope is scheduled
+    /// verbatim on the shared timeline, bypassing wire-fault injection: the
+    /// fault plan already acted on the original transmission, and replaying
+    /// it would fault the same frame twice.
+    fn redeliver(&mut self, env: Envelope) {
+        self.send(env);
+    }
+
+    /// Whether no deliveries are pending. A drained timeline is a session
+    /// boundary: the multi-session engine only opens a new
+    /// [`SessionSlot`](crate::session::SessionSlot) over an idle transport.
+    fn idle(&self) -> bool {
+        true
+    }
 }
 
 /// A perfect in-memory network: every envelope arrives verbatim at its send
@@ -91,6 +107,10 @@ impl Transport for InMemoryTransport {
 
     fn peek_time(&self) -> Option<f64> {
         self.queue.peek_time()
+    }
+
+    fn idle(&self) -> bool {
+        self.queue.is_empty()
     }
 }
 
@@ -150,7 +170,17 @@ impl SimNetTransport {
     /// Arrival time for a frame that straggles past the window deadline,
     /// preserving relative send order among stragglers.
     fn late(&self, sent_at: f64) -> f64 {
-        self.deadline + (sent_at - self.window_start).max(0.0) + f64::EPSILON
+        let at = self.deadline + (sent_at - self.window_start).max(0.0);
+        if at > self.deadline {
+            at
+        } else {
+            // A zero-delta straggler, or a delta below the deadline's ulp:
+            // a fixed `+ f64::EPSILON` nudge rounds back onto the deadline
+            // for any deadline >= 2.0, and the frame would then pass the
+            // coordinator's strict `at > deadline` check. Use the
+            // scheduler's minimum tick instead.
+            next_tick(self.deadline)
+        }
     }
 }
 
@@ -277,6 +307,16 @@ impl Transport for SimNetTransport {
     fn peek_time(&self) -> Option<f64> {
         self.queue.peek_time()
     }
+
+    fn redeliver(&mut self, env: Envelope) {
+        // Straight onto the timeline: no fault dispatch, no replay-register
+        // update — the original transmission already went through both.
+        self.deliver(env.sent_at, env);
+    }
+
+    fn idle(&self) -> bool {
+        self.queue.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -361,6 +401,32 @@ mod tests {
         let (at2, e2) = t.poll().unwrap();
         assert!(at1 > 10.0 && at2 > at1, "{at1} {at2}");
         assert_eq!((e1.from, e2.from), (1, 2));
+    }
+
+    #[test]
+    fn zero_delta_straggler_still_misses_a_large_deadline() {
+        // Regression: with `late = deadline + delta + f64::EPSILON`, a
+        // zero-delta straggler at any deadline >= 2.0 arrived exactly *at*
+        // the deadline (the epsilon is below the deadline's ulp) and passed
+        // the coordinator's strict `at > deadline` check.
+        let mut t = faulty_net(FaultKind::Straggle, true);
+        t.open_window(1.0e9, 2.0e9);
+        t.send(report_env(1, 0, true, 7, 1.0e9));
+        let (at, _) = t.poll().unwrap();
+        assert!(
+            at > 2.0e9,
+            "straggler must sort strictly after the deadline, got {at}"
+        );
+    }
+
+    #[test]
+    fn redeliver_bypasses_wire_faults_and_the_replay_register() {
+        let mut t = faulty_net(FaultKind::CorruptBit, true);
+        let env = report_env(3, 1, true, 7, 0.5);
+        t.redeliver(env.clone());
+        assert_eq!(t.poll(), Some((0.5, env)), "frame must arrive verbatim");
+        assert!(t.idle());
+        assert!(t.last_report.is_none(), "redelivery must not seed replays");
     }
 
     #[test]

@@ -23,6 +23,16 @@ pub fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The smallest representable virtual time strictly after `t` — the
+/// scheduler's minimum tick. Used when an event must sort strictly after a
+/// boundary (a straggler past a collection deadline, a salvage slot after a
+/// drained session) and any fixed delta would round back onto the boundary
+/// once its magnitude exceeds the delta's precision.
+#[must_use]
+pub fn next_tick(t: f64) -> f64 {
+    t.next_up()
+}
+
 /// One scheduled event, as returned by [`EventQueue::pop`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scheduled<T> {
@@ -200,6 +210,15 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn next_tick_is_strict_at_any_magnitude() {
+        for t in [0.0, 1.0, 2.0, 30.0, 1.0e9, 2.0e9] {
+            assert!(next_tick(t) > t, "next_tick({t}) must be strictly later");
+            // The naive `t + f64::EPSILON` nudge fails this from 2.0 upward.
+            assert!(next_tick(t) - t <= f64::EPSILON.max(t * f64::EPSILON));
+        }
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Multi-session round engine: several coordinator sessions on one
+//! transport, one discrete-event timeline, one idempotent traffic ledger.
+//!
+//! A round is no longer necessarily one session. Straggler salvage re-opens
+//! a collection window after the base estimate is tallied; the adaptive
+//! two-round protocol runs its second collection with weights fed back from
+//! the first. Both need follow-up sessions that share the transport (so the
+//! whole round replays deterministically from one scheduler seed) without
+//! letting one session's virtual clock run backwards into another's.
+//!
+//! [`MultiSessionEngine`] slices the shared timeline into half-open
+//! session intervals. Each [`SessionSlot`] is a [`Transport`] view whose
+//! local time 0 sits at the engine's current watermark: session code keeps
+//! scheduling from `t = 0` as if it owned the wire, while globally every
+//! frame lands strictly after everything the previous sessions delivered.
+//! Because the offset is a pure translation, event *order within a session*
+//! is identical to what the same session would see on a fresh transport —
+//! which is what keeps salvage-off runs bit-identical to single-session
+//! rounds.
+//!
+//! Traffic idempotency lives one layer up: the coordinator meters frames at
+//! original delivery, and a salvage session's re-admitted report frames are
+//! injected via [`Transport::redeliver`] and *not* re-billed (only the
+//! follow-up session's own control and secure-aggregation frames are,
+//! re-attributed to the `Salvage` phase).
+
+use crate::net::{Envelope, Transport};
+use crate::scheduler::next_tick;
+
+/// Shares one [`Transport`] timeline among consecutive sessions.
+///
+/// Sessions are serial: open a [`SessionSlot`], run a full session through
+/// it, drop it, then open the next. The engine tracks a high-watermark of
+/// every send and delivery so each new slot starts strictly after the
+/// previous session's last event.
+pub struct MultiSessionEngine<'t> {
+    transport: &'t mut dyn Transport,
+    /// Latest global virtual time any session has touched.
+    watermark: f64,
+    /// Sessions opened so far.
+    sessions: u32,
+}
+
+impl<'t> MultiSessionEngine<'t> {
+    /// Wraps `transport`, with the first session's local time 0 at global
+    /// time `start` (typically the clock where the preceding single-session
+    /// phase left off).
+    pub fn new(transport: &'t mut dyn Transport, start: f64) -> Self {
+        Self {
+            transport,
+            watermark: start,
+            sessions: 0,
+        }
+    }
+
+    /// Opens the next session slot on the shared timeline.
+    ///
+    /// # Panics
+    /// The transport must be idle — a session boundary with frames still in
+    /// flight means the previous session leaked deliveries into the next
+    /// one's window, which would break per-session determinism.
+    pub fn open_session(&mut self) -> SessionSlot<'_, 't> {
+        assert!(
+            self.transport.idle(),
+            "session boundary with frames still in flight"
+        );
+        let base = if self.sessions == 0 {
+            self.watermark
+        } else {
+            // Strictly after everything the previous session touched.
+            next_tick(self.watermark)
+        };
+        self.sessions += 1;
+        SessionSlot { base, engine: self }
+    }
+
+    /// Latest global virtual time any session has touched.
+    #[must_use]
+    pub fn watermark(&self) -> f64 {
+        self.watermark
+    }
+
+    /// Sessions opened so far.
+    #[must_use]
+    pub fn sessions(&self) -> u32 {
+        self.sessions
+    }
+}
+
+/// One session's view of the shared timeline: a [`Transport`] whose local
+/// time 0 is the slot's global base. All scheduling inside the session uses
+/// local time; the slot translates on the way in and out.
+pub struct SessionSlot<'e, 't> {
+    engine: &'e mut MultiSessionEngine<'t>,
+    /// Global time of this session's local 0.
+    base: f64,
+}
+
+impl SessionSlot<'_, '_> {
+    /// Global time of this session's local time 0.
+    #[must_use]
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    fn note(&mut self, global_at: f64) {
+        if global_at > self.engine.watermark {
+            self.engine.watermark = global_at;
+        }
+    }
+}
+
+impl Transport for SessionSlot<'_, '_> {
+    fn send(&mut self, mut env: Envelope) {
+        env.sent_at += self.base;
+        self.note(env.sent_at);
+        self.engine.transport.send(env);
+    }
+
+    fn poll(&mut self) -> Option<(f64, Envelope)> {
+        let (at, mut env) = self.engine.transport.poll()?;
+        self.note(at);
+        env.sent_at -= self.base;
+        Some((at - self.base, env))
+    }
+
+    fn peek_time(&self) -> Option<f64> {
+        self.engine.transport.peek_time().map(|t| t - self.base)
+    }
+
+    fn open_window(&mut self, start: f64, deadline: f64) {
+        self.note(self.base + deadline);
+        self.engine
+            .transport
+            .open_window(self.base + start, self.base + deadline);
+    }
+
+    fn redeliver(&mut self, mut env: Envelope) {
+        env.sent_at += self.base;
+        self.note(env.sent_at);
+        self.engine.transport.redeliver(env);
+    }
+
+    fn idle(&self) -> bool {
+        self.engine.transport.idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{InMemoryTransport, COORDINATOR};
+
+    fn env(from: u64, at: f64) -> Envelope {
+        Envelope {
+            from,
+            to: COORDINATOR,
+            sent_at: at,
+            payload: vec![0],
+        }
+    }
+
+    #[test]
+    fn sessions_share_the_timeline_without_overlap() {
+        let mut t = InMemoryTransport::new(1);
+        let mut engine = MultiSessionEngine::new(&mut t, 10.0);
+        let mut last_global_end;
+        {
+            let mut s1 = engine.open_session();
+            s1.send(env(1, 0.0));
+            s1.send(env(2, 5.0));
+            let (at1, _) = s1.poll().unwrap();
+            let (at2, _) = s1.poll().unwrap();
+            assert_eq!((at1, at2), (0.0, 5.0), "session sees local time");
+        }
+        last_global_end = engine.watermark();
+        assert_eq!(last_global_end, 15.0, "watermark tracks global time");
+        {
+            let mut s2 = engine.open_session();
+            assert!(s2.base() > last_global_end - 1e-9);
+            s2.send(env(3, 0.0));
+            let (at, e) = s2.poll().unwrap();
+            assert_eq!(at, 0.0, "second session restarts at local zero");
+            assert_eq!(e.sent_at, 0.0);
+        }
+        last_global_end = engine.watermark();
+        assert!(last_global_end > 15.0);
+        assert_eq!(engine.sessions(), 2);
+    }
+
+    #[test]
+    fn slot_translation_round_trips_envelopes_verbatim() {
+        let mut t = InMemoryTransport::new(2);
+        let mut engine = MultiSessionEngine::new(&mut t, 123.5);
+        let mut slot = engine.open_session();
+        let original = env(7, 2.25);
+        slot.send(original.clone());
+        let (at, got) = slot.poll().unwrap();
+        assert_eq!(at, 2.25);
+        assert_eq!(got, original, "offset must cancel exactly");
+        assert!(slot.idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "frames still in flight")]
+    fn opening_over_a_busy_transport_panics() {
+        let mut t = InMemoryTransport::new(3);
+        t.send(env(1, 0.0));
+        let mut engine = MultiSessionEngine::new(&mut t, 0.0);
+        let _ = engine.open_session();
+    }
+
+    #[test]
+    fn redeliver_and_window_are_offset_too() {
+        let mut t = InMemoryTransport::new(4);
+        let mut engine = MultiSessionEngine::new(&mut t, 100.0);
+        let mut slot = engine.open_session();
+        slot.open_window(0.0, 1.0);
+        slot.redeliver(env(9, 0.5));
+        let (at, e) = slot.poll().unwrap();
+        assert_eq!(at, 0.5);
+        assert_eq!(e.sent_at, 0.5);
+        drop(slot);
+        assert!(engine.watermark() >= 101.0, "window deadline advances it");
+    }
+}

@@ -151,6 +151,7 @@ pub fn run_sharded_mean(
         round_id: config.session_seed,
         estimate: outcome.estimate,
         reports: total_reports,
+        feedback: Vec::new(),
     });
     traffic.record(
         TrafficPhase::Publish,

@@ -237,3 +237,238 @@ fn cfg_downlink_bytes(out: &fednum_fedsim::round::FederatedOutcome) -> u64 {
         .get(TrafficPhase::Configure, Direction::Downlink)
         .bytes
 }
+
+/// Hierarchical straggler salvage, end to end: shards re-admit their
+/// parked stragglers through *fresh-mask* salvage instances, a second
+/// K'-party merge folds the late sums into the estimate, and the surviving
+/// shards are never re-run — their base-phase traffic is byte-identical to
+/// the discard run.
+#[test]
+fn hier_salvage_readmits_late_shards_under_fresh_masks() {
+    use fednum_fedsim::round::SalvageOutcome;
+    use fednum_fedsim::SalvagePolicy;
+
+    let values = population(2_400);
+    let discard = secure_config()
+        .with_faults(
+            FaultPlan::new(
+                FaultRates {
+                    straggle: 0.2,
+                    ..FaultRates::none()
+                },
+                0x5A19,
+            )
+            .unwrap(),
+        )
+        .with_retry(RetryPolicy {
+            max_secagg_retries: 2,
+            base_backoff: 0.5,
+            max_backoff: 8.0,
+            min_cohort: 5,
+        });
+    let salvage = discard.clone().with_salvage(SalvagePolicy::default());
+    let hier = HierSecConfig::try_new(6, settings(), 4, 0x5A1F).unwrap();
+
+    let off = run_hierarchical_mean(&values, &discard, &hier, 2, 71).unwrap();
+    let on = run_hierarchical_mean(&values, &salvage, &hier, 2, 71).unwrap();
+
+    assert!(
+        off.late_frames > 100,
+        "too few stragglers: {}",
+        off.late_frames
+    );
+    assert_eq!(off.salvage, None);
+    let Some(SalvageOutcome::Salvaged { reports }) = on.salvage else {
+        panic!("hier salvage never fired: {:?}", on.salvage);
+    };
+    assert!(reports >= 2);
+    assert_eq!(on.late_frames, off.late_frames, "base collection perturbed");
+    assert_eq!(
+        on.reports,
+        off.reports + reports,
+        "salvaged reports missing from the published count"
+    );
+    assert!(
+        on.salvaged_shards.len() >= 2,
+        "a K'-party salvage merge needs at least two late shards, got {:?}",
+        on.salvaged_shards
+    );
+    assert_eq!(
+        on.included_shards, off.included_shards,
+        "salvage must not change which base sums are included"
+    );
+
+    // No re-running survivors: every phase of the shard tier except Salvage
+    // is byte-identical to the discard run — the extra work is confined to
+    // the salvage sessions.
+    for phase in TrafficPhase::ALL {
+        if phase == TrafficPhase::Salvage {
+            continue;
+        }
+        for dir in [Direction::Uplink, Direction::Downlink] {
+            assert_eq!(
+                off.shard_traffic.get(phase, dir),
+                on.shard_traffic.get(phase, dir),
+                "salvage re-ran base work in phase {phase:?}/{dir:?}"
+            );
+        }
+    }
+    assert!(
+        on.shard_traffic
+            .get(TrafficPhase::Salvage, Direction::Uplink)
+            .messages
+            > 0,
+        "shard-tier salvage sessions metered nothing"
+    );
+    assert!(
+        on.merge_traffic
+            .get(TrafficPhase::Salvage, Direction::Uplink)
+            .messages
+            > 0,
+        "merge-tier salvage session metered nothing"
+    );
+
+    // Fresh masks on the audit surface: the merge wire now carries the base
+    // instance's masked sums *and* the salvage instance's — every one in
+    // masked range, no two frames identical (a reused mask would repeat).
+    let plaintext_bound = 1u64 << 32;
+    let mut masked_frames: Vec<&Vec<u8>> = Vec::new();
+    for frame in &on.merge_frames {
+        if let Message::MaskedInput(MaskedInput { values, .. }) =
+            Message::decode(frame).expect("merge frames must decode")
+        {
+            let max = values.iter().copied().max().unwrap();
+            assert!(
+                max > plaintext_bound,
+                "late shard sum leaked unmasked (max {max})"
+            );
+            masked_frames.push(frame);
+        }
+    }
+    assert_eq!(
+        masked_frames.len(),
+        on.included_shards.len() + on.salvaged_shards.len(),
+        "one masked upload per base party plus one per salvage party"
+    );
+    for i in 0..masked_frames.len() {
+        for j in (i + 1)..masked_frames.len() {
+            assert_ne!(
+                masked_frames[i], masked_frames[j],
+                "two identical masked frames: salvage reused mask material"
+            );
+        }
+    }
+}
+
+/// Worker-pool parity holds with salvage in the loop: the re-admission
+/// sessions inherit the deterministic pool contract.
+#[test]
+fn hier_salvage_is_worker_invariant() {
+    use fednum_fedsim::SalvagePolicy;
+
+    let values = population(1_800);
+    let cfg = secure_config()
+        .with_dropout(DropoutModel::bernoulli(0.1))
+        .with_faults(
+            FaultPlan::new(
+                FaultRates {
+                    straggle: 0.15,
+                    drop_before_unmask: 0.03,
+                    ..FaultRates::none()
+                },
+                0x90B0,
+            )
+            .unwrap(),
+        )
+        .with_salvage(SalvagePolicy::default());
+    let hier = HierSecConfig::try_new(5, settings(), 3, 0x90B1).unwrap();
+    let sequential = run_hierarchical_mean(&values, &cfg, &hier, 1, 83).unwrap();
+    assert!(
+        sequential.salvage.is_some(),
+        "scenario must exercise the salvage path"
+    );
+    for workers in [2, 4, 8] {
+        let pooled = run_hierarchical_mean(&values, &cfg, &hier, workers, 83).unwrap();
+        assert_eq!(
+            pooled.outcome.estimate.to_bits(),
+            sequential.outcome.estimate.to_bits(),
+            "workers={workers}: salvaged estimate diverges"
+        );
+        assert_eq!(pooled.salvage, sequential.salvage, "workers={workers}");
+        assert_eq!(
+            pooled.salvaged_shards, sequential.salvaged_shards,
+            "workers={workers}"
+        );
+        assert_eq!(pooled.reports, sequential.reports, "workers={workers}");
+        assert_eq!(pooled.traffic, sequential.traffic, "workers={workers}");
+        assert_eq!(
+            pooled.merge_frames, sequential.merge_frames,
+            "workers={workers}"
+        );
+    }
+}
+
+/// A shard degraded at the base merge cut still gets its parked stragglers
+/// counted: across a hostile sweep some shard must land in *both*
+/// `degraded_shards` and `salvaged_shards`, with its late reports inside
+/// the published total — and without any shard re-running.
+#[test]
+fn degraded_shards_recover_their_stragglers_late() {
+    use fednum_fedsim::round::SalvageOutcome;
+    use fednum_fedsim::SalvagePolicy;
+
+    // Tuned so a shard's survival is a near coin flip: ~56% of each cohort
+    // reports (25% dropout, then 25% straggle) against a 53% threshold.
+    let strict = SecAggSettings {
+        threshold_fraction: 0.53,
+        neighbors: None,
+    };
+    let mut recovered_while_degraded = 0usize;
+    for seed in 0..12u64 {
+        let values = population(900);
+        let mut cfg = base_config()
+            .with_secagg(strict)
+            .with_dropout(DropoutModel::bernoulli(0.25))
+            .with_faults(
+                FaultPlan::new(
+                    FaultRates {
+                        straggle: 0.25,
+                        ..FaultRates::none()
+                    },
+                    0xDE6 ^ seed,
+                )
+                .unwrap(),
+            )
+            .with_salvage(SalvagePolicy::default());
+        cfg.retry = RetryPolicy {
+            max_secagg_retries: 0,
+            base_backoff: 0.5,
+            max_backoff: 8.0,
+            min_cohort: 2,
+        };
+        cfg.session_seed = 0xDE60 + seed;
+        let hier = HierSecConfig::try_new(4, strict, 2, 0xDE61 ^ seed).unwrap();
+        let Ok(out) = run_hierarchical_mean(&values, &cfg, &hier, 2, seed) else {
+            continue;
+        };
+        let both: Vec<usize> = out
+            .salvaged_shards
+            .iter()
+            .filter(|s| out.degraded_shards.contains(s))
+            .copied()
+            .collect();
+        if !both.is_empty() {
+            recovered_while_degraded += 1;
+            let Some(SalvageOutcome::Salvaged { reports }) = out.salvage else {
+                panic!("salvaged_shards non-empty without Salvaged telemetry");
+            };
+            assert!(reports >= out.salvaged_shards.len() as u64);
+            // The degraded shard is still excluded from the *base* sums.
+            assert!(!out.included_shards.contains(&both[0]));
+        }
+    }
+    assert!(
+        recovered_while_degraded > 0,
+        "sweep never salvaged a degraded shard's stragglers"
+    );
+}

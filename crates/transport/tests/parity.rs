@@ -140,7 +140,12 @@ fn transport_for(cfg: &FederatedMeanConfig, id: u64) -> Box<dyn Transport> {
     }
 }
 
-fn assert_outcomes_match(case_id: u64, legacy: &FederatedOutcome, evented: &FederatedOutcome) {
+fn assert_outcomes_match(
+    case_id: u64,
+    validate: bool,
+    legacy: &FederatedOutcome,
+    evented: &FederatedOutcome,
+) {
     let tag = format!("case {case_id}");
     assert_eq!(
         legacy.outcome.estimate.to_bits(),
@@ -167,6 +172,15 @@ fn assert_outcomes_match(case_id: u64, legacy: &FederatedOutcome, evented: &Fede
     let (l, e) = (&legacy.robustness, &evented.robustness);
     assert_eq!(l.degraded, e.degraded, "{tag}: degraded mode");
     assert_eq!(l.rejections, e.rejections, "{tag}: rejections");
+    assert_eq!(l.late_frames, e.late_frames, "{tag}: late frames");
+    // Deadline accounting is server-model invariant in the *metering* and
+    // server-model dependent in the *rejecting*: the validated server
+    // rejects exactly the late frames, the naive server none of them.
+    let expected_stragglers = if validate { e.late_frames } else { 0 };
+    assert_eq!(
+        e.rejections.straggler, expected_stragglers,
+        "{tag}: straggler rejections out of step with late_frames (validate={validate})"
+    );
     assert_eq!(l.secagg_retries, e.secagg_retries, "{tag}: retries");
     assert_eq!(l.faults_injected, e.faults_injected, "{tag}: faults");
     assert_eq!(
@@ -199,7 +213,7 @@ fn transport_path_is_bit_identical_across_the_config_grid() {
             &mut StdRng::seed_from_u64(case.id),
         );
         match (legacy, evented) {
-            (Ok(l), Ok(e)) => assert_outcomes_match(case.id, &l, &e),
+            (Ok(l), Ok(e)) => assert_outcomes_match(case.id, cfg.validate, &l, &e),
             (Err(l), Err(e)) => {
                 typed_failures += 1;
                 assert_eq!(l, e, "case {}: error variants diverge", case.id);
@@ -239,7 +253,7 @@ fn metered_path_matches_and_bills_identically() {
             &mut StdRng::seed_from_u64(case.id),
         );
         match (legacy, evented) {
-            (Ok(l), Ok(e)) => assert_outcomes_match(case.id, &l, &e),
+            (Ok(l), Ok(e)) => assert_outcomes_match(case.id, cfg.validate, &l, &e),
             (Err(l), Err(e)) => assert_eq!(l, e, "case {}", case.id),
             (l, e) => panic!("case {}: {l:?} vs {e:?}", case.id),
         }

@@ -84,13 +84,19 @@ fn arb_message(pick: u8, rng: &mut StdRng) -> Message {
                     .collect(),
             })
         }
-        _ => Message::Publish(Publish {
-            round_id,
-            // Finite only: NaN breaks PartialEq, and the coordinator never
-            // publishes one (a starved round errors instead).
-            estimate: (rng.random::<f64>() - 0.5) * 1e12,
-            reports: rng.random::<u64>(),
-        }),
+        _ => {
+            let count = rng.random_range(0..16usize);
+            Message::Publish(Publish {
+                round_id,
+                // Finite only: NaN breaks PartialEq, and the coordinator never
+                // publishes one (a starved round errors instead).
+                estimate: (rng.random::<f64>() - 0.5) * 1e12,
+                reports: rng.random::<u64>(),
+                feedback: (0..count)
+                    .map(|_| (rng.random::<f64>() - 0.5) * 2.0)
+                    .collect(),
+            })
+        }
     }
 }
 
@@ -202,11 +208,16 @@ fn regression_publish_preserves_estimate_bits() {
             round_id: 9,
             estimate,
             reports: 3,
+            feedback: vec![estimate, -0.0, 1e-300],
         });
         let Message::Publish(p) = Message::decode(&msg.encode()).unwrap() else {
             panic!("wrong variant");
         };
         assert_eq!(p.estimate.to_bits(), estimate.to_bits());
+        assert_eq!(p.feedback.len(), 3);
+        for (got, want) in p.feedback.iter().zip([estimate, -0.0, 1e-300]) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
     }
 }
 

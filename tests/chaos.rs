@@ -396,6 +396,180 @@ fn chaos_scenarios_degrade_identically_over_the_simulated_network() {
 }
 
 #[test]
+fn salvage_never_worsens_the_estimate_across_the_chaos_grid() {
+    // The salvage pass (ISSUE satellite): a reduced cut of the scenario
+    // matrix with the straggle class boosted so every cell parks frames,
+    // each cell run twice over the simulated network — discard vs. an
+    // armed salvage policy. Contracts: salvage is *strictly additive*
+    // (reports never shrink, grid-aggregate NRMSE never worsens, cells
+    // where the policy stays idle are bit-identical), failures stay typed
+    // and identical, and the ledger keeps billing each client at most one
+    // bit however many sessions touched its report.
+    use fednum::fedsim::round::SalvageOutcome;
+    use fednum::fedsim::SalvagePolicy;
+    use fednum::transport::net::SimNetTransport;
+    use fednum::transport::run_federated_mean_transport_metered;
+
+    let grid: Vec<Scenario> = scenario_grid().into_iter().step_by(5).collect();
+    assert!(
+        grid.len() >= 40,
+        "reduced salvage grid too thin: {}",
+        grid.len()
+    );
+
+    let mut sq_err_discard = 0.0f64;
+    let mut sq_err_salvage = 0.0f64;
+    let mut compared = 0usize;
+    let mut salvaged_cells = 0usize;
+    let mut idle_cells = 0usize;
+    let run = |cfg: &FederatedMeanConfig, values: &[f64], seed: u64| {
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut ledger = PrivacyLedger::new();
+            let mut transport = SimNetTransport::for_config(cfg, seed);
+            let out = run_federated_mean_transport_metered(
+                values,
+                cfg,
+                &mut ledger,
+                &mut transport,
+                &mut StdRng::seed_from_u64(seed ^ 0xC4A0),
+            );
+            assert!(
+                ledger.max_bits_per_client() <= 1,
+                "a client was billed {} bits",
+                ledger.max_bits_per_client()
+            );
+            out
+        }))
+    };
+
+    for scenario in &grid {
+        let values = elicit(scenario);
+        let truth = values.iter().sum::<f64>() / values.len() as f64;
+        let mut discard = config_for(scenario);
+        // Boost the straggle class on top of whatever the cell injects, so
+        // the salvage path sees parked frames in (nearly) every cell.
+        let rates = FaultRates {
+            straggle: scenario.rates.straggle + 0.15,
+            ..scenario.rates
+        };
+        discard = discard.with_faults(FaultPlan::new(rates, scenario.id ^ 0xFA17).unwrap());
+        let salvage = discard.clone().with_salvage(SalvagePolicy::default());
+
+        let off = run(&discard, &values, scenario.id)
+            .unwrap_or_else(|_| panic!("scenario {}: discard run panicked", scenario.id));
+        let on = run(&salvage, &values, scenario.id)
+            .unwrap_or_else(|_| panic!("scenario {}: salvage run panicked", scenario.id));
+        match (off, on) {
+            (Ok(off), Ok(on)) => {
+                assert!(
+                    on.reports >= off.reports,
+                    "scenario {}: salvage shrank the report count ({} < {})",
+                    scenario.id,
+                    on.reports,
+                    off.reports
+                );
+                match on.robustness.salvage {
+                    Some(SalvageOutcome::Salvaged { reports }) => {
+                        salvaged_cells += 1;
+                        assert_eq!(
+                            on.reports,
+                            off.reports + reports,
+                            "scenario {}: salvage accounting broke",
+                            scenario.id
+                        );
+                    }
+                    Some(SalvageOutcome::SalvageSkipped | SalvageOutcome::SalvageAborted)
+                    | None => {
+                        idle_cells += 1;
+                        assert_eq!(
+                            on.outcome.estimate.to_bits(),
+                            off.outcome.estimate.to_bits(),
+                            "scenario {}: idle salvage perturbed the estimate",
+                            scenario.id
+                        );
+                    }
+                }
+                compared += 1;
+                sq_err_discard += ((off.outcome.estimate - truth) / DOMAIN).powi(2);
+                sq_err_salvage += ((on.outcome.estimate - truth) / DOMAIN).powi(2);
+            }
+            (Err(l), Err(e)) => assert_eq!(
+                l, e,
+                "scenario {}: salvage changed the failure class",
+                scenario.id
+            ),
+            (l, e) => panic!(
+                "scenario {}: salvage flipped success: discard={l:?} salvage={e:?}",
+                scenario.id
+            ),
+        }
+    }
+    assert!(
+        salvaged_cells >= 10,
+        "salvage fired in only {salvaged_cells} cells"
+    );
+    assert!(compared >= grid.len() / 2);
+    let nrmse_discard = (sq_err_discard / compared as f64).sqrt();
+    let nrmse_salvage = (sq_err_salvage / compared as f64).sqrt();
+    assert!(
+        nrmse_salvage <= nrmse_discard + 1e-12,
+        "salvage worsened grid NRMSE: {nrmse_salvage:.6} vs discard {nrmse_discard:.6}"
+    );
+    eprintln!(
+        "salvage chaos: {compared} cells compared ({salvaged_cells} salvaged, {idle_cells} idle), \
+         NRMSE {nrmse_salvage:.6} (salvage) vs {nrmse_discard:.6} (discard)"
+    );
+
+    // Hostile seeds on top: fleets straggling half their reports under
+    // thresholds with no slack. Salvage must never panic, and whatever it
+    // returns is typed or an estimate — the additive guarantee at its most
+    // adversarial.
+    for seed in 0..12u64 {
+        let values: Vec<f64> = (0..60).map(|i| f64::from(i % 30)).collect();
+        let mut cfg = config_for(&Scenario {
+            id: seed,
+            population: values.len(),
+            dropout: DropoutModel::bernoulli(0.4),
+            fault_scale: 0.5,
+            rates: FaultRates {
+                straggle: 0.5,
+                drop_before_unmask: 0.1,
+                ..FaultRates::none()
+            },
+            secagg: seed.is_multiple_of(2).then_some(SecAggSettings {
+                threshold_fraction: 0.8,
+                neighbors: None,
+            }),
+            max_waves: 1,
+        });
+        cfg = cfg
+            .with_faults(
+                FaultPlan::new(
+                    FaultRates {
+                        straggle: 0.5,
+                        drop_before_unmask: 0.1,
+                        ..FaultRates::none()
+                    },
+                    seed ^ 0xB05,
+                )
+                .unwrap(),
+            )
+            .with_salvage(SalvagePolicy::default());
+        cfg.retry = RetryPolicy {
+            max_secagg_retries: 0,
+            base_backoff: 0.0,
+            max_backoff: 0.0,
+            min_cohort: 8,
+        };
+        let outcome = run(&cfg, &values, seed)
+            .unwrap_or_else(|_| panic!("hostile salvage seed {seed} panicked"));
+        if let Err(e) = outcome {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}
+
+#[test]
 fn chaos_matrix_composes_with_hierarchical_secagg() {
     // A reduced cut of the scenario matrix replayed through the two-tier
     // path: the same fault plans now hit K independent shard sessions, and
