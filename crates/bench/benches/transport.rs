@@ -8,13 +8,50 @@ use fednum_core::encoding::FixedPointCodec;
 use fednum_core::protocol::basic::BasicConfig;
 use fednum_core::sampling::BitSampling;
 use fednum_core::wire::ReportMessage;
-use fednum_fedsim::round::{run_federated_mean, FederatedMeanConfig};
+use fednum_fedsim::round::{FederatedMeanConfig, FederatedOutcome};
+use fednum_fedsim::FedError;
 use fednum_transport::message::Report;
-use fednum_transport::{
-    run_federated_mean_transport, run_sharded_mean, EventQueue, InMemoryTransport, Message,
-};
+use fednum_transport::{EventQueue, InMemoryTransport, Message, RoundBuilder, Transport};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+// Builder-backed stand-ins for the deprecated free functions; the bench
+// bodies below keep their original call shapes.
+fn run_federated_mean(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    rng: &mut dyn Rng,
+) -> Result<FederatedOutcome, FedError> {
+    RoundBuilder::new(config.clone())
+        .rng(rng)
+        .run(values)
+        .map(|out| out.flat().unwrap().clone())
+}
+
+fn run_federated_mean_transport(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<FederatedOutcome, FedError> {
+    RoundBuilder::new(config.clone())
+        .via(transport)
+        .rng(rng)
+        .run(values)
+        .map(|out| out.flat().unwrap().clone())
+}
+
+fn run_sharded_mean(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    shards: usize,
+    seed: u64,
+) -> Result<fednum_transport::ShardedOutcome, FedError> {
+    RoundBuilder::new(config.clone())
+        .sharded(shards, seed)
+        .run(values)
+        .map(|out| out.sharded().unwrap().clone())
+}
 
 fn values(n: usize) -> Vec<f64> {
     (0..n).map(|i| (i % 2500) as f64).collect()

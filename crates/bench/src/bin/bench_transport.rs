@@ -43,11 +43,50 @@ use fednum_core::sampling::BitSampling;
 use fednum_core::wire::bitpush_upload_bytes;
 use fednum_fedsim::round::{FederatedMeanConfig, SecAggSettings};
 use fednum_hiersec::HierSecConfig;
-use fednum_transport::{
-    run_federated_mean_transport, run_hierarchical_mean, run_sharded_mean, InMemoryTransport,
-};
+use fednum_transport::{InMemoryTransport, RoundBuilder, Transport};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+// Builder-backed stand-ins for the deprecated free functions; the bench
+// bodies keep their original call shapes.
+fn run_sharded_mean(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    shards: usize,
+    seed: u64,
+) -> Result<fednum_transport::ShardedOutcome, fednum_fedsim::FedError> {
+    RoundBuilder::new(config.clone())
+        .sharded(shards, seed)
+        .run(values)
+        .map(|out| out.sharded().unwrap().clone())
+}
+
+fn run_federated_mean_transport(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<fednum_fedsim::round::FederatedOutcome, fednum_fedsim::FedError> {
+    RoundBuilder::new(config.clone())
+        .via(transport)
+        .rng(rng)
+        .run(values)
+        .map(|out| out.flat().unwrap().clone())
+}
+
+fn run_hierarchical_mean(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    hier: &HierSecConfig,
+    workers: usize,
+    seed: u64,
+) -> Result<fednum_transport::HierShardedOutcome, fednum_fedsim::FedError> {
+    RoundBuilder::new(config.clone())
+        .hierarchical(*hier, workers)
+        .seed(seed)
+        .run(values)
+        .map(|out| out.hierarchical().unwrap().clone())
+}
 
 const BITS: u32 = 10;
 const SECONDS_BUDGET: f64 = 10.0;

@@ -6,17 +6,45 @@ use fednum_core::bounds::{bits_for_magnitude, UpperBoundTracker};
 use fednum_core::encoding::FixedPointCodec;
 use fednum_core::protocol::basic::BasicConfig;
 use fednum_core::sampling::BitSampling;
-use fednum_fedsim::round::{run_federated_mean, FederatedMeanConfig, SecAggSettings};
+use fednum_fedsim::round::{FederatedMeanConfig, FederatedOutcome, SecAggSettings};
+use fednum_fedsim::FedError;
 use fednum_fedsim::{DropoutModel, LatencyModel};
 use fednum_metrics::experiment::derive_seed;
 use fednum_metrics::table::{Metric, Series, SeriesTable};
 use fednum_metrics::{ErrorCollector, Repetitions};
+use fednum_transport::{RoundBuilder, Transport};
 use fednum_workloads::{Dataset, SpikeMixture};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::figures::{normal_population, Budget};
 use crate::runner::clipped_with_mean;
+
+// Builder-backed stand-ins for the deprecated free functions; the figure
+// bodies keep their original call shapes.
+fn run_federated_mean(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    rng: &mut dyn rand::Rng,
+) -> Result<FederatedOutcome, FedError> {
+    RoundBuilder::new(config.clone())
+        .rng(rng)
+        .run(values)
+        .map(|out| out.flat().unwrap().clone())
+}
+
+fn run_federated_mean_transport(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    transport: &mut dyn Transport,
+    rng: &mut dyn rand::Rng,
+) -> Result<FederatedOutcome, FedError> {
+    RoundBuilder::new(config.clone())
+        .via(transport)
+        .rng(rng)
+        .run(values)
+        .map(|out| out.flat().unwrap().clone())
+}
 
 const BITS: u32 = 12;
 
@@ -153,7 +181,6 @@ pub fn deploy_salvage(budget: Budget) -> SeriesTable {
     use fednum_fedsim::round::SalvageOutcome;
     use fednum_fedsim::SalvagePolicy;
     use fednum_transport::net::SimNetTransport;
-    use fednum_transport::run_federated_mean_transport;
 
     let rates = [0.05, 0.1, 0.2];
     let reps = Repetitions::new(budget.reps.min(30), budget.seed);

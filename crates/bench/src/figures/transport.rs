@@ -8,16 +8,54 @@ use std::time::Instant;
 use fednum_core::encoding::FixedPointCodec;
 use fednum_core::protocol::basic::BasicConfig;
 use fednum_core::sampling::BitSampling;
-use fednum_fedsim::round::{run_federated_mean, FederatedMeanConfig};
+use fednum_fedsim::round::{FederatedMeanConfig, FederatedOutcome};
 use fednum_fedsim::DropoutModel;
 use fednum_metrics::experiment::derive_seed;
 use fednum_metrics::table::{Metric, Series, SeriesTable};
 use fednum_metrics::{ErrorCollector, Repetitions};
-use fednum_transport::{run_federated_mean_transport, run_sharded_mean, InMemoryTransport};
+use fednum_transport::{InMemoryTransport, RoundBuilder, ShardedOutcome, Transport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use super::{normal_population, Budget};
+
+// Builder-backed stand-ins for the deprecated free functions; the figure
+// bodies keep their original call shapes.
+fn run_federated_mean(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    rng: &mut dyn rand::Rng,
+) -> Result<FederatedOutcome, fednum_fedsim::FedError> {
+    RoundBuilder::new(config.clone())
+        .rng(rng)
+        .run(values)
+        .map(|out| out.flat().unwrap().clone())
+}
+
+fn run_federated_mean_transport(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    transport: &mut dyn Transport,
+    rng: &mut dyn rand::Rng,
+) -> Result<FederatedOutcome, fednum_fedsim::FedError> {
+    RoundBuilder::new(config.clone())
+        .via(transport)
+        .rng(rng)
+        .run(values)
+        .map(|out| out.flat().unwrap().clone())
+}
+
+fn run_sharded_mean(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    shards: usize,
+    seed: u64,
+) -> Result<ShardedOutcome, fednum_fedsim::FedError> {
+    RoundBuilder::new(config.clone())
+        .sharded(shards, seed)
+        .run(values)
+        .map(|out| out.sharded().unwrap().clone())
+}
 
 const BITS: u32 = 10;
 

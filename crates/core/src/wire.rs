@@ -14,6 +14,7 @@
 //! size accounting comparing it to full-value uploads across feature counts.
 
 use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
 
 /// One client's report message: which task, and one (bit index, bit) pair
 /// per reported feature.
@@ -104,6 +105,153 @@ pub fn read_bytes<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u
     let bytes = buf.get(*pos..end).ok_or(WireError::Truncated)?;
     *pos = end;
     Ok(bytes)
+}
+
+/// Largest frame payload the streaming codec will accept: a fail-closed
+/// bound applied *before* allocating, so a hostile or corrupted length
+/// prefix cannot drive the reader out of memory. Generously above any
+/// legitimate protocol frame (the biggest are full-mesh key-share frames).
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// Total wire size of a length-delimited frame around `payload_len` bytes.
+#[must_use]
+pub fn frame_len(payload_len: usize) -> usize {
+    varint_len(payload_len as u64) + payload_len
+}
+
+/// Writes one length-delimited frame — `varint(len) · len bytes` — to a
+/// byte sink. The inverse of [`read_frame`] / [`FrameDecoder`].
+///
+/// # Errors
+/// Propagates the sink's I/O error; `InvalidInput` when `payload` exceeds
+/// [`MAX_FRAME_LEN`] (such a frame could never be read back).
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            WireError::InvalidField("frame length"),
+        ));
+    }
+    let mut header = Vec::with_capacity(5);
+    push_varint(&mut header, payload.len() as u64);
+    w.write_all(&header)?;
+    w.write_all(payload)
+}
+
+/// Reads one length-delimited frame from a blocking byte source, returning
+/// `Ok(None)` on a clean end-of-stream (EOF before the first header byte).
+///
+/// # Errors
+/// `UnexpectedEof` when the stream ends mid-frame; `InvalidData` (wrapping
+/// the [`WireError`]) for a malformed or oversized length prefix; any other
+/// I/O error from the source (including timeouts) verbatim.
+pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    // Varint header, one byte at a time: the header is 1-5 bytes in
+    // practice and the source is expected to be buffered.
+    let mut len: u64 = 0;
+    let mut byte = [0u8; 1];
+    for i in 0..10 {
+        match r.read(&mut byte) {
+            Ok(0) if i == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    WireError::Truncated,
+                ))
+            }
+            Ok(_) => {}
+            Err(e) => return Err(e),
+        }
+        len |= u64::from(byte[0] & 0x7F) << (7 * i);
+        if byte[0] & 0x80 == 0 {
+            let len = usize::try_from(len).unwrap_or(usize::MAX);
+            if len > MAX_FRAME_LEN {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    WireError::InvalidField("frame length"),
+                ));
+            }
+            let mut payload = vec![0u8; len];
+            r.read_exact(&mut payload)?;
+            return Ok(Some(payload));
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidData,
+        WireError::VarintOverflow,
+    ))
+}
+
+/// Incremental frame decoder for non-blocking or chunked reads: feed it
+/// arbitrary byte slices as they arrive off a socket — frame headers and
+/// payloads may straddle any chunk boundary — and drain complete frames.
+///
+/// Yields exactly the frames that [`read_frame`] would yield from the
+/// concatenation of every chunk (the `proptest_wire_stream` suite pins
+/// this equivalence under random split/coalesce patterns).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes read off the stream.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        // Compact lazily: drop consumed bytes once they dominate the buffer
+        // so a long-lived connection doesn't grow without bound.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pops the next complete frame, `Ok(None)` if more bytes are needed.
+    ///
+    /// # Errors
+    /// [`WireError::VarintOverflow`] for a malformed length prefix,
+    /// [`WireError::InvalidField`] for a length beyond [`MAX_FRAME_LEN`].
+    /// After an error the stream is unrecoverable (framing is lost);
+    /// callers should drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let mut pos = self.pos;
+        let len = match read_varint(&self.buf, &mut pos) {
+            Ok(len) => len,
+            // An incomplete header is just "not enough bytes yet" — unless
+            // it is already overlong, which no further bytes can fix.
+            Err(WireError::Truncated) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let len = usize::try_from(len).unwrap_or(usize::MAX);
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::InvalidField("frame length"));
+        }
+        if self.buf.len() - pos < len {
+            return Ok(None);
+        }
+        let payload = self.buf[pos..pos + len].to_vec();
+        self.pos = pos + len;
+        if self.pos == self.buf.len() {
+            // Everything consumed: resetting is free and keeps the steady
+            // state (one frame per read) allocation-stable.
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
 }
 
 impl ReportMessage {
@@ -353,6 +501,103 @@ mod tests {
         assert!(WireError::InvalidField("bit index")
             .to_string()
             .contains("bit index"));
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_stream() {
+        let frames: Vec<Vec<u8>> = vec![vec![], vec![1], vec![0xAB; 300], (0..=255).collect()];
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame(&mut stream, f).unwrap();
+        }
+        assert_eq!(
+            stream.len(),
+            frames.iter().map(|f| frame_len(f.len())).sum::<usize>()
+        );
+        let mut r = stream.as_slice();
+        for f in &frames {
+            assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(f.as_slice()));
+        }
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn read_frame_rejects_truncation_and_hostile_lengths() {
+        // Stream ends mid-payload.
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[1, 2, 3, 4]).unwrap();
+        stream.truncate(3);
+        let err = read_frame(&mut stream.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Stream ends mid-header.
+        let partial: &[u8] = &[0x80];
+        let err = read_frame(&mut &*partial).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Length prefix beyond MAX_FRAME_LEN must fail before allocating.
+        let mut hostile = Vec::new();
+        push_varint(&mut hostile, u64::MAX);
+        let err = read_frame(&mut hostile.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Writing such a frame is rejected symmetrically.
+        let big = vec![0u8; MAX_FRAME_LEN + 1];
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &big).is_err());
+    }
+
+    #[test]
+    fn decoder_handles_split_and_coalesced_chunks() {
+        let frames: Vec<Vec<u8>> = vec![vec![7; 200], vec![], vec![1, 2, 3]];
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame(&mut stream, f).unwrap();
+        }
+        // Byte-at-a-time: every header straddles a feed boundary.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            dec.feed(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(dec.pending(), 0);
+        // All at once.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        for f in &frames {
+            assert_eq!(dec.next_frame().unwrap().as_deref(), Some(f.as_slice()));
+        }
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_and_overlong_headers() {
+        let mut dec = FrameDecoder::new();
+        let mut hostile = Vec::new();
+        push_varint(&mut hostile, (MAX_FRAME_LEN + 1) as u64);
+        dec.feed(&hostile);
+        assert_eq!(
+            dec.next_frame(),
+            Err(WireError::InvalidField("frame length"))
+        );
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[0x80; 11]);
+        assert_eq!(dec.next_frame(), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_bytes() {
+        let mut dec = FrameDecoder::new();
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[9u8; 1000]).unwrap();
+        for _ in 0..20 {
+            dec.feed(&stream);
+            assert_eq!(dec.next_frame().unwrap().unwrap(), vec![9u8; 1000]);
+        }
+        assert_eq!(dec.pending(), 0);
+        // The internal buffer must not retain all 20 KiB of history.
+        assert!(dec.buf.len() < 4 * stream.len(), "buffer never compacted");
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Property tests for the streaming frame codec (ISSUE satellite: the
+//! incremental [`FrameDecoder`] must be byte-for-byte equivalent to the
+//! blocking one-shot reader no matter how the TCP stack slices the stream).
+//!
+//! Invariants pinned here:
+//! * feeding the concatenated stream in arbitrary split/partial/coalesced
+//!   chunks yields exactly the frames `read_frame` yields from the whole
+//!   buffer, in order;
+//! * chunk boundaries may straddle varint headers and payloads freely;
+//! * a trailing partial frame is held back (never emitted truncated) and
+//!   `pending()` accounts for every unconsumed byte;
+//! * an oversized length prefix fails closed on both paths.
+
+use fednum_core::wire::{read_frame, write_frame, FrameDecoder, MAX_FRAME_LEN};
+use proptest::prelude::*;
+
+/// Encodes `frames` into one contiguous wire stream.
+fn encode_stream(frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for f in frames {
+        write_frame(&mut stream, f).expect("frames under MAX_FRAME_LEN always encode");
+    }
+    stream
+}
+
+/// Decodes every frame from `stream` with the blocking one-shot reader.
+fn oneshot_decode(stream: &[u8]) -> Vec<Vec<u8>> {
+    let mut cursor = std::io::Cursor::new(stream);
+    let mut out = Vec::new();
+    while let Some(frame) = read_frame(&mut cursor).expect("well-formed stream") {
+        out.push(frame);
+    }
+    out
+}
+
+/// Splits `stream` at the given cut points (interpreted modulo the stream
+/// length, deduplicated, sorted) and feeds each piece to the decoder,
+/// draining complete frames after every feed.
+fn streaming_decode(stream: &[u8], cuts: &[usize]) -> (Vec<Vec<u8>>, usize) {
+    let mut points: Vec<usize> = cuts
+        .iter()
+        .map(|c| {
+            if stream.is_empty() {
+                0
+            } else {
+                c % stream.len()
+            }
+        })
+        .collect();
+    points.push(0);
+    points.push(stream.len());
+    points.sort_unstable();
+    points.dedup();
+
+    let mut dec = FrameDecoder::new();
+    let mut out = Vec::new();
+    for pair in points.windows(2) {
+        dec.feed(&stream[pair[0]..pair[1]]);
+        while let Some(frame) = dec.next_frame().expect("well-formed stream") {
+            out.push(frame);
+        }
+    }
+    (out, dec.pending())
+}
+
+/// Arbitrary frame payloads: sizes span the interesting varint-header
+/// widths (0, 1-byte, and 2-byte length prefixes).
+fn frames_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 0..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Split/partial/coalesced feeds are invisible: the incremental decoder
+    /// emits exactly the one-shot reader's frames, in order, with nothing
+    /// left pending once the stream is fully consumed.
+    #[test]
+    fn chunked_decode_matches_oneshot(
+        frames in frames_strategy(),
+        cuts in prop::collection::vec(any::<usize>(), 0..24),
+    ) {
+        let stream = encode_stream(&frames);
+        let expected = oneshot_decode(&stream);
+        prop_assert_eq!(&expected, &frames);
+
+        let (got, pending) = streaming_decode(&stream, &cuts);
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(pending, 0);
+    }
+
+    /// Degenerate chunking — one byte at a time — still reproduces the
+    /// one-shot decode even though every header and payload straddles
+    /// chunk boundaries.
+    #[test]
+    fn byte_at_a_time_matches_oneshot(frames in frames_strategy()) {
+        let stream = encode_stream(&frames);
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for byte in &stream {
+            dec.feed(std::slice::from_ref(byte));
+            while let Some(frame) = dec.next_frame().expect("well-formed stream") {
+                got.push(frame);
+            }
+        }
+        prop_assert_eq!(got, oneshot_decode(&stream));
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// A truncated tail is held back, never emitted as a short frame, and
+    /// `pending()` accounts for every byte of it.
+    #[test]
+    fn truncated_tail_is_withheld(
+        frames in frames_strategy(),
+        tail in prop::collection::vec(any::<u8>(), 1..200),
+        cuts in prop::collection::vec(any::<usize>(), 0..24),
+    ) {
+        let mut stream = encode_stream(&frames);
+        // A partial frame: full header promising more bytes than we send.
+        let mut partial = Vec::new();
+        write_frame(&mut partial, &vec![0xAB; tail.len() + 1]).unwrap();
+        partial.truncate(partial.len() - 1);
+        stream.extend_from_slice(&partial);
+
+        let (got, pending) = streaming_decode(&stream, &cuts);
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(pending, partial.len());
+    }
+
+    /// Fail-closed length bound: a header advertising more than
+    /// MAX_FRAME_LEN errors on both decode paths instead of allocating.
+    #[test]
+    fn oversized_length_prefix_fails_closed(excess in 1u64..1_000_000) {
+        let bogus = MAX_FRAME_LEN as u64 + excess;
+        let mut header = Vec::new();
+        let mut v = bogus;
+        while v >= 0x80 {
+            header.push((v as u8 & 0x7F) | 0x80);
+            v >>= 7;
+        }
+        header.push(v as u8);
+
+        let mut dec = FrameDecoder::new();
+        dec.feed(&header);
+        prop_assert!(dec.next_frame().is_err());
+
+        let mut cursor = std::io::Cursor::new(header);
+        prop_assert!(read_frame(&mut cursor).is_err());
+    }
+}

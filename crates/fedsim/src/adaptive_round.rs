@@ -14,7 +14,7 @@ use fednum_core::sampling::BitSampling;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::round::{run_federated_mean, FederatedMeanConfig, FederatedOutcome, RoundError};
+use crate::round::{run_round_impl, FederatedMeanConfig, FederatedOutcome, RoundError};
 
 /// Configuration for a federated adaptive task: the environment settings of
 /// [`FederatedMeanConfig`] plus the Algorithm 2 parameters.
@@ -86,7 +86,22 @@ pub struct FederatedAdaptiveOutcome {
 /// # Errors
 /// [`RoundError::PopulationTooSmall`] unless there are at least two clients;
 /// otherwise propagates the error of either round.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fednum::transport::RoundBuilder::new(config).adaptive().run(values)`"
+)]
 pub fn run_federated_adaptive(
+    values: &[f64],
+    config: &FederatedAdaptiveConfig,
+    rng: &mut dyn Rng,
+) -> Result<FederatedAdaptiveOutcome, RoundError> {
+    run_adaptive_impl(values, config, rng)
+}
+
+/// The synchronous two-round engine behind the deprecated free function and
+/// the `RoundBuilder` facade. Not part of the public API surface.
+#[doc(hidden)]
+pub fn run_adaptive_impl(
     values: &[f64],
     config: &FederatedAdaptiveConfig,
     rng: &mut dyn Rng,
@@ -115,7 +130,7 @@ pub fn run_federated_adaptive(
 
     // Round 1: geometric(γ).
     let round1_protocol = rebuild(base, BitSampling::geometric(bits, config.gamma));
-    let round1 = run_federated_mean(&cohort1, &make_env(round1_protocol), rng)?;
+    let round1 = run_round_impl(&cohort1, &make_env(round1_protocol), None, rng)?;
 
     // Re-optimize from round-1 bit means (already squashed by the protocol
     // if configured); fall back to round-1 weights for degenerate signals.
@@ -124,7 +139,7 @@ pub fn run_federated_adaptive(
 
     // Round 2 on the remaining clients.
     let round2_protocol = rebuild(base, sampling2.clone());
-    let round2 = run_federated_mean(&cohort2, &make_env(round2_protocol), rng)?;
+    let round2 = run_round_impl(&cohort2, &make_env(round2_protocol), None, rng)?;
 
     // Pool both rounds' histograms ("caching"), using round-1 means as the
     // prior for bits round 2 deliberately stopped sampling.
@@ -174,6 +189,24 @@ mod tests {
     use fednum_core::privacy::RandomizedResponse;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    // Local shims shadowing the deprecated free functions: the unit tests
+    // exercise the engines, not the deprecated entry-point surface.
+    fn run_federated_adaptive(
+        values: &[f64],
+        config: &FederatedAdaptiveConfig,
+        rng: &mut dyn Rng,
+    ) -> Result<FederatedAdaptiveOutcome, RoundError> {
+        run_adaptive_impl(values, config, rng)
+    }
+
+    fn run_federated_mean(
+        values: &[f64],
+        config: &FederatedMeanConfig,
+        rng: &mut dyn Rng,
+    ) -> Result<FederatedOutcome, RoundError> {
+        run_round_impl(values, config, None, rng)
+    }
 
     fn env(bits: u32) -> FederatedMeanConfig {
         FederatedMeanConfig::new(BasicConfig::new(

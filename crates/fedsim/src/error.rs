@@ -44,6 +44,16 @@ pub enum FedError {
     Budget(BudgetExceeded),
     /// A configuration parameter was rejected.
     InvalidConfig(String),
+    /// The wire transport failed underneath the protocol: connection setup,
+    /// socket I/O, or an idle/read timeout enforced by the coordinator
+    /// daemon. The round cannot tell whether in-flight frames were
+    /// delivered, so it aborts rather than publish over a partial cohort.
+    Transport {
+        /// The transport operation that failed (`"connect"`, `"read"`, ...).
+        op: &'static str,
+        /// Human-readable failure detail (the underlying I/O error).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for FedError {
@@ -63,6 +73,9 @@ impl std::fmt::Display for FedError {
             }
             FedError::Budget(e) => write!(f, "{e}"),
             FedError::InvalidConfig(msg) => write!(f, "{msg}"),
+            FedError::Transport { op, detail } => {
+                write!(f, "transport {op} failed: {detail}")
+            }
         }
     }
 }
@@ -115,6 +128,11 @@ mod tests {
             .to_string()
             .contains("bit index out of range"));
         assert_eq!(FedError::InvalidConfig("bad".into()).to_string(), "bad");
+        let t = FedError::Transport {
+            op: "read",
+            detail: "timed out after 2s".into(),
+        };
+        assert_eq!(t.to_string(), "transport read failed: timed out after 2s");
     }
 
     #[test]

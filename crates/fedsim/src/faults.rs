@@ -160,6 +160,14 @@ impl FaultPlan {
         self.rates
     }
 
+    /// The plan's seed — with [`FaultPlan::rates`], enough to reconstruct
+    /// the plan on the far side of a wire (the TCP daemon replays the
+    /// driver's fault plan server-side from exactly these two values).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The fault (if any) this plan injects for `client` in `round`.
     #[must_use]
     pub fn fault_for(&self, round: u64, client: u64) -> Option<FaultKind> {

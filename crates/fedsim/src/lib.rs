@@ -33,9 +33,9 @@ pub mod streaming;
 pub mod traffic;
 pub mod validation;
 
-pub use adaptive_round::{
-    run_federated_adaptive, FederatedAdaptiveConfig, FederatedAdaptiveOutcome,
-};
+#[allow(deprecated)]
+pub use adaptive_round::run_federated_adaptive;
+pub use adaptive_round::{FederatedAdaptiveConfig, FederatedAdaptiveOutcome};
 pub use cohort::{CohortError, CohortPolicy};
 pub use dropout::DropoutModel;
 pub use error::FedError;
@@ -44,9 +44,11 @@ pub use fedlearn::{train_linear, FedLearnConfig, LinearModel, TrainingTrace};
 pub use latency::LatencyModel;
 pub use population::{Client, ElicitStrategy, Population};
 pub use retry::{RetryPolicy, SalvagePolicy};
+#[allow(deprecated)]
+pub use round::{run_federated_mean, run_federated_mean_metered, RoundOutcome};
 pub use round::{
-    run_federated_mean, run_federated_mean_metered, DegradedMode, FederatedMeanConfig,
-    FederatedOutcome, RoundError, RoundOutcome, SalvageOutcome, SecAggSettings,
+    DegradedMode, FederatedMeanConfig, FederatedOutcome, RobustnessReport, RoundError,
+    SalvageOutcome, SecAggSettings,
 };
 pub use streaming::StreamingMean;
 pub use traffic::{Direction, TrafficPhase, TrafficStats};

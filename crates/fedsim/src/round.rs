@@ -290,7 +290,7 @@ pub enum SalvageOutcome {
 
 /// Robustness telemetry for one federated round.
 #[derive(Debug, Clone, Default, PartialEq)]
-pub struct RoundOutcome {
+pub struct RobustnessReport {
     /// The degraded mode that produced the estimate.
     pub degraded: DegradedMode,
     /// Per-class rejected-report tally (validation + deadline enforcement).
@@ -316,6 +316,15 @@ pub struct RoundOutcome {
     pub traffic: TrafficStats,
 }
 
+/// The old name of [`RobustnessReport`], freed up so the unified
+/// [`RoundBuilder`](https://docs.rs/fednum) result could take it.
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to `RobustnessReport`; `RoundOutcome` now names the \
+            unified result of `fednum::transport::RoundBuilder`"
+)]
+pub type RoundOutcome = RobustnessReport;
+
 /// Result of a federated mean-estimation task.
 #[derive(Debug, Clone)]
 pub struct FederatedOutcome {
@@ -335,7 +344,7 @@ pub struct FederatedOutcome {
     /// Secure-aggregation diagnostics, when enabled.
     pub secagg: Option<SecAggSummary>,
     /// Robustness telemetry: degraded mode, rejections, retries.
-    pub robustness: RoundOutcome,
+    pub robustness: RobustnessReport,
 }
 
 /// One contacted client's record, as the server saw it after validation.
@@ -353,12 +362,17 @@ struct Contact {
 ///
 /// # Errors
 /// See [`FedError`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fednum::transport::RoundBuilder::new(config).run(values)` — \
+            the unified entry point for every round flavor"
+)]
 pub fn run_federated_mean(
     values: &[f64],
     config: &FederatedMeanConfig,
     rng: &mut dyn Rng,
 ) -> Result<FederatedOutcome, FedError> {
-    run_round(values, config, None, rng)
+    run_round_impl(values, config, None, rng)
 }
 
 /// As [`run_federated_mean`], but meters every client's disclosure through
@@ -371,17 +385,25 @@ pub fn run_federated_mean(
 /// # Errors
 /// See [`FedError`]; [`FedError::Budget`] if a client's budget would be
 /// exceeded by participating.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fednum::transport::RoundBuilder::new(config).metered(ledger).run(values)`"
+)]
 pub fn run_federated_mean_metered(
     values: &[f64],
     config: &FederatedMeanConfig,
     ledger: &mut PrivacyLedger,
     rng: &mut dyn Rng,
 ) -> Result<FederatedOutcome, FedError> {
-    run_round(values, config, Some(ledger), rng)
+    run_round_impl(values, config, Some(ledger), rng)
 }
 
+/// The synchronous round engine behind the deprecated free functions and
+/// the `RoundBuilder` facade. Not part of the public API surface — call it
+/// through `fednum::transport::RoundBuilder`.
+#[doc(hidden)]
 #[allow(clippy::too_many_lines)]
-fn run_round(
+pub fn run_round_impl(
     values: &[f64],
     config: &FederatedMeanConfig,
     mut ledger: Option<&mut PrivacyLedger>,
@@ -811,7 +833,7 @@ fn run_round(
         completion_time,
         starved_bits,
         secagg: secagg_summary,
-        robustness: RoundOutcome {
+        robustness: RobustnessReport {
             degraded,
             rejections,
             late_frames,
@@ -832,6 +854,25 @@ mod tests {
     use fednum_core::privacy::{PrivacyBudget, PrivacyLedger};
     use fednum_core::sampling::BitSampling;
     use rand::rngs::StdRng;
+
+    // Local shims shadowing the deprecated free functions: the unit tests
+    // exercise the engine, not the deprecated entry-point surface.
+    fn run_federated_mean(
+        values: &[f64],
+        config: &FederatedMeanConfig,
+        rng: &mut dyn Rng,
+    ) -> Result<FederatedOutcome, FedError> {
+        run_round_impl(values, config, None, rng)
+    }
+
+    fn run_federated_mean_metered(
+        values: &[f64],
+        config: &FederatedMeanConfig,
+        ledger: &mut PrivacyLedger,
+        rng: &mut dyn Rng,
+    ) -> Result<FederatedOutcome, FedError> {
+        run_round_impl(values, config, Some(ledger), rng)
+    }
     use rand::SeedableRng;
 
     fn base_config(bits: u32) -> FederatedMeanConfig {
@@ -1039,7 +1080,7 @@ mod tests {
             ..FaultRates::none()
         };
         let plan = FaultPlan::new(rates, 5).unwrap();
-        let validated = base_config(7).with_faults(plan.clone());
+        let validated = base_config(7).with_faults(plan);
         let naive = base_config(7).with_faults(plan).naive();
         let v_out = run_federated_mean(&vs, &validated, &mut StdRng::seed_from_u64(8)).unwrap();
         let n_out = run_federated_mean(&vs, &naive, &mut StdRng::seed_from_u64(8)).unwrap();

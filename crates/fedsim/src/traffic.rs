@@ -7,7 +7,7 @@
 //! counts per protocol phase and direction, filled in by the
 //! `fednum-transport` coordinator (the legacy synchronous orchestrator
 //! reports all-zero traffic, since nothing crosses a wire there) and
-//! surfaced on [`crate::round::RoundOutcome`].
+//! surfaced on [`crate::round::RobustnessReport`].
 
 /// Protocol phase a message belongs to, in session order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

@@ -4,11 +4,21 @@
 use fednum_core::encoding::FixedPointCodec;
 use fednum_core::protocol::basic::BasicConfig;
 use fednum_core::sampling::BitSampling;
-use fednum_fedsim::round::{run_federated_mean, FederatedMeanConfig, RoundError};
+use fednum_fedsim::round::{run_round_impl, FederatedMeanConfig, FederatedOutcome, RoundError};
 use fednum_fedsim::DropoutModel;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+// Non-deprecated stand-in for the legacy free function; the property bodies
+// below keep their original call shape.
+fn run_federated_mean(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    rng: &mut dyn Rng,
+) -> Result<FederatedOutcome, RoundError> {
+    run_round_impl(values, config, None, rng)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

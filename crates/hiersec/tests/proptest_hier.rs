@@ -214,7 +214,7 @@ proptest! {
         let k = sizes.len();
         let drops: Vec<usize> = (0..k).map(|i| drops[i % drops.len()]).collect();
         let zeros = vec![0usize; k];
-        let config = HierSecConfig::try_new(k, settings(), 1, seed ^ 0xABba).unwrap();
+        let config = HierSecConfig::try_new(k, settings(), 1, seed ^ 0xABBA).unwrap();
         let cohorts = build_cohorts(&sizes, &drops, &zeros, seed);
         let sequential = run_two_tier(&config, VECTOR_LEN, &cohorts, 1, seed);
         for workers in [2usize, 5] {

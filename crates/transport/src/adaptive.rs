@@ -12,7 +12,7 @@
 //! codec.
 //!
 //! **Parity contract.** Seed for seed, the pooled estimate is bit-identical
-//! to the synchronous [`run_federated_adaptive`]: the shared RNG is consumed
+//! to the synchronous `run_federated_adaptive`: the shared RNG is consumed
 //! in exactly the legacy order (cohort shuffle, then round 1's draws, then
 //! round 2's), the Publish codec preserves every `f64` bit of the feedback,
 //! and the session-slot time translation never reorders events within a
@@ -39,7 +39,23 @@ use crate::session::MultiSessionEngine;
 /// # Errors
 /// [`FedError::PopulationTooSmall`] unless there are at least two clients;
 /// otherwise propagates either session's error.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fednum::transport::RoundBuilder::new_adaptive(config).via(transport)\
+            .run(values)`"
+)]
 pub fn run_federated_adaptive_transport(
+    values: &[f64],
+    config: &FederatedAdaptiveConfig,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<FederatedAdaptiveOutcome, FedError> {
+    adaptive_transport_impl(values, config, transport, rng)
+}
+
+/// The two-session adaptive engine behind the deprecated free function and
+/// the `RoundBuilder` facade.
+pub(crate) fn adaptive_transport_impl(
     values: &[f64],
     config: &FederatedAdaptiveConfig,
     transport: &mut dyn Transport,
@@ -158,6 +174,16 @@ mod tests {
     use fednum_fedsim::round::FederatedMeanConfig;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    // Non-deprecated shim shadowing the glob-imported legacy wrapper.
+    fn run_federated_adaptive_transport(
+        values: &[f64],
+        config: &FederatedAdaptiveConfig,
+        transport: &mut dyn Transport,
+        rng: &mut dyn Rng,
+    ) -> Result<FederatedAdaptiveOutcome, FedError> {
+        adaptive_transport_impl(values, config, transport, rng)
+    }
 
     fn env(bits: u32) -> FederatedMeanConfig {
         FederatedMeanConfig::new(BasicConfig::new(

@@ -1,0 +1,102 @@
+//! `fednumd` — the persistent federated-aggregation coordinator daemon.
+//!
+//! Binds a TCP listener and serves driver sessions (see
+//! `fednum_transport::daemon`) until either stdin reaches EOF (hang-up:
+//! the supervisor or CI harness closed our input) or a driver sends the
+//! admin `Shutdown` frame. Exits 0 after a clean join of every thread,
+//! 2 if any daemon thread leaked past the grace deadline, 1 on startup
+//! or usage errors.
+//!
+//! ```text
+//! fednumd [--addr HOST:PORT] [--workers N] [--read-timeout-ms MS]
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fednum_transport::daemon::{spawn, DaemonConfig};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: fednumd [--addr HOST:PORT] [--workers N] [--read-timeout-ms MS]");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = DaemonConfig {
+        addr: "127.0.0.1:7447".to_string(),
+        ..DaemonConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            return usage();
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value,
+            "--workers" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => cfg.workers = n,
+                _ => return usage(),
+            },
+            "--read-timeout-ms" => match value.parse::<u64>() {
+                Ok(ms) if ms > 0 => cfg.read_timeout = Duration::from_millis(ms),
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let handle = match spawn(cfg) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("fednumd: failed to start: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    // Flushed line the harness (and the ci smoke) waits for before
+    // connecting drivers.
+    println!("fednumd listening on {}", handle.addr());
+
+    // Hang-up watcher: consume stdin until EOF. A supervisor that closes
+    // our stdin (or a terminal Ctrl-D) is the graceful stop signal; the
+    // admin Shutdown frame flips the same flag from the socket side.
+    let hup = Arc::new(AtomicBool::new(false));
+    {
+        let hup = Arc::clone(&hup);
+        std::thread::Builder::new()
+            .name("fednumd-stdin".to_string())
+            .spawn(move || {
+                let mut sink = [0u8; 1024];
+                let mut stdin = std::io::stdin().lock();
+                while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+                hup.store(true, Ordering::SeqCst);
+            })
+            .expect("spawn stdin watcher");
+    }
+
+    while !hup.load(Ordering::SeqCst) && !handle.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    match handle.shutdown() {
+        Ok(stats) => {
+            println!(
+                "fednumd: served {} session(s) (peak {} concurrent), {} frames in / {} out, \
+                 {} timeout(s), {} protocol error(s)",
+                stats.sessions_opened,
+                stats.peak_connections,
+                stats.frames_in,
+                stats.frames_out,
+                stats.timeouts,
+                stats.protocol_errors,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fednumd: unclean shutdown: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

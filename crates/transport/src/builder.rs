@@ -1,0 +1,589 @@
+//! `RoundBuilder`: the one front door for running a federated round.
+//!
+//! The repo grew eight entry points — sync and transport-backed flat
+//! rounds, metered variants, the two-round adaptive protocol in both
+//! flavours, sharded and hierarchical coordinators — each with its own
+//! argument order and result struct. `RoundBuilder` consolidates them
+//! behind a single fluent facade:
+//!
+//! ```
+//! use fednum_transport::RoundBuilder;
+//! use fednum_core::encoding::FixedPointCodec;
+//! use fednum_core::protocol::basic::BasicConfig;
+//! use fednum_core::sampling::BitSampling;
+//! use fednum_fedsim::round::FederatedMeanConfig;
+//!
+//! let config = FederatedMeanConfig::new(BasicConfig::new(
+//!     FixedPointCodec::integer(6),
+//!     BitSampling::geometric(6, 1.0),
+//! ));
+//! let values: Vec<f64> = (0..500).map(|i| f64::from(i % 50)).collect();
+//! let outcome = RoundBuilder::new(config).seed(7).run(&values).unwrap();
+//! assert!(outcome.estimate().is_finite());
+//! ```
+//!
+//! The builder decides the engine from what was configured:
+//!
+//! | builder calls                         | engine                                  |
+//! |---------------------------------------|-----------------------------------------|
+//! | `new(config)`                         | sync flat round (fedsim)                |
+//! | `new(config).via(transport)`          | transport-backed flat session           |
+//! | `new(config).metered(ledger)…`        | either of the above, ledger-billed      |
+//! | `new_adaptive(config)`                | sync two-round adaptive                 |
+//! | `new_adaptive(config).via(transport)` | two sessions on one shared transport    |
+//! | `new(config).sharded(k, seed)`        | K independent coordinator shards        |
+//! | `new(config).hierarchical(hier, w)`   | two-tier secure aggregation over shards |
+//!
+//! Every path funnels into [`RoundOutcome`], which carries the
+//! engine-specific detail plus the wire totals when the round actually
+//! crossed a metered transport. Invalid combinations — a ledger on a
+//! sharded round, `.via` on a hierarchical one — are rejected up front
+//! with [`FedError::InvalidConfig`] rather than silently ignored.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fednum_core::privacy::PrivacyLedger;
+use fednum_fedsim::adaptive_round::{
+    run_adaptive_impl, FederatedAdaptiveConfig, FederatedAdaptiveOutcome,
+};
+use fednum_fedsim::error::FedError;
+use fednum_fedsim::retry::SalvagePolicy;
+use fednum_fedsim::round::{run_round_impl, FederatedMeanConfig, FederatedOutcome, SecAggSettings};
+use fednum_hiersec::HierSecConfig;
+
+use crate::adaptive::adaptive_transport_impl;
+use crate::coordinator::run_session;
+use crate::hier::{hierarchical_impl, HierShardedOutcome, ShardTransportFactory};
+use crate::net::{Transport, WireMetrics};
+use crate::shard::{sharded_impl, ShardedOutcome};
+
+/// Which protocol family the round runs: one flat estimation round, or
+/// the two-round adaptive protocol with weight re-optimization between.
+enum Mode {
+    Flat(FederatedMeanConfig),
+    Adaptive(FederatedAdaptiveConfig),
+}
+
+/// How the cohort is laid out across coordinators.
+enum Topology {
+    /// One coordinator, one event schedule.
+    Single,
+    /// K independent coordinator shards merged at publish.
+    Sharded { shards: usize, seed: u64 },
+    /// Two-tier secure aggregation: shard instances plus a merge tier.
+    Hierarchical { hier: HierSecConfig, workers: usize },
+}
+
+/// Fluent entry point for every round shape the crate can run.
+///
+/// Construct with [`RoundBuilder::new`] (flat) or
+/// [`RoundBuilder::new_adaptive`] (two-round adaptive), layer on
+/// options, then [`run`](RoundBuilder::run). See the module docs for
+/// the call-shape → engine table and a complete example.
+pub struct RoundBuilder<'a> {
+    mode: Mode,
+    topology: Topology,
+    ledger: Option<&'a mut PrivacyLedger>,
+    transport: Option<&'a mut dyn Transport>,
+    factory: Option<ShardTransportFactory<'a>>,
+    rng: Option<&'a mut dyn Rng>,
+    seed: Option<u64>,
+}
+
+/// The unified result of [`RoundBuilder::run`].
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// Engine-specific detail: which round shape ran and its full report.
+    pub detail: RoundDetail,
+    /// Socket-level totals when the round crossed a metered transport
+    /// (a [`TcpTransport`](crate::tcp::TcpTransport) via `.via` or a
+    /// `.shard_transports` factory); `None` for purely in-process runs.
+    pub wire: Option<WireMetrics>,
+}
+
+/// Engine-specific detail inside a [`RoundOutcome`].
+#[derive(Debug, Clone)]
+pub enum RoundDetail {
+    /// One flat estimation round (sync or transport-backed).
+    Flat(FederatedOutcome),
+    /// The two-round adaptive protocol.
+    Adaptive(FederatedAdaptiveOutcome),
+    /// K independent coordinator shards merged at publish.
+    Sharded(ShardedOutcome),
+    /// Two-tier secure aggregation over shards.
+    Hierarchical(HierShardedOutcome),
+}
+
+impl RoundOutcome {
+    /// The final estimate in the value domain, whichever engine ran.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        match &self.detail {
+            RoundDetail::Flat(out) => out.outcome.estimate,
+            RoundDetail::Adaptive(out) => out.estimate,
+            RoundDetail::Sharded(out) => out.outcome.estimate,
+            RoundDetail::Hierarchical(out) => out.outcome.estimate,
+        }
+    }
+
+    /// The flat-round report, if a flat round ran.
+    #[must_use]
+    pub fn flat(&self) -> Option<&FederatedOutcome> {
+        match &self.detail {
+            RoundDetail::Flat(out) => Some(out),
+            _ => None,
+        }
+    }
+
+    /// The adaptive report, if the two-round protocol ran.
+    #[must_use]
+    pub fn adaptive(&self) -> Option<&FederatedAdaptiveOutcome> {
+        match &self.detail {
+            RoundDetail::Adaptive(out) => Some(out),
+            _ => None,
+        }
+    }
+
+    /// The sharded report, if a sharded round ran.
+    #[must_use]
+    pub fn sharded(&self) -> Option<&ShardedOutcome> {
+        match &self.detail {
+            RoundDetail::Sharded(out) => Some(out),
+            _ => None,
+        }
+    }
+
+    /// The hierarchical report, if a two-tier round ran.
+    #[must_use]
+    pub fn hierarchical(&self) -> Option<&HierShardedOutcome> {
+        match &self.detail {
+            RoundDetail::Hierarchical(out) => Some(out),
+            _ => None,
+        }
+    }
+}
+
+impl<'a> RoundBuilder<'a> {
+    /// Starts a flat estimation round from `config`.
+    #[must_use]
+    pub fn new(config: FederatedMeanConfig) -> Self {
+        Self {
+            mode: Mode::Flat(config),
+            topology: Topology::Single,
+            ledger: None,
+            transport: None,
+            factory: None,
+            rng: None,
+            seed: None,
+        }
+    }
+
+    /// Starts the two-round adaptive protocol from `config`.
+    #[must_use]
+    pub fn new_adaptive(config: FederatedAdaptiveConfig) -> Self {
+        Self {
+            mode: Mode::Adaptive(config),
+            topology: Topology::Single,
+            ledger: None,
+            transport: None,
+            factory: None,
+            rng: None,
+            seed: None,
+        }
+    }
+
+    /// The round's environment config, whichever mode was chosen (the
+    /// adaptive config embeds a flat environment template).
+    fn config_mut(&mut self) -> &mut FederatedMeanConfig {
+        match &mut self.mode {
+            Mode::Flat(cfg) => cfg,
+            Mode::Adaptive(cfg) => &mut cfg.environment,
+        }
+    }
+
+    fn config(&self) -> &FederatedMeanConfig {
+        match &self.mode {
+            Mode::Flat(cfg) => cfg,
+            Mode::Adaptive(cfg) => &cfg.environment,
+        }
+    }
+
+    /// Enables secure aggregation with `settings` (sets
+    /// `config.secagg`, including on the adaptive environment template).
+    #[must_use]
+    pub fn secure(mut self, settings: SecAggSettings) -> Self {
+        self.config_mut().secagg = Some(settings);
+        self
+    }
+
+    /// Enables straggler salvage with `policy` (sets `config.salvage`).
+    #[must_use]
+    pub fn salvage(mut self, policy: SalvagePolicy) -> Self {
+        self.config_mut().salvage = Some(policy);
+        self
+    }
+
+    /// Bills each client's disclosure through `ledger`. Only flat
+    /// single-coordinator rounds meter a ledger; any other shape is
+    /// rejected at [`run`](Self::run).
+    #[must_use]
+    pub fn metered(mut self, ledger: &'a mut PrivacyLedger) -> Self {
+        self.ledger = Some(ledger);
+        self
+    }
+
+    /// Drives the round over `transport` — an
+    /// [`InMemoryTransport`](crate::net::InMemoryTransport),
+    /// [`SimNetTransport`](crate::net::SimNetTransport), or a live
+    /// [`TcpTransport`](crate::tcp::TcpTransport) session. Valid for
+    /// flat and adaptive rounds; sharded and hierarchical rounds build
+    /// per-shard transports instead (see
+    /// [`shard_transports`](Self::shard_transports)).
+    #[must_use]
+    pub fn via(mut self, transport: &'a mut dyn Transport) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Partitions the population across `shards` independently
+    /// scheduled coordinator shards, seeded from `seed`.
+    #[must_use]
+    pub fn sharded(mut self, shards: usize, seed: u64) -> Self {
+        self.topology = Topology::Sharded { shards, seed };
+        self
+    }
+
+    /// Runs two-tier secure aggregation over `hier`'s shard layout with
+    /// `workers` parallel shard threads. Seeded from
+    /// [`seed`](Self::seed), defaulting to `config.session_seed`.
+    #[must_use]
+    pub fn hierarchical(mut self, hier: HierSecConfig, workers: usize) -> Self {
+        self.topology = Topology::Hierarchical { hier, workers };
+        self
+    }
+
+    /// Supplies each hierarchical shard's transport: `make(stream_seed)`
+    /// is called once per shard (see [`ShardTransportFactory`]). Only
+    /// valid for hierarchical rounds.
+    #[must_use]
+    pub fn shard_transports(mut self, make: ShardTransportFactory<'a>) -> Self {
+        self.factory = Some(make);
+        self
+    }
+
+    /// Seeds the round. For flat and adaptive rounds this seeds the
+    /// default driver RNG (overridden entirely by [`rng`](Self::rng));
+    /// for hierarchical rounds it is the shard-stream seed. Defaults to
+    /// `config.session_seed`.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Drives the flat or adaptive round from `rng` instead of the
+    /// default `StdRng` seeded by [`seed`](Self::seed). Sharded and
+    /// hierarchical rounds derive per-shard streams from the seed and
+    /// reject an RNG override.
+    #[must_use]
+    pub fn rng(mut self, rng: &'a mut dyn Rng) -> Self {
+        self.rng = Some(rng);
+        self
+    }
+
+    /// Runs the configured round over `values`.
+    ///
+    /// # Errors
+    /// [`FedError::InvalidConfig`] for contradictory builder shapes
+    /// (see each option's docs); otherwise the underlying engine's
+    /// typed failures. When the transport latched an I/O error
+    /// mid-round (see [`Transport::take_error`]) that error is returned
+    /// even if the round logic completed.
+    pub fn run(self, values: &[f64]) -> Result<RoundOutcome, FedError> {
+        self.check_shape()?;
+        let seed = self.seed.unwrap_or(self.config().session_seed);
+        match (self.mode, self.topology) {
+            (Mode::Flat(cfg), Topology::Single) => {
+                let mut default_rng = StdRng::seed_from_u64(seed);
+                let rng: &mut dyn Rng = match self.rng {
+                    Some(r) => r,
+                    None => &mut default_rng,
+                };
+                match self.transport {
+                    Some(transport) => {
+                        let res = run_session(values, &cfg, self.ledger, transport, rng);
+                        finish_via(res, transport).map(|(out, wire)| RoundOutcome {
+                            detail: RoundDetail::Flat(out),
+                            wire,
+                        })
+                    }
+                    None => {
+                        run_round_impl(values, &cfg, self.ledger, rng).map(|out| RoundOutcome {
+                            detail: RoundDetail::Flat(out),
+                            wire: None,
+                        })
+                    }
+                }
+            }
+            (Mode::Adaptive(cfg), Topology::Single) => {
+                let mut default_rng = StdRng::seed_from_u64(seed);
+                let rng: &mut dyn Rng = match self.rng {
+                    Some(r) => r,
+                    None => &mut default_rng,
+                };
+                match self.transport {
+                    Some(transport) => {
+                        let res = adaptive_transport_impl(values, &cfg, transport, rng);
+                        finish_via(res, transport).map(|(out, wire)| RoundOutcome {
+                            detail: RoundDetail::Adaptive(out),
+                            wire,
+                        })
+                    }
+                    None => run_adaptive_impl(values, &cfg, rng).map(|out| RoundOutcome {
+                        detail: RoundDetail::Adaptive(out),
+                        wire: None,
+                    }),
+                }
+            }
+            (Mode::Flat(cfg), Topology::Sharded { shards, seed }) => {
+                sharded_impl(values, &cfg, shards, seed).map(|out| RoundOutcome {
+                    detail: RoundDetail::Sharded(out),
+                    wire: None,
+                })
+            }
+            (Mode::Flat(cfg), Topology::Hierarchical { hier, workers }) => {
+                hierarchical_impl(values, &cfg, &hier, workers, seed, self.factory).map(
+                    |(out, wire)| RoundOutcome {
+                        detail: RoundDetail::Hierarchical(out),
+                        wire,
+                    },
+                )
+            }
+            (Mode::Adaptive(_), _) => unreachable!("rejected by check_shape"),
+        }
+    }
+
+    /// Rejects contradictory builder shapes before anything runs.
+    fn check_shape(&self) -> Result<(), FedError> {
+        let single = matches!(self.topology, Topology::Single);
+        if matches!(self.mode, Mode::Adaptive(_)) && !single {
+            return Err(FedError::InvalidConfig(
+                "the adaptive protocol runs on a single coordinator; \
+                 drop `.sharded(..)` / `.hierarchical(..)`"
+                    .into(),
+            ));
+        }
+        if self.ledger.is_some() && (!single || matches!(self.mode, Mode::Adaptive(_))) {
+            return Err(FedError::InvalidConfig(
+                "privacy metering is only supported for flat single-coordinator \
+                 rounds; drop `.metered(..)` or the topology option"
+                    .into(),
+            ));
+        }
+        if self.transport.is_some() && !single {
+            return Err(FedError::InvalidConfig(
+                "`.via(transport)` drives one flat or adaptive session; sharded \
+                 and hierarchical rounds build per-shard transports (use \
+                 `.shard_transports(..)` for hierarchical)"
+                    .into(),
+            ));
+        }
+        if self.factory.is_some() && !matches!(self.topology, Topology::Hierarchical { .. }) {
+            return Err(FedError::InvalidConfig(
+                "`.shard_transports(..)` only applies to `.hierarchical(..)` rounds".into(),
+            ));
+        }
+        if self.rng.is_some() && !single {
+            return Err(FedError::InvalidConfig(
+                "sharded and hierarchical rounds derive per-shard RNG streams \
+                 from the seed; use `.seed(..)` instead of `.rng(..)`"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Folds a `.via` run's result with the transport's latched I/O error
+/// and wire totals: a latched error overrides round-logic success.
+fn finish_via<T>(
+    res: Result<T, FedError>,
+    transport: &mut dyn Transport,
+) -> Result<(T, Option<WireMetrics>), FedError> {
+    let latched = transport.take_error();
+    let wire = transport.wire_metrics();
+    match (res, latched) {
+        (_, Some(err)) => Err(err),
+        (Ok(out), None) => Ok((out, wire)),
+        (Err(err), None) => Err(err),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::InMemoryTransport;
+    use fednum_core::encoding::FixedPointCodec;
+    use fednum_core::protocol::basic::BasicConfig;
+    use fednum_core::sampling::BitSampling;
+
+    fn config(bits: u32) -> FederatedMeanConfig {
+        FederatedMeanConfig::new(BasicConfig::new(
+            FixedPointCodec::integer(bits),
+            BitSampling::geometric(bits, 1.0),
+        ))
+    }
+
+    fn hier3() -> HierSecConfig {
+        HierSecConfig::try_new(3, SecAggSettings::default(), 2, 0xBEEF).unwrap()
+    }
+
+    fn values(n: usize, hi: u64) -> Vec<f64> {
+        (0..n).map(|i| (i as u64 % hi) as f64).collect()
+    }
+
+    #[test]
+    fn flat_builder_matches_the_sync_engine() {
+        let vs = values(4_000, 64);
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let direct = run_round_impl(&vs, &config(6), None, &mut rng_a).unwrap();
+        let out = RoundBuilder::new(config(6)).seed(3).run(&vs).unwrap();
+        assert_eq!(out.estimate().to_bits(), direct.outcome.estimate.to_bits());
+        assert!(out.wire.is_none());
+        assert!(out.flat().is_some());
+    }
+
+    #[test]
+    fn via_builder_matches_the_session_engine() {
+        let vs = values(4_000, 64);
+        let cfg = config(6);
+        let mut ta = InMemoryTransport::new(9);
+        let direct = run_session(&vs, &cfg, None, &mut ta, &mut StdRng::seed_from_u64(3)).unwrap();
+        let mut tb = InMemoryTransport::new(9);
+        let out = RoundBuilder::new(cfg)
+            .seed(3)
+            .via(&mut tb)
+            .run(&vs)
+            .unwrap();
+        assert_eq!(out.estimate().to_bits(), direct.outcome.estimate.to_bits());
+    }
+
+    #[test]
+    fn sharded_builder_matches_the_sharded_engine() {
+        let vs = values(6_000, 50);
+        let cfg = config(6);
+        let direct = sharded_impl(&vs, &cfg, 4, 11).unwrap();
+        let out = RoundBuilder::new(cfg).sharded(4, 11).run(&vs).unwrap();
+        let got = out.sharded().expect("sharded detail");
+        assert_eq!(
+            got.outcome.estimate.to_bits(),
+            direct.outcome.estimate.to_bits()
+        );
+        assert_eq!(got.reports, direct.reports);
+    }
+
+    #[test]
+    fn hierarchical_builder_matches_the_hier_engine() {
+        let vs = values(3_000, 40);
+        let cfg = config(6).with_secagg(SecAggSettings::default());
+        let hier = hier3();
+        let (direct, _) = hierarchical_impl(&vs, &cfg, &hier, 2, 5, None).unwrap();
+        let out = RoundBuilder::new(cfg)
+            .hierarchical(hier, 2)
+            .seed(5)
+            .run(&vs)
+            .unwrap();
+        let got = out.hierarchical().expect("hierarchical detail");
+        assert_eq!(
+            got.outcome.estimate.to_bits(),
+            direct.outcome.estimate.to_bits()
+        );
+    }
+
+    #[test]
+    fn adaptive_builder_matches_the_sync_engine() {
+        let vs = values(8_000, 80);
+        let cfg = FederatedAdaptiveConfig::new(config(10));
+        let direct = run_adaptive_impl(&vs, &cfg, &mut StdRng::seed_from_u64(2)).unwrap();
+        let out = RoundBuilder::new_adaptive(cfg).seed(2).run(&vs).unwrap();
+        assert_eq!(out.estimate().to_bits(), direct.estimate.to_bits());
+        assert!(out.adaptive().is_some());
+    }
+
+    #[test]
+    fn metered_builder_bills_like_the_metered_engine() {
+        let vs = values(2_000, 32);
+        let mut direct_ledger = PrivacyLedger::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        run_round_impl(&vs, &config(5), Some(&mut direct_ledger), &mut rng).unwrap();
+        let mut ledger = PrivacyLedger::new();
+        RoundBuilder::new(config(5))
+            .seed(4)
+            .metered(&mut ledger)
+            .run(&vs)
+            .unwrap();
+        assert_eq!(
+            ledger.max_bits_per_client(),
+            direct_ledger.max_bits_per_client()
+        );
+    }
+
+    #[test]
+    fn shard_transport_factory_feeds_every_shard() {
+        let vs = values(3_000, 40);
+        let cfg = config(6).with_secagg(SecAggSettings::default());
+        let hier = hier3();
+        let make: ShardTransportFactory<'_> =
+            &|tseed| Ok(Box::new(InMemoryTransport::new(tseed)) as Box<dyn Transport>);
+        let out = RoundBuilder::new(cfg.clone())
+            .hierarchical(hier, 2)
+            .seed(5)
+            .shard_transports(make)
+            .run(&vs)
+            .unwrap();
+        // Default shard transports are the same seeded InMemoryTransport,
+        // so the factory path must reproduce the default path exactly.
+        let (direct, _) = hierarchical_impl(&vs, &cfg, &hier, 2, 5, None).unwrap();
+        assert_eq!(
+            out.estimate().to_bits(),
+            direct.outcome.estimate.to_bits(),
+            "factory with mix-seeded in-memory transports must match default"
+        );
+    }
+
+    #[test]
+    fn contradictory_shapes_are_rejected_up_front() {
+        let vs = values(100, 10);
+        let mut ledger = PrivacyLedger::new();
+        let err = RoundBuilder::new(config(4))
+            .sharded(2, 0)
+            .metered(&mut ledger)
+            .run(&vs)
+            .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig(_)));
+
+        let mut t = InMemoryTransport::new(0);
+        let err = RoundBuilder::new(config(4))
+            .sharded(2, 0)
+            .via(&mut t)
+            .run(&vs)
+            .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig(_)));
+
+        let make: ShardTransportFactory<'_> =
+            &|tseed| Ok(Box::new(InMemoryTransport::new(tseed)) as Box<dyn Transport>);
+        let err = RoundBuilder::new(config(4))
+            .shard_transports(make)
+            .run(&vs)
+            .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig(_)));
+
+        let cfg = FederatedAdaptiveConfig::new(config(4));
+        let err = RoundBuilder::new_adaptive(cfg)
+            .sharded(2, 0)
+            .run(&vs)
+            .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig(_)));
+    }
+}

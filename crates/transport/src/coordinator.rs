@@ -27,7 +27,7 @@
 //!
 //! On top of the legacy semantics, the session meters traffic: every frame
 //! is tallied per phase and direction at delivery into
-//! [`TrafficStats`], surfaced on `RoundOutcome::traffic`. Frames a fault
+//! [`TrafficStats`], surfaced on `RobustnessReport::traffic`. Frames a fault
 //! destroys before delivery (a replay with nothing to replay) are never
 //! counted — the server cannot bill what never arrived.
 
@@ -46,7 +46,7 @@ use fednum_fedsim::error::FedError;
 use fednum_fedsim::faults::FaultKind;
 use fednum_fedsim::retry::SalvagePolicy;
 use fednum_fedsim::round::{
-    DegradedMode, FederatedMeanConfig, FederatedOutcome, RoundOutcome, SalvageOutcome,
+    DegradedMode, FederatedMeanConfig, FederatedOutcome, RobustnessReport, SalvageOutcome,
     SecAggSettings, SecAggSummary,
 };
 use fednum_fedsim::traffic::{Direction, TrafficPhase, TrafficStats};
@@ -467,11 +467,16 @@ pub(crate) fn run_salvage(
 ///
 /// Pass [`SimNetTransport::for_config`](crate::net::SimNetTransport) when
 /// `config.faults` is set — the wire-level fault kinds (straggle, corrupt,
-/// duplicate, replay) are transport behaviour; an [`InMemoryTransport`]
-/// (crate::net::InMemoryTransport) would not act them out.
+/// duplicate, replay) are transport behaviour; an
+/// [`InMemoryTransport`](crate::net::InMemoryTransport) would not act
+/// them out.
 ///
 /// # Errors
 /// See [`FedError`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fednum::transport::RoundBuilder::new(config).via(transport).run(values)`"
+)]
 pub fn run_federated_mean_transport(
     values: &[f64],
     config: &FederatedMeanConfig,
@@ -488,6 +493,11 @@ pub fn run_federated_mean_transport(
 ///
 /// # Errors
 /// See [`FedError`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fednum::transport::RoundBuilder::new(config).metered(ledger)\
+            .via(transport).run(values)`"
+)]
 pub fn run_federated_mean_transport_metered(
     values: &[f64],
     config: &FederatedMeanConfig,
@@ -498,7 +508,7 @@ pub fn run_federated_mean_transport_metered(
     run_session(values, config, Some(ledger), transport, rng)
 }
 
-fn run_session(
+pub(crate) fn run_session(
     values: &[f64],
     config: &FederatedMeanConfig,
     ledger: Option<&mut PrivacyLedger>,
@@ -649,7 +659,7 @@ pub(crate) fn run_session_inner(
             completion_time: st.completion_time,
             starved_bits,
             secagg: secagg_summary,
-            robustness: RoundOutcome {
+            robustness: RobustnessReport {
                 degraded,
                 rejections: st.rejections,
                 late_frames: st.late_frames,
@@ -1227,10 +1237,30 @@ mod tests {
     use fednum_core::encoding::FixedPointCodec;
     use fednum_core::protocol::basic::BasicConfig;
     use fednum_fedsim::dropout::DropoutModel;
-    use fednum_fedsim::round::{run_federated_mean, SecAggSettings};
+    use fednum_fedsim::round::{run_round_impl, SecAggSettings};
     use fednum_fedsim::traffic::TrafficPhase;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    // Non-deprecated shims shadowing the glob-imported legacy wrappers, so
+    // the parity tests keep their original call shape without tripping
+    // `-D deprecated` under clippy.
+    fn run_federated_mean(
+        values: &[f64],
+        config: &FederatedMeanConfig,
+        rng: &mut dyn Rng,
+    ) -> Result<FederatedOutcome, FedError> {
+        run_round_impl(values, config, None, rng)
+    }
+
+    fn run_federated_mean_transport(
+        values: &[f64],
+        config: &FederatedMeanConfig,
+        transport: &mut dyn Transport,
+        rng: &mut dyn Rng,
+    ) -> Result<FederatedOutcome, FedError> {
+        run_session(values, config, None, transport, rng)
+    }
 
     fn base_config(bits: u32) -> FederatedMeanConfig {
         FederatedMeanConfig::new(BasicConfig::new(

@@ -1,0 +1,548 @@
+//! The persistent coordinator daemon behind
+//! [`TcpTransport`](crate::tcp::TcpTransport).
+//!
+//! [`spawn`] binds a listener and returns a [`DaemonHandle`]; the daemon
+//! then serves any number of driver sessions concurrently until asked to
+//! shut down. Each connection speaks the length-delimited control
+//! protocol defined in [`crate::tcp`]:
+//!
+//! 1. the driver's `Hello` carries the session seed, round id, validation
+//!    mode, and (optionally) the exact
+//!    [`FaultPlan`](fednum_fedsim::faults::FaultPlan) parameters, from
+//!    which the daemon rebuilds the driver's wire-fault stage via
+//!    [`SimNetTransport::with_plan`];
+//! 2. every `Env` frame is decoded, validated against the protocol
+//!    codec, passed through that fault stage, and the resulting
+//!    deliveries (0, 1, or 2 of them — drops, duplicates, straggles)
+//!    are echoed back in exactly one `Deliveries` frame;
+//! 3. `Redeliver` frames bypass the fault stage, `Window` frames arm it,
+//!    and `Close` returns the session's wire totals.
+//!
+//! **Threading model.** One accept thread hands connections to a bounded
+//! pool of worker threads over a rendezvous channel, so at most
+//! `workers` sessions are in flight and further connects queue in the
+//! listener backlog. Everything is `std::thread` + atomics — no async
+//! runtime. Idle connections are bounded by a per-socket read timeout.
+//!
+//! **Shutdown.** [`DaemonHandle::request_shutdown`] (or an admin
+//! `Shutdown` frame, which `fednumd` maps to the same flag) stops the
+//! accept loop, force-closes any still-open sockets so blocked reads
+//! wake, and [`DaemonHandle::shutdown`] then joins every thread under a
+//! grace deadline — reporting leaked threads as a typed error rather
+//! than hanging, which the `tcp-loopback` CI smoke turns into a nonzero
+//! exit.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fednum_core::wire::{self, FrameDecoder};
+use fednum_fedsim::error::FedError;
+
+use crate::message::Message;
+use crate::net::{SimNetTransport, Transport};
+use crate::tcp::{Ctrl, SessionStats, PROTOCOL_VERSION};
+
+/// Configuration for [`spawn`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address; use port 0 to let the OS pick (see
+    /// [`DaemonHandle::addr`] for the resolved address).
+    pub addr: String,
+    /// Worker threads — the maximum number of concurrently served
+    /// sessions; further connections wait in the listener backlog.
+    pub workers: usize,
+    /// Per-socket read timeout: an idle connection is dropped (and
+    /// counted in [`DaemonSnapshot::timeouts`]) after this long with no
+    /// frame.
+    pub read_timeout: Duration,
+    /// How long [`DaemonHandle::shutdown`] waits for threads to finish
+    /// before declaring them leaked.
+    pub shutdown_grace: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            read_timeout: Duration::from_secs(30),
+            shutdown_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Monotonic counters the daemon maintains across all sessions.
+#[derive(Debug, Default)]
+struct Counters {
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    timeouts: AtomicU64,
+    protocol_errors: AtomicU64,
+    invalid_payloads: AtomicU64,
+    active_connections: AtomicU64,
+    peak_connections: AtomicU64,
+}
+
+/// A point-in-time copy of the daemon's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonSnapshot {
+    /// Sessions that completed the `Hello` handshake.
+    pub sessions_opened: u64,
+    /// Sessions that ended with an explicit `Close`.
+    pub sessions_closed: u64,
+    /// Control frames received across all connections.
+    pub frames_in: u64,
+    /// Control frames sent across all connections.
+    pub frames_out: u64,
+    /// Encoded bytes received, framing included.
+    pub bytes_in: u64,
+    /// Encoded bytes sent, framing included.
+    pub bytes_out: u64,
+    /// Connections dropped by the read timeout.
+    pub timeouts: u64,
+    /// Connections dropped for malformed control frames or protocol
+    /// misuse (e.g. `Env` before `Hello`, version mismatch).
+    pub protocol_errors: u64,
+    /// Envelope payloads that failed [`Message`] codec validation (the
+    /// frame is still relayed; this is a diagnostic, not a drop).
+    pub invalid_payloads: u64,
+    /// Connections currently being served.
+    pub active_connections: u64,
+    /// High-water mark of concurrently served connections.
+    pub peak_connections: u64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> DaemonSnapshot {
+        DaemonSnapshot {
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            invalid_payloads: self.invalid_payloads.load(Ordering::Relaxed),
+            active_connections: self.active_connections.load(Ordering::Relaxed),
+            peak_connections: self.peak_connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Open sockets, registered so shutdown can force-close them and wake
+/// any worker blocked in a read.
+type SocketRegistry = Mutex<HashMap<u64, TcpStream>>;
+
+struct Shared {
+    shutdown: AtomicBool,
+    counters: Counters,
+    sockets: SocketRegistry,
+}
+
+/// A running daemon (see the module docs for lifecycle and threading).
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    grace_ms: u64,
+}
+
+impl DaemonHandle {
+    /// The resolved listen address (useful with a port-0 bind).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn snapshot(&self) -> DaemonSnapshot {
+        self.shared.counters.snapshot()
+    }
+
+    /// Whether a shutdown has been requested (locally or by an admin
+    /// `Shutdown` frame).
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flags the daemon to stop accepting work and wakes blocked reads by
+    /// force-closing open sockets. Pair with [`DaemonHandle::shutdown`] to
+    /// join the threads.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let sockets = self.shared.sockets.lock().unwrap();
+        for stream in sockets.values() {
+            // Best effort: the socket may already be gone.
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Requests shutdown and joins every daemon thread under the
+    /// configured grace deadline.
+    ///
+    /// # Errors
+    /// [`FedError::Transport`] naming the number of threads that failed
+    /// to exit within the grace period — the leak detector the CI smoke
+    /// relies on.
+    pub fn shutdown(mut self) -> Result<DaemonSnapshot, FedError> {
+        self.request_shutdown();
+        let grace = Duration::from_millis(self.grace_ms);
+        let deadline = Instant::now() + grace;
+        while self.threads.iter().any(|t| !t.is_finished()) {
+            if Instant::now() >= deadline {
+                let leaked = self.threads.iter().filter(|t| !t.is_finished()).count();
+                return Err(FedError::Transport {
+                    op: "shutdown",
+                    detail: format!("{leaked} daemon thread(s) still running after {grace:?}"),
+                });
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for t in self.threads.drain(..) {
+            t.join().map_err(|_| FedError::Transport {
+                op: "shutdown",
+                detail: "daemon thread panicked".to_string(),
+            })?;
+        }
+        Ok(self.shared.counters.snapshot())
+    }
+}
+
+/// Binds `cfg.addr` and starts the accept loop plus worker pool.
+///
+/// # Errors
+/// Any socket error while binding the listener.
+pub fn spawn(cfg: DaemonConfig) -> std::io::Result<DaemonHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let workers = cfg.workers.max(1);
+    let shared = Arc::new(Shared {
+        shutdown: AtomicBool::new(false),
+        counters: Counters::default(),
+        sockets: Mutex::new(HashMap::new()),
+    });
+    // Rendezvous-ish channel: at most one connection parked per worker
+    // beyond the ones being served; everything else waits in the listener
+    // backlog, which is what bounds the pool.
+    let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(workers);
+    let rx = Arc::new(Mutex::new(rx));
+    let mut threads = Vec::with_capacity(workers + 1);
+    for i in 0..workers {
+        let rx = Arc::clone(&rx);
+        let shared = Arc::clone(&shared);
+        let cfg = cfg.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("fednumd-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &shared, &cfg))?,
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("fednumd-accept".to_string())
+                .spawn(move || accept_loop(&listener, &tx, &shared))?,
+        );
+    }
+    Ok(DaemonHandle {
+        addr,
+        shared,
+        threads,
+        grace_ms: cfg.shutdown_grace.as_millis() as u64,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mut pending = stream;
+                loop {
+                    match tx.try_send(pending) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(back)) => {
+                            if shared.shutdown.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            pending = back;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(TrySendError::Disconnected(_)) => return,
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // Dropping `tx` disconnects the channel and lets idle workers exit.
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared, cfg: &DaemonConfig) {
+    let mut next_conn_id = 0u64;
+    loop {
+        let msg = {
+            let rx = rx.lock().unwrap();
+            rx.recv_timeout(Duration::from_millis(50))
+        };
+        match msg {
+            Ok(stream) => {
+                next_conn_id += 1;
+                serve_connection(stream, next_conn_id, shared, cfg);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Per-connection wire totals, folded into the global counters when the
+/// connection ends (keeps atomics off the per-frame hot path).
+#[derive(Default)]
+struct ConnTally {
+    frames_in: u64,
+    frames_out: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+fn serve_connection(stream: TcpStream, conn_id: u64, shared: &Shared, cfg: &DaemonConfig) {
+    let counters = &shared.counters;
+    let active = counters.active_connections.fetch_add(1, Ordering::Relaxed) + 1;
+    counters
+        .peak_connections
+        .fetch_max(active, Ordering::Relaxed);
+    // Register a clone so request_shutdown can wake a blocked read. The
+    // worker thread id makes the key unique across workers.
+    let registry_key = (std::process::id() as u64) << 32 | conn_id;
+    if let Ok(clone) = stream.try_clone() {
+        shared.sockets.lock().unwrap().insert(registry_key, clone);
+    }
+    let outcome = drive_connection(stream, shared, cfg);
+    shared.sockets.lock().unwrap().remove(&registry_key);
+    counters.active_connections.fetch_sub(1, Ordering::Relaxed);
+    match outcome {
+        ConnEnd::Clean | ConnEnd::Eof => {}
+        ConnEnd::Timeout => {
+            counters.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        ConnEnd::Protocol => {
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        ConnEnd::Io => {}
+    }
+}
+
+enum ConnEnd {
+    /// Explicit `Close`/`Shutdown` exchange completed.
+    Clean,
+    /// Peer hung up between frames.
+    Eof,
+    /// Read timeout expired.
+    Timeout,
+    /// Malformed frame or protocol misuse.
+    Protocol,
+    /// Other socket error (peer reset, shutdown wake, ...).
+    Io,
+}
+
+fn drive_connection(mut stream: TcpStream, shared: &Shared, cfg: &DaemonConfig) -> ConnEnd {
+    let counters = &shared.counters;
+    if stream.set_read_timeout(Some(cfg.read_timeout)).is_err() || stream.set_nodelay(true).is_err()
+    {
+        return ConnEnd::Io;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return ConnEnd::Io;
+    };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    let mut session: Option<SimNetTransport> = None;
+    let mut tally = ConnTally::default();
+    let mut unflushed = false;
+
+    let end = loop {
+        let frame = match decoder.next_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                // No complete frame buffered: flush replies, then block on
+                // the socket for more bytes.
+                if unflushed {
+                    if writer.flush().is_err() {
+                        break ConnEnd::Io;
+                    }
+                    unflushed = false;
+                }
+                match stream.read(&mut buf) {
+                    Ok(0) => break ConnEnd::Eof,
+                    Ok(n) => {
+                        decoder.feed(&buf[..n]);
+                        continue;
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        break ConnEnd::Timeout;
+                    }
+                    Err(_) => break ConnEnd::Io,
+                }
+            }
+            Err(_) => break ConnEnd::Protocol,
+        };
+        tally.frames_in += 1;
+        tally.bytes_in += wire::frame_len(frame.len()) as u64;
+        let ctrl = match Ctrl::decode(&frame) {
+            Ok(ctrl) => ctrl,
+            Err(_) => break ConnEnd::Protocol,
+        };
+        match ctrl {
+            Ctrl::Hello(hello) => {
+                if hello.version != PROTOCOL_VERSION || session.is_some() {
+                    break ConnEnd::Protocol;
+                }
+                session = Some(SimNetTransport::with_plan(
+                    hello.seed,
+                    hello.faults,
+                    hello.validate,
+                    hello.round_id,
+                ));
+                let session_id = counters.sessions_opened.fetch_add(1, Ordering::Relaxed) + 1;
+                if !reply(
+                    &mut writer,
+                    &Ctrl::HelloAck { session_id },
+                    &mut tally,
+                    &mut unflushed,
+                ) {
+                    break ConnEnd::Io;
+                }
+            }
+            Ctrl::Env(env) => {
+                let Some(net) = session.as_mut() else {
+                    break ConnEnd::Protocol;
+                };
+                if Message::decode(&env.payload).is_err() {
+                    counters.invalid_payloads.fetch_add(1, Ordering::Relaxed);
+                }
+                net.send(env);
+                let mut items = Vec::with_capacity(1);
+                while let Some((at, out)) = net.poll() {
+                    items.push((at, out));
+                }
+                if !reply(
+                    &mut writer,
+                    &Ctrl::Deliveries(items),
+                    &mut tally,
+                    &mut unflushed,
+                ) {
+                    break ConnEnd::Io;
+                }
+            }
+            Ctrl::Redeliver(env) => {
+                let Some(net) = session.as_mut() else {
+                    break ConnEnd::Protocol;
+                };
+                net.redeliver(env);
+                let mut items = Vec::with_capacity(1);
+                while let Some((at, out)) = net.poll() {
+                    items.push((at, out));
+                }
+                if !reply(
+                    &mut writer,
+                    &Ctrl::Deliveries(items),
+                    &mut tally,
+                    &mut unflushed,
+                ) {
+                    break ConnEnd::Io;
+                }
+            }
+            Ctrl::Window { start, deadline } => {
+                let Some(net) = session.as_mut() else {
+                    break ConnEnd::Protocol;
+                };
+                net.open_window(start, deadline);
+            }
+            Ctrl::Close => {
+                // Totals cover the session up to (and including) the Close
+                // request; the Stats reply itself is excluded so the driver
+                // can reconcile them against its own WireMetrics exactly.
+                let stats = Ctrl::Stats(SessionStats {
+                    frames_in: tally.frames_in,
+                    frames_out: tally.frames_out,
+                    bytes_in: tally.bytes_in,
+                    bytes_out: tally.bytes_out,
+                });
+                let ok = reply(&mut writer, &stats, &mut tally, &mut unflushed)
+                    && writer.flush().is_ok();
+                if !ok {
+                    break ConnEnd::Io;
+                }
+                counters.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                break ConnEnd::Clean;
+            }
+            Ctrl::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let ok = reply(&mut writer, &Ctrl::ShutdownAck, &mut tally, &mut unflushed)
+                    && writer.flush().is_ok();
+                break if ok { ConnEnd::Clean } else { ConnEnd::Io };
+            }
+            Ctrl::HelloAck { .. } | Ctrl::Deliveries(_) | Ctrl::Stats(_) | Ctrl::ShutdownAck => {
+                // Daemon-to-driver frames are never valid on the uplink.
+                break ConnEnd::Protocol;
+            }
+        }
+    };
+    counters
+        .frames_in
+        .fetch_add(tally.frames_in, Ordering::Relaxed);
+    counters
+        .frames_out
+        .fetch_add(tally.frames_out, Ordering::Relaxed);
+    counters
+        .bytes_in
+        .fetch_add(tally.bytes_in, Ordering::Relaxed);
+    counters
+        .bytes_out
+        .fetch_add(tally.bytes_out, Ordering::Relaxed);
+    end
+}
+
+/// Writes one reply frame into the buffered writer (flushed lazily, when
+/// the request buffer runs dry). Returns `false` on I/O failure.
+fn reply<W: Write>(
+    writer: &mut W,
+    ctrl: &Ctrl,
+    tally: &mut ConnTally,
+    unflushed: &mut bool,
+) -> bool {
+    let frame = ctrl.encode();
+    if wire::write_frame(writer, &frame).is_err() {
+        return false;
+    }
+    tally.frames_out += 1;
+    tally.bytes_out += wire::frame_len(frame.len()) as u64;
+    *unflushed = true;
+    true
+}

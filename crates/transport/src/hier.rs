@@ -42,8 +42,25 @@ use crate::message::{
     EncryptedShare, KeyAdvertise, KeyShares, MaskedInput, Message, Publish, UnmaskShares,
     ENCRYPTED_SHARE_LEN, PUBLIC_KEY_LEN,
 };
-use crate::net::{Envelope, InMemoryTransport, SimNetTransport, Transport, COORDINATOR};
+use crate::net::{
+    Envelope, InMemoryTransport, SimNetTransport, Transport, WireMetrics, COORDINATOR,
+};
 use crate::scheduler::mix;
+
+/// Per-shard transport factory for a hierarchical round: called once per
+/// shard with that shard's scheduler seed (`mix(seed ^ s ^ TRANSPORT_TAG)`,
+/// the same stream an in-process run would hand its per-shard
+/// [`InMemoryTransport`] / [`SimNetTransport`]), from the worker thread
+/// that runs the shard session. Lets
+/// [`RoundBuilder`](crate::builder::RoundBuilder) route every shard over
+/// its own [`TcpTransport`](crate::tcp::TcpTransport) connection while the
+/// merge tier stays in-process.
+///
+/// # Errors
+/// A factory failure (e.g. a refused TCP connect) aborts the round with
+/// the returned [`FedError`].
+pub type ShardTransportFactory<'a> =
+    &'a (dyn Fn(u64) -> Result<Box<dyn Transport>, FedError> + Sync);
 
 /// Virtual-time spacing between merge-tier frames.
 const STEP: f64 = 3e-9;
@@ -131,6 +148,8 @@ struct ShardRun {
     /// Reports the shard's salvage instance re-admitted.
     salvaged: u64,
     compute_seconds: f64,
+    /// Wire totals of the shard's transport, when it meters one (TCP).
+    wire: Option<WireMetrics>,
 }
 
 /// Runs one federated mean round with the population partitioned across
@@ -151,7 +170,11 @@ struct ShardRun {
 /// `CohortTooSmall` against the merged cohort; `SecAgg` when the merge
 /// instance fails (map to [`DegradedMode::Aborted`] in telemetry) or a
 /// shard instance fails for a non-degrading reason.
-#[allow(clippy::too_many_lines)]
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fednum::transport::RoundBuilder::new(config)\
+            .hierarchical(hier, workers).run(values)`"
+)]
 pub fn run_hierarchical_mean(
     values: &[f64],
     config: &FederatedMeanConfig,
@@ -159,6 +182,23 @@ pub fn run_hierarchical_mean(
     workers: usize,
     seed: u64,
 ) -> Result<HierShardedOutcome, FedError> {
+    hierarchical_impl(values, config, hier, workers, seed, None).map(|(out, _)| out)
+}
+
+/// The two-tier engine behind the deprecated free function and the
+/// `RoundBuilder` facade. `factory`, when given, supplies each shard's
+/// transport (see [`ShardTransportFactory`]); the second return value is
+/// the merged wire totals of the shard transports, `None` when none of
+/// them meter a wire.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn hierarchical_impl(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    hier: &HierSecConfig,
+    workers: usize,
+    seed: u64,
+    factory: Option<ShardTransportFactory<'_>>,
+) -> Result<(HierShardedOutcome, Option<WireMetrics>), FedError> {
     let Some(_) = config.secagg else {
         return Err(FedError::InvalidConfig(
             "hierarchical aggregation is the secure path: set \
@@ -197,10 +237,10 @@ pub fn run_hierarchical_mean(
         let slice = &codes[offsets[s]..offsets[s] + sizes[s]];
         let mut rng = StdRng::seed_from_u64(mix(seed ^ s as u64));
         let tseed = mix(seed ^ (s as u64) ^ TRANSPORT_TAG);
-        let mut transport: Box<dyn Transport> = if config.faults.is_some() {
-            Box::new(SimNetTransport::for_config(config, tseed))
-        } else {
-            Box::new(InMemoryTransport::new(tseed))
+        let mut transport: Box<dyn Transport> = match factory {
+            Some(make) => make(tseed)?,
+            None if config.faults.is_some() => Box::new(SimNetTransport::for_config(config, tseed)),
+            None => Box::new(InMemoryTransport::new(tseed)),
         };
         let mut st = collect_waves(
             slice,
@@ -226,6 +266,7 @@ pub fn run_hierarchical_mean(
             late_sum: None,
             salvaged: 0,
             compute_seconds: 0.0,
+            wire: None,
         };
         if reporters > 0 {
             // The shard's own secagg instance, keyed by tier and index so
@@ -286,6 +327,12 @@ pub fn run_hierarchical_mean(
         run.traffic = st.traffic;
         run.completion = st.completion_time + st.backoff_time;
         run.compute_seconds = clock.elapsed().as_secs_f64();
+        // A transport that failed underneath the session drained silently;
+        // surface the typed error instead of a quietly-degraded shard.
+        if let Some(e) = transport.take_error() {
+            return Err(e);
+        }
+        run.wire = transport.wire_metrics();
         Ok(run)
     });
 
@@ -302,8 +349,14 @@ pub fn run_hierarchical_mean(
     let mut late_frames = 0u64;
     let mut late: Vec<(usize, Vec<u64>)> = Vec::new();
     let mut salvaged_reports = 0u64;
+    let mut wire: Option<WireMetrics> = None;
     for (s, r) in runs.into_iter().enumerate() {
         let run = r?;
+        if let Some(w) = run.wire {
+            let mut total = wire.unwrap_or_default();
+            total.merge(&w);
+            wire = Some(total);
+        }
         shard_traffic.merge(&run.traffic);
         contacted += run.contacted;
         collected += run.collected;
@@ -466,29 +519,32 @@ pub fn run_hierarchical_mean(
 
     let mut traffic = shard_traffic;
     traffic.merge(&merge_traffic);
-    Ok(HierShardedOutcome {
-        outcome,
-        shards: k,
-        contacted,
-        reports: total_reports,
-        waves_used,
-        completion_time,
-        rejections,
-        late_frames,
-        faults_injected,
-        secagg_retries,
-        salvage,
-        salvaged_shards,
-        degraded_shards: merge.degraded_shards,
-        included_shards: merge.included_shards,
-        starved_bits,
-        degraded,
-        traffic,
-        shard_traffic,
-        merge_traffic,
-        merge_frames,
-        shard_compute_seconds,
-    })
+    Ok((
+        HierShardedOutcome {
+            outcome,
+            shards: k,
+            contacted,
+            reports: total_reports,
+            waves_used,
+            completion_time,
+            rejections,
+            late_frames,
+            faults_injected,
+            secagg_retries,
+            salvage,
+            salvaged_shards,
+            degraded_shards: merge.degraded_shards,
+            included_shards: merge.included_shards,
+            starved_bits,
+            degraded,
+            traffic,
+            shard_traffic,
+            merge_traffic,
+            merge_frames,
+            shard_compute_seconds,
+        },
+        wire,
+    ))
 }
 
 /// Frames one merge-tier instance's message rounds: key material and unmask
@@ -596,12 +652,32 @@ fn frame_merge_session(
 mod tests {
     use super::*;
     use crate::message::MaskedInput;
-    use crate::shard::run_sharded_mean;
+    use crate::shard::sharded_impl;
     use fednum_core::encoding::FixedPointCodec;
     use fednum_core::protocol::basic::BasicConfig;
     use fednum_core::sampling::BitSampling;
     use fednum_fedsim::dropout::DropoutModel;
     use fednum_fedsim::round::SecAggSettings;
+
+    // Non-deprecated shims shadowing the glob-imported legacy wrappers.
+    fn run_hierarchical_mean(
+        values: &[f64],
+        config: &FederatedMeanConfig,
+        hier: &HierSecConfig,
+        workers: usize,
+        seed: u64,
+    ) -> Result<HierShardedOutcome, FedError> {
+        hierarchical_impl(values, config, hier, workers, seed, None).map(|(out, _)| out)
+    }
+
+    fn run_sharded_mean(
+        values: &[f64],
+        config: &FederatedMeanConfig,
+        shards: usize,
+        seed: u64,
+    ) -> Result<crate::shard::ShardedOutcome, FedError> {
+        sharded_impl(values, config, shards, seed)
+    }
 
     fn settings() -> SecAggSettings {
         SecAggSettings {

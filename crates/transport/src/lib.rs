@@ -15,19 +15,33 @@
 //! second instance over the shard aggregators, on a worker pool).
 
 pub mod adaptive;
+pub mod builder;
 pub mod coordinator;
+pub mod daemon;
 pub mod hier;
 pub mod message;
 pub mod net;
 pub mod scheduler;
 pub mod session;
 pub mod shard;
+pub mod tcp;
 
+#[allow(deprecated)]
 pub use adaptive::run_federated_adaptive_transport;
+pub use builder::{RoundBuilder, RoundDetail, RoundOutcome};
+#[allow(deprecated)]
 pub use coordinator::{run_federated_mean_transport, run_federated_mean_transport_metered};
-pub use hier::{run_hierarchical_mean, HierShardedOutcome};
+pub use daemon::{DaemonConfig, DaemonHandle, DaemonSnapshot};
+#[allow(deprecated)]
+pub use hier::run_hierarchical_mean;
+pub use hier::{HierShardedOutcome, ShardTransportFactory};
 pub use message::Message;
-pub use net::{Envelope, InMemoryTransport, SimNetTransport, Transport, BROADCAST, COORDINATOR};
+pub use net::{
+    Envelope, InMemoryTransport, SimNetTransport, Transport, WireMetrics, BROADCAST, COORDINATOR,
+};
 pub use scheduler::EventQueue;
 pub use session::{MultiSessionEngine, SessionSlot};
-pub use shard::{run_sharded_mean, ShardedOutcome};
+#[allow(deprecated)]
+pub use shard::run_sharded_mean;
+pub use shard::ShardedOutcome;
+pub use tcp::{SessionStats, TcpTransport};

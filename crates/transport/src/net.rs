@@ -7,7 +7,7 @@
 //! * [`InMemoryTransport`] — a perfect network: every envelope arrives
 //!   verbatim at its send time. This is the fast path for scale runs.
 //! * [`SimNetTransport`] — composes the deterministic
-//!   [`FaultPlan`](fednum_fedsim::faults::FaultPlan) into *message-level*
+//!   [`FaultPlan`] into *message-level*
 //!   events: report frames can straggle past the collection deadline, have
 //!   their payload bit corrupted on the wire, be delivered twice, or be
 //!   replaced by a replay of an earlier observed frame. Client-phase fault
@@ -45,6 +45,41 @@ pub struct Envelope {
     pub payload: Vec<u8>,
 }
 
+/// Wire-level accounting for transports whose frames cross a real byte
+/// stream: counts and sizes of the *encoded* frames (length prefix and
+/// control framing included), as opposed to the protocol-level
+/// [`TrafficStats`](fednum_fedsim::traffic::TrafficStats) ledger which
+/// meters logical payload bytes per phase. The two are complementary: the
+/// ledger stays bit-identical between in-memory and TCP runs, while
+/// `WireMetrics` reports what the socket actually carried.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireMetrics {
+    /// Frames written to the wire.
+    pub frames_sent: u64,
+    /// Frames read off the wire.
+    pub frames_received: u64,
+    /// Encoded bytes written, framing overhead included.
+    pub bytes_sent: u64,
+    /// Encoded bytes read, framing overhead included.
+    pub bytes_received: u64,
+}
+
+impl WireMetrics {
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &WireMetrics) {
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+    }
+
+    /// Total frames, both directions.
+    #[must_use]
+    pub fn total_frames(&self) -> u64 {
+        self.frames_sent + self.frames_received
+    }
+}
+
 /// Message delivery between protocol endpoints.
 pub trait Transport {
     /// Accepts an envelope for delivery.
@@ -77,6 +112,27 @@ pub trait Transport {
     /// [`SessionSlot`](crate::session::SessionSlot) over an idle transport.
     fn idle(&self) -> bool {
         true
+    }
+
+    /// Wire-level frame accounting, for transports backed by a real byte
+    /// stream ([`TcpTransport`](crate::tcp::TcpTransport)); `None` for
+    /// in-process transports, where nothing is framed onto a socket.
+    fn wire_metrics(&self) -> Option<WireMetrics> {
+        None
+    }
+
+    /// A transport-level failure observed since the last check, if any.
+    ///
+    /// The [`Transport`] call surface is infallible by design (the
+    /// simulation transports cannot fail), so a socket-backed transport
+    /// records I/O errors internally, lets the session drain, and surfaces
+    /// the typed error here; the round driver checks after the session and
+    /// converts the result into
+    /// [`FedError::Transport`](fednum_fedsim::error::FedError::Transport).
+    /// Taking the error
+    /// clears it.
+    fn take_error(&mut self) -> Option<fednum_fedsim::error::FedError> {
+        None
     }
 }
 
@@ -152,11 +208,20 @@ impl SimNetTransport {
     /// same round identifier, same validation mode.
     #[must_use]
     pub fn for_config(config: &FederatedMeanConfig, seed: u64) -> Self {
+        Self::with_plan(seed, config.faults, config.validate, config.session_seed)
+    }
+
+    /// A simulated network from explicit wire parameters — what the TCP
+    /// coordinator daemon builds from a driver's session handshake, so the
+    /// server-side fault stage replays exactly the plan a local
+    /// [`Self::for_config`] transport would.
+    #[must_use]
+    pub fn with_plan(seed: u64, faults: Option<FaultPlan>, validate: bool, round_id: u64) -> Self {
         Self {
             queue: EventQueue::new(seed),
-            faults: config.faults,
-            validate: config.validate,
-            round_id: config.session_seed,
+            faults,
+            validate,
+            round_id,
             window_start: 0.0,
             deadline: f64::MAX,
             last_report: None,

@@ -214,13 +214,14 @@ mod tests {
     fn redeliver_and_window_are_offset_too() {
         let mut t = InMemoryTransport::new(4);
         let mut engine = MultiSessionEngine::new(&mut t, 100.0);
-        let mut slot = engine.open_session();
-        slot.open_window(0.0, 1.0);
-        slot.redeliver(env(9, 0.5));
-        let (at, e) = slot.poll().unwrap();
-        assert_eq!(at, 0.5);
-        assert_eq!(e.sent_at, 0.5);
-        drop(slot);
+        {
+            let mut slot = engine.open_session();
+            slot.open_window(0.0, 1.0);
+            slot.redeliver(env(9, 0.5));
+            let (at, e) = slot.poll().unwrap();
+            assert_eq!(at, 0.5);
+            assert_eq!(e.sent_at, 0.5);
+        }
         assert!(engine.watermark() >= 101.0, "window deadline advances it");
     }
 }

@@ -70,7 +70,23 @@ pub struct ShardedOutcome {
 /// `InvalidConfig` for zero shards or a secagg config (see module docs);
 /// otherwise the usual [`FedError`] round failures, evaluated globally
 /// (`NoReports`, `CohortTooSmall` against the merged cohort).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fednum::transport::RoundBuilder::new(config).sharded(shards, seed)\
+            .run(values)`"
+)]
 pub fn run_sharded_mean(
+    values: &[f64],
+    config: &fednum_fedsim::round::FederatedMeanConfig,
+    shards: usize,
+    seed: u64,
+) -> Result<ShardedOutcome, FedError> {
+    sharded_impl(values, config, shards, seed)
+}
+
+/// The sharded-round engine behind the deprecated free function and the
+/// `RoundBuilder` facade.
+pub(crate) fn sharded_impl(
     values: &[f64],
     config: &fednum_fedsim::round::FederatedMeanConfig,
     shards: usize,
@@ -182,12 +198,32 @@ fn contacted_reporters(total_reports: u64, contacted: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::coordinator::run_federated_mean_transport;
+    use crate::coordinator::run_session;
+    use crate::net::Transport;
     use fednum_core::encoding::FixedPointCodec;
     use fednum_core::protocol::basic::BasicConfig;
     use fednum_core::sampling::BitSampling;
     use fednum_fedsim::dropout::DropoutModel;
     use fednum_fedsim::round::{FederatedMeanConfig, SecAggSettings};
+
+    // Non-deprecated shims shadowing the glob-imported legacy wrappers.
+    fn run_sharded_mean(
+        values: &[f64],
+        config: &FederatedMeanConfig,
+        shards: usize,
+        seed: u64,
+    ) -> Result<ShardedOutcome, FedError> {
+        sharded_impl(values, config, shards, seed)
+    }
+
+    fn run_federated_mean_transport(
+        values: &[f64],
+        config: &FederatedMeanConfig,
+        transport: &mut dyn Transport,
+        rng: &mut dyn rand::Rng,
+    ) -> Result<fednum_fedsim::round::FederatedOutcome, FedError> {
+        run_session(values, config, None, transport, rng)
+    }
 
     fn config(bits: u32) -> FederatedMeanConfig {
         FederatedMeanConfig::new(BasicConfig::new(

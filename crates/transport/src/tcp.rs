@@ -1,0 +1,760 @@
+//! [`TcpTransport`]: the [`Transport`] trait over a real TCP socket.
+//!
+//! Every envelope a session sends is framed (length-delimited
+//! `core::wire` frames), written to a live socket, decoded and
+//! fault-staged by the [`daemon`](crate::daemon) on the far side, and
+//! echoed back as scheduled deliveries that the driver's local
+//! discrete-event queue then orders. The split of responsibilities is
+//! deliberate:
+//!
+//! * **the daemon owns the wire** — framing, codec validation, the
+//!   per-session [`SimNetTransport`](crate::net::SimNetTransport)-
+//!   equivalent fault stage (straggle /
+//!   corrupt / duplicate / replay with the replay register), read/idle
+//!   timeouts, and wire metrics;
+//! * **the driver owns the clock** — the same seeded [`EventQueue`] that
+//!   backs [`InMemoryTransport`](crate::net::InMemoryTransport) orders the
+//!   echoed deliveries, so tie-breaks, FIFO-per-stream order, and
+//!   therefore the published estimate are bit-identical to an in-process
+//!   run under the same seed.
+//!
+//! **Parity contract.** For any session, `TcpTransport::connect(addr,
+//! seed)` is observationally identical to `InMemoryTransport::new(seed)`,
+//! and [`TcpTransport::connect_for_config`] to
+//! [`SimNetTransport::for_config`](crate::net::SimNetTransport::for_config)
+//! — every frame genuinely crosses the
+//! socket (encoded, fragmented by the kernel, reassembled, decoded,
+//! re-encoded) but arrives carrying the same payload at the same virtual
+//! time in the same order. The `tcp_parity` suite pins this across plain,
+//! secagg, salvage, and hierarchical rounds.
+//!
+//! **Failure semantics.** The [`Transport`] call surface is infallible, so
+//! socket errors (including read timeouts) are recorded internally: the
+//! session drains as if the network went silent, and the driver surfaces
+//! the typed [`FedError::Transport`] via [`Transport::take_error`] — the
+//! [`RoundBuilder`](crate::builder::RoundBuilder) does this automatically.
+//!
+//! Sends are pipelined: envelopes are buffered and flushed in batches
+//! (bounded by `SYNC_BYTES`/`SYNC_FRAMES` so neither peer's socket
+//! buffer can fill while the other is still writing), and the matching
+//! delivery batches are read back before the next poll. One socket
+//! round-trip therefore covers many frames, which is what makes loopback
+//! throughput land well above the `bench_tcp` gate.
+
+use std::cell::RefCell;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use fednum_core::wire::{self, read_varint, WireError};
+use fednum_fedsim::error::FedError;
+use fednum_fedsim::faults::{FaultPlan, FaultRates};
+use fednum_fedsim::round::FederatedMeanConfig;
+
+use crate::net::{Envelope, Transport, WireMetrics};
+use crate::scheduler::EventQueue;
+
+/// Wire-protocol version carried in the session handshake.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Flush-and-drain once this many encoded bytes are in flight unacked:
+/// echoes are roughly request-sized, so this bounds the daemon's pending
+/// response bytes far below any platform's socket buffers.
+const SYNC_BYTES: usize = 16 * 1024;
+/// Flush-and-drain once this many envelope frames are in flight unacked.
+const SYNC_FRAMES: usize = 256;
+
+/// Default driver-side read timeout: how long a poll waits on the daemon
+/// before the session aborts with [`FedError::Transport`].
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+// ---------------------------------------------------------------------------
+// Control codec: the frames that cross the driver ↔ daemon socket.
+// ---------------------------------------------------------------------------
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_ENV: u8 = 0x02;
+const TAG_WINDOW: u8 = 0x03;
+const TAG_REDELIVER: u8 = 0x04;
+const TAG_CLOSE: u8 = 0x05;
+const TAG_SHUTDOWN: u8 = 0x06;
+const TAG_HELLO_ACK: u8 = 0x11;
+const TAG_DELIVERIES: u8 = 0x12;
+const TAG_STATS: u8 = 0x13;
+const TAG_SHUTDOWN_ACK: u8 = 0x14;
+
+/// Session parameters a driver hands the daemon at connect time — enough
+/// for the daemon to rebuild the driver's wire-fault stage exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SessionHello {
+    pub(crate) version: u64,
+    pub(crate) seed: u64,
+    pub(crate) round_id: u64,
+    pub(crate) validate: bool,
+    pub(crate) faults: Option<FaultPlan>,
+}
+
+/// Per-connection wire totals the daemon reports back on `Close`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Envelope frames the daemon accepted from this driver.
+    pub frames_in: u64,
+    /// Delivery frames the daemon echoed back.
+    pub frames_out: u64,
+    /// Encoded bytes received by the daemon, framing included.
+    pub bytes_in: u64,
+    /// Encoded bytes sent by the daemon, framing included.
+    pub bytes_out: u64,
+}
+
+/// A control frame of the driver ↔ daemon protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Ctrl {
+    Hello(SessionHello),
+    /// An envelope for the fault stage (driver → daemon).
+    Env(Envelope),
+    /// A collection window announcement (no response).
+    Window {
+        start: f64,
+        deadline: f64,
+    },
+    /// A parked frame re-admitted verbatim, bypassing the fault stage.
+    Redeliver(Envelope),
+    Close,
+    Shutdown,
+    HelloAck {
+        session_id: u64,
+    },
+    /// Scheduled deliveries for exactly one `Env`/`Redeliver` frame.
+    Deliveries(Vec<(f64, Envelope)>),
+    Stats(SessionStats),
+    ShutdownAck,
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn read_f64(buf: &[u8], pos: &mut usize) -> Result<f64, WireError> {
+    let bytes = wire::read_bytes(buf, pos, 8)?;
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(bytes);
+    Ok(f64::from_bits(u64::from_le_bytes(raw)))
+}
+
+fn push_env(out: &mut Vec<u8>, env: &Envelope) {
+    wire::push_varint(out, env.from);
+    wire::push_varint(out, env.to);
+    push_f64(out, env.sent_at);
+    wire::push_varint(out, env.payload.len() as u64);
+    out.extend_from_slice(&env.payload);
+}
+
+fn read_env(buf: &[u8], pos: &mut usize) -> Result<Envelope, WireError> {
+    let from = read_varint(buf, pos)?;
+    let to = read_varint(buf, pos)?;
+    let sent_at = read_f64(buf, pos)?;
+    let len = usize::try_from(read_varint(buf, pos)?).map_err(|_| WireError::Truncated)?;
+    if len > buf.len().saturating_sub(*pos) {
+        return Err(WireError::Truncated);
+    }
+    let payload = wire::read_bytes(buf, pos, len)?.to_vec();
+    Ok(Envelope {
+        from,
+        to,
+        sent_at,
+        payload,
+    })
+}
+
+/// Rate fields in a fixed wire order (must match [`decode_rates`]).
+fn rate_fields(r: &FaultRates) -> [f64; 7] {
+    [
+        r.drop_before_report,
+        r.drop_before_unmask,
+        r.straggle,
+        r.corrupt_bit,
+        r.duplicate,
+        r.replay,
+        r.stale_round,
+    ]
+}
+
+fn decode_rates(buf: &[u8], pos: &mut usize) -> Result<FaultRates, WireError> {
+    let mut vals = [0f64; 7];
+    for v in &mut vals {
+        *v = read_f64(buf, pos)?;
+    }
+    Ok(FaultRates {
+        drop_before_report: vals[0],
+        drop_before_unmask: vals[1],
+        straggle: vals[2],
+        corrupt_bit: vals[3],
+        duplicate: vals[4],
+        replay: vals[5],
+        stale_round: vals[6],
+    })
+}
+
+impl Ctrl {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Ctrl::Hello(h) => {
+                out.push(TAG_HELLO);
+                wire::push_varint(&mut out, h.version);
+                wire::push_varint(&mut out, h.seed);
+                wire::push_varint(&mut out, h.round_id);
+                out.push(u8::from(h.validate));
+                match &h.faults {
+                    Some(plan) => {
+                        out.push(1);
+                        for v in rate_fields(&plan.rates()) {
+                            push_f64(&mut out, v);
+                        }
+                        wire::push_varint(&mut out, plan.seed());
+                    }
+                    None => out.push(0),
+                }
+            }
+            Ctrl::Env(env) => {
+                out.push(TAG_ENV);
+                push_env(&mut out, env);
+            }
+            Ctrl::Window { start, deadline } => {
+                out.push(TAG_WINDOW);
+                push_f64(&mut out, *start);
+                push_f64(&mut out, *deadline);
+            }
+            Ctrl::Redeliver(env) => {
+                out.push(TAG_REDELIVER);
+                push_env(&mut out, env);
+            }
+            Ctrl::Close => out.push(TAG_CLOSE),
+            Ctrl::Shutdown => out.push(TAG_SHUTDOWN),
+            Ctrl::HelloAck { session_id } => {
+                out.push(TAG_HELLO_ACK);
+                wire::push_varint(&mut out, *session_id);
+            }
+            Ctrl::Deliveries(items) => {
+                out.push(TAG_DELIVERIES);
+                wire::push_varint(&mut out, items.len() as u64);
+                for (at, env) in items {
+                    push_f64(&mut out, *at);
+                    push_env(&mut out, env);
+                }
+            }
+            Ctrl::Stats(s) => {
+                out.push(TAG_STATS);
+                wire::push_varint(&mut out, s.frames_in);
+                wire::push_varint(&mut out, s.frames_out);
+                wire::push_varint(&mut out, s.bytes_in);
+                wire::push_varint(&mut out, s.bytes_out);
+            }
+            Ctrl::ShutdownAck => out.push(TAG_SHUTDOWN_ACK),
+        }
+        out
+    }
+
+    pub(crate) fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut pos = 0usize;
+        let &tag = buf.first().ok_or(WireError::Truncated)?;
+        pos += 1;
+        let msg = match tag {
+            TAG_HELLO => {
+                let version = read_varint(buf, &mut pos)?;
+                let seed = read_varint(buf, &mut pos)?;
+                let round_id = read_varint(buf, &mut pos)?;
+                let validate = *wire::read_bytes(buf, &mut pos, 1)?.first().unwrap() != 0;
+                let has_faults = *wire::read_bytes(buf, &mut pos, 1)?.first().unwrap();
+                let faults = match has_faults {
+                    0 => None,
+                    1 => {
+                        let rates = decode_rates(buf, &mut pos)?;
+                        let fseed = read_varint(buf, &mut pos)?;
+                        Some(
+                            FaultPlan::new(rates, fseed)
+                                .map_err(|_| WireError::InvalidField("fault rates"))?,
+                        )
+                    }
+                    _ => return Err(WireError::InvalidField("faults flag")),
+                };
+                Ctrl::Hello(SessionHello {
+                    version,
+                    seed,
+                    round_id,
+                    validate,
+                    faults,
+                })
+            }
+            TAG_ENV => Ctrl::Env(read_env(buf, &mut pos)?),
+            TAG_WINDOW => Ctrl::Window {
+                start: read_f64(buf, &mut pos)?,
+                deadline: read_f64(buf, &mut pos)?,
+            },
+            TAG_REDELIVER => Ctrl::Redeliver(read_env(buf, &mut pos)?),
+            TAG_CLOSE => Ctrl::Close,
+            TAG_SHUTDOWN => Ctrl::Shutdown,
+            TAG_HELLO_ACK => Ctrl::HelloAck {
+                session_id: read_varint(buf, &mut pos)?,
+            },
+            TAG_DELIVERIES => {
+                let count = usize::try_from(read_varint(buf, &mut pos)?)
+                    .map_err(|_| WireError::Truncated)?;
+                // Each delivery is at least an envelope header; an absurd
+                // count cannot be backed by the buffer.
+                if count > buf.len().saturating_sub(pos) {
+                    return Err(WireError::Truncated);
+                }
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let at = read_f64(buf, &mut pos)?;
+                    items.push((at, read_env(buf, &mut pos)?));
+                }
+                Ctrl::Deliveries(items)
+            }
+            TAG_STATS => Ctrl::Stats(SessionStats {
+                frames_in: read_varint(buf, &mut pos)?,
+                frames_out: read_varint(buf, &mut pos)?,
+                bytes_in: read_varint(buf, &mut pos)?,
+                bytes_out: read_varint(buf, &mut pos)?,
+            }),
+            TAG_SHUTDOWN_ACK => Ctrl::ShutdownAck,
+            other => return Err(WireError::UnknownTag(other)),
+        };
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(msg)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The driver-side transport.
+// ---------------------------------------------------------------------------
+
+struct Inner {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    queue: EventQueue<Envelope>,
+    /// `Env`/`Redeliver` frames written but whose `Deliveries` response has
+    /// not been read back yet.
+    outstanding: usize,
+    /// Encoded bytes written since the last flush-and-drain.
+    unsynced_bytes: usize,
+    metrics: WireMetrics,
+    error: Option<FedError>,
+}
+
+/// A [`Transport`] whose frames cross a real TCP socket to a
+/// [`daemon`](crate::daemon) session (see the module docs for the
+/// architecture and parity contract).
+pub struct TcpTransport {
+    inner: RefCell<Inner>,
+}
+
+impl TcpTransport {
+    /// Connects a fault-free session — the socket-backed equivalent of
+    /// [`InMemoryTransport::new(seed)`](crate::net::InMemoryTransport::new).
+    ///
+    /// # Errors
+    /// Any socket error during connect or the session handshake.
+    pub fn connect<A: ToSocketAddrs>(addr: A, seed: u64) -> std::io::Result<Self> {
+        Self::open(
+            addr,
+            SessionHello {
+                version: PROTOCOL_VERSION,
+                seed,
+                round_id: 0,
+                validate: true,
+                faults: None,
+            },
+        )
+    }
+
+    /// Connects a session whose server-side fault stage replays
+    /// `config.faults` — the socket-backed equivalent of
+    /// [`SimNetTransport::for_config`](crate::net::SimNetTransport::for_config).
+    ///
+    /// # Errors
+    /// Any socket error during connect or the session handshake.
+    pub fn connect_for_config<A: ToSocketAddrs>(
+        addr: A,
+        config: &FederatedMeanConfig,
+        seed: u64,
+    ) -> std::io::Result<Self> {
+        Self::open(
+            addr,
+            SessionHello {
+                version: PROTOCOL_VERSION,
+                seed,
+                round_id: config.session_seed,
+                validate: config.validate,
+                faults: config.faults,
+            },
+        )
+    }
+
+    fn open<A: ToSocketAddrs>(addr: A, hello: SessionHello) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
+        let seed = hello.seed;
+        let mut inner = Inner {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            queue: EventQueue::new(seed),
+            outstanding: 0,
+            unsynced_bytes: 0,
+            metrics: WireMetrics::default(),
+            error: None,
+        };
+        let frame = Ctrl::Hello(hello).encode();
+        wire::write_frame(&mut inner.writer, &frame)?;
+        inner.writer.flush()?;
+        inner.metrics.frames_sent += 1;
+        inner.metrics.bytes_sent += wire::frame_len(frame.len()) as u64;
+        let ack = wire::read_frame(&mut inner.reader)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed during handshake",
+            )
+        })?;
+        inner.metrics.frames_received += 1;
+        inner.metrics.bytes_received += wire::frame_len(ack.len()) as u64;
+        match Ctrl::decode(&ack) {
+            Ok(Ctrl::HelloAck { .. }) => Ok(Self {
+                inner: RefCell::new(inner),
+            }),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected handshake response: {other:?}"),
+            )),
+        }
+    }
+
+    /// Overrides the driver-side read timeout (default
+    /// [`DEFAULT_READ_TIMEOUT`]); on expiry the session aborts with
+    /// [`FedError::Transport`].
+    ///
+    /// # Errors
+    /// Propagates the socket option error.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.inner
+            .borrow()
+            .reader
+            .get_ref()
+            .set_read_timeout(timeout)
+    }
+
+    /// Closes the session: drains in-flight echoes, then exchanges
+    /// `Close` for the daemon's per-session wire totals.
+    ///
+    /// # Errors
+    /// [`FedError::Transport`] if the session already failed or the
+    /// close handshake does.
+    pub fn close(self) -> Result<SessionStats, FedError> {
+        let mut inner = self.inner.into_inner();
+        sync(&mut inner);
+        if let Some(e) = inner.error.take() {
+            return Err(e);
+        }
+        let io_err = |op: &'static str| {
+            move |e: std::io::Error| FedError::Transport {
+                op,
+                detail: e.to_string(),
+            }
+        };
+        let frame = Ctrl::Close.encode();
+        wire::write_frame(&mut inner.writer, &frame).map_err(io_err("write"))?;
+        inner.writer.flush().map_err(io_err("write"))?;
+        let reply = wire::read_frame(&mut inner.reader)
+            .map_err(io_err("read"))?
+            .ok_or(FedError::Transport {
+                op: "read",
+                detail: "daemon closed before session stats".into(),
+            })?;
+        match Ctrl::decode(&reply) {
+            Ok(Ctrl::Stats(stats)) => Ok(stats),
+            other => Err(FedError::Transport {
+                op: "read",
+                detail: format!("unexpected close response: {other:?}"),
+            }),
+        }
+    }
+
+    /// Sends the admin `Shutdown` frame over a fresh connection, asking the
+    /// daemon to wind down gracefully. Returns once the daemon acknowledges.
+    ///
+    /// # Errors
+    /// Any socket error during connect or the exchange.
+    pub fn request_shutdown<A: ToSocketAddrs>(addr: A) -> std::io::Result<()> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
+        wire::write_frame(&mut stream, &Ctrl::Shutdown.encode())?;
+        stream.flush()?;
+        let reply = wire::read_frame(&mut stream)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed before shutdown ack",
+            )
+        })?;
+        match Ctrl::decode(&reply) {
+            Ok(Ctrl::ShutdownAck) => Ok(()),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected shutdown response: {other:?}"),
+            )),
+        }
+    }
+
+    fn write_ctrl(&mut self, ctrl: &Ctrl, expects_reply: bool) {
+        let inner = self.inner.get_mut();
+        if inner.error.is_some() {
+            return;
+        }
+        let frame = ctrl.encode();
+        let len = wire::frame_len(frame.len());
+        if let Err(e) = wire::write_frame(&mut inner.writer, &frame) {
+            fail(inner, "write", &e);
+            return;
+        }
+        inner.metrics.frames_sent += 1;
+        inner.metrics.bytes_sent += len as u64;
+        inner.unsynced_bytes += len;
+        if expects_reply {
+            inner.outstanding += 1;
+        }
+        if inner.unsynced_bytes >= SYNC_BYTES || inner.outstanding >= SYNC_FRAMES {
+            sync(inner);
+        }
+    }
+}
+
+fn fail(inner: &mut Inner, op: &'static str, e: &std::io::Error) {
+    if inner.error.is_none() {
+        inner.error = Some(FedError::Transport {
+            op,
+            detail: e.to_string(),
+        });
+    }
+    // The stream is unrecoverable; stop waiting on echoes that will never
+    // arrive so the session drains instead of spinning.
+    inner.outstanding = 0;
+    inner.unsynced_bytes = 0;
+}
+
+/// Flushes buffered sends and reads back one `Deliveries` frame per
+/// outstanding envelope, scheduling every echoed delivery on the local
+/// queue. On failure the typed error is recorded and the transport goes
+/// silent (see module docs).
+fn sync(inner: &mut Inner) {
+    if inner.error.is_some() {
+        return;
+    }
+    if inner.unsynced_bytes > 0 {
+        if let Err(e) = inner.writer.flush() {
+            fail(inner, "write", &e);
+            return;
+        }
+        inner.unsynced_bytes = 0;
+    }
+    while inner.outstanding > 0 {
+        let frame = match wire::read_frame(&mut inner.reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                let eof =
+                    std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "daemon closed session");
+                fail(inner, "read", &eof);
+                return;
+            }
+            Err(e) => {
+                fail(inner, "read", &e);
+                return;
+            }
+        };
+        inner.metrics.frames_received += 1;
+        inner.metrics.bytes_received += wire::frame_len(frame.len()) as u64;
+        match Ctrl::decode(&frame) {
+            Ok(Ctrl::Deliveries(items)) => {
+                for (at, env) in items {
+                    inner.queue.push(at, env.from, env);
+                }
+                inner.outstanding -= 1;
+            }
+            other => {
+                let bad = std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expected deliveries, got {other:?}"),
+                );
+                fail(inner, "read", &bad);
+                return;
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, env: Envelope) {
+        self.write_ctrl(&Ctrl::Env(env), true);
+    }
+
+    fn poll(&mut self) -> Option<(f64, Envelope)> {
+        let inner = self.inner.get_mut();
+        sync(inner);
+        inner.queue.pop().map(|s| (s.time, s.item))
+    }
+
+    fn peek_time(&self) -> Option<f64> {
+        let mut inner = self.inner.borrow_mut();
+        sync(&mut inner);
+        inner.queue.peek_time()
+    }
+
+    fn open_window(&mut self, start: f64, deadline: f64) {
+        self.write_ctrl(&Ctrl::Window { start, deadline }, false);
+    }
+
+    fn redeliver(&mut self, env: Envelope) {
+        self.write_ctrl(&Ctrl::Redeliver(env), true);
+    }
+
+    fn idle(&self) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        sync(&mut inner);
+        inner.queue.is_empty()
+    }
+
+    fn wire_metrics(&self) -> Option<WireMetrics> {
+        Some(self.inner.borrow().metrics)
+    }
+
+    fn take_error(&mut self) -> Option<FedError> {
+        self.inner.get_mut().error.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::COORDINATOR;
+    use fednum_core::wire::varint_len;
+
+    fn env(from: u64, at: f64, payload: Vec<u8>) -> Envelope {
+        Envelope {
+            from,
+            to: COORDINATOR,
+            sent_at: at,
+            payload,
+        }
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        let rates = FaultRates {
+            straggle: 0.25,
+            replay: 0.125,
+            ..FaultRates::none()
+        };
+        let frames = vec![
+            Ctrl::Hello(SessionHello {
+                version: PROTOCOL_VERSION,
+                seed: 42,
+                round_id: 7,
+                validate: false,
+                faults: Some(FaultPlan::new(rates, 99).unwrap()),
+            }),
+            Ctrl::Hello(SessionHello {
+                version: PROTOCOL_VERSION,
+                seed: 0,
+                round_id: 0,
+                validate: true,
+                faults: None,
+            }),
+            Ctrl::Env(env(3, 1.5, vec![1, 2, 3])),
+            Ctrl::Window {
+                start: 0.0,
+                deadline: 2.5,
+            },
+            Ctrl::Redeliver(env(u64::MAX, f64::MAX, vec![])),
+            Ctrl::Close,
+            Ctrl::Shutdown,
+            Ctrl::HelloAck { session_id: 12 },
+            Ctrl::Deliveries(vec![
+                (0.25, env(1, 0.25, vec![9])),
+                (1e9, env(2, 1e9, vec![])),
+            ]),
+            Ctrl::Stats(SessionStats {
+                frames_in: 1,
+                frames_out: 2,
+                bytes_in: 300,
+                bytes_out: 400,
+            }),
+            Ctrl::ShutdownAck,
+        ];
+        for f in frames {
+            let bytes = f.encode();
+            assert_eq!(Ctrl::decode(&bytes).unwrap(), f, "frame {f:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_control_frames() {
+        assert_eq!(Ctrl::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(Ctrl::decode(&[0x7F]), Err(WireError::UnknownTag(0x7F)));
+        // Truncated envelope body.
+        let mut bytes = Ctrl::Env(env(1, 0.5, vec![1, 2, 3])).encode();
+        bytes.truncate(bytes.len() - 1);
+        assert_eq!(Ctrl::decode(&bytes), Err(WireError::Truncated));
+        // Trailing garbage.
+        let mut bytes = Ctrl::Close.encode();
+        bytes.push(0);
+        assert_eq!(Ctrl::decode(&bytes), Err(WireError::TrailingBytes));
+        // Hostile delivery count fails before allocation.
+        let mut bytes = vec![TAG_DELIVERIES];
+        wire::push_varint(&mut bytes, u64::MAX);
+        assert_eq!(Ctrl::decode(&bytes), Err(WireError::Truncated));
+        // Invalid fault rates are rejected at decode, not at use.
+        let hostile = Ctrl::Hello(SessionHello {
+            version: PROTOCOL_VERSION,
+            seed: 1,
+            round_id: 1,
+            validate: true,
+            faults: Some(FaultPlan::new(FaultRates::none(), 3).unwrap()),
+        });
+        let mut bytes = hostile.encode();
+        // Overwrite the first rate (drop_before_report) with 2.0.
+        let rate_offset = bytes.len() - 7 * 8 - varint_len(3);
+        bytes[rate_offset..rate_offset + 8].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+        assert_eq!(
+            Ctrl::decode(&bytes),
+            Err(WireError::InvalidField("fault rates"))
+        );
+    }
+
+    #[test]
+    fn f64_bits_survive_the_codec_exactly() {
+        // Delivery times carry the parity contract: any rounding here would
+        // desynchronize the TCP run from the in-memory run. Exercise values
+        // with awkward mantissas and special encodings.
+        for at in [
+            0.0,
+            -0.0,
+            3e-9,
+            1e-9 + 3e-9 * 17.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1.0 + f64::EPSILON,
+        ] {
+            let frame = Ctrl::Deliveries(vec![(at, env(5, at, vec![0xAB]))]).encode();
+            match Ctrl::decode(&frame).unwrap() {
+                Ctrl::Deliveries(items) => {
+                    assert_eq!(items[0].0.to_bits(), at.to_bits());
+                    assert_eq!(items[0].1.sent_at.to_bits(), at.to_bits());
+                }
+                other => panic!("decoded {other:?}"),
+            }
+        }
+    }
+}

@@ -10,12 +10,39 @@ use fednum_core::encoding::FixedPointCodec;
 use fednum_core::privacy::RandomizedResponse;
 use fednum_core::protocol::basic::BasicConfig;
 use fednum_core::sampling::BitSampling;
-use fednum_fedsim::adaptive_round::{run_federated_adaptive, FederatedAdaptiveConfig};
+use fednum_fedsim::adaptive_round::{FederatedAdaptiveConfig, FederatedAdaptiveOutcome};
 use fednum_fedsim::round::{FederatedMeanConfig, SecAggSettings};
 use fednum_fedsim::{DropoutModel, LatencyModel};
-use fednum_transport::{run_federated_adaptive_transport, InMemoryTransport};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fednum_transport::{InMemoryTransport, RoundBuilder, Transport};
+
+/// The synchronous two-round protocol through the builder facade
+/// (`.seed(s)` reproduces the `StdRng` stream the old free function took).
+fn run_sync(values: &[f64], cfg: &FederatedAdaptiveConfig, seed: u64) -> FederatedAdaptiveOutcome {
+    RoundBuilder::new_adaptive(cfg.clone())
+        .seed(seed)
+        .run(values)
+        .unwrap()
+        .adaptive()
+        .unwrap()
+        .clone()
+}
+
+/// The two-session transport port through the same facade.
+fn run_wired(
+    values: &[f64],
+    cfg: &FederatedAdaptiveConfig,
+    transport: &mut dyn Transport,
+    seed: u64,
+) -> FederatedAdaptiveOutcome {
+    RoundBuilder::new_adaptive(cfg.clone())
+        .seed(seed)
+        .via(transport)
+        .run(values)
+        .unwrap()
+        .adaptive()
+        .unwrap()
+        .clone()
+}
 
 struct Case {
     id: u64,
@@ -86,16 +113,9 @@ fn adaptive_transport_is_bit_identical_to_the_sync_protocol() {
             .collect();
         let cfg = config_for(case);
         secagg_cases += usize::from(case.secagg);
-        let sync =
-            run_federated_adaptive(&values, &cfg, &mut StdRng::seed_from_u64(case.id)).unwrap();
+        let sync = run_sync(&values, &cfg, case.id);
         let mut transport = InMemoryTransport::new(case.id);
-        let wired = run_federated_adaptive_transport(
-            &values,
-            &cfg,
-            &mut transport,
-            &mut StdRng::seed_from_u64(case.id),
-        )
-        .unwrap();
+        let wired = run_wired(&values, &cfg, &mut transport, case.id);
 
         let tag = format!("case {}", case.id);
         assert_eq!(

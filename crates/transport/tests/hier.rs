@@ -25,13 +25,54 @@ use fednum_hiersec::HierSecConfig;
 use fednum_secagg::SecAggError;
 use fednum_transport::message::MaskedInput;
 use fednum_transport::{
-    run_federated_mean_transport, run_hierarchical_mean, run_sharded_mean, InMemoryTransport,
-    Message,
+    HierShardedOutcome, InMemoryTransport, Message, RoundBuilder, ShardedOutcome, Transport,
 };
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 const BITS: u32 = 8;
+
+// Builder-backed stand-ins for the deprecated free functions: the call
+// shapes below predate `RoundBuilder` and stay put so the assertions read
+// unchanged; the facade is what actually runs.
+fn run_hierarchical_mean(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    hier: &HierSecConfig,
+    workers: usize,
+    seed: u64,
+) -> Result<HierShardedOutcome, FedError> {
+    RoundBuilder::new(config.clone())
+        .hierarchical(*hier, workers)
+        .seed(seed)
+        .run(values)
+        .map(|out| out.hierarchical().unwrap().clone())
+}
+
+fn run_sharded_mean(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    shards: usize,
+    seed: u64,
+) -> Result<ShardedOutcome, FedError> {
+    RoundBuilder::new(config.clone())
+        .sharded(shards, seed)
+        .run(values)
+        .map(|out| out.sharded().unwrap().clone())
+}
+
+fn run_federated_mean_transport(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<fednum_fedsim::round::FederatedOutcome, FedError> {
+    RoundBuilder::new(config.clone())
+        .via(transport)
+        .rng(rng)
+        .run(values)
+        .map(|out| out.flat().unwrap().clone())
+}
 
 fn settings() -> SecAggSettings {
     SecAggSettings {

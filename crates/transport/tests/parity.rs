@@ -14,18 +14,40 @@ use fednum_core::privacy::{PrivacyBudget, PrivacyLedger, RandomizedResponse};
 use fednum_core::protocol::basic::BasicConfig;
 use fednum_core::sampling::BitSampling;
 use fednum_fedsim::faults::{FaultPlan, FaultRates};
-use fednum_fedsim::round::{
-    run_federated_mean, run_federated_mean_metered, FederatedMeanConfig, FederatedOutcome,
-    SecAggSettings,
-};
+use fednum_fedsim::round::{FederatedMeanConfig, FederatedOutcome, SecAggSettings};
 use fednum_fedsim::{DropoutModel, FedError, LatencyModel, RetryPolicy};
 use fednum_transport::net::SimNetTransport;
-use fednum_transport::{
-    run_federated_mean_transport, run_federated_mean_transport_metered, InMemoryTransport,
-    Transport,
-};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fednum_transport::{InMemoryTransport, RoundBuilder, Transport};
+
+/// Runs the synchronous (legacy-loop) engine through the builder facade:
+/// `.seed(s)` seeds the same `StdRng` stream the old free functions took.
+fn run_sync(
+    values: &[f64],
+    cfg: &FederatedMeanConfig,
+    ledger: Option<&mut PrivacyLedger>,
+    seed: u64,
+) -> Result<FederatedOutcome, FedError> {
+    let mut b = RoundBuilder::new(cfg.clone()).seed(seed);
+    if let Some(ledger) = ledger {
+        b = b.metered(ledger);
+    }
+    b.run(values).map(|out| out.flat().unwrap().clone())
+}
+
+/// Runs the event-driven engine over `transport` through the same facade.
+fn run_evented(
+    values: &[f64],
+    cfg: &FederatedMeanConfig,
+    ledger: Option<&mut PrivacyLedger>,
+    transport: &mut dyn Transport,
+    seed: u64,
+) -> Result<FederatedOutcome, FedError> {
+    let mut b = RoundBuilder::new(cfg.clone()).seed(seed).via(transport);
+    if let Some(ledger) = ledger {
+        b = b.metered(ledger);
+    }
+    b.run(values).map(|out| out.flat().unwrap().clone())
+}
 
 const BITS: u32 = 8;
 
@@ -204,14 +226,9 @@ fn transport_path_is_bit_identical_across_the_config_grid() {
         let values = values_for(case);
         let cfg = config_for(case);
         fault_cases += usize::from(cfg.faults.is_some());
-        let legacy = run_federated_mean(&values, &cfg, &mut StdRng::seed_from_u64(case.id));
+        let legacy = run_sync(&values, &cfg, None, case.id);
         let mut transport = transport_for(&cfg, case.id);
-        let evented = run_federated_mean_transport(
-            &values,
-            &cfg,
-            transport.as_mut(),
-            &mut StdRng::seed_from_u64(case.id),
-        );
+        let evented = run_evented(&values, &cfg, None, transport.as_mut(), case.id);
         match (legacy, evented) {
             (Ok(l), Ok(e)) => assert_outcomes_match(case.id, cfg.validate, &l, &e),
             (Err(l), Err(e)) => {
@@ -237,20 +254,15 @@ fn metered_path_matches_and_bills_identically() {
         let values = values_for(case);
         let cfg = config_for(case);
         let mut legacy_ledger = PrivacyLedger::new();
-        let legacy = run_federated_mean_metered(
-            &values,
-            &cfg,
-            &mut legacy_ledger,
-            &mut StdRng::seed_from_u64(case.id),
-        );
+        let legacy = run_sync(&values, &cfg, Some(&mut legacy_ledger), case.id);
         let mut evented_ledger = PrivacyLedger::new();
         let mut transport = transport_for(&cfg, case.id);
-        let evented = run_federated_mean_transport_metered(
+        let evented = run_evented(
             &values,
             &cfg,
-            &mut evented_ledger,
+            Some(&mut evented_ledger),
             transport.as_mut(),
-            &mut StdRng::seed_from_u64(case.id),
+            case.id,
         );
         match (legacy, evented) {
             (Ok(l), Ok(e)) => assert_outcomes_match(case.id, cfg.validate, &l, &e),
@@ -298,16 +310,10 @@ fn budget_exhaustion_errors_identically() {
         ledger
     };
     let mut l1 = exhausted();
-    let legacy = run_federated_mean_metered(&values, &cfg, &mut l1, &mut StdRng::seed_from_u64(9));
+    let legacy = run_sync(&values, &cfg, Some(&mut l1), 9);
     let mut l2 = exhausted();
     let mut t = InMemoryTransport::new(9);
-    let evented = run_federated_mean_transport_metered(
-        &values,
-        &cfg,
-        &mut l2,
-        &mut t,
-        &mut StdRng::seed_from_u64(9),
-    );
+    let evented = run_evented(&values, &cfg, Some(&mut l2), &mut t, 9);
     match (legacy, evented) {
         (Err(FedError::Budget(a)), Err(FedError::Budget(b))) => assert_eq!(a, b),
         (l, e) => panic!("expected identical budget errors, got {l:?} vs {e:?}"),

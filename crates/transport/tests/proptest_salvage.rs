@@ -18,12 +18,41 @@ use fednum_fedsim::round::{FederatedMeanConfig, SalvageOutcome, SecAggSettings};
 use fednum_fedsim::{RetryPolicy, SalvagePolicy};
 use fednum_hiersec::HierSecConfig;
 use fednum_transport::net::SimNetTransport;
-use fednum_transport::{run_federated_mean_transport, run_hierarchical_mean};
+use fednum_transport::{HierShardedOutcome, RoundBuilder, Transport};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 const BITS: u32 = 8;
+
+// Builder-backed stand-ins for the deprecated free functions; the property
+// bodies below keep their original call shapes.
+fn run_federated_mean_transport(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<fednum_fedsim::round::FederatedOutcome, fednum_fedsim::FedError> {
+    RoundBuilder::new(config.clone())
+        .via(transport)
+        .rng(rng)
+        .run(values)
+        .map(|out| out.flat().unwrap().clone())
+}
+
+fn run_hierarchical_mean(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    hier: &HierSecConfig,
+    workers: usize,
+    seed: u64,
+) -> Result<HierShardedOutcome, fednum_fedsim::FedError> {
+    RoundBuilder::new(config.clone())
+        .hierarchical(*hier, workers)
+        .seed(seed)
+        .run(values)
+        .map(|out| out.hierarchical().unwrap().clone())
+}
 
 fn config(straggle: f64, plan_seed: u64, secagg: bool) -> FederatedMeanConfig {
     let mut cfg = FederatedMeanConfig::new(BasicConfig::new(

@@ -18,14 +18,42 @@ use fednum_fedsim::faults::{FaultPlan, FaultRates};
 use fednum_fedsim::round::{FederatedMeanConfig, SalvageOutcome, SecAggSettings};
 use fednum_fedsim::{DropoutModel, LatencyModel, RetryPolicy, SalvagePolicy};
 use fednum_transport::net::SimNetTransport;
-use fednum_transport::{
-    run_federated_mean_transport, run_federated_mean_transport_metered, InMemoryTransport,
-    Transport,
-};
+use fednum_transport::{InMemoryTransport, RoundBuilder, Transport};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 const BITS: u32 = 8;
+
+// Builder-backed stand-ins for the deprecated free functions; the call
+// shapes below predate `RoundBuilder` and are kept so the assertions read
+// unchanged.
+fn run_federated_mean_transport(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<fednum_fedsim::round::FederatedOutcome, fednum_fedsim::FedError> {
+    RoundBuilder::new(config.clone())
+        .via(transport)
+        .rng(rng)
+        .run(values)
+        .map(|out| out.flat().unwrap().clone())
+}
+
+fn run_federated_mean_transport_metered(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    ledger: &mut PrivacyLedger,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<fednum_fedsim::round::FederatedOutcome, fednum_fedsim::FedError> {
+    RoundBuilder::new(config.clone())
+        .metered(ledger)
+        .via(transport)
+        .rng(rng)
+        .run(values)
+        .map(|out| out.flat().unwrap().clone())
+}
 
 fn straggler_rates(rate: f64) -> FaultRates {
     FaultRates {

@@ -1,0 +1,421 @@
+//! Loopback TCP ↔ in-process parity: a round driven over a real socket to
+//! the persistent coordinator daemon must publish **bit-identical**
+//! results — estimate, completion time, robustness telemetry, and the
+//! traffic ledger's per-phase totals — to the same round over
+//! [`InMemoryTransport`] (fault-free) or [`SimNetTransport`] (faulted).
+//!
+//! This is the tentpole guarantee of the TCP subsystem: every protocol
+//! frame genuinely crosses the kernel's loopback (encoded, fragmented,
+//! reassembled, fault-staged server-side, echoed), yet the discrete-event
+//! clock and the published statistics cannot tell the difference.
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use fednum_core::encoding::FixedPointCodec;
+use fednum_core::privacy::{PrivacyLedger, RandomizedResponse};
+use fednum_core::protocol::basic::BasicConfig;
+use fednum_core::sampling::BitSampling;
+use fednum_fedsim::error::FedError;
+use fednum_fedsim::faults::{FaultPlan, FaultRates};
+use fednum_fedsim::round::{FederatedMeanConfig, FederatedOutcome, SecAggSettings};
+use fednum_fedsim::{DropoutModel, LatencyModel, RetryPolicy, SalvagePolicy};
+use fednum_hiersec::HierSecConfig;
+use fednum_transport::daemon::{self, DaemonConfig, DaemonHandle};
+use fednum_transport::net::{Envelope, SimNetTransport, COORDINATOR};
+use fednum_transport::{
+    HierShardedOutcome, InMemoryTransport, RoundBuilder, ShardTransportFactory, TcpTransport,
+    Transport,
+};
+
+const BITS: u32 = 8;
+
+fn daemon() -> DaemonHandle {
+    daemon::spawn(DaemonConfig::default()).expect("bind loopback daemon")
+}
+
+fn base_config(seed: u64) -> FederatedMeanConfig {
+    let protocol = BasicConfig::new(
+        FixedPointCodec::integer(BITS),
+        BitSampling::geometric(BITS, 1.0),
+    );
+    let mut cfg = FederatedMeanConfig::new(protocol)
+        .with_dropout(DropoutModel::bernoulli(0.2))
+        .with_retry(RetryPolicy {
+            max_secagg_retries: 2,
+            base_backoff: 0.5,
+            max_backoff: 8.0,
+            min_cohort: 5,
+        })
+        .with_auto_adjust(3, 4, 0.7)
+        .with_latency(LatencyModel::new(0.5, 0.6, 30.0));
+    cfg.session_seed = seed;
+    cfg
+}
+
+fn values(n: usize, salt: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as u64 * 37 + salt * 13) % 230) as f64)
+        .collect()
+}
+
+fn run_over(
+    vals: &[f64],
+    cfg: &FederatedMeanConfig,
+    transport: &mut dyn Transport,
+    rng_seed: u64,
+) -> Result<FederatedOutcome, FedError> {
+    RoundBuilder::new(cfg.clone())
+        .seed(rng_seed)
+        .via(transport)
+        .run(vals)
+        .map(|out| out.flat().unwrap().clone())
+}
+
+fn assert_identical(tag: &str, a: &FederatedOutcome, b: &FederatedOutcome) {
+    assert_eq!(
+        a.outcome.estimate.to_bits(),
+        b.outcome.estimate.to_bits(),
+        "{tag}: estimate bits diverge: {} vs {}",
+        a.outcome.estimate,
+        b.outcome.estimate
+    );
+    assert_eq!(
+        a.outcome.predicted_std.to_bits(),
+        b.outcome.predicted_std.to_bits(),
+        "{tag}: predicted_std"
+    );
+    assert_eq!(a.contacted, b.contacted, "{tag}: contacted");
+    assert_eq!(a.reports, b.reports, "{tag}: reports");
+    assert_eq!(a.waves_used, b.waves_used, "{tag}: waves");
+    assert_eq!(
+        a.completion_time.to_bits(),
+        b.completion_time.to_bits(),
+        "{tag}: completion_time"
+    );
+    assert_eq!(a.starved_bits, b.starved_bits, "{tag}: starved bits");
+    assert_eq!(a.secagg, b.secagg, "{tag}: secagg summary");
+    assert_eq!(
+        a.robustness, b.robustness,
+        "{tag}: robustness telemetry (includes the traffic ledger)"
+    );
+    assert!(
+        a.robustness.traffic == b.robustness.traffic,
+        "{tag}: per-phase traffic ledger"
+    );
+}
+
+#[test]
+fn plain_and_secagg_rounds_over_loopback_match_in_memory() {
+    let handle = daemon();
+    let addr = handle.addr();
+    let mut secagg_cfg = base_config(0x51);
+    secagg_cfg = secagg_cfg.with_secagg(SecAggSettings {
+        threshold_fraction: 0.5,
+        neighbors: Some(24),
+    });
+    let cases: Vec<(&str, FederatedMeanConfig, usize)> = vec![
+        ("plain", base_config(0x50), 120),
+        ("secagg", secagg_cfg, 300),
+    ];
+    for (tag, cfg, n) in cases {
+        let vals = values(n, cfg.session_seed);
+        let seed = cfg.session_seed ^ 0xD00D;
+        let mut mem = InMemoryTransport::new(seed);
+        let reference = run_over(&vals, &cfg, &mut mem, cfg.session_seed).unwrap();
+        let mut tcp = TcpTransport::connect(addr, seed).expect("connect");
+        let over_tcp = run_over(&vals, &cfg, &mut tcp, cfg.session_seed).unwrap();
+        assert_identical(tag, &reference, &over_tcp);
+        let wire = tcp.wire_metrics().expect("tcp meters the wire");
+        assert!(wire.frames_sent > 0 && wire.frames_received > 0, "{tag}");
+        let stats = tcp.close().expect("clean close");
+        // The daemon's view of the session and the driver's agree exactly
+        // (the Stats reply itself is excluded from the daemon's totals).
+        assert_eq!(stats.frames_in, wire.frames_sent + 1, "{tag}: close frame");
+        assert_eq!(stats.frames_out, wire.frames_received, "{tag}");
+        assert_eq!(stats.bytes_out, wire.bytes_received, "{tag}");
+    }
+    handle.shutdown().expect("clean daemon shutdown");
+}
+
+#[test]
+fn faulted_and_salvage_rounds_over_loopback_match_simnet() {
+    let handle = daemon();
+    let addr = handle.addr();
+    let mixed = FaultRates {
+        duplicate: 0.10,
+        replay: 0.07,
+        straggle: 0.08,
+        corrupt_bit: 0.04,
+        stale_round: 0.04,
+        ..FaultRates::none()
+    };
+    let mut cases: Vec<(&str, FederatedMeanConfig, usize)> = Vec::new();
+    let mut validated = base_config(0x61);
+    validated = validated.with_faults(FaultPlan::new(mixed, 0xFA17).unwrap());
+    cases.push(("faults+validate", validated.clone(), 300));
+    cases.push(("faults+naive", validated.clone().naive(), 300));
+    let mut salvage = validated
+        .clone()
+        .with_salvage(SalvagePolicy::default())
+        .with_secagg(SecAggSettings {
+            threshold_fraction: 0.5,
+            neighbors: Some(24),
+        });
+    salvage.session_seed = 0x62;
+    cases.push(("faults+secagg+salvage", salvage, 400));
+    for (tag, cfg, n) in cases {
+        let vals = values(n, cfg.session_seed);
+        let seed = cfg.session_seed ^ 0xBEEF;
+        let mut sim = SimNetTransport::for_config(&cfg, seed);
+        let reference = run_over(&vals, &cfg, &mut sim, cfg.session_seed).unwrap();
+        let mut tcp = TcpTransport::connect_for_config(addr, &cfg, seed).expect("connect");
+        let over_tcp = run_over(&vals, &cfg, &mut tcp, cfg.session_seed).unwrap();
+        assert_identical(tag, &reference, &over_tcp);
+        if tag == "faults+secagg+salvage" {
+            assert!(
+                reference.robustness.salvage.is_some(),
+                "salvage case must exercise the redeliver path"
+            );
+        }
+        tcp.close().expect("clean close");
+    }
+    handle.shutdown().expect("clean daemon shutdown");
+}
+
+#[test]
+fn metered_rounds_bill_the_ledger_identically_over_tcp() {
+    let handle = daemon();
+    let addr = handle.addr();
+    let protocol = BasicConfig::new(
+        FixedPointCodec::integer(BITS),
+        BitSampling::geometric(BITS, 1.0),
+    )
+    .with_privacy(RandomizedResponse::from_epsilon(2.5));
+    let mut cfg = base_config(0x71);
+    cfg.protocol = protocol;
+    let vals = values(200, cfg.session_seed);
+    let seed = 0xABBA;
+
+    let mut ledger_mem = PrivacyLedger::new();
+    let mut mem = InMemoryTransport::new(seed);
+    let reference = RoundBuilder::new(cfg.clone())
+        .seed(cfg.session_seed)
+        .metered(&mut ledger_mem)
+        .via(&mut mem)
+        .run(&vals)
+        .map(|out| out.flat().unwrap().clone())
+        .unwrap();
+
+    let mut ledger_tcp = PrivacyLedger::new();
+    let mut tcp = TcpTransport::connect(addr, seed).expect("connect");
+    let over_tcp = RoundBuilder::new(cfg.clone())
+        .seed(cfg.session_seed)
+        .metered(&mut ledger_tcp)
+        .via(&mut tcp)
+        .run(&vals)
+        .map(|out| out.flat().unwrap().clone())
+        .unwrap();
+
+    assert_identical("metered", &reference, &over_tcp);
+    assert_eq!(
+        ledger_mem.max_bits_per_client(),
+        ledger_tcp.max_bits_per_client(),
+        "ledgers diverge over TCP"
+    );
+    assert_eq!(
+        ledger_mem.max_epsilon_per_client(),
+        ledger_tcp.max_epsilon_per_client(),
+        "epsilon totals diverge over TCP"
+    );
+    tcp.close().expect("clean close");
+    handle.shutdown().expect("clean daemon shutdown");
+}
+
+/// Two-tier secure aggregation with straggler salvage, every shard driven
+/// over its own loopback TCP session via the `RoundBuilder` factory hook:
+/// the merged outcome must be bit-identical to the all-in-process run, and
+/// salvage must genuinely fire so the redeliver path crosses the socket.
+#[test]
+fn hierarchical_salvage_rounds_over_loopback_match_in_process() {
+    use fednum_fedsim::round::SalvageOutcome;
+
+    let handle = daemon();
+    let addr = handle.addr();
+    let settings = SecAggSettings {
+        threshold_fraction: 0.5,
+        neighbors: Some(16),
+    };
+    let cfg = base_config(0x91)
+        .with_secagg(settings)
+        .with_faults(
+            FaultPlan::new(
+                FaultRates {
+                    straggle: 0.2,
+                    ..FaultRates::none()
+                },
+                0x5A19,
+            )
+            .unwrap(),
+        )
+        .with_salvage(SalvagePolicy::default());
+    let hier = HierSecConfig::try_new(4, settings, 3, 0xC0FF).unwrap();
+    let vals = values(1_200, cfg.session_seed);
+
+    let reference: HierShardedOutcome = RoundBuilder::new(cfg.clone())
+        .hierarchical(hier, 2)
+        .seed(29)
+        .run(&vals)
+        .unwrap()
+        .hierarchical()
+        .unwrap()
+        .clone();
+    let Some(SalvageOutcome::Salvaged { reports }) = reference.salvage else {
+        panic!(
+            "salvage must fire so the TCP run exercises redelivery: {:?}",
+            reference.salvage
+        );
+    };
+    assert!(reports > 0);
+
+    let make: ShardTransportFactory<'_> = &|tseed| {
+        TcpTransport::connect_for_config(addr, &cfg, tseed)
+            .map(|t| Box::new(t) as Box<dyn Transport>)
+            .map_err(|e| FedError::Transport {
+                op: "connect",
+                detail: e.to_string(),
+            })
+    };
+    let over_tcp = RoundBuilder::new(cfg.clone())
+        .hierarchical(hier, 2)
+        .seed(29)
+        .shard_transports(make)
+        .run(&vals)
+        .unwrap();
+    let got = over_tcp.hierarchical().expect("hierarchical detail");
+
+    assert_eq!(
+        reference.outcome.estimate.to_bits(),
+        got.outcome.estimate.to_bits(),
+        "hier estimate diverges over TCP: {} vs {}",
+        reference.outcome.estimate,
+        got.outcome.estimate
+    );
+    assert_eq!(reference.reports, got.reports, "reports");
+    assert_eq!(reference.contacted, got.contacted, "contacted");
+    assert_eq!(reference.late_frames, got.late_frames, "late frames");
+    assert_eq!(reference.salvage, got.salvage, "salvage outcome");
+    assert_eq!(
+        reference.salvaged_shards, got.salvaged_shards,
+        "salvaged shards"
+    );
+    assert_eq!(
+        reference.completion_time.to_bits(),
+        got.completion_time.to_bits(),
+        "completion time"
+    );
+    assert_eq!(reference.traffic, got.traffic, "merged traffic ledger");
+
+    // The factory path meters the wire; every shard session shows up in
+    // the merged totals and in the daemon's own accounting.
+    let wire = over_tcp.wire.expect("shard sessions meter the wire");
+    assert!(wire.frames_sent > 0 && wire.frames_received > 0);
+    let stats = handle.shutdown().expect("clean daemon shutdown");
+    assert!(
+        stats.sessions_opened >= hier.shards as u64,
+        "expected one session per shard, saw {}",
+        stats.sessions_opened
+    );
+}
+
+#[test]
+fn daemon_serves_three_concurrent_driver_sessions() {
+    let handle = daemon();
+    let addr = handle.addr();
+    let barrier = Arc::new(Barrier::new(3));
+    let mut joins = Vec::new();
+    for i in 0..3u64 {
+        let barrier = Arc::clone(&barrier);
+        joins.push(std::thread::spawn(move || {
+            let cfg = base_config(0x80 + i);
+            let vals = values(150 + 10 * i as usize, cfg.session_seed);
+            let seed = cfg.session_seed ^ 0xCAFE;
+            // Hold all three connections open simultaneously before running
+            // so concurrency is guaranteed, not scheduling luck.
+            let mut tcp = TcpTransport::connect(addr, seed).expect("connect");
+            barrier.wait();
+            let over_tcp = run_over(&vals, &cfg, &mut tcp, cfg.session_seed).unwrap();
+            tcp.close().expect("clean close");
+            let mut mem = InMemoryTransport::new(seed);
+            let reference = run_over(&vals, &cfg, &mut mem, cfg.session_seed).unwrap();
+            assert_identical(&format!("concurrent driver {i}"), &reference, &over_tcp);
+        }));
+    }
+    for j in joins {
+        j.join().expect("driver thread");
+    }
+    let stats = handle.shutdown().expect("clean daemon shutdown");
+    assert!(
+        stats.sessions_opened >= 3,
+        "expected 3 sessions, saw {}",
+        stats.sessions_opened
+    );
+    assert!(
+        stats.peak_connections >= 3,
+        "sessions were serialized: peak {}",
+        stats.peak_connections
+    );
+    assert_eq!(stats.sessions_closed, 3);
+    assert_eq!(stats.active_connections, 0);
+}
+
+#[test]
+fn read_timeouts_surface_as_typed_transport_errors() {
+    let handle = daemon::spawn(DaemonConfig {
+        read_timeout: Duration::from_millis(100),
+        ..DaemonConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr();
+    let mut tcp = TcpTransport::connect(addr, 1).expect("connect");
+    // Let the daemon's idle timeout fire and drop the connection.
+    std::thread::sleep(Duration::from_millis(300));
+    tcp.send(Envelope {
+        from: 0,
+        to: COORDINATOR,
+        sent_at: 0.0,
+        payload: fednum_transport::Message::Hello { round_id: 1 }.encode(),
+    });
+    assert_eq!(tcp.poll(), None, "failed transport must drain silently");
+    match tcp.take_error() {
+        Some(FedError::Transport { op, .. }) => {
+            assert!(op == "read" || op == "write", "unexpected op {op:?}")
+        }
+        other => panic!("expected a typed transport error, got {other:?}"),
+    }
+    let stats = handle.shutdown().expect("clean daemon shutdown");
+    assert!(stats.timeouts >= 1, "daemon never counted the idle drop");
+}
+
+#[test]
+fn shutdown_wakes_idle_connections_and_reports_stats() {
+    let handle = daemon();
+    let addr = handle.addr();
+    // Park an idle session (30s read timeout — only the shutdown wake can
+    // end it promptly).
+    let parked = TcpTransport::connect(addr, 7).expect("connect");
+    let stats = handle
+        .shutdown()
+        .expect("shutdown must not hang on parked sessions");
+    assert_eq!(stats.sessions_opened, 1);
+    drop(parked);
+}
+
+#[test]
+fn admin_shutdown_frame_stops_the_daemon() {
+    let handle = daemon();
+    let addr = handle.addr();
+    TcpTransport::request_shutdown(addr).expect("admin shutdown");
+    assert!(handle.shutdown_requested());
+    handle.shutdown().expect("clean daemon shutdown");
+}

@@ -14,9 +14,10 @@ use fednum::core::bounds::UpperBoundTracker;
 use fednum::core::encoding::FixedPointCodec;
 use fednum::core::protocol::basic::BasicConfig;
 use fednum::core::sampling::BitSampling;
-use fednum::fedsim::round::{run_federated_mean, FederatedMeanConfig, SecAggSettings};
+use fednum::fedsim::round::{FederatedMeanConfig, SecAggSettings};
 use fednum::fedsim::{DropoutModel, LatencyModel};
 use fednum::workloads::{Dataset, MostlyBinaryWithOutliers, Sampler};
+use fednum::RoundBuilder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -56,8 +57,13 @@ fn main() {
             })
             .with_latency(LatencyModel::typical_fleet());
 
-        let out = run_federated_mean(cohort.values(), &config, &mut rng)
-            .expect("round should succeed with 80% availability");
+        let out = RoundBuilder::new(config)
+            .rng(&mut rng)
+            .run(cohort.values())
+            .expect("round should succeed with 80% availability")
+            .flat()
+            .expect("flat round")
+            .clone();
         let winsorized_truth = cohort.clipped_mean(((1u64 << bits) - 1) as f64);
         println!(
             "round {round}: clipped mean = {:.3} (truth {:.3}), {} reports in {} wave(s), \

@@ -38,3 +38,7 @@ pub use fednum_metrics as metrics;
 pub use fednum_secagg as secagg;
 pub use fednum_transport as transport;
 pub use fednum_workloads as workloads;
+
+// The unified entry point for every round flavor, hoisted to the crate
+// root: `fednum::RoundBuilder::new(config).run(&values)`.
+pub use fednum_transport::{RoundBuilder, RoundDetail, RoundOutcome};

@@ -16,15 +16,59 @@ use fednum::core::privacy::{PrivacyLedger, RandomizedResponse};
 use fednum::core::protocol::basic::BasicConfig;
 use fednum::core::sampling::BitSampling;
 use fednum::fedsim::faults::{FaultPlan, FaultRates};
-use fednum::fedsim::round::{
-    run_federated_mean_metered, DegradedMode, FederatedMeanConfig, SecAggSettings,
-};
+use fednum::fedsim::round::{DegradedMode, FederatedMeanConfig, FederatedOutcome, SecAggSettings};
 use fednum::fedsim::{Client, DropoutModel, ElicitStrategy, FedError, Population, RetryPolicy};
+use fednum::RoundBuilder;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 const BITS: u32 = 8;
 const DOMAIN: f64 = 256.0; // integer(8) codec span
+
+// Builder-backed stand-ins for the deprecated free functions: the chaos
+// grids below predate `RoundBuilder` and keep their original call shapes;
+// the facade is what actually runs.
+fn run_federated_mean_metered(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    ledger: &mut PrivacyLedger,
+    rng: &mut dyn Rng,
+) -> Result<FederatedOutcome, FedError> {
+    RoundBuilder::new(config.clone())
+        .metered(ledger)
+        .rng(rng)
+        .run(values)
+        .map(|out| out.flat().unwrap().clone())
+}
+
+fn run_federated_mean_transport_metered(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    ledger: &mut PrivacyLedger,
+    transport: &mut dyn fednum::transport::Transport,
+    rng: &mut dyn Rng,
+) -> Result<FederatedOutcome, FedError> {
+    RoundBuilder::new(config.clone())
+        .metered(ledger)
+        .via(transport)
+        .rng(rng)
+        .run(values)
+        .map(|out| out.flat().unwrap().clone())
+}
+
+fn run_hierarchical_mean(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    hier: &fednum::hiersec::HierSecConfig,
+    workers: usize,
+    seed: u64,
+) -> Result<fednum::transport::HierShardedOutcome, FedError> {
+    RoundBuilder::new(config.clone())
+        .hierarchical(*hier, workers)
+        .seed(seed)
+        .run(values)
+        .map(|out| out.hierarchical().unwrap().clone())
+}
 
 /// One cell of the scenario grid.
 struct Scenario {
@@ -223,6 +267,14 @@ fn chaos_scenarios_never_panic_and_degrade_predictably() {
                     | FedError::Budget(_)
                     | FedError::BitOutOfRange { .. }
                     | FedError::InvalidConfig(_) => {}
+                    // The sync in-memory engine never touches a socket; a
+                    // transport error here is a pipeline bug, not chaos.
+                    FedError::Transport { .. } => {
+                        panic!(
+                            "scenario {}: transport error without a wire: {e}",
+                            scenario.id
+                        )
+                    }
                 }
             }
         }
@@ -319,7 +371,7 @@ fn chaos_scenarios_degrade_identically_over_the_simulated_network() {
     // where the legacy synchronous loop landed — same estimate bits, same
     // degradation class, same typed error — with zero panics.
     use fednum::transport::net::SimNetTransport;
-    use fednum::transport::{run_federated_mean_transport_metered, InMemoryTransport, Transport};
+    use fednum::transport::{InMemoryTransport, Transport};
 
     let grid = scenario_grid();
     let mut identical = 0usize;
@@ -408,7 +460,6 @@ fn salvage_never_worsens_the_estimate_across_the_chaos_grid() {
     use fednum::fedsim::round::SalvageOutcome;
     use fednum::fedsim::SalvagePolicy;
     use fednum::transport::net::SimNetTransport;
-    use fednum::transport::run_federated_mean_transport_metered;
 
     let grid: Vec<Scenario> = scenario_grid().into_iter().step_by(5).collect();
     assert!(
@@ -579,7 +630,6 @@ fn chaos_matrix_composes_with_hierarchical_secagg() {
     // telemetry), shard bookkeeping partitions cleanly, and the worker
     // pool never changes the outcome.
     use fednum::hiersec::HierSecConfig;
-    use fednum::transport::run_hierarchical_mean;
 
     let grid: Vec<Scenario> = scenario_grid()
         .into_iter()

@@ -6,10 +6,11 @@ use fednum::core::privacy::{BitSquash, RandomizedResponse};
 use fednum::core::protocol::adaptive::{AdaptiveBitPushing, AdaptiveConfig};
 use fednum::core::protocol::basic::{BasicBitPushing, BasicConfig};
 use fednum::core::sampling::BitSampling;
-use fednum::fedsim::round::{run_federated_mean, FederatedMeanConfig, SecAggSettings};
+use fednum::fedsim::round::{FederatedMeanConfig, SecAggSettings};
 use fednum::fedsim::{DropoutModel, ElicitStrategy, LatencyModel, Population};
 use fednum::metrics::{run_repetitions, Repetitions};
 use fednum::workloads::{CensusAges, Dataset, Exponential, Normal, Sampler, Uniform};
+use fednum::RoundBuilder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -57,8 +58,13 @@ fn full_stack_census_survey_with_dp_and_secagg() {
             ..SecAggSettings::default()
         })
         .with_latency(LatencyModel::typical_fleet());
-    let mut rng = StdRng::seed_from_u64(17);
-    let out = run_federated_mean(ages.values(), &config, &mut rng).expect("round succeeds");
+    let out = RoundBuilder::new(config)
+        .seed(17)
+        .run(ages.values())
+        .expect("round succeeds")
+        .flat()
+        .expect("flat round")
+        .clone();
     assert!(
         (out.outcome.estimate - truth).abs() / truth < 0.2,
         "estimate {} vs truth {truth}",
