@@ -89,6 +89,76 @@ grep -Eq 'peak [3-9][0-9]* concurrent' "$FEDNUMD_LOG" \
     || { echo "fednumd never served 3 concurrent sessions"; exit 1; }
 rm -f "$FEDNUMD_LOG"
 
+step "bench_tcp --longitudinal smoke (amortized per-round overhead gate)"
+# Multi-round campaign over one connection vs fresh per-round sessions,
+# with and without the durable ledger; the binary enforces the <=10%
+# amortized per-round overhead gate and per-round estimate parity.
+./target/release/bench_tcp --longitudinal --quick \
+    --out results/BENCH_longitudinal.json
+
+step "crash-recovery smoke (kill -9 mid-round, restart, bit-identical ledger)"
+# Starts fednumd with a durable state dir, runs a reference 3-round
+# campaign to completion, then repeats it on a fresh state dir with the
+# driver halting before round 2's commit and the daemon SIGKILLed mid
+# campaign. A restart on the same --state-dir must replay the WAL,
+# discard the uncommitted round's staged charges, resume at round 2, and
+# finish with a ledger digest identical to the uninterrupted reference.
+CRASH_DIR=$(mktemp -d)
+CRASH_LOG=$(mktemp)
+# Helper: launch fednumd on an OS-assigned port with stdin held open on
+# fd 8 (EOF is its graceful hang-up signal); sets CRASH_PID/CRASH_ADDR.
+start_crash_daemon() {
+    : > "$CRASH_LOG"
+    CRASH_FIFO=$(mktemp -u)
+    mkfifo "$CRASH_FIFO"
+    ./target/release/fednumd --addr 127.0.0.1:0 "$@" \
+        > "$CRASH_LOG" < "$CRASH_FIFO" &
+    CRASH_PID=$!
+    exec 8> "$CRASH_FIFO"
+    rm -f "$CRASH_FIFO"
+    CRASH_ADDR=""
+    for _ in $(seq 100); do
+        CRASH_ADDR=$(sed -n 's/^fednumd listening on //p' "$CRASH_LOG")
+        [[ -n "$CRASH_ADDR" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$CRASH_ADDR" ]] \
+        || { echo "fednumd never came up"; cat "$CRASH_LOG"; exit 1; }
+}
+
+# Reference: uninterrupted 3-round campaign, clean shutdown (exit 0).
+start_crash_daemon --state-dir "$CRASH_DIR/ref"
+REF_DIGEST=$(./target/release/fednum_campaign --addr "$CRASH_ADDR" --rounds 3 \
+    | sed -n 's/^campaign digest: //p')
+exec 8>&-
+wait "$CRASH_PID"
+[[ -n "$REF_DIGEST" ]] || { echo "reference campaign printed no digest"; exit 1; }
+
+# Crash: rounds 0-1 committed, round 2 run but never committed, SIGKILL.
+start_crash_daemon --state-dir "$CRASH_DIR/crash"
+./target/release/fednum_campaign --addr "$CRASH_ADDR" --rounds 3 \
+    --halt-before-commit 2 | grep -q 'halted before commit of round 2' \
+    || { echo "crash driver never reached the halt point"; exit 1; }
+kill -9 "$CRASH_PID"
+wait "$CRASH_PID" 2>/dev/null || true
+exec 8>&-
+
+# Restart on the same state dir: WAL replay must report the recovered
+# campaign and discard the staged (uncommitted) round-2 charges.
+start_crash_daemon --state-dir "$CRASH_DIR/crash"
+grep -q 'recovered 1 campaign(s)' "$CRASH_LOG" \
+    || { echo "restart did not report a recovered campaign"; cat "$CRASH_LOG"; exit 1; }
+grep -Eq '[1-9][0-9]* staged charge' "$CRASH_LOG" \
+    || { echo "restart discarded no staged charges"; cat "$CRASH_LOG"; exit 1; }
+CRASH_DIGEST=$(./target/release/fednum_campaign --addr "$CRASH_ADDR" --rounds 3 \
+    | sed -n 's/^campaign digest: //p')
+exec 8>&-
+wait "$CRASH_PID"
+[[ "$CRASH_DIGEST" == "$REF_DIGEST" ]] \
+    || { echo "ledger digests diverged: crash $CRASH_DIGEST vs ref $REF_DIGEST"; exit 1; }
+echo "crash-recovery smoke: resumed ledger digest $CRASH_DIGEST matches reference"
+rm -rf "$CRASH_DIR" "$CRASH_LOG"
+
 if [[ "${1:-}" != "quick" ]]; then
     step "cargo doc --no-deps"
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace

@@ -22,6 +22,7 @@
 //!
 //! ```text
 //! bench_tcp [--quick] [--out PATH] [--addr HOST:PORT] [--shutdown-daemon]
+//! bench_tcp --longitudinal [--quick] [--out PATH]
 //! ```
 //!
 //! `--quick` shrinks the population for CI smoke runs; the frames/s gate
@@ -31,6 +32,13 @@
 //! checking its exit status and printed peak-concurrency line from the
 //! shell — and `--shutdown-daemon` sends the admin `Shutdown` frame when
 //! done.
+//!
+//! `--longitudinal` benchmarks the multi-round campaign path instead:
+//! N rounds over one live connection (ephemeral and durable-WAL daemons)
+//! against the same N rounds over fresh per-round sessions, writing
+//! `results/BENCH_longitudinal.json`. **Gate: the campaign's per-round
+//! amortized session overhead (handshake + admit/commit framing + WAL
+//! fsyncs) stays ≤ 10% of the fresh-session single-round cost.**
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -98,15 +106,152 @@ fn drive_sessions(
     (total, start.elapsed().as_secs_f64())
 }
 
+/// The `--longitudinal` section: campaign rounds over one connection vs
+/// the same rounds over fresh per-round sessions. Exits nonzero when the
+/// parity or overhead gate fails.
+fn run_longitudinal(quick: bool, out_path: &str) {
+    use fednum_core::wire::CampaignMessage;
+    use fednum_transport::daemon::{self, RoundStream};
+
+    let (clients, rounds) = if quick { (20_000, 4) } else { (50_000, 8) };
+    let vs = values(clients);
+    let policy = CampaignMessage {
+        campaign_id: 0xBE2C,
+        round_index: 0,
+        max_bits: None,
+        max_epsilon: None,
+        cooldown_rounds: 1,
+        bits_per_round: u64::from(BITS),
+        epsilon_per_round: 0.0,
+    };
+    // The metered cohort handed to the scheduler each round; its size is
+    // deliberately small so the numbers isolate session overhead, not
+    // admission bookkeeping.
+    let metered: Vec<u64> = (0..64).collect();
+    let seed_of = |r: usize| 0x10C0 + r as u64;
+
+    // Baseline: every round pays a full session (connect + hello + round
+    // + close) on a fresh ephemeral daemon.
+    let base_daemon = fednum_transport::daemon::spawn(DaemonConfig::default()).expect("daemon");
+    let mut base_estimates = Vec::with_capacity(rounds);
+    let fresh_start = Instant::now();
+    for r in 0..rounds {
+        let seed = seed_of(r);
+        let cfg = config(seed ^ 0x7C7);
+        let mut tcp = TcpTransport::connect(base_daemon.addr(), seed).expect("connect");
+        let out = run_round(&vs, &cfg, &mut tcp, seed).expect("fresh-session round");
+        base_estimates.push(out.outcome.estimate.to_bits());
+        tcp.close().expect("close");
+    }
+    let fresh_wall = fresh_start.elapsed().as_secs_f64();
+    base_daemon.shutdown().expect("clean shutdown");
+    let fresh_per_round = fresh_wall / rounds as f64;
+
+    // Campaign over ONE connection, ephemeral and durable-WAL daemons.
+    let mut campaign_walls = Vec::new(); // (label, wall_s)
+    for durable in [false, true] {
+        let state_dir =
+            std::env::temp_dir().join(format!("fednum-bench-longitudinal-{}", std::process::id()));
+        let stream = if durable {
+            let _ = std::fs::remove_dir_all(&state_dir);
+            RoundStream::recover(&state_dir, 8).expect("state dir")
+        } else {
+            RoundStream::ephemeral()
+        };
+        let handle = daemon::spawn_with_state(DaemonConfig::default(), stream).expect("daemon");
+        let start = Instant::now();
+        let mut tcp = TcpTransport::connect(handle.addr(), seed_of(0)).expect("connect");
+        tcp.begin_campaign(&policy).expect("open campaign");
+        for (r, &base_estimate) in base_estimates.iter().enumerate() {
+            let seed = seed_of(r);
+            let cfg = config(seed ^ 0x7C7);
+            tcp.request_round(r as u64, seed, cfg.session_seed, &metered)
+                .expect("admission");
+            let out = run_round(&vs, &cfg, &mut tcp, seed).expect("campaign round");
+            if out.outcome.estimate.to_bits() != base_estimate {
+                eprintln!(
+                    "FAIL: campaign round {r} estimate diverged from the \
+                     fresh-session baseline"
+                );
+                std::process::exit(1);
+            }
+            tcp.commit_round(r as u64).expect("commit");
+        }
+        tcp.close().expect("close");
+        let wall = start.elapsed().as_secs_f64();
+        handle.shutdown().expect("clean shutdown");
+        if durable {
+            let _ = std::fs::remove_dir_all(&state_dir);
+        }
+        let label = if durable { "durable" } else { "ephemeral" };
+        println!(
+            "longitudinal/{label}: {rounds} rounds x {clients} clients over one \
+             connection: {wall:.2}s wall ({:.4}s/round vs {fresh_per_round:.4}s fresh)",
+            wall / rounds as f64
+        );
+        campaign_walls.push((label, wall));
+    }
+
+    // Gate on the durable variant — the deployment path: its per-round
+    // cost may exceed the fresh-session baseline by at most 10%.
+    let durable_per_round = campaign_walls[1].1 / rounds as f64;
+    let overhead = durable_per_round / fresh_per_round - 1.0;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"tcp-longitudinal\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"gate_overhead_frac\": 0.10,");
+    let _ = writeln!(
+        json,
+        "  \"fresh_sessions\": {{\"wall_s\": {fresh_wall:.4}, \"per_round_s\": {fresh_per_round:.4}}},"
+    );
+    for (label, wall) in &campaign_walls {
+        let _ = writeln!(
+            json,
+            "  \"campaign_{label}\": {{\"wall_s\": {wall:.4}, \"per_round_s\": {:.4}}},",
+            wall / rounds as f64
+        );
+    }
+    let _ = writeln!(json, "  \"amortized_overhead_frac\": {overhead:.4}");
+    json.push_str("}\n");
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+
+    if overhead > 0.10 {
+        eprintln!(
+            "FAIL: durable campaign per-round cost {durable_per_round:.4}s exceeds the \
+             fresh-session baseline {fresh_per_round:.4}s by {:.1}% (gate 10%)",
+            overhead * 100.0
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let longitudinal = args.iter().any(|a| a == "--longitudinal");
     let out_path: String = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "results/BENCH_tcp.json".into());
+        .unwrap_or_else(|| {
+            if longitudinal {
+                "results/BENCH_longitudinal.json".into()
+            } else {
+                "results/BENCH_tcp.json".into()
+            }
+        });
+    if longitudinal {
+        run_longitudinal(quick, &out_path);
+        return;
+    }
 
     let external_addr: Option<String> = args
         .iter()

@@ -1,0 +1,167 @@
+//! `fednum_campaign` — a deterministic longitudinal campaign driver for
+//! the crash-recovery CI smoke.
+//!
+//! Connects to a running `fednumd`, opens (or resumes) a fixed campaign,
+//! and drives it to `--rounds` rounds: every round's admission cohort,
+//! values, and seeds are pure functions of `(campaign_id, round)`, so two
+//! runs of this driver — interrupted or not — request byte-identical
+//! work. The daemon's committed ledger digest is printed as the last
+//! line (`campaign digest: 0x…`); the smoke compares that line between a
+//! kill-and-restart run and an uninterrupted reference run.
+//!
+//! `--halt-before-commit K` runs round K fully but exits *without*
+//! committing it — the client-side half of a mid-round crash. Paired
+//! with `kill -9` of the daemon it reproduces the torn state the WAL
+//! recovery must clean up. A resumed run skips rounds the daemon reports
+//! as already committed.
+//!
+//! ```text
+//! fednum_campaign --addr HOST:PORT --rounds N [--campaign-id ID]
+//!                 [--halt-before-commit K]
+//! ```
+
+use std::net::ToSocketAddrs;
+
+use fednum_core::encoding::FixedPointCodec;
+use fednum_core::protocol::basic::BasicConfig;
+use fednum_core::sampling::BitSampling;
+use fednum_core::wire::CampaignMessage;
+use fednum_fedsim::round::FederatedMeanConfig;
+use fednum_transport::{RoundBuilder, TcpTransport, Transport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fednum_campaign --addr HOST:PORT --rounds N [--campaign-id ID] \
+         [--halt-before-commit K]"
+    );
+    std::process::exit(1);
+}
+
+fn policy(campaign_id: u64) -> CampaignMessage {
+    CampaignMessage {
+        campaign_id,
+        round_index: 0,
+        max_bits: Some(200),
+        max_epsilon: Some(5.0),
+        cooldown_rounds: 1,
+        bits_per_round: 10,
+        epsilon_per_round: 0.25,
+    }
+}
+
+/// The clients round `r` requests: a sliding window so cohorts overlap
+/// and the cross-round ledger state matters.
+fn window(r: u64) -> Vec<u64> {
+    (r * 3..r * 3 + 8).collect()
+}
+
+fn round_config(campaign_id: u64, r: u64) -> FederatedMeanConfig {
+    let mut cfg = FederatedMeanConfig::new(BasicConfig::new(
+        FixedPointCodec::integer(8),
+        BitSampling::geometric(8, 1.0),
+    ));
+    cfg.session_seed = campaign_id
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(r);
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let Some(addr) = get("--addr") else { usage() };
+    let Some(rounds) = get("--rounds").and_then(|v| v.parse::<u64>().ok()) else {
+        usage()
+    };
+    let campaign_id = match get("--campaign-id") {
+        Some(v) => v.parse::<u64>().unwrap_or_else(|_| usage()),
+        None => 0x510,
+    };
+    let halt_before_commit =
+        get("--halt-before-commit").map(|v| v.parse::<u64>().unwrap_or_else(|_| usage()));
+
+    let addr = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .unwrap_or_else(|| {
+            eprintln!("fednum_campaign: cannot resolve --addr");
+            std::process::exit(1);
+        });
+    let mut tcp = TcpTransport::connect(addr, campaign_id).unwrap_or_else(|e| {
+        eprintln!("fednum_campaign: connect failed: {e}");
+        std::process::exit(1);
+    });
+    let status = tcp
+        .begin_campaign(&policy(campaign_id))
+        .unwrap_or_else(|e| {
+            eprintln!("fednum_campaign: campaign rejected: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "campaign {campaign_id} at round {} (digest 0x{:016x})",
+        status.round_index, status.digest
+    );
+
+    let mut digest = status.digest;
+    // Resume from the daemon's committed position: everything before
+    // `round_index` is already folded into the ledger it reported.
+    for r in status.round_index..rounds {
+        let cfg = round_config(campaign_id, r);
+        let net_seed = cfg.session_seed ^ 0xFEED;
+        let admission = tcp
+            .request_round(r, net_seed, cfg.session_seed, &window(r))
+            .unwrap_or_else(|e| {
+                eprintln!("fednum_campaign: round {r} rejected: {e}");
+                std::process::exit(1);
+            });
+        if admission.already_committed {
+            println!("round {r}: already committed, skipping");
+            continue;
+        }
+        let vals: Vec<f64> = admission
+            .admitted
+            .iter()
+            .map(|&c| ((c * 41 + 5) % 200) as f64)
+            .collect();
+        let estimate = RoundBuilder::new(cfg.clone())
+            .seed(cfg.session_seed)
+            .via(&mut tcp as &mut dyn Transport)
+            .run(&vals)
+            .map(|out| out.flat().expect("flat round").outcome.estimate)
+            .unwrap_or_else(|e| {
+                eprintln!("fednum_campaign: round {r} failed: {e}");
+                std::process::exit(1);
+            });
+        if halt_before_commit == Some(r) {
+            // The crash point: the round ran, its charges are staged on the
+            // daemon's WAL, and no commit will ever arrive from us.
+            println!("halted before commit of round {r}");
+            return;
+        }
+        let receipt = tcp.commit_round(r).unwrap_or_else(|e| {
+            eprintln!("fednum_campaign: commit {r} failed: {e}");
+            std::process::exit(1);
+        });
+        digest = receipt.digest;
+        println!(
+            "round {r}: {} client(s), estimate {estimate:.4}, digest 0x{:016x}",
+            receipt.clients_charged, receipt.digest
+        );
+    }
+    if rounds > 0 {
+        // An idempotent re-commit of the last round fetches the recorded
+        // digest even when every round was skipped as already committed.
+        digest = tcp
+            .commit_round(rounds - 1)
+            .map(|receipt| receipt.digest)
+            .unwrap_or(digest);
+    }
+    let _ = tcp.close();
+    println!("campaign digest: 0x{digest:016x}");
+}

@@ -1,0 +1,1263 @@
+//! Durable cross-round privacy state: the crash-safe campaign ledger.
+//!
+//! A longitudinal deployment surveys the same population across many
+//! rounds, so the coordinator — not the driver — must own the per-client
+//! budgets that deplete over the campaign. Losing that state on a restart
+//! would silently *re-grant* every client's ε budget: a privacy bug, not
+//! just an availability one. This module makes the state survive `kill -9`
+//! at any instruction boundary.
+//!
+//! Three layers:
+//!
+//! * [`CampaignState`] — the pure in-memory state machine: campaign config
+//!   ([`CampaignMessage`]), the [`PrivacyLedger`] of committed balances,
+//!   the round counter, and the two-phase admit → commit protocol. Charges
+//!   staged by an admission are folded into the ledger only at commit, so
+//!   discarding an uncommitted round is simply dropping the stage.
+//! * The **record codec** — length-delimited `core::wire` records, each
+//!   `varint(len) · payload · fnv64(payload)`. The trailing checksum makes
+//!   a torn tail (partial `write(2)` at the kill point) detectable: replay
+//!   stops at the first record that fails to frame or checksum.
+//! * [`DurableLedger`] — [`CampaignState`] plus a write-ahead log and a
+//!   periodic snapshot on disk. Every admission appends `BeginRound` + one
+//!   `Charge` per admitted client and fsyncs *before* the admission is
+//!   released to the round; every commit appends `CommitRound` and fsyncs
+//!   before the round result is acknowledged. Recovery therefore replays
+//!   to exactly the last committed round and cleanly discards a staged
+//!   round the crash interrupted — never double-charging (commits fold a
+//!   round exactly once, and snapshots record the round index so a WAL
+//!   replayed over a newer snapshot skips already-folded rounds) and never
+//!   re-granting (committed charges are always on disk before the round
+//!   that spent them is visible to anyone).
+//!
+//! Snapshots are written atomically (`.tmp` + fsync + rename + directory
+//! fsync) and the WAL is truncated only after the rename lands, so a crash
+//! mid-snapshot leaves either the old snapshot + full WAL or the new
+//! snapshot + (possibly) a stale WAL whose rounds the round-index guard
+//! skips. The crash matrix is pinned by the `crash_recovery` suite, which
+//! truncates the WAL at every record boundary and at torn mid-record
+//! offsets, then asserts the recovered state is bit-identical to the
+//! uninterrupted run.
+
+use std::collections::HashSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::wire::{self, CampaignMessage, WireError};
+
+use super::metering::{PrivacyBudget, PrivacyLedger};
+
+/// Failure modes of the durable campaign ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurableError {
+    /// An I/O error from the state directory (the detail is the rendered
+    /// `std::io::Error`).
+    Io(String),
+    /// State that cannot be trusted: a corrupt snapshot, a WAL record that
+    /// decodes but violates the protocol, or replayed charges that exceed
+    /// the budget they were admitted under.
+    Corrupt(&'static str),
+    /// A round was requested out of order.
+    RoundOutOfOrder {
+        /// The round the driver asked for.
+        requested: u64,
+        /// The round the campaign is actually at.
+        expected: u64,
+    },
+    /// A commit arrived for a round that was never admitted.
+    CommitWithoutAdmit {
+        /// The offending round.
+        round: u64,
+    },
+    /// A resume request's budget policy does not match the durable state.
+    ConfigMismatch,
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io(detail) => write!(f, "state dir I/O error: {detail}"),
+            DurableError::Corrupt(what) => write!(f, "unrecoverable campaign state: {what}"),
+            DurableError::RoundOutOfOrder {
+                requested,
+                expected,
+            } => write!(f, "round {requested} out of order (campaign at {expected})"),
+            DurableError::CommitWithoutAdmit { round } => {
+                write!(f, "commit for round {round} without a matching admission")
+            }
+            DurableError::ConfigMismatch => {
+                write!(f, "campaign policy does not match durable state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<std::io::Error> for DurableError {
+    fn from(e: std::io::Error) -> Self {
+        DurableError::Io(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checksummed record framing.
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit: a small, dependency-free checksum. It guards against
+/// torn writes and bit rot, not adversaries — the state dir is trusted.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Appends one checksummed record: `varint(len) · payload · fnv64 (8B LE)`.
+fn push_record(out: &mut Vec<u8>, payload: &[u8]) {
+    wire::push_varint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv64(payload).to_le_bytes());
+}
+
+/// One step of record replay.
+enum RecordRead<'a> {
+    /// A complete, checksum-verified record payload.
+    Ok(&'a [u8]),
+    /// Clean end of the stream (no bytes past `pos`).
+    End,
+    /// The stream ends in a torn or corrupt record; replay must stop and
+    /// discard everything from `pos` on.
+    Torn,
+}
+
+/// Reads one checksummed record starting at `*pos`. `*pos` is advanced
+/// only on a successful read, so a torn tail leaves it at the start of the
+/// damage (for byte accounting).
+fn read_record<'a>(buf: &'a [u8], pos: &mut usize) -> RecordRead<'a> {
+    if *pos == buf.len() {
+        return RecordRead::End;
+    }
+    let mut cursor = *pos;
+    let len = match wire::read_varint(buf, &mut cursor) {
+        Ok(len) => len,
+        Err(_) => return RecordRead::Torn,
+    };
+    let Ok(len) = usize::try_from(len) else {
+        return RecordRead::Torn;
+    };
+    if len > wire::MAX_FRAME_LEN || buf.len() - cursor < len + 8 {
+        return RecordRead::Torn;
+    }
+    let payload = &buf[cursor..cursor + len];
+    let mut sum = [0u8; 8];
+    sum.copy_from_slice(&buf[cursor + len..cursor + len + 8]);
+    if u64::from_le_bytes(sum) != fnv64(payload) {
+        return RecordRead::Torn;
+    }
+    *pos = cursor + len + 8;
+    RecordRead::Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// WAL records.
+// ---------------------------------------------------------------------------
+
+const REC_BEGIN_ROUND: u8 = 0x01;
+const REC_CHARGE: u8 = 0x02;
+const REC_COMMIT_ROUND: u8 = 0x03;
+const REC_SNAPSHOT: u8 = 0x10;
+
+/// One write-ahead-log entry. The WAL is an ordered history of admissions
+/// and commits since the last snapshot; see the module docs for replay
+/// semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerRecord {
+    /// A round was admitted; the following [`LedgerRecord::Charge`]
+    /// records belong to it.
+    BeginRound {
+        /// The admitted round index.
+        round: u64,
+    },
+    /// One admitted client's staged charge.
+    Charge {
+        /// The client charged.
+        client: u64,
+        /// Private bits this round discloses.
+        bits: u64,
+        /// ε this round spends.
+        epsilon: f64,
+    },
+    /// The round's result was released: fold its staged charges.
+    CommitRound {
+        /// The committed round index.
+        round: u64,
+    },
+}
+
+impl LedgerRecord {
+    /// Encodes to a fresh record payload (checksum framing is added by the
+    /// WAL writer).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            LedgerRecord::BeginRound { round } => {
+                out.push(REC_BEGIN_ROUND);
+                wire::push_varint(&mut out, *round);
+            }
+            LedgerRecord::Charge {
+                client,
+                bits,
+                epsilon,
+            } => {
+                out.push(REC_CHARGE);
+                wire::push_varint(&mut out, *client);
+                wire::push_varint(&mut out, *bits);
+                wire::push_f64(&mut out, *epsilon);
+            }
+            LedgerRecord::CommitRound { round } => {
+                out.push(REC_COMMIT_ROUND);
+                wire::push_varint(&mut out, *round);
+            }
+        }
+        out
+    }
+
+    /// Decodes one record payload.
+    ///
+    /// # Errors
+    /// See [`WireError`].
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut pos = 0usize;
+        let &tag = buf.first().ok_or(WireError::Truncated)?;
+        pos += 1;
+        let rec = match tag {
+            REC_BEGIN_ROUND => LedgerRecord::BeginRound {
+                round: wire::read_varint(buf, &mut pos)?,
+            },
+            REC_CHARGE => LedgerRecord::Charge {
+                client: wire::read_varint(buf, &mut pos)?,
+                bits: wire::read_varint(buf, &mut pos)?,
+                epsilon: wire::read_f64(buf, &mut pos)?,
+            },
+            REC_COMMIT_ROUND => LedgerRecord::CommitRound {
+                round: wire::read_varint(buf, &mut pos)?,
+            },
+            other => return Err(WireError::UnknownTag(other)),
+        };
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(rec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The in-memory campaign state machine.
+// ---------------------------------------------------------------------------
+
+/// Why each client of an admission request landed where it did, summarized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Admission {
+    /// The round this admission is for.
+    pub round: u64,
+    /// Clients admitted (budget and cooldown both clear), in request order.
+    pub admitted: Vec<u64>,
+    /// Clients denied because another round would exceed their budget.
+    pub denied_budget: u64,
+    /// Clients denied because their cooldown has not elapsed.
+    pub denied_cooldown: u64,
+    /// `true` when the round was already committed before this request —
+    /// the recorded admission is returned and **nothing is re-charged**
+    /// (the idempotency that makes a driver retry after a lost commit ack
+    /// safe).
+    pub already_committed: bool,
+}
+
+/// Receipt for a committed round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitSummary {
+    /// The committed round index.
+    pub round: u64,
+    /// Clients whose charges were folded into the ledger.
+    pub clients_charged: u64,
+    /// [`CampaignState::digest`] after the fold.
+    pub digest: u64,
+}
+
+/// The cross-round campaign state: config, committed balances, round
+/// counter, and the stage of the (at most one) admitted-but-uncommitted
+/// round. Pure in-memory logic — [`DurableLedger`] adds persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignState {
+    config: CampaignMessage,
+    ledger: PrivacyLedger,
+    /// Charges of the currently admitted round, folded only on commit.
+    staged: Vec<(u64, u64, f64)>,
+    staged_round: Option<u64>,
+    /// The admitted set of the most recently *committed* round, kept so a
+    /// re-request of that round can be answered without re-charging.
+    last_admitted: Vec<u64>,
+}
+
+impl CampaignState {
+    /// A fresh campaign at `config.round_index` with zero balances.
+    #[must_use]
+    pub fn new(config: CampaignMessage) -> Self {
+        let ledger = if config.max_bits.is_some() || config.max_epsilon.is_some() {
+            PrivacyLedger::with_budget(PrivacyBudget {
+                max_bits: config.max_bits,
+                max_epsilon: config.max_epsilon,
+            })
+        } else {
+            PrivacyLedger::new()
+        };
+        Self {
+            config,
+            ledger,
+            staged: Vec::new(),
+            staged_round: None,
+            last_admitted: Vec::new(),
+        }
+    }
+
+    /// The campaign config, `round_index` kept current.
+    #[must_use]
+    pub fn config(&self) -> &CampaignMessage {
+        &self.config
+    }
+
+    /// The next round to be admitted.
+    #[must_use]
+    pub fn round_index(&self) -> u64 {
+        self.config.round_index
+    }
+
+    /// The committed balances.
+    #[must_use]
+    pub fn ledger(&self) -> &PrivacyLedger {
+        &self.ledger
+    }
+
+    /// The admitted set of the most recently committed round.
+    #[must_use]
+    pub fn last_admitted(&self) -> &[u64] {
+        &self.last_admitted
+    }
+
+    /// Whether a round is admitted but not yet committed.
+    #[must_use]
+    pub fn has_staged_round(&self) -> bool {
+        self.staged_round.is_some()
+    }
+
+    /// Canonical byte encoding of the *committed* state (config with the
+    /// current round index, sorted ledger, last admitted set). Staged
+    /// charges are deliberately excluded: an uncommitted round must not be
+    /// observable in the digest, or a discarded round would not compare
+    /// bit-identical to a run that never admitted it.
+    #[must_use]
+    pub fn encode_snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.push(REC_SNAPSHOT);
+        self.config.encode_into(&mut out);
+        self.ledger.encode_into(&mut out);
+        wire::push_varint(&mut out, self.last_admitted.len() as u64);
+        for &client in &self.last_admitted {
+            wire::push_varint(&mut out, client);
+        }
+        out
+    }
+
+    /// Decodes an [`CampaignState::encode_snapshot`] payload.
+    ///
+    /// # Errors
+    /// [`DurableError::Corrupt`] on any malformed byte — a snapshot that
+    /// does not decode cleanly cannot be trusted at all.
+    pub fn decode_snapshot(buf: &[u8]) -> Result<Self, DurableError> {
+        let corrupt = |_| DurableError::Corrupt("snapshot does not decode");
+        let mut pos = 0usize;
+        let &tag = buf.first().ok_or(DurableError::Corrupt("empty snapshot"))?;
+        if tag != REC_SNAPSHOT {
+            return Err(DurableError::Corrupt("snapshot tag mismatch"));
+        }
+        pos += 1;
+        let config = CampaignMessage::decode_from(buf, &mut pos).map_err(corrupt)?;
+        let ledger = PrivacyLedger::decode_from(buf, &mut pos).map_err(corrupt)?;
+        let count = usize::try_from(wire::read_varint(buf, &mut pos).map_err(corrupt)?)
+            .map_err(|_| DurableError::Corrupt("snapshot does not decode"))?;
+        if count > buf.len().saturating_sub(pos) {
+            return Err(DurableError::Corrupt("snapshot does not decode"));
+        }
+        let mut last_admitted = Vec::with_capacity(count);
+        for _ in 0..count {
+            last_admitted.push(wire::read_varint(buf, &mut pos).map_err(corrupt)?);
+        }
+        if pos != buf.len() {
+            return Err(DurableError::Corrupt("snapshot has trailing bytes"));
+        }
+        Ok(Self {
+            config,
+            ledger,
+            staged: Vec::new(),
+            staged_round: None,
+            last_admitted,
+        })
+    }
+
+    /// FNV-1a digest of the canonical committed-state encoding. Two
+    /// campaigns with equal digests hold bit-identical config, balances,
+    /// and round counters — the equality the crash suite asserts between a
+    /// recovered run and an uninterrupted one.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        fnv64(&self.encode_snapshot())
+    }
+
+    /// Whether `client` clears the cooldown gate for `round`.
+    fn cooldown_clear(&self, round: u64, client: u64) -> bool {
+        let cooldown = self.config.cooldown_rounds.max(1);
+        match self.ledger.account(client).last_round {
+            None => true,
+            Some(last) => round >= last.saturating_add(cooldown),
+        }
+    }
+
+    /// Admits `round` for the eligible subset of `clients`, staging one
+    /// charge of the per-round cost for each admitted client. Re-admitting
+    /// the currently staged round discards the old stage and recomputes —
+    /// identical inputs produce an identical admission, which makes driver
+    /// retries (and WAL replays of a re-sent admission) idempotent.
+    /// Requesting the round *before* the current one returns the recorded
+    /// admission with `already_committed` set and charges nothing.
+    ///
+    /// # Errors
+    /// [`DurableError::RoundOutOfOrder`] for any other round index.
+    pub fn admit(&mut self, round: u64, clients: &[u64]) -> Result<Admission, DurableError> {
+        let expected = self.config.round_index;
+        if round != expected {
+            if round.checked_add(1) == Some(expected) {
+                return Ok(Admission {
+                    round,
+                    admitted: self.last_admitted.clone(),
+                    denied_budget: 0,
+                    denied_cooldown: 0,
+                    already_committed: true,
+                });
+            }
+            return Err(DurableError::RoundOutOfOrder {
+                requested: round,
+                expected,
+            });
+        }
+        self.staged.clear();
+        self.staged_round = Some(round);
+        let (bits, epsilon) = (self.config.bits_per_round, self.config.epsilon_per_round);
+        let mut admitted = Vec::with_capacity(clients.len());
+        let mut seen = HashSet::with_capacity(clients.len());
+        let (mut denied_budget, mut denied_cooldown) = (0u64, 0u64);
+        for &client in clients {
+            if !seen.insert(client) {
+                continue;
+            }
+            if !self.cooldown_clear(round, client) {
+                denied_cooldown += 1;
+            } else if !self.ledger.can_charge(client, bits, epsilon) {
+                denied_budget += 1;
+            } else {
+                self.staged.push((client, bits, epsilon));
+                admitted.push(client);
+            }
+        }
+        Ok(Admission {
+            round,
+            admitted,
+            denied_budget,
+            denied_cooldown,
+            already_committed: false,
+        })
+    }
+
+    /// Folds the staged charges of `round` into the committed ledger and
+    /// advances the round counter. Committing the round *before* the
+    /// current one is an idempotent no-op (the receipt of the recorded
+    /// commit is returned), so a driver that lost the commit ack can
+    /// safely re-send.
+    ///
+    /// # Errors
+    /// [`DurableError::CommitWithoutAdmit`] when the round was never
+    /// admitted; [`DurableError::RoundOutOfOrder`] for a future round;
+    /// [`DurableError::Corrupt`] if a staged charge no longer fits its
+    /// budget (impossible through [`CampaignState::admit`]; reachable only
+    /// by a corrupt WAL).
+    pub fn commit(&mut self, round: u64) -> Result<CommitSummary, DurableError> {
+        let expected = self.config.round_index;
+        if round.checked_add(1) == Some(expected) {
+            return Ok(CommitSummary {
+                round,
+                clients_charged: self.last_admitted.len() as u64,
+                digest: self.digest(),
+            });
+        }
+        if round != expected {
+            return Err(DurableError::RoundOutOfOrder {
+                requested: round,
+                expected,
+            });
+        }
+        if self.staged_round != Some(round) {
+            return Err(DurableError::CommitWithoutAdmit { round });
+        }
+        for &(client, bits, epsilon) in &self.staged {
+            self.ledger
+                .charge_round(client, round, bits, epsilon)
+                .map_err(|_| DurableError::Corrupt("staged charge exceeds budget"))?;
+        }
+        self.last_admitted = self.staged.iter().map(|&(c, _, _)| c).collect();
+        let clients_charged = self.staged.len() as u64;
+        self.staged.clear();
+        self.staged_round = None;
+        self.config.round_index = round + 1;
+        Ok(CommitSummary {
+            round,
+            clients_charged,
+            digest: self.digest(),
+        })
+    }
+
+    /// Drops a staged, uncommitted round (recovery's "cleanly discard").
+    /// Returns the number of staged charges discarded.
+    pub fn discard_staged(&mut self) -> u64 {
+        let n = self.staged.len() as u64;
+        self.staged.clear();
+        self.staged_round = None;
+        n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The durable layer: WAL + snapshot.
+// ---------------------------------------------------------------------------
+
+/// What startup recovery found and did, aggregated across campaigns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Campaigns recovered from the state directory.
+    pub campaigns: u64,
+    /// WAL records replayed (all kinds, across campaigns).
+    pub wal_records: u64,
+    /// Committed rounds replayed from WALs.
+    pub commits_replayed: u64,
+    /// Staged charges of uncommitted trailing rounds, discarded.
+    pub charges_discarded: u64,
+    /// Bytes of torn or corrupt WAL tail, discarded.
+    pub torn_bytes: u64,
+}
+
+impl RecoveryStats {
+    /// Folds another campaign's recovery into this aggregate.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.campaigns += other.campaigns;
+        self.wal_records += other.wal_records;
+        self.commits_replayed += other.commits_replayed;
+        self.charges_discarded += other.charges_discarded;
+        self.torn_bytes += other.torn_bytes;
+    }
+}
+
+/// Snapshot every this many commits unless configured otherwise.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 8;
+
+/// A campaign ledger with optional durability. In-memory mode (no state
+/// dir) runs the same admit/commit state machine without touching disk —
+/// one code path for the daemon whether or not `--state-dir` is set.
+#[derive(Debug)]
+pub struct DurableLedger {
+    state: CampaignState,
+    wal: Option<File>,
+    snap_path: Option<PathBuf>,
+    wal_path: Option<PathBuf>,
+    snapshot_every: u64,
+    commits_since_snapshot: u64,
+}
+
+/// `campaign-<id>.snap` / `campaign-<id>.wal` inside the state dir.
+fn snap_path(dir: &Path, campaign_id: u64) -> PathBuf {
+    dir.join(format!("campaign-{campaign_id}.snap"))
+}
+
+fn wal_path(dir: &Path, campaign_id: u64) -> PathBuf {
+    dir.join(format!("campaign-{campaign_id}.wal"))
+}
+
+/// Fsyncs a directory so a just-renamed file inside it survives power
+/// loss. Best-effort on platforms where directories cannot be synced.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+impl DurableLedger {
+    /// A purely in-memory campaign (no persistence).
+    #[must_use]
+    pub fn in_memory(config: CampaignMessage) -> Self {
+        Self {
+            state: CampaignState::new(config),
+            wal: None,
+            snap_path: None,
+            wal_path: None,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            commits_since_snapshot: 0,
+        }
+    }
+
+    /// Creates a fresh durable campaign in `dir`: writes the initial
+    /// snapshot, then opens an empty WAL.
+    ///
+    /// # Errors
+    /// [`DurableError::Io`] on any filesystem failure.
+    pub fn create(
+        dir: &Path,
+        config: CampaignMessage,
+        snapshot_every: u64,
+    ) -> Result<Self, DurableError> {
+        fs::create_dir_all(dir)?;
+        let mut ledger = Self {
+            state: CampaignState::new(config),
+            wal: None,
+            snap_path: Some(snap_path(dir, config.campaign_id)),
+            wal_path: Some(wal_path(dir, config.campaign_id)),
+            snapshot_every: snapshot_every.max(1),
+            commits_since_snapshot: 0,
+        };
+        ledger.write_snapshot()?;
+        ledger.reopen_wal(true)?;
+        Ok(ledger)
+    }
+
+    /// Recovers a durable campaign from `dir`: loads the snapshot, replays
+    /// the WAL to the last committed round, and discards the torn or
+    /// uncommitted tail.
+    ///
+    /// # Errors
+    /// [`DurableError::Corrupt`] when the snapshot itself cannot be
+    /// trusted (the unrecoverable case — exit code 3 territory);
+    /// [`DurableError::Io`] on filesystem failures.
+    pub fn open(
+        dir: &Path,
+        campaign_id: u64,
+        snapshot_every: u64,
+    ) -> Result<(Self, RecoveryStats), DurableError> {
+        let snap = snap_path(dir, campaign_id);
+        let snap_bytes = fs::read(&snap)?;
+        let mut pos = 0usize;
+        let payload = match read_record(&snap_bytes, &mut pos) {
+            RecordRead::Ok(payload) => payload,
+            RecordRead::End => return Err(DurableError::Corrupt("empty snapshot file")),
+            RecordRead::Torn => return Err(DurableError::Corrupt("snapshot checksum mismatch")),
+        };
+        if pos != snap_bytes.len() {
+            return Err(DurableError::Corrupt("snapshot has trailing bytes"));
+        }
+        let mut state = CampaignState::decode_snapshot(payload)?;
+        if state.config.campaign_id != campaign_id {
+            return Err(DurableError::Corrupt("snapshot names another campaign"));
+        }
+
+        let mut stats = RecoveryStats {
+            campaigns: 1,
+            ..RecoveryStats::default()
+        };
+        let wal_file = wal_path(dir, campaign_id);
+        let wal_bytes = fs::read(&wal_file).unwrap_or_default();
+        let mut pos = 0usize;
+        // `skipping` covers rounds the snapshot already folded: a crash
+        // between snapshot rename and WAL truncation leaves their records
+        // behind, and re-folding them would double-charge.
+        let mut skipping = false;
+        loop {
+            let payload = match read_record(&wal_bytes, &mut pos) {
+                RecordRead::Ok(payload) => payload,
+                RecordRead::End => break,
+                RecordRead::Torn => {
+                    stats.torn_bytes += (wal_bytes.len() - pos) as u64;
+                    break;
+                }
+            };
+            let Ok(record) = LedgerRecord::decode(payload) else {
+                // Checksummed but undecodable: treat like a torn tail —
+                // nothing after a record we cannot interpret is safe.
+                stats.torn_bytes += (wal_bytes.len() - pos) as u64;
+                break;
+            };
+            stats.wal_records += 1;
+            match record {
+                LedgerRecord::BeginRound { round } => {
+                    if round < state.config.round_index {
+                        skipping = true;
+                    } else if round == state.config.round_index {
+                        skipping = false;
+                        state.staged.clear();
+                        state.staged_round = Some(round);
+                    } else {
+                        // A future round can only come from corruption the
+                        // checksum missed; stop trusting the tail.
+                        stats.torn_bytes += (wal_bytes.len() - pos) as u64;
+                        break;
+                    }
+                }
+                LedgerRecord::Charge {
+                    client,
+                    bits,
+                    epsilon,
+                } => {
+                    if !skipping && state.staged_round.is_some() {
+                        state.staged.push((client, bits, epsilon));
+                    }
+                }
+                LedgerRecord::CommitRound { round } => {
+                    if skipping || round < state.config.round_index {
+                        continue;
+                    }
+                    if state.staged_round == Some(round) {
+                        state
+                            .commit(round)
+                            .map_err(|_| DurableError::Corrupt("WAL replay exceeds budget"))?;
+                        stats.commits_replayed += 1;
+                    } else {
+                        stats.torn_bytes += (wal_bytes.len() - pos) as u64;
+                        break;
+                    }
+                }
+            }
+        }
+        // The crash interrupted an admitted round: discard it cleanly. The
+        // driver will re-request it and get a fresh (identical) admission.
+        stats.charges_discarded += state.discard_staged();
+
+        let mut ledger = Self {
+            state,
+            wal: None,
+            snap_path: Some(snap),
+            wal_path: Some(wal_file),
+            snapshot_every: snapshot_every.max(1),
+            commits_since_snapshot: 0,
+        };
+        // Fold the replayed commits into a fresh snapshot so the stale WAL
+        // (with its discarded tail) never gets replayed twice.
+        ledger.write_snapshot()?;
+        ledger.reopen_wal(true)?;
+        Ok((ledger, stats))
+    }
+
+    /// Opens the campaign if its snapshot exists (verifying the policy
+    /// matches), creates it otherwise. `Some(stats)` means a recovery
+    /// happened.
+    ///
+    /// # Errors
+    /// [`DurableError::ConfigMismatch`] when resuming under a different
+    /// policy; otherwise as [`DurableLedger::open`] /
+    /// [`DurableLedger::create`].
+    pub fn open_or_create(
+        dir: &Path,
+        config: CampaignMessage,
+        snapshot_every: u64,
+    ) -> Result<(Self, Option<RecoveryStats>), DurableError> {
+        if snap_path(dir, config.campaign_id).exists() {
+            let (ledger, stats) = Self::open(dir, config.campaign_id, snapshot_every)?;
+            if !ledger.state.config.policy_matches(&config) {
+                return Err(DurableError::ConfigMismatch);
+            }
+            Ok((ledger, Some(stats)))
+        } else {
+            Ok((Self::create(dir, config, snapshot_every)?, None))
+        }
+    }
+
+    /// Every campaign id with a snapshot in `dir`, sorted.
+    ///
+    /// # Errors
+    /// [`DurableError::Io`] if the directory cannot be read.
+    pub fn scan(dir: &Path) -> Result<Vec<u64>, DurableError> {
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = name
+                .strip_prefix("campaign-")
+                .and_then(|rest| rest.strip_suffix(".snap"))
+            {
+                if let Ok(id) = id.parse::<u64>() {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    /// The in-memory state.
+    #[must_use]
+    pub fn state(&self) -> &CampaignState {
+        &self.state
+    }
+
+    /// [`CampaignState::digest`] of the committed state.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.state.digest()
+    }
+
+    /// Admits a round (see [`CampaignState::admit`]), WAL-appending the
+    /// `BeginRound` and one `Charge` per admitted client — fsynced —
+    /// *before* the admission is returned. An `already_committed` replay
+    /// writes nothing.
+    ///
+    /// # Errors
+    /// As [`CampaignState::admit`], plus [`DurableError::Io`] if the WAL
+    /// append fails (the stage is discarded so state and disk stay
+    /// consistent).
+    pub fn admit_round(&mut self, round: u64, clients: &[u64]) -> Result<Admission, DurableError> {
+        let admission = self.state.admit(round, clients)?;
+        if admission.already_committed {
+            return Ok(admission);
+        }
+        let mut buf = Vec::with_capacity(16 + admission.admitted.len() * 24);
+        push_record(&mut buf, &LedgerRecord::BeginRound { round }.encode());
+        for &(client, bits, epsilon) in &self.state.staged {
+            push_record(
+                &mut buf,
+                &LedgerRecord::Charge {
+                    client,
+                    bits,
+                    epsilon,
+                }
+                .encode(),
+            );
+        }
+        if let Err(e) = self.append(&buf) {
+            self.state.discard_staged();
+            return Err(e);
+        }
+        Ok(admission)
+    }
+
+    /// Commits a round (see [`CampaignState::commit`]), WAL-appending the
+    /// `CommitRound` record — fsynced — *before* the receipt is returned,
+    /// then snapshotting if the cadence is due. An idempotent re-commit
+    /// writes nothing.
+    ///
+    /// # Errors
+    /// As [`CampaignState::commit`], plus [`DurableError::Io`]. The WAL
+    /// append happens before the in-memory fold: if the append fails the
+    /// round stays staged and uncommitted on both sides.
+    pub fn commit_round(&mut self, round: u64) -> Result<CommitSummary, DurableError> {
+        let already = round.checked_add(1) == Some(self.state.config.round_index);
+        if !already {
+            // Validate without mutating so a doomed commit never reaches
+            // the WAL.
+            if round != self.state.config.round_index {
+                return Err(DurableError::RoundOutOfOrder {
+                    requested: round,
+                    expected: self.state.config.round_index,
+                });
+            }
+            if self.state.staged_round != Some(round) {
+                return Err(DurableError::CommitWithoutAdmit { round });
+            }
+            let mut buf = Vec::with_capacity(16);
+            push_record(&mut buf, &LedgerRecord::CommitRound { round }.encode());
+            self.append(&buf)?;
+        }
+        let summary = self.state.commit(round)?;
+        if !already {
+            self.commits_since_snapshot += 1;
+            if self.commits_since_snapshot >= self.snapshot_every {
+                self.flush_snapshot()?;
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Writes a fresh snapshot of the committed state and truncates the
+    /// WAL — the periodic compaction, also called on daemon shutdown so a
+    /// restart recovers from the snapshot alone. A staged, uncommitted
+    /// round is *not* snapshotted (it is discarded by design, exactly as a
+    /// crash would).
+    ///
+    /// # Errors
+    /// [`DurableError::Io`] on any filesystem failure. In-memory ledgers
+    /// return `Ok` without touching disk.
+    pub fn flush_snapshot(&mut self) -> Result<(), DurableError> {
+        if self.snap_path.is_none() {
+            return Ok(());
+        }
+        self.write_snapshot()?;
+        self.reopen_wal(true)?;
+        self.commits_since_snapshot = 0;
+        Ok(())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), DurableError> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        wal.write_all(bytes)?;
+        wal.sync_data()?;
+        Ok(())
+    }
+
+    /// Atomically replaces the snapshot: tmp + fsync + rename + dir fsync.
+    fn write_snapshot(&mut self) -> Result<(), DurableError> {
+        let Some(snap) = self.snap_path.clone() else {
+            return Ok(());
+        };
+        let mut bytes = Vec::with_capacity(128);
+        push_record(&mut bytes, &self.state.encode_snapshot());
+        let tmp = snap.with_extension("snap.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &snap)?;
+        if let Some(dir) = snap.parent() {
+            sync_dir(dir);
+        }
+        Ok(())
+    }
+
+    fn reopen_wal(&mut self, truncate: bool) -> Result<(), DurableError> {
+        let Some(path) = self.wal_path.clone() else {
+            return Ok(());
+        };
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(!truncate)
+            .write(true)
+            .truncate(truncate)
+            .open(&path)?;
+        wal.sync_all()?;
+        self.wal = Some(wal);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> CampaignMessage {
+        CampaignMessage {
+            campaign_id: 1,
+            round_index: 0,
+            max_bits: Some(3),
+            max_epsilon: Some(1.5),
+            cooldown_rounds: 1,
+            bits_per_round: 1,
+            epsilon_per_round: 0.5,
+        }
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fednum-durable-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn admit_commit_depletes_budget_and_respects_cooldown() {
+        let mut state = CampaignState::new(CampaignMessage {
+            cooldown_rounds: 2,
+            ..config()
+        });
+        let clients = [1u64, 2, 3];
+        let a0 = state.admit(0, &clients).unwrap();
+        assert_eq!(a0.admitted, vec![1, 2, 3]);
+        state.commit(0).unwrap();
+        // Cooldown 2: nobody is eligible again in round 1.
+        let a1 = state.admit(1, &clients).unwrap();
+        assert!(a1.admitted.is_empty());
+        assert_eq!(a1.denied_cooldown, 3);
+        state.commit(1).unwrap();
+        let a2 = state.admit(2, &clients).unwrap();
+        assert_eq!(a2.admitted, vec![1, 2, 3]);
+        state.commit(2).unwrap();
+        assert_eq!(state.ledger().account(1).bits, 2);
+        assert_eq!(state.round_index(), 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_denies_admission() {
+        // ε budget of 1.5 at 0.5/round and cooldown 1 → 3 rounds then dry.
+        let mut state = CampaignState::new(config());
+        for round in 0..3 {
+            let a = state.admit(round, &[9]).unwrap();
+            assert_eq!(a.admitted, vec![9], "round {round}");
+            state.commit(round).unwrap();
+        }
+        let a = state.admit(3, &[9]).unwrap();
+        assert!(a.admitted.is_empty());
+        assert_eq!(a.denied_budget, 1);
+        state.commit(3).unwrap();
+        assert_eq!(state.ledger().account(9).bits, 3);
+    }
+
+    #[test]
+    fn admission_is_idempotent_and_commit_replays_are_noops() {
+        let mut state = CampaignState::new(config());
+        let a = state.admit(0, &[1, 2]).unwrap();
+        let a_again = state.admit(0, &[1, 2]).unwrap();
+        assert_eq!(a, a_again, "re-admission recomputes identically");
+        let receipt = state.commit(0).unwrap();
+        // Lost ack: the driver re-requests the committed round.
+        let replay = state.admit(0, &[1, 2]).unwrap();
+        assert!(replay.already_committed);
+        assert_eq!(replay.admitted, vec![1, 2]);
+        let receipt2 = state.commit(0).unwrap();
+        assert_eq!(receipt.digest, receipt2.digest, "no double fold");
+        assert_eq!(state.ledger().account(1).bits, 1);
+    }
+
+    #[test]
+    fn out_of_order_rounds_are_rejected() {
+        let mut state = CampaignState::new(config());
+        assert!(matches!(
+            state.admit(2, &[1]),
+            Err(DurableError::RoundOutOfOrder {
+                requested: 2,
+                expected: 0
+            })
+        ));
+        assert!(matches!(
+            state.commit(0),
+            Err(DurableError::CommitWithoutAdmit { round: 0 })
+        ));
+        state.admit(0, &[1]).unwrap();
+        assert!(matches!(
+            state.commit(5),
+            Err(DurableError::RoundOutOfOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_encoding_round_trips_bit_identically() {
+        let mut state = CampaignState::new(config());
+        state.admit(0, &[1, 2, 3]).unwrap();
+        state.commit(0).unwrap();
+        let payload = state.encode_snapshot();
+        let back = CampaignState::decode_snapshot(&payload).unwrap();
+        assert_eq!(back, state);
+        assert_eq!(back.encode_snapshot(), payload);
+        assert_eq!(back.digest(), state.digest());
+    }
+
+    #[test]
+    fn wal_records_round_trip() {
+        let records = [
+            LedgerRecord::BeginRound { round: 7 },
+            LedgerRecord::Charge {
+                client: u64::MAX,
+                bits: 1,
+                epsilon: 0.25,
+            },
+            LedgerRecord::CommitRound { round: 7 },
+        ];
+        for rec in records {
+            assert_eq!(LedgerRecord::decode(&rec.encode()).unwrap(), rec);
+        }
+        assert!(LedgerRecord::decode(&[0x7F]).is_err());
+        assert!(LedgerRecord::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn checksummed_records_detect_torn_and_flipped_bytes() {
+        let mut buf = Vec::new();
+        push_record(&mut buf, b"hello");
+        push_record(&mut buf, b"world");
+        let mut pos = 0;
+        assert!(matches!(
+            read_record(&buf, &mut pos),
+            RecordRead::Ok(b"hello")
+        ));
+        assert!(matches!(
+            read_record(&buf, &mut pos),
+            RecordRead::Ok(b"world")
+        ));
+        assert!(matches!(read_record(&buf, &mut pos), RecordRead::End));
+        // Truncation anywhere inside the second record is torn, and the
+        // first record still reads.
+        for cut in buf.len() - 13..buf.len() {
+            let mut pos = 0;
+            assert!(matches!(
+                read_record(&buf[..cut], &mut pos),
+                RecordRead::Ok(_)
+            ));
+            assert!(matches!(
+                read_record(&buf[..cut], &mut pos),
+                RecordRead::Torn
+            ));
+        }
+        // A flipped payload byte fails the checksum.
+        let mut flipped = buf.clone();
+        flipped[1] ^= 0x40;
+        let mut pos = 0;
+        assert!(matches!(read_record(&flipped, &mut pos), RecordRead::Torn));
+    }
+
+    #[test]
+    fn durable_campaign_survives_reopen() {
+        let dir = tempdir("reopen");
+        let mut ledger = DurableLedger::create(&dir, config(), u64::MAX).unwrap();
+        for round in 0..2 {
+            ledger.admit_round(round, &[1, 2]).unwrap();
+            ledger.commit_round(round).unwrap();
+        }
+        let digest = ledger.digest();
+        drop(ledger);
+        let (reopened, stats) = DurableLedger::open(&dir, 1, u64::MAX).unwrap();
+        assert_eq!(reopened.digest(), digest);
+        assert_eq!(stats.commits_replayed, 2);
+        assert_eq!(stats.charges_discarded, 0);
+        assert_eq!(reopened.state().round_index(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_round_is_discarded_on_recovery() {
+        let dir = tempdir("discard");
+        let mut ledger = DurableLedger::create(&dir, config(), u64::MAX).unwrap();
+        ledger.admit_round(0, &[1, 2]).unwrap();
+        ledger.commit_round(0).unwrap();
+        let committed = ledger.digest();
+        // Round 1 admitted (charges on disk) but never committed.
+        ledger.admit_round(1, &[1, 2]).unwrap();
+        drop(ledger);
+        let (reopened, stats) = DurableLedger::open(&dir, 1, u64::MAX).unwrap();
+        assert_eq!(reopened.digest(), committed, "uncommitted round discarded");
+        assert_eq!(stats.charges_discarded, 2);
+        assert_eq!(reopened.state().round_index(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_plus_stale_wal_never_double_folds() {
+        let dir = tempdir("stale-wal");
+        let mut ledger = DurableLedger::create(&dir, config(), u64::MAX).unwrap();
+        ledger.admit_round(0, &[4]).unwrap();
+        ledger.commit_round(0).unwrap();
+        let wal = fs::read(wal_path(&dir, 1)).unwrap();
+        // Simulate a crash between snapshot rename and WAL truncation: the
+        // snapshot already contains round 0, and the WAL still lists it.
+        ledger.flush_snapshot().unwrap();
+        drop(ledger);
+        fs::write(wal_path(&dir, 1), &wal).unwrap();
+        let (reopened, stats) = DurableLedger::open(&dir, 1, u64::MAX).unwrap();
+        assert_eq!(
+            reopened.state().ledger().account(4).bits,
+            1,
+            "not re-folded"
+        );
+        assert_eq!(stats.commits_replayed, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_or_create_enforces_policy_match() {
+        let dir = tempdir("policy");
+        let (ledger, recovered) = DurableLedger::open_or_create(&dir, config(), 4).unwrap();
+        assert!(recovered.is_none());
+        drop(ledger);
+        let (_, recovered) = DurableLedger::open_or_create(&dir, config(), 4).unwrap();
+        assert!(recovered.is_some());
+        let other = CampaignMessage {
+            epsilon_per_round: 0.75,
+            ..config()
+        };
+        assert_eq!(
+            DurableLedger::open_or_create(&dir, other, 4).map(|_| ()),
+            Err(DurableError::ConfigMismatch)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_unrecoverable() {
+        let dir = tempdir("corrupt-snap");
+        drop(DurableLedger::create(&dir, config(), 4).unwrap());
+        let path = snap_path(&dir, 1);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            DurableLedger::open(&dir, 1, 4),
+            Err(DurableError::Corrupt(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_lists_campaigns() {
+        let dir = tempdir("scan");
+        drop(DurableLedger::create(&dir, config(), 4).unwrap());
+        drop(
+            DurableLedger::create(
+                &dir,
+                CampaignMessage {
+                    campaign_id: 42,
+                    ..config()
+                },
+                4,
+            )
+            .unwrap(),
+        );
+        fs::write(dir.join("unrelated.txt"), b"x").unwrap();
+        assert_eq!(DurableLedger::scan(&dir).unwrap(), vec![1, 42]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_cadence_truncates_the_wal() {
+        let dir = tempdir("cadence");
+        let mut ledger = DurableLedger::create(&dir, config(), 2).unwrap();
+        ledger.admit_round(0, &[1]).unwrap();
+        ledger.commit_round(0).unwrap();
+        assert!(fs::metadata(wal_path(&dir, 1)).unwrap().len() > 0);
+        ledger.admit_round(1, &[1]).unwrap();
+        ledger.commit_round(1).unwrap();
+        // Second commit hit the cadence: snapshot written, WAL truncated.
+        assert_eq!(fs::metadata(wal_path(&dir, 1)).unwrap().len(), 0);
+        let digest = ledger.digest();
+        drop(ledger);
+        let (reopened, stats) = DurableLedger::open(&dir, 1, 2).unwrap();
+        assert_eq!(reopened.digest(), digest);
+        assert_eq!(stats.wal_records, 0, "recovered from snapshot alone");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_mode_matches_durable_digests() {
+        let dir = tempdir("parity");
+        let mut mem = DurableLedger::in_memory(config());
+        let mut disk = DurableLedger::create(&dir, config(), 3).unwrap();
+        for round in 0..5 {
+            let a = mem.admit_round(round, &[1, 2, 3]).unwrap();
+            let b = disk.admit_round(round, &[1, 2, 3]).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(
+                mem.commit_round(round).unwrap(),
+                disk.commit_round(round).unwrap()
+            );
+        }
+        assert_eq!(mem.digest(), disk.digest());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -10,6 +10,8 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::wire::{self, WireError};
+
 /// Hard per-client disclosure limits.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PrivacyBudget {
@@ -28,6 +30,47 @@ impl PrivacyBudget {
             max_bits: None,
             max_epsilon: None,
         }
+    }
+
+    /// Appends this budget as a `core::wire` record fragment: one presence
+    /// byte per optional limit, ε as its exact bit pattern.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self.max_bits {
+            Some(v) => {
+                out.push(1);
+                wire::push_varint(out, v);
+            }
+            None => out.push(0),
+        }
+        match self.max_epsilon {
+            Some(v) => {
+                out.push(1);
+                wire::push_f64(out, v);
+            }
+            None => out.push(0),
+        }
+    }
+
+    /// Decodes an [`PrivacyBudget::encode_into`] fragment starting at
+    /// `*pos`, advancing `*pos` past it.
+    ///
+    /// # Errors
+    /// See [`WireError`].
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let max_bits = match wire::read_bytes(buf, pos, 1)?[0] {
+            0 => None,
+            1 => Some(wire::read_varint(buf, pos)?),
+            _ => return Err(WireError::InvalidField("max_bits flag")),
+        };
+        let max_epsilon = match wire::read_bytes(buf, pos, 1)?[0] {
+            0 => None,
+            1 => Some(wire::read_f64(buf, pos)?),
+            _ => return Err(WireError::InvalidField("max_epsilon flag")),
+        };
+        Ok(Self {
+            max_bits,
+            max_epsilon,
+        })
     }
 
     /// The paper's headline promise: at most one bit per value; callers
@@ -65,6 +108,51 @@ impl std::fmt::Display for BudgetExceeded {
 
 impl std::error::Error for BudgetExceeded {}
 
+impl BudgetExceeded {
+    /// Appends the full rejection context as a `core::wire` record
+    /// fragment, so a coordinator can relay *why* a client was denied
+    /// without re-deriving it from the ledger.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::push_varint(out, self.client);
+        wire::push_varint(out, self.bits_spent);
+        wire::push_f64(out, self.epsilon_spent);
+    }
+
+    /// Encodes to a fresh buffer.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes an [`BudgetExceeded::encode_into`] fragment starting at
+    /// `*pos`, advancing `*pos` past it.
+    ///
+    /// # Errors
+    /// See [`WireError`].
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        Ok(Self {
+            client: wire::read_varint(buf, pos)?,
+            bits_spent: wire::read_varint(buf, pos)?,
+            epsilon_spent: wire::read_f64(buf, pos)?,
+        })
+    }
+
+    /// Decodes, requiring the buffer to be fully consumed.
+    ///
+    /// # Errors
+    /// See [`WireError`].
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut pos = 0;
+        let msg = Self::decode_from(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(msg)
+    }
+}
+
 /// Per-client disclosure account.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ClientAccount {
@@ -77,6 +165,41 @@ pub struct ClientAccount {
     /// no-ops, so retry waves that re-send an already-disclosed report never
     /// double-bill.
     pub last_round: Option<u64>,
+}
+
+impl ClientAccount {
+    /// Appends this account as a `core::wire` record fragment.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::push_varint(out, self.bits);
+        wire::push_f64(out, self.epsilon);
+        match self.last_round {
+            Some(r) => {
+                out.push(1);
+                wire::push_varint(out, r);
+            }
+            None => out.push(0),
+        }
+    }
+
+    /// Decodes an [`ClientAccount::encode_into`] fragment starting at
+    /// `*pos`, advancing `*pos` past it.
+    ///
+    /// # Errors
+    /// See [`WireError`].
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let bits = wire::read_varint(buf, pos)?;
+        let epsilon = wire::read_f64(buf, pos)?;
+        let last_round = match wire::read_bytes(buf, pos, 1)?[0] {
+            0 => None,
+            1 => Some(wire::read_varint(buf, pos)?),
+            _ => return Err(WireError::InvalidField("last_round flag")),
+        };
+        Ok(Self {
+            bits,
+            epsilon,
+            last_round,
+        })
+    }
 }
 
 /// The metering ledger.
@@ -190,6 +313,108 @@ impl PrivacyLedger {
             .map(|a| a.epsilon)
             .fold(0.0, f64::max)
     }
+
+    /// The enforced budget, if any.
+    #[must_use]
+    pub fn budget(&self) -> Option<PrivacyBudget> {
+        self.budget
+    }
+
+    /// Iterates every `(client, account)` pair, in unspecified order (use
+    /// [`PrivacyLedger::encode`] when a deterministic order matters).
+    pub fn accounts(&self) -> impl Iterator<Item = (u64, ClientAccount)> + '_ {
+        self.accounts.iter().map(|(&c, &a)| (c, a))
+    }
+
+    /// Whether a charge of `bits`/`epsilon` for `client` would be accepted
+    /// by [`PrivacyLedger::charge`] — the non-mutating admission check the
+    /// longitudinal round scheduler runs before staging a round.
+    #[must_use]
+    pub fn can_charge(&self, client: u64, bits: u64, epsilon: f64) -> bool {
+        let Some(budget) = &self.budget else {
+            return true;
+        };
+        let account = self.account(client);
+        let over_bits = budget.max_bits.is_some_and(|max| account.bits + bits > max);
+        let over_eps = budget
+            .max_epsilon
+            .is_some_and(|max| account.epsilon + epsilon > max + 1e-12);
+        !(over_bits || over_eps)
+    }
+
+    /// Appends the whole ledger as a `core::wire` record fragment:
+    /// `budget-presence · [budget] · varint(clients) · clients ×
+    /// (varint(id) · account)`, accounts sorted by client id so equal
+    /// ledgers always produce identical bytes (the durable snapshot digest
+    /// depends on this).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match &self.budget {
+            Some(b) => {
+                out.push(1);
+                b.encode_into(out);
+            }
+            None => out.push(0),
+        }
+        let mut ids: Vec<u64> = self.accounts.keys().copied().collect();
+        ids.sort_unstable();
+        wire::push_varint(out, ids.len() as u64);
+        for id in ids {
+            wire::push_varint(out, id);
+            self.accounts[&id].encode_into(out);
+        }
+    }
+
+    /// Encodes to a fresh buffer.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.accounts.len() * 16);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes an [`PrivacyLedger::encode_into`] fragment starting at
+    /// `*pos`, advancing `*pos` past it.
+    ///
+    /// # Errors
+    /// See [`WireError`]; duplicate client ids are rejected as
+    /// [`WireError::InvalidField`] (a well-formed encoder never emits them,
+    /// and silently merging would corrupt balances).
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let budget = match wire::read_bytes(buf, pos, 1)?[0] {
+            0 => None,
+            1 => Some(PrivacyBudget::decode_from(buf, pos)?),
+            _ => return Err(WireError::InvalidField("budget flag")),
+        };
+        let count =
+            usize::try_from(wire::read_varint(buf, pos)?).map_err(|_| WireError::Truncated)?;
+        // Each account is at least 10 bytes; an absurd count cannot be
+        // backed by the remaining buffer.
+        if count > buf.len().saturating_sub(*pos) {
+            return Err(WireError::Truncated);
+        }
+        let mut accounts = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let client = wire::read_varint(buf, pos)?;
+            let account = ClientAccount::decode_from(buf, pos)?;
+            if accounts.insert(client, account).is_some() {
+                return Err(WireError::InvalidField("duplicate client id"));
+            }
+        }
+        Ok(Self { budget, accounts })
+    }
+
+    /// Decodes, requiring the buffer to be fully consumed.
+    ///
+    /// # Errors
+    /// See [`WireError`].
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut pos = 0;
+        let ledger = Self::decode_from(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(ledger)
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +503,112 @@ mod tests {
         ledger.charge_round(3, 5, 1, 0.1).unwrap();
         assert_eq!(ledger.account(3).bits, 2);
         assert_eq!(ledger.account(3).last_round, Some(5));
+    }
+
+    #[test]
+    fn ledger_round_trips_through_wire_bytes() {
+        let mut ledger = PrivacyLedger::with_budget(PrivacyBudget {
+            max_bits: Some(10),
+            max_epsilon: Some(3.5),
+        });
+        ledger.charge(3, 2, 0.25).unwrap();
+        ledger.charge_round(7, 41, 1, 0.5).unwrap();
+        ledger.charge(u64::MAX, 1, 1e-9).unwrap();
+        let bytes = ledger.encode();
+        let back = PrivacyLedger::decode(&bytes).unwrap();
+        assert_eq!(back, ledger);
+        // Balances are bit-identical, not merely approximately equal.
+        for (client, account) in ledger.accounts() {
+            let got = back.account(client);
+            assert_eq!(got.bits, account.bits);
+            assert_eq!(got.epsilon.to_bits(), account.epsilon.to_bits());
+            assert_eq!(got.last_round, account.last_round);
+        }
+        // Sorted encoding is canonical: re-encoding the decode is identical.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn empty_and_unbudgeted_ledgers_round_trip() {
+        let ledger = PrivacyLedger::new();
+        assert_eq!(PrivacyLedger::decode(&ledger.encode()).unwrap(), ledger);
+        let mut metered = PrivacyLedger::new();
+        metered.charge(1, 0, 0.0).unwrap();
+        assert_eq!(PrivacyLedger::decode(&metered.encode()).unwrap(), metered);
+    }
+
+    #[test]
+    fn ledger_decode_rejects_malformed_bytes() {
+        let mut ledger = PrivacyLedger::new();
+        ledger.charge(1, 1, 0.5).unwrap();
+        ledger.charge(2, 1, 0.5).unwrap();
+        let bytes = ledger.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                PrivacyLedger::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(9);
+        assert_eq!(
+            PrivacyLedger::decode(&trailing),
+            Err(WireError::TrailingBytes)
+        );
+        // Duplicate client ids must be rejected, not merged.
+        let mut dup = Vec::new();
+        dup.push(0); // no budget
+        wire::push_varint(&mut dup, 2);
+        for _ in 0..2 {
+            wire::push_varint(&mut dup, 5);
+            ClientAccount::default().encode_into(&mut dup);
+        }
+        assert_eq!(
+            PrivacyLedger::decode(&dup),
+            Err(WireError::InvalidField("duplicate client id"))
+        );
+        // Hostile count fails before allocating.
+        let mut hostile = vec![0u8];
+        wire::push_varint(&mut hostile, u64::MAX);
+        assert_eq!(PrivacyLedger::decode(&hostile), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn budget_exceeded_round_trips_with_context() {
+        let err = BudgetExceeded {
+            client: 1 << 40,
+            bits_spent: 17,
+            epsilon_spent: 2.125,
+        };
+        let back = BudgetExceeded::decode(&err.encode()).unwrap();
+        assert_eq!(back.client, err.client);
+        assert_eq!(back.bits_spent, err.bits_spent);
+        assert_eq!(back.epsilon_spent.to_bits(), err.epsilon_spent.to_bits());
+        let mut trailing = err.encode();
+        trailing.push(0);
+        assert_eq!(
+            BudgetExceeded::decode(&trailing),
+            Err(WireError::TrailingBytes)
+        );
+    }
+
+    #[test]
+    fn can_charge_mirrors_charge_exactly() {
+        let budget = PrivacyBudget {
+            max_bits: Some(2),
+            max_epsilon: Some(1.0),
+        };
+        let mut ledger = PrivacyLedger::with_budget(budget);
+        ledger.charge(1, 1, 0.6).unwrap();
+        for (bits, eps) in [(1u64, 0.4f64), (1, 0.6), (2, 0.0), (0, 1e-6)] {
+            assert_eq!(
+                ledger.can_charge(1, bits, eps),
+                ledger.clone().charge(1, bits, eps).is_ok(),
+                "bits={bits} eps={eps}"
+            );
+        }
+        // Unbudgeted ledgers admit anything.
+        assert!(PrivacyLedger::new().can_charge(9, u64::MAX, f64::MAX));
     }
 
     #[test]

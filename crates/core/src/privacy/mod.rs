@@ -11,14 +11,23 @@
 //! * [`metering`] — the bit-level privacy ledger of Section 1.1: per-client
 //!   accounting of disclosed private bits and ε spent, with enforceable
 //!   budgets.
+//! * [`durable`] — the crash-safe cross-round form of that ledger: a
+//!   campaign state machine (admit → commit) persisted through a
+//!   write-ahead log plus periodic snapshots, so a coordinator restart
+//!   resumes a longitudinal campaign without re-granting budget.
 
 pub mod accountant;
 pub mod distributed;
+pub mod durable;
 pub mod metering;
 pub mod squash;
 
 pub use accountant::CompositionAccountant;
 pub use distributed::{BernoulliNoise, SampleThreshold};
+pub use durable::{
+    Admission, CampaignState, CommitSummary, DurableError, DurableLedger, LedgerRecord,
+    RecoveryStats,
+};
 pub use fednum_ldp::RandomizedResponse;
 pub use metering::{BudgetExceeded, PrivacyBudget, PrivacyLedger};
 pub use squash::BitSquash;

@@ -107,6 +107,25 @@ pub fn read_bytes<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u
     Ok(bytes)
 }
 
+/// Appends an `f64` as its exact IEEE-754 bit pattern (8 bytes, little
+/// endian). Values round-trip bit-for-bit — including NaN payloads and
+/// signed zeros — which the transport parity contract and the durable
+/// privacy ledger both depend on.
+pub fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Reads one [`push_f64`]-encoded `f64` starting at `*pos`.
+///
+/// # Errors
+/// [`WireError::Truncated`] if fewer than 8 bytes remain.
+pub fn read_f64(buf: &[u8], pos: &mut usize) -> Result<f64, WireError> {
+    let bytes = read_bytes(buf, pos, 8)?;
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(bytes);
+    Ok(f64::from_bits(u64::from_le_bytes(raw)))
+}
+
 /// Largest frame payload the streaming codec will accept: a fail-closed
 /// bound applied *before* allocating, so a hostile or corrupted length
 /// prefix cannot drive the reader out of memory. Generously above any
@@ -326,6 +345,126 @@ impl ReportMessage {
     #[must_use]
     pub fn encoded_len(&self) -> usize {
         self.encode().len()
+    }
+}
+
+/// The `Campaign` control record: everything a longitudinal coordinator
+/// needs to identify a multi-round campaign and enforce its budget policy.
+///
+/// One record opens (or resumes) a campaign on the daemon; the same record
+/// — with `round_index` advanced — heads every durable-ledger snapshot, so
+/// a restarted coordinator recovers the policy together with the balances.
+/// Optional limits use a presence byte; `f64` fields are carried as exact
+/// bit patterns (see [`push_f64`]), because two coordinators that disagree
+/// on the last ulp of an ε budget would admit different cohorts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignMessage {
+    /// Stable campaign identifier (names the on-disk state files).
+    pub campaign_id: u64,
+    /// Next round to be admitted. A driver opening a campaign sends its
+    /// belief; the authoritative value always comes back from the ledger.
+    pub round_index: u64,
+    /// Budget policy: maximum private bits per client over the whole
+    /// campaign (`None` = unlimited).
+    pub max_bits: Option<u64>,
+    /// Budget policy: maximum total ε per client (`None` = unlimited).
+    pub max_epsilon: Option<f64>,
+    /// Eligibility cooldown: a client that participated in round `r` is
+    /// next admissible in round `r + cooldown_rounds` (values `0` and `1`
+    /// both mean "every round").
+    pub cooldown_rounds: u64,
+    /// Private bits one round of participation charges.
+    pub bits_per_round: u64,
+    /// ε one round of participation charges.
+    pub epsilon_per_round: f64,
+}
+
+impl CampaignMessage {
+    /// Encodes into an existing buffer (for embedding in transport control
+    /// frames and durable-ledger records).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        push_varint(out, self.campaign_id);
+        push_varint(out, self.round_index);
+        match self.max_bits {
+            Some(v) => {
+                out.push(1);
+                push_varint(out, v);
+            }
+            None => out.push(0),
+        }
+        match self.max_epsilon {
+            Some(v) => {
+                out.push(1);
+                push_f64(out, v);
+            }
+            None => out.push(0),
+        }
+        push_varint(out, self.cooldown_rounds);
+        push_varint(out, self.bits_per_round);
+        push_f64(out, self.epsilon_per_round);
+    }
+
+    /// Encodes to a fresh buffer.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a record starting at `*pos`, advancing `*pos` past it.
+    ///
+    /// # Errors
+    /// See [`WireError`].
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let campaign_id = read_varint(buf, pos)?;
+        let round_index = read_varint(buf, pos)?;
+        let max_bits = match read_bytes(buf, pos, 1)?[0] {
+            0 => None,
+            1 => Some(read_varint(buf, pos)?),
+            _ => return Err(WireError::InvalidField("max_bits flag")),
+        };
+        let max_epsilon = match read_bytes(buf, pos, 1)?[0] {
+            0 => None,
+            1 => Some(read_f64(buf, pos)?),
+            _ => return Err(WireError::InvalidField("max_epsilon flag")),
+        };
+        Ok(Self {
+            campaign_id,
+            round_index,
+            max_bits,
+            max_epsilon,
+            cooldown_rounds: read_varint(buf, pos)?,
+            bits_per_round: read_varint(buf, pos)?,
+            epsilon_per_round: read_f64(buf, pos)?,
+        })
+    }
+
+    /// Decodes a record, requiring the buffer to be fully consumed.
+    ///
+    /// # Errors
+    /// See [`WireError`].
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut pos = 0;
+        let msg = Self::decode_from(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(msg)
+    }
+
+    /// Whether two records describe the same campaign policy — everything
+    /// except the advisory `round_index`, with ε compared by exact bit
+    /// pattern. A resume request whose policy does not match the durable
+    /// state is rejected rather than silently re-budgeted.
+    #[must_use]
+    pub fn policy_matches(&self, other: &Self) -> bool {
+        self.campaign_id == other.campaign_id
+            && self.max_bits == other.max_bits
+            && self.max_epsilon.map(f64::to_bits) == other.max_epsilon.map(f64::to_bits)
+            && self.cooldown_rounds == other.cooldown_rounds
+            && self.bits_per_round == other.bits_per_round
+            && self.epsilon_per_round.to_bits() == other.epsilon_per_round.to_bits()
     }
 }
 
@@ -598,6 +737,119 @@ mod tests {
         assert_eq!(dec.pending(), 0);
         // The internal buffer must not retain all 20 KiB of history.
         assert!(dec.buf.len() < 4 * stream.len(), "buffer never compacted");
+    }
+
+    #[test]
+    fn f64_helpers_round_trip_exact_bits() {
+        for v in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, f64::MAX, f64::NAN] {
+            let mut buf = Vec::new();
+            push_f64(&mut buf, v);
+            assert_eq!(buf.len(), 8);
+            let mut pos = 0;
+            let back = read_f64(&buf, &mut pos).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+            assert_eq!(pos, 8);
+        }
+        let short = [0u8; 7];
+        let mut pos = 0;
+        assert_eq!(read_f64(&short, &mut pos), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn campaign_message_round_trips() {
+        let msgs = [
+            CampaignMessage {
+                campaign_id: 77,
+                round_index: 3,
+                max_bits: Some(12),
+                max_epsilon: Some(4.25),
+                cooldown_rounds: 2,
+                bits_per_round: 1,
+                epsilon_per_round: 0.5,
+            },
+            CampaignMessage {
+                campaign_id: 0,
+                round_index: 0,
+                max_bits: None,
+                max_epsilon: None,
+                cooldown_rounds: 0,
+                bits_per_round: 0,
+                epsilon_per_round: 0.0,
+            },
+        ];
+        for msg in msgs {
+            let bytes = msg.encode();
+            assert_eq!(CampaignMessage::decode(&bytes).unwrap(), msg);
+            // Embedded form leaves trailing bytes for the host codec.
+            let mut framed = bytes.clone();
+            framed.extend_from_slice(&[0xEE, 0xFF]);
+            let mut pos = 0;
+            assert_eq!(
+                CampaignMessage::decode_from(&framed, &mut pos).unwrap(),
+                msg
+            );
+            assert_eq!(pos, bytes.len());
+            assert_eq!(
+                CampaignMessage::decode(&framed),
+                Err(WireError::TrailingBytes)
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_message_rejects_truncation_and_bad_flags() {
+        let msg = CampaignMessage {
+            campaign_id: 9,
+            round_index: 1,
+            max_bits: Some(4),
+            max_epsilon: Some(1.0),
+            cooldown_rounds: 1,
+            bits_per_round: 1,
+            epsilon_per_round: 0.25,
+        };
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                CampaignMessage::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        let mut bad = bytes.clone();
+        bad[2] = 7; // max_bits presence byte
+        assert_eq!(
+            CampaignMessage::decode(&bad),
+            Err(WireError::InvalidField("max_bits flag"))
+        );
+    }
+
+    #[test]
+    fn campaign_policy_match_ignores_round_index_only() {
+        let a = CampaignMessage {
+            campaign_id: 5,
+            round_index: 0,
+            max_bits: Some(8),
+            max_epsilon: Some(2.0),
+            cooldown_rounds: 1,
+            bits_per_round: 1,
+            epsilon_per_round: 0.25,
+        };
+        let resumed = CampaignMessage {
+            round_index: 6,
+            ..a
+        };
+        assert!(a.policy_matches(&resumed));
+        assert!(!a.policy_matches(&CampaignMessage {
+            epsilon_per_round: 0.5,
+            ..a
+        }));
+        assert!(!a.policy_matches(&CampaignMessage {
+            max_epsilon: None,
+            ..a
+        }));
+        assert!(!a.policy_matches(&CampaignMessage {
+            campaign_id: 6,
+            ..a
+        }));
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Property tests for cross-round ledger serialization (ISSUE satellite:
+//! `PrivacyLedger` and `BudgetExceeded` must round-trip through the
+//! `core::wire` codec with **identical balances**, and the encoding must
+//! be canonical so ledger digests are comparable across processes).
+//!
+//! Invariants pinned here:
+//! * encode → decode reproduces every client account exactly (bits, ε
+//!   bit-pattern, last charged round) and the budget;
+//! * the encoding is canonical: decode → re-encode yields the same bytes,
+//!   and charge arrival order does not change them;
+//! * `CampaignMessage` and `BudgetExceeded` survive the codec exactly;
+//! * arbitrary bytes never panic any of the decoders — they fail typed.
+//!
+//! The vendored proptest has no combinators (`prop_map`, `option::of`),
+//! so strategies generate raw primitives and the bodies assemble them.
+
+use fednum_core::privacy::durable::LedgerRecord;
+use fednum_core::privacy::{BudgetExceeded, PrivacyBudget, PrivacyLedger};
+use fednum_core::wire::CampaignMessage;
+use proptest::prelude::*;
+
+/// One client's history: (client id, per-round charges).
+type Charges = Vec<(u64, Vec<(u64, f64)>)>;
+
+fn charges_strategy() -> impl Strategy<Value = Charges> {
+    proptest::collection::vec(
+        (
+            0u64..50,
+            proptest::collection::vec((0u64..1000, 0.0f64..4.0), 0..6),
+        ),
+        0..20,
+    )
+}
+
+/// Raw material for `Option<PrivacyBudget>`: `kind` 0 = no budget,
+/// 1 = ε-only, 2 = bits + ε. Bounds are generous so the strategy's
+/// charges always fit.
+fn build_budget(kind: u8, max_bits: u64, max_epsilon: f64) -> Option<PrivacyBudget> {
+    match kind {
+        0 => None,
+        1 => Some(PrivacyBudget {
+            max_bits: None,
+            max_epsilon: Some(max_epsilon),
+        }),
+        _ => Some(PrivacyBudget {
+            max_bits: Some(max_bits),
+            max_epsilon: Some(max_epsilon),
+        }),
+    }
+}
+
+/// Builds a ledger by applying `charges` in the given order; rounds are
+/// assigned sequentially per client so `charge_round` never rejects for
+/// cooldown reasons.
+fn build_ledger(budget: &Option<PrivacyBudget>, charges: &Charges) -> PrivacyLedger {
+    let mut ledger = match budget {
+        Some(b) => PrivacyLedger::with_budget(*b),
+        None => PrivacyLedger::new(),
+    };
+    for (client, rounds) in charges {
+        for (i, &(bits, epsilon)) in rounds.iter().enumerate() {
+            // Budgets in the strategy are generous; a rejected charge is
+            // simply skipped (the invariant under test is serialization,
+            // not admission).
+            let _ = ledger.charge_round(*client, i as u64, bits, epsilon);
+        }
+    }
+    ledger
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ledger_round_trips_with_identical_balances(
+        budget_raw in (0u8..3, 1_000_000u64..u64::MAX, 1e3f64..1e9),
+        charges in charges_strategy(),
+    ) {
+        let budget = build_budget(budget_raw.0, budget_raw.1, budget_raw.2);
+        let ledger = build_ledger(&budget, &charges);
+        let bytes = ledger.encode();
+        let decoded = PrivacyLedger::decode(&bytes).expect("own encoding decodes");
+
+        prop_assert_eq!(decoded.clients(), ledger.clients());
+        prop_assert_eq!(decoded.budget(), ledger.budget());
+        for (client, account) in ledger.accounts() {
+            let got = decoded.account(client);
+            prop_assert_eq!(got.bits, account.bits, "client {} bits", client);
+            prop_assert_eq!(
+                got.epsilon.to_bits(),
+                account.epsilon.to_bits(),
+                "client {} epsilon bit-pattern", client
+            );
+            prop_assert_eq!(got.last_round, account.last_round, "client {}", client);
+        }
+        // Canonical: re-encoding the decoded ledger reproduces the bytes,
+        // so digests computed in different processes are comparable.
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn charge_order_does_not_change_the_encoding(
+        budget_raw in (0u8..3, 1_000_000u64..u64::MAX, 1e3f64..1e9),
+        charges in charges_strategy(),
+    ) {
+        // Only valid when client ids are unique across entries —
+        // duplicate entries genuinely interleave differently.
+        let mut ids: Vec<u64> = charges.iter().map(|(c, _)| *c).collect();
+        ids.sort_unstable();
+        prop_assume!(ids.windows(2).all(|w| w[0] != w[1]));
+        let budget = build_budget(budget_raw.0, budget_raw.1, budget_raw.2);
+        let forward = build_ledger(&budget, &charges);
+        let mut reversed_input = charges.clone();
+        reversed_input.reverse();
+        let reversed = build_ledger(&budget, &reversed_input);
+        prop_assert_eq!(forward.encode(), reversed.encode());
+    }
+
+    #[test]
+    fn budget_exceeded_round_trips_exactly(
+        client in any::<u64>(),
+        bits_spent in any::<u64>(),
+        epsilon_spent in 0.0f64..1e12,
+    ) {
+        let err = BudgetExceeded { client, bits_spent, epsilon_spent };
+        let decoded = BudgetExceeded::decode(&err.encode()).expect("decodes");
+        prop_assert_eq!(decoded.client, err.client);
+        prop_assert_eq!(decoded.bits_spent, err.bits_spent);
+        prop_assert_eq!(decoded.epsilon_spent.to_bits(), err.epsilon_spent.to_bits());
+    }
+
+    #[test]
+    fn campaign_message_round_trips_exactly(
+        ids in (any::<u64>(), any::<u64>(), 0u64..100, any::<u64>()),
+        limits in (any::<bool>(), any::<u64>(), any::<bool>(), 0.0f64..1e9),
+        epsilon_per_round in 0.0f64..100.0,
+    ) {
+        let msg = CampaignMessage {
+            campaign_id: ids.0,
+            round_index: ids.1,
+            cooldown_rounds: ids.2,
+            bits_per_round: ids.3,
+            max_bits: limits.0.then_some(limits.1),
+            max_epsilon: limits.2.then_some(limits.3),
+            epsilon_per_round,
+        };
+        let decoded = CampaignMessage::decode(&msg.encode()).expect("decodes");
+        prop_assert_eq!(decoded, msg);
+        prop_assert!(decoded.policy_matches(&msg));
+    }
+
+    #[test]
+    fn hostile_bytes_fail_typed_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Any of these may succeed on lucky bytes; none may panic.
+        let _ = PrivacyLedger::decode(&bytes);
+        let _ = BudgetExceeded::decode(&bytes);
+        let _ = CampaignMessage::decode(&bytes);
+        let _ = LedgerRecord::decode(&bytes);
+    }
+
+    #[test]
+    fn truncated_ledger_encodings_fail_typed(
+        budget_raw in (0u8..3, 1_000_000u64..u64::MAX, 1e3f64..1e9),
+        charges in charges_strategy(),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let budget = build_budget(budget_raw.0, budget_raw.1, budget_raw.2);
+        let ledger = build_ledger(&budget, &charges);
+        let bytes = ledger.encode();
+        prop_assume!(bytes.len() > 1);
+        let cut = 1 + ((bytes.len() - 1) as f64 * cut_fraction) as usize;
+        prop_assume!(cut < bytes.len());
+        prop_assert!(PrivacyLedger::decode(&bytes[..cut]).is_err());
+    }
+}

@@ -3,24 +3,57 @@
 //! Binds a TCP listener and serves driver sessions (see
 //! `fednum_transport::daemon`) until either stdin reaches EOF (hang-up:
 //! the supervisor or CI harness closed our input) or a driver sends the
-//! admin `Shutdown` frame. Exits 0 after a clean join of every thread,
-//! 2 if any daemon thread leaked past the grace deadline, 1 on startup
-//! or usage errors.
+//! admin `Shutdown` frame.
+//!
+//! With `--state-dir` the daemon is crash-safe across restarts: every
+//! campaign's privacy ledger lives in a snapshot + write-ahead log under
+//! the directory, charges are fsynced before a round is admitted, and on
+//! startup the daemon replays the log to the last committed round and
+//! discards any uncommitted tail — a `kill -9` never double-charges a
+//! client and never re-grants spent budget.
+//!
+//! Exit codes:
+//! * `0` — clean shutdown: every thread joined and (in durable mode) the
+//!   final snapshot flushed.
+//! * `1` — startup or usage error.
+//! * `2` — a daemon thread leaked past the shutdown grace deadline.
+//! * `3` — unrecoverable state directory: a campaign snapshot failed its
+//!   checksum or does not decode, or the shutdown flush could not write.
+//!   Operator action is required (restore or remove the campaign files);
+//!   restarting will not help.
 //!
 //! ```text
 //! fednumd [--addr HOST:PORT] [--workers N] [--read-timeout-ms MS]
+//!         [--state-dir DIR] [--snapshot-every N]
 //! ```
 
 use std::io::Read;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use fednum_transport::daemon::{spawn, DaemonConfig};
+use fednum_core::privacy::durable::DEFAULT_SNAPSHOT_EVERY;
+use fednum_transport::daemon::{spawn_with_state, DaemonConfig, RoundStream};
+
+const USAGE: &str = "usage: fednumd [--addr HOST:PORT] [--workers N] [--read-timeout-ms MS] \
+[--state-dir DIR] [--snapshot-every N]
+
+  --addr HOST:PORT     bind address (default 127.0.0.1:7447)
+  --workers N          worker threads / max concurrent sessions (default 4)
+  --read-timeout-ms MS idle-connection drop timeout (default 30000)
+  --state-dir DIR      durable campaign state: snapshot + write-ahead log
+                       per campaign; on startup the WAL is replayed to the
+                       last committed round (default: in-memory only)
+  --snapshot-every N   commits per campaign between WAL-truncating
+                       snapshots (default 8)
+
+exit codes: 0 clean shutdown; 1 startup/usage error; 2 leaked daemon
+thread(s); 3 unrecoverable state dir (corrupt snapshot or failed flush)";
 
 fn usage() -> ExitCode {
-    eprintln!("usage: fednumd [--addr HOST:PORT] [--workers N] [--read-timeout-ms MS]");
+    eprintln!("{USAGE}");
     ExitCode::from(1)
 }
 
@@ -29,8 +62,14 @@ fn main() -> ExitCode {
         addr: "127.0.0.1:7447".to_string(),
         ..DaemonConfig::default()
     };
+    let mut state_dir: Option<PathBuf> = None;
+    let mut snapshot_every = DEFAULT_SNAPSHOT_EVERY;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
         let Some(value) = args.next() else {
             return usage();
         };
@@ -44,11 +83,40 @@ fn main() -> ExitCode {
                 Ok(ms) if ms > 0 => cfg.read_timeout = Duration::from_millis(ms),
                 _ => return usage(),
             },
+            "--state-dir" => state_dir = Some(PathBuf::from(value)),
+            "--snapshot-every" => match value.parse::<u64>() {
+                Ok(n) if n > 0 => snapshot_every = n,
+                _ => return usage(),
+            },
             _ => return usage(),
         }
     }
 
-    let handle = match spawn(cfg) {
+    let rounds = match &state_dir {
+        Some(dir) => match RoundStream::recover(dir, snapshot_every) {
+            Ok(rounds) => rounds,
+            Err(e) => {
+                eprintln!("fednumd: unrecoverable state dir {}: {e}", dir.display());
+                return ExitCode::from(3);
+            }
+        },
+        None => RoundStream::ephemeral(),
+    };
+    let recovery = rounds.recovery_stats();
+    if let Some(dir) = &state_dir {
+        println!(
+            "fednumd: recovered {} campaign(s) from {} ({} WAL record(s), {} commit(s) \
+             replayed, {} staged charge(s) discarded, {} torn byte(s))",
+            recovery.campaigns,
+            dir.display(),
+            recovery.wal_records,
+            recovery.commits_replayed,
+            recovery.charges_discarded,
+            recovery.torn_bytes,
+        );
+    }
+
+    let handle = match spawn_with_state(cfg, rounds) {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("fednumd: failed to start: {e}");
@@ -84,19 +152,30 @@ fn main() -> ExitCode {
         Ok(stats) => {
             println!(
                 "fednumd: served {} session(s) (peak {} concurrent), {} frames in / {} out, \
-                 {} timeout(s), {} protocol error(s)",
+                 {} timeout(s), {} protocol error(s), {} campaign(s) opened, \
+                 {} round(s) admitted / {} committed",
                 stats.sessions_opened,
                 stats.peak_connections,
                 stats.frames_in,
                 stats.frames_out,
                 stats.timeouts,
                 stats.protocol_errors,
+                stats.campaigns_opened,
+                stats.rounds_admitted,
+                stats.rounds_committed,
             );
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("fednumd: unclean shutdown: {e}");
-            ExitCode::from(2)
+            // A failed state flush is exit-code-3 territory (the state dir
+            // needs operator attention); a leaked thread stays exit 2.
+            if matches!(&e, fednum_fedsim::error::FedError::Transport { op, .. } if *op == "state-flush")
+            {
+                ExitCode::from(3)
+            } else {
+                ExitCode::from(2)
+            }
         }
     }
 }

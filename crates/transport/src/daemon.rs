@@ -35,18 +35,22 @@
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use fednum_core::wire::{self, FrameDecoder};
+use fednum_core::privacy::durable::{
+    Admission, CommitSummary, DurableError, DurableLedger, RecoveryStats,
+};
+use fednum_core::wire::{self, CampaignMessage, FrameDecoder};
 use fednum_fedsim::error::FedError;
 
 use crate::message::Message;
 use crate::net::{SimNetTransport, Transport};
-use crate::tcp::{Ctrl, SessionStats, PROTOCOL_VERSION};
+use crate::tcp::{Ctrl, SessionHello, SessionStats, PROTOCOL_VERSION};
 
 /// Configuration for [`spawn`].
 #[derive(Debug, Clone)]
@@ -77,6 +81,159 @@ impl Default for DaemonConfig {
     }
 }
 
+/// The cross-round campaign scheduler: one [`DurableLedger`] per campaign
+/// id, shared by every connection the daemon serves. In durable mode
+/// (built by [`RoundStream::recover`]) each ledger is backed by a
+/// snapshot + WAL under the state directory; in ephemeral mode the same
+/// state machine runs purely in memory.
+pub struct RoundStream {
+    state_dir: Option<PathBuf>,
+    snapshot_every: u64,
+    campaigns: HashMap<u64, DurableLedger>,
+    recovery: RecoveryStats,
+}
+
+impl RoundStream {
+    /// A scheduler with no backing storage: campaigns live and die with
+    /// the daemon process.
+    #[must_use]
+    pub fn ephemeral() -> Self {
+        Self {
+            state_dir: None,
+            snapshot_every: fednum_core::privacy::durable::DEFAULT_SNAPSHOT_EVERY,
+            campaigns: HashMap::new(),
+            recovery: RecoveryStats::default(),
+        }
+    }
+
+    /// Recovers every campaign found under `dir` (creating the directory
+    /// if absent) and keeps it as the backing store for new campaigns.
+    /// `snapshot_every` sets the WAL-truncating snapshot cadence in
+    /// commits per campaign.
+    ///
+    /// # Errors
+    /// [`DurableError::Corrupt`] when any campaign snapshot cannot be
+    /// trusted (the unrecoverable case `fednumd` maps to exit code 3);
+    /// [`DurableError::Io`] on filesystem failures.
+    pub fn recover(dir: &Path, snapshot_every: u64) -> Result<Self, DurableError> {
+        std::fs::create_dir_all(dir).map_err(DurableError::from)?;
+        let mut campaigns = HashMap::new();
+        let mut recovery = RecoveryStats::default();
+        for id in DurableLedger::scan(dir)? {
+            let (ledger, stats) = DurableLedger::open(dir, id, snapshot_every)?;
+            recovery.merge(&stats);
+            campaigns.insert(id, ledger);
+        }
+        Ok(Self {
+            state_dir: Some(dir.to_path_buf()),
+            snapshot_every,
+            campaigns,
+            recovery,
+        })
+    }
+
+    /// What startup recovery replayed and discarded, aggregated across
+    /// campaigns (all zeros for an ephemeral scheduler).
+    #[must_use]
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Campaigns currently held by the scheduler.
+    #[must_use]
+    pub fn campaign_count(&self) -> usize {
+        self.campaigns.len()
+    }
+
+    /// Opens or resumes the campaign named by `config.campaign_id` and
+    /// returns its committed position `(round_index, clients, total_bits,
+    /// digest)`.
+    ///
+    /// # Errors
+    /// [`DurableError::ConfigMismatch`] when the campaign exists under a
+    /// different budget policy; storage errors in durable mode.
+    pub fn open_campaign(
+        &mut self,
+        config: &CampaignMessage,
+    ) -> Result<(u64, u64, u64, u64), DurableError> {
+        let id = config.campaign_id;
+        if !self.campaigns.contains_key(&id) {
+            let ledger = match &self.state_dir {
+                Some(dir) => {
+                    let (ledger, stats) =
+                        DurableLedger::open_or_create(dir, *config, self.snapshot_every)?;
+                    if let Some(stats) = stats {
+                        self.recovery.merge(&stats);
+                    }
+                    ledger
+                }
+                None => DurableLedger::in_memory(*config),
+            };
+            self.campaigns.insert(id, ledger);
+        }
+        let ledger = &self.campaigns[&id];
+        if !ledger.state().config().policy_matches(config) {
+            return Err(DurableError::ConfigMismatch);
+        }
+        let state = ledger.state();
+        let (mut clients, mut total_bits) = (0u64, 0u64);
+        for (_, account) in state.ledger().accounts() {
+            clients += 1;
+            total_bits += account.bits;
+        }
+        Ok((state.round_index(), clients, total_bits, ledger.digest()))
+    }
+
+    /// Admits `clients` into `round` of campaign `id`; in durable mode the
+    /// staged charges are on the WAL (fsynced) before this returns.
+    ///
+    /// # Errors
+    /// As [`DurableLedger::admit_round`]; `Corrupt("unknown campaign")`
+    /// when `id` was never opened.
+    pub fn admit(
+        &mut self,
+        id: u64,
+        round: u64,
+        clients: &[u64],
+    ) -> Result<Admission, DurableError> {
+        self.campaigns
+            .get_mut(&id)
+            .ok_or(DurableError::Corrupt("unknown campaign"))?
+            .admit_round(round, clients)
+    }
+
+    /// Commits the staged round of campaign `id`; in durable mode the
+    /// commit record is fsynced before this returns.
+    ///
+    /// # Errors
+    /// As [`DurableLedger::commit_round`]; `Corrupt("unknown campaign")`
+    /// when `id` was never opened.
+    pub fn commit(&mut self, id: u64, round: u64) -> Result<CommitSummary, DurableError> {
+        self.campaigns
+            .get_mut(&id)
+            .ok_or(DurableError::Corrupt("unknown campaign"))?
+            .commit_round(round)
+    }
+
+    /// Snapshots every campaign and truncates its WAL — the shutdown
+    /// flush, making the next startup a snapshot-only (no replay) load.
+    ///
+    /// # Errors
+    /// The first storage failure; remaining campaigns are still attempted.
+    pub fn flush(&mut self) -> Result<(), DurableError> {
+        let mut first_err = None;
+        for ledger in self.campaigns.values_mut() {
+            if let Err(e) = ledger.flush_snapshot() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
 /// Monotonic counters the daemon maintains across all sessions.
 #[derive(Debug, Default)]
 struct Counters {
@@ -91,6 +248,9 @@ struct Counters {
     invalid_payloads: AtomicU64,
     active_connections: AtomicU64,
     peak_connections: AtomicU64,
+    campaigns_opened: AtomicU64,
+    rounds_admitted: AtomicU64,
+    rounds_committed: AtomicU64,
 }
 
 /// A point-in-time copy of the daemon's counters.
@@ -120,6 +280,13 @@ pub struct DaemonSnapshot {
     pub active_connections: u64,
     /// High-water mark of concurrently served connections.
     pub peak_connections: u64,
+    /// `Campaign` frames that opened or resumed a campaign.
+    pub campaigns_opened: u64,
+    /// Rounds admitted by the campaign scheduler (replayed admissions of
+    /// already-committed rounds included).
+    pub rounds_admitted: u64,
+    /// Rounds committed (idempotent re-commits included).
+    pub rounds_committed: u64,
 }
 
 impl Counters {
@@ -136,6 +303,9 @@ impl Counters {
             invalid_payloads: self.invalid_payloads.load(Ordering::Relaxed),
             active_connections: self.active_connections.load(Ordering::Relaxed),
             peak_connections: self.peak_connections.load(Ordering::Relaxed),
+            campaigns_opened: self.campaigns_opened.load(Ordering::Relaxed),
+            rounds_admitted: self.rounds_admitted.load(Ordering::Relaxed),
+            rounds_committed: self.rounds_committed.load(Ordering::Relaxed),
         }
     }
 }
@@ -148,6 +318,7 @@ struct Shared {
     shutdown: AtomicBool,
     counters: Counters,
     sockets: SocketRegistry,
+    rounds: Mutex<RoundStream>,
 }
 
 /// A running daemon (see the module docs for lifecycle and threading).
@@ -190,13 +361,24 @@ impl DaemonHandle {
         }
     }
 
-    /// Requests shutdown and joins every daemon thread under the
-    /// configured grace deadline.
+    /// What startup recovery replayed and discarded (all zeros for a
+    /// daemon spawned without a state directory).
+    #[must_use]
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.shared.rounds.lock().unwrap().recovery_stats()
+    }
+
+    /// Requests shutdown, joins every daemon thread under the configured
+    /// grace deadline, then flushes campaign state (snapshot + WAL
+    /// truncation) so the next startup is a clean snapshot-only load.
     ///
     /// # Errors
-    /// [`FedError::Transport`] naming the number of threads that failed
-    /// to exit within the grace period — the leak detector the CI smoke
-    /// relies on.
+    /// [`FedError::Transport { op: "shutdown" }`] naming the number of
+    /// threads that failed to exit within the grace period — the leak
+    /// detector the CI smoke relies on; [`FedError::Transport { op:
+    /// "state-flush" }`] when the final snapshot cannot be written (the
+    /// WAL still holds every commit, so no budget state is lost — but
+    /// `fednumd` reports it as exit code 3).
     pub fn shutdown(mut self) -> Result<DaemonSnapshot, FedError> {
         self.request_shutdown();
         let grace = Duration::from_millis(self.grace_ms);
@@ -217,15 +399,34 @@ impl DaemonHandle {
                 detail: "daemon thread panicked".to_string(),
             })?;
         }
+        self.shared
+            .rounds
+            .lock()
+            .unwrap()
+            .flush()
+            .map_err(|e| FedError::Transport {
+                op: "state-flush",
+                detail: e.to_string(),
+            })?;
         Ok(self.shared.counters.snapshot())
     }
 }
 
-/// Binds `cfg.addr` and starts the accept loop plus worker pool.
+/// Binds `cfg.addr` and starts the accept loop plus worker pool with an
+/// ephemeral (in-memory) campaign scheduler.
 ///
 /// # Errors
 /// Any socket error while binding the listener.
 pub fn spawn(cfg: DaemonConfig) -> std::io::Result<DaemonHandle> {
+    spawn_with_state(cfg, RoundStream::ephemeral())
+}
+
+/// Like [`spawn`], but serving campaigns from a pre-built (typically
+/// recovered, see [`RoundStream::recover`]) scheduler.
+///
+/// # Errors
+/// Any socket error while binding the listener.
+pub fn spawn_with_state(cfg: DaemonConfig, rounds: RoundStream) -> std::io::Result<DaemonHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -234,6 +435,7 @@ pub fn spawn(cfg: DaemonConfig) -> std::io::Result<DaemonHandle> {
         shutdown: AtomicBool::new(false),
         counters: Counters::default(),
         sockets: Mutex::new(HashMap::new()),
+        rounds: Mutex::new(rounds),
     });
     // Rendezvous-ish channel: at most one connection parked per worker
     // beyond the ones being served; everything else waits in the listener
@@ -380,6 +582,11 @@ fn drive_connection(mut stream: TcpStream, shared: &Shared, cfg: &DaemonConfig) 
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 16 * 1024];
     let mut session: Option<SimNetTransport> = None;
+    // The handshake parameters, kept so campaign rounds can rebuild the
+    // fault stage with fresh per-round seeds.
+    let mut hello_params: Option<SessionHello> = None;
+    // The campaign this connection bound with its last `Campaign` frame.
+    let mut campaign: Option<u64> = None;
     let mut tally = ConnTally::default();
     let mut unflushed = false;
 
@@ -429,6 +636,7 @@ fn drive_connection(mut stream: TcpStream, shared: &Shared, cfg: &DaemonConfig) 
                     hello.validate,
                     hello.round_id,
                 ));
+                hello_params = Some(hello);
                 let session_id = counters.sessions_opened.fetch_add(1, Ordering::Relaxed) + 1;
                 if !reply(
                     &mut writer,
@@ -508,7 +716,106 @@ fn drive_connection(mut stream: TcpStream, shared: &Shared, cfg: &DaemonConfig) 
                     && writer.flush().is_ok();
                 break if ok { ConnEnd::Clean } else { ConnEnd::Io };
             }
-            Ctrl::HelloAck { .. } | Ctrl::Deliveries(_) | Ctrl::Stats(_) | Ctrl::ShutdownAck => {
+            Ctrl::Campaign(config) => {
+                if hello_params.is_none() {
+                    break ConnEnd::Protocol;
+                }
+                let result = shared.rounds.lock().unwrap().open_campaign(&config);
+                let out = match result {
+                    Ok((round_index, clients, total_bits, digest)) => {
+                        campaign = Some(config.campaign_id);
+                        counters.campaigns_opened.fetch_add(1, Ordering::Relaxed);
+                        Ctrl::CampaignAck {
+                            round_index,
+                            clients,
+                            total_bits,
+                            digest,
+                        }
+                    }
+                    Err(e) => campaign_err(&e),
+                };
+                let ok =
+                    reply(&mut writer, &out, &mut tally, &mut unflushed) && writer.flush().is_ok();
+                unflushed = false;
+                if !ok {
+                    break ConnEnd::Io;
+                }
+            }
+            Ctrl::RoundRequest {
+                round,
+                net_seed,
+                round_id,
+                clients,
+            } => {
+                let Some(hello) = hello_params else {
+                    break ConnEnd::Protocol;
+                };
+                let out = match campaign {
+                    None => campaign_err(&DurableError::Corrupt("no campaign bound")),
+                    Some(id) => match shared.rounds.lock().unwrap().admit(id, round, &clients) {
+                        Ok(admission) => {
+                            if !admission.already_committed {
+                                // A fresh fault stage per round: campaign
+                                // round N must be bit-identical to an
+                                // independent session opened with the same
+                                // seeds, so no scheduler state may leak
+                                // across rounds.
+                                session = Some(SimNetTransport::with_plan(
+                                    net_seed,
+                                    hello.faults,
+                                    hello.validate,
+                                    round_id,
+                                ));
+                            }
+                            counters.rounds_admitted.fetch_add(1, Ordering::Relaxed);
+                            Ctrl::RoundAdmit {
+                                round: admission.round,
+                                admitted: admission.admitted,
+                                denied_budget: admission.denied_budget,
+                                denied_cooldown: admission.denied_cooldown,
+                                already_committed: admission.already_committed,
+                            }
+                        }
+                        Err(e) => campaign_err(&e),
+                    },
+                };
+                let ok =
+                    reply(&mut writer, &out, &mut tally, &mut unflushed) && writer.flush().is_ok();
+                unflushed = false;
+                if !ok {
+                    break ConnEnd::Io;
+                }
+            }
+            Ctrl::RoundCommit { round } => {
+                let out = match campaign {
+                    None => campaign_err(&DurableError::Corrupt("no campaign bound")),
+                    Some(id) => match shared.rounds.lock().unwrap().commit(id, round) {
+                        Ok(summary) => {
+                            counters.rounds_committed.fetch_add(1, Ordering::Relaxed);
+                            Ctrl::RoundCommitted {
+                                round: summary.round,
+                                clients_charged: summary.clients_charged,
+                                digest: summary.digest,
+                            }
+                        }
+                        Err(e) => campaign_err(&e),
+                    },
+                };
+                let ok =
+                    reply(&mut writer, &out, &mut tally, &mut unflushed) && writer.flush().is_ok();
+                unflushed = false;
+                if !ok {
+                    break ConnEnd::Io;
+                }
+            }
+            Ctrl::HelloAck { .. }
+            | Ctrl::Deliveries(_)
+            | Ctrl::Stats(_)
+            | Ctrl::ShutdownAck
+            | Ctrl::CampaignAck { .. }
+            | Ctrl::RoundAdmit { .. }
+            | Ctrl::RoundCommitted { .. }
+            | Ctrl::CampaignErr { .. } => {
                 // Daemon-to-driver frames are never valid on the uplink.
                 break ConnEnd::Protocol;
             }
@@ -527,6 +834,25 @@ fn drive_connection(mut stream: TcpStream, shared: &Shared, cfg: &DaemonConfig) 
         .bytes_out
         .fetch_add(tally.bytes_out, Ordering::Relaxed);
     end
+}
+
+/// Maps a scheduler error to its wire form. The codes mirror the
+/// [`DurableError`] variants: 1 = I/O, 2 = corrupt/unknown state,
+/// 3 = round out of order, 4 = commit without admission, 5 = policy
+/// mismatch. The reply leaves the connection usable — a campaign error
+/// is a request-level rejection, not a protocol violation.
+fn campaign_err(e: &DurableError) -> Ctrl {
+    let code = match e {
+        DurableError::Io(_) => 1,
+        DurableError::Corrupt(_) => 2,
+        DurableError::RoundOutOfOrder { .. } => 3,
+        DurableError::CommitWithoutAdmit { .. } => 4,
+        DurableError::ConfigMismatch => 5,
+    };
+    Ctrl::CampaignErr {
+        code,
+        detail: e.to_string(),
+    }
 }
 
 /// Writes one reply frame into the buffered writer (flushed lazily, when

@@ -31,7 +31,7 @@ pub use adaptive::run_federated_adaptive_transport;
 pub use builder::{RoundBuilder, RoundDetail, RoundOutcome};
 #[allow(deprecated)]
 pub use coordinator::{run_federated_mean_transport, run_federated_mean_transport_metered};
-pub use daemon::{DaemonConfig, DaemonHandle, DaemonSnapshot};
+pub use daemon::{DaemonConfig, DaemonHandle, DaemonSnapshot, RoundStream};
 #[allow(deprecated)]
 pub use hier::run_hierarchical_mean;
 pub use hier::{HierShardedOutcome, ShardTransportFactory};
@@ -44,4 +44,4 @@ pub use session::{MultiSessionEngine, SessionSlot};
 #[allow(deprecated)]
 pub use shard::run_sharded_mean;
 pub use shard::ShardedOutcome;
-pub use tcp::{SessionStats, TcpTransport};
+pub use tcp::{CampaignStatus, CommitReceipt, RoundAdmission, SessionStats, TcpTransport};

@@ -46,7 +46,7 @@ use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use fednum_core::wire::{self, read_varint, WireError};
+use fednum_core::wire::{self, push_f64, read_f64, read_varint, CampaignMessage, WireError};
 use fednum_fedsim::error::FedError;
 use fednum_fedsim::faults::{FaultPlan, FaultRates};
 use fednum_fedsim::round::FederatedMeanConfig;
@@ -78,10 +78,17 @@ const TAG_WINDOW: u8 = 0x03;
 const TAG_REDELIVER: u8 = 0x04;
 const TAG_CLOSE: u8 = 0x05;
 const TAG_SHUTDOWN: u8 = 0x06;
+const TAG_CAMPAIGN: u8 = 0x07;
+const TAG_ROUND_REQUEST: u8 = 0x08;
+const TAG_ROUND_COMMIT: u8 = 0x09;
 const TAG_HELLO_ACK: u8 = 0x11;
 const TAG_DELIVERIES: u8 = 0x12;
 const TAG_STATS: u8 = 0x13;
 const TAG_SHUTDOWN_ACK: u8 = 0x14;
+const TAG_CAMPAIGN_ACK: u8 = 0x15;
+const TAG_ROUND_ADMIT: u8 = 0x16;
+const TAG_ROUND_COMMITTED: u8 = 0x17;
+const TAG_CAMPAIGN_ERR: u8 = 0x18;
 
 /// Session parameters a driver hands the daemon at connect time — enough
 /// for the daemon to rebuild the driver's wire-fault stage exactly.
@@ -122,6 +129,22 @@ pub(crate) enum Ctrl {
     Redeliver(Envelope),
     Close,
     Shutdown,
+    /// Opens (or resumes) a longitudinal campaign on this connection.
+    Campaign(CampaignMessage),
+    /// Asks the campaign scheduler to admit `round`: eligible `clients`
+    /// are charged into the daemon's write-ahead log before the reply, and
+    /// the daemon re-arms its fault stage with `net_seed`/`round_id` so
+    /// the round replays on a fresh deterministic clock.
+    RoundRequest {
+        round: u64,
+        net_seed: u64,
+        round_id: u64,
+        clients: Vec<u64>,
+    },
+    /// The round's result was accepted; fold its staged charges.
+    RoundCommit {
+        round: u64,
+    },
     HelloAck {
         session_id: u64,
     },
@@ -129,17 +152,32 @@ pub(crate) enum Ctrl {
     Deliveries(Vec<(f64, Envelope)>),
     Stats(SessionStats),
     ShutdownAck,
-}
-
-fn push_f64(out: &mut Vec<u8>, v: f64) {
-    out.extend_from_slice(&v.to_bits().to_le_bytes());
-}
-
-fn read_f64(buf: &[u8], pos: &mut usize) -> Result<f64, WireError> {
-    let bytes = wire::read_bytes(buf, pos, 8)?;
-    let mut raw = [0u8; 8];
-    raw.copy_from_slice(bytes);
-    Ok(f64::from_bits(u64::from_le_bytes(raw)))
+    /// The daemon's authoritative campaign position (resume point).
+    CampaignAck {
+        round_index: u64,
+        clients: u64,
+        total_bits: u64,
+        digest: u64,
+    },
+    /// The admission verdict for one `RoundRequest`.
+    RoundAdmit {
+        round: u64,
+        admitted: Vec<u64>,
+        denied_budget: u64,
+        denied_cooldown: u64,
+        already_committed: bool,
+    },
+    /// Receipt for one `RoundCommit` (idempotent on replays).
+    RoundCommitted {
+        round: u64,
+        clients_charged: u64,
+        digest: u64,
+    },
+    /// A campaign operation was rejected; the connection stays usable.
+    CampaignErr {
+        code: u64,
+        detail: String,
+    },
 }
 
 fn push_env(out: &mut Vec<u8>, env: &Envelope) {
@@ -196,6 +234,41 @@ fn decode_rates(buf: &[u8], pos: &mut usize) -> Result<FaultRates, WireError> {
     })
 }
 
+fn push_u64_list(out: &mut Vec<u8>, items: &[u64]) {
+    wire::push_varint(out, items.len() as u64);
+    for &v in items {
+        wire::push_varint(out, v);
+    }
+}
+
+fn read_u64_list(buf: &[u8], pos: &mut usize) -> Result<Vec<u64>, WireError> {
+    let count = usize::try_from(read_varint(buf, pos)?).map_err(|_| WireError::Truncated)?;
+    // Each entry is at least one byte; an absurd count cannot be backed by
+    // the remaining buffer.
+    if count > buf.len().saturating_sub(*pos) {
+        return Err(WireError::Truncated);
+    }
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        items.push(read_varint(buf, pos)?);
+    }
+    Ok(items)
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    wire::push_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(buf: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    let len = usize::try_from(read_varint(buf, pos)?).map_err(|_| WireError::Truncated)?;
+    if len > buf.len().saturating_sub(*pos) {
+        return Err(WireError::Truncated);
+    }
+    let bytes = wire::read_bytes(buf, pos, len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidField("error detail utf-8"))
+}
+
 impl Ctrl {
     pub(crate) fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16);
@@ -232,6 +305,67 @@ impl Ctrl {
             }
             Ctrl::Close => out.push(TAG_CLOSE),
             Ctrl::Shutdown => out.push(TAG_SHUTDOWN),
+            Ctrl::Campaign(msg) => {
+                out.push(TAG_CAMPAIGN);
+                msg.encode_into(&mut out);
+            }
+            Ctrl::RoundRequest {
+                round,
+                net_seed,
+                round_id,
+                clients,
+            } => {
+                out.push(TAG_ROUND_REQUEST);
+                wire::push_varint(&mut out, *round);
+                wire::push_varint(&mut out, *net_seed);
+                wire::push_varint(&mut out, *round_id);
+                push_u64_list(&mut out, clients);
+            }
+            Ctrl::RoundCommit { round } => {
+                out.push(TAG_ROUND_COMMIT);
+                wire::push_varint(&mut out, *round);
+            }
+            Ctrl::CampaignAck {
+                round_index,
+                clients,
+                total_bits,
+                digest,
+            } => {
+                out.push(TAG_CAMPAIGN_ACK);
+                wire::push_varint(&mut out, *round_index);
+                wire::push_varint(&mut out, *clients);
+                wire::push_varint(&mut out, *total_bits);
+                wire::push_varint(&mut out, *digest);
+            }
+            Ctrl::RoundAdmit {
+                round,
+                admitted,
+                denied_budget,
+                denied_cooldown,
+                already_committed,
+            } => {
+                out.push(TAG_ROUND_ADMIT);
+                wire::push_varint(&mut out, *round);
+                push_u64_list(&mut out, admitted);
+                wire::push_varint(&mut out, *denied_budget);
+                wire::push_varint(&mut out, *denied_cooldown);
+                out.push(u8::from(*already_committed));
+            }
+            Ctrl::RoundCommitted {
+                round,
+                clients_charged,
+                digest,
+            } => {
+                out.push(TAG_ROUND_COMMITTED);
+                wire::push_varint(&mut out, *round);
+                wire::push_varint(&mut out, *clients_charged);
+                wire::push_varint(&mut out, *digest);
+            }
+            Ctrl::CampaignErr { code, detail } => {
+                out.push(TAG_CAMPAIGN_ERR);
+                wire::push_varint(&mut out, *code);
+                push_str(&mut out, detail);
+            }
             Ctrl::HelloAck { session_id } => {
                 out.push(TAG_HELLO_ACK);
                 wire::push_varint(&mut out, *session_id);
@@ -295,6 +429,42 @@ impl Ctrl {
             TAG_REDELIVER => Ctrl::Redeliver(read_env(buf, &mut pos)?),
             TAG_CLOSE => Ctrl::Close,
             TAG_SHUTDOWN => Ctrl::Shutdown,
+            TAG_CAMPAIGN => Ctrl::Campaign(CampaignMessage::decode_from(buf, &mut pos)?),
+            TAG_ROUND_REQUEST => Ctrl::RoundRequest {
+                round: read_varint(buf, &mut pos)?,
+                net_seed: read_varint(buf, &mut pos)?,
+                round_id: read_varint(buf, &mut pos)?,
+                clients: read_u64_list(buf, &mut pos)?,
+            },
+            TAG_ROUND_COMMIT => Ctrl::RoundCommit {
+                round: read_varint(buf, &mut pos)?,
+            },
+            TAG_CAMPAIGN_ACK => Ctrl::CampaignAck {
+                round_index: read_varint(buf, &mut pos)?,
+                clients: read_varint(buf, &mut pos)?,
+                total_bits: read_varint(buf, &mut pos)?,
+                digest: read_varint(buf, &mut pos)?,
+            },
+            TAG_ROUND_ADMIT => Ctrl::RoundAdmit {
+                round: read_varint(buf, &mut pos)?,
+                admitted: read_u64_list(buf, &mut pos)?,
+                denied_budget: read_varint(buf, &mut pos)?,
+                denied_cooldown: read_varint(buf, &mut pos)?,
+                already_committed: match wire::read_bytes(buf, &mut pos, 1)?[0] {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::InvalidField("already_committed flag")),
+                },
+            },
+            TAG_ROUND_COMMITTED => Ctrl::RoundCommitted {
+                round: read_varint(buf, &mut pos)?,
+                clients_charged: read_varint(buf, &mut pos)?,
+                digest: read_varint(buf, &mut pos)?,
+            },
+            TAG_CAMPAIGN_ERR => Ctrl::CampaignErr {
+                code: read_varint(buf, &mut pos)?,
+                detail: read_str(buf, &mut pos)?,
+            },
             TAG_HELLO_ACK => Ctrl::HelloAck {
                 session_id: read_varint(buf, &mut pos)?,
             },
@@ -332,6 +502,54 @@ impl Ctrl {
 // ---------------------------------------------------------------------------
 // The driver-side transport.
 // ---------------------------------------------------------------------------
+
+/// The daemon's authoritative campaign position, returned by
+/// [`TcpTransport::begin_campaign`]. `round_index` is the resume point: a
+/// driver restarted mid-campaign simply continues from here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignStatus {
+    /// Next round the campaign will admit.
+    pub round_index: u64,
+    /// Clients with at least one committed charge.
+    pub clients: u64,
+    /// Total private bits committed across all clients.
+    pub total_bits: u64,
+    /// Digest of the committed ledger state (see
+    /// `fednum_core::privacy::durable::CampaignState::digest`).
+    pub digest: u64,
+}
+
+/// The admission verdict for one round, returned by
+/// [`TcpTransport::request_round`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundAdmission {
+    /// The round this admission is for.
+    pub round: u64,
+    /// Clients the scheduler admitted (charges already on the daemon's
+    /// write-ahead log).
+    pub admitted: Vec<u64>,
+    /// Clients denied for insufficient remaining budget.
+    pub denied_budget: u64,
+    /// Clients denied because their cooldown has not elapsed.
+    pub denied_cooldown: u64,
+    /// `true` when this round was already committed (a crash or lost ack
+    /// happened after the fold): the recorded admission is returned and
+    /// nothing was re-charged. The driver should skip re-running the
+    /// round and move on.
+    pub already_committed: bool,
+}
+
+/// Receipt for one committed round, returned by
+/// [`TcpTransport::commit_round`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitReceipt {
+    /// The committed round index.
+    pub round: u64,
+    /// Clients whose charges were folded.
+    pub clients_charged: u64,
+    /// Ledger digest after the fold.
+    pub digest: u64,
+}
 
 struct Inner {
     reader: BufReader<TcpStream>,
@@ -509,6 +727,151 @@ impl TcpTransport {
         }
     }
 
+    /// Opens (or resumes) a longitudinal campaign on this connection.
+    ///
+    /// The daemon looks the campaign up by `config.campaign_id`: a fresh id
+    /// creates the campaign, an existing id resumes it — after a daemon
+    /// restart the returned [`CampaignStatus::round_index`] tells the driver
+    /// where to pick up. The request's `round_index` is ignored by the
+    /// daemon (its own committed index is authoritative), but the budget
+    /// policy fields must match the stored campaign exactly.
+    ///
+    /// # Errors
+    /// [`FedError::Transport`] on socket failure, a policy mismatch with an
+    /// existing campaign, or a daemon running without the campaign feature.
+    pub fn begin_campaign(&mut self, config: &CampaignMessage) -> Result<CampaignStatus, FedError> {
+        match self.exchange(&Ctrl::Campaign(*config))? {
+            Ctrl::CampaignAck {
+                round_index,
+                clients,
+                total_bits,
+                digest,
+            } => Ok(CampaignStatus {
+                round_index,
+                clients,
+                total_bits,
+                digest,
+            }),
+            other => Err(unexpected_reply("campaign ack", &other)),
+        }
+    }
+
+    /// Asks the campaign scheduler to admit `clients` into `round`.
+    ///
+    /// On admission the daemon has already write-ahead-logged the round's
+    /// charges (durable mode) and rebuilt the session's simulated network
+    /// from `net_seed`/`round_id`, so the round that follows is bit-identical
+    /// to an independent single-round session opened with the same seeds.
+    /// The driver's local event queue is re-seeded to match. If the reply
+    /// says [`RoundAdmission::already_committed`], nothing was staged and
+    /// the round body must be skipped.
+    ///
+    /// # Errors
+    /// [`FedError::Transport`] on socket failure, an out-of-order round
+    /// index, or a request before [`Self::begin_campaign`].
+    pub fn request_round(
+        &mut self,
+        round: u64,
+        net_seed: u64,
+        round_id: u64,
+        clients: &[u64],
+    ) -> Result<RoundAdmission, FedError> {
+        let reply = self.exchange(&Ctrl::RoundRequest {
+            round,
+            net_seed,
+            round_id,
+            clients: clients.to_vec(),
+        })?;
+        match reply {
+            Ctrl::RoundAdmit {
+                round,
+                admitted,
+                denied_budget,
+                denied_cooldown,
+                already_committed,
+            } => {
+                // Match the daemon's fresh per-round SimNet: tie-break
+                // sequence state must not leak across rounds or parity with
+                // independent in-memory rounds is lost.
+                let inner = self.inner.get_mut();
+                inner.queue = EventQueue::new(net_seed);
+                Ok(RoundAdmission {
+                    round,
+                    admitted,
+                    denied_budget,
+                    denied_cooldown,
+                    already_committed,
+                })
+            }
+            other => Err(unexpected_reply("round admission", &other)),
+        }
+    }
+
+    /// Commits the currently staged round: the daemon folds the staged
+    /// charges into the durable ledger and fsyncs the commit record before
+    /// replying. Re-committing an already-committed round is a no-op that
+    /// returns the recorded receipt.
+    ///
+    /// # Errors
+    /// [`FedError::Transport`] on socket failure or a commit without a
+    /// matching admitted round.
+    pub fn commit_round(&mut self, round: u64) -> Result<CommitReceipt, FedError> {
+        match self.exchange(&Ctrl::RoundCommit { round })? {
+            Ctrl::RoundCommitted {
+                round,
+                clients_charged,
+                digest,
+            } => Ok(CommitReceipt {
+                round,
+                clients_charged,
+                digest,
+            }),
+            other => Err(unexpected_reply("commit receipt", &other)),
+        }
+    }
+
+    /// Synchronous request/reply for the campaign control frames: drains any
+    /// in-flight deliveries first so replies can't interleave, then writes
+    /// one frame and reads exactly one back. A `CampaignErr` reply becomes a
+    /// typed error but leaves the connection usable.
+    fn exchange(&mut self, ctrl: &Ctrl) -> Result<Ctrl, FedError> {
+        let inner = self.inner.get_mut();
+        sync(inner);
+        if let Some(e) = inner.error.take() {
+            return Err(e);
+        }
+        let io_err = |op: &'static str| {
+            move |e: std::io::Error| FedError::Transport {
+                op,
+                detail: e.to_string(),
+            }
+        };
+        let frame = ctrl.encode();
+        wire::write_frame(&mut inner.writer, &frame).map_err(io_err("write"))?;
+        inner.writer.flush().map_err(io_err("write"))?;
+        inner.metrics.frames_sent += 1;
+        inner.metrics.bytes_sent += wire::frame_len(frame.len()) as u64;
+        let reply = wire::read_frame(&mut inner.reader)
+            .map_err(io_err("read"))?
+            .ok_or(FedError::Transport {
+                op: "read",
+                detail: "daemon closed during campaign exchange".into(),
+            })?;
+        inner.metrics.frames_received += 1;
+        inner.metrics.bytes_received += wire::frame_len(reply.len()) as u64;
+        match Ctrl::decode(&reply) {
+            Ok(Ctrl::CampaignErr { code, detail }) => Err(FedError::Transport {
+                op: "campaign",
+                detail: format!("daemon rejected request (code {code}): {detail}"),
+            }),
+            Ok(other) => Ok(other),
+            Err(e) => Err(FedError::Transport {
+                op: "read",
+                detail: format!("bad campaign reply: {e}"),
+            }),
+        }
+    }
+
     fn write_ctrl(&mut self, ctrl: &Ctrl, expects_reply: bool) {
         let inner = self.inner.get_mut();
         if inner.error.is_some() {
@@ -529,6 +892,13 @@ impl TcpTransport {
         if inner.unsynced_bytes >= SYNC_BYTES || inner.outstanding >= SYNC_FRAMES {
             sync(inner);
         }
+    }
+}
+
+fn unexpected_reply(wanted: &str, got: &Ctrl) -> FedError {
+    FedError::Transport {
+        op: "read",
+        detail: format!("expected {wanted}, got {got:?}"),
     }
 }
 
@@ -692,11 +1062,111 @@ mod tests {
                 bytes_out: 400,
             }),
             Ctrl::ShutdownAck,
+            Ctrl::Campaign(CampaignMessage {
+                campaign_id: 77,
+                round_index: 3,
+                max_bits: Some(4096),
+                max_epsilon: Some(8.0),
+                cooldown_rounds: 2,
+                bits_per_round: 64,
+                epsilon_per_round: 0.5,
+            }),
+            Ctrl::Campaign(CampaignMessage {
+                campaign_id: 0,
+                round_index: 0,
+                max_bits: None,
+                max_epsilon: None,
+                cooldown_rounds: 0,
+                bits_per_round: 0,
+                epsilon_per_round: 0.0,
+            }),
+            Ctrl::RoundRequest {
+                round: 5,
+                net_seed: 0xDEAD_BEEF,
+                round_id: 11,
+                clients: vec![1, 2, u64::MAX],
+            },
+            Ctrl::RoundCommit { round: 5 },
+            Ctrl::CampaignAck {
+                round_index: 4,
+                clients: 3,
+                total_bits: 192,
+                digest: 0x1234_5678_9ABC_DEF0,
+            },
+            Ctrl::RoundAdmit {
+                round: 5,
+                admitted: vec![1, 2],
+                denied_budget: 1,
+                denied_cooldown: 2,
+                already_committed: false,
+            },
+            Ctrl::RoundAdmit {
+                round: 0,
+                admitted: vec![],
+                denied_budget: 0,
+                denied_cooldown: 0,
+                already_committed: true,
+            },
+            Ctrl::RoundCommitted {
+                round: 5,
+                clients_charged: 2,
+                digest: u64::MAX,
+            },
+            Ctrl::CampaignErr {
+                code: 2,
+                detail: "round 7 out of order (expected 5)".into(),
+            },
         ];
         for f in frames {
             let bytes = f.encode();
             assert_eq!(Ctrl::decode(&bytes).unwrap(), f, "frame {f:?}");
         }
+    }
+
+    #[test]
+    fn campaign_frames_reject_malformed_bytes() {
+        // Truncated client list: count says 3, body carries 1.
+        let mut bytes = Ctrl::RoundRequest {
+            round: 1,
+            net_seed: 2,
+            round_id: 3,
+            clients: vec![1, 2, 3],
+        }
+        .encode();
+        bytes.truncate(bytes.len() - 2);
+        assert_eq!(Ctrl::decode(&bytes), Err(WireError::Truncated));
+        // Hostile admitted-list count fails before allocation.
+        let mut bytes = vec![TAG_ROUND_ADMIT];
+        wire::push_varint(&mut bytes, 1); // round
+        wire::push_varint(&mut bytes, u64::MAX); // admitted count
+        assert_eq!(Ctrl::decode(&bytes), Err(WireError::Truncated));
+        // already_committed must be exactly 0 or 1.
+        let mut bytes = Ctrl::RoundAdmit {
+            round: 1,
+            admitted: vec![],
+            denied_budget: 0,
+            denied_cooldown: 0,
+            already_committed: false,
+        }
+        .encode();
+        let last = bytes.len() - 1;
+        bytes[last] = 9;
+        assert_eq!(
+            Ctrl::decode(&bytes),
+            Err(WireError::InvalidField("already_committed flag"))
+        );
+        // Error detail must be UTF-8.
+        let mut bytes = Ctrl::CampaignErr {
+            code: 1,
+            detail: "ok".into(),
+        }
+        .encode();
+        let last = bytes.len() - 1;
+        bytes[last] = 0xFF;
+        assert_eq!(
+            Ctrl::decode(&bytes),
+            Err(WireError::InvalidField("error detail utf-8"))
+        );
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! Seeded kill-and-restart chaos for the durable campaign ledger.
+//!
+//! Two layers:
+//!
+//! * a **crash matrix** that truncates (and bit-flips) the write-ahead log
+//!   at every byte offset — covering crashes inside admission records
+//!   (handshake), staged charges (collect/charge), and commit records
+//!   (publish) — and asserts the recovered state is **bit-identical** to
+//!   the uninterrupted reference at the same committed round: never a
+//!   double-charge, never a re-grant;
+//! * an **end-to-end restart**: a daemon serving a live TCP campaign is
+//!   torn down without a flush mid-round-3, restarted on the same state
+//!   directory, and must resume at the correct round and finish the
+//!   campaign with the exact ledger digest of an uninterrupted run.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fednum_core::encoding::FixedPointCodec;
+use fednum_core::privacy::durable::DurableLedger;
+use fednum_core::protocol::basic::BasicConfig;
+use fednum_core::sampling::BitSampling;
+use fednum_core::wire::CampaignMessage;
+use fednum_fedsim::round::FederatedMeanConfig;
+use fednum_fedsim::{DropoutModel, LatencyModel, RetryPolicy};
+use fednum_transport::daemon::{self, DaemonConfig, RoundStream};
+use fednum_transport::{InMemoryTransport, RoundBuilder, TcpTransport, Transport};
+
+const ROUNDS: u64 = 6;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fednum-crash-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn policy() -> CampaignMessage {
+    CampaignMessage {
+        campaign_id: 7,
+        round_index: 0,
+        max_bits: Some(200),
+        max_epsilon: Some(5.0),
+        cooldown_rounds: 1,
+        bits_per_round: 10,
+        epsilon_per_round: 0.25,
+    }
+}
+
+/// The clients each round requests: sliding windows so cohorts overlap
+/// across rounds and cross-round state (cooldowns, balances) matters.
+fn window(round: u64) -> Vec<u64> {
+    (round * 3..round * 3 + 8).collect()
+}
+
+/// Replays the full campaign on `ledger` from its current round to the
+/// end. Panics if any admission or commit fails.
+fn finish_campaign(ledger: &mut DurableLedger) {
+    for r in ledger.state().round_index()..ROUNDS {
+        ledger.admit_round(r, &window(r)).unwrap();
+        ledger.commit_round(r).unwrap();
+    }
+}
+
+/// The crash matrix: every prefix of the WAL is a possible post-`kill -9`
+/// on-disk state; each must recover to exactly one of the reference
+/// states (bit-identical snapshot encoding) and then be able to finish
+/// the campaign with the reference's final digest.
+#[test]
+fn every_wal_truncation_recovers_bit_identical_and_resumes() {
+    // Uninterrupted reference: snapshot cadence effectively off, so the
+    // WAL retains the whole history and the snapshot stays at round 0.
+    let dir_ref = tempdir("wal-matrix-ref");
+    let mut reference = DurableLedger::create(&dir_ref, policy(), u64::MAX).unwrap();
+    // ref_states[k]: canonical snapshot encoding after k committed rounds.
+    let mut ref_states = vec![reference.state().encode_snapshot()];
+    for r in 0..ROUNDS {
+        reference.admit_round(r, &window(r)).unwrap();
+        reference.commit_round(r).unwrap();
+        ref_states.push(reference.state().encode_snapshot());
+    }
+    let snap_bytes = fs::read(dir_ref.join("campaign-7.snap")).unwrap();
+    let wal_bytes = fs::read(dir_ref.join("campaign-7.wal")).unwrap();
+    assert!(
+        wal_bytes.len() > 200,
+        "matrix needs a substantial WAL, got {} bytes",
+        wal_bytes.len()
+    );
+
+    let dir_cut = tempdir("wal-matrix-cut");
+    let mut crash_points = 0u64;
+    let mut commit_histogram = vec![0u64; ROUNDS as usize + 1];
+    for cut in 0..=wal_bytes.len() {
+        fs::write(dir_cut.join("campaign-7.snap"), &snap_bytes).unwrap();
+        fs::write(dir_cut.join("campaign-7.wal"), &wal_bytes[..cut]).unwrap();
+        let (mut recovered, stats) = DurableLedger::open(&dir_cut, 7, u64::MAX).unwrap();
+        let k = stats.commits_replayed as usize;
+        assert_eq!(
+            recovered.state().encode_snapshot(),
+            ref_states[k],
+            "cut at byte {cut}: recovered state is not bit-identical to the \
+             reference after {k} commits (double-charge or re-grant)"
+        );
+        assert!(
+            !recovered.state().has_staged_round(),
+            "cut at byte {cut}: uncommitted round survived recovery"
+        );
+        commit_histogram[k] += 1;
+        // The salvaged daemon must be able to finish the campaign and land
+        // exactly where the uninterrupted run did.
+        finish_campaign(&mut recovered);
+        assert_eq!(
+            recovered.state().encode_snapshot(),
+            ref_states[ROUNDS as usize],
+            "cut at byte {cut}: resumed campaign diverged from the reference"
+        );
+        crash_points += 1;
+    }
+    assert!(
+        crash_points >= 20,
+        "crash matrix too small: {crash_points} points"
+    );
+    // The sweep genuinely hit crashes in every phase: before the first
+    // commit, between commits, and after the last one.
+    assert!(commit_histogram[0] > 0, "no crash before the first commit");
+    assert!(
+        commit_histogram[ROUNDS as usize] > 0,
+        "no crash after the final commit"
+    );
+    assert!(
+        (1..ROUNDS as usize).all(|k| commit_histogram[k] > 0),
+        "some inter-commit phase was never crashed: {commit_histogram:?}"
+    );
+}
+
+/// Bit rot anywhere in the WAL: the checksummed tail from the damaged
+/// record on is discarded, and what remains is still bit-identical to a
+/// reference prefix.
+#[test]
+fn flipped_wal_bytes_discard_the_tail_never_the_balances() {
+    let dir_ref = tempdir("wal-flip-ref");
+    let mut reference = DurableLedger::create(&dir_ref, policy(), u64::MAX).unwrap();
+    let mut ref_states = vec![reference.state().encode_snapshot()];
+    for r in 0..ROUNDS {
+        reference.admit_round(r, &window(r)).unwrap();
+        reference.commit_round(r).unwrap();
+        ref_states.push(reference.state().encode_snapshot());
+    }
+    let snap_bytes = fs::read(dir_ref.join("campaign-7.snap")).unwrap();
+    let wal_bytes = fs::read(dir_ref.join("campaign-7.wal")).unwrap();
+
+    let dir_flip = tempdir("wal-flip");
+    // A seeded spread of flip positions (LCG), plus the first and last byte.
+    let mut positions = vec![0usize, wal_bytes.len() - 1];
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    for _ in 0..24 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        positions.push((x >> 16) as usize % wal_bytes.len());
+    }
+    for &p in &positions {
+        let mut damaged = wal_bytes.clone();
+        damaged[p] ^= 0x40;
+        fs::write(dir_flip.join("campaign-7.snap"), &snap_bytes).unwrap();
+        fs::write(dir_flip.join("campaign-7.wal"), &damaged).unwrap();
+        let (recovered, stats) = DurableLedger::open(&dir_flip, 7, u64::MAX).unwrap();
+        let k = stats.commits_replayed as usize;
+        assert!(k <= ROUNDS as usize);
+        assert_eq!(
+            recovered.state().encode_snapshot(),
+            ref_states[k],
+            "flip at byte {p}: recovered state not a bit-identical reference prefix"
+        );
+    }
+}
+
+fn round_config(seed: u64) -> FederatedMeanConfig {
+    let protocol = BasicConfig::new(FixedPointCodec::integer(8), BitSampling::geometric(8, 1.0));
+    let mut cfg = FederatedMeanConfig::new(protocol)
+        .with_dropout(DropoutModel::bernoulli(0.2))
+        .with_retry(RetryPolicy {
+            max_secagg_retries: 2,
+            base_backoff: 0.5,
+            max_backoff: 8.0,
+            min_cohort: 3,
+        })
+        .with_latency(LatencyModel::new(0.5, 0.6, 30.0));
+    cfg.session_seed = seed;
+    cfg
+}
+
+fn run_round(vals: &[f64], cfg: &FederatedMeanConfig, transport: &mut dyn Transport) -> u64 {
+    RoundBuilder::new(cfg.clone())
+        .seed(cfg.session_seed)
+        .via(transport)
+        .run(vals)
+        .map(|out| out.flat().unwrap().outcome.estimate.to_bits())
+        .unwrap()
+}
+
+/// End-to-end: SIGKILL-equivalent teardown mid-round-3 of a live TCP
+/// campaign, restart on the same state directory, resume, finish, and
+/// match the uninterrupted reference digest exactly.
+#[test]
+fn daemon_restart_resumes_campaign_with_identical_ledger() {
+    const E2E_ROUNDS: u64 = 3;
+    let campaign = CampaignMessage {
+        campaign_id: 42,
+        ..policy()
+    };
+    let client_value = |c: u64| ((c * 41 + 5) % 200) as f64;
+
+    // Uninterrupted reference, hand-threaded in memory.
+    let mut reference = DurableLedger::in_memory(campaign);
+    let mut ref_estimates = Vec::new();
+    for r in 0..E2E_ROUNDS {
+        let cfg = round_config(0xE0 + r);
+        let admission = reference.admit_round(r, &window(r)).unwrap();
+        let vals: Vec<f64> = admission
+            .admitted
+            .iter()
+            .map(|&c| client_value(c))
+            .collect();
+        let mut mem = InMemoryTransport::new(cfg.session_seed ^ 0xFEED);
+        ref_estimates.push(run_round(&vals, &cfg, &mut mem));
+        reference.commit_round(r).unwrap();
+    }
+    let ref_digest = reference.digest();
+
+    // Daemon A: rounds 0 and 1 committed, round 2 admitted and run but
+    // NEVER committed — then torn down without any flush (kill -9 -wise,
+    // everything that matters is already fsynced by the WAL discipline).
+    let dir = tempdir("daemon-restart");
+    let snapshot_every = 2; // exercise the WAL-truncating cadence mid-campaign
+    let rounds = RoundStream::recover(&dir, snapshot_every).unwrap();
+    let handle_a = daemon::spawn_with_state(DaemonConfig::default(), rounds).unwrap();
+    let mut tcp = TcpTransport::connect(handle_a.addr(), 0xFEED).unwrap();
+    tcp.begin_campaign(&campaign).unwrap();
+    for r in 0..E2E_ROUNDS {
+        let cfg = round_config(0xE0 + r);
+        let admission = tcp
+            .request_round(r, cfg.session_seed ^ 0xFEED, cfg.session_seed, &window(r))
+            .unwrap();
+        let vals: Vec<f64> = admission
+            .admitted
+            .iter()
+            .map(|&c| client_value(c))
+            .collect();
+        let estimate = run_round(&vals, &cfg, &mut tcp);
+        assert_eq!(estimate, ref_estimates[r as usize], "round {r} estimate");
+        if r < E2E_ROUNDS - 1 {
+            tcp.commit_round(r).unwrap();
+        }
+    }
+    drop(tcp); // connection severed, no Close
+    handle_a.request_shutdown();
+    drop(handle_a); // no shutdown() — no flush, like a kill
+
+    // Daemon B on the same state dir: recovery must discard the staged
+    // round-2 charges and resume at round 2.
+    let rounds = RoundStream::recover(&dir, snapshot_every).unwrap();
+    let recovery = rounds.recovery_stats();
+    assert_eq!(recovery.campaigns, 1);
+    assert!(
+        recovery.charges_discarded > 0,
+        "the interrupted round's staged charges must be discarded: {recovery:?}"
+    );
+    let handle_b = daemon::spawn_with_state(DaemonConfig::default(), rounds).unwrap();
+    let mut tcp = TcpTransport::connect(handle_b.addr(), 0xFEED).unwrap();
+    let status = tcp.begin_campaign(&campaign).unwrap();
+    assert_eq!(status.round_index, E2E_ROUNDS - 1, "resume point");
+    {
+        let r = E2E_ROUNDS - 1;
+        let cfg = round_config(0xE0 + r);
+        let admission = tcp
+            .request_round(r, cfg.session_seed ^ 0xFEED, cfg.session_seed, &window(r))
+            .unwrap();
+        assert!(!admission.already_committed, "round was never committed");
+        let vals: Vec<f64> = admission
+            .admitted
+            .iter()
+            .map(|&c| client_value(c))
+            .collect();
+        let estimate = run_round(&vals, &cfg, &mut tcp);
+        assert_eq!(
+            estimate, ref_estimates[r as usize],
+            "replayed round estimate"
+        );
+        let receipt = tcp.commit_round(r).unwrap();
+        assert_eq!(
+            receipt.digest, ref_digest,
+            "resumed campaign's final ledger is not bit-identical to the \
+             uninterrupted reference"
+        );
+    }
+    tcp.close().unwrap();
+    handle_b.shutdown().unwrap();
+
+    // Third startup after the clean shutdown: the flush left a snapshot
+    // that loads with nothing to replay and the digest intact.
+    let rounds = RoundStream::recover(&dir, snapshot_every).unwrap();
+    let recovery = rounds.recovery_stats();
+    assert_eq!(recovery.wal_records, 0, "clean shutdown left WAL entries");
+    assert_eq!(recovery.charges_discarded, 0);
+    let mut rounds = rounds;
+    let (index, _, _, digest) = rounds.open_campaign(&campaign).unwrap();
+    assert_eq!(index, E2E_ROUNDS);
+    assert_eq!(digest, ref_digest);
+}

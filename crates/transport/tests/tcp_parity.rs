@@ -411,6 +411,131 @@ fn shutdown_wakes_idle_connections_and_reports_stats() {
     drop(parked);
 }
 
+/// The longitudinal tentpole: a 3-round multi-session campaign over one
+/// live TCP connection must be bit-identical — estimates, telemetry,
+/// admissions, and ledger digests — to three independent in-memory rounds
+/// with the cross-round ledger state threaded through by hand.
+#[test]
+fn three_round_campaign_over_tcp_matches_independent_in_memory_rounds() {
+    use fednum_core::privacy::durable::DurableLedger;
+    use fednum_core::wire::CampaignMessage;
+
+    let handle = daemon();
+    let addr = handle.addr();
+    let policy = CampaignMessage {
+        campaign_id: 0xCA9,
+        round_index: 0,
+        max_bits: Some(100),
+        max_epsilon: Some(4.0),
+        cooldown_rounds: 2,
+        bits_per_round: 16,
+        epsilon_per_round: 0.25,
+    };
+    // Overlapping request windows so the cooldown gate genuinely denies:
+    // round 1 re-requests 30 clients charged in round 0.
+    let windows: [Vec<u64>; 3] = [(0..60).collect(), (30..90).collect(), (0..60).collect()];
+    let client_value = |c: u64| ((c * 37 + 13) % 230) as f64;
+
+    // Reference: the same campaign state machine, in memory, threaded by
+    // hand across three *independent* single-round in-memory sessions.
+    let mut reference = DurableLedger::in_memory(policy);
+    let mut ref_outcomes = Vec::new();
+    let mut ref_admissions = Vec::new();
+    let mut ref_receipts = Vec::new();
+    for (r, window) in windows.iter().enumerate() {
+        let cfg = base_config(0xA0 + r as u64);
+        let net_seed = cfg.session_seed ^ 0xD00D;
+        let admission = reference.admit_round(r as u64, window).unwrap();
+        let vals: Vec<f64> = admission
+            .admitted
+            .iter()
+            .map(|&c| client_value(c))
+            .collect();
+        let mut mem = InMemoryTransport::new(net_seed);
+        ref_outcomes.push(run_over(&vals, &cfg, &mut mem, cfg.session_seed).unwrap());
+        ref_admissions.push(admission);
+        ref_receipts.push(reference.commit_round(r as u64).unwrap());
+    }
+    assert!(
+        ref_admissions[1].denied_cooldown > 0,
+        "the window overlap must exercise the cooldown gate"
+    );
+
+    // The campaign run: ONE connection, three rounds.
+    let first_seed = base_config(0xA0).session_seed ^ 0xD00D;
+    let mut tcp = TcpTransport::connect(addr, first_seed).expect("connect");
+    let status = tcp.begin_campaign(&policy).expect("open campaign");
+    assert_eq!(status.round_index, 0);
+    assert_eq!(status.clients, 0);
+    assert_eq!(
+        status.digest,
+        DurableLedger::in_memory(policy).digest(),
+        "fresh campaign digest must match the reference state machine"
+    );
+    for (r, window) in windows.iter().enumerate() {
+        let cfg = base_config(0xA0 + r as u64);
+        let net_seed = cfg.session_seed ^ 0xD00D;
+        let admission = tcp
+            .request_round(r as u64, net_seed, cfg.session_seed, window)
+            .expect("admission");
+        assert!(!admission.already_committed);
+        assert_eq!(admission.admitted, ref_admissions[r].admitted, "round {r}");
+        assert_eq!(
+            (admission.denied_budget, admission.denied_cooldown),
+            (
+                ref_admissions[r].denied_budget,
+                ref_admissions[r].denied_cooldown
+            ),
+            "round {r} denials"
+        );
+        let vals: Vec<f64> = admission
+            .admitted
+            .iter()
+            .map(|&c| client_value(c))
+            .collect();
+        let over_tcp = run_over(&vals, &cfg, &mut tcp, cfg.session_seed).unwrap();
+        assert_identical(&format!("campaign round {r}"), &ref_outcomes[r], &over_tcp);
+        let receipt = tcp.commit_round(r as u64).expect("commit");
+        assert_eq!(receipt.clients_charged, ref_receipts[r].clients_charged);
+        assert_eq!(
+            receipt.digest, ref_receipts[r].digest,
+            "round {r}: committed ledger state diverges from the hand-threaded reference"
+        );
+    }
+
+    // Idempotency over the wire: re-requesting and re-committing the last
+    // round returns the recorded results without re-charging.
+    let replay = tcp
+        .request_round(2, 0xFFFF, 0xFFFF, &windows[2])
+        .expect("replayed admission");
+    assert!(replay.already_committed);
+    assert_eq!(replay.admitted, ref_admissions[2].admitted);
+    let re_receipt = tcp.commit_round(2).expect("idempotent commit");
+    assert_eq!(re_receipt.digest, ref_receipts[2].digest);
+    tcp.close().expect("clean close");
+
+    // A second connection resuming the campaign sees the committed
+    // position, not a fresh ledger.
+    let mut resumed = TcpTransport::connect(addr, 1).expect("reconnect");
+    let status = resumed.begin_campaign(&policy).expect("resume campaign");
+    assert_eq!(status.round_index, 3);
+    assert_eq!(status.digest, ref_receipts[2].digest);
+    assert!(status.clients > 0 && status.total_bits > 0);
+    // A mismatched budget policy must be rejected, not silently adopted.
+    let mut wrong = policy;
+    wrong.bits_per_round = 8;
+    match resumed.begin_campaign(&wrong) {
+        Err(FedError::Transport { op: "campaign", .. }) => {}
+        other => panic!("policy mismatch must be a campaign error, got {other:?}"),
+    }
+    resumed.close().expect("clean close");
+
+    let stats = handle.shutdown().expect("clean daemon shutdown");
+    assert_eq!(stats.campaigns_opened, 2);
+    assert_eq!(stats.rounds_admitted, 4); // 3 live + 1 replayed
+    assert_eq!(stats.rounds_committed, 4); // 3 live + 1 idempotent
+}
+
 #[test]
 fn admin_shutdown_frame_stops_the_daemon() {
     let handle = daemon();
