@@ -50,14 +50,14 @@ cargo test -q --release --offline --test chaos \
 step "bench_transport --hiersec smoke (fixed seed, 10s budget)"
 # Quick grid (50k clients, K in {4,16}, 1/4 workers); the binary itself
 # enforces the wall-clock budget and the >=2x modeled pool speedup.
-./target/release/bench_transport --hiersec --quick \
-    --out results/BENCH_hiersec_smoke.json
+# --smoke = quick sizes + the BENCH_*_smoke.json artifact name (see
+# EXPERIMENTS.md: smoke runs never overwrite a full run's numbers).
+./target/release/bench_transport --hiersec --smoke
 
 step "bench_transport --salvage smoke (fixed seed, recovery/overhead gates)"
 # Quick sweep (50k clients, straggle rates {0.05,0.1,0.2}); the binary
 # enforces >=90% straggler recovery per rate and <=15% wall overhead.
-./target/release/bench_transport --salvage --quick \
-    --out results/BENCH_salvage_smoke.json
+./target/release/bench_transport --salvage --smoke
 
 step "tcp-loopback smoke (fednumd + concurrent drivers over real sockets)"
 # Spawns the real fednumd binary on an OS-assigned port, holds its stdin
@@ -79,8 +79,7 @@ for _ in $(seq 100); do
     sleep 0.1
 done
 [[ -n "$FEDNUMD_ADDR" ]] || { echo "fednumd never came up"; exit 1; }
-./target/release/bench_tcp --quick --addr "$FEDNUMD_ADDR" --shutdown-daemon \
-    --out results/BENCH_tcp_smoke.json
+./target/release/bench_tcp --smoke --addr "$FEDNUMD_ADDR" --shutdown-daemon
 wait "$FEDNUMD_PID"
 exec 8>&-
 rm -f "$FEDNUMD_FIFO"
@@ -93,8 +92,70 @@ step "bench_tcp --longitudinal smoke (amortized per-round overhead gate)"
 # Multi-round campaign over one connection vs fresh per-round sessions,
 # with and without the durable ledger; the binary enforces the <=10%
 # amortized per-round overhead gate and per-round estimate parity.
-./target/release/bench_tcp --longitudinal --quick \
-    --out results/BENCH_longitudinal.json
+./target/release/bench_tcp --longitudinal --smoke
+
+step "fleet smoke (fednumd + 50 fednumc processes, 5 seeded kills)"
+# The real binaries end to end: fednumd hosts a 2-round, 40-cohort fleet
+# campaign over a 50-participant population; 5 seeded victims die
+# mid-round (3 hang up on assignment, 2 go silent for the heartbeat
+# monitor). The daemon must salvage every death, complete both rounds
+# with nothing abandoned, dismiss every survivor, and exit 0 (a leaked
+# worker thread is exit 2); every fednumc must exit 0 (scripted deaths
+# count their own fault as success).
+FLEET_LOG=$(mktemp)
+FLEET_FIFO=$(mktemp -u)
+mkfifo "$FLEET_FIFO"
+./target/release/fednumd --addr 127.0.0.1:0 \
+    --fleet-cohort 40 --fleet-population 50 --fleet-rounds 2 \
+    --fleet-heartbeat-ms 300 --fleet-liveness-ms 3000 \
+    --fleet-deadline-ms 30000 --fleet-seed 7 --fleet-value-seed 99 \
+    > "$FLEET_LOG" < "$FLEET_FIFO" &
+FLEET_PID=$!
+exec 9> "$FLEET_FIFO"
+rm -f "$FLEET_FIFO"
+FLEET_ADDR=""
+for _ in $(seq 100); do
+    FLEET_ADDR=$(sed -n 's/^fednumd listening on //p' "$FLEET_LOG")
+    [[ -n "$FLEET_ADDR" ]] && break
+    sleep 0.1
+done
+[[ -n "$FLEET_ADDR" ]] || { echo "fleet fednumd never came up"; exit 1; }
+# Seeded victim selection: ids (29*k mod 50)+1 for k=1..5 — same seed,
+# same victims, every run. First 3 hang up on assignment, last 2 mute.
+FLEET_KILL_SEED=29
+FLEET_PIDS=()
+for id in $(seq 50); do
+    FAIL=none
+    for k in 1 2 3; do
+        [[ "$id" -eq $(( FLEET_KILL_SEED * k % 50 + 1 )) ]] && FAIL=assign
+    done
+    for k in 4 5; do
+        [[ "$id" -eq $(( FLEET_KILL_SEED * k % 50 + 1 )) ]] && FAIL=mute
+    done
+    ./target/release/fednumc --addr "$FLEET_ADDR" --client-id "$id" \
+        --fail-at "$FAIL" --max-seconds 120 > /dev/null &
+    FLEET_PIDS+=($!)
+done
+for pid in "${FLEET_PIDS[@]}"; do
+    wait "$pid" || { echo "a fednumc participant failed"; exit 1; }
+done
+wait "$FLEET_PID" || { echo "fleet fednumd exited unclean"; cat "$FLEET_LOG"; exit 1; }
+exec 9>&-
+cat "$FLEET_LOG"
+[[ $(grep -c 'fednumd: fleet round .* 0 abandoned$' "$FLEET_LOG") -eq 2 ]] \
+    || { echo "fleet rounds did not all complete cleanly"; exit 1; }
+grep 'fednumd: fleet round' "$FLEET_LOG" \
+    | grep -Eq 'salvage [1-9][0-9]* hangup|hangup / [1-9][0-9]* heartbeat' \
+    || { echo "the seeded kills were never salvaged"; exit 1; }
+grep -q ' 0 protocol error(s)' "$FLEET_LOG" \
+    || { echo "fleet participants tripped the daemon protocol"; exit 1; }
+rm -f "$FLEET_LOG"
+
+step "bench_tcp --fleet smoke (5k idle connections + 1k-cohort round gate)"
+# One event-loop daemon vs a 6000-session nonblocking client pool on one
+# thread; the binary enforces >=5k concurrently-connected idle clients
+# sustained (zero drops) while the 1k-cohort round completes in budget.
+./target/release/bench_tcp --fleet --smoke
 
 step "crash-recovery smoke (kill -9 mid-round, restart, bit-identical ledger)"
 # Starts fednumd with a durable state dir, runs a reference 3-round

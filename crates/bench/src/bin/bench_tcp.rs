@@ -21,17 +21,21 @@
 //! Usage:
 //!
 //! ```text
-//! bench_tcp [--quick] [--out PATH] [--addr HOST:PORT] [--shutdown-daemon]
-//! bench_tcp --longitudinal [--quick] [--out PATH]
+//! bench_tcp [--quick|--smoke] [--out PATH] [--addr HOST:PORT] [--shutdown-daemon]
+//! bench_tcp --longitudinal [--quick|--smoke] [--out PATH]
+//! bench_tcp --fleet [--smoke] [--out PATH]
 //! ```
 //!
 //! `--quick` shrinks the population for CI smoke runs; the frames/s gate
-//! and the parity/shutdown asserts still apply. With `--addr` the bench
-//! drives an already-running `fednumd` instead of spawning in-process —
-//! the `tcp-loopback` CI smoke uses this to exercise the real binary,
-//! checking its exit status and printed peak-concurrency line from the
-//! shell — and `--shutdown-daemon` sends the admin `Shutdown` frame when
-//! done.
+//! and the parity/shutdown asserts still apply. `--smoke` is `--quick`
+//! plus the artifact-naming convention: the default output path gains a
+//! `_smoke` suffix (`results/BENCH_tcp_smoke.json`), so CI never
+//! overwrites a full run's numbers (see EXPERIMENTS.md §artifact
+//! naming). With `--addr` the bench drives an already-running `fednumd`
+//! instead of spawning in-process — the `tcp-loopback` CI smoke uses
+//! this to exercise the real binary, checking its exit status and
+//! printed peak-concurrency line from the shell — and
+//! `--shutdown-daemon` sends the admin `Shutdown` frame when done.
 //!
 //! `--longitudinal` benchmarks the multi-round campaign path instead:
 //! N rounds over one live connection (ephemeral and durable-WAL daemons)
@@ -39,6 +43,15 @@
 //! `results/BENCH_longitudinal.json`. **Gate: the campaign's per-round
 //! amortized session overhead (handshake + admit/commit framing + WAL
 //! fsyncs) stays ≤ 10% of the fresh-session single-round cost.**
+//!
+//! `--fleet` benchmarks the fleet subsystem end to end: an in-process
+//! fleet daemon plus a `fleet::client::ClientPool` of nonblocking
+//! participant sessions on one thread, writing
+//! `results/BENCH_fleet.json`. **Gates:
+//! ≥ 5k concurrently-connected idle clients sustained (zero drops)
+//! while a 1k-cohort round completes within the wall-clock budget.**
+//! The fleet population is NOT shrunk by `--smoke` — the concurrency
+//! gate is the point — only the artifact name changes.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -232,22 +245,204 @@ fn run_longitudinal(quick: bool, out_path: &str) {
     }
 }
 
+/// The `--fleet` section: one event-loop daemon vs a
+/// `fleet::client::ClientPool` of nonblocking participant sessions.
+/// Gates ≥ `FLEET_GATE_IDLE` concurrently-connected idle clients
+/// sustained while a `FLEET_COHORT`-cohort round completes within
+/// `FLEET_BUDGET_S`.
+fn run_fleet(smoke: bool, out_path: &str) {
+    use fednum_transport::fleet::client::ClientPool;
+    use fednum_transport::fleet::FleetConfig;
+
+    const FLEET_CLIENTS: usize = 6_000;
+    const FLEET_COHORT: usize = 1_000;
+    const FLEET_GATE_IDLE: usize = 5_000;
+    const FLEET_BITS: u32 = 8;
+    const FLEET_BUDGET_S: f64 = 90.0;
+
+    // Generous liveness: one pool thread pumps 6k sockets, so a beat can
+    // trail its schedule by whole poll ticks without meaning death.
+    let fleet = FleetConfig::try_new(FLEET_COHORT, FLEET_CLIENTS, 1, FLEET_BITS, 1_000, 15_000)
+        .expect("valid fleet config")
+        .with_seed(0xF1EE7)
+        .with_value_seed(0xB17_5EED)
+        .with_round_deadline_ms(120_000);
+    let daemon = fednum_transport::daemon::spawn(DaemonConfig {
+        fleet: Some(fleet),
+        ..DaemonConfig::default()
+    })
+    .expect("spawn fleet daemon");
+
+    // Bring the fleet up in waves: each wave rendezvouses and starts
+    // heartbeating while the next is still connecting, so a slow connect
+    // phase can't starve early joiners past the liveness window.
+    let ids: Vec<u64> = (1..=FLEET_CLIENTS as u64).collect();
+    let start = Instant::now();
+    let mut pool = ClientPool::connect(daemon.addr(), &[]).expect("create fleet pool");
+    for wave in ids.chunks(250) {
+        pool.join(daemon.addr(), wave).expect("connect fleet wave");
+        pool.pump(0).expect("pool reactor");
+    }
+    let connect_wall = start.elapsed().as_secs_f64();
+    println!("fleet: {FLEET_CLIENTS} participants connected in {connect_wall:.2}s");
+
+    // Pump until the campaign finishes and every session is dismissed.
+    while !daemon.fleet_done() {
+        if start.elapsed().as_secs_f64() > FLEET_BUDGET_S {
+            eprintln!(
+                "FAIL: fleet round did not complete within {FLEET_BUDGET_S:.0}s \
+                 ({} connected, {} completed, {} dropped)",
+                pool.connected(),
+                pool.completed(),
+                pool.dropped()
+            );
+            std::process::exit(1);
+        }
+        pool.pump(10).expect("pool reactor");
+    }
+    let round_wall = start.elapsed().as_secs_f64();
+    while !pool.done() {
+        if start.elapsed().as_secs_f64() > FLEET_BUDGET_S + 30.0 {
+            eprintln!(
+                "FAIL: {} participant session(s) never dismissed after the campaign",
+                pool.connected()
+            );
+            std::process::exit(1);
+        }
+        pool.pump(10).expect("pool reactor");
+    }
+
+    let reports = daemon.fleet_reports();
+    let ledger = daemon.fleet_ledger().expect("fleet ledger");
+    let snapshot = daemon.snapshot();
+    let stats = daemon.shutdown().expect("clean fleet daemon shutdown");
+
+    let report = &reports[0];
+    println!(
+        "fleet: {FLEET_COHORT}-cohort round complete in {round_wall:.2}s wall \
+         ({} reports, estimate {:.3}, {} idle standby sustained)",
+        report.reports,
+        report.estimate,
+        FLEET_CLIENTS - FLEET_COHORT
+    );
+
+    let idle = FLEET_CLIENTS - FLEET_COHORT;
+    let mut failures = Vec::new();
+    if idle < FLEET_GATE_IDLE {
+        failures.push(format!("idle population {idle} < {FLEET_GATE_IDLE}"));
+    }
+    if (snapshot.peak_connections as usize) < FLEET_CLIENTS {
+        failures.push(format!(
+            "daemon peak_connections {} < {FLEET_CLIENTS} — the fleet was not \
+             concurrently connected",
+            snapshot.peak_connections
+        ));
+    }
+    if pool.dropped() > 0 {
+        failures.push(format!(
+            "{} connection(s) dropped — idle clients were not sustained",
+            pool.dropped()
+        ));
+    }
+    if pool.completed() != FLEET_CLIENTS {
+        failures.push(format!(
+            "{} of {FLEET_CLIENTS} sessions dismissed cleanly",
+            pool.completed()
+        ));
+    }
+    if report.reports != FLEET_COHORT as u64 || report.abandoned != 0 {
+        failures.push(format!(
+            "round incomplete: {} reports, {} abandoned",
+            report.reports, report.abandoned
+        ));
+    }
+    if round_wall > FLEET_BUDGET_S {
+        failures.push(format!(
+            "round wall {round_wall:.2}s over the {FLEET_BUDGET_S:.0}s budget"
+        ));
+    }
+    if stats.active_connections != 0 {
+        failures.push(format!(
+            "{} connection(s) leaked through shutdown",
+            stats.active_connections
+        ));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"tcp-fleet\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"clients\": {FLEET_CLIENTS},");
+    let _ = writeln!(json, "  \"cohort\": {FLEET_COHORT},");
+    let _ = writeln!(json, "  \"bits\": {FLEET_BITS},");
+    let _ = writeln!(json, "  \"gate_idle_connections\": {FLEET_GATE_IDLE},");
+    let _ = writeln!(json, "  \"gate_budget_s\": {FLEET_BUDGET_S},");
+    let _ = writeln!(json, "  \"connect_wall_s\": {connect_wall:.4},");
+    let _ = writeln!(json, "  \"round_wall_s\": {round_wall:.4},");
+    let _ = writeln!(
+        json,
+        "  \"round\": {{\"reports\": {}, \"abandoned\": {}, \"salvaged_hangup\": {}, \
+         \"salvaged_heartbeat\": {}, \"estimate\": {:.6}, \"predicted_std\": {:.6}}},",
+        report.reports,
+        report.abandoned,
+        report.salvaged_hangup,
+        report.salvaged_heartbeat,
+        report.estimate,
+        report.predicted_std
+    );
+    let _ = writeln!(
+        json,
+        "  \"ledger\": {{\"rendezvous\": {}, \"heartbeats\": {}, \"reports\": {}, \
+         \"bytes_in\": {}, \"bytes_out\": {}}},",
+        ledger.rendezvous, ledger.heartbeats, ledger.reports, ledger.bytes_in, ledger.bytes_out
+    );
+    let _ = writeln!(
+        json,
+        "  \"daemon\": {{\"peak_connections\": {}, \"protocol_errors\": {}}},",
+        snapshot.peak_connections, snapshot.protocol_errors
+    );
+    let _ = writeln!(json, "  \"gate_passed\": {}", failures.is_empty());
+    json.push_str("}\n");
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let quick = smoke || args.iter().any(|a| a == "--quick");
     let longitudinal = args.iter().any(|a| a == "--longitudinal");
+    let fleet = args.iter().any(|a| a == "--fleet");
+    // Artifact-naming convention: smoke runs keep their own suffix so a
+    // CI pass never overwrites a full run's numbers.
+    let suffix = if smoke { "_smoke" } else { "" };
     let out_path: String = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| {
-            if longitudinal {
-                "results/BENCH_longitudinal.json".into()
+            if fleet {
+                format!("results/BENCH_fleet{suffix}.json")
+            } else if longitudinal {
+                format!("results/BENCH_longitudinal{suffix}.json")
             } else {
-                "results/BENCH_tcp.json".into()
+                format!("results/BENCH_tcp{suffix}.json")
             }
         });
+    if fleet {
+        run_fleet(smoke, &out_path);
+        return;
+    }
     if longitudinal {
         run_longitudinal(quick, &out_path);
         return;

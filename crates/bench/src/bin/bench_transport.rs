@@ -10,10 +10,13 @@
 //! Usage:
 //!
 //! ```text
-//! bench_transport [--quick] [--hiersec] [--out PATH]
+//! bench_transport [--quick|--smoke] [--hiersec] [--out PATH]
 //! ```
 //!
-//! `--quick` shrinks the grid (top size 100k) for CI smoke runs. Per-config
+//! `--quick` shrinks the grid (top size 100k) for CI smoke runs;
+//! `--smoke` is `--quick` plus a `_smoke` suffix on the default output
+//! path (`results/BENCH_transport_smoke.json` and friends), the
+//! artifact-naming convention documented in EXPERIMENTS.md. Per-config
 //! fields: wall seconds, metered uplink bytes/client next to the raw
 //! `core::wire` report encoding (their difference is the framing overhead:
 //! message tag + nonce varint), total messages, and the estimate error.
@@ -510,20 +513,24 @@ fn salvage_main(quick: bool, out_path: &str, clients_override: Option<usize>) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let quick = smoke || args.iter().any(|a| a == "--quick");
     let hiersec = args.iter().any(|a| a == "--hiersec");
     let salvage = args.iter().any(|a| a == "--salvage");
+    // Smoke runs name their own artifact so they never overwrite a full
+    // run's numbers (EXPERIMENTS.md §artifact naming).
+    let suffix = if smoke { "_smoke" } else { "" };
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| {
             if hiersec {
-                "results/BENCH_hiersec.json".into()
+                format!("results/BENCH_hiersec{suffix}.json")
             } else if salvage {
-                "results/BENCH_salvage.json".into()
+                format!("results/BENCH_salvage{suffix}.json")
             } else {
-                "results/BENCH_transport.json".into()
+                format!("results/BENCH_transport{suffix}.json")
             }
         });
     let clients_override = args

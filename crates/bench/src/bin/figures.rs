@@ -4,12 +4,15 @@
 //! Usage:
 //!
 //! ```text
-//! figures [--quick] [--no-json] [PANEL ...]
+//! figures [--quick|--smoke] [--no-json] [PANEL ...]
 //! figures --list
 //! ```
 //!
 //! With no panels given, runs everything. `--quick` uses reduced cohort
-//! sizes and repetitions for smoke runs.
+//! sizes and repetitions for smoke runs; `--smoke` is accepted as an
+//! alias so every bench binary takes the same flag (figure panels write
+//! `results/<id>.json`, which full runs don't consume, so no suffix is
+//! needed here).
 
 use std::io::Write as _;
 
@@ -102,7 +105,7 @@ fn main() {
         }
         return;
     }
-    let quick = args.iter().any(|a| a == "--quick");
+    let quick = args.iter().any(|a| a == "--quick" || a == "--smoke");
     let write_json = !args.iter().any(|a| a == "--no-json");
     let budget = if quick {
         Budget::quick()

@@ -468,6 +468,251 @@ impl CampaignMessage {
     }
 }
 
+/// Fleet control frames: the rendezvous / heartbeat / cohort protocol a
+/// standalone `fednumc` participant speaks to the daemon.
+///
+/// A participant opens a connection, sends [`FleetMessage::Rendezvous`],
+/// and receives a session token plus the heartbeat cadence in the ack.
+/// From then on it answers with [`FleetMessage::Heartbeat`] on schedule and
+/// waits for the coordinator to either draft it into a round
+/// ([`FleetMessage::CohortAssign`]: which bit to sample, at what width,
+/// under what deadline) or tell it to stand by ([`FleetMessage::CohortWait`]).
+/// Drafted clients answer with one [`FleetMessage::Report`] — the paper's
+/// single private bit. [`FleetMessage::Done`] ends the engagement.
+///
+/// Like [`CampaignMessage`], every frame has one canonical encoding
+/// (varint fields, no padding, booleans as a validated 0/1 byte) so the
+/// traffic ledger can account for fleet bytes exactly and the proptests can
+/// pin decode→re-encode identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetMessage {
+    /// Client → daemon: first frame on a fleet connection. Registers
+    /// `client_id` with a capability bitmask (reserved; `0` today).
+    Rendezvous { client_id: u64, capabilities: u64 },
+    /// Daemon → client: registration accepted. `session_token`
+    /// authenticates every later frame; the client must beat every
+    /// `heartbeat_ms` and is presumed dead after `liveness_ms` of silence.
+    RendezvousAck {
+        session_token: u64,
+        heartbeat_ms: u64,
+        liveness_ms: u64,
+    },
+    /// Client → daemon: liveness beat `seq` (monotonically increasing).
+    Heartbeat { session_token: u64, seq: u64 },
+    /// Daemon → client: echo of the beat's `seq`.
+    HeartbeatAck { seq: u64 },
+    /// Daemon → client: you are drafted into `round`. Sample bit
+    /// `bit_index` of your `bits`-bit encoded value (value derived from
+    /// `value_seed`; see `transport::fleet::client_value`) and report
+    /// within `deadline_ms`.
+    CohortAssign {
+        round: u64,
+        bit_index: u32,
+        bits: u32,
+        value_seed: u64,
+        deadline_ms: u64,
+    },
+    /// Daemon → client: not drafted for `round` (or arrived mid-round);
+    /// stand by and expect the next assignment in roughly `retry_ms`.
+    CohortWait { round: u64, retry_ms: u64 },
+    /// Client → daemon: the one-bit response for `round`.
+    Report {
+        session_token: u64,
+        round: u64,
+        bit_index: u32,
+        bit: bool,
+    },
+    /// Daemon → client: report for `round` recorded.
+    ReportAck { round: u64 },
+    /// Daemon → client: the engagement is over after `rounds` rounds;
+    /// the client may disconnect.
+    Done { rounds: u64 },
+}
+
+const FLEET_TAG_RENDEZVOUS: u8 = 0x01;
+const FLEET_TAG_RENDEZVOUS_ACK: u8 = 0x02;
+const FLEET_TAG_HEARTBEAT: u8 = 0x03;
+const FLEET_TAG_HEARTBEAT_ACK: u8 = 0x04;
+const FLEET_TAG_COHORT_ASSIGN: u8 = 0x05;
+const FLEET_TAG_COHORT_WAIT: u8 = 0x06;
+const FLEET_TAG_REPORT: u8 = 0x07;
+const FLEET_TAG_REPORT_ACK: u8 = 0x08;
+const FLEET_TAG_DONE: u8 = 0x09;
+
+impl FleetMessage {
+    /// Encodes into an existing buffer (for embedding inside a framed
+    /// transport control message).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            FleetMessage::Rendezvous {
+                client_id,
+                capabilities,
+            } => {
+                out.push(FLEET_TAG_RENDEZVOUS);
+                push_varint(out, client_id);
+                push_varint(out, capabilities);
+            }
+            FleetMessage::RendezvousAck {
+                session_token,
+                heartbeat_ms,
+                liveness_ms,
+            } => {
+                out.push(FLEET_TAG_RENDEZVOUS_ACK);
+                push_varint(out, session_token);
+                push_varint(out, heartbeat_ms);
+                push_varint(out, liveness_ms);
+            }
+            FleetMessage::Heartbeat { session_token, seq } => {
+                out.push(FLEET_TAG_HEARTBEAT);
+                push_varint(out, session_token);
+                push_varint(out, seq);
+            }
+            FleetMessage::HeartbeatAck { seq } => {
+                out.push(FLEET_TAG_HEARTBEAT_ACK);
+                push_varint(out, seq);
+            }
+            FleetMessage::CohortAssign {
+                round,
+                bit_index,
+                bits,
+                value_seed,
+                deadline_ms,
+            } => {
+                out.push(FLEET_TAG_COHORT_ASSIGN);
+                push_varint(out, round);
+                push_varint(out, u64::from(bit_index));
+                push_varint(out, u64::from(bits));
+                push_varint(out, value_seed);
+                push_varint(out, deadline_ms);
+            }
+            FleetMessage::CohortWait { round, retry_ms } => {
+                out.push(FLEET_TAG_COHORT_WAIT);
+                push_varint(out, round);
+                push_varint(out, retry_ms);
+            }
+            FleetMessage::Report {
+                session_token,
+                round,
+                bit_index,
+                bit,
+            } => {
+                out.push(FLEET_TAG_REPORT);
+                push_varint(out, session_token);
+                push_varint(out, round);
+                push_varint(out, u64::from(bit_index));
+                out.push(u8::from(bit));
+            }
+            FleetMessage::ReportAck { round } => {
+                out.push(FLEET_TAG_REPORT_ACK);
+                push_varint(out, round);
+            }
+            FleetMessage::Done { rounds } => {
+                out.push(FLEET_TAG_DONE);
+                push_varint(out, rounds);
+            }
+        }
+    }
+
+    /// Encodes to a fresh buffer.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a frame starting at `*pos`, advancing `*pos` past it.
+    ///
+    /// # Errors
+    /// See [`WireError`].
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        fn read_u32(buf: &[u8], pos: &mut usize, field: &'static str) -> Result<u32, WireError> {
+            u32::try_from(read_varint(buf, pos)?).map_err(|_| WireError::InvalidField(field))
+        }
+        let tag = read_bytes(buf, pos, 1)?[0];
+        match tag {
+            FLEET_TAG_RENDEZVOUS => Ok(FleetMessage::Rendezvous {
+                client_id: read_varint(buf, pos)?,
+                capabilities: read_varint(buf, pos)?,
+            }),
+            FLEET_TAG_RENDEZVOUS_ACK => Ok(FleetMessage::RendezvousAck {
+                session_token: read_varint(buf, pos)?,
+                heartbeat_ms: read_varint(buf, pos)?,
+                liveness_ms: read_varint(buf, pos)?,
+            }),
+            FLEET_TAG_HEARTBEAT => Ok(FleetMessage::Heartbeat {
+                session_token: read_varint(buf, pos)?,
+                seq: read_varint(buf, pos)?,
+            }),
+            FLEET_TAG_HEARTBEAT_ACK => Ok(FleetMessage::HeartbeatAck {
+                seq: read_varint(buf, pos)?,
+            }),
+            FLEET_TAG_COHORT_ASSIGN => Ok(FleetMessage::CohortAssign {
+                round: read_varint(buf, pos)?,
+                bit_index: read_u32(buf, pos, "bit index")?,
+                bits: read_u32(buf, pos, "bit width")?,
+                value_seed: read_varint(buf, pos)?,
+                deadline_ms: read_varint(buf, pos)?,
+            }),
+            FLEET_TAG_COHORT_WAIT => Ok(FleetMessage::CohortWait {
+                round: read_varint(buf, pos)?,
+                retry_ms: read_varint(buf, pos)?,
+            }),
+            FLEET_TAG_REPORT => Ok(FleetMessage::Report {
+                session_token: read_varint(buf, pos)?,
+                round: read_varint(buf, pos)?,
+                bit_index: read_u32(buf, pos, "bit index")?,
+                bit: match read_bytes(buf, pos, 1)?[0] {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::InvalidField("report bit")),
+                },
+            }),
+            FLEET_TAG_REPORT_ACK => Ok(FleetMessage::ReportAck {
+                round: read_varint(buf, pos)?,
+            }),
+            FLEET_TAG_DONE => Ok(FleetMessage::Done {
+                rounds: read_varint(buf, pos)?,
+            }),
+            other => Err(WireError::UnknownTag(other)),
+        }
+    }
+
+    /// Decodes a frame, requiring the buffer to be fully consumed.
+    ///
+    /// # Errors
+    /// See [`WireError`].
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut pos = 0;
+        let msg = Self::decode_from(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(msg)
+    }
+
+    /// Encoded size in bytes — the unit the fleet traffic ledger counts.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        let mut out = Vec::with_capacity(16);
+        self.encode_into(&mut out);
+        out.len()
+    }
+
+    /// Whether this variant travels client → daemon (`true`) or
+    /// daemon → client (`false`). The daemon rejects downlink variants
+    /// arriving on the uplink as protocol errors, and vice versa.
+    #[must_use]
+    pub fn is_uplink(&self) -> bool {
+        matches!(
+            self,
+            FleetMessage::Rendezvous { .. }
+                | FleetMessage::Heartbeat { .. }
+                | FleetMessage::Report { .. }
+        )
+    }
+}
+
 /// Bytes per client to upload full `bits`-bit values for `features`
 /// features, with the same varint header.
 #[must_use]
@@ -850,6 +1095,118 @@ mod tests {
             campaign_id: 6,
             ..a
         }));
+    }
+
+    fn fleet_samples() -> Vec<FleetMessage> {
+        vec![
+            FleetMessage::Rendezvous {
+                client_id: 42,
+                capabilities: 0,
+            },
+            FleetMessage::RendezvousAck {
+                session_token: u64::MAX,
+                heartbeat_ms: 250,
+                liveness_ms: 1000,
+            },
+            FleetMessage::Heartbeat {
+                session_token: 7,
+                seq: 12,
+            },
+            FleetMessage::HeartbeatAck { seq: 12 },
+            FleetMessage::CohortAssign {
+                round: 3,
+                bit_index: 9,
+                bits: 16,
+                value_seed: 0xDEAD_BEEF,
+                deadline_ms: 5_000,
+            },
+            FleetMessage::CohortWait {
+                round: 3,
+                retry_ms: 400,
+            },
+            FleetMessage::Report {
+                session_token: 7,
+                round: 3,
+                bit_index: 9,
+                bit: true,
+            },
+            FleetMessage::Report {
+                session_token: 7,
+                round: 3,
+                bit_index: 0,
+                bit: false,
+            },
+            FleetMessage::ReportAck { round: 3 },
+            FleetMessage::Done { rounds: 4 },
+        ]
+    }
+
+    #[test]
+    fn fleet_messages_round_trip() {
+        for msg in fleet_samples() {
+            let bytes = msg.encode();
+            assert_eq!(bytes.len(), msg.encoded_len());
+            assert_eq!(FleetMessage::decode(&bytes).unwrap(), msg, "{msg:?}");
+            // Embedded form leaves trailing bytes for the host codec.
+            let mut framed = bytes.clone();
+            framed.extend_from_slice(&[0xEE, 0xFF]);
+            let mut pos = 0;
+            assert_eq!(FleetMessage::decode_from(&framed, &mut pos).unwrap(), msg);
+            assert_eq!(pos, bytes.len());
+            assert_eq!(FleetMessage::decode(&framed), Err(WireError::TrailingBytes));
+        }
+    }
+
+    #[test]
+    fn fleet_messages_reject_truncation() {
+        for msg in fleet_samples() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    FleetMessage::decode(&bytes[..cut]).is_err(),
+                    "{msg:?} cut at {cut} must fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_messages_reject_bad_fields() {
+        assert_eq!(
+            FleetMessage::decode(&[0x7E]),
+            Err(WireError::UnknownTag(0x7E))
+        );
+        // Report bit byte must be exactly 0 or 1.
+        let mut bad = FleetMessage::Report {
+            session_token: 1,
+            round: 1,
+            bit_index: 1,
+            bit: true,
+        }
+        .encode();
+        *bad.last_mut().unwrap() = 2;
+        assert_eq!(
+            FleetMessage::decode(&bad),
+            Err(WireError::InvalidField("report bit"))
+        );
+        // bit_index wider than u32 is rejected as a typed field error.
+        let mut wide = vec![FLEET_TAG_COHORT_ASSIGN];
+        push_varint(&mut wide, 0); // round
+        push_varint(&mut wide, u64::from(u32::MAX) + 1); // bit_index
+        push_varint(&mut wide, 16);
+        push_varint(&mut wide, 0);
+        push_varint(&mut wide, 0);
+        assert_eq!(
+            FleetMessage::decode(&wide),
+            Err(WireError::InvalidField("bit index"))
+        );
+    }
+
+    #[test]
+    fn fleet_direction_split_is_total() {
+        let (up, down): (Vec<_>, Vec<_>) = fleet_samples().into_iter().partition(|m| m.is_uplink());
+        assert_eq!(up.len(), 4); // rendezvous, heartbeat, 2× report
+        assert_eq!(down.len(), 6);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Property tests for the fleet control frames (ISSUE satellite: the
+//! rendezvous/heartbeat/cohort wire frames must satisfy the same codec
+//! contract the campaign frames do).
+//!
+//! Invariants pinned here:
+//! * encode → decode reproduces every frame exactly, for every variant;
+//! * the encoding is canonical: decode → re-encode yields the same bytes,
+//!   and `encoded_len` agrees with the actual encoding (the fleet traffic
+//!   ledger depends on this);
+//! * `decode_from` consumes exactly the frame and leaves trailing bytes,
+//!   while strict `decode` rejects them — independent of what follows;
+//! * every strict prefix of a valid encoding fails typed;
+//! * arbitrary bytes never panic the decoder — they fail typed.
+//!
+//! The vendored proptest has no combinators (`prop_map`, `option::of`),
+//! so strategies generate raw primitives and the bodies assemble them.
+
+use fednum_core::wire::{FleetMessage, WireError};
+use proptest::prelude::*;
+
+/// Builds one frame from raw material: `kind` selects the variant, the
+/// integers fill its fields (truncated to each field's width).
+fn build_fleet(kind: u8, a: u64, b: u64, c: u64, d: u64, flag: bool) -> FleetMessage {
+    match kind % 9 {
+        0 => FleetMessage::Rendezvous {
+            client_id: a,
+            capabilities: b,
+        },
+        1 => FleetMessage::RendezvousAck {
+            session_token: a,
+            heartbeat_ms: b,
+            liveness_ms: c,
+        },
+        2 => FleetMessage::Heartbeat {
+            session_token: a,
+            seq: b,
+        },
+        3 => FleetMessage::HeartbeatAck { seq: a },
+        4 => FleetMessage::CohortAssign {
+            round: a,
+            bit_index: b as u32,
+            bits: c as u32,
+            value_seed: d,
+            deadline_ms: c,
+        },
+        5 => FleetMessage::CohortWait {
+            round: a,
+            retry_ms: b,
+        },
+        6 => FleetMessage::Report {
+            session_token: a,
+            round: b,
+            bit_index: c as u32,
+            bit: flag,
+        },
+        7 => FleetMessage::ReportAck { round: a },
+        _ => FleetMessage::Done { rounds: a },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fleet_frames_round_trip_canonically(
+        kind in 0u8..9,
+        fields in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        flag in any::<bool>(),
+    ) {
+        let msg = build_fleet(kind, fields.0, fields.1, fields.2, fields.3, flag);
+        let bytes = msg.encode();
+        prop_assert_eq!(bytes.len(), msg.encoded_len());
+        let decoded = FleetMessage::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(decoded, msg);
+        // Canonical: re-encoding the decoded frame reproduces the bytes.
+        prop_assert_eq!(decoded.encode(), bytes);
+        // Direction classification survives the codec.
+        prop_assert_eq!(decoded.is_uplink(), msg.is_uplink());
+    }
+
+    #[test]
+    fn fleet_decode_from_is_order_independent_of_trailing_bytes(
+        kind in 0u8..9,
+        fields in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        flag in any::<bool>(),
+        trailer in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        // Whatever bytes follow a frame — another frame, garbage, nothing —
+        // `decode_from` consumes exactly the frame and no more.
+        let msg = build_fleet(kind, fields.0, fields.1, fields.2, fields.3, flag);
+        let bytes = msg.encode();
+        let mut framed = bytes.clone();
+        framed.extend_from_slice(&trailer);
+        let mut pos = 0;
+        let decoded = FleetMessage::decode_from(&framed, &mut pos).expect("decodes embedded");
+        prop_assert_eq!(decoded, msg);
+        prop_assert_eq!(pos, bytes.len());
+        if !trailer.is_empty() {
+            prop_assert_eq!(FleetMessage::decode(&framed), Err(WireError::TrailingBytes));
+        }
+    }
+
+    #[test]
+    fn truncated_fleet_frames_fail_typed(
+        kind in 0u8..9,
+        fields in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        flag in any::<bool>(),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let msg = build_fleet(kind, fields.0, fields.1, fields.2, fields.3, flag);
+        let bytes = msg.encode();
+        let cut = (bytes.len() as f64 * cut_fraction) as usize;
+        prop_assume!(cut < bytes.len());
+        prop_assert!(FleetMessage::decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn hostile_bytes_fail_typed_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        // May succeed on lucky bytes; must never panic. When it fails, the
+        // error is one of the typed codec errors.
+        if let Err(e) = FleetMessage::decode(&bytes) {
+            prop_assert!(matches!(
+                e,
+                WireError::Truncated
+                    | WireError::VarintOverflow
+                    | WireError::TrailingBytes
+                    | WireError::UnknownTag(_)
+                    | WireError::InvalidField(_)
+            ));
+        }
+    }
+}

@@ -33,8 +33,6 @@ pub mod streaming;
 pub mod traffic;
 pub mod validation;
 
-#[allow(deprecated)]
-pub use adaptive_round::run_federated_adaptive;
 pub use adaptive_round::{FederatedAdaptiveConfig, FederatedAdaptiveOutcome};
 pub use cohort::{CohortError, CohortPolicy};
 pub use dropout::DropoutModel;
@@ -44,8 +42,6 @@ pub use fedlearn::{train_linear, FedLearnConfig, LinearModel, TrainingTrace};
 pub use latency::LatencyModel;
 pub use population::{Client, ElicitStrategy, Population};
 pub use retry::{RetryPolicy, SalvagePolicy};
-#[allow(deprecated)]
-pub use round::{run_federated_mean, run_federated_mean_metered, RoundOutcome};
 pub use round::{
     DegradedMode, FederatedMeanConfig, FederatedOutcome, RobustnessReport, RoundError,
     SalvageOutcome, SecAggSettings,

@@ -1,0 +1,186 @@
+//! `fednumc` — a real fleet participant process.
+//!
+//! Connects to a `fednumd` coordinator, rendezvouses, heartbeats on the
+//! cadence the coordinator dictates, waits for cohort assignments, and
+//! answers each with the assigned bit of its seeded value (see
+//! `fednum_transport::fleet::client_value`) — one bit of uplink payload
+//! per round, the paper's whole point. Late arrivals simply wait for the
+//! next round; the `Done` dismissal ends the process.
+//!
+//! `--fail-at` injects the two fault behaviours the salvage tests kill
+//! participants with: `assign` hangs up the moment a cohort slot arrives
+//! (exercising hangup salvage), `mute` goes silent instead (exercising
+//! heartbeat-detected salvage).
+//!
+//! Exit codes:
+//! * `0` — dismissed cleanly by the coordinator, or a `--fail-at` fault
+//!   fired as scripted (the test harness treats scripted deaths as
+//!   success), or the coordinator hung up on a scripted-mute participant.
+//! * `1` — usage error.
+//! * `2` — connection or protocol failure before dismissal.
+//! * `3` — `--max-seconds` elapsed without a dismissal.
+//!
+//! ```text
+//! fednumc --addr HOST:PORT --client-id N [--fail-at none|assign|mute]
+//!         [--max-seconds S]
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use fednum_core::wire::FrameDecoder;
+use fednum_transport::fleet::client::{
+    decode_fleet_frame, push_fleet_frame, ClientSession, FailMode,
+};
+
+const USAGE: &str = "usage: fednumc --addr HOST:PORT --client-id N \
+[--fail-at none|assign|mute] [--max-seconds S]
+
+  --addr HOST:PORT  coordinator address (required)
+  --client-id N     unique participant id (required)
+  --fail-at MODE    scripted fault: none (default), assign (hang up on
+                    cohort assignment), mute (go silent on assignment)
+  --max-seconds S   give up after S seconds without a dismissal
+                    (default 120)
+
+exit codes: 0 dismissed cleanly or scripted fault fired; 1 usage error;
+2 connection/protocol failure; 3 timed out";
+
+fn usage() -> ExitCode {
+    eprintln!("{USAGE}");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut client_id: Option<u64> = None;
+    let mut fail = FailMode::None;
+    let mut max_seconds = 120u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        let Some(value) = args.next() else {
+            return usage();
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(value),
+            "--client-id" => match value.parse::<u64>() {
+                Ok(id) => client_id = Some(id),
+                Err(_) => return usage(),
+            },
+            "--fail-at" => match value.parse::<FailMode>() {
+                Ok(mode) => fail = mode,
+                Err(e) => {
+                    eprintln!("fednumc: {e}");
+                    return usage();
+                }
+            },
+            "--max-seconds" => match value.parse::<u64>() {
+                Ok(s) if s > 0 => max_seconds = s,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let (Some(addr), Some(client_id)) = (addr, client_id) else {
+        return usage();
+    };
+
+    match run(&addr, client_id, fail, Duration::from_secs(max_seconds)) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("fednumc[{client_id}]: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(addr: &str, client_id: u64, fail: FailMode, budget: Duration) -> std::io::Result<ExitCode> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    // Short read timeout doubles as the heartbeat tick: the loop wakes at
+    // least this often to check the beat schedule.
+    stream.set_read_timeout(Some(Duration::from_millis(25)))?;
+
+    let (mut session, hello) = ClientSession::new(client_id, fail);
+    let mut out = Vec::new();
+    push_fleet_frame(&mut out, hello);
+    stream.write_all(&out)?;
+    out.clear();
+
+    let epoch = Instant::now();
+    let deadline = epoch + budget;
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 4096];
+
+    loop {
+        if session.should_exit() {
+            // Scripted hangup: drop the socket mid-round, say nothing.
+            return Ok(ExitCode::SUCCESS);
+        }
+        if session.finished() {
+            println!(
+                "fednumc[{client_id}]: dismissed after {} round(s), {} report(s) sent",
+                session.rounds_done(),
+                session.reports_sent()
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        if Instant::now() >= deadline {
+            eprintln!("fednumc[{client_id}]: no dismissal within {budget:?}");
+            return Ok(ExitCode::from(3));
+        }
+
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                // Coordinator hung up. Expected for a scripted mute (the
+                // heartbeat monitor expired us on purpose); otherwise a
+                // failure.
+                return Ok(if session.muted() {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("fednumc[{client_id}]: coordinator hung up before dismissal");
+                    ExitCode::from(2)
+                });
+            }
+            Ok(n) => decoder.feed(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+
+        let now_ms = epoch.elapsed().as_millis() as u64;
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    let Some(msg) = decode_fleet_frame(&frame) else {
+                        eprintln!("fednumc[{client_id}]: non-fleet frame from coordinator");
+                        return Ok(ExitCode::from(2));
+                    };
+                    for reply in session.on_frame(&msg, now_ms) {
+                        push_fleet_frame(&mut out, reply);
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!("fednumc[{client_id}]: malformed frame: {e:?}");
+                    return Ok(ExitCode::from(2));
+                }
+            }
+        }
+        for beat in session.tick(now_ms) {
+            push_fleet_frame(&mut out, beat);
+        }
+        if !out.is_empty() {
+            stream.write_all(&out)?;
+            out.clear();
+        }
+    }
+}

@@ -1,10 +1,10 @@
 //! The persistent coordinator daemon behind
-//! [`TcpTransport`](crate::tcp::TcpTransport).
+//! [`TcpTransport`](crate::tcp::TcpTransport) and the `fednumc` fleet.
 //!
 //! [`spawn`] binds a listener and returns a [`DaemonHandle`]; the daemon
-//! then serves any number of driver sessions concurrently until asked to
-//! shut down. Each connection speaks the length-delimited control
-//! protocol defined in [`crate::tcp`]:
+//! then serves any number of driver sessions and fleet participants
+//! concurrently until asked to shut down. Each connection speaks the
+//! length-delimited control protocol defined in [`crate::tcp`]:
 //!
 //! 1. the driver's `Hello` carries the session seed, round id, validation
 //!    mode, and (optionally) the exact
@@ -16,28 +16,36 @@
 //!    deliveries (0, 1, or 2 of them — drops, duplicates, straggles)
 //!    are echoed back in exactly one `Deliveries` frame;
 //! 3. `Redeliver` frames bypass the fault stage, `Window` frames arm it,
-//!    and `Close` returns the session's wire totals.
+//!    and `Close` returns the session's wire totals;
+//! 4. a connection whose first frame is a fleet `Rendezvous` instead
+//!    joins the [`crate::fleet`] subsystem: registry → selector →
+//!    heartbeat monitor → salvage, driven by the same loop.
 //!
-//! **Threading model.** One accept thread hands connections to a bounded
-//! pool of worker threads over a rendezvous channel, so at most
-//! `workers` sessions are in flight and further connects queue in the
-//! listener backlog. Everything is `std::thread` + atomics — no async
-//! runtime. Idle connections are bounded by a per-socket read timeout.
+//! **Threading model.** One reactor thread multiplexes the listener and
+//! every connection through nonblocking sockets and the [`crate::reactor`]
+//! `poll(2)` wrapper — no worker pool, no thread per connection, no async
+//! runtime. The previous bounded pool capped concurrency at `workers`
+//! sessions and parked a thread per blocked read; a fleet of thousands of
+//! heartbeating participants would have needed thousands of threads (or
+//! starved). The event loop's cost per idle connection is one `pollfd`
+//! entry, so thousands of idle participants coexist with driver sessions
+//! on a single thread. Per-connection frame order is unchanged — replies
+//! are queued in arrival order on each connection — which keeps driver
+//! sessions bit-identical to the worker-pool daemon.
 //!
 //! **Shutdown.** [`DaemonHandle::request_shutdown`] (or an admin
-//! `Shutdown` frame, which `fednumd` maps to the same flag) stops the
-//! accept loop, force-closes any still-open sockets so blocked reads
-//! wake, and [`DaemonHandle::shutdown`] then joins every thread under a
-//! grace deadline — reporting leaked threads as a typed error rather
-//! than hanging, which the `tcp-loopback` CI smoke turns into a nonzero
-//! exit.
+//! `Shutdown` frame, which `fednumd` maps to the same flag) flags the
+//! loop; the reactor notices within one poll tick, stops accepting,
+//! flushes pending replies under a bounded drain, closes every socket,
+//! and exits. [`DaemonHandle::shutdown`] then joins the thread under a
+//! grace deadline — reporting a leak as a typed error rather than
+//! hanging, which the `tcp-loopback` CI smoke turns into a nonzero exit.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -48,9 +56,19 @@ use fednum_core::privacy::durable::{
 use fednum_core::wire::{self, CampaignMessage, FrameDecoder};
 use fednum_fedsim::error::FedError;
 
+use crate::fleet::{FleetAction, FleetConfig, FleetEngine, FleetLedger, FleetRoundReport};
 use crate::message::Message;
 use crate::net::{SimNetTransport, Transport};
+use crate::reactor::{self, PollFd, INTEREST_READ, INTEREST_WRITE};
 use crate::tcp::{Ctrl, SessionHello, SessionStats, PROTOCOL_VERSION};
+
+/// Reactor poll granularity: the latency bound on shutdown notice,
+/// fleet timer ticks, and idle-timeout sweeps.
+const POLL_TICK_MS: i32 = 5;
+
+/// How long the shutdown drain keeps flushing pending replies before
+/// closing sockets regardless.
+const DRAIN_LIMIT: Duration = Duration::from_millis(250);
 
 /// Configuration for [`spawn`].
 #[derive(Debug, Clone)]
@@ -58,16 +76,22 @@ pub struct DaemonConfig {
     /// Bind address; use port 0 to let the OS pick (see
     /// [`DaemonHandle::addr`] for the resolved address).
     pub addr: String,
-    /// Worker threads — the maximum number of concurrently served
-    /// sessions; further connections wait in the listener backlog.
+    /// Legacy worker-pool size, accepted for compatibility. The reactor
+    /// daemon serves any number of connections on one thread; this knob
+    /// no longer bounds concurrency.
     pub workers: usize,
-    /// Per-socket read timeout: an idle connection is dropped (and
-    /// counted in [`DaemonSnapshot::timeouts`]) after this long with no
-    /// frame.
+    /// Per-connection idle timeout: a driver connection with no traffic
+    /// for this long is dropped (and counted in
+    /// [`DaemonSnapshot::timeouts`]). Fleet participants are governed by
+    /// the fleet liveness policy instead.
     pub read_timeout: Duration,
-    /// How long [`DaemonHandle::shutdown`] waits for threads to finish
-    /// before declaring them leaked.
+    /// How long [`DaemonHandle::shutdown`] waits for the reactor thread
+    /// to finish before declaring it leaked.
     pub shutdown_grace: Duration,
+    /// When set, the daemon hosts a fleet campaign: participant
+    /// connections rendezvous, heartbeat, and serve rounds per this
+    /// configuration.
+    pub fleet: Option<FleetConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -77,6 +101,7 @@ impl Default for DaemonConfig {
             workers: 4,
             read_timeout: Duration::from_secs(30),
             shutdown_grace: Duration::from_secs(5),
+            fleet: None,
         }
     }
 }
@@ -268,10 +293,11 @@ pub struct DaemonSnapshot {
     pub bytes_in: u64,
     /// Encoded bytes sent, framing included.
     pub bytes_out: u64,
-    /// Connections dropped by the read timeout.
+    /// Connections dropped by the idle timeout.
     pub timeouts: u64,
     /// Connections dropped for malformed control frames or protocol
-    /// misuse (e.g. `Env` before `Hello`, version mismatch).
+    /// misuse (e.g. `Env` before `Hello`, version mismatch, fleet frames
+    /// on a driver session).
     pub protocol_errors: u64,
     /// Envelope payloads that failed [`Message`] codec validation (the
     /// frame is still relayed; this is a diagnostic, not a drop).
@@ -310,15 +336,11 @@ impl Counters {
     }
 }
 
-/// Open sockets, registered so shutdown can force-close them and wake
-/// any worker blocked in a read.
-type SocketRegistry = Mutex<HashMap<u64, TcpStream>>;
-
 struct Shared {
     shutdown: AtomicBool,
     counters: Counters,
-    sockets: SocketRegistry,
     rounds: Mutex<RoundStream>,
+    fleet: Mutex<Option<FleetEngine>>,
 }
 
 /// A running daemon (see the module docs for lifecycle and threading).
@@ -349,16 +371,12 @@ impl DaemonHandle {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Flags the daemon to stop accepting work and wakes blocked reads by
-    /// force-closing open sockets. Pair with [`DaemonHandle::shutdown`] to
-    /// join the threads.
+    /// Flags the daemon to stop. The reactor notices within one poll
+    /// tick, drains pending replies, and closes every connection — no
+    /// socket force-closing needed, because no read ever blocks. Pair
+    /// with [`DaemonHandle::shutdown`] to join the thread.
     pub fn request_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        let sockets = self.shared.sockets.lock().unwrap();
-        for stream in sockets.values() {
-            // Best effort: the socket may already be gone.
-            let _ = stream.shutdown(Shutdown::Both);
-        }
     }
 
     /// What startup recovery replayed and discarded (all zeros for a
@@ -368,7 +386,53 @@ impl DaemonHandle {
         self.shared.rounds.lock().unwrap().recovery_stats()
     }
 
-    /// Requests shutdown, joins every daemon thread under the configured
+    /// Completed fleet round reports, in order (empty when the daemon
+    /// was not spawned with a fleet configuration).
+    #[must_use]
+    pub fn fleet_reports(&self) -> Vec<FleetRoundReport> {
+        self.shared
+            .fleet
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|e| e.reports().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// The exact fleet traffic ledger (`None` without a fleet).
+    #[must_use]
+    pub fn fleet_ledger(&self) -> Option<FleetLedger> {
+        self.shared
+            .fleet
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(FleetEngine::ledger)
+    }
+
+    /// Whether the fleet campaign has completed every configured round.
+    #[must_use]
+    pub fn fleet_done(&self) -> bool {
+        self.shared
+            .fleet
+            .lock()
+            .unwrap()
+            .as_ref()
+            .is_some_and(FleetEngine::done)
+    }
+
+    /// Fleet participants currently rendezvoused and live.
+    #[must_use]
+    pub fn fleet_population(&self) -> usize {
+        self.shared
+            .fleet
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or(0, FleetEngine::live_population)
+    }
+
+    /// Requests shutdown, joins the reactor thread under the configured
     /// grace deadline, then flushes campaign state (snapshot + WAL
     /// truncation) so the next startup is a clean snapshot-only load.
     ///
@@ -412,8 +476,8 @@ impl DaemonHandle {
     }
 }
 
-/// Binds `cfg.addr` and starts the accept loop plus worker pool with an
-/// ephemeral (in-memory) campaign scheduler.
+/// Binds `cfg.addr` and starts the reactor loop with an ephemeral
+/// (in-memory) campaign scheduler.
 ///
 /// # Errors
 /// Any socket error while binding the listener.
@@ -430,93 +494,25 @@ pub fn spawn_with_state(cfg: DaemonConfig, rounds: RoundStream) -> std::io::Resu
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
-    let workers = cfg.workers.max(1);
     let shared = Arc::new(Shared {
         shutdown: AtomicBool::new(false),
         counters: Counters::default(),
-        sockets: Mutex::new(HashMap::new()),
         rounds: Mutex::new(rounds),
+        fleet: Mutex::new(cfg.fleet.clone().map(FleetEngine::new)),
     });
-    // Rendezvous-ish channel: at most one connection parked per worker
-    // beyond the ones being served; everything else waits in the listener
-    // backlog, which is what bounds the pool.
-    let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(workers);
-    let rx = Arc::new(Mutex::new(rx));
-    let mut threads = Vec::with_capacity(workers + 1);
-    for i in 0..workers {
-        let rx = Arc::clone(&rx);
+    let thread = {
         let shared = Arc::clone(&shared);
         let cfg = cfg.clone();
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("fednumd-worker-{i}"))
-                .spawn(move || worker_loop(&rx, &shared, &cfg))?,
-        );
-    }
-    {
-        let shared = Arc::clone(&shared);
-        threads.push(
-            std::thread::Builder::new()
-                .name("fednumd-accept".to_string())
-                .spawn(move || accept_loop(&listener, &tx, &shared))?,
-        );
-    }
+        std::thread::Builder::new()
+            .name("fednumd-reactor".to_string())
+            .spawn(move || reactor_loop(&listener, &shared, &cfg))?
+    };
     Ok(DaemonHandle {
         addr,
         shared,
-        threads,
+        threads: vec![thread],
         grace_ms: cfg.shutdown_grace.as_millis() as u64,
     })
-}
-
-fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, shared: &Shared) {
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let mut pending = stream;
-                loop {
-                    match tx.try_send(pending) {
-                        Ok(()) => break,
-                        Err(TrySendError::Full(back)) => {
-                            if shared.shutdown.load(Ordering::SeqCst) {
-                                return;
-                            }
-                            pending = back;
-                            std::thread::sleep(Duration::from_millis(1));
-                        }
-                        Err(TrySendError::Disconnected(_)) => return,
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
-        }
-    }
-    // Dropping `tx` disconnects the channel and lets idle workers exit.
-}
-
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared, cfg: &DaemonConfig) {
-    let mut next_conn_id = 0u64;
-    loop {
-        let msg = {
-            let rx = rx.lock().unwrap();
-            rx.recv_timeout(Duration::from_millis(50))
-        };
-        match msg {
-            Ok(stream) => {
-                next_conn_id += 1;
-                serve_connection(stream, next_conn_id, shared, cfg);
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
-        }
-    }
 }
 
 /// Per-connection wire totals, folded into the global counters when the
@@ -529,298 +525,313 @@ struct ConnTally {
     bytes_out: u64,
 }
 
-fn serve_connection(stream: TcpStream, conn_id: u64, shared: &Shared, cfg: &DaemonConfig) {
-    let counters = &shared.counters;
-    let active = counters.active_connections.fetch_add(1, Ordering::Relaxed) + 1;
-    counters
-        .peak_connections
-        .fetch_max(active, Ordering::Relaxed);
-    // Register a clone so request_shutdown can wake a blocked read. The
-    // worker thread id makes the key unique across workers.
-    let registry_key = (std::process::id() as u64) << 32 | conn_id;
-    if let Ok(clone) = stream.try_clone() {
-        shared.sockets.lock().unwrap().insert(registry_key, clone);
-    }
-    let outcome = drive_connection(stream, shared, cfg);
-    shared.sockets.lock().unwrap().remove(&registry_key);
-    counters.active_connections.fetch_sub(1, Ordering::Relaxed);
-    match outcome {
-        ConnEnd::Clean | ConnEnd::Eof => {}
-        ConnEnd::Timeout => {
-            counters.timeouts.fetch_add(1, Ordering::Relaxed);
-        }
-        ConnEnd::Protocol => {
-            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        }
-        ConnEnd::Io => {}
-    }
+/// What a connection turned out to be, decided by its first frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnKind {
+    /// Accepted, no frame yet.
+    Fresh,
+    /// A driver session (`Hello` first).
+    Driver,
+    /// A fleet participant (`Rendezvous` first).
+    Fleet,
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ConnEnd {
-    /// Explicit `Close`/`Shutdown` exchange completed.
+    /// Explicit `Close`/`Shutdown` exchange completed, or a fleet
+    /// dismissal.
     Clean,
     /// Peer hung up between frames.
     Eof,
-    /// Read timeout expired.
+    /// Idle timeout expired.
     Timeout,
     /// Malformed frame or protocol misuse.
     Protocol,
-    /// Other socket error (peer reset, shutdown wake, ...).
+    /// Other socket error (peer reset, ...).
     Io,
 }
 
-fn drive_connection(mut stream: TcpStream, shared: &Shared, cfg: &DaemonConfig) -> ConnEnd {
-    let counters = &shared.counters;
-    if stream.set_read_timeout(Some(cfg.read_timeout)).is_err() || stream.set_nodelay(true).is_err()
-    {
-        return ConnEnd::Io;
-    }
-    let Ok(write_half) = stream.try_clone() else {
-        return ConnEnd::Io;
-    };
-    let mut writer = std::io::BufWriter::new(write_half);
-    let mut decoder = FrameDecoder::new();
-    let mut buf = [0u8; 16 * 1024];
-    let mut session: Option<SimNetTransport> = None;
-    // The handshake parameters, kept so campaign rounds can rebuild the
-    // fault stage with fresh per-round seeds.
-    let mut hello_params: Option<SessionHello> = None;
-    // The campaign this connection bound with its last `Campaign` frame.
-    let mut campaign: Option<u64> = None;
-    let mut tally = ConnTally::default();
-    let mut unflushed = false;
+/// One multiplexed connection's state in the reactor loop.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Outgoing bytes not yet accepted by the socket.
+    out: Vec<u8>,
+    written: usize,
+    kind: ConnKind,
+    session: Option<SimNetTransport>,
+    /// The handshake parameters, kept so campaign rounds can rebuild the
+    /// fault stage with fresh per-round seeds.
+    hello: Option<SessionHello>,
+    /// The campaign this connection bound with its last `Campaign` frame.
+    campaign: Option<u64>,
+    tally: ConnTally,
+    last_activity: Instant,
+    /// Set when the connection should close (after its output drains).
+    end: Option<ConnEnd>,
+    /// Peer sent EOF; close once buffered frames are processed.
+    eof: bool,
+}
 
-    let end = loop {
-        let frame = match decoder.next_frame() {
-            Ok(Some(frame)) => frame,
-            Ok(None) => {
-                // No complete frame buffered: flush replies, then block on
-                // the socket for more bytes.
-                if unflushed {
-                    if writer.flush().is_err() {
-                        break ConnEnd::Io;
-                    }
-                    unflushed = false;
-                }
-                match stream.read(&mut buf) {
-                    Ok(0) => break ConnEnd::Eof,
-                    Ok(n) => {
-                        decoder.feed(&buf[..n]);
-                        continue;
-                    }
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut =>
-                    {
-                        break ConnEnd::Timeout;
-                    }
-                    Err(_) => break ConnEnd::Io,
-                }
-            }
-            Err(_) => break ConnEnd::Protocol,
-        };
-        tally.frames_in += 1;
-        tally.bytes_in += wire::frame_len(frame.len()) as u64;
-        let ctrl = match Ctrl::decode(&frame) {
-            Ok(ctrl) => ctrl,
-            Err(_) => break ConnEnd::Protocol,
-        };
-        match ctrl {
-            Ctrl::Hello(hello) => {
-                if hello.version != PROTOCOL_VERSION || session.is_some() {
-                    break ConnEnd::Protocol;
-                }
-                session = Some(SimNetTransport::with_plan(
-                    hello.seed,
-                    hello.faults,
-                    hello.validate,
-                    hello.round_id,
-                ));
-                hello_params = Some(hello);
-                let session_id = counters.sessions_opened.fetch_add(1, Ordering::Relaxed) + 1;
-                if !reply(
-                    &mut writer,
-                    &Ctrl::HelloAck { session_id },
-                    &mut tally,
-                    &mut unflushed,
-                ) {
-                    break ConnEnd::Io;
-                }
-            }
-            Ctrl::Env(env) => {
-                let Some(net) = session.as_mut() else {
-                    break ConnEnd::Protocol;
-                };
-                if Message::decode(&env.payload).is_err() {
-                    counters.invalid_payloads.fetch_add(1, Ordering::Relaxed);
-                }
-                net.send(env);
-                let mut items = Vec::with_capacity(1);
-                while let Some((at, out)) = net.poll() {
-                    items.push((at, out));
-                }
-                if !reply(
-                    &mut writer,
-                    &Ctrl::Deliveries(items),
-                    &mut tally,
-                    &mut unflushed,
-                ) {
-                    break ConnEnd::Io;
-                }
-            }
-            Ctrl::Redeliver(env) => {
-                let Some(net) = session.as_mut() else {
-                    break ConnEnd::Protocol;
-                };
-                net.redeliver(env);
-                let mut items = Vec::with_capacity(1);
-                while let Some((at, out)) = net.poll() {
-                    items.push((at, out));
-                }
-                if !reply(
-                    &mut writer,
-                    &Ctrl::Deliveries(items),
-                    &mut tally,
-                    &mut unflushed,
-                ) {
-                    break ConnEnd::Io;
-                }
-            }
-            Ctrl::Window { start, deadline } => {
-                let Some(net) = session.as_mut() else {
-                    break ConnEnd::Protocol;
-                };
-                net.open_window(start, deadline);
-            }
-            Ctrl::Close => {
-                // Totals cover the session up to (and including) the Close
-                // request; the Stats reply itself is excluded so the driver
-                // can reconcile them against its own WireMetrics exactly.
-                let stats = Ctrl::Stats(SessionStats {
-                    frames_in: tally.frames_in,
-                    frames_out: tally.frames_out,
-                    bytes_in: tally.bytes_in,
-                    bytes_out: tally.bytes_out,
-                });
-                let ok = reply(&mut writer, &stats, &mut tally, &mut unflushed)
-                    && writer.flush().is_ok();
-                if !ok {
-                    break ConnEnd::Io;
-                }
-                counters.sessions_closed.fetch_add(1, Ordering::Relaxed);
-                break ConnEnd::Clean;
-            }
-            Ctrl::Shutdown => {
-                shared.shutdown.store(true, Ordering::SeqCst);
-                let ok = reply(&mut writer, &Ctrl::ShutdownAck, &mut tally, &mut unflushed)
-                    && writer.flush().is_ok();
-                break if ok { ConnEnd::Clean } else { ConnEnd::Io };
-            }
-            Ctrl::Campaign(config) => {
-                if hello_params.is_none() {
-                    break ConnEnd::Protocol;
-                }
-                let result = shared.rounds.lock().unwrap().open_campaign(&config);
-                let out = match result {
-                    Ok((round_index, clients, total_bits, digest)) => {
-                        campaign = Some(config.campaign_id);
-                        counters.campaigns_opened.fetch_add(1, Ordering::Relaxed);
-                        Ctrl::CampaignAck {
-                            round_index,
-                            clients,
-                            total_bits,
-                            digest,
-                        }
-                    }
-                    Err(e) => campaign_err(&e),
-                };
-                let ok =
-                    reply(&mut writer, &out, &mut tally, &mut unflushed) && writer.flush().is_ok();
-                unflushed = false;
-                if !ok {
-                    break ConnEnd::Io;
-                }
-            }
-            Ctrl::RoundRequest {
-                round,
-                net_seed,
-                round_id,
-                clients,
-            } => {
-                let Some(hello) = hello_params else {
-                    break ConnEnd::Protocol;
-                };
-                let out = match campaign {
-                    None => campaign_err(&DurableError::Corrupt("no campaign bound")),
-                    Some(id) => match shared.rounds.lock().unwrap().admit(id, round, &clients) {
-                        Ok(admission) => {
-                            if !admission.already_committed {
-                                // A fresh fault stage per round: campaign
-                                // round N must be bit-identical to an
-                                // independent session opened with the same
-                                // seeds, so no scheduler state may leak
-                                // across rounds.
-                                session = Some(SimNetTransport::with_plan(
-                                    net_seed,
-                                    hello.faults,
-                                    hello.validate,
-                                    round_id,
-                                ));
-                            }
-                            counters.rounds_admitted.fetch_add(1, Ordering::Relaxed);
-                            Ctrl::RoundAdmit {
-                                round: admission.round,
-                                admitted: admission.admitted,
-                                denied_budget: admission.denied_budget,
-                                denied_cooldown: admission.denied_cooldown,
-                                already_committed: admission.already_committed,
-                            }
-                        }
-                        Err(e) => campaign_err(&e),
-                    },
-                };
-                let ok =
-                    reply(&mut writer, &out, &mut tally, &mut unflushed) && writer.flush().is_ok();
-                unflushed = false;
-                if !ok {
-                    break ConnEnd::Io;
-                }
-            }
-            Ctrl::RoundCommit { round } => {
-                let out = match campaign {
-                    None => campaign_err(&DurableError::Corrupt("no campaign bound")),
-                    Some(id) => match shared.rounds.lock().unwrap().commit(id, round) {
-                        Ok(summary) => {
-                            counters.rounds_committed.fetch_add(1, Ordering::Relaxed);
-                            Ctrl::RoundCommitted {
-                                round: summary.round,
-                                clients_charged: summary.clients_charged,
-                                digest: summary.digest,
-                            }
-                        }
-                        Err(e) => campaign_err(&e),
-                    },
-                };
-                let ok =
-                    reply(&mut writer, &out, &mut tally, &mut unflushed) && writer.flush().is_ok();
-                unflushed = false;
-                if !ok {
-                    break ConnEnd::Io;
-                }
-            }
-            Ctrl::HelloAck { .. }
-            | Ctrl::Deliveries(_)
-            | Ctrl::Stats(_)
-            | Ctrl::ShutdownAck
-            | Ctrl::CampaignAck { .. }
-            | Ctrl::RoundAdmit { .. }
-            | Ctrl::RoundCommitted { .. }
-            | Ctrl::CampaignErr { .. } => {
-                // Daemon-to-driver frames are never valid on the uplink.
-                break ConnEnd::Protocol;
+impl Conn {
+    fn pending_out(&self) -> bool {
+        self.written < self.out.len()
+    }
+
+    /// Queues one reply frame on this connection's output buffer.
+    fn reply(&mut self, ctrl: &Ctrl) {
+        let frame = ctrl.encode();
+        wire::write_frame(&mut self.out, &frame)
+            .expect("writing to a Vec cannot fail under MAX_FRAME_LEN");
+        self.tally.frames_out += 1;
+        self.tally.bytes_out += wire::frame_len(frame.len()) as u64;
+    }
+}
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(socket: &T) -> i32 {
+    socket.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_socket: &T) -> i32 {
+    // The non-Unix reactor fallback never dereferences the fd.
+    0
+}
+
+fn reactor_loop(listener: &TcpListener, shared: &Shared, cfg: &DaemonConfig) {
+    let counters = &shared.counters;
+    let epoch = Instant::now();
+    let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
+    let mut next_conn_id = 0u64;
+    let mut buf = [0u8; 16 * 1024];
+    let mut draining_since: Option<Instant> = None;
+
+    loop {
+        let shutting = shared.shutdown.load(Ordering::SeqCst);
+        if shutting {
+            let since = *draining_since.get_or_insert_with(Instant::now);
+            let drained = conns.values().all(|c| !c.pending_out());
+            if drained || since.elapsed() >= DRAIN_LIMIT {
+                break;
             }
         }
-    };
+
+        // Readiness. Index 0 is the listener (skipped once shutting);
+        // the rest map one-to-one onto `order`.
+        let mut fds = Vec::with_capacity(conns.len() + 1);
+        let mut order = Vec::with_capacity(conns.len());
+        if !shutting {
+            fds.push(PollFd::new(raw_fd(listener), INTEREST_READ));
+        }
+        for (&id, conn) in &conns {
+            let mut interest = INTEREST_READ;
+            if conn.pending_out() {
+                interest |= INTEREST_WRITE;
+            }
+            fds.push(PollFd::new(raw_fd(&conn.stream), interest));
+            order.push(id);
+        }
+        if reactor::wait(&mut fds, POLL_TICK_MS).is_err() {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        let base = usize::from(!shutting);
+        let now = Instant::now();
+        let now_ms = epoch.elapsed().as_millis() as u64;
+
+        // Accept-drain every pending connection.
+        if !shutting && fds[0].readable() {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if stream.set_nonblocking(true).is_err()
+                            || stream.set_nodelay(true).is_err()
+                        {
+                            continue;
+                        }
+                        next_conn_id += 1;
+                        let active =
+                            counters.active_connections.fetch_add(1, Ordering::Relaxed) + 1;
+                        counters
+                            .peak_connections
+                            .fetch_max(active, Ordering::Relaxed);
+                        conns.insert(
+                            next_conn_id,
+                            Conn {
+                                stream,
+                                decoder: FrameDecoder::new(),
+                                out: Vec::new(),
+                                written: 0,
+                                kind: ConnKind::Fresh,
+                                session: None,
+                                hello: None,
+                                campaign: None,
+                                tally: ConnTally::default(),
+                                last_activity: now,
+                                end: None,
+                                eof: false,
+                            },
+                        );
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // Read-drain the ready connections.
+        for (i, &id) in order.iter().enumerate() {
+            if !fds[base + i].readable() {
+                continue;
+            }
+            let conn = conns.get_mut(&id).expect("order mirrors conns");
+            if conn.end.is_some() {
+                continue;
+            }
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.decoder.feed(&buf[..n]);
+                        conn.last_activity = now;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.end = Some(ConnEnd::Io);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Process buffered frames, in per-connection arrival order. Fleet
+        // actions may target other connections, so they collect here and
+        // apply after the borrow ends.
+        let mut fleet_actions: Vec<FleetAction> = Vec::new();
+        let ids: Vec<u64> = conns.keys().copied().collect();
+        for id in ids {
+            let conn = conns.get_mut(&id).expect("keyed iteration");
+            while conn.end.is_none() {
+                let frame = match conn.decoder.next_frame() {
+                    Ok(Some(frame)) => frame,
+                    Ok(None) => break,
+                    Err(_) => {
+                        conn.end = Some(ConnEnd::Protocol);
+                        break;
+                    }
+                };
+                conn.tally.frames_in += 1;
+                conn.tally.bytes_in += wire::frame_len(frame.len()) as u64;
+                match Ctrl::decode(&frame) {
+                    Ok(ctrl) => handle_frame(conn, id, ctrl, shared, now_ms, &mut fleet_actions),
+                    Err(_) => conn.end = Some(ConnEnd::Protocol),
+                }
+            }
+            if conn.eof && conn.end.is_none() {
+                conn.end = Some(ConnEnd::Eof);
+            }
+        }
+        apply_fleet_actions(&mut conns, fleet_actions);
+
+        // Fleet timers: heartbeat expiry, round deadlines, round starts.
+        let tick_actions = {
+            let mut fleet = shared.fleet.lock().unwrap();
+            fleet.as_mut().map(|e| e.tick(now_ms)).unwrap_or_default()
+        };
+        apply_fleet_actions(&mut conns, tick_actions);
+
+        // Write-drain.
+        for conn in conns.values_mut() {
+            if !conn.pending_out() {
+                continue;
+            }
+            loop {
+                match conn.stream.write(&conn.out[conn.written..]) {
+                    Ok(0) => {
+                        conn.end.get_or_insert(ConnEnd::Io);
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.written += n;
+                        if !conn.pending_out() {
+                            conn.out.clear();
+                            conn.written = 0;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.end.get_or_insert(ConnEnd::Io);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Idle sweep. Fleet participants are governed by the heartbeat
+        // monitor instead — their idle periods between rounds are normal.
+        for conn in conns.values_mut() {
+            if conn.end.is_none()
+                && conn.kind != ConnKind::Fleet
+                && now.duration_since(conn.last_activity) > cfg.read_timeout
+            {
+                conn.end = Some(ConnEnd::Timeout);
+            }
+        }
+
+        // Reap ended connections once their output has drained (error
+        // ends close immediately — the peer is gone or misbehaving).
+        let mut salvage: Vec<FleetAction> = Vec::new();
+        let ended: Vec<u64> = conns
+            .iter()
+            .filter(|(_, c)| {
+                c.end.is_some_and(|e| {
+                    !c.pending_out() || matches!(e, ConnEnd::Io | ConnEnd::Protocol)
+                })
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ended {
+            let conn = conns.remove(&id).expect("collected above");
+            let end = conn.end.expect("filtered on end");
+            counters.active_connections.fetch_sub(1, Ordering::Relaxed);
+            match end {
+                ConnEnd::Clean | ConnEnd::Eof | ConnEnd::Io => {}
+                ConnEnd::Timeout => {
+                    counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                ConnEnd::Protocol => {
+                    counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            fold_tally(counters, &conn.tally);
+            if conn.kind == ConnKind::Fleet {
+                let mut fleet = shared.fleet.lock().unwrap();
+                if let Some(engine) = fleet.as_mut() {
+                    salvage.extend(engine.on_disconnect(id, now_ms));
+                }
+            }
+        }
+        // Salvage sends (slot refills to standby clients) go out on the
+        // next write-drain.
+        apply_fleet_actions(&mut conns, salvage);
+    }
+
+    // Shutdown: fold what's left and drop every socket (the close is the
+    // EOF the peers see).
+    for (_, conn) in conns {
+        counters.active_connections.fetch_sub(1, Ordering::Relaxed);
+        fold_tally(counters, &conn.tally);
+    }
+}
+
+fn fold_tally(counters: &Counters, tally: &ConnTally) {
     counters
         .frames_in
         .fetch_add(tally.frames_in, Ordering::Relaxed);
@@ -833,7 +844,224 @@ fn drive_connection(mut stream: TcpStream, shared: &Shared, cfg: &DaemonConfig) 
     counters
         .bytes_out
         .fetch_add(tally.bytes_out, Ordering::Relaxed);
-    end
+}
+
+/// Queues engine outputs onto their target connections.
+fn apply_fleet_actions(conns: &mut BTreeMap<u64, Conn>, actions: Vec<FleetAction>) {
+    for action in actions {
+        match action {
+            FleetAction::Send(id, msg) => {
+                if let Some(conn) = conns.get_mut(&id) {
+                    conn.reply(&Ctrl::Fleet(msg));
+                }
+            }
+            FleetAction::Close(id) => {
+                if let Some(conn) = conns.get_mut(&id) {
+                    conn.end.get_or_insert(ConnEnd::Clean);
+                }
+            }
+        }
+    }
+}
+
+/// Handles one decoded control frame on `conn`, queueing replies and
+/// possibly marking the connection ended. Exactly mirrors the per-frame
+/// semantics of the worker-pool daemon so driver sessions stay
+/// bit-identical.
+fn handle_frame(
+    conn: &mut Conn,
+    conn_id: u64,
+    ctrl: Ctrl,
+    shared: &Shared,
+    now_ms: u64,
+    fleet_actions: &mut Vec<FleetAction>,
+) {
+    let counters = &shared.counters;
+    match ctrl {
+        Ctrl::Hello(hello) => {
+            if conn.kind == ConnKind::Fleet
+                || hello.version != PROTOCOL_VERSION
+                || conn.session.is_some()
+            {
+                conn.end = Some(ConnEnd::Protocol);
+                return;
+            }
+            conn.kind = ConnKind::Driver;
+            conn.session = Some(SimNetTransport::with_plan(
+                hello.seed,
+                hello.faults,
+                hello.validate,
+                hello.round_id,
+            ));
+            conn.hello = Some(hello);
+            let session_id = counters.sessions_opened.fetch_add(1, Ordering::Relaxed) + 1;
+            conn.reply(&Ctrl::HelloAck { session_id });
+        }
+        Ctrl::Env(env) => {
+            let Some(net) = conn.session.as_mut() else {
+                conn.end = Some(ConnEnd::Protocol);
+                return;
+            };
+            if Message::decode(&env.payload).is_err() {
+                counters.invalid_payloads.fetch_add(1, Ordering::Relaxed);
+            }
+            net.send(env);
+            let mut items = Vec::with_capacity(1);
+            while let Some((at, out)) = net.poll() {
+                items.push((at, out));
+            }
+            conn.reply(&Ctrl::Deliveries(items));
+        }
+        Ctrl::Redeliver(env) => {
+            let Some(net) = conn.session.as_mut() else {
+                conn.end = Some(ConnEnd::Protocol);
+                return;
+            };
+            net.redeliver(env);
+            let mut items = Vec::with_capacity(1);
+            while let Some((at, out)) = net.poll() {
+                items.push((at, out));
+            }
+            conn.reply(&Ctrl::Deliveries(items));
+        }
+        Ctrl::Window { start, deadline } => {
+            let Some(net) = conn.session.as_mut() else {
+                conn.end = Some(ConnEnd::Protocol);
+                return;
+            };
+            net.open_window(start, deadline);
+        }
+        Ctrl::Close => {
+            // Totals cover the session up to (and including) the Close
+            // request; the Stats reply itself is excluded so the driver
+            // can reconcile them against its own WireMetrics exactly.
+            let stats = Ctrl::Stats(SessionStats {
+                frames_in: conn.tally.frames_in,
+                frames_out: conn.tally.frames_out,
+                bytes_in: conn.tally.bytes_in,
+                bytes_out: conn.tally.bytes_out,
+            });
+            conn.reply(&stats);
+            counters.sessions_closed.fetch_add(1, Ordering::Relaxed);
+            conn.end = Some(ConnEnd::Clean);
+        }
+        Ctrl::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            conn.reply(&Ctrl::ShutdownAck);
+            conn.end = Some(ConnEnd::Clean);
+        }
+        Ctrl::Campaign(config) => {
+            if conn.hello.is_none() {
+                conn.end = Some(ConnEnd::Protocol);
+                return;
+            }
+            let result = shared.rounds.lock().unwrap().open_campaign(&config);
+            let out = match result {
+                Ok((round_index, clients, total_bits, digest)) => {
+                    conn.campaign = Some(config.campaign_id);
+                    counters.campaigns_opened.fetch_add(1, Ordering::Relaxed);
+                    Ctrl::CampaignAck {
+                        round_index,
+                        clients,
+                        total_bits,
+                        digest,
+                    }
+                }
+                Err(e) => campaign_err(&e),
+            };
+            conn.reply(&out);
+        }
+        Ctrl::RoundRequest {
+            round,
+            net_seed,
+            round_id,
+            clients,
+        } => {
+            let Some(hello) = conn.hello else {
+                conn.end = Some(ConnEnd::Protocol);
+                return;
+            };
+            let out = match conn.campaign {
+                None => campaign_err(&DurableError::Corrupt("no campaign bound")),
+                Some(id) => match shared.rounds.lock().unwrap().admit(id, round, &clients) {
+                    Ok(admission) => {
+                        if !admission.already_committed {
+                            // A fresh fault stage per round: campaign
+                            // round N must be bit-identical to an
+                            // independent session opened with the same
+                            // seeds, so no scheduler state may leak
+                            // across rounds.
+                            conn.session = Some(SimNetTransport::with_plan(
+                                net_seed,
+                                hello.faults,
+                                hello.validate,
+                                round_id,
+                            ));
+                        }
+                        counters.rounds_admitted.fetch_add(1, Ordering::Relaxed);
+                        Ctrl::RoundAdmit {
+                            round: admission.round,
+                            admitted: admission.admitted,
+                            denied_budget: admission.denied_budget,
+                            denied_cooldown: admission.denied_cooldown,
+                            already_committed: admission.already_committed,
+                        }
+                    }
+                    Err(e) => campaign_err(&e),
+                },
+            };
+            conn.reply(&out);
+        }
+        Ctrl::RoundCommit { round } => {
+            let out = match conn.campaign {
+                None => campaign_err(&DurableError::Corrupt("no campaign bound")),
+                Some(id) => match shared.rounds.lock().unwrap().commit(id, round) {
+                    Ok(summary) => {
+                        counters.rounds_committed.fetch_add(1, Ordering::Relaxed);
+                        Ctrl::RoundCommitted {
+                            round: summary.round,
+                            clients_charged: summary.clients_charged,
+                            digest: summary.digest,
+                        }
+                    }
+                    Err(e) => campaign_err(&e),
+                },
+            };
+            conn.reply(&out);
+        }
+        Ctrl::Fleet(msg) => {
+            // Fleet frames on a driver session are protocol misuse, as
+            // are driver frames on a fleet connection (handled above by
+            // the Hello arm and the session guards).
+            if conn.kind == ConnKind::Driver {
+                conn.end = Some(ConnEnd::Protocol);
+                return;
+            }
+            let mut fleet = shared.fleet.lock().unwrap();
+            let Some(engine) = fleet.as_mut() else {
+                // No fleet hosted: a participant knocked on a pure
+                // driver daemon.
+                conn.end = Some(ConnEnd::Protocol);
+                return;
+            };
+            conn.kind = ConnKind::Fleet;
+            match engine.on_message(conn_id, &msg, now_ms) {
+                Ok(actions) => fleet_actions.extend(actions),
+                Err(_violation) => conn.end = Some(ConnEnd::Protocol),
+            }
+        }
+        Ctrl::HelloAck { .. }
+        | Ctrl::Deliveries(_)
+        | Ctrl::Stats(_)
+        | Ctrl::ShutdownAck
+        | Ctrl::CampaignAck { .. }
+        | Ctrl::RoundAdmit { .. }
+        | Ctrl::RoundCommitted { .. }
+        | Ctrl::CampaignErr { .. } => {
+            // Daemon-to-driver frames are never valid on the uplink.
+            conn.end = Some(ConnEnd::Protocol);
+        }
+    }
 }
 
 /// Maps a scheduler error to its wire form. The codes mirror the
@@ -853,22 +1081,4 @@ fn campaign_err(e: &DurableError) -> Ctrl {
         code,
         detail: e.to_string(),
     }
-}
-
-/// Writes one reply frame into the buffered writer (flushed lazily, when
-/// the request buffer runs dry). Returns `false` on I/O failure.
-fn reply<W: Write>(
-    writer: &mut W,
-    ctrl: &Ctrl,
-    tally: &mut ConnTally,
-    unflushed: &mut bool,
-) -> bool {
-    let frame = ctrl.encode();
-    if wire::write_frame(writer, &frame).is_err() {
-        return false;
-    }
-    tally.frames_out += 1;
-    tally.bytes_out += wire::frame_len(frame.len()) as u64;
-    *unflushed = true;
-    true
 }

@@ -1,0 +1,605 @@
+//! The participant side of the fleet protocol.
+//!
+//! [`ClientSession`] is the pure per-participant state machine — frames
+//! in, frames out, time injected — shared by the `fednumc` binary (one
+//! session on a blocking socket) and [`ClientPool`] (thousands of
+//! sessions multiplexed over the [`crate::reactor`] for the fleet
+//! benchmark). Keeping the protocol logic I/O-free means the binary, the
+//! pool, and the unit tests all exercise the same code path.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use fednum_core::wire::{self, FleetMessage, FrameDecoder};
+
+use crate::reactor::{self, PollFd, INTEREST_READ, INTEREST_WRITE};
+use crate::tcp::Ctrl;
+
+use super::client_value;
+
+/// How (whether) a participant misbehaves — the seeded fault injection
+/// the e2e suite and the CI smoke use to prove the salvage path works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailMode {
+    /// Honest participant.
+    #[default]
+    None,
+    /// Exits the process (hangs up) the moment it receives a cohort
+    /// assignment: exercises hangup salvage.
+    ExitOnAssign,
+    /// Goes silent (no report, no further heartbeats) on assignment:
+    /// exercises heartbeat-detected salvage.
+    MuteOnAssign,
+}
+
+impl std::str::FromStr for FailMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(Self::None),
+            "assign" => Ok(Self::ExitOnAssign),
+            "mute" => Ok(Self::MuteOnAssign),
+            other => Err(format!(
+                "unknown fail mode {other:?} (expected none|assign|mute)"
+            )),
+        }
+    }
+}
+
+/// One participant's protocol state machine.
+#[derive(Debug)]
+pub struct ClientSession {
+    client_id: u64,
+    fail: FailMode,
+    token: Option<u64>,
+    heartbeat_ms: u64,
+    next_beat_ms: u64,
+    seq: u64,
+    muted: bool,
+    should_exit: bool,
+    finished: bool,
+    reports_sent: u64,
+    rounds_done: u64,
+}
+
+impl ClientSession {
+    /// A fresh session plus the rendezvous frame to open with.
+    #[must_use]
+    pub fn new(client_id: u64, fail: FailMode) -> (Self, FleetMessage) {
+        (
+            Self {
+                client_id,
+                fail,
+                token: None,
+                heartbeat_ms: 0,
+                next_beat_ms: 0,
+                seq: 0,
+                muted: false,
+                should_exit: false,
+                finished: false,
+                reports_sent: 0,
+                rounds_done: 0,
+            },
+            FleetMessage::Rendezvous {
+                client_id,
+                capabilities: 0,
+            },
+        )
+    }
+
+    /// Handles one downlink frame, returning the frames to send back.
+    pub fn on_frame(&mut self, msg: &FleetMessage, now_ms: u64) -> Vec<FleetMessage> {
+        match *msg {
+            FleetMessage::RendezvousAck {
+                session_token,
+                heartbeat_ms,
+                ..
+            } => {
+                self.token = Some(session_token);
+                self.heartbeat_ms = heartbeat_ms;
+                self.next_beat_ms = now_ms.saturating_add(heartbeat_ms);
+                Vec::new()
+            }
+            FleetMessage::CohortAssign {
+                round,
+                bit_index,
+                bits,
+                value_seed,
+                ..
+            } => match self.fail {
+                FailMode::ExitOnAssign => {
+                    self.should_exit = true;
+                    Vec::new()
+                }
+                FailMode::MuteOnAssign => {
+                    self.muted = true;
+                    Vec::new()
+                }
+                FailMode::None => {
+                    let (Some(token), true) = (self.token, (1..=52).contains(&bits)) else {
+                        // Malformed assignment (or one before the ack):
+                        // ignore rather than fabricate a report.
+                        return Vec::new();
+                    };
+                    let value = client_value(value_seed, self.client_id, bits);
+                    let bit = (value >> bit_index) & 1 == 1;
+                    self.reports_sent += 1;
+                    vec![FleetMessage::Report {
+                        session_token: token,
+                        round,
+                        bit_index,
+                        bit,
+                    }]
+                }
+            },
+            FleetMessage::Done { rounds } => {
+                self.finished = true;
+                self.rounds_done = rounds;
+                Vec::new()
+            }
+            FleetMessage::HeartbeatAck { .. }
+            | FleetMessage::CohortWait { .. }
+            | FleetMessage::ReportAck { .. } => Vec::new(),
+            // Uplink frames never arrive on the downlink; ignore rather
+            // than crash a fleet of processes on a buggy coordinator.
+            _ => Vec::new(),
+        }
+    }
+
+    /// Advances the heartbeat clock, returning any beat now due. Muted
+    /// and finished sessions stop beating — going silent is exactly what
+    /// `MuteOnAssign` is for.
+    pub fn tick(&mut self, now_ms: u64) -> Vec<FleetMessage> {
+        let Some(token) = self.token else {
+            return Vec::new();
+        };
+        if self.muted || self.finished || self.heartbeat_ms == 0 || now_ms < self.next_beat_ms {
+            return Vec::new();
+        }
+        self.next_beat_ms = now_ms.saturating_add(self.heartbeat_ms);
+        self.seq += 1;
+        vec![FleetMessage::Heartbeat {
+            session_token: token,
+            seq: self.seq,
+        }]
+    }
+
+    /// Whether the coordinator dismissed the fleet (`Done` received).
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Whether the session decided to hang up (`ExitOnAssign` fired).
+    #[must_use]
+    pub fn should_exit(&self) -> bool {
+        self.should_exit
+    }
+
+    /// Whether the session went silent (`MuteOnAssign` fired).
+    #[must_use]
+    pub fn muted(&self) -> bool {
+        self.muted
+    }
+
+    /// Reports sent so far.
+    #[must_use]
+    pub fn reports_sent(&self) -> u64 {
+        self.reports_sent
+    }
+
+    /// Rounds the coordinator announced in its `Done` dismissal.
+    #[must_use]
+    pub fn rounds_done(&self) -> u64 {
+        self.rounds_done
+    }
+}
+
+/// Encodes a fleet frame the way the daemon expects it on the wire: a
+/// length-prefixed frame whose payload is the `Ctrl::Fleet` control tag
+/// plus the canonical [`FleetMessage`] bytes. Public so the `fednumc`
+/// binary (a separate crate) can speak the protocol without re-deriving
+/// the control-tag framing.
+pub fn push_fleet_frame(out: &mut Vec<u8>, msg: FleetMessage) {
+    let payload = Ctrl::Fleet(msg).encode();
+    wire::write_frame(out, &payload).expect("writing to a Vec cannot fail under MAX_FRAME_LEN");
+}
+
+/// Decodes one control-frame payload into a fleet message. `None` when
+/// the payload is not a (valid) fleet frame — for a participant that is
+/// a coordinator protocol violation, handled by hanging up.
+#[must_use]
+pub fn decode_fleet_frame(payload: &[u8]) -> Option<FleetMessage> {
+    match Ctrl::decode(payload) {
+        Ok(Ctrl::Fleet(msg)) => Some(msg),
+        _ => None,
+    }
+}
+
+fn raw_fd(stream: &TcpStream) -> i32 {
+    #[cfg(unix)]
+    {
+        use std::os::unix::io::AsRawFd;
+        stream.as_raw_fd()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = stream;
+        // The non-Unix reactor fallback never dereferences the fd — it
+        // claims readiness for every registered descriptor.
+        0
+    }
+}
+
+struct PoolConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    session: ClientSession,
+    out: Vec<u8>,
+    written: usize,
+}
+
+/// Thousands of [`ClientSession`]s multiplexed over nonblocking sockets
+/// on one thread — the load generator behind `bench_tcp --fleet`, where
+/// spawning one OS process per client would measure the fork path of the
+/// kernel instead of the daemon's event loop.
+pub struct ClientPool {
+    conns: Vec<Option<PoolConn>>,
+    start: Instant,
+    peak_connected: usize,
+    completed: usize,
+    dropped: usize,
+}
+
+impl ClientPool {
+    /// Connects one session per client id. Sockets go nonblocking after
+    /// the (blocking) connect; each opens with its rendezvous frame
+    /// queued.
+    ///
+    /// # Errors
+    /// Propagates connection failures — a pool that silently came up
+    /// short would invalidate the benchmark's concurrency gate.
+    pub fn connect(addr: SocketAddr, client_ids: &[u64]) -> std::io::Result<Self> {
+        let mut pool = Self {
+            conns: Vec::with_capacity(client_ids.len()),
+            start: Instant::now(),
+            peak_connected: 0,
+            completed: 0,
+            dropped: 0,
+        };
+        pool.join(addr, client_ids)?;
+        Ok(pool)
+    }
+
+    /// Connects more sessions into a live pool. Large fleets should come
+    /// up in waves — `join` a chunk, [`pump`](Self::pump) a few times,
+    /// repeat — so early joiners rendezvous and heartbeat while later
+    /// waves are still connecting; a single monolithic connect pass can
+    /// outlast the coordinator's liveness window on a slow host and get
+    /// its own first wave reaped as dead.
+    ///
+    /// # Errors
+    /// Propagates connection failures, like [`connect`](Self::connect).
+    pub fn join(&mut self, addr: SocketAddr, client_ids: &[u64]) -> std::io::Result<()> {
+        for &client_id in client_ids {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_nonblocking(true)?;
+            let (session, hello) = ClientSession::new(client_id, FailMode::None);
+            let mut out = Vec::new();
+            push_fleet_frame(&mut out, hello);
+            self.conns.push(Some(PoolConn {
+                stream,
+                decoder: FrameDecoder::new(),
+                session,
+                out,
+                written: 0,
+            }));
+        }
+        self.peak_connected = self.peak_connected.max(self.connected());
+        Ok(())
+    }
+
+    /// Milliseconds since the pool came up — the session clock.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// Currently open connections.
+    #[must_use]
+    pub fn connected(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// The most connections ever open at once.
+    #[must_use]
+    pub fn peak_connected(&self) -> usize {
+        self.peak_connected
+    }
+
+    /// Sessions dismissed cleanly with `Done`.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Connections that died without a dismissal.
+    #[must_use]
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Whether every session has left the pool (cleanly or not).
+    #[must_use]
+    pub fn done(&self) -> bool {
+        self.conns.iter().all(|c| c.is_none())
+    }
+
+    /// Total reports sent across all sessions.
+    #[must_use]
+    pub fn reports_sent(&self) -> u64 {
+        self.conns
+            .iter()
+            .flatten()
+            .map(|c| c.session.reports_sent())
+            .sum()
+    }
+
+    /// One reactor iteration: poll every open socket, drain reads,
+    /// process frames, queue due heartbeats, flush writes, reap closed
+    /// connections.
+    ///
+    /// # Errors
+    /// Only reactor failures propagate; per-connection I/O errors close
+    /// that connection and count it dropped.
+    pub fn pump(&mut self, poll_timeout_ms: i32) -> std::io::Result<()> {
+        let now = self.now_ms();
+        // Heartbeats first so they ride the same flush as any replies.
+        for conn in self.conns.iter_mut().flatten() {
+            for beat in conn.session.tick(now) {
+                push_fleet_frame(&mut conn.out, beat);
+            }
+        }
+        let mut fds = Vec::new();
+        let mut index = Vec::new();
+        for (i, conn) in self.conns.iter().enumerate() {
+            if let Some(conn) = conn {
+                let mut interest = INTEREST_READ;
+                if conn.written < conn.out.len() {
+                    interest |= INTEREST_WRITE;
+                }
+                fds.push(PollFd::new(raw_fd(&conn.stream), interest));
+                index.push(i);
+            }
+        }
+        if fds.is_empty() {
+            return Ok(());
+        }
+        reactor::wait(&mut fds, poll_timeout_ms)?;
+        let now = self.now_ms();
+        let mut buf = [0u8; 4096];
+        for (slot, fd) in index.iter().zip(&fds) {
+            let Some(conn) = self.conns[*slot].as_mut() else {
+                continue;
+            };
+            let mut close = false;
+            if fd.readable() {
+                loop {
+                    match conn.stream.read(&mut buf) {
+                        Ok(0) => {
+                            close = true;
+                            break;
+                        }
+                        Ok(n) => conn.decoder.feed(&buf[..n]),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            close = true;
+                            break;
+                        }
+                    }
+                }
+                loop {
+                    match conn.decoder.next_frame() {
+                        Ok(Some(frame)) => match Ctrl::decode(&frame) {
+                            Ok(Ctrl::Fleet(msg)) => {
+                                for reply in conn.session.on_frame(&msg, now) {
+                                    push_fleet_frame(&mut conn.out, reply);
+                                }
+                            }
+                            _ => {
+                                close = true;
+                                break;
+                            }
+                        },
+                        Ok(None) => break,
+                        Err(_) => {
+                            close = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !close && conn.written < conn.out.len() {
+                loop {
+                    match conn.stream.write(&conn.out[conn.written..]) {
+                        Ok(0) => {
+                            close = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.written += n;
+                            if conn.written == conn.out.len() {
+                                conn.out.clear();
+                                conn.written = 0;
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            close = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            let flushed = conn.written >= conn.out.len();
+            if close || (conn.session.finished() && flushed) {
+                let clean = conn.session.finished();
+                self.conns[*slot] = None;
+                if clean {
+                    self.completed += 1;
+                } else {
+                    self.dropped += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_walks_the_happy_path() {
+        let (mut session, hello) = ClientSession::new(7, FailMode::None);
+        assert!(matches!(
+            hello,
+            FleetMessage::Rendezvous { client_id: 7, .. }
+        ));
+        assert!(session.tick(0).is_empty(), "no beats before the ack");
+        session.on_frame(
+            &FleetMessage::RendezvousAck {
+                session_token: 99,
+                heartbeat_ms: 100,
+                liveness_ms: 500,
+            },
+            0,
+        );
+        // First beat falls due one interval after the ack.
+        assert!(session.tick(50).is_empty());
+        let beats = session.tick(100);
+        assert_eq!(
+            beats,
+            vec![FleetMessage::Heartbeat {
+                session_token: 99,
+                seq: 1
+            }]
+        );
+        assert!(session.tick(150).is_empty(), "rescheduled, not spamming");
+        // An assignment produces the true bit of the seeded value.
+        let value = client_value(11, 7, 8);
+        let replies = session.on_frame(
+            &FleetMessage::CohortAssign {
+                round: 0,
+                bit_index: 3,
+                bits: 8,
+                value_seed: 11,
+                deadline_ms: 1000,
+            },
+            200,
+        );
+        assert_eq!(
+            replies,
+            vec![FleetMessage::Report {
+                session_token: 99,
+                round: 0,
+                bit_index: 3,
+                bit: (value >> 3) & 1 == 1,
+            }]
+        );
+        assert_eq!(session.reports_sent(), 1);
+        session.on_frame(&FleetMessage::Done { rounds: 2 }, 300);
+        assert!(session.finished());
+        assert_eq!(session.rounds_done(), 2);
+        assert!(
+            session.tick(400).is_empty(),
+            "dismissed sessions stop beating"
+        );
+    }
+
+    #[test]
+    fn fail_modes_fire_on_assignment() {
+        let assign = FleetMessage::CohortAssign {
+            round: 0,
+            bit_index: 0,
+            bits: 8,
+            value_seed: 0,
+            deadline_ms: 1000,
+        };
+        let ack = FleetMessage::RendezvousAck {
+            session_token: 1,
+            heartbeat_ms: 100,
+            liveness_ms: 500,
+        };
+        let (mut exits, _) = ClientSession::new(1, FailMode::ExitOnAssign);
+        exits.on_frame(&ack, 0);
+        assert!(exits.on_frame(&assign, 10).is_empty());
+        assert!(exits.should_exit());
+        let (mut mutes, _) = ClientSession::new(2, FailMode::MuteOnAssign);
+        mutes.on_frame(&ack, 0);
+        assert!(mutes.on_frame(&assign, 10).is_empty());
+        assert!(mutes.muted());
+        assert!(
+            mutes.tick(10_000).is_empty(),
+            "muted sessions never beat again"
+        );
+    }
+
+    #[test]
+    fn fail_mode_parses() {
+        assert_eq!("none".parse::<FailMode>().unwrap(), FailMode::None);
+        assert_eq!(
+            "assign".parse::<FailMode>().unwrap(),
+            FailMode::ExitOnAssign
+        );
+        assert_eq!("mute".parse::<FailMode>().unwrap(), FailMode::MuteOnAssign);
+        assert!("explode".parse::<FailMode>().is_err());
+    }
+
+    #[test]
+    fn malformed_assignments_are_ignored() {
+        let (mut session, _) = ClientSession::new(1, FailMode::None);
+        // Assignment before the rendezvous ack: no token, no report.
+        assert!(session
+            .on_frame(
+                &FleetMessage::CohortAssign {
+                    round: 0,
+                    bit_index: 0,
+                    bits: 8,
+                    value_seed: 0,
+                    deadline_ms: 1
+                },
+                0
+            )
+            .is_empty());
+        session.on_frame(
+            &FleetMessage::RendezvousAck {
+                session_token: 1,
+                heartbeat_ms: 100,
+                liveness_ms: 500,
+            },
+            0,
+        );
+        // Out-of-domain bit width: ignored.
+        assert!(session
+            .on_frame(
+                &FleetMessage::CohortAssign {
+                    round: 0,
+                    bit_index: 0,
+                    bits: 60,
+                    value_seed: 0,
+                    deadline_ms: 1
+                },
+                0
+            )
+            .is_empty());
+        assert_eq!(session.reports_sent(), 0);
+    }
+}

@@ -18,9 +18,11 @@ pub mod adaptive;
 pub mod builder;
 pub mod coordinator;
 pub mod daemon;
+pub mod fleet;
 pub mod hier;
 pub mod message;
 pub mod net;
+pub mod reactor;
 pub mod scheduler;
 pub mod session;
 pub mod shard;
@@ -32,6 +34,8 @@ pub use builder::{RoundBuilder, RoundDetail, RoundOutcome};
 #[allow(deprecated)]
 pub use coordinator::{run_federated_mean_transport, run_federated_mean_transport_metered};
 pub use daemon::{DaemonConfig, DaemonHandle, DaemonSnapshot, RoundStream};
+pub use fleet::client::{ClientPool, ClientSession, FailMode};
+pub use fleet::{FleetConfig, FleetEngine, FleetLedger, FleetRoundReport};
 #[allow(deprecated)]
 pub use hier::run_hierarchical_mean;
 pub use hier::{HierShardedOutcome, ShardTransportFactory};

@@ -1,0 +1,185 @@
+//! A dependency-light readiness reactor over `poll(2)`.
+//!
+//! The daemon's event loop (see [`crate::daemon`]) multiplexes one
+//! listener plus thousands of nonblocking sockets on a single thread. All
+//! it needs from the OS is level-triggered readiness — exactly what
+//! `poll(2)` provides — so rather than pull in `mio` (and its transitive
+//! tree) or raw `epoll` (Linux-only), this module binds `poll` directly
+//! through a minimal `extern "C"` declaration. The call is part of POSIX,
+//! stable since forever, and its structure layout (`struct pollfd`) is
+//! identical across the Unixes this project targets.
+//!
+//! On non-Unix platforms there is no `poll`; the fallback simply sleeps
+//! for the timeout and reports every registered descriptor as ready.
+//! Readiness from `poll` is advisory — every consumer already handles
+//! `WouldBlock` on the actual read/write — so claiming readiness degrades
+//! to bounded busy-polling, not incorrectness.
+
+/// Readable readiness (POLLIN).
+pub const INTEREST_READ: i16 = 0x001;
+/// Writable readiness (POLLOUT).
+pub const INTEREST_WRITE: i16 = 0x004;
+/// Error / hangup / invalid-fd conditions `poll` may report unrequested
+/// (POLLERR | POLLHUP | POLLNVAL). A descriptor flagged with any of these
+/// should be serviced too — the subsequent read will surface the error.
+pub const INTEREST_ERROR: i16 = 0x008 | 0x010 | 0x020;
+
+/// One registered descriptor: layout-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// Registers `fd` for the given interest set (`INTEREST_READ` and/or
+    /// `INTEREST_WRITE`).
+    #[must_use]
+    pub fn new(fd: i32, interest: i16) -> Self {
+        Self {
+            fd,
+            events: interest,
+            revents: 0,
+        }
+    }
+
+    /// Whether the descriptor came back readable (or in an error state,
+    /// which a read will surface).
+    #[must_use]
+    pub fn readable(&self) -> bool {
+        self.revents & (INTEREST_READ | INTEREST_ERROR) != 0
+    }
+
+    /// Whether the descriptor came back writable (or in an error state,
+    /// which a write will surface).
+    #[must_use]
+    pub fn writable(&self) -> bool {
+        self.revents & (INTEREST_WRITE | INTEREST_ERROR) != 0
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::PollFd;
+
+    extern "C" {
+        // POSIX: int poll(struct pollfd fds[], nfds_t nfds, int timeout);
+        // `nfds_t` is `unsigned long` on the supported Unixes.
+        fn poll(
+            fds: *mut PollFd,
+            nfds: std::os::raw::c_ulong,
+            timeout: std::os::raw::c_int,
+        ) -> std::os::raw::c_int;
+    }
+
+    /// Blocks until at least one registered descriptor is ready or
+    /// `timeout_ms` elapses. Returns the number of ready descriptors
+    /// (0 on timeout); `EINTR` is treated as a zero-ready wakeup.
+    ///
+    /// # Errors
+    /// The OS error from `poll` (other than `EINTR`).
+    pub fn wait(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+        // SAFETY: `PollFd` is #[repr(C)] with the exact pollfd layout, the
+        // pointer/length pair describes a live mutable slice, and `poll`
+        // only writes within it.
+        let rc = unsafe {
+            poll(
+                fds.as_mut_ptr(),
+                fds.len() as std::os::raw::c_ulong,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            let err = std::io::Error::last_os_error();
+            if err.kind() == std::io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(rc as usize)
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::{PollFd, INTEREST_READ, INTEREST_WRITE};
+
+    /// Portable fallback: sleep out the timeout and claim every
+    /// descriptor ready. Consumers fall through to `WouldBlock` on the
+    /// actual I/O call, so this is bounded busy-polling, not a lie that
+    /// can corrupt state.
+    pub fn wait(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+        if timeout_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(timeout_ms.min(20) as u64));
+        }
+        for fd in fds.iter_mut() {
+            fd.revents = fd.events & (INTEREST_READ | INTEREST_WRITE);
+        }
+        Ok(fds.len())
+    }
+}
+
+/// Blocks until at least one registered descriptor is ready or
+/// `timeout_ms` elapses (0 = return immediately, negative = wait forever).
+/// Returns the number of ready descriptors.
+///
+/// # Errors
+/// The OS error from the underlying readiness call.
+pub fn wait(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+    sys::wait(fds, timeout_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    #[cfg(unix)]
+    use std::os::unix::io::AsRawFd;
+
+    #[cfg(unix)]
+    #[test]
+    fn reports_listener_readable_only_when_a_connection_waits() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let fd = listener.as_raw_fd();
+        let mut fds = [PollFd::new(fd, INTEREST_READ)];
+        // Nothing pending: times out with zero ready.
+        assert_eq!(wait(&mut fds, 10).unwrap(), 0);
+        assert!(!fds[0].readable());
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut fds = [PollFd::new(fd, INTEREST_READ)];
+        assert_eq!(wait(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].readable());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn reports_stream_readable_after_peer_writes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let fd = server.as_raw_fd();
+        let mut fds = [PollFd::new(fd, INTEREST_READ | INTEREST_WRITE)];
+        assert!(wait(&mut fds, 1000).unwrap() >= 1);
+        // An idle healthy socket is writable but not readable.
+        assert!(fds[0].writable());
+        assert!(!fds[0].readable());
+        client.write_all(&[42]).unwrap();
+        client.flush().unwrap();
+        let mut fds = [PollFd::new(fd, INTEREST_READ)];
+        assert_eq!(wait(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].readable());
+        let mut byte = [0u8; 1];
+        (&server).read_exact(&mut byte).unwrap();
+        assert_eq!(byte[0], 42);
+    }
+
+    #[test]
+    fn timeout_returns_without_ready_descriptors() {
+        let mut fds: [PollFd; 0] = [];
+        assert_eq!(wait(&mut fds, 5).unwrap(), 0);
+    }
+}

@@ -46,7 +46,9 @@ use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use fednum_core::wire::{self, push_f64, read_f64, read_varint, CampaignMessage, WireError};
+use fednum_core::wire::{
+    self, push_f64, read_f64, read_varint, CampaignMessage, FleetMessage, WireError,
+};
 use fednum_fedsim::error::FedError;
 use fednum_fedsim::faults::{FaultPlan, FaultRates};
 use fednum_fedsim::round::FederatedMeanConfig;
@@ -89,6 +91,9 @@ const TAG_CAMPAIGN_ACK: u8 = 0x15;
 const TAG_ROUND_ADMIT: u8 = 0x16;
 const TAG_ROUND_COMMITTED: u8 = 0x17;
 const TAG_CAMPAIGN_ERR: u8 = 0x18;
+/// Fleet frames travel both directions under one tag; the embedded
+/// [`FleetMessage`] carries its own variant tag and direction.
+const TAG_FLEET: u8 = 0x20;
 
 /// Session parameters a driver hands the daemon at connect time — enough
 /// for the daemon to rebuild the driver's wire-fault stage exactly.
@@ -178,6 +183,10 @@ pub(crate) enum Ctrl {
         code: u64,
         detail: String,
     },
+    /// A fleet-protocol frame (either direction; see
+    /// [`FleetMessage::is_uplink`]). A connection whose first frame is
+    /// `Fleet(Rendezvous)` becomes a fleet participant connection.
+    Fleet(FleetMessage),
 }
 
 fn push_env(out: &mut Vec<u8>, env: &Envelope) {
@@ -386,6 +395,10 @@ impl Ctrl {
                 wire::push_varint(&mut out, s.bytes_out);
             }
             Ctrl::ShutdownAck => out.push(TAG_SHUTDOWN_ACK),
+            Ctrl::Fleet(msg) => {
+                out.push(TAG_FLEET);
+                msg.encode_into(&mut out);
+            }
         }
         out
     }
@@ -490,6 +503,7 @@ impl Ctrl {
                 bytes_out: read_varint(buf, &mut pos)?,
             }),
             TAG_SHUTDOWN_ACK => Ctrl::ShutdownAck,
+            TAG_FLEET => Ctrl::Fleet(FleetMessage::decode_from(buf, &mut pos)?),
             other => return Err(WireError::UnknownTag(other)),
         };
         if pos != buf.len() {
@@ -1116,6 +1130,28 @@ mod tests {
                 code: 2,
                 detail: "round 7 out of order (expected 5)".into(),
             },
+            Ctrl::Fleet(FleetMessage::Rendezvous {
+                client_id: 17,
+                capabilities: 0,
+            }),
+            Ctrl::Fleet(FleetMessage::RendezvousAck {
+                session_token: 0xFEED_FACE,
+                heartbeat_ms: 250,
+                liveness_ms: 1000,
+            }),
+            Ctrl::Fleet(FleetMessage::CohortAssign {
+                round: 2,
+                bit_index: 5,
+                bits: 16,
+                value_seed: 77,
+                deadline_ms: 4000,
+            }),
+            Ctrl::Fleet(FleetMessage::Report {
+                session_token: 0xFEED_FACE,
+                round: 2,
+                bit_index: 5,
+                bit: true,
+            }),
         ];
         for f in frames {
             let bytes = f.encode();
