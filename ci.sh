@@ -151,6 +151,21 @@ grep -q ' 0 protocol error(s)' "$FLEET_LOG" \
     || { echo "fleet participants tripped the daemon protocol"; exit 1; }
 rm -f "$FLEET_LOG"
 
+step "amplification regression anchor (fixed (eps, n, delta) pinned to 1e-12)"
+# The shuffle tier's amplification-by-shuffling bound: three pinned
+# (local epsilon, cohort, delta) triples must reproduce their recorded
+# amplified epsilons to 1e-12, so a numerics drift can never silently
+# loosen what the durable ledger bills.
+cargo test --release --offline -p fednum-core --lib \
+    privacy::amplification::tests::regression_amplified_epsilon_pinned_to_1e12 -- --exact
+
+step "bench_tcp --shuffle smoke (TCP parity + amplified-epsilon gates)"
+# One shuffled round (clients -> shuffler session -> anonymized batch ->
+# coordinator) over loopback TCP vs in memory; the binary enforces
+# bit-identical estimates/traffic/charges and that the billed epsilon is
+# the amplified central rate, strictly below the local one.
+./target/release/bench_tcp --shuffle --smoke
+
 step "bench_tcp --fleet smoke (5k idle connections + 1k-cohort round gate)"
 # One event-loop daemon vs a 6000-session nonblocking client pool on one
 # thread; the binary enforces >=5k concurrently-connected idle clients

@@ -38,6 +38,7 @@ const PANELS: &[&str] = &[
     "deploy-secagg",
     "deploy-faults",
     "deploy-salvage",
+    "deploy-shuffle",
     "ablate-sampling",
     "ablate-caching",
     "ablate-bsend",
@@ -79,6 +80,7 @@ fn run_panel(id: &str, budget: Budget) -> Option<Output> {
         "deploy-secagg" => Output::Text(deploy::deploy_secagg(budget)),
         "deploy-faults" => Output::Table(deploy::deploy_faults(budget)),
         "deploy-salvage" => Output::Table(deploy::deploy_salvage(budget)),
+        "deploy-shuffle" => Output::Text(deploy::deploy_shuffle(budget)),
         "ablate-sampling" => Output::Table(ablate::ablate_sampling(budget)),
         "ablate-caching" => Output::Table(ablate::ablate_caching(budget)),
         "ablate-bsend" => Output::Table(ablate::ablate_bsend(budget)),

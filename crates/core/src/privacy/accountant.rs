@@ -12,6 +12,26 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A rejected ε: non-finite or non-positive. The release was *not*
+/// recorded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidEpsilon {
+    /// The offending value.
+    pub epsilon: f64,
+}
+
+impl std::fmt::Display for InvalidEpsilon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epsilon must be positive and finite, got {}",
+            self.epsilon
+        )
+    }
+}
+
+impl std::error::Error for InvalidEpsilon {}
+
 /// Accumulates per-release ε values and reports composed guarantees.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CompositionAccountant {
@@ -25,16 +45,31 @@ impl CompositionAccountant {
         Self::default()
     }
 
-    /// Records one ε-DP release.
+    /// Records one ε-DP release, rejecting non-finite or non-positive ε
+    /// with a typed error — the orchestration-path entry point (the
+    /// crate-wide convention: runtime conditions fail closed and typed,
+    /// never by panicking).
+    ///
+    /// # Errors
+    /// [`InvalidEpsilon`] unless `epsilon > 0` and finite; nothing is
+    /// recorded on rejection.
+    pub fn try_record(&mut self, epsilon: f64) -> Result<(), InvalidEpsilon> {
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(InvalidEpsilon { epsilon });
+        }
+        self.epsilons.push(epsilon);
+        Ok(())
+    }
+
+    /// Records one ε-DP release. Thin panicking wrapper over
+    /// [`CompositionAccountant::try_record`] for tests and interactive
+    /// use.
     ///
     /// # Panics
     /// Panics unless `epsilon > 0` and finite.
     pub fn record(&mut self, epsilon: f64) {
-        assert!(
-            epsilon > 0.0 && epsilon.is_finite(),
-            "epsilon must be positive and finite"
-        );
-        self.epsilons.push(epsilon);
+        self.try_record(epsilon)
+            .expect("epsilon must be positive and finite");
     }
 
     /// Number of recorded releases.
@@ -158,5 +193,19 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_epsilon() {
         CompositionAccountant::new().record(0.0);
+    }
+
+    #[test]
+    fn try_record_rejects_typed_without_recording() {
+        let mut a = CompositionAccountant::new();
+        for bad in [0.0, -0.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = a.try_record(bad).unwrap_err();
+            assert_eq!(err.epsilon.to_bits(), bad.to_bits(), "echoes the value");
+            assert!(err.to_string().contains("positive and finite"));
+        }
+        assert_eq!(a.releases(), 0, "rejected releases must not accumulate");
+        a.try_record(0.25).unwrap();
+        assert_eq!(a.releases(), 1);
+        assert!((a.simple_epsilon() - 0.25).abs() < 1e-12);
     }
 }

@@ -1,0 +1,275 @@
+//! Amplification by shuffling: local ε, cohort size → central (ε, δ).
+//!
+//! The shuffle model sits between pure LDP and secure aggregation: each
+//! client runs an ε₀-LDP randomizer (here, per-bit randomized response),
+//! a shuffler strips identity and permutes the batch, and the analyst
+//! only sees the anonymized multiset. Feldman, McMillan & Talwar
+//! ("Hiding among the clones", FOCS 2021) give the closed-form bound
+//! this module implements: shuffling `n` ε₀-LDP reports satisfies
+//! central (ε, δ)-DP with
+//!
+//! ```text
+//! ε ≤ ln(1 + (e^ε₀ − 1)/(e^ε₀ + 1) ·
+//!          (8·√(e^ε₀·ln(4/δ))/√n + 8·e^ε₀/n))
+//! ```
+//!
+//! valid when `n ≥ 16·e^ε₀·ln(2/δ)`. Everything here is deterministic
+//! IEEE-754 arithmetic — the same `(ε₀, n, δ)` always produces the same
+//! bit pattern, which is what lets the durable campaign ledger charge
+//! amplified epsilons and still replay digests bit-identically, and
+//! what the CI regression check pins to 1e-12.
+//!
+//! **Fail-closed fallback.** Below the validity threshold (or whenever
+//! the formula fails to beat the local guarantee) [`Amplification::charge`]
+//! returns the *local* ε₀ unchanged: the ledger never records a privacy
+//! level the bound does not actually certify.
+
+/// A rejected amplification parameter: the offending field and value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AmplificationError {
+    /// The local ε₀ was non-finite or non-positive.
+    InvalidEpsilon(f64),
+    /// δ was outside the open interval (0, 1).
+    InvalidDelta(f64),
+}
+
+impl std::fmt::Display for AmplificationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AmplificationError::InvalidEpsilon(e) => {
+                write!(f, "local epsilon must be finite and positive, got {e}")
+            }
+            AmplificationError::InvalidDelta(d) => {
+                write!(f, "delta must lie in (0, 1), got {d}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AmplificationError {}
+
+/// What a shuffled round actually charges: the certified central ε at
+/// the round's δ, and whether amplification applied or the conservative
+/// local fallback was used.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShuffleCharge {
+    /// The ε to record in the privacy ledger.
+    pub epsilon: f64,
+    /// The δ the guarantee holds at (0 on the local fallback — the
+    /// local randomizer is pure ε₀-DP).
+    pub delta: f64,
+    /// Whether the amplification bound applied (`false` = local ε₀
+    /// fallback: `n` below the validity threshold, or the bound did not
+    /// improve on ε₀).
+    pub amplified: bool,
+}
+
+/// The amplification-by-shuffling accountant for one local randomizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Amplification {
+    local_epsilon: f64,
+    delta: f64,
+}
+
+impl Amplification {
+    /// An accountant for an ε₀-LDP local randomizer at failure
+    /// probability δ.
+    ///
+    /// # Errors
+    /// [`AmplificationError`] when ε₀ is non-finite or non-positive, or
+    /// δ is outside (0, 1) — fail-closed: no accountant, no charge.
+    pub fn try_new(local_epsilon: f64, delta: f64) -> Result<Self, AmplificationError> {
+        if !local_epsilon.is_finite() || local_epsilon <= 0.0 {
+            return Err(AmplificationError::InvalidEpsilon(local_epsilon));
+        }
+        if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+            return Err(AmplificationError::InvalidDelta(delta));
+        }
+        Ok(Self {
+            local_epsilon,
+            delta,
+        })
+    }
+
+    /// The local randomizer's ε₀.
+    #[must_use]
+    pub fn local_epsilon(&self) -> f64 {
+        self.local_epsilon
+    }
+
+    /// The failure probability δ the central guarantee is stated at.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The smallest cohort size the bound is valid for:
+    /// `⌈16·e^ε₀·ln(2/δ)⌉`.
+    #[must_use]
+    pub fn min_cohort(&self) -> u64 {
+        let raw = 16.0 * self.local_epsilon.exp() * (2.0 / self.delta).ln();
+        // Beyond u64 range the bound is unattainable by any real cohort.
+        if raw >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            raw.ceil() as u64
+        }
+    }
+
+    /// The raw closed-form bound at cohort size `n`, with no validity or
+    /// improvement check — [`Amplification::charge`] is the fail-closed
+    /// entry point; this is exposed for analysis and the regression pin.
+    #[must_use]
+    pub fn amplified_epsilon(&self, n: u64) -> f64 {
+        if n == 0 {
+            return f64::INFINITY;
+        }
+        let e0 = self.local_epsilon.exp();
+        let nf = n as f64;
+        let tail = 8.0 * (e0 * (4.0 / self.delta).ln()).sqrt() / nf.sqrt() + 8.0 * e0 / nf;
+        ((e0 - 1.0) / (e0 + 1.0) * tail).ln_1p()
+    }
+
+    /// The ε a shuffled round over `n` reports may charge: the amplified
+    /// central ε when `n` meets the validity threshold *and* the bound
+    /// beats ε₀, otherwise the conservative local ε₀ (with δ = 0, since
+    /// the local guarantee is pure).
+    #[must_use]
+    pub fn charge(&self, n: u64) -> ShuffleCharge {
+        if n >= self.min_cohort() {
+            let amplified = self.amplified_epsilon(n);
+            if amplified < self.local_epsilon {
+                return ShuffleCharge {
+                    epsilon: amplified,
+                    delta: self.delta,
+                    amplified: true,
+                };
+            }
+        }
+        ShuffleCharge {
+            epsilon: self.local_epsilon,
+            delta: 0.0,
+            amplified: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters_fail_closed() {
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    Amplification::try_new(eps, 1e-6),
+                    Err(AmplificationError::InvalidEpsilon(e)) if e.to_bits() == eps.to_bits()
+                ),
+                "eps {eps}"
+            );
+        }
+        for delta in [0.0, 1.0, -0.5, 2.0, f64::NAN] {
+            assert!(
+                matches!(
+                    Amplification::try_new(1.0, delta),
+                    Err(AmplificationError::InvalidDelta(d)) if d.to_bits() == delta.to_bits()
+                ),
+                "delta {delta}"
+            );
+        }
+        assert!(Amplification::try_new(f64::NAN, f64::NAN).is_err());
+        let e = Amplification::try_new(0.0, 1e-6).unwrap_err();
+        assert!(e.to_string().contains("epsilon"));
+        let e = Amplification::try_new(1.0, 0.0).unwrap_err();
+        assert!(e.to_string().contains("delta"));
+    }
+
+    #[test]
+    fn amplified_epsilon_shrinks_with_n() {
+        let amp = Amplification::try_new(1.0, 1e-6).unwrap();
+        let small = amp.amplified_epsilon(1_000);
+        let medium = amp.amplified_epsilon(100_000);
+        let large = amp.amplified_epsilon(10_000_000);
+        assert!(small > medium && medium > large, "{small} {medium} {large}");
+        // Asymptotically the bound behaves like O(1/sqrt(n)): a 100x
+        // bigger cohort shrinks it by roughly 10x.
+        assert!(medium / large > 8.0 && medium / large < 12.0);
+    }
+
+    #[test]
+    fn charge_above_threshold_is_strictly_below_local() {
+        let amp = Amplification::try_new(1.0, 1e-6).unwrap();
+        let n = amp.min_cohort();
+        let charge = amp.charge(n);
+        assert!(charge.amplified);
+        assert!(charge.epsilon < amp.local_epsilon());
+        assert_eq!(charge.delta, 1e-6);
+        // And it matches the raw bound exactly.
+        assert_eq!(charge.epsilon.to_bits(), amp.amplified_epsilon(n).to_bits());
+    }
+
+    #[test]
+    fn charge_below_threshold_falls_back_to_local() {
+        let amp = Amplification::try_new(1.0, 1e-6).unwrap();
+        let n = amp.min_cohort() - 1;
+        let charge = amp.charge(n);
+        assert!(!charge.amplified);
+        assert_eq!(charge.epsilon.to_bits(), 1.0f64.to_bits());
+        assert_eq!(charge.delta, 0.0);
+        // Zero reports: same fallback, never a NaN or negative charge.
+        let zero = amp.charge(0);
+        assert!(!zero.amplified);
+        assert_eq!(zero.epsilon.to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn high_local_epsilon_pushes_the_threshold_out() {
+        // e^ε₀ grows the validity threshold; at ε₀ = 30 no u64 cohort
+        // qualifies and the fallback must hold without overflow panics.
+        let amp = Amplification::try_new(30.0, 1e-9).unwrap();
+        assert!(amp.min_cohort() > 1 << 40);
+        let charge = amp.charge(1_000_000);
+        assert!(!charge.amplified);
+        assert_eq!(charge.epsilon.to_bits(), 30.0f64.to_bits());
+        // Extreme ε₀ saturates rather than wrapping.
+        let extreme = Amplification::try_new(500.0, 1e-9).unwrap();
+        assert_eq!(extreme.min_cohort(), u64::MAX);
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_bits() {
+        let a = Amplification::try_new(1.25, 1e-8).unwrap();
+        let b = Amplification::try_new(1.25, 1e-8).unwrap();
+        for n in [1_000u64, 31_337, 1_000_000] {
+            assert_eq!(
+                a.amplified_epsilon(n).to_bits(),
+                b.amplified_epsilon(n).to_bits()
+            );
+            assert_eq!(a.charge(n), b.charge(n));
+        }
+    }
+
+    /// The CI anchor: known (ε₀, n, δ) triples pinned to 1e-12. The
+    /// expected values are the formula evaluated once on this host and
+    /// frozen — any change to the arithmetic (reordering, fusing,
+    /// "simplifying") that drifts past 1e-12 fails the gate.
+    #[test]
+    fn regression_amplified_epsilon_pinned_to_1e12() {
+        let cases: [(f64, u64, f64, f64); 3] = [
+            (1.0, 100_000, 1e-6, 7.255_492_488_700_484e-2),
+            (2.0, 1_000_000, 1e-8, 7.116_040_530_398_722e-2),
+            (0.5, 10_000, 1e-6, 9.386_816_185_202_895e-2),
+        ];
+        for (eps0, n, delta, expected) in cases {
+            let amp = Amplification::try_new(eps0, delta).unwrap();
+            let got = amp.amplified_epsilon(n);
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "(ε₀={eps0}, n={n}, δ={delta}): got {got}, expected {expected}"
+            );
+            assert!(n >= amp.min_cohort(), "case must sit above the threshold");
+            assert!(got < eps0, "amplification must beat the local guarantee");
+        }
+    }
+}

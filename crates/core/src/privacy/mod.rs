@@ -15,14 +15,19 @@
 //!   campaign state machine (admit → commit) persisted through a
 //!   write-ahead log plus periodic snapshots, so a coordinator restart
 //!   resumes a longitudinal campaign without re-granting budget.
+//! * [`amplification`] — amplification by shuffling: the closed-form
+//!   (local ε₀, n, δ) → central ε bound a shuffled round charges, with a
+//!   conservative local-ε fallback below the bound's validity threshold.
 
 pub mod accountant;
+pub mod amplification;
 pub mod distributed;
 pub mod durable;
 pub mod metering;
 pub mod squash;
 
-pub use accountant::CompositionAccountant;
+pub use accountant::{CompositionAccountant, InvalidEpsilon};
+pub use amplification::{Amplification, AmplificationError, ShuffleCharge};
 pub use distributed::{BernoulliNoise, SampleThreshold};
 pub use durable::{
     Admission, CampaignState, CommitSummary, DurableError, DurableLedger, LedgerRecord,

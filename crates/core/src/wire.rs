@@ -713,6 +713,141 @@ impl FleetMessage {
     }
 }
 
+/// Shuffle-tier control frames: the protocol between clients, the
+/// shuffler session, and the coordinator session.
+///
+/// A client in a shuffled round sends one [`ShuffleMessage::Submit`] to the
+/// shuffler: the round it belongs to, which bit of its encoded value it was
+/// drafted for, and the randomized-response output for that bit. The
+/// shuffler buffers the wave, strips every envelope's sender identity,
+/// applies a seeded permutation, and forwards a single
+/// [`ShuffleMessage::Batch`] to the coordinator — an anonymized multiset of
+/// `(bit index, bit)` entries with no per-client framing left to correlate.
+///
+/// Every batch entry encodes to exactly two bytes (a raw `u8` bit index and
+/// a validated 0/1 bit byte), so a batch's encoded *length* is invariant
+/// under the permutation — the traffic ledger charges the same bytes no
+/// matter which seed shuffled the wave, which the permutation-invariance
+/// contract depends on. Like [`FleetMessage`], each frame has one canonical
+/// encoding and decoding fails closed on truncated or hostile input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShuffleMessage {
+    /// Client → shuffler: one randomized one-bit report for `round_id`.
+    /// `bit_index` is the drafted bit position (shuffled rounds cap codec
+    /// depth at 256 bits so the index rides in one byte).
+    Submit {
+        round_id: u64,
+        bit_index: u8,
+        bit: bool,
+    },
+    /// Shuffler → coordinator: the anonymized, permuted wave. Entry order
+    /// is the permutation's output order; nothing else about the wave
+    /// survives the shuffle.
+    Batch {
+        round_id: u64,
+        entries: Vec<(u8, bool)>,
+    },
+}
+
+const SHUFFLE_TAG_SUBMIT: u8 = 0x01;
+const SHUFFLE_TAG_BATCH: u8 = 0x02;
+
+impl ShuffleMessage {
+    /// Encodes into an existing buffer (for embedding inside a framed
+    /// transport control message).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            ShuffleMessage::Submit {
+                round_id,
+                bit_index,
+                bit,
+            } => {
+                out.push(SHUFFLE_TAG_SUBMIT);
+                push_varint(out, *round_id);
+                out.push(*bit_index);
+                out.push(u8::from(*bit));
+            }
+            ShuffleMessage::Batch { round_id, entries } => {
+                out.push(SHUFFLE_TAG_BATCH);
+                push_varint(out, *round_id);
+                push_varint(out, entries.len() as u64);
+                for (bit_index, bit) in entries {
+                    out.push(*bit_index);
+                    out.push(u8::from(*bit));
+                }
+            }
+        }
+    }
+
+    /// Encodes to a fresh buffer.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a frame starting at `*pos`, advancing `*pos` past it.
+    ///
+    /// # Errors
+    /// See [`WireError`].
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        fn read_bit(buf: &[u8], pos: &mut usize) -> Result<bool, WireError> {
+            match read_bytes(buf, pos, 1)?[0] {
+                0 => Ok(false),
+                1 => Ok(true),
+                _ => Err(WireError::InvalidField("shuffle bit")),
+            }
+        }
+        let tag = read_bytes(buf, pos, 1)?[0];
+        match tag {
+            SHUFFLE_TAG_SUBMIT => Ok(ShuffleMessage::Submit {
+                round_id: read_varint(buf, pos)?,
+                bit_index: read_bytes(buf, pos, 1)?[0],
+                bit: read_bit(buf, pos)?,
+            }),
+            SHUFFLE_TAG_BATCH => {
+                let round_id = read_varint(buf, pos)?;
+                let count = read_varint(buf, pos)? as usize;
+                // Each entry is exactly 2 bytes; a count claiming more
+                // entries than the remaining bytes could hold is hostile —
+                // reject before allocating.
+                if count > buf.len().saturating_sub(*pos) / 2 {
+                    return Err(WireError::InvalidField("batch entry count"));
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let bit_index = read_bytes(buf, pos, 1)?[0];
+                    entries.push((bit_index, read_bit(buf, pos)?));
+                }
+                Ok(ShuffleMessage::Batch { round_id, entries })
+            }
+            other => Err(WireError::UnknownTag(other)),
+        }
+    }
+
+    /// Decodes a frame, requiring the buffer to be fully consumed.
+    ///
+    /// # Errors
+    /// See [`WireError`].
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut pos = 0;
+        let msg = Self::decode_from(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(msg)
+    }
+
+    /// Encoded size in bytes — the unit the shuffle traffic ledger counts.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        let mut out = Vec::with_capacity(16);
+        self.encode_into(&mut out);
+        out.len()
+    }
+}
+
 /// Bytes per client to upload full `bits`-bit values for `features`
 /// features, with the same varint header.
 #[must_use]
@@ -1207,6 +1342,85 @@ mod tests {
         let (up, down): (Vec<_>, Vec<_>) = fleet_samples().into_iter().partition(|m| m.is_uplink());
         assert_eq!(up.len(), 4); // rendezvous, heartbeat, 2× report
         assert_eq!(down.len(), 6);
+    }
+
+    #[test]
+    fn shuffle_messages_round_trip_canonically() {
+        let samples = vec![
+            ShuffleMessage::Submit {
+                round_id: 0,
+                bit_index: 0,
+                bit: false,
+            },
+            ShuffleMessage::Submit {
+                round_id: u64::MAX,
+                bit_index: 255,
+                bit: true,
+            },
+            ShuffleMessage::Batch {
+                round_id: 7,
+                entries: vec![],
+            },
+            ShuffleMessage::Batch {
+                round_id: 42,
+                entries: vec![(0, true), (9, false), (255, true)],
+            },
+        ];
+        for msg in samples {
+            let bytes = msg.encode();
+            assert_eq!(bytes.len(), msg.encoded_len());
+            assert_eq!(ShuffleMessage::decode(&bytes).unwrap(), msg, "{msg:?}");
+            for cut in 0..bytes.len() {
+                assert!(
+                    ShuffleMessage::decode(&bytes[..cut]).is_err(),
+                    "{msg:?} cut at {cut} must fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_batch_length_is_permutation_invariant() {
+        // Every entry is exactly 2 bytes, so reordering a batch never
+        // changes its encoded length — the traffic-parity contract.
+        let forward = ShuffleMessage::Batch {
+            round_id: 3,
+            entries: vec![(1, true), (2, false), (200, true)],
+        };
+        let reversed = ShuffleMessage::Batch {
+            round_id: 3,
+            entries: vec![(200, true), (2, false), (1, true)],
+        };
+        assert_eq!(forward.encoded_len(), reversed.encoded_len());
+    }
+
+    #[test]
+    fn shuffle_messages_reject_bad_fields() {
+        assert_eq!(
+            ShuffleMessage::decode(&[0x7F]),
+            Err(WireError::UnknownTag(0x7F))
+        );
+        // The submit bit byte must be exactly 0 or 1.
+        let mut bad = ShuffleMessage::Submit {
+            round_id: 5,
+            bit_index: 3,
+            bit: true,
+        }
+        .encode();
+        *bad.last_mut().unwrap() = 2;
+        assert_eq!(
+            ShuffleMessage::decode(&bad),
+            Err(WireError::InvalidField("shuffle bit"))
+        );
+        // A hostile batch count far beyond the buffer is rejected before
+        // any allocation happens.
+        let mut hostile = vec![SHUFFLE_TAG_BATCH];
+        push_varint(&mut hostile, 0); // round_id
+        push_varint(&mut hostile, u64::MAX); // count
+        assert_eq!(
+            ShuffleMessage::decode(&hostile),
+            Err(WireError::InvalidField("batch entry count"))
+        );
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Property tests for the shuffle-tier control frames (ISSUE satellite:
+//! the submit/batch wire frames must satisfy the same codec contract the
+//! campaign and fleet frames do).
+//!
+//! Invariants pinned here:
+//! * encode → decode reproduces every frame exactly, for both variants;
+//! * the encoding is canonical: decode → re-encode yields the same bytes,
+//!   and `encoded_len` agrees with the actual encoding (the shuffle
+//!   traffic ledger depends on this);
+//! * a batch's encoded length is independent of entry order — the
+//!   permutation-invariance contract: whatever seed shuffled the wave,
+//!   the coordinator's traffic ledger charges the same bytes;
+//! * `decode_from` consumes exactly the frame and leaves trailing bytes,
+//!   while strict `decode` rejects them;
+//! * every strict prefix of a valid encoding fails typed;
+//! * arbitrary bytes never panic the decoder — they fail typed.
+//!
+//! The vendored proptest has no combinators (`prop_map`, `option::of`),
+//! so strategies generate raw primitives and the bodies assemble them.
+
+use fednum_core::wire::{ShuffleMessage, WireError};
+use proptest::prelude::*;
+
+/// Builds one frame from raw material: `kind` selects the variant, the raw
+/// bytes become batch entries (low bit = report bit, high bits = index).
+fn build_shuffle(kind: u8, round_id: u64, index: u8, flag: bool, raw: &[u8]) -> ShuffleMessage {
+    if kind.is_multiple_of(2) {
+        ShuffleMessage::Submit {
+            round_id,
+            bit_index: index,
+            bit: flag,
+        }
+    } else {
+        ShuffleMessage::Batch {
+            round_id,
+            entries: raw.iter().map(|b| (b >> 1, b & 1 == 1)).collect(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn shuffle_frames_round_trip_canonically(
+        kind in 0u8..2,
+        round_id in any::<u64>(),
+        index in any::<u8>(),
+        flag in any::<bool>(),
+        raw in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let msg = build_shuffle(kind, round_id, index, flag, &raw);
+        let bytes = msg.encode();
+        prop_assert_eq!(bytes.len(), msg.encoded_len());
+        let decoded = ShuffleMessage::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &msg);
+        // Canonical: re-encoding the decoded frame reproduces the bytes.
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn batch_encoded_length_is_order_independent(
+        round_id in any::<u64>(),
+        raw in proptest::collection::vec(any::<u8>(), 0..64),
+        rotation in any::<usize>(),
+    ) {
+        // Same multiset of entries in two different orders: identical
+        // encoded length (and identical bytes up to entry order). This is
+        // what makes the per-phase traffic ledger bit-identical across
+        // permutation seeds.
+        let entries: Vec<(u8, bool)> = raw.iter().map(|b| (b >> 1, b & 1 == 1)).collect();
+        let mut rotated = entries.clone();
+        if !rotated.is_empty() {
+            let mid = rotation % rotated.len();
+            rotated.rotate_left(mid);
+        }
+        let forward = ShuffleMessage::Batch { round_id, entries };
+        let shuffled = ShuffleMessage::Batch { round_id, entries: rotated };
+        prop_assert_eq!(forward.encoded_len(), shuffled.encoded_len());
+        prop_assert_eq!(forward.encode().len(), shuffled.encode().len());
+    }
+
+    #[test]
+    fn shuffle_decode_from_is_order_independent_of_trailing_bytes(
+        kind in 0u8..2,
+        round_id in any::<u64>(),
+        index in any::<u8>(),
+        flag in any::<bool>(),
+        raw in proptest::collection::vec(any::<u8>(), 0..32),
+        trailer in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        // Whatever bytes follow a frame — another frame, garbage, nothing —
+        // `decode_from` consumes exactly the frame and no more.
+        let msg = build_shuffle(kind, round_id, index, flag, &raw);
+        let bytes = msg.encode();
+        let mut framed = bytes.clone();
+        framed.extend_from_slice(&trailer);
+        let mut pos = 0;
+        let decoded = ShuffleMessage::decode_from(&framed, &mut pos).expect("decodes embedded");
+        prop_assert_eq!(decoded, msg);
+        prop_assert_eq!(pos, bytes.len());
+        if !trailer.is_empty() {
+            prop_assert_eq!(ShuffleMessage::decode(&framed), Err(WireError::TrailingBytes));
+        }
+    }
+
+    #[test]
+    fn truncated_shuffle_frames_fail_typed(
+        kind in 0u8..2,
+        round_id in any::<u64>(),
+        index in any::<u8>(),
+        flag in any::<bool>(),
+        raw in proptest::collection::vec(any::<u8>(), 0..32),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let msg = build_shuffle(kind, round_id, index, flag, &raw);
+        let bytes = msg.encode();
+        let cut = (bytes.len() as f64 * cut_fraction) as usize;
+        prop_assume!(cut < bytes.len());
+        prop_assert!(ShuffleMessage::decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn hostile_bytes_fail_typed_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        // May succeed on lucky bytes; must never panic. When it fails, the
+        // error is one of the typed codec errors.
+        if let Err(e) = ShuffleMessage::decode(&bytes) {
+            prop_assert!(matches!(
+                e,
+                WireError::Truncated
+                    | WireError::VarintOverflow
+                    | WireError::TrailingBytes
+                    | WireError::UnknownTag(_)
+                    | WireError::InvalidField(_)
+            ));
+        }
+    }
+}

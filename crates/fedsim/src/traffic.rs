@@ -32,11 +32,16 @@ pub enum TrafficPhase {
     /// are *not* re-billed here — they were metered at original arrival,
     /// and the traffic ledger stays idempotent across sessions.
     Salvage,
+    /// Shuffle-tier frames: per-client one-bit submissions to the shuffler
+    /// and the anonymized batch the shuffler forwards to the coordinator.
+    /// Both legs are booked here (not under `Collect`) so the bill shows
+    /// what the trust tier itself costs.
+    Shuffle,
 }
 
 impl TrafficPhase {
     /// Every phase, in session order.
-    pub const ALL: [TrafficPhase; 8] = [
+    pub const ALL: [TrafficPhase; 9] = [
         TrafficPhase::Rendezvous,
         TrafficPhase::Configure,
         TrafficPhase::Collect,
@@ -45,6 +50,7 @@ impl TrafficPhase {
         TrafficPhase::Unmask,
         TrafficPhase::Publish,
         TrafficPhase::Salvage,
+        TrafficPhase::Shuffle,
     ];
 
     fn index(self) -> usize {
@@ -57,6 +63,7 @@ impl TrafficPhase {
             TrafficPhase::Unmask => 5,
             TrafficPhase::Publish => 6,
             TrafficPhase::Salvage => 7,
+            TrafficPhase::Shuffle => 8,
         }
     }
 }
@@ -94,8 +101,8 @@ impl Counter {
 /// Per-phase, per-direction traffic tally for one round.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficStats {
-    up: [Counter; 8],
-    down: [Counter; 8],
+    up: [Counter; 9],
+    down: [Counter; 9],
     /// Downlink bytes avoided by config compression (broadcast header +
     /// per-client bit delta instead of one full `RoundConfig` each).
     config_saved: u64,

@@ -55,8 +55,9 @@ use fednum_hiersec::HierSecConfig;
 use crate::adaptive::adaptive_transport_impl;
 use crate::coordinator::run_session;
 use crate::hier::{hierarchical_impl, HierShardedOutcome, ShardTransportFactory};
-use crate::net::{Transport, WireMetrics};
+use crate::net::{InMemoryTransport, Transport, WireMetrics};
 use crate::shard::{sharded_impl, ShardedOutcome};
+use crate::shuffle::{run_shuffled_session, ShuffleConfig, ShuffledOutcome};
 
 /// Which protocol family the round runs: one flat estimation round, or
 /// the two-round adaptive protocol with weight re-optimization between.
@@ -89,6 +90,7 @@ pub struct RoundBuilder<'a> {
     factory: Option<ShardTransportFactory<'a>>,
     rng: Option<&'a mut dyn Rng>,
     seed: Option<u64>,
+    shuffle: Option<ShuffleConfig>,
 }
 
 /// The unified result of [`RoundBuilder::run`].
@@ -113,6 +115,9 @@ pub enum RoundDetail {
     Sharded(ShardedOutcome),
     /// Two-tier secure aggregation over shards.
     Hierarchical(HierShardedOutcome),
+    /// A shuffle-tier round: flat report plus the amplified privacy
+    /// charge.
+    Shuffled(ShuffledOutcome),
 }
 
 impl RoundOutcome {
@@ -124,6 +129,7 @@ impl RoundOutcome {
             RoundDetail::Adaptive(out) => out.estimate,
             RoundDetail::Sharded(out) => out.outcome.estimate,
             RoundDetail::Hierarchical(out) => out.outcome.estimate,
+            RoundDetail::Shuffled(out) => out.round.outcome.estimate,
         }
     }
 
@@ -162,6 +168,15 @@ impl RoundOutcome {
             _ => None,
         }
     }
+
+    /// The shuffle-tier report, if a shuffled round ran.
+    #[must_use]
+    pub fn shuffled(&self) -> Option<&ShuffledOutcome> {
+        match &self.detail {
+            RoundDetail::Shuffled(out) => Some(out),
+            _ => None,
+        }
+    }
 }
 
 impl<'a> RoundBuilder<'a> {
@@ -176,6 +191,7 @@ impl<'a> RoundBuilder<'a> {
             factory: None,
             rng: None,
             seed: None,
+            shuffle: None,
         }
     }
 
@@ -190,6 +206,7 @@ impl<'a> RoundBuilder<'a> {
             factory: None,
             rng: None,
             seed: None,
+            shuffle: None,
         }
     }
 
@@ -224,6 +241,20 @@ impl<'a> RoundBuilder<'a> {
         self
     }
 
+    /// Routes the round through the shuffle trust tier: clients submit
+    /// their ε₀-randomized bits to a shuffler session that strips sender
+    /// identity and forwards an anonymized permuted batch, and the
+    /// privacy ledger charges the *amplified* central ε (see
+    /// [`fednum_core::privacy::amplification`]). Requires a local
+    /// randomizer on the config and a flat single-coordinator shape
+    /// without secure aggregation, salvage, or fault injection; anything
+    /// else is rejected at [`run`](Self::run).
+    #[must_use]
+    pub fn shuffled(mut self, shuffle: ShuffleConfig) -> Self {
+        self.shuffle = Some(shuffle);
+        self
+    }
+
     /// Bills each client's disclosure through `ledger`. Only flat
     /// single-coordinator rounds meter a ledger; any other shape is
     /// rejected at [`run`](Self::run).
@@ -234,7 +265,7 @@ impl<'a> RoundBuilder<'a> {
     }
 
     /// Drives the round over `transport` — an
-    /// [`InMemoryTransport`](crate::net::InMemoryTransport),
+    /// [`InMemoryTransport`],
     /// [`SimNetTransport`](crate::net::SimNetTransport), or a live
     /// [`TcpTransport`](crate::tcp::TcpTransport) session. Valid for
     /// flat and adaptive rounds; sharded and hierarchical rounds build
@@ -310,6 +341,42 @@ impl<'a> RoundBuilder<'a> {
                     Some(r) => r,
                     None => &mut default_rng,
                 };
+                if let Some(shuffle) = self.shuffle {
+                    return match self.transport {
+                        Some(transport) => {
+                            let res = run_shuffled_session(
+                                values,
+                                &cfg,
+                                &shuffle,
+                                self.ledger,
+                                transport,
+                                rng,
+                            );
+                            finish_via(res, transport).map(|(out, wire)| RoundOutcome {
+                                detail: RoundDetail::Shuffled(out),
+                                wire,
+                            })
+                        }
+                        None => {
+                            // Purely in-process shuffled round: a fresh
+                            // seeded in-memory transport, same as `.via`
+                            // with `InMemoryTransport::new(seed)`.
+                            let mut transport = InMemoryTransport::new(seed);
+                            run_shuffled_session(
+                                values,
+                                &cfg,
+                                &shuffle,
+                                self.ledger,
+                                &mut transport,
+                                rng,
+                            )
+                            .map(|out| RoundOutcome {
+                                detail: RoundDetail::Shuffled(out),
+                                wire: None,
+                            })
+                        }
+                    };
+                }
                 match self.transport {
                     Some(transport) => {
                         let res = run_session(values, &cfg, self.ledger, transport, rng);
@@ -401,6 +468,44 @@ impl<'a> RoundBuilder<'a> {
                     .into(),
             ));
         }
+        if self.shuffle.is_some() {
+            if matches!(self.mode, Mode::Adaptive(_)) || !single {
+                return Err(FedError::InvalidConfig(
+                    "`.shuffled(..)` runs one flat single-coordinator session; \
+                     drop the adaptive/sharded/hierarchical option"
+                        .into(),
+                ));
+            }
+            let cfg = self.config();
+            if cfg.protocol.privacy.is_none() {
+                return Err(FedError::InvalidConfig(
+                    "a shuffled round amplifies a local randomizer; set \
+                     `config.protocol.privacy` (randomized response) first"
+                        .into(),
+                ));
+            }
+            if cfg.secagg.is_some() {
+                return Err(FedError::InvalidConfig(
+                    "the shuffle tier replaces secure aggregation; drop \
+                     `.secure(..)` / `config.secagg`"
+                        .into(),
+                ));
+            }
+            if cfg.salvage.is_some() {
+                return Err(FedError::InvalidConfig(
+                    "the shuffler's anonymized batch has no per-client frames \
+                     to salvage; drop `.salvage(..)`"
+                        .into(),
+                ));
+            }
+            if cfg.faults.is_some() {
+                return Err(FedError::InvalidConfig(
+                    "fault injection targets per-client report frames, which a \
+                     shuffled round does not send; drop `config.faults`"
+                        .into(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -425,6 +530,7 @@ mod tests {
     use super::*;
     use crate::net::InMemoryTransport;
     use fednum_core::encoding::FixedPointCodec;
+    use fednum_core::privacy::RandomizedResponse;
     use fednum_core::protocol::basic::BasicConfig;
     use fednum_core::sampling::BitSampling;
 
@@ -582,6 +688,94 @@ mod tests {
         let cfg = FederatedAdaptiveConfig::new(config(4));
         let err = RoundBuilder::new_adaptive(cfg)
             .sharded(2, 0)
+            .run(&vs)
+            .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig(_)));
+    }
+
+    fn shuffle_config(bits: u32, epsilon: f64) -> FederatedMeanConfig {
+        FederatedMeanConfig::new(
+            BasicConfig::new(
+                FixedPointCodec::integer(bits),
+                BitSampling::geometric(bits, 1.0),
+            )
+            .with_privacy(RandomizedResponse::from_epsilon(epsilon)),
+        )
+    }
+
+    #[test]
+    fn shuffled_builder_matches_the_direct_session() {
+        let vs = values(3_000, 32);
+        let sh = ShuffleConfig::try_new(1e-6).unwrap();
+        let mut t = InMemoryTransport::new(13);
+        let direct = run_shuffled_session(
+            &vs,
+            &shuffle_config(5, 1.0),
+            &sh,
+            None,
+            &mut t,
+            &mut StdRng::seed_from_u64(13),
+        )
+        .unwrap();
+        let out = RoundBuilder::new(shuffle_config(5, 1.0))
+            .shuffled(sh)
+            .seed(13)
+            .run(&vs)
+            .unwrap();
+        assert_eq!(
+            out.estimate().to_bits(),
+            direct.round.outcome.estimate.to_bits()
+        );
+        let got = out.shuffled().expect("detail must be Shuffled");
+        assert_eq!(
+            got.charge.epsilon.to_bits(),
+            direct.charge.epsilon.to_bits()
+        );
+        assert!(out.flat().is_none());
+
+        let mut via = InMemoryTransport::new(13);
+        let metered = RoundBuilder::new(shuffle_config(5, 1.0))
+            .shuffled(sh)
+            .via(&mut via)
+            .seed(13)
+            .run(&vs)
+            .unwrap();
+        assert_eq!(metered.estimate().to_bits(), out.estimate().to_bits());
+        // Only the TCP transport reports wire metrics.
+        assert!(metered.wire.is_none());
+    }
+
+    #[test]
+    fn shuffled_shape_contradictions_are_rejected_up_front() {
+        let vs = values(100, 10);
+        let sh = ShuffleConfig::try_new(1e-6).unwrap();
+
+        // No local randomizer to amplify.
+        let err = RoundBuilder::new(config(4))
+            .shuffled(sh)
+            .run(&vs)
+            .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig(_)));
+
+        // Sharded topology.
+        let err = RoundBuilder::new(shuffle_config(4, 1.0))
+            .shuffled(sh)
+            .sharded(2, 0)
+            .run(&vs)
+            .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig(_)));
+
+        // Adaptive mode.
+        let cfg = FederatedAdaptiveConfig::new(shuffle_config(4, 1.0));
+        let err = RoundBuilder::new_adaptive(cfg)
+            .shuffled(sh)
+            .run(&vs)
+            .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig(_)));
+
+        // Secure aggregation is the tier being replaced.
+        let err = RoundBuilder::new(shuffle_config(4, 1.0).with_secagg(SecAggSettings::default()))
+            .shuffled(sh)
             .run(&vs)
             .unwrap_err();
         assert!(matches!(err, FedError::InvalidConfig(_)));

@@ -1222,7 +1222,7 @@ fn secagg_attempt_messages(
 }
 
 /// Drains the transport, tallying every delivered frame.
-fn drain_counting(transport: &mut dyn Transport, traffic: &mut TrafficStats) {
+pub(crate) fn drain_counting(transport: &mut dyn Transport, traffic: &mut TrafficStats) {
     while let Some((_, env)) = transport.poll() {
         if let Ok(msg) = Message::decode(&env.payload) {
             traffic.record(msg.phase(), msg.direction(), env.payload.len() as u64);
@@ -1318,8 +1318,9 @@ mod tests {
         assert_eq!(legacy.secagg, evented.secagg);
         let tr = evented.robustness.traffic;
         for phase in TrafficPhase::ALL {
-            if phase == TrafficPhase::Salvage {
-                // No salvage policy configured: the phase stays silent.
+            if phase == TrafficPhase::Salvage || phase == TrafficPhase::Shuffle {
+                // No salvage policy configured and no shuffler in the
+                // path: both phases stay silent.
                 assert_eq!(tr.get(phase, Direction::Uplink).messages, 0);
                 continue;
             }

@@ -26,6 +26,7 @@ pub mod reactor;
 pub mod scheduler;
 pub mod session;
 pub mod shard;
+pub mod shuffle;
 pub mod tcp;
 
 #[allow(deprecated)]
@@ -42,10 +43,12 @@ pub use hier::{HierShardedOutcome, ShardTransportFactory};
 pub use message::Message;
 pub use net::{
     Envelope, InMemoryTransport, SimNetTransport, Transport, WireMetrics, BROADCAST, COORDINATOR,
+    SHUFFLER,
 };
 pub use scheduler::EventQueue;
 pub use session::{MultiSessionEngine, SessionSlot};
 #[allow(deprecated)]
 pub use shard::run_sharded_mean;
 pub use shard::ShardedOutcome;
+pub use shuffle::{ShuffleConfig, ShuffledOutcome};
 pub use tcp::{CampaignStatus, CommitReceipt, RoundAdmission, SessionStats, TcpTransport};

@@ -14,7 +14,9 @@
 //! measurable through [`Message::encoded_len`] and the per-phase traffic
 //! accounting in the coordinator.
 
-use fednum_core::wire::{push_varint, read_bytes, read_varint, ReportMessage, WireError};
+use fednum_core::wire::{
+    push_varint, read_bytes, read_varint, ReportMessage, ShuffleMessage, WireError,
+};
 use fednum_fedsim::traffic::{Direction, TrafficPhase};
 
 /// Bytes of an X25519-style public key.
@@ -33,6 +35,7 @@ const TAG_UNMASK_SHARES: u8 = 6;
 const TAG_PUBLISH: u8 = 7;
 const TAG_CONFIG_HEADER: u8 = 8;
 const TAG_ASSIGN_BIT: u8 = 9;
+const TAG_SHUFFLE: u8 = 10;
 
 /// Round-configuration downlink: the per-client task description.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -172,6 +175,10 @@ pub enum Message {
         /// The bit index this client must report on.
         assigned_bit: u8,
     },
+    /// Shuffle-tier frame: a client's one-bit submission to the shuffler,
+    /// or the shuffler's anonymized batch to the coordinator. Both legs
+    /// travel toward the coordinator, so the whole tier is uplink.
+    Shuffle(ShuffleMessage),
 }
 
 impl Message {
@@ -188,6 +195,7 @@ impl Message {
             Message::MaskedInput(_) => TrafficPhase::Masking,
             Message::UnmaskShares(_) => TrafficPhase::Unmask,
             Message::Publish(_) => TrafficPhase::Publish,
+            Message::Shuffle(_) => TrafficPhase::Shuffle,
         }
     }
 
@@ -283,6 +291,10 @@ impl Message {
             Message::AssignBit { assigned_bit } => {
                 out.push(TAG_ASSIGN_BIT);
                 out.push(*assigned_bit);
+            }
+            Message::Shuffle(s) => {
+                out.push(TAG_SHUFFLE);
+                s.encode_into(out);
             }
         }
     }
@@ -447,6 +459,7 @@ impl Message {
                 *pos += 1;
                 Ok(Message::AssignBit { assigned_bit })
             }
+            TAG_SHUFFLE => Ok(Message::Shuffle(ShuffleMessage::decode_from(buf, pos)?)),
             other => Err(WireError::UnknownTag(other)),
         }
     }
@@ -512,6 +525,15 @@ mod tests {
                 vector_len: 16,
             }),
             Message::AssignBit { assigned_bit: 5 },
+            Message::Shuffle(ShuffleMessage::Submit {
+                round_id: 3,
+                bit_index: 7,
+                bit: true,
+            }),
+            Message::Shuffle(ShuffleMessage::Batch {
+                round_id: 3,
+                entries: vec![(0, false), (7, true), (255, false)],
+            }),
         ]
     }
 
@@ -546,7 +568,7 @@ mod tests {
 
     #[test]
     fn unknown_tags_rejected() {
-        for tag in 10..=255u8 {
+        for tag in 11..=255u8 {
             assert_eq!(Message::decode(&[tag]), Err(WireError::UnknownTag(tag)));
         }
         assert_eq!(Message::decode(&[]), Err(WireError::Truncated));

@@ -32,6 +32,12 @@ pub const COORDINATOR: u64 = u64::MAX;
 /// indices are always far below this.
 pub const BROADCAST: u64 = u64::MAX - 1;
 
+/// The shuffler's address: where clients in a shuffled round send their
+/// one-bit submissions instead of [`COORDINATOR`]. The shuffler strips the
+/// sender identity from everything it forwards, so frames *from* this
+/// address carry no (client, frame) linkage.
+pub const SHUFFLER: u64 = u64::MAX - 2;
+
 /// A framed message in flight.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {

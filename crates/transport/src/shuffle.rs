@@ -1,0 +1,563 @@
+//! The shuffle-model trust tier: a shuffler session between clients and
+//! the coordinator.
+//!
+//! Pure LDP needs no trust but pays in noise; secure aggregation buys
+//! central-DP accuracy with expensive masking rounds. The shuffle model
+//! sits between: each client still runs the cheap ε₀-LDP randomized
+//! response, but submits the single bit to a *shuffler* instead of the
+//! coordinator. The shuffler buffers the wave, strips every envelope's
+//! sender identity, applies a seeded permutation, and forwards one
+//! anonymized [`ShuffleMessage::Batch`] — the coordinator session never
+//! observes a (client, frame) linkage, which is exactly the precondition
+//! of the amplification-by-shuffling bound in
+//! [`fednum_core::privacy::amplification`]: `n` shuffled ε₀-LDP reports
+//! satisfy central (ε, δ)-DP with ε ≪ ε₀ for large cohorts.
+//!
+//! ```text
+//!  client                shuffler                coordinator
+//!    │ ── Submit ──────────▶ │                       │   collect wave
+//!    │                       │  (strip id, permute)  │
+//!    │                       │ ── Batch ───────────▶ │   tally
+//!    │ ◀──────────────────────────────────── Publish │   publish
+//! ```
+//!
+//! **Threat model.** The shuffler and the coordinator must not collude:
+//! the shuffler sees (client, bit) pairs but no aggregate; the coordinator
+//! sees the anonymized multiset but no identities. Either party alone
+//! learns no more than the amplified central guarantee allows (each bit is
+//! still ε₀-LDP against the shuffler itself). A colluding pair collapses
+//! the tier back to plain LDP — the ledger's local-ε fallback is exactly
+//! the guarantee that survives collusion.
+//!
+//! **Determinism.** The session draws from the caller's RNG in a fixed
+//! order (pool shuffle, bit assignment, then per client dropout and
+//! randomized response) before any frame crosses the transport, and the
+//! permutation seed is hash-derived via [`mix`] — never drawn from the
+//! session RNG. A shuffled round is therefore bit-identical across
+//! InMemory/SimNet/TCP transports per seed, and its estimate and traffic
+//! ledger are invariant under the permutation seed (the batch length and
+//! the per-bit tally are both permutation-independent).
+
+use fednum_core::accumulator::BitAccumulator;
+use fednum_core::bits::bit;
+use fednum_core::privacy::{Amplification, PrivacyLedger, ShuffleCharge};
+use fednum_core::protocol::basic::BasicBitPushing;
+use fednum_core::wire::ShuffleMessage;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use fednum_fedsim::dropout::Fate;
+use fednum_fedsim::error::FedError;
+use fednum_fedsim::round::{DegradedMode, FederatedMeanConfig, FederatedOutcome, RobustnessReport};
+use fednum_fedsim::traffic::TrafficStats;
+use fednum_fedsim::validation::RejectionCounts;
+
+use crate::coordinator::{debias_sums, drain_counting};
+use crate::message::{Message, Publish};
+use crate::net::{Envelope, Transport, COORDINATOR, SHUFFLER};
+use crate::scheduler::mix;
+use crate::session::MultiSessionEngine;
+
+/// Virtual-time spacing between consecutive client submissions — distinct
+/// send times make poll order equal pool order on every transport.
+const STEP: f64 = 3e-9;
+/// Session-seed tag for the default permutation seed, so it is independent
+/// of every other hash-derived stream in the round.
+const SHUFFLE_TAG: u64 = 0x5AFF_1E2D_8C4B_7A93;
+
+/// Configuration of the shuffle tier for one round.
+///
+/// Built fail-closed via [`ShuffleConfig::try_new`]: an invalid δ is
+/// rejected before anything runs, so a shuffled round can never charge a
+/// guarantee stated at a meaningless failure probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShuffleConfig {
+    delta: f64,
+    permutation_seed: Option<u64>,
+}
+
+impl ShuffleConfig {
+    /// A shuffle tier whose amplified central guarantee is stated at
+    /// failure probability `delta`.
+    ///
+    /// # Errors
+    /// [`FedError::InvalidConfig`] unless `delta` lies in (0, 1).
+    pub fn try_new(delta: f64) -> Result<Self, FedError> {
+        if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+            return Err(FedError::InvalidConfig(format!(
+                "shuffle delta must lie in (0, 1), got {delta}"
+            )));
+        }
+        Ok(Self {
+            delta,
+            permutation_seed: None,
+        })
+    }
+
+    /// Overrides the shuffler's permutation seed (hash-derived from the
+    /// session seed by default). The published estimate and traffic
+    /// ledger are invariant under this seed — only the batch's entry
+    /// order changes.
+    #[must_use]
+    pub fn with_permutation_seed(mut self, seed: u64) -> Self {
+        self.permutation_seed = Some(seed);
+        self
+    }
+
+    /// The failure probability δ the amplified guarantee is stated at.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+}
+
+/// What a shuffled round published: the usual flat-round report plus the
+/// privacy charge the shuffle tier certified.
+#[derive(Debug, Clone)]
+pub struct ShuffledOutcome {
+    /// The flat-round report (estimate, cohort, traffic — the `Shuffle`
+    /// phase carries both the submissions and the batch).
+    pub round: FederatedOutcome,
+    /// The ε the round charged: amplified central (ε, δ) when the cohort
+    /// met the bound's validity threshold, the conservative local ε₀
+    /// otherwise.
+    pub charge: ShuffleCharge,
+}
+
+/// Runs one shuffled round: clients submit ε₀-randomized bits to the
+/// shuffler session, the shuffler forwards an anonymized permuted batch,
+/// and the coordinator session tallies it and publishes. The ledger (when
+/// present) charges every reporter the *amplified* epsilon at the actual
+/// batch size, falling back to the local ε₀ below the bound's validity
+/// threshold.
+///
+/// # Errors
+/// [`FedError::InvalidConfig`] when the protocol has no local randomizer
+/// or the codec is deeper than the one-byte bit index allows; otherwise
+/// the usual typed round failures ([`FedError::NoReports`],
+/// [`FedError::CohortTooSmall`], [`FedError::Budget`]).
+#[allow(clippy::too_many_lines)]
+pub(crate) fn run_shuffled_session(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    shuffle: &ShuffleConfig,
+    ledger: Option<&mut PrivacyLedger>,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<ShuffledOutcome, FedError> {
+    if values.is_empty() {
+        return Err(FedError::PopulationTooSmall { got: 0, need: 1 });
+    }
+    let Some(rr) = config.protocol.privacy.as_ref() else {
+        return Err(FedError::InvalidConfig(
+            "a shuffled round amplifies a local randomizer; set \
+             `config.protocol.privacy` (randomized response) first"
+                .into(),
+        ));
+    };
+    let codec = config.protocol.codec;
+    let bits = codec.bits();
+    if bits > 256 {
+        return Err(FedError::InvalidConfig(format!(
+            "shuffle submissions carry a one-byte bit index; codec depth \
+             {bits} exceeds 256"
+        )));
+    }
+    let amplification = Amplification::try_new(rr.epsilon(), shuffle.delta)?;
+    let (codes, clip_fraction) = codec.encode_all(values);
+    let round_id = config.session_seed;
+    let window_len = config.latency.as_ref().map_or(1.0, |l| l.timeout);
+
+    // Every RNG draw happens here, before any frame crosses the transport:
+    // pool order, bit assignment, then per client dropout fate and the
+    // randomized-response flip. Transport behaviour can no longer perturb
+    // the stream, which is what makes the round bit-identical across
+    // InMemory/SimNet/TCP per seed.
+    let mut pool: Vec<usize> = (0..codes.len()).collect();
+    pool.shuffle(rng);
+    let assignment = config
+        .protocol
+        .sampling
+        .assign(config.protocol.assignment, pool.len(), rng);
+    let mut submissions: Vec<(usize, u8, bool)> = Vec::new();
+    for (slot, &client) in pool.iter().enumerate() {
+        let fate = config.dropout.sample(rng);
+        if fate == Fate::DropsBeforeReport {
+            continue;
+        }
+        let j = assignment[slot];
+        let raw = bit(codes[client], j);
+        let sent = rr.flip(raw, rng);
+        submissions.push((client, j as u8, sent));
+    }
+
+    let mut traffic = TrafficStats::new();
+    let mut engine = MultiSessionEngine::new(transport, 0.0);
+
+    // Session 1 — the shuffler collects the wave. The buffer keeps only
+    // (bit index, bit): sender identity is dropped at this line and never
+    // reaches the coordinator session.
+    let mut buffered: Vec<(u8, bool)> = Vec::new();
+    {
+        let mut slot = engine.open_session();
+        slot.open_window(0.0, window_len);
+        for (k, &(client, bit_index, sent)) in submissions.iter().enumerate() {
+            slot.send(Envelope {
+                from: client as u64,
+                to: SHUFFLER,
+                sent_at: k as f64 * STEP,
+                payload: Message::Shuffle(ShuffleMessage::Submit {
+                    round_id,
+                    bit_index,
+                    bit: sent,
+                })
+                .encode(),
+            });
+        }
+        while let Some((_, env)) = slot.poll() {
+            let Ok(msg) = Message::decode(&env.payload) else {
+                continue;
+            };
+            traffic.record(msg.phase(), msg.direction(), env.payload.len() as u64);
+            if let Message::Shuffle(ShuffleMessage::Submit {
+                round_id: r,
+                bit_index,
+                bit: b,
+            }) = msg
+            {
+                if r == round_id && u32::from(bit_index) < bits {
+                    buffered.push((bit_index, b));
+                }
+            }
+        }
+    }
+
+    // The seeded permutation: mix-based Fisher–Yates, hash-derived so the
+    // session RNG stream is untouched (the parity contract) and the same
+    // seed always produces the same batch order.
+    let mut s = mix(shuffle
+        .permutation_seed
+        .unwrap_or(config.session_seed ^ SHUFFLE_TAG)
+        ^ round_id);
+    for i in (1..buffered.len()).rev() {
+        s = mix(s);
+        let j = (s % (i as u64 + 1)) as usize;
+        buffered.swap(i, j);
+    }
+
+    // Session 2 — the shuffler forwards one anonymized batch; the
+    // coordinator tallies it. Nothing in the batch (or its envelope)
+    // identifies a client.
+    let mut ones = vec![0u64; bits as usize];
+    let mut counts = vec![0u64; bits as usize];
+    let mut batch_entries = 0u64;
+    {
+        let mut slot = engine.open_session();
+        slot.send(Envelope {
+            from: SHUFFLER,
+            to: COORDINATOR,
+            sent_at: 0.0,
+            payload: Message::Shuffle(ShuffleMessage::Batch {
+                round_id,
+                entries: buffered,
+            })
+            .encode(),
+        });
+        while let Some((_, env)) = slot.poll() {
+            let Ok(msg) = Message::decode(&env.payload) else {
+                continue;
+            };
+            traffic.record(msg.phase(), msg.direction(), env.payload.len() as u64);
+            if let Message::Shuffle(ShuffleMessage::Batch {
+                round_id: r,
+                entries,
+            }) = msg
+            {
+                if r != round_id {
+                    continue;
+                }
+                for (bit_index, b) in entries {
+                    let j = usize::from(bit_index);
+                    counts[j] += 1;
+                    ones[j] += u64::from(b);
+                    batch_entries += 1;
+                }
+            }
+        }
+    }
+
+    if batch_entries == 0 {
+        return Err(FedError::NoReports);
+    }
+    let reporters = submissions.len();
+    if reporters < config.retry.min_cohort {
+        return Err(FedError::CohortTooSmall {
+            survivors: reporters,
+            minimum: config.retry.min_cohort,
+        });
+    }
+
+    // The privacy charge, at the batch size the coordinator actually
+    // received: amplified when the validity threshold is met, local ε₀
+    // otherwise. The ledger bills submitters in pool order — this is
+    // bookkeeping the round driver performs for its own cohort, not
+    // something the coordinator learns from the anonymized batch.
+    let charge = amplification.charge(batch_entries);
+    if let Some(ledger) = ledger {
+        for &(client, _, _) in &submissions {
+            ledger.charge_round(client as u64, round_id, 1, charge.epsilon)?;
+        }
+    }
+
+    let acc = BitAccumulator::from_parts(debias_sums(&ones, &counts, Some(rr)), counts.clone());
+    let outcome = BasicBitPushing::new(config.protocol.clone()).finish(acc, clip_fraction);
+
+    // Publish: the result broadcast, one closing frame.
+    {
+        let mut slot = engine.open_session();
+        slot.send(Envelope {
+            from: COORDINATOR,
+            to: 0,
+            sent_at: 0.0,
+            payload: Message::Publish(Publish {
+                round_id,
+                estimate: outcome.estimate,
+                reports: batch_entries,
+                feedback: Vec::new(),
+            })
+            .encode(),
+        });
+        drain_counting(&mut slot, &mut traffic);
+    }
+
+    let base_probs = config.protocol.sampling.probs();
+    let starved_bits: Vec<u32> = base_probs
+        .iter()
+        .zip(&counts)
+        .enumerate()
+        .filter(|(_, (&p, &c))| p > 0.0 && c < config.min_reports_per_bit)
+        .map(|(j, _)| j as u32)
+        .collect();
+    let degraded = if starved_bits.is_empty() {
+        DegradedMode::Clean
+    } else {
+        DegradedMode::Partial
+    };
+
+    Ok(ShuffledOutcome {
+        round: FederatedOutcome {
+            outcome,
+            contacted: values.len(),
+            reports: batch_entries,
+            waves_used: 1,
+            completion_time: window_len,
+            starved_bits,
+            secagg: None,
+            robustness: RobustnessReport {
+                degraded,
+                rejections: RejectionCounts::default(),
+                late_frames: 0,
+                salvage: None,
+                secagg_retries: 0,
+                faults_injected: 0,
+                backoff_time: 0.0,
+                traffic,
+            },
+        },
+        charge,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::InMemoryTransport;
+    use fednum_core::encoding::FixedPointCodec;
+    use fednum_core::privacy::RandomizedResponse;
+    use fednum_core::protocol::basic::BasicConfig;
+    use fednum_core::sampling::BitSampling;
+    use fednum_fedsim::traffic::{Direction, TrafficPhase};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base_config(bits: u32, epsilon: f64) -> FederatedMeanConfig {
+        FederatedMeanConfig::new(
+            BasicConfig::new(
+                FixedPointCodec::integer(bits),
+                BitSampling::geometric(bits, 1.0),
+            )
+            .with_privacy(RandomizedResponse::from_epsilon(epsilon)),
+        )
+    }
+
+    fn values(n: usize, hi: u64) -> Vec<f64> {
+        (0..n).map(|i| (i as u64 % hi) as f64).collect()
+    }
+
+    fn run(
+        cfg: &FederatedMeanConfig,
+        shuffle: &ShuffleConfig,
+        vs: &[f64],
+        seed: u64,
+        ledger: Option<&mut PrivacyLedger>,
+    ) -> ShuffledOutcome {
+        let mut t = InMemoryTransport::new(seed);
+        run_shuffled_session(
+            vs,
+            cfg,
+            shuffle,
+            ledger,
+            &mut t,
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn invalid_delta_is_rejected_up_front() {
+        for bad in [0.0, 1.0, -0.1, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                ShuffleConfig::try_new(bad),
+                Err(FedError::InvalidConfig(_))
+            ));
+        }
+        assert!(ShuffleConfig::try_new(1e-6).is_ok());
+    }
+
+    #[test]
+    fn missing_local_randomizer_is_rejected() {
+        let cfg = FederatedMeanConfig::new(BasicConfig::new(
+            FixedPointCodec::integer(6),
+            BitSampling::geometric(6, 1.0),
+        ));
+        let sh = ShuffleConfig::try_new(1e-6).unwrap();
+        let mut t = InMemoryTransport::new(1);
+        let err = run_shuffled_session(
+            &values(100, 10),
+            &cfg,
+            &sh,
+            None,
+            &mut t,
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn shuffled_round_tracks_the_true_mean() {
+        let vs = values(60_000, 64);
+        let cfg = base_config(6, 1.0);
+        let sh = ShuffleConfig::try_new(1e-6).unwrap();
+        let out = run(&cfg, &sh, &vs, 7, None);
+        let truth = vs.iter().sum::<f64>() / vs.len() as f64;
+        assert!(
+            (out.round.outcome.estimate - truth).abs() < 1.5,
+            "estimate {} vs truth {truth}",
+            out.round.outcome.estimate
+        );
+        assert!(out.charge.amplified, "60k cohort must clear the threshold");
+        assert!(out.charge.epsilon < 1.0);
+    }
+
+    #[test]
+    fn estimate_and_traffic_invariant_under_permutation_seed() {
+        let vs = values(5_000, 32);
+        let cfg = base_config(5, 1.0);
+        let base = ShuffleConfig::try_new(1e-6).unwrap();
+        let reference = run(&cfg, &base, &vs, 11, None);
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let out = run(&cfg, &base.with_permutation_seed(seed), &vs, 11, None);
+            assert_eq!(
+                out.round.outcome.estimate.to_bits(),
+                reference.round.outcome.estimate.to_bits(),
+                "permutation seed {seed} changed the estimate"
+            );
+            assert_eq!(
+                out.round.robustness.traffic, reference.round.robustness.traffic,
+                "permutation seed {seed} changed the traffic ledger"
+            );
+            assert_eq!(
+                out.charge.epsilon.to_bits(),
+                reference.charge.epsilon.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_phase_books_submissions_and_one_batch() {
+        let vs = values(2_000, 16);
+        let cfg = base_config(4, 1.0);
+        let sh = ShuffleConfig::try_new(1e-6).unwrap();
+        let out = run(&cfg, &sh, &vs, 3, None);
+        let tr = &out.round.robustness.traffic;
+        let up = tr.get(TrafficPhase::Shuffle, Direction::Uplink);
+        // Every submission plus exactly one anonymized batch frame.
+        assert_eq!(up.messages, out.round.reports + 1);
+        assert_eq!(
+            tr.get(TrafficPhase::Shuffle, Direction::Downlink).messages,
+            0
+        );
+        assert_eq!(tr.get(TrafficPhase::Collect, Direction::Uplink).messages, 0);
+    }
+
+    #[test]
+    fn ledger_charges_amplified_epsilon_below_local() {
+        let vs = values(50_000, 32);
+        let cfg = base_config(5, 1.0);
+        let sh = ShuffleConfig::try_new(1e-6).unwrap();
+        let mut ledger = PrivacyLedger::new();
+        let out = run(&cfg, &sh, &vs, 5, Some(&mut ledger));
+        assert!(out.charge.amplified);
+        assert!(out.charge.epsilon < 1.0);
+        assert_eq!(out.charge.delta, 1e-6);
+        assert!(ledger.clients() > 0);
+        // Every billed account carries the amplified rate, not the local one.
+        let acct = ledger.account(vs.len() as u64 / 2);
+        assert_eq!(acct.epsilon, out.charge.epsilon);
+        assert_eq!(acct.bits, 1);
+    }
+
+    #[test]
+    fn small_cohort_falls_back_to_local_epsilon() {
+        let vs = values(200, 16);
+        let cfg = base_config(4, 1.0);
+        let sh = ShuffleConfig::try_new(1e-6).unwrap();
+        let mut ledger = PrivacyLedger::new();
+        let out = run(&cfg, &sh, &vs, 9, Some(&mut ledger));
+        assert!(!out.charge.amplified, "200 clients sit below the threshold");
+        assert_eq!(out.charge.epsilon, 1.0);
+        assert_eq!(out.charge.delta, 0.0);
+        assert_eq!(ledger.account(0).epsilon, 1.0);
+    }
+
+    #[test]
+    fn transports_agree_bit_for_bit() {
+        let vs = values(3_000, 32);
+        let cfg = base_config(5, 1.0);
+        let sh = ShuffleConfig::try_new(1e-6).unwrap();
+        let mem = run(&cfg, &sh, &vs, 21, None);
+        let mut sim = crate::net::SimNetTransport::new(21);
+        let over_sim = run_shuffled_session(
+            &vs,
+            &cfg,
+            &sh,
+            None,
+            &mut sim,
+            &mut StdRng::seed_from_u64(21),
+        )
+        .unwrap();
+        assert_eq!(
+            mem.round.outcome.estimate.to_bits(),
+            over_sim.round.outcome.estimate.to_bits()
+        );
+        assert_eq!(
+            mem.round.robustness.traffic,
+            over_sim.round.robustness.traffic
+        );
+        assert_eq!(
+            mem.charge.epsilon.to_bits(),
+            over_sim.charge.epsilon.to_bits()
+        );
+    }
+}

@@ -18,13 +18,14 @@ use std::path::PathBuf;
 
 use fednum_core::encoding::FixedPointCodec;
 use fednum_core::privacy::durable::DurableLedger;
+use fednum_core::privacy::RandomizedResponse;
 use fednum_core::protocol::basic::BasicConfig;
 use fednum_core::sampling::BitSampling;
 use fednum_core::wire::CampaignMessage;
 use fednum_fedsim::round::FederatedMeanConfig;
 use fednum_fedsim::{DropoutModel, LatencyModel, RetryPolicy};
 use fednum_transport::daemon::{self, DaemonConfig, RoundStream};
-use fednum_transport::{InMemoryTransport, RoundBuilder, TcpTransport, Transport};
+use fednum_transport::{InMemoryTransport, RoundBuilder, ShuffleConfig, TcpTransport, Transport};
 
 const ROUNDS: u64 = 6;
 
@@ -307,4 +308,190 @@ fn daemon_restart_resumes_campaign_with_identical_ledger() {
     let (index, _, _, digest) = rounds.open_campaign(&campaign).unwrap();
     assert_eq!(index, E2E_ROUNDS);
     assert_eq!(digest, ref_digest);
+}
+
+fn shuffled_round_config(seed: u64) -> FederatedMeanConfig {
+    // No dropout: every admitted client reports, so the anonymized batch
+    // size — and therefore the amplified epsilon — is fixed by the window.
+    let protocol = BasicConfig::new(FixedPointCodec::integer(8), BitSampling::geometric(8, 1.0))
+        .with_privacy(RandomizedResponse::from_epsilon(1.0));
+    let mut cfg = FederatedMeanConfig::new(protocol)
+        .with_retry(RetryPolicy {
+            max_secagg_retries: 2,
+            base_backoff: 0.5,
+            max_backoff: 8.0,
+            min_cohort: 3,
+        })
+        .with_latency(LatencyModel::new(0.5, 0.6, 30.0));
+    cfg.session_seed = seed;
+    cfg
+}
+
+/// Runs one shuffled round and returns the estimate's bit pattern plus the
+/// epsilon the shuffle tier certified.
+fn run_shuffled(
+    vals: &[f64],
+    cfg: &FederatedMeanConfig,
+    shuffle: ShuffleConfig,
+    transport: &mut dyn Transport,
+) -> (u64, f64, bool) {
+    let out = RoundBuilder::new(cfg.clone())
+        .shuffled(shuffle)
+        .seed(cfg.session_seed)
+        .via(transport)
+        .run(vals)
+        .unwrap();
+    let sh = out.shuffled().unwrap();
+    (
+        sh.round.outcome.estimate.to_bits(),
+        sh.charge.epsilon,
+        sh.charge.amplified,
+    )
+}
+
+/// The shuffle-tier replay case: a live TCP campaign of **shuffled** rounds
+/// whose durable budget charges the *amplified* central epsilon — killed
+/// without a flush mid-round-2, restarted on the same state directory, the
+/// interrupted round replayed bit-identically, and the final digest equal
+/// to the uninterrupted reference's. The charged rate must sit strictly
+/// below the local ε₀ the randomizer ran at.
+#[test]
+fn daemon_restart_replays_shuffled_campaign_round_at_amplified_epsilon() {
+    const E2E_ROUNDS: u64 = 2;
+    const LOCAL_EPSILON: f64 = 1.0;
+    let shuffle = ShuffleConfig::try_new(1e-6).unwrap();
+    // Disjoint 2 000-client windows: big enough to clear the amplification
+    // bound's validity threshold, disjoint so every round charges fresh
+    // clients and the batch size is the window size exactly.
+    let shuffle_window = |r: u64| -> Vec<u64> { (r * 2_000..r * 2_000 + 2_000).collect() };
+    let client_value = |c: u64| ((c * 41 + 5) % 200) as f64;
+
+    // Probe the amplified rate once, in memory: the campaign policy bills
+    // exactly what the shuffle tier certifies for a 2 000-entry batch.
+    let probe_cfg = shuffled_round_config(0xF0);
+    let probe_vals: Vec<f64> = shuffle_window(0).iter().map(|&c| client_value(c)).collect();
+    let mut probe_mem = InMemoryTransport::new(probe_cfg.session_seed ^ 0xFEED);
+    let (_, amplified_epsilon, amplified) =
+        run_shuffled(&probe_vals, &probe_cfg, shuffle, &mut probe_mem);
+    assert!(amplified, "2 000 reports must clear the validity threshold");
+    assert!(
+        amplified_epsilon < LOCAL_EPSILON,
+        "amplified ε {amplified_epsilon} must sit strictly below local ε₀ {LOCAL_EPSILON}"
+    );
+
+    let campaign = CampaignMessage {
+        campaign_id: 99,
+        round_index: 0,
+        max_bits: Some(200),
+        max_epsilon: Some(5.0),
+        cooldown_rounds: 1,
+        bits_per_round: 1,
+        epsilon_per_round: amplified_epsilon,
+    };
+
+    // Uninterrupted reference, hand-threaded in memory.
+    let mut reference = DurableLedger::in_memory(campaign);
+    let mut ref_estimates = Vec::new();
+    for r in 0..E2E_ROUNDS {
+        let cfg = shuffled_round_config(0xF0 + r);
+        let admission = reference.admit_round(r, &shuffle_window(r)).unwrap();
+        assert_eq!(admission.admitted.len(), 2_000, "round {r} admits everyone");
+        let vals: Vec<f64> = admission
+            .admitted
+            .iter()
+            .map(|&c| client_value(c))
+            .collect();
+        let mut mem = InMemoryTransport::new(cfg.session_seed ^ 0xFEED);
+        let (estimate, epsilon, amplified) = run_shuffled(&vals, &cfg, shuffle, &mut mem);
+        assert!(amplified, "round {r}");
+        assert_eq!(
+            epsilon.to_bits(),
+            amplified_epsilon.to_bits(),
+            "round {r}: fixed batch size must certify a fixed amplified rate"
+        );
+        ref_estimates.push(estimate);
+        reference.commit_round(r).unwrap();
+    }
+    let ref_digest = reference.digest();
+
+    // Daemon A: round 0 committed, round 1 run but NEVER committed — then
+    // torn down without a flush.
+    let dir = tempdir("shuffle-restart");
+    let rounds = RoundStream::recover(&dir, 2).unwrap();
+    let handle_a = daemon::spawn_with_state(DaemonConfig::default(), rounds).unwrap();
+    let mut tcp = TcpTransport::connect(handle_a.addr(), 0xFEED).unwrap();
+    tcp.begin_campaign(&campaign).unwrap();
+    for r in 0..E2E_ROUNDS {
+        let cfg = shuffled_round_config(0xF0 + r);
+        let admission = tcp
+            .request_round(
+                r,
+                cfg.session_seed ^ 0xFEED,
+                cfg.session_seed,
+                &shuffle_window(r),
+            )
+            .unwrap();
+        let vals: Vec<f64> = admission
+            .admitted
+            .iter()
+            .map(|&c| client_value(c))
+            .collect();
+        let (estimate, epsilon, _) = run_shuffled(&vals, &cfg, shuffle, &mut tcp);
+        assert_eq!(estimate, ref_estimates[r as usize], "round {r} estimate");
+        assert_eq!(epsilon.to_bits(), amplified_epsilon.to_bits(), "round {r}");
+        if r < E2E_ROUNDS - 1 {
+            tcp.commit_round(r).unwrap();
+        }
+    }
+    drop(tcp);
+    handle_a.request_shutdown();
+    drop(handle_a);
+
+    // Daemon B: recovery discards the staged round-1 charges and resumes
+    // at round 1; the replay is bit-identical and lands on the reference
+    // digest.
+    let rounds = RoundStream::recover(&dir, 2).unwrap();
+    let recovery = rounds.recovery_stats();
+    assert_eq!(recovery.campaigns, 1);
+    assert!(
+        recovery.charges_discarded > 0,
+        "staged shuffled-round charges must be discarded: {recovery:?}"
+    );
+    let handle_b = daemon::spawn_with_state(DaemonConfig::default(), rounds).unwrap();
+    let mut tcp = TcpTransport::connect(handle_b.addr(), 0xFEED).unwrap();
+    let status = tcp.begin_campaign(&campaign).unwrap();
+    assert_eq!(status.round_index, E2E_ROUNDS - 1, "resume point");
+    {
+        let r = E2E_ROUNDS - 1;
+        let cfg = shuffled_round_config(0xF0 + r);
+        let admission = tcp
+            .request_round(
+                r,
+                cfg.session_seed ^ 0xFEED,
+                cfg.session_seed,
+                &shuffle_window(r),
+            )
+            .unwrap();
+        assert!(!admission.already_committed, "round was never committed");
+        let vals: Vec<f64> = admission
+            .admitted
+            .iter()
+            .map(|&c| client_value(c))
+            .collect();
+        let (estimate, epsilon, amplified) = run_shuffled(&vals, &cfg, shuffle, &mut tcp);
+        assert_eq!(
+            estimate, ref_estimates[r as usize],
+            "replayed shuffled round estimate"
+        );
+        assert!(amplified && epsilon < LOCAL_EPSILON);
+        let receipt = tcp.commit_round(r).unwrap();
+        assert_eq!(receipt.clients_charged, 2_000);
+        assert_eq!(
+            receipt.digest, ref_digest,
+            "resumed shuffled campaign's ledger is not bit-identical to the \
+             uninterrupted reference"
+        );
+    }
+    tcp.close().unwrap();
+    handle_b.shutdown().unwrap();
 }

@@ -24,8 +24,8 @@ use fednum_hiersec::HierSecConfig;
 use fednum_transport::daemon::{self, DaemonConfig, DaemonHandle};
 use fednum_transport::net::{Envelope, SimNetTransport, COORDINATOR};
 use fednum_transport::{
-    HierShardedOutcome, InMemoryTransport, RoundBuilder, ShardTransportFactory, TcpTransport,
-    Transport,
+    HierShardedOutcome, InMemoryTransport, RoundBuilder, ShardTransportFactory, ShuffleConfig,
+    TcpTransport, Transport,
 };
 
 const BITS: u32 = 8;
@@ -228,6 +228,76 @@ fn metered_rounds_bill_the_ledger_identically_over_tcp() {
         ledger_tcp.max_epsilon_per_client(),
         "epsilon totals diverge over TCP"
     );
+    tcp.close().expect("clean close");
+    handle.shutdown().expect("clean daemon shutdown");
+}
+
+/// The shuffle-tier acceptance gate: a shuffled round over a real loopback
+/// socket must be bit-identical — estimate, robustness telemetry, and the
+/// per-phase traffic ledger — to the same round over [`InMemoryTransport`],
+/// and the metered ledger must bill every reporter the *amplified* central
+/// epsilon, strictly below the local ε₀ the randomizer ran at.
+#[test]
+fn shuffled_rounds_over_loopback_match_in_memory_and_bill_amplified_epsilon() {
+    let handle = daemon();
+    let addr = handle.addr();
+    let local_epsilon = 1.0;
+    let mut cfg = base_config(0xB1);
+    cfg.protocol = BasicConfig::new(
+        FixedPointCodec::integer(BITS),
+        BitSampling::geometric(BITS, 1.0),
+    )
+    .with_privacy(RandomizedResponse::from_epsilon(local_epsilon));
+    let shuffle = ShuffleConfig::try_new(1e-6).unwrap();
+    let vals = values(5_000, cfg.session_seed);
+    let seed = cfg.session_seed ^ 0xD00D;
+
+    let mut ledger_mem = PrivacyLedger::new();
+    let mut mem = InMemoryTransport::new(seed);
+    let reference = RoundBuilder::new(cfg.clone())
+        .shuffled(shuffle)
+        .seed(cfg.session_seed)
+        .metered(&mut ledger_mem)
+        .via(&mut mem)
+        .run(&vals)
+        .map(|out| out.shuffled().unwrap().clone())
+        .unwrap();
+
+    let mut ledger_tcp = PrivacyLedger::new();
+    let mut tcp = TcpTransport::connect(addr, seed).expect("connect");
+    let over_tcp = RoundBuilder::new(cfg.clone())
+        .shuffled(shuffle)
+        .seed(cfg.session_seed)
+        .metered(&mut ledger_tcp)
+        .via(&mut tcp)
+        .run(&vals)
+        .map(|out| out.shuffled().unwrap().clone())
+        .unwrap();
+
+    assert_identical("shuffled", &reference.round, &over_tcp.round);
+    assert_eq!(
+        reference.charge.epsilon.to_bits(),
+        over_tcp.charge.epsilon.to_bits(),
+        "privacy charge diverges over TCP"
+    );
+    assert_eq!(ledger_mem, ledger_tcp, "metered ledgers diverge over TCP");
+
+    // The amplification bound must have engaged: a 5k cohort clears the
+    // validity threshold, so the billed rate sits strictly below ε₀.
+    assert!(over_tcp.charge.amplified, "cohort must clear the threshold");
+    assert!(
+        over_tcp.charge.epsilon < local_epsilon,
+        "amplified ε {} must be strictly below local ε₀ {local_epsilon}",
+        over_tcp.charge.epsilon
+    );
+    assert_eq!(
+        ledger_tcp.max_epsilon_per_client(),
+        over_tcp.charge.epsilon,
+        "ledger must bill the amplified rate, not the local one"
+    );
+
+    let wire = tcp.wire_metrics().expect("tcp meters the wire");
+    assert!(wire.frames_sent > 0 && wire.frames_received > 0);
     tcp.close().expect("clean close");
     handle.shutdown().expect("clean daemon shutdown");
 }

@@ -41,4 +41,4 @@ pub use fednum_workloads as workloads;
 
 // The unified entry point for every round flavor, hoisted to the crate
 // root: `fednum::RoundBuilder::new(config).run(&values)`.
-pub use fednum_transport::{RoundBuilder, RoundDetail, RoundOutcome};
+pub use fednum_transport::{RoundBuilder, RoundDetail, RoundOutcome, ShuffleConfig};
