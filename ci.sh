@@ -151,6 +151,90 @@ grep -q ' 0 protocol error(s)' "$FLEET_LOG" \
     || { echo "fleet participants tripped the daemon protocol"; exit 1; }
 rm -f "$FLEET_LOG"
 
+step "chaos smoke (fednumd + 50 fednumc through the fednumx fault proxy)"
+# The same 2-round fleet campaign, but every participant connection now
+# crosses the seeded fednumx fault-injection proxy: 30% of connections
+# are reset mid-frame, 10% stalled mid-frame for 100ms, 10% deliver a
+# duplicated frame, and every frame may be split at seeded boundaries
+# (corruption stays 0 so the zero-protocol-error gate below keeps its
+# meaning). Participants must reconnect with Resume and retransmit;
+# the daemon must dedup retransmitted reports. Gates: every fednumc
+# exits 0, both rounds complete with a full cohort and 0 abandoned, at
+# least one session actually resumed, no report was double-counted, and
+# the daemon saw zero protocol errors.
+CHAOS_LOG=$(mktemp)
+CHAOS_FIFO=$(mktemp -u)
+mkfifo "$CHAOS_FIFO"
+./target/release/fednumd --addr 127.0.0.1:0 \
+    --fleet-cohort 40 --fleet-population 50 --fleet-rounds 2 \
+    --fleet-heartbeat-ms 300 --fleet-liveness-ms 3000 \
+    --fleet-deadline-ms 30000 --fleet-seed 7 --fleet-value-seed 99 \
+    > "$CHAOS_LOG" < "$CHAOS_FIFO" &
+CHAOS_PID=$!
+exec 9> "$CHAOS_FIFO"
+rm -f "$CHAOS_FIFO"
+CHAOS_ADDR=""
+for _ in $(seq 100); do
+    CHAOS_ADDR=$(sed -n 's/^fednumd listening on //p' "$CHAOS_LOG")
+    [[ -n "$CHAOS_ADDR" ]] && break
+    sleep 0.1
+done
+[[ -n "$CHAOS_ADDR" ]] || { echo "chaos fednumd never came up"; exit 1; }
+CHAOS_X_LOG=$(mktemp)
+CHAOS_X_FIFO=$(mktemp -u)
+mkfifo "$CHAOS_X_FIFO"
+./target/release/fednumx --upstream "$CHAOS_ADDR" --seed 11 \
+    --reset-frac 0.3 --stall-frac 0.1 --dup-frac 0.1 --stall-ms 100 \
+    > "$CHAOS_X_LOG" < "$CHAOS_X_FIFO" &
+CHAOS_X_PID=$!
+exec 7> "$CHAOS_X_FIFO"
+rm -f "$CHAOS_X_FIFO"
+CHAOS_X_ADDR=""
+for _ in $(seq 100); do
+    CHAOS_X_ADDR=$(sed -n 's/^fednumx listening on //p' "$CHAOS_X_LOG")
+    [[ -n "$CHAOS_X_ADDR" ]] && break
+    sleep 0.1
+done
+[[ -n "$CHAOS_X_ADDR" ]] || { echo "fednumx never came up"; exit 1; }
+CHAOS_PIDS=()
+for id in $(seq 50); do
+    ./target/release/fednumc --addr "$CHAOS_X_ADDR" --client-id "$id" \
+        --retries 20 --backoff-ms 25 --max-seconds 120 > /dev/null &
+    CHAOS_PIDS+=($!)
+done
+for pid in "${CHAOS_PIDS[@]}"; do
+    wait "$pid" || { echo "a fednumc participant failed under chaos"; exit 1; }
+done
+wait "$CHAOS_PID" \
+    || { echo "chaos fednumd exited unclean"; cat "$CHAOS_LOG"; exit 1; }
+exec 9>&-
+exec 7>&-
+wait "$CHAOS_X_PID" \
+    || { echo "fednumx exited unclean"; cat "$CHAOS_X_LOG"; exit 1; }
+cat "$CHAOS_LOG"
+cat "$CHAOS_X_LOG"
+[[ $(grep -c 'fednumd: fleet round .* 0 abandoned$' "$CHAOS_LOG") -eq 2 ]] \
+    || { echo "chaos rounds did not all complete cleanly"; exit 1; }
+# A double-counted report would overfill the cohort: both rounds must
+# report exactly cohort-many accepted reports.
+[[ $(grep -c '40 report(s) from a cohort of 40' "$CHAOS_LOG") -eq 2 ]] \
+    || { echo "a chaos round did not gather exactly its cohort"; exit 1; }
+grep -Eq 'fleet resilience: [1-9][0-9]* resume' "$CHAOS_LOG" \
+    || { echo "no session ever resumed under chaos"; exit 1; }
+grep -q ' 0 protocol error(s)' "$CHAOS_LOG" \
+    || { echo "chaos faults tripped the daemon protocol"; exit 1; }
+grep -Eq '[1-9][0-9]* reset' "$CHAOS_X_LOG" \
+    || { echo "the fault proxy never injected a reset"; exit 1; }
+rm -f "$CHAOS_LOG" "$CHAOS_X_LOG"
+
+step "bench_tcp --chaos smoke (recovery >=95%, overhead <=25%, bit-identical)"
+# Fault-free vs chaotic campaign (reference fault schedule through the
+# in-process proxy) with the same seed; the binary enforces >=20% of
+# connections reset, >=95% faulted-session recovery, <=25% round-wall
+# overhead, zero double-counts both arms, protocol errors == injected
+# corruptions exactly, and bit-identical per-round estimates.
+./target/release/bench_tcp --chaos --smoke
+
 step "amplification regression anchor (fixed (eps, n, delta) pinned to 1e-12)"
 # The shuffle tier's amplification-by-shuffling bound: three pinned
 # (local epsilon, cohort, delta) triples must reproduce their recorded

@@ -25,6 +25,7 @@
 //! bench_tcp --longitudinal [--quick|--smoke] [--out PATH]
 //! bench_tcp --fleet [--smoke] [--out PATH]
 //! bench_tcp --shuffle [--quick|--smoke] [--out PATH]
+//! bench_tcp --chaos [--smoke] [--out PATH]
 //! ```
 //!
 //! `--quick` shrinks the population for CI smoke runs; the frames/s gate
@@ -575,6 +576,265 @@ fn run_fleet(smoke: bool, out_path: &str) {
     }
 }
 
+/// The `--chaos` section: the same fleet campaign run twice — once
+/// straight to the daemon, once through the `netchaos` fault proxy on
+/// its reference schedule (30% mid-frame resets, 10% stalls, 5%
+/// duplicates, 5% corruptions, splits + jitter). **Gates: every faulted
+/// session recovers to a clean dismissal at ≥ `CHAOS_GATE_RECOVERY`,
+/// the chaotic campaign's wall-clock overhead stays ≤
+/// `CHAOS_GATE_OVERHEAD`, and the published estimates are bit-identical
+/// to the fault-free run's.**
+fn run_chaos(smoke: bool, out_path: &str) {
+    use fednum_transport::fleet::client::ClientPool;
+    use fednum_transport::fleet::{FleetConfig, FleetLedger, FleetRoundReport};
+    use fednum_transport::netchaos::{reference_schedule, ChaosProxy, ChaosStats};
+    use fednum_transport::DaemonSnapshot;
+
+    const CHAOS_BITS: u32 = 8;
+    const CHAOS_SEED: u64 = 0xC4A0_5EED;
+    const CHAOS_GATE_RECOVERY: f64 = 0.95;
+    const CHAOS_GATE_OVERHEAD: f64 = 0.25;
+    const CHAOS_BUDGET_S: f64 = 120.0;
+    let (clients, cohort, rounds) = if smoke {
+        (120usize, 100usize, 5u64)
+    } else {
+        (360, 300, 12)
+    };
+
+    // Rounds are paced at one-second cadence — the deployment
+    // shape — so the overhead gate measures what chaos costs a
+    // *realistically* paced campaign, where faults mostly heal inside
+    // the pacing window, not a tight-loop one where every fault lands on
+    // the critical path.
+    let fleet = FleetConfig::try_new(cohort, clients, rounds, CHAOS_BITS, 200, 6_000)
+        .expect("valid fleet config")
+        .with_seed(CHAOS_SEED)
+        .with_value_seed(0xB17_5EED)
+        .with_round_deadline_ms(60_000)
+        .with_round_spacing_ms(1_000);
+
+    struct CampaignRun {
+        wall_s: f64,
+        reports: Vec<FleetRoundReport>,
+        ledger: FleetLedger,
+        snapshot: DaemonSnapshot,
+        faulted: usize,
+        recovered: usize,
+        chaos: Option<ChaosStats>,
+    }
+
+    // One full campaign; `chaotic` interposes the reference-schedule
+    // fault proxy between the pool and the daemon.
+    let run_campaign = |chaotic: bool| -> CampaignRun {
+        let daemon = fednum_transport::daemon::spawn(DaemonConfig {
+            fleet: Some(fleet.clone()),
+            ..DaemonConfig::default()
+        })
+        .expect("spawn fleet daemon");
+        let proxy = chaotic.then(|| {
+            let mut schedule = reference_schedule(daemon.addr().to_string(), CHAOS_SEED);
+            // The reference 400 ms stall is sized to the e2e suite's
+            // deadline tests; here it would dominate the wall-clock
+            // measurement. 100 ms is still a real mid-frame stall, just
+            // one a paced round can absorb.
+            schedule.stall_ms = 100;
+            ChaosProxy::spawn(schedule).expect("spawn chaos proxy")
+        });
+        let addr = proxy.as_ref().map_or(daemon.addr(), ChaosProxy::addr);
+
+        let ids: Vec<u64> = (1..=clients as u64).collect();
+        let start = Instant::now();
+        let mut pool = ClientPool::connect(addr, &[])
+            .expect("create pool")
+            .with_retries(20, 10);
+        for wave in ids.chunks(120) {
+            pool.join(addr, wave).expect("connect wave");
+            pool.pump(0).expect("pool reactor");
+        }
+        while !daemon.fleet_done() {
+            if start.elapsed().as_secs_f64() > CHAOS_BUDGET_S {
+                eprintln!(
+                    "FAIL: campaign did not complete within {CHAOS_BUDGET_S:.0}s \
+                     ({} connected, {} completed, {} dropped)",
+                    pool.connected(),
+                    pool.completed(),
+                    pool.dropped()
+                );
+                std::process::exit(1);
+            }
+            pool.pump(5).expect("pool reactor");
+        }
+        while !pool.done() {
+            if start.elapsed().as_secs_f64() > CHAOS_BUDGET_S + 30.0 {
+                eprintln!(
+                    "FAIL: {} session(s) never dismissed after the campaign",
+                    pool.connected()
+                );
+                std::process::exit(1);
+            }
+            pool.pump(5).expect("pool reactor");
+        }
+        let wall_s = start.elapsed().as_secs_f64();
+
+        let reports = daemon.fleet_reports();
+        let ledger = daemon.fleet_ledger().expect("fleet ledger");
+        let snapshot = daemon.snapshot();
+        let chaos = proxy.map(|p| p.shutdown().expect("proxy shutdown"));
+        daemon.shutdown().expect("clean daemon shutdown");
+        CampaignRun {
+            wall_s,
+            reports,
+            ledger,
+            snapshot,
+            faulted: pool.faulted(),
+            recovered: pool.recovered(),
+            chaos,
+        }
+    };
+
+    let plain = run_campaign(false);
+    let chaos = run_campaign(true);
+    let stats = chaos.chaos.expect("chaotic run has proxy stats");
+    let overhead = chaos.wall_s / plain.wall_s - 1.0;
+    let recovery = if chaos.faulted == 0 {
+        0.0
+    } else {
+        chaos.recovered as f64 / chaos.faulted as f64
+    };
+
+    println!(
+        "chaos: {rounds} rounds x {cohort}/{clients} cohort: fault-free {:.2}s, \
+         chaotic {:.2}s wall ({:+.1}% overhead)",
+        plain.wall_s,
+        chaos.wall_s,
+        overhead * 100.0
+    );
+    println!(
+        "chaos: {} resets, {} stalls, {} dups, {} corruptions over {} connection(s); \
+         {} of {} faulted session(s) recovered ({:.1}%), {} resume(s), {} dup report(s) \
+         absorbed",
+        stats.resets,
+        stats.stalls,
+        stats.dups,
+        stats.corruptions,
+        stats.connections,
+        chaos.recovered,
+        chaos.faulted,
+        recovery * 100.0,
+        chaos.ledger.resumes,
+        chaos.ledger.dup_reports
+    );
+
+    let mut failures = Vec::new();
+    if stats.resets < clients as u64 / 5 {
+        failures.push(format!(
+            "only {} mid-frame resets fired — below the 20% floor ({} connections)",
+            stats.resets,
+            clients / 5
+        ));
+    }
+    if chaos.faulted == 0 || recovery < CHAOS_GATE_RECOVERY {
+        failures.push(format!(
+            "recovery rate {:.3} below the {CHAOS_GATE_RECOVERY} gate \
+             ({} of {} faulted sessions recovered)",
+            recovery, chaos.recovered, chaos.faulted
+        ));
+    }
+    if overhead > CHAOS_GATE_OVERHEAD {
+        failures.push(format!(
+            "chaotic campaign wall overhead {:.1}% exceeds the {:.0}% gate",
+            overhead * 100.0,
+            CHAOS_GATE_OVERHEAD * 100.0
+        ));
+    }
+    for run in [&plain, &chaos] {
+        for (r, report) in run.reports.iter().enumerate() {
+            if report.reports != cohort as u64 || report.abandoned != 0 {
+                failures.push(format!(
+                    "round {r} incomplete: {} reports, {} abandoned",
+                    report.reports, report.abandoned
+                ));
+            }
+        }
+    }
+    let diverged = plain
+        .reports
+        .iter()
+        .zip(&chaos.reports)
+        .any(|(a, b)| a.estimate.to_bits() != b.estimate.to_bits());
+    if plain.reports.len() != chaos.reports.len() || diverged {
+        failures.push(
+            "chaotic estimates diverged from the fault-free run — faults leaked \
+             into the arithmetic"
+                .to_string(),
+        );
+    }
+    // Corruption is the one fault the daemon must *reject*: fail-closed,
+    // one dropped connection per garbled frame, and nothing else on the
+    // wire may read as protocol abuse.
+    if chaos.snapshot.protocol_errors != stats.corruptions {
+        failures.push(format!(
+            "daemon saw {} protocol error(s) but the proxy corrupted {} frame(s)",
+            chaos.snapshot.protocol_errors, stats.corruptions
+        ));
+    }
+    if plain.snapshot.protocol_errors != 0 {
+        failures.push(format!(
+            "fault-free run logged {} protocol error(s)",
+            plain.snapshot.protocol_errors
+        ));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"tcp-chaos\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"cohort\": {cohort},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"bits\": {CHAOS_BITS},");
+    let _ = writeln!(json, "  \"gate_recovery_rate\": {CHAOS_GATE_RECOVERY},");
+    let _ = writeln!(json, "  \"gate_overhead_frac\": {CHAOS_GATE_OVERHEAD},");
+    let _ = writeln!(
+        json,
+        "  \"fault_free\": {{\"wall_s\": {:.4}, \"protocol_errors\": {}}},",
+        plain.wall_s, plain.snapshot.protocol_errors
+    );
+    let _ = writeln!(
+        json,
+        "  \"chaotic\": {{\"wall_s\": {:.4}, \"faulted\": {}, \"recovered\": {}, \
+         \"resumes\": {}, \"dup_reports\": {}, \"protocol_errors\": {}}},",
+        chaos.wall_s,
+        chaos.faulted,
+        chaos.recovered,
+        chaos.ledger.resumes,
+        chaos.ledger.dup_reports,
+        chaos.snapshot.protocol_errors
+    );
+    let _ = writeln!(
+        json,
+        "  \"faults\": {{\"connections\": {}, \"resets\": {}, \"stalls\": {}, \
+         \"dups\": {}, \"corruptions\": {}}},",
+        stats.connections, stats.resets, stats.stalls, stats.dups, stats.corruptions
+    );
+    let _ = writeln!(json, "  \"recovery_rate\": {recovery:.4},");
+    let _ = writeln!(json, "  \"overhead_frac\": {overhead:.4},");
+    let _ = writeln!(json, "  \"estimates_bit_identical\": {},", !diverged);
+    let _ = writeln!(json, "  \"gate_passed\": {}", failures.is_empty());
+    json.push_str("}\n");
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -582,6 +842,7 @@ fn main() {
     let longitudinal = args.iter().any(|a| a == "--longitudinal");
     let fleet = args.iter().any(|a| a == "--fleet");
     let shuffle = args.iter().any(|a| a == "--shuffle");
+    let chaos = args.iter().any(|a| a == "--chaos");
     // Artifact-naming convention: smoke runs keep their own suffix so a
     // CI pass never overwrites a full run's numbers.
     let suffix = if smoke { "_smoke" } else { "" };
@@ -593,6 +854,8 @@ fn main() {
         .unwrap_or_else(|| {
             if fleet {
                 format!("results/BENCH_fleet{suffix}.json")
+            } else if chaos {
+                format!("results/BENCH_chaos{suffix}.json")
             } else if longitudinal {
                 format!("results/BENCH_longitudinal{suffix}.json")
             } else if shuffle {
@@ -603,6 +866,10 @@ fn main() {
         });
     if fleet {
         run_fleet(smoke, &out_path);
+        return;
+    }
+    if chaos {
+        run_chaos(smoke, &out_path);
         return;
     }
     if shuffle {

@@ -527,6 +527,27 @@ pub enum FleetMessage {
     /// Daemon → client: the engagement is over after `rounds` rounds;
     /// the client may disconnect.
     Done { rounds: u64 },
+    /// Client → daemon: re-rendezvous after a connection fault. Carries
+    /// the `session_token` from the original [`FleetMessage::RendezvousAck`]
+    /// as proof of identity and `report_nonce`, the count of reports the
+    /// client believes it has had acknowledged — the daemon uses both to
+    /// re-bind the session to the new connection and to deduplicate any
+    /// retransmitted [`FleetMessage::Report`] so a report is never counted
+    /// (or privacy-billed) twice.
+    Resume {
+        client_id: u64,
+        session_token: u64,
+        report_nonce: u64,
+    },
+    /// Daemon → client: the daemon is shedding load (accept storm or
+    /// backlog overflow); back off and retry in roughly `retry_after_ms`.
+    Busy { retry_after_ms: u64 },
+    /// Client → daemon: dismissal received. The daemon holds a dismissed
+    /// client's registration until this acknowledgement arrives (or the
+    /// resume grace lapses), so a [`FleetMessage::Done`] lost to a
+    /// connection fault is re-collected via [`FleetMessage::Resume`]
+    /// instead of stranding the client undismissed.
+    DoneAck { session_token: u64 },
 }
 
 const FLEET_TAG_RENDEZVOUS: u8 = 0x01;
@@ -538,6 +559,9 @@ const FLEET_TAG_COHORT_WAIT: u8 = 0x06;
 const FLEET_TAG_REPORT: u8 = 0x07;
 const FLEET_TAG_REPORT_ACK: u8 = 0x08;
 const FLEET_TAG_DONE: u8 = 0x09;
+const FLEET_TAG_RESUME: u8 = 0x0A;
+const FLEET_TAG_BUSY: u8 = 0x0B;
+const FLEET_TAG_DONE_ACK: u8 = 0x0C;
 
 impl FleetMessage {
     /// Encodes into an existing buffer (for embedding inside a framed
@@ -610,6 +634,24 @@ impl FleetMessage {
                 out.push(FLEET_TAG_DONE);
                 push_varint(out, rounds);
             }
+            FleetMessage::Resume {
+                client_id,
+                session_token,
+                report_nonce,
+            } => {
+                out.push(FLEET_TAG_RESUME);
+                push_varint(out, client_id);
+                push_varint(out, session_token);
+                push_varint(out, report_nonce);
+            }
+            FleetMessage::Busy { retry_after_ms } => {
+                out.push(FLEET_TAG_BUSY);
+                push_varint(out, retry_after_ms);
+            }
+            FleetMessage::DoneAck { session_token } => {
+                out.push(FLEET_TAG_DONE_ACK);
+                push_varint(out, session_token);
+            }
         }
     }
 
@@ -674,6 +716,17 @@ impl FleetMessage {
             FLEET_TAG_DONE => Ok(FleetMessage::Done {
                 rounds: read_varint(buf, pos)?,
             }),
+            FLEET_TAG_RESUME => Ok(FleetMessage::Resume {
+                client_id: read_varint(buf, pos)?,
+                session_token: read_varint(buf, pos)?,
+                report_nonce: read_varint(buf, pos)?,
+            }),
+            FLEET_TAG_BUSY => Ok(FleetMessage::Busy {
+                retry_after_ms: read_varint(buf, pos)?,
+            }),
+            FLEET_TAG_DONE_ACK => Ok(FleetMessage::DoneAck {
+                session_token: read_varint(buf, pos)?,
+            }),
             other => Err(WireError::UnknownTag(other)),
         }
     }
@@ -709,6 +762,8 @@ impl FleetMessage {
             FleetMessage::Rendezvous { .. }
                 | FleetMessage::Heartbeat { .. }
                 | FleetMessage::Report { .. }
+                | FleetMessage::Resume { .. }
+                | FleetMessage::DoneAck { .. }
         )
     }
 }
@@ -1120,6 +1175,61 @@ mod tests {
     }
 
     #[test]
+    fn decoder_accepts_frames_at_exactly_max_frame_len() {
+        // The boundary a fault-injection proxy will land on: a payload of
+        // exactly MAX_FRAME_LEN must stream through the decoder, one byte
+        // over must be rejected before buffering the body.
+        let payload = vec![0xA5u8; MAX_FRAME_LEN];
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        // Fragmented delivery: header split from body, body in two halves.
+        let header_len = stream.len() - payload.len();
+        dec.feed(&stream[..header_len]);
+        assert_eq!(dec.next_frame().unwrap(), None, "header alone: no frame");
+        let mid = header_len + payload.len() / 2;
+        dec.feed(&stream[header_len..mid]);
+        assert_eq!(dec.next_frame().unwrap(), None, "half a body: no frame");
+        dec.feed(&stream[mid..]);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), payload);
+        assert_eq!(dec.pending(), 0);
+
+        // One byte past the cap is unrecoverable from the header alone.
+        let mut over = Vec::new();
+        push_varint(&mut over, (MAX_FRAME_LEN + 1) as u64);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&over);
+        assert_eq!(
+            dec.next_frame(),
+            Err(WireError::InvalidField("frame length"))
+        );
+    }
+
+    #[test]
+    fn decoder_survives_splits_at_every_byte_boundary() {
+        // netchaos splits delivery at arbitrary byte offsets; the decoder
+        // must reassemble the identical frame sequence no matter where the
+        // cut lands — including inside the varint header.
+        let mut stream = Vec::new();
+        for msg in fleet_samples() {
+            write_frame(&mut stream, &msg.encode()).unwrap();
+        }
+        let expected: Vec<Vec<u8>> = fleet_samples().iter().map(FleetMessage::encode).collect();
+        for cut in 0..=stream.len() {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for chunk in [&stream[..cut], &stream[cut..]] {
+                dec.feed(chunk);
+                while let Some(f) = dec.next_frame().unwrap() {
+                    got.push(f);
+                }
+            }
+            assert_eq!(got, expected, "split at byte {cut} lost a frame");
+            assert_eq!(dec.pending(), 0, "split at byte {cut} left residue");
+        }
+    }
+
+    #[test]
     fn f64_helpers_round_trip_exact_bits() {
         for v in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, f64::MAX, f64::NAN] {
             let mut buf = Vec::new();
@@ -1273,6 +1383,15 @@ mod tests {
             },
             FleetMessage::ReportAck { round: 3 },
             FleetMessage::Done { rounds: 4 },
+            FleetMessage::Resume {
+                client_id: 42,
+                session_token: u64::MAX,
+                report_nonce: 1,
+            },
+            FleetMessage::Busy {
+                retry_after_ms: 250,
+            },
+            FleetMessage::DoneAck { session_token: 7 },
         ]
     }
 
@@ -1340,8 +1459,8 @@ mod tests {
     #[test]
     fn fleet_direction_split_is_total() {
         let (up, down): (Vec<_>, Vec<_>) = fleet_samples().into_iter().partition(|m| m.is_uplink());
-        assert_eq!(up.len(), 4); // rendezvous, heartbeat, 2× report
-        assert_eq!(down.len(), 6);
+        assert_eq!(up.len(), 6); // rendezvous, heartbeat, 2× report, resume, done-ack
+        assert_eq!(down.len(), 7);
     }
 
     #[test]

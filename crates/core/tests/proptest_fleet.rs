@@ -21,7 +21,7 @@ use proptest::prelude::*;
 /// Builds one frame from raw material: `kind` selects the variant, the
 /// integers fill its fields (truncated to each field's width).
 fn build_fleet(kind: u8, a: u64, b: u64, c: u64, d: u64, flag: bool) -> FleetMessage {
-    match kind % 9 {
+    match kind % 11 {
         0 => FleetMessage::Rendezvous {
             client_id: a,
             capabilities: b,
@@ -54,7 +54,14 @@ fn build_fleet(kind: u8, a: u64, b: u64, c: u64, d: u64, flag: bool) -> FleetMes
             bit: flag,
         },
         7 => FleetMessage::ReportAck { round: a },
-        _ => FleetMessage::Done { rounds: a },
+        8 => FleetMessage::Done { rounds: a },
+        9 => FleetMessage::Resume {
+            client_id: a,
+            session_token: b,
+            report_nonce: c,
+        },
+        10 => FleetMessage::Busy { retry_after_ms: a },
+        _ => FleetMessage::DoneAck { session_token: a },
     }
 }
 
@@ -63,7 +70,7 @@ proptest! {
 
     #[test]
     fn fleet_frames_round_trip_canonically(
-        kind in 0u8..9,
+        kind in 0u8..12,
         fields in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         flag in any::<bool>(),
     ) {
@@ -80,7 +87,7 @@ proptest! {
 
     #[test]
     fn fleet_decode_from_is_order_independent_of_trailing_bytes(
-        kind in 0u8..9,
+        kind in 0u8..12,
         fields in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         flag in any::<bool>(),
         trailer in proptest::collection::vec(any::<u8>(), 0..40),
@@ -102,7 +109,7 @@ proptest! {
 
     #[test]
     fn truncated_fleet_frames_fail_typed(
-        kind in 0u8..9,
+        kind in 0u8..12,
         fields in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         flag in any::<bool>(),
         cut_fraction in 0.0f64..1.0,

@@ -7,6 +7,13 @@
 //! per round, the paper's whole point. Late arrivals simply wait for the
 //! next round; the `Done` dismissal ends the process.
 //!
+//! A connection fault (reset, hangup, refused connect, `Busy` shedding)
+//! is not fatal while retries remain: the process backs off under the
+//! seeded jittered schedule of `fleet::client::backoff_ms`, re-dials,
+//! and opens with a `Resume` frame so the coordinator rebinds the same
+//! session — any unacknowledged report is retransmitted and deduplicated
+//! server-side, so faults never double-count a report.
+//!
 //! `--fail-at` injects the two fault behaviours the salvage tests kill
 //! participants with: `assign` hangs up the moment a cohort slot arrives
 //! (exercising hangup salvage), `mute` goes silent instead (exercising
@@ -17,12 +24,14 @@
 //!   fired as scripted (the test harness treats scripted deaths as
 //!   success), or the coordinator hung up on a scripted-mute participant.
 //! * `1` — usage error.
-//! * `2` — connection or protocol failure before dismissal.
+//! * `2` — connection or protocol failure before dismissal (retries
+//!   exhausted), reported as a typed transport error naming the peer and
+//!   the protocol phase that failed.
 //! * `3` — `--max-seconds` elapsed without a dismissal.
 //!
 //! ```text
 //! fednumc --addr HOST:PORT --client-id N [--fail-at none|assign|mute]
-//!         [--max-seconds S]
+//!         [--max-seconds S] [--retries N] [--backoff-ms MS]
 //! ```
 
 use std::io::{Read, Write};
@@ -31,12 +40,13 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use fednum_core::wire::FrameDecoder;
+use fednum_fedsim::error::FedError;
 use fednum_transport::fleet::client::{
-    decode_fleet_frame, push_fleet_frame, ClientSession, FailMode,
+    backoff_ms, decode_fleet_frame, push_fleet_frame, ClientSession, FailMode, BACKOFF_CAP_MS,
 };
 
 const USAGE: &str = "usage: fednumc --addr HOST:PORT --client-id N \
-[--fail-at none|assign|mute] [--max-seconds S]
+[--fail-at none|assign|mute] [--max-seconds S] [--retries N] [--backoff-ms MS]
 
   --addr HOST:PORT  coordinator address (required)
   --client-id N     unique participant id (required)
@@ -44,6 +54,10 @@ const USAGE: &str = "usage: fednumc --addr HOST:PORT --client-id N \
                     cohort assignment), mute (go silent on assignment)
   --max-seconds S   give up after S seconds without a dismissal
                     (default 120)
+  --retries N       reconnect up to N times after a connection fault,
+                    resuming the session (default 5; 0 disables)
+  --backoff-ms MS   base reconnect backoff, doubled per attempt with
+                    seeded jitter, capped at 2000ms (default 50)
 
 exit codes: 0 dismissed cleanly or scripted fault fired; 1 usage error;
 2 connection/protocol failure; 3 timed out";
@@ -58,6 +72,8 @@ fn main() -> ExitCode {
     let mut client_id: Option<u64> = None;
     let mut fail = FailMode::None;
     let mut max_seconds = 120u64;
+    let mut retries = 5u32;
+    let mut backoff_base = 50u64;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         if flag == "--help" || flag == "-h" {
@@ -84,6 +100,14 @@ fn main() -> ExitCode {
                 Ok(s) if s > 0 => max_seconds = s,
                 _ => return usage(),
             },
+            "--retries" => match value.parse::<u32>() {
+                Ok(n) => retries = n,
+                Err(_) => return usage(),
+            },
+            "--backoff-ms" => match value.parse::<u64>() {
+                Ok(ms) if ms > 0 => backoff_base = ms,
+                _ => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -91,7 +115,14 @@ fn main() -> ExitCode {
         return usage();
     };
 
-    match run(&addr, client_id, fail, Duration::from_secs(max_seconds)) {
+    match run(
+        &addr,
+        client_id,
+        fail,
+        Duration::from_secs(max_seconds),
+        retries,
+        backoff_base,
+    ) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("fednumc[{client_id}]: {e}");
@@ -100,52 +131,153 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(addr: &str, client_id: u64, fail: FailMode, budget: Duration) -> std::io::Result<ExitCode> {
-    let mut stream = TcpStream::connect(addr)?;
+/// Wraps a raw I/O error with the peer address and the protocol phase it
+/// interrupted — the context a chaos-run log needs to be diagnosable.
+fn transport_err(op: &'static str, addr: &str, e: &std::io::Error) -> FedError {
+    FedError::Transport {
+        op,
+        detail: format!("peer {addr}: {e}"),
+    }
+}
+
+/// How one connection's service ended.
+enum Served {
+    /// `Done` received: the campaign is over for this participant.
+    Dismissed,
+    /// A scripted `--fail-at` fault fired.
+    Scripted,
+    /// The coordinator hung up on a scripted-mute session (expected: the
+    /// heartbeat monitor expired us on purpose).
+    MutedHangup,
+    /// `--max-seconds` elapsed.
+    TimedOut,
+    /// The connection died under the protocol — retryable while the
+    /// budget allows.
+    Lost { op: &'static str, detail: String },
+    /// The coordinator sent something unspeakable; not retried.
+    Protocol { detail: String },
+}
+
+fn run(
+    addr: &str,
+    client_id: u64,
+    fail: FailMode,
+    budget: Duration,
+    retries: u32,
+    backoff_base: u64,
+) -> Result<ExitCode, FedError> {
+    let epoch = Instant::now();
+    let deadline = epoch + budget;
+    let (mut session, hello) = ClientSession::new(client_id, fail);
+    let mut opening = hello;
+    let mut attempt = 0u32;
+    let mut reconnects = 0u32;
+
+    loop {
+        let phase: &'static str = if attempt == 0 { "rendezvous" } else { "resume" };
+        let outcome = match TcpStream::connect(addr) {
+            Ok(stream) => serve(&stream, &mut session, &opening, epoch, deadline)
+                .map_err(|e| transport_err("serve", addr, &e))?,
+            Err(e) => Served::Lost {
+                op: "connect",
+                detail: e.to_string(),
+            },
+        };
+        match outcome {
+            Served::Dismissed => {
+                println!(
+                    "fednumc[{client_id}]: dismissed after {} round(s), {} report(s) sent, \
+                     {} retransmit(s), {} reconnect(s)",
+                    session.rounds_done(),
+                    session.reports_sent(),
+                    session.retransmits(),
+                    reconnects
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            Served::Scripted => return Ok(ExitCode::SUCCESS),
+            Served::MutedHangup => return Ok(ExitCode::SUCCESS),
+            Served::TimedOut => {
+                eprintln!("fednumc[{client_id}]: no dismissal within {budget:?}");
+                return Ok(ExitCode::from(3));
+            }
+            Served::Protocol { detail } => {
+                return Err(FedError::Transport {
+                    op: phase,
+                    detail: format!("peer {addr}: {detail}"),
+                });
+            }
+            Served::Lost { op, detail } => {
+                attempt += 1;
+                if attempt > retries {
+                    return Err(FedError::Transport {
+                        op,
+                        detail: format!("peer {addr}: {detail} (after {retries} retries)"),
+                    });
+                }
+                reconnects += 1;
+                let hint = session.take_busy_hint().unwrap_or(0);
+                let delay = backoff_ms(client_id, attempt, backoff_base, BACKOFF_CAP_MS).max(hint);
+                if Instant::now() + Duration::from_millis(delay) >= deadline {
+                    eprintln!("fednumc[{client_id}]: no dismissal within {budget:?}");
+                    return Ok(ExitCode::from(3));
+                }
+                std::thread::sleep(Duration::from_millis(delay));
+                opening = session.reconnect_frame();
+            }
+        }
+    }
+}
+
+/// Serves one connection until dismissal, fault, or deadline. Raw socket
+/// configuration errors propagate as I/O errors; faults that the
+/// reconnect path can heal come back as [`Served::Lost`].
+fn serve(
+    mut stream: &TcpStream,
+    session: &mut ClientSession,
+    opening: &fednum_core::wire::FleetMessage,
+    epoch: Instant,
+    deadline: Instant,
+) -> std::io::Result<Served> {
     stream.set_nodelay(true)?;
     // Short read timeout doubles as the heartbeat tick: the loop wakes at
     // least this often to check the beat schedule.
     stream.set_read_timeout(Some(Duration::from_millis(25)))?;
 
-    let (mut session, hello) = ClientSession::new(client_id, fail);
     let mut out = Vec::new();
-    push_fleet_frame(&mut out, hello);
-    stream.write_all(&out)?;
+    push_fleet_frame(&mut out, *opening);
+    if let Err(e) = stream.write_all(&out) {
+        return Ok(Served::Lost {
+            op: "write",
+            detail: e.to_string(),
+        });
+    }
     out.clear();
 
-    let epoch = Instant::now();
-    let deadline = epoch + budget;
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 4096];
 
     loop {
         if session.should_exit() {
             // Scripted hangup: drop the socket mid-round, say nothing.
-            return Ok(ExitCode::SUCCESS);
-        }
-        if session.finished() {
-            println!(
-                "fednumc[{client_id}]: dismissed after {} round(s), {} report(s) sent",
-                session.rounds_done(),
-                session.reports_sent()
-            );
-            return Ok(ExitCode::SUCCESS);
+            return Ok(Served::Scripted);
         }
         if Instant::now() >= deadline {
-            eprintln!("fednumc[{client_id}]: no dismissal within {budget:?}");
-            return Ok(ExitCode::from(3));
+            return Ok(Served::TimedOut);
         }
 
         match stream.read(&mut buf) {
             Ok(0) => {
                 // Coordinator hung up. Expected for a scripted mute (the
                 // heartbeat monitor expired us on purpose); otherwise a
-                // failure.
+                // fault the reconnect path may heal.
                 return Ok(if session.muted() {
-                    ExitCode::SUCCESS
+                    Served::MutedHangup
                 } else {
-                    eprintln!("fednumc[{client_id}]: coordinator hung up before dismissal");
-                    ExitCode::from(2)
+                    Served::Lost {
+                        op: "read",
+                        detail: "coordinator hung up before dismissal".to_string(),
+                    }
                 });
             }
             Ok(n) => decoder.feed(&buf[..n]),
@@ -153,7 +285,12 @@ fn run(addr: &str, client_id: u64, fail: FailMode, budget: Duration) -> std::io:
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut
                     || e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
+            Err(e) => {
+                return Ok(Served::Lost {
+                    op: "read",
+                    detail: e.to_string(),
+                })
+            }
         }
 
         let now_ms = epoch.elapsed().as_millis() as u64;
@@ -161,8 +298,9 @@ fn run(addr: &str, client_id: u64, fail: FailMode, budget: Duration) -> std::io:
             match decoder.next_frame() {
                 Ok(Some(frame)) => {
                     let Some(msg) = decode_fleet_frame(&frame) else {
-                        eprintln!("fednumc[{client_id}]: non-fleet frame from coordinator");
-                        return Ok(ExitCode::from(2));
+                        return Ok(Served::Protocol {
+                            detail: "non-fleet frame from coordinator".to_string(),
+                        });
                     };
                     for reply in session.on_frame(&msg, now_ms) {
                         push_fleet_frame(&mut out, reply);
@@ -170,8 +308,9 @@ fn run(addr: &str, client_id: u64, fail: FailMode, budget: Duration) -> std::io:
                 }
                 Ok(None) => break,
                 Err(e) => {
-                    eprintln!("fednumc[{client_id}]: malformed frame: {e:?}");
-                    return Ok(ExitCode::from(2));
+                    return Ok(Served::Protocol {
+                        detail: format!("malformed frame: {e:?}"),
+                    });
                 }
             }
         }
@@ -179,8 +318,20 @@ fn run(addr: &str, client_id: u64, fail: FailMode, budget: Duration) -> std::io:
             push_fleet_frame(&mut out, beat);
         }
         if !out.is_empty() {
-            stream.write_all(&out)?;
+            if let Err(e) = stream.write_all(&out) {
+                return Ok(Served::Lost {
+                    op: "write",
+                    detail: e.to_string(),
+                });
+            }
             out.clear();
+        }
+        // Checked after the flush so the dismissal acknowledgement is on
+        // the wire before we hang up. A session resumed after dismissal
+        // stays in this loop until the coordinator's re-sent Done arrives
+        // and the ack goes out again.
+        if session.finished() {
+            return Ok(Served::Dismissed);
         }
     }
 }

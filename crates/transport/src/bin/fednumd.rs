@@ -290,6 +290,18 @@ fn main() -> ExitCode {
                 ledger.bytes_in,
                 ledger.bytes_out,
             );
+            println!(
+                "fednumd: fleet resilience: {} resume(s) ({} re-issued assign(s)), \
+                 {} duplicate report(s) deduplicated, {} dismissal ack(s), \
+                 {} busy shed(s), {} stalled drop(s), {} overflow drop(s)",
+                ledger.resumes,
+                ledger.resumed_assigns,
+                ledger.dup_reports,
+                ledger.done_acks,
+                ledger.busy_sheds,
+                ledger.stalled_drops,
+                ledger.overflow_drops,
+            );
         }
     }
 
@@ -297,7 +309,8 @@ fn main() -> ExitCode {
         Ok(stats) => {
             println!(
                 "fednumd: served {} session(s) (peak {} concurrent), {} frames in / {} out, \
-                 {} timeout(s), {} protocol error(s), {} campaign(s) opened, \
+                 {} timeout(s), {} protocol error(s), {} accept shed(s), \
+                 {} stalled read(s), {} overflow drop(s), {} campaign(s) opened, \
                  {} round(s) admitted / {} committed",
                 stats.sessions_opened,
                 stats.peak_connections,
@@ -305,6 +318,9 @@ fn main() -> ExitCode {
                 stats.frames_out,
                 stats.timeouts,
                 stats.protocol_errors,
+                stats.accept_sheds,
+                stats.stalled_reads,
+                stats.overflow_drops,
                 stats.campaigns_opened,
                 stats.rounds_admitted,
                 stats.rounds_committed,

@@ -1,0 +1,155 @@
+//! `fednumx` — the seeded TCP fault-injection proxy, as a process.
+//!
+//! Sits between a fleet of `fednumc` participants and a `fednumd`
+//! coordinator, relaying frames while injecting the deterministic fault
+//! schedule of `fednum_transport::netchaos`: mid-frame resets,
+//! partial-write stalls, duplicate delivery, byte corruption, frame
+//! splits, and delivery delay. Point participants at the printed listen
+//! address instead of the daemon and every connection rolls its seeded
+//! fault plan.
+//!
+//! The process relays until stdin reaches EOF (the same FIFO-driven
+//! shutdown convention the CI smoke uses for `fednumd`), then prints its
+//! fault counters and exits 0.
+//!
+//! ```text
+//! fednumx --upstream HOST:PORT [--listen HOST:PORT] [--seed N]
+//!         [--reset-frac F] [--stall-frac F] [--dup-frac F]
+//!         [--corrupt-frac F] [--stall-ms N] [--delay-ms N]
+//!         [--no-split] [--reference]
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use fednum_transport::netchaos::{reference_schedule, ChaosConfig, ChaosProxy};
+
+const USAGE: &str = "usage: fednumx --upstream HOST:PORT [--listen HOST:PORT] [--seed N]
+        [--reset-frac F] [--stall-frac F] [--dup-frac F] [--corrupt-frac F]
+        [--stall-ms N] [--delay-ms N] [--no-split] [--reference]
+
+  --upstream HOST:PORT  the real coordinator to relay to (required)
+  --listen HOST:PORT    participant-facing bind address (default
+                        127.0.0.1:0; the resolved address is printed)
+  --seed N              master seed for every per-connection fault
+                        schedule (default 1)
+  --reset-frac F        fraction of connections reset mid-frame
+  --stall-frac F        fraction stalled mid-frame for --stall-ms
+  --dup-frac F          fraction delivering one duplicated frame
+  --corrupt-frac F      fraction delivering one corrupted frame
+  --stall-ms N          stall duration in ms (default 400)
+  --delay-ms N          max seeded per-frame delay in ms (default 0)
+  --no-split            do not fragment frames at seeded boundaries
+  --reference           start from the reference schedule (30% reset,
+                        10% stall, 5% dup, 5% corrupt, splits + 5ms
+                        jitter); later flags override
+
+relays until stdin reaches EOF, then prints counters and exits 0";
+
+fn usage() -> ExitCode {
+    eprintln!("{USAGE}");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ChaosConfig::default();
+    let mut upstream: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--no-split" => {
+                cfg.split_frames = false;
+                continue;
+            }
+            "--reference" => {
+                let listen = cfg.listen.clone();
+                cfg = reference_schedule(upstream.clone().unwrap_or_default(), cfg.seed);
+                cfg.listen = listen;
+                continue;
+            }
+            _ => {}
+        }
+        let Some(value) = args.next() else {
+            return usage();
+        };
+        let ok = match flag.as_str() {
+            "--upstream" => {
+                upstream = Some(value);
+                true
+            }
+            "--listen" => {
+                cfg.listen = value;
+                true
+            }
+            "--seed" => value.parse().map(|v| cfg.seed = v).is_ok(),
+            "--reset-frac" => parse_frac(&value).map(|v| cfg.reset_frac = v).is_some(),
+            "--stall-frac" => parse_frac(&value).map(|v| cfg.stall_frac = v).is_some(),
+            "--dup-frac" => parse_frac(&value).map(|v| cfg.dup_frac = v).is_some(),
+            "--corrupt-frac" => parse_frac(&value).map(|v| cfg.corrupt_frac = v).is_some(),
+            "--stall-ms" => value.parse().map(|v| cfg.stall_ms = v).is_ok(),
+            "--delay-ms" => value.parse().map(|v| cfg.delay_ms = v).is_ok(),
+            _ => return usage(),
+        };
+        if !ok {
+            return usage();
+        }
+    }
+    let Some(upstream) = upstream else {
+        return usage();
+    };
+    cfg.upstream = upstream;
+    if cfg.reset_frac + cfg.stall_frac + cfg.dup_frac + cfg.corrupt_frac > 1.0 {
+        eprintln!("fednumx: fault fractions must sum to at most 1.0");
+        return ExitCode::from(1);
+    }
+
+    let proxy = match ChaosProxy::spawn(cfg) {
+        Ok(proxy) => proxy,
+        Err(e) => {
+            eprintln!("fednumx: bind failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("fednumx listening on {}", proxy.addr());
+
+    // Relay until stdin closes — the harness's shutdown signal.
+    let mut sink = [0u8; 256];
+    let mut stdin = std::io::stdin();
+    loop {
+        match stdin.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+
+    match proxy.shutdown() {
+        Ok(stats) => {
+            println!(
+                "fednumx: {} connection(s), {} reset(s), {} stall(s), {} dup(s), \
+                 {} corruption(s), {} frame(s) up, {} frame(s) down",
+                stats.connections,
+                stats.resets,
+                stats.stalls,
+                stats.dups,
+                stats.corruptions,
+                stats.frames_up,
+                stats.frames_down
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fednumx: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_frac(s: &str) -> Option<f64> {
+    s.parse::<f64>().ok().filter(|f| (0.0..=1.0).contains(f))
+}

@@ -53,7 +53,7 @@ use std::time::{Duration, Instant};
 use fednum_core::privacy::durable::{
     Admission, CommitSummary, DurableError, DurableLedger, RecoveryStats,
 };
-use fednum_core::wire::{self, CampaignMessage, FrameDecoder};
+use fednum_core::wire::{self, CampaignMessage, FleetMessage, FrameDecoder};
 use fednum_fedsim::error::FedError;
 
 use crate::fleet::{FleetAction, FleetConfig, FleetEngine, FleetLedger, FleetRoundReport};
@@ -69,6 +69,10 @@ const POLL_TICK_MS: i32 = 5;
 /// How long the shutdown drain keeps flushing pending replies before
 /// closing sockets regardless.
 const DRAIN_LIMIT: Duration = Duration::from_millis(250);
+
+/// The retry hint carried in the `Busy` frame a shed connection receives
+/// when the daemon is at its connection cap.
+pub const BUSY_RETRY_MS: u64 = 500;
 
 /// Configuration for [`spawn`].
 #[derive(Debug, Clone)]
@@ -88,6 +92,22 @@ pub struct DaemonConfig {
     /// How long [`DaemonHandle::shutdown`] waits for the reactor thread
     /// to finish before declaring it leaked.
     pub shutdown_grace: Duration,
+    /// Read-progress deadline (slow-loris defense): a connection that has
+    /// buffered part of a frame but not completed it for this long is
+    /// dropped. Unlike `read_timeout` this applies to *every* connection,
+    /// fleet participants included — a half-delivered frame is never
+    /// legitimate idleness.
+    pub read_progress: Duration,
+    /// Accept-storm shedding threshold: beyond this many concurrent
+    /// connections, new arrivals are sent a best-effort
+    /// [`FleetMessage::Busy`] frame (`retry_after_ms` = [`BUSY_RETRY_MS`])
+    /// and dropped.
+    pub max_connections: usize,
+    /// Per-connection buffer bound, applied to both the partial-frame
+    /// decode buffer and the unflushed output backlog. Must exceed
+    /// [`wire::MAX_FRAME_LEN`] or legitimate maximum-size frames would be
+    /// dropped; the default leaves 64 KiB of slack above the frame cap.
+    pub max_conn_buffer: usize,
     /// When set, the daemon hosts a fleet campaign: participant
     /// connections rendezvous, heartbeat, and serve rounds per this
     /// configuration.
@@ -101,6 +121,9 @@ impl Default for DaemonConfig {
             workers: 4,
             read_timeout: Duration::from_secs(30),
             shutdown_grace: Duration::from_secs(5),
+            read_progress: Duration::from_secs(10),
+            max_connections: 16_384,
+            max_conn_buffer: wire::MAX_FRAME_LEN + 64 * 1024,
             fleet: None,
         }
     }
@@ -271,6 +294,9 @@ struct Counters {
     timeouts: AtomicU64,
     protocol_errors: AtomicU64,
     invalid_payloads: AtomicU64,
+    accept_sheds: AtomicU64,
+    stalled_reads: AtomicU64,
+    overflow_drops: AtomicU64,
     active_connections: AtomicU64,
     peak_connections: AtomicU64,
     campaigns_opened: AtomicU64,
@@ -302,6 +328,15 @@ pub struct DaemonSnapshot {
     /// Envelope payloads that failed [`Message`] codec validation (the
     /// frame is still relayed; this is a diagnostic, not a drop).
     pub invalid_payloads: u64,
+    /// Connections shed at accept with a `Busy` frame (the daemon was at
+    /// [`DaemonConfig::max_connections`]).
+    pub accept_sheds: u64,
+    /// Connections dropped by the read-progress deadline (a frame sat
+    /// partially delivered longer than [`DaemonConfig::read_progress`]).
+    pub stalled_reads: u64,
+    /// Connections dropped for exceeding
+    /// [`DaemonConfig::max_conn_buffer`] on either buffer.
+    pub overflow_drops: u64,
     /// Connections currently being served.
     pub active_connections: u64,
     /// High-water mark of concurrently served connections.
@@ -327,6 +362,9 @@ impl Counters {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             invalid_payloads: self.invalid_payloads.load(Ordering::Relaxed),
+            accept_sheds: self.accept_sheds.load(Ordering::Relaxed),
+            stalled_reads: self.stalled_reads.load(Ordering::Relaxed),
+            overflow_drops: self.overflow_drops.load(Ordering::Relaxed),
             active_connections: self.active_connections.load(Ordering::Relaxed),
             peak_connections: self.peak_connections.load(Ordering::Relaxed),
             campaigns_opened: self.campaigns_opened.load(Ordering::Relaxed),
@@ -545,6 +583,11 @@ enum ConnEnd {
     Eof,
     /// Idle timeout expired.
     Timeout,
+    /// Read-progress deadline expired on a partially delivered frame
+    /// (slow-loris defense).
+    Stalled,
+    /// A per-connection buffer exceeded its bound.
+    Overflow,
     /// Malformed frame or protocol misuse.
     Protocol,
     /// Other socket error (peer reset, ...).
@@ -567,6 +610,9 @@ struct Conn {
     campaign: Option<u64>,
     tally: ConnTally,
     last_activity: Instant,
+    /// Since when the decode buffer has held a partial frame — the
+    /// read-progress clock. `None` whenever the buffer is frame-aligned.
+    pending_since: Option<Instant>,
     /// Set when the connection should close (after its output drains).
     end: Option<ConnEnd>,
     /// Peer sent EOF; close once buffered frames are processed.
@@ -650,6 +696,25 @@ fn reactor_loop(listener: &TcpListener, shared: &Shared, cfg: &DaemonConfig) {
                         {
                             continue;
                         }
+                        if conns.len() >= cfg.max_connections {
+                            // Accept-storm shedding: tell the peer to
+                            // back off (best effort — the socket may not
+                            // take the frame) and drop it. Shed sockets
+                            // never enter `conns`, so the poll set stays
+                            // bounded.
+                            let mut frame = Vec::new();
+                            let busy = Ctrl::Fleet(FleetMessage::Busy {
+                                retry_after_ms: BUSY_RETRY_MS,
+                            });
+                            wire::write_frame(&mut frame, &busy.encode())
+                                .expect("writing to a Vec cannot fail under MAX_FRAME_LEN");
+                            let _ = (&stream).write(&frame);
+                            counters.accept_sheds.fetch_add(1, Ordering::Relaxed);
+                            if let Some(engine) = shared.fleet.lock().unwrap().as_mut() {
+                                engine.note_busy_shed();
+                            }
+                            continue;
+                        }
                         next_conn_id += 1;
                         let active =
                             counters.active_connections.fetch_add(1, Ordering::Relaxed) + 1;
@@ -669,6 +734,7 @@ fn reactor_loop(listener: &TcpListener, shared: &Shared, cfg: &DaemonConfig) {
                                 campaign: None,
                                 tally: ConnTally::default(),
                                 last_activity: now,
+                                pending_since: None,
                                 end: None,
                                 eof: false,
                             },
@@ -698,6 +764,10 @@ fn reactor_loop(listener: &TcpListener, shared: &Shared, cfg: &DaemonConfig) {
                     Ok(n) => {
                         conn.decoder.feed(&buf[..n]);
                         conn.last_activity = now;
+                        if conn.decoder.pending() > cfg.max_conn_buffer {
+                            conn.end = Some(ConnEnd::Overflow);
+                            break;
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -731,6 +801,19 @@ fn reactor_loop(listener: &TcpListener, shared: &Shared, cfg: &DaemonConfig) {
                     Ok(ctrl) => handle_frame(conn, id, ctrl, shared, now_ms, &mut fleet_actions),
                     Err(_) => conn.end = Some(ConnEnd::Protocol),
                 }
+            }
+            if conn.end.is_none() && conn.out.len() - conn.written > cfg.max_conn_buffer {
+                // A peer that never drains its replies cannot hold
+                // unbounded daemon memory hostage.
+                conn.end = Some(ConnEnd::Overflow);
+            }
+            // Read-progress clock: ticking iff a partial frame is
+            // buffered. Every completed frame above realigned the buffer,
+            // so `pending() > 0` here means a genuinely unfinished frame.
+            if conn.decoder.pending() > 0 {
+                conn.pending_since.get_or_insert(now);
+            } else {
+                conn.pending_since = None;
             }
             if conn.eof && conn.end.is_none() {
                 conn.end = Some(ConnEnd::Eof);
@@ -776,9 +859,19 @@ fn reactor_loop(listener: &TcpListener, shared: &Shared, cfg: &DaemonConfig) {
 
         // Idle sweep. Fleet participants are governed by the heartbeat
         // monitor instead — their idle periods between rounds are normal.
+        // The read-progress deadline has no such exemption: a
+        // half-delivered frame is never legitimate idleness, whoever the
+        // peer is (slow-loris defense).
         for conn in conns.values_mut() {
-            if conn.end.is_none()
-                && conn.kind != ConnKind::Fleet
+            if conn.end.is_some() {
+                continue;
+            }
+            if conn
+                .pending_since
+                .is_some_and(|since| now.duration_since(since) > cfg.read_progress)
+            {
+                conn.end = Some(ConnEnd::Stalled);
+            } else if conn.kind != ConnKind::Fleet
                 && now.duration_since(conn.last_activity) > cfg.read_timeout
             {
                 conn.end = Some(ConnEnd::Timeout);
@@ -792,7 +885,11 @@ fn reactor_loop(listener: &TcpListener, shared: &Shared, cfg: &DaemonConfig) {
             .iter()
             .filter(|(_, c)| {
                 c.end.is_some_and(|e| {
-                    !c.pending_out() || matches!(e, ConnEnd::Io | ConnEnd::Protocol)
+                    !c.pending_out()
+                        || matches!(
+                            e,
+                            ConnEnd::Io | ConnEnd::Protocol | ConnEnd::Stalled | ConnEnd::Overflow
+                        )
                 })
             })
             .map(|(&id, _)| id)
@@ -806,6 +903,12 @@ fn reactor_loop(listener: &TcpListener, shared: &Shared, cfg: &DaemonConfig) {
                 ConnEnd::Timeout => {
                     counters.timeouts.fetch_add(1, Ordering::Relaxed);
                 }
+                ConnEnd::Stalled => {
+                    counters.stalled_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                ConnEnd::Overflow => {
+                    counters.overflow_drops.fetch_add(1, Ordering::Relaxed);
+                }
                 ConnEnd::Protocol => {
                     counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 }
@@ -814,6 +917,11 @@ fn reactor_loop(listener: &TcpListener, shared: &Shared, cfg: &DaemonConfig) {
             if conn.kind == ConnKind::Fleet {
                 let mut fleet = shared.fleet.lock().unwrap();
                 if let Some(engine) = fleet.as_mut() {
+                    match end {
+                        ConnEnd::Stalled => engine.note_stalled_drop(),
+                        ConnEnd::Overflow => engine.note_overflow_drop(),
+                        _ => {}
+                    }
                     salvage.extend(engine.on_disconnect(id, now_ms));
                 }
             }

@@ -62,6 +62,20 @@ pub struct ClientSession {
     finished: bool,
     reports_sent: u64,
     rounds_done: u64,
+    /// The assignment the last report answered — the key the retransmit
+    /// path matches re-issued `CohortAssign`s against.
+    last_assign: Option<(u64, u32)>,
+    /// The last report frame produced, kept verbatim for retransmission
+    /// until acknowledged (the daemon's dedup makes resending it safe).
+    last_report: Option<FleetMessage>,
+    last_report_acked: bool,
+    report_acks: u64,
+    retransmits: u64,
+    /// Between [`reconnect_frame`](Self::reconnect_frame) and the next
+    /// `RendezvousAck`: heartbeats are suppressed because the coordinator
+    /// has not bound this connection to the session yet.
+    awaiting_ack: bool,
+    busy_hint_ms: Option<u64>,
 }
 
 impl ClientSession {
@@ -81,12 +95,40 @@ impl ClientSession {
                 finished: false,
                 reports_sent: 0,
                 rounds_done: 0,
+                last_assign: None,
+                last_report: None,
+                last_report_acked: false,
+                report_acks: 0,
+                retransmits: 0,
+                awaiting_ack: true,
+                busy_hint_ms: None,
             },
             FleetMessage::Rendezvous {
                 client_id,
                 capabilities: 0,
             },
         )
+    }
+
+    /// The frame to open a *replacement* connection with after a network
+    /// fault: a `Resume` carrying the session token and the report-ack
+    /// nonce when a prior rendezvous established one, the plain
+    /// `Rendezvous` otherwise (the coordinator rebinds either way).
+    /// Heartbeats are suppressed until the new connection's
+    /// `RendezvousAck` lands.
+    pub fn reconnect_frame(&mut self) -> FleetMessage {
+        self.awaiting_ack = true;
+        match self.token {
+            Some(session_token) => FleetMessage::Resume {
+                client_id: self.client_id,
+                session_token,
+                report_nonce: self.report_acks,
+            },
+            None => FleetMessage::Rendezvous {
+                client_id: self.client_id,
+                capabilities: 0,
+            },
+        }
     }
 
     /// Handles one downlink frame, returning the frames to send back.
@@ -100,7 +142,17 @@ impl ClientSession {
                 self.token = Some(session_token);
                 self.heartbeat_ms = heartbeat_ms;
                 self.next_beat_ms = now_ms.saturating_add(heartbeat_ms);
-                Vec::new()
+                self.awaiting_ack = false;
+                // A report in flight when the old connection died may
+                // never have arrived: retransmit it. The daemon dedups,
+                // so this can only heal, never double-count.
+                match (&self.last_report, self.last_report_acked) {
+                    (Some(report), false) => {
+                        self.retransmits += 1;
+                        vec![*report]
+                    }
+                    _ => Vec::new(),
+                }
             }
             FleetMessage::CohortAssign {
                 round,
@@ -123,25 +175,62 @@ impl ClientSession {
                         // ignore rather than fabricate a report.
                         return Vec::new();
                     };
+                    if self.last_assign == Some((round, bit_index)) {
+                        // A re-issued (resume) or duplicated assignment
+                        // for a slot already answered: resend the same
+                        // report if it is still unacknowledged, and never
+                        // count it as a fresh report.
+                        return match (&self.last_report, self.last_report_acked) {
+                            (Some(report), false) => {
+                                self.retransmits += 1;
+                                vec![*report]
+                            }
+                            _ => Vec::new(),
+                        };
+                    }
                     let value = client_value(value_seed, self.client_id, bits);
                     let bit = (value >> bit_index) & 1 == 1;
-                    self.reports_sent += 1;
-                    vec![FleetMessage::Report {
+                    let report = FleetMessage::Report {
                         session_token: token,
                         round,
                         bit_index,
                         bit,
-                    }]
+                    };
+                    self.last_assign = Some((round, bit_index));
+                    self.last_report = Some(report);
+                    self.last_report_acked = false;
+                    self.reports_sent += 1;
+                    vec![report]
                 }
             },
+            FleetMessage::ReportAck { .. } => {
+                if !self.last_report_acked && self.last_report.is_some() {
+                    self.last_report_acked = true;
+                    self.report_acks += 1;
+                }
+                Vec::new()
+            }
+            FleetMessage::Busy { retry_after_ms } => {
+                // The coordinator is shedding load; note the hint for
+                // whoever drives the reconnect schedule.
+                self.busy_hint_ms = Some(retry_after_ms);
+                Vec::new()
+            }
             FleetMessage::Done { rounds } => {
                 self.finished = true;
                 self.rounds_done = rounds;
-                Vec::new()
+                // Acknowledge the dismissal so the coordinator can retire
+                // this registration promptly instead of holding it open
+                // for the resume grace window. A session dismissed before
+                // it ever saw its RendezvousAck has no token to prove
+                // itself with — it just hangs up, and the coordinator was
+                // not waiting on it anyway.
+                match self.token {
+                    Some(session_token) => vec![FleetMessage::DoneAck { session_token }],
+                    None => Vec::new(),
+                }
             }
-            FleetMessage::HeartbeatAck { .. }
-            | FleetMessage::CohortWait { .. }
-            | FleetMessage::ReportAck { .. } => Vec::new(),
+            FleetMessage::HeartbeatAck { .. } | FleetMessage::CohortWait { .. } => Vec::new(),
             // Uplink frames never arrive on the downlink; ignore rather
             // than crash a fleet of processes on a buggy coordinator.
             _ => Vec::new(),
@@ -155,7 +244,12 @@ impl ClientSession {
         let Some(token) = self.token else {
             return Vec::new();
         };
-        if self.muted || self.finished || self.heartbeat_ms == 0 || now_ms < self.next_beat_ms {
+        if self.muted
+            || self.finished
+            || self.awaiting_ack
+            || self.heartbeat_ms == 0
+            || now_ms < self.next_beat_ms
+        {
             return Vec::new();
         }
         self.next_beat_ms = now_ms.saturating_add(self.heartbeat_ms);
@@ -184,10 +278,34 @@ impl ClientSession {
         self.muted
     }
 
-    /// Reports sent so far.
+    /// The participant id this session speaks for.
+    #[must_use]
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// Reports sent so far (retransmissions excluded).
     #[must_use]
     pub fn reports_sent(&self) -> u64 {
         self.reports_sent
+    }
+
+    /// Reports the coordinator has acknowledged.
+    #[must_use]
+    pub fn report_acks(&self) -> u64 {
+        self.report_acks
+    }
+
+    /// Report frames resent across reconnects or duplicated assignments.
+    #[must_use]
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Takes the latest `Busy` retry hint, if one arrived since the last
+    /// call — the reconnect scheduler folds it into the backoff delay.
+    pub fn take_busy_hint(&mut self) -> Option<u64> {
+        self.busy_hint_ms.take()
     }
 
     /// Rounds the coordinator announced in its `Done` dismissal.
@@ -195,6 +313,24 @@ impl ClientSession {
     pub fn rounds_done(&self) -> u64 {
         self.rounds_done
     }
+}
+
+/// Deterministic capped exponential backoff with seeded jitter for
+/// reconnect `attempt` (1-based): the delay lands in
+/// `[ceiling / 2, ceiling)` where `ceiling = min(base_ms << (attempt-1),
+/// cap_ms)`. The jitter is a pure function of `(client_id, attempt)`, so
+/// a fleet knocked over together fans its reconnects out instead of
+/// stampeding the coordinator — and every run of a seeded chaos test
+/// reproduces the same schedule.
+#[must_use]
+pub fn backoff_ms(client_id: u64, attempt: u32, base_ms: u64, cap_ms: u64) -> u64 {
+    let shift = attempt.saturating_sub(1).min(20);
+    let ceiling = base_ms
+        .saturating_mul(1u64 << shift)
+        .min(cap_ms.max(1))
+        .max(1);
+    let jitter = super::splitmix64(client_id ^ 0x00BA_C0FF ^ u64::from(attempt)) % ceiling;
+    ceiling / 2 + jitter / 2
 }
 
 /// Encodes a fleet frame the way the daemon expects it on the wire: a
@@ -233,12 +369,27 @@ fn raw_fd(stream: &TcpStream) -> i32 {
     }
 }
 
+/// The ceiling [`ClientPool`] (and `fednumc`) put on a single
+/// [`backoff_ms`] reconnect delay.
+pub const BACKOFF_CAP_MS: u64 = 2_000;
+
 struct PoolConn {
     stream: TcpStream,
     decoder: FrameDecoder,
     session: ClientSession,
     out: Vec<u8>,
     written: usize,
+    /// Reconnects this session has been through.
+    attempts: u32,
+}
+
+/// A session between connections: waiting out its backoff before the
+/// pool re-dials it.
+struct Parked {
+    slot: usize,
+    session: ClientSession,
+    due_ms: u64,
+    attempts: u32,
 }
 
 /// Thousands of [`ClientSession`]s multiplexed over nonblocking sockets
@@ -246,11 +397,17 @@ struct PoolConn {
 /// spawning one OS process per client would measure the fork path of the
 /// kernel instead of the daemon's event loop.
 pub struct ClientPool {
+    addr: SocketAddr,
     conns: Vec<Option<PoolConn>>,
+    parked: Vec<Parked>,
     start: Instant,
     peak_connected: usize,
     completed: usize,
     dropped: usize,
+    max_retries: u32,
+    base_backoff_ms: u64,
+    faulted: usize,
+    recovered: usize,
 }
 
 impl ClientPool {
@@ -263,14 +420,32 @@ impl ClientPool {
     /// short would invalidate the benchmark's concurrency gate.
     pub fn connect(addr: SocketAddr, client_ids: &[u64]) -> std::io::Result<Self> {
         let mut pool = Self {
+            addr,
             conns: Vec::with_capacity(client_ids.len()),
+            parked: Vec::new(),
             start: Instant::now(),
             peak_connected: 0,
             completed: 0,
             dropped: 0,
+            max_retries: 0,
+            base_backoff_ms: 50,
+            faulted: 0,
+            recovered: 0,
         };
         pool.join(addr, client_ids)?;
         Ok(pool)
+    }
+
+    /// Arms the reconnect path: a session whose connection dies without a
+    /// dismissal is parked under [`backoff_ms`] and re-dialed with its
+    /// [`ClientSession::reconnect_frame`], up to `max_retries` times.
+    /// With the default of zero retries a drop is final (the pre-chaos
+    /// behavior).
+    #[must_use]
+    pub fn with_retries(mut self, max_retries: u32, base_backoff_ms: u64) -> Self {
+        self.max_retries = max_retries;
+        self.base_backoff_ms = base_backoff_ms.max(1);
+        self
     }
 
     /// Connects more sessions into a live pool. Large fleets should come
@@ -296,6 +471,7 @@ impl ClientPool {
                 session,
                 out,
                 written: 0,
+                attempts: 0,
             }));
         }
         self.peak_connected = self.peak_connected.max(self.connected());
@@ -326,38 +502,99 @@ impl ClientPool {
         self.completed
     }
 
-    /// Connections that died without a dismissal.
+    /// Connections that died without a dismissal and exhausted their
+    /// retries.
     #[must_use]
     pub fn dropped(&self) -> usize {
         self.dropped
     }
 
+    /// Sessions that lost at least one connection mid-campaign.
+    #[must_use]
+    pub fn faulted(&self) -> usize {
+        self.faulted
+    }
+
+    /// Faulted sessions that still reached a clean dismissal — the
+    /// numerator of the chaos benchmark's recovery-rate gate.
+    #[must_use]
+    pub fn recovered(&self) -> usize {
+        self.recovered
+    }
+
     /// Whether every session has left the pool (cleanly or not).
     #[must_use]
     pub fn done(&self) -> bool {
-        self.conns.iter().all(|c| c.is_none())
+        self.conns.iter().all(|c| c.is_none()) && self.parked.is_empty()
     }
 
-    /// Total reports sent across all sessions.
+    /// Total reports sent across all sessions (parked ones included).
     #[must_use]
     pub fn reports_sent(&self) -> u64 {
-        self.conns
+        let live: u64 = self
+            .conns
             .iter()
             .flatten()
             .map(|c| c.session.reports_sent())
-            .sum()
+            .sum();
+        let parked: u64 = self.parked.iter().map(|p| p.session.reports_sent()).sum();
+        live + parked
     }
 
-    /// One reactor iteration: poll every open socket, drain reads,
-    /// process frames, queue due heartbeats, flush writes, reap closed
-    /// connections.
+    /// One reactor iteration: re-dial parked sessions that are due, poll
+    /// every open socket, drain reads, process frames, queue due
+    /// heartbeats, flush writes, reap closed connections.
     ///
     /// # Errors
-    /// Only reactor failures propagate; per-connection I/O errors close
-    /// that connection and count it dropped.
+    /// Only reactor failures propagate; per-connection I/O errors park
+    /// the session for retry (or count it dropped once retries are
+    /// exhausted).
     pub fn pump(&mut self, poll_timeout_ms: i32) -> std::io::Result<()> {
         let now = self.now_ms();
-        // Heartbeats first so they ride the same flush as any replies.
+        // Revive parked sessions whose backoff has elapsed.
+        let mut still_parked = Vec::new();
+        for mut p in std::mem::take(&mut self.parked) {
+            if now < p.due_ms {
+                still_parked.push(p);
+                continue;
+            }
+            let connected = TcpStream::connect(self.addr).and_then(|stream| {
+                stream.set_nodelay(true)?;
+                stream.set_nonblocking(true)?;
+                Ok(stream)
+            });
+            match connected {
+                Ok(stream) => {
+                    let mut session = p.session;
+                    let mut out = Vec::new();
+                    push_fleet_frame(&mut out, session.reconnect_frame());
+                    self.conns[p.slot] = Some(PoolConn {
+                        stream,
+                        decoder: FrameDecoder::new(),
+                        session,
+                        out,
+                        written: 0,
+                        attempts: p.attempts,
+                    });
+                }
+                Err(_) => {
+                    p.attempts += 1;
+                    if p.attempts > self.max_retries {
+                        self.dropped += 1;
+                    } else {
+                        p.due_ms = now.saturating_add(backoff_ms(
+                            p.session.client_id(),
+                            p.attempts,
+                            self.base_backoff_ms,
+                            BACKOFF_CAP_MS,
+                        ));
+                        still_parked.push(p);
+                    }
+                }
+            }
+        }
+        self.parked = still_parked;
+        // Heartbeats next so they ride the same flush as any replies.
         for conn in self.conns.iter_mut().flatten() {
             for beat in conn.session.tick(now) {
                 push_fleet_frame(&mut conn.out, beat);
@@ -386,11 +623,13 @@ impl ClientPool {
                 continue;
             };
             let mut close = false;
+            let mut clean_eof = false;
             if fd.readable() {
                 loop {
                     match conn.stream.read(&mut buf) {
                         Ok(0) => {
                             close = true;
+                            clean_eof = true;
                             break;
                         }
                         Ok(n) => conn.decoder.feed(&buf[..n]),
@@ -447,12 +686,43 @@ impl ClientPool {
                     }
                 }
             }
-            let flushed = conn.written >= conn.out.len();
-            if close || (conn.session.finished() && flushed) {
-                let clean = conn.session.finished();
-                self.conns[*slot] = None;
-                if clean {
+            // The coordinator closes the connection once it has processed
+            // our dismissal acknowledgement, so a clean EOF after Done is
+            // the proof the ack landed. A fault before that (reset,
+            // truncated write) reconnects and re-acks via Resume — the
+            // coordinator re-sends Done to a resumed dismissed session —
+            // rather than leaving the registration to its grace lapse.
+            if close {
+                let flushed = conn.written >= conn.out.len();
+                let conn = self.conns[*slot].take().expect("checked above");
+                let acked = conn.session.finished() && flushed && clean_eof;
+                if acked || (conn.session.finished() && conn.attempts >= self.max_retries) {
                     self.completed += 1;
+                    if conn.attempts > 0 {
+                        self.recovered += 1;
+                    }
+                } else if conn.attempts < self.max_retries {
+                    // Lost mid-campaign with retries left: park the
+                    // session and re-dial it after its backoff.
+                    if conn.attempts == 0 {
+                        self.faulted += 1;
+                    }
+                    let attempts = conn.attempts + 1;
+                    let mut session = conn.session;
+                    let hint = session.take_busy_hint().unwrap_or(0);
+                    let delay = backoff_ms(
+                        session.client_id(),
+                        attempts,
+                        self.base_backoff_ms,
+                        BACKOFF_CAP_MS,
+                    )
+                    .max(hint);
+                    self.parked.push(Parked {
+                        slot: *slot,
+                        session,
+                        due_ms: now.saturating_add(delay),
+                        attempts,
+                    });
                 } else {
                     self.dropped += 1;
                 }
@@ -561,6 +831,123 @@ mod tests {
         );
         assert_eq!("mute".parse::<FailMode>().unwrap(), FailMode::MuteOnAssign);
         assert!("explode".parse::<FailMode>().is_err());
+    }
+
+    #[test]
+    fn resume_frame_carries_the_token_and_report_nonce() {
+        let (mut session, _) = ClientSession::new(7, FailMode::None);
+        // Before any rendezvous succeeded there is nothing to resume.
+        assert!(matches!(
+            session.reconnect_frame(),
+            FleetMessage::Rendezvous { client_id: 7, .. }
+        ));
+        session.on_frame(
+            &FleetMessage::RendezvousAck {
+                session_token: 99,
+                heartbeat_ms: 100,
+                liveness_ms: 500,
+            },
+            0,
+        );
+        session.on_frame(
+            &FleetMessage::CohortAssign {
+                round: 0,
+                bit_index: 2,
+                bits: 8,
+                value_seed: 11,
+                deadline_ms: 1000,
+            },
+            10,
+        );
+        session.on_frame(&FleetMessage::ReportAck { round: 0 }, 20);
+        assert_eq!(
+            session.reconnect_frame(),
+            FleetMessage::Resume {
+                client_id: 7,
+                session_token: 99,
+                report_nonce: 1,
+            }
+        );
+        // Heartbeats stay suppressed until the replacement connection is
+        // acknowledged — the daemon has no conn bound to the session yet.
+        assert!(session.tick(10_000).is_empty());
+        session.on_frame(
+            &FleetMessage::RendezvousAck {
+                session_token: 99,
+                heartbeat_ms: 100,
+                liveness_ms: 500,
+            },
+            10_000,
+        );
+        assert_eq!(session.tick(10_100).len(), 1, "beats resume after ack");
+    }
+
+    #[test]
+    fn unacked_reports_are_retransmitted_never_recounted() {
+        let (mut session, _) = ClientSession::new(3, FailMode::None);
+        let ack = FleetMessage::RendezvousAck {
+            session_token: 42,
+            heartbeat_ms: 100,
+            liveness_ms: 500,
+        };
+        let assign = FleetMessage::CohortAssign {
+            round: 1,
+            bit_index: 5,
+            bits: 8,
+            value_seed: 9,
+            deadline_ms: 1000,
+        };
+        session.on_frame(&ack, 0);
+        let first = session.on_frame(&assign, 10);
+        assert_eq!(first.len(), 1);
+        assert_eq!(session.reports_sent(), 1);
+        // Connection dies before the ReportAck; the replacement ack
+        // triggers a retransmit of the very same frame.
+        session.reconnect_frame();
+        assert_eq!(session.on_frame(&ack, 200), first);
+        // A re-issued assignment for the same slot resends too.
+        assert_eq!(session.on_frame(&assign, 210), first);
+        assert_eq!(session.reports_sent(), 1, "retransmits are not reports");
+        assert_eq!(session.retransmits(), 2);
+        // Once acknowledged, duplicates of the assignment go unanswered.
+        session.on_frame(&FleetMessage::ReportAck { round: 1 }, 220);
+        assert!(session.on_frame(&assign, 230).is_empty());
+        assert_eq!(session.report_acks(), 1);
+    }
+
+    #[test]
+    fn busy_hints_are_surfaced_once() {
+        let (mut session, _) = ClientSession::new(1, FailMode::None);
+        assert!(session
+            .on_frame(
+                &FleetMessage::Busy {
+                    retry_after_ms: 250
+                },
+                0
+            )
+            .is_empty());
+        assert_eq!(session.take_busy_hint(), Some(250));
+        assert_eq!(session.take_busy_hint(), None);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_capped() {
+        let first = backoff_ms(7, 1, 50, 2_000);
+        assert_eq!(first, backoff_ms(7, 1, 50, 2_000), "pure function");
+        assert!(
+            (25..50).contains(&first),
+            "attempt 1 lands in [base/2, base)"
+        );
+        let late = backoff_ms(7, 12, 50, 2_000);
+        assert!(
+            (1_000..2_000).contains(&late),
+            "deep attempts saturate at [cap/2, cap), got {late}"
+        );
+        assert_ne!(
+            backoff_ms(1, 3, 50, 2_000),
+            backoff_ms(2, 3, 50, 2_000),
+            "different clients jitter apart"
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! [`BasicBitPushing`] (Algorithm 1), so fleet rounds publish the same
 //! `estimate`/`predicted_std` surface as the simulated paths.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use fednum_core::accumulator::BitAccumulator;
 use fednum_core::encoding::FixedPointCodec;
@@ -90,6 +90,17 @@ pub struct FleetConfig {
     /// Per-round deadline: slots still unreported this long after the
     /// round starts are abandoned and the round completes without them.
     pub round_deadline_ms: u64,
+    /// How long a disconnected client may take to reconnect and resume
+    /// before its registration (and any held slot) is expired and
+    /// salvaged. `0` disables resume: a disconnect salvages on the next
+    /// tick, the pre-resume behavior.
+    pub resume_grace_ms: u64,
+    /// Pacing floor between rounds: the next round forms no sooner than
+    /// this long after the previous one completed. `0` (the default)
+    /// forms rounds back to back; a spacing of about one heartbeat gives
+    /// stragglers, reconnects, and in-flight faults time to heal off the
+    /// round's critical path.
+    pub round_spacing_ms: u64,
     /// Seed for cohort selection and bit assignment.
     pub seed: u64,
     /// Seed for the participants' value generator (see [`client_value`]).
@@ -157,6 +168,8 @@ impl FleetConfig {
             heartbeat_ms,
             liveness_ms,
             round_deadline_ms: liveness_ms.saturating_mul(4).max(1),
+            resume_grace_ms: liveness_ms,
+            round_spacing_ms: 0,
             seed: 0,
             value_seed: 0,
         })
@@ -180,6 +193,21 @@ impl FleetConfig {
     #[must_use]
     pub fn with_round_deadline_ms(mut self, deadline_ms: u64) -> Self {
         self.round_deadline_ms = deadline_ms.max(1);
+        self
+    }
+
+    /// Sets the reconnect/resume grace window (`0` disables resume).
+    #[must_use]
+    pub fn with_resume_grace_ms(mut self, grace_ms: u64) -> Self {
+        self.resume_grace_ms = grace_ms;
+        self
+    }
+
+    /// Sets the pacing floor between consecutive rounds (`0` forms
+    /// rounds back to back).
+    #[must_use]
+    pub fn with_round_spacing_ms(mut self, spacing_ms: u64) -> Self {
+        self.round_spacing_ms = spacing_ms;
         self
     }
 }
@@ -238,9 +266,15 @@ impl Selector {
 /// One registered participant.
 #[derive(Debug)]
 struct Member {
-    conn: u64,
+    /// The live connection carrying this member, or `None` while it is
+    /// disconnected and inside the resume grace window.
+    conn: Option<u64>,
     token: u64,
     last_beat_ms: u64,
+    /// When the connection dropped (set iff `conn` is `None`): the resume
+    /// grace clock. While disconnected the heartbeat clock is suspended —
+    /// beats are physically impossible — and this clock governs expiry.
+    disconnected_ms: Option<u64>,
     /// Index of the slot this member holds in the active round.
     assigned: Option<usize>,
 }
@@ -303,6 +337,34 @@ pub struct FleetLedger {
     pub report_acks: u64,
     /// Done frames sent.
     pub dones: u64,
+    /// Dismissal acknowledgements received. A dismissed member stays
+    /// registered — and the campaign stays open — until its ack arrives
+    /// or its resume grace lapses, so a `Done` lost to a connection
+    /// fault is re-collected via `Resume` instead of stranding the
+    /// client against a torn-down daemon.
+    pub done_acks: u64,
+    /// Sessions re-bound to a new connection after a fault — token-bearing
+    /// [`FleetMessage::Resume`] frames plus token-less re-rendezvous of a
+    /// disconnected client. Acks satisfy
+    /// `rendezvous_acks == rendezvous + resumes` while the campaign runs.
+    pub resumes: u64,
+    /// Cohort assignments re-sent to a resumed client that still held an
+    /// unreported slot. Accounted separately so `cohort_assigns` stays
+    /// drafts + salvage refills, identical to a fault-free run.
+    pub resumed_assigns: u64,
+    /// Retransmitted reports recognized as already counted: acked again,
+    /// never folded into the accumulator, never billed twice. Acks satisfy
+    /// `report_acks == reports + dup_reports`.
+    pub dup_reports: u64,
+    /// Connections shed at accept with [`FleetMessage::Busy`] (accept
+    /// storm: the daemon was at its connection cap). Event count only —
+    /// shed sockets never join the fleet, so no bytes are ledgered.
+    pub busy_sheds: u64,
+    /// Connections dropped by the read-progress deadline (a frame sat
+    /// partially delivered too long — slow-loris defense).
+    pub stalled_drops: u64,
+    /// Connections dropped for exceeding the per-connection buffer bound.
+    pub overflow_drops: u64,
     /// Encoded uplink payload bytes accepted.
     pub bytes_in: u64,
     /// Encoded downlink payload bytes sent.
@@ -366,8 +428,21 @@ pub struct FleetEngine {
     registry: BTreeMap<u64, Member>,
     /// connection id → client id.
     by_conn: HashMap<u64, u64>,
+    /// client id → (round, bit index) of its last accepted report: the
+    /// dedup record that makes retransmission after resume idempotent.
+    reported: HashMap<u64, (u64, u32)>,
+    /// Connections the engine has issued a [`FleetAction::Close`] for but
+    /// whose teardown the daemon has not yet confirmed. Frames already
+    /// buffered behind the close (a heartbeat flushed alongside a final
+    /// report, a duplicated delivery) drain after the engine forgot the
+    /// binding; they are an artifact of the close, not protocol abuse, so
+    /// `on_message` ignores them instead of counting a violation.
+    closing: HashSet<u64>,
     round: Option<ActiveRound>,
     rounds_done: u64,
+    /// No round forms before this instant — the pacing floor
+    /// (`round_spacing_ms`) stamped when the previous round completed.
+    next_round_at_ms: u64,
     reports: Vec<FleetRoundReport>,
     ledger: FleetLedger,
     done: bool,
@@ -388,8 +463,11 @@ impl FleetEngine {
             cfg,
             registry: BTreeMap::new(),
             by_conn: HashMap::new(),
+            reported: HashMap::new(),
+            closing: HashSet::new(),
             round: None,
             rounds_done: 0,
+            next_round_at_ms: 0,
             reports: Vec::new(),
             ledger: FleetLedger::default(),
             done: false,
@@ -414,10 +492,44 @@ impl FleetEngine {
         self.ledger
     }
 
-    /// Whether every configured round has completed.
+    /// Whether every configured round has completed *and* every member
+    /// has been dismissed. A member that was mid-reconnect when the last
+    /// round closed keeps its registration for the resume grace window,
+    /// so a faulted client can still come back for its `Done` before the
+    /// daemon tears the campaign down.
     #[must_use]
     pub fn done(&self) -> bool {
-        self.done
+        self.done && self.registry.is_empty()
+    }
+
+    /// Records a connection shed at accept with a `Busy` frame (the
+    /// daemon's accept-storm defense; the socket never reaches the engine).
+    pub fn note_busy_shed(&mut self) {
+        self.ledger.busy_sheds += 1;
+    }
+
+    /// Records a connection dropped by the read-progress deadline.
+    pub fn note_stalled_drop(&mut self) {
+        self.ledger.stalled_drops += 1;
+    }
+
+    /// Records a connection dropped for exceeding its buffer bound.
+    pub fn note_overflow_drop(&mut self) {
+        self.ledger.overflow_drops += 1;
+    }
+
+    /// The session token for `client_id` — a pure function of the
+    /// configured seed, so a resuming client can be re-authenticated even
+    /// after the engine expired (or never completed) its registration.
+    fn session_token(&self, client_id: u64) -> u64 {
+        splitmix64(self.cfg.seed ^ splitmix64(client_id ^ 0xF1EE7))
+    }
+
+    /// Issues a close for `conn` and tombstones it until the daemon
+    /// confirms the teardown (see the `closing` field).
+    fn close_conn(&mut self, out: &mut Vec<FleetAction>, conn: u64) {
+        self.closing.insert(conn);
+        out.push(FleetAction::Close(conn));
     }
 
     fn send(&mut self, out: &mut Vec<FleetAction>, conn: u64, msg: FleetMessage) {
@@ -449,6 +561,11 @@ impl FleetEngine {
         if !msg.is_uplink() {
             return Err(FleetViolation("downlink frame on the uplink"));
         }
+        if self.closing.contains(&conn) {
+            // Buffered tail of a connection we already closed (dismissal,
+            // rebind kick): ignore rather than misread as abuse.
+            return Ok(Vec::new());
+        }
         let mut out = Vec::new();
         match *msg {
             FleetMessage::Rendezvous { client_id, .. } => {
@@ -456,9 +573,11 @@ impl FleetEngine {
                     return Err(FleetViolation("rendezvous on an established connection"));
                 }
                 self.ledger.bytes_in += msg.encoded_len() as u64;
-                self.ledger.rendezvous += 1;
                 if self.done {
-                    // Campaign already over: dismiss politely.
+                    // Campaign already over: dismiss politely (and retire
+                    // any registration held open for this straggler).
+                    self.registry.remove(&client_id);
+                    self.ledger.rendezvous += 1;
                     self.send(
                         &mut out,
                         conn,
@@ -466,41 +585,111 @@ impl FleetEngine {
                             rounds: self.rounds_done,
                         },
                     );
-                    out.push(FleetAction::Close(conn));
+                    self.close_conn(&mut out, conn);
                     return Ok(out);
                 }
-                if self.registry.contains_key(&client_id) {
-                    return Err(FleetViolation("duplicate client id"));
+                match self.registry.get(&client_id) {
+                    Some(member) if member.conn.is_some() => {
+                        return Err(FleetViolation("duplicate client id"));
+                    }
+                    Some(_) => {
+                        // Token-less reconnect: a client that lost its
+                        // connection (possibly before ever seeing the ack)
+                        // re-rendezvousing inside its grace window.
+                        self.ledger.resumes += 1;
+                        self.rebind(client_id, conn, now_ms, &mut out);
+                    }
+                    None => {
+                        self.ledger.rendezvous += 1;
+                        let token = self.session_token(client_id);
+                        self.registry.insert(
+                            client_id,
+                            Member {
+                                conn: Some(conn),
+                                token,
+                                last_beat_ms: now_ms,
+                                disconnected_ms: None,
+                                assigned: None,
+                            },
+                        );
+                        self.by_conn.insert(conn, client_id);
+                        self.send(
+                            &mut out,
+                            conn,
+                            FleetMessage::RendezvousAck {
+                                session_token: token,
+                                heartbeat_ms: self.cfg.heartbeat_ms,
+                                liveness_ms: self.cfg.liveness_ms,
+                            },
+                        );
+                        if let Some(round) = &self.round {
+                            // Late arrival: wait out the round in progress.
+                            let retry = round.deadline_ms.saturating_sub(now_ms).max(1);
+                            let notice = FleetMessage::CohortWait {
+                                round: round.round,
+                                retry_ms: retry,
+                            };
+                            self.send(&mut out, conn, notice);
+                        }
+                    }
                 }
-                let token = splitmix64(self.cfg.seed ^ splitmix64(client_id ^ 0xF1EE7));
-                self.registry.insert(
-                    client_id,
-                    Member {
-                        conn,
-                        token,
+            }
+            FleetMessage::Resume {
+                client_id,
+                session_token,
+                // Advisory: the count of acks the client has seen. The
+                // dedup record (`self.reported`) is authoritative, so the
+                // nonce is carried for diagnostics, not trusted for state.
+                report_nonce: _,
+            } => {
+                if self.by_conn.contains_key(&conn) {
+                    return Err(FleetViolation("resume on an established connection"));
+                }
+                // The token is a pure function of the seed, so even a
+                // client the engine already expired re-authenticates.
+                if session_token != self.session_token(client_id) {
+                    return Err(FleetViolation("resume with a bad session token"));
+                }
+                self.ledger.bytes_in += msg.encoded_len() as u64;
+                self.ledger.resumes += 1;
+                if self.done {
+                    // Re-deliver the dismissal on the fresh connection.
+                    // The registration (re-created if the grace already
+                    // lapsed) stays bound until the DoneAck arrives, so
+                    // a dismissal lost to *this* connection's fault is
+                    // collected on the next resume.
+                    let member = self.registry.entry(client_id).or_insert_with(|| Member {
+                        conn: None,
+                        token: session_token,
                         last_beat_ms: now_ms,
+                        disconnected_ms: None,
                         assigned: None,
-                    },
-                );
-                self.by_conn.insert(conn, client_id);
-                self.send(
-                    &mut out,
-                    conn,
-                    FleetMessage::RendezvousAck {
-                        session_token: token,
-                        heartbeat_ms: self.cfg.heartbeat_ms,
-                        liveness_ms: self.cfg.liveness_ms,
-                    },
-                );
-                if let Some(round) = &self.round {
-                    // Late arrival: wait out the round in progress.
-                    let retry = round.deadline_ms.saturating_sub(now_ms).max(1);
-                    let notice = FleetMessage::CohortWait {
-                        round: round.round,
-                        retry_ms: retry,
-                    };
-                    self.send(&mut out, conn, notice);
+                    });
+                    if let Some(old) = member.conn.replace(conn) {
+                        self.by_conn.remove(&old);
+                    }
+                    member.disconnected_ms = None;
+                    member.last_beat_ms = now_ms;
+                    self.by_conn.insert(conn, client_id);
+                    self.send(
+                        &mut out,
+                        conn,
+                        FleetMessage::Done {
+                            rounds: self.rounds_done,
+                        },
+                    );
+                    return Ok(out);
                 }
+                // Expired past its grace window (or the original
+                // rendezvous never reached us): re-admit as idle.
+                self.registry.entry(client_id).or_insert_with(|| Member {
+                    conn: None,
+                    token: session_token,
+                    last_beat_ms: now_ms,
+                    disconnected_ms: None,
+                    assigned: None,
+                });
+                self.rebind(client_id, conn, now_ms, &mut out);
             }
             FleetMessage::Heartbeat { session_token, seq } => {
                 let client = *self
@@ -538,7 +727,18 @@ impl FleetEngine {
                 }
                 // A report is also proof of life.
                 member.last_beat_ms = now_ms;
-                let Some(slot_idx) = member.assigned else {
+                let assigned = member.assigned;
+                if self.reported.get(&client) == Some(&(round, bit_index)) {
+                    // Retransmit of an already-counted report — the ack
+                    // was lost in a connection fault. Ack again; fold
+                    // nothing into the accumulator, bill nothing to the
+                    // privacy ledger. This is the idempotence invariant.
+                    self.ledger.bytes_in += msg.encoded_len() as u64;
+                    self.ledger.dup_reports += 1;
+                    self.send(&mut out, conn, FleetMessage::ReportAck { round });
+                    return Ok(out);
+                }
+                let Some(slot_idx) = assigned else {
                     return Err(FleetViolation("report without an assignment"));
                 };
                 let active = self
@@ -563,30 +763,110 @@ impl FleetEngine {
                     .get_mut(&client)
                     .expect("member exists")
                     .assigned = None;
+                self.reported.insert(client, (round, bit_index));
                 self.ledger.bytes_in += msg.encoded_len() as u64;
                 self.ledger.reports += 1;
                 self.send(&mut out, conn, FleetMessage::ReportAck { round });
                 if self.round.as_ref().is_some_and(|r| r.pending == 0) {
-                    self.complete_round(&mut out);
+                    self.complete_round(now_ms, &mut out);
                 }
+            }
+            FleetMessage::DoneAck { session_token } => {
+                if !self.done {
+                    return Err(FleetViolation("done-ack before dismissal"));
+                }
+                let client = *self
+                    .by_conn
+                    .get(&conn)
+                    .ok_or(FleetViolation("done-ack before rendezvous"))?;
+                let member = self
+                    .registry
+                    .get(&client)
+                    .ok_or(FleetViolation("done-ack from an expired client"))?;
+                if member.token != session_token {
+                    return Err(FleetViolation("done-ack with a bad session token"));
+                }
+                // The dismissal round-trip is complete: retire the
+                // registration and close out the connection. Once the
+                // last member acks out, `done()` reports completion.
+                self.ledger.bytes_in += msg.encoded_len() as u64;
+                self.ledger.done_acks += 1;
+                self.registry.remove(&client);
+                self.by_conn.remove(&conn);
+                self.close_conn(&mut out, conn);
             }
             _ => unreachable!("is_uplink() admitted a downlink frame"),
         }
         Ok(out)
     }
 
-    /// Handles a connection teardown (EOF, reset, or protocol-error drop).
-    /// If the client held a cohort slot, the slot goes to salvage.
-    pub fn on_disconnect(&mut self, conn: u64, now_ms: u64) -> Vec<FleetAction> {
-        let mut out = Vec::new();
-        if let Some(client) = self.by_conn.remove(&conn) {
-            if let Some(member) = self.registry.remove(&client) {
-                if let Some(slot_idx) = member.assigned {
-                    self.vacate(slot_idx, Death::Hangup, now_ms, &mut out);
-                }
+    /// Re-binds a known member to a fresh connection after a fault: kicks
+    /// any stale half-open connection, acks with the *same* session token,
+    /// then re-issues the member's pending assignment — or a stand-by
+    /// notice mid-round — so the resumed client picks up exactly where the
+    /// fault cut it off.
+    fn rebind(&mut self, client_id: u64, conn: u64, now_ms: u64, out: &mut Vec<FleetAction>) {
+        let member = self.registry.get_mut(&client_id).expect("caller checked");
+        let stale = member.conn.take();
+        member.conn = Some(conn);
+        member.disconnected_ms = None;
+        member.last_beat_ms = now_ms;
+        let token = member.token;
+        let assigned = member.assigned;
+        if let Some(old) = stale {
+            self.by_conn.remove(&old);
+            self.close_conn(out, old);
+        }
+        self.by_conn.insert(conn, client_id);
+        self.send(
+            out,
+            conn,
+            FleetMessage::RendezvousAck {
+                session_token: token,
+                heartbeat_ms: self.cfg.heartbeat_ms,
+                liveness_ms: self.cfg.liveness_ms,
+            },
+        );
+        if let Some(active) = &self.round {
+            let remaining = active.deadline_ms.saturating_sub(now_ms).max(1);
+            if let Some(slot_idx) = assigned {
+                let reissue = FleetMessage::CohortAssign {
+                    round: active.round,
+                    bit_index: active.slots[slot_idx].bit_index,
+                    bits: self.cfg.bits,
+                    value_seed: self.cfg.value_seed,
+                    deadline_ms: remaining,
+                };
+                // Bypasses `send`: a re-issued assignment must not perturb
+                // `cohort_assigns` (drafts + refills — the counter a
+                // fault-free run of the same seed reproduces exactly).
+                self.ledger.resumed_assigns += 1;
+                self.ledger.bytes_out += reissue.encoded_len() as u64;
+                out.push(FleetAction::Send(conn, reissue));
+            } else {
+                let notice = FleetMessage::CohortWait {
+                    round: active.round,
+                    retry_ms: remaining,
+                };
+                self.send(out, conn, notice);
             }
         }
-        out
+    }
+
+    /// Handles a connection teardown (EOF, reset, or protocol-error drop).
+    /// The member is *not* expired: it keeps its registration — and any
+    /// held cohort slot — for `resume_grace_ms`, giving the client time to
+    /// reconnect and resume. Only when the grace window lapses does
+    /// [`FleetEngine::tick`] expire it and hand the slot to salvage.
+    pub fn on_disconnect(&mut self, conn: u64, now_ms: u64) -> Vec<FleetAction> {
+        self.closing.remove(&conn);
+        if let Some(client) = self.by_conn.remove(&conn) {
+            if let Some(member) = self.registry.get_mut(&client) {
+                member.conn = None;
+                member.disconnected_ms = Some(now_ms);
+            }
+        }
+        Vec::new()
     }
 
     /// Advances time: expires silent clients, refills their slots,
@@ -594,31 +874,67 @@ impl FleetEngine {
     pub fn tick(&mut self, now_ms: u64) -> Vec<FleetAction> {
         let mut out = Vec::new();
         if self.done {
+            // Post-campaign: the only remaining work is retiring
+            // registrations held open for unacknowledged dismissals —
+            // connected members that never sent DoneAck (grace runs from
+            // the dismissal) and mid-reconnect stragglers (grace runs
+            // from the disconnect). Nothing is salvaged — no round can be
+            // active — so `done()` eventually reports completion even if
+            // a faulted client never returns for its dismissal.
+            let lapsed: Vec<u64> = self
+                .registry
+                .iter()
+                .filter_map(|(&id, m)| {
+                    let since = m.disconnected_ms.unwrap_or(m.last_beat_ms);
+                    (now_ms.saturating_sub(since) > self.cfg.resume_grace_ms).then_some(id)
+                })
+                .collect();
+            for id in lapsed {
+                if let Some(member) = self.registry.remove(&id) {
+                    if let Some(conn) = member.conn {
+                        self.by_conn.remove(&conn);
+                        self.close_conn(&mut out, conn);
+                    }
+                }
+            }
             return out;
         }
-        // Heartbeat sweep. Collect first: expiring mutates the registry.
-        let expired: Vec<u64> = self
+        // Expiry sweep. Collect first: expiring mutates the registry.
+        // Connected members live by the heartbeat clock; disconnected
+        // members (beats are physically impossible) live by the resume
+        // grace clock, and expire as hangups.
+        let expired: Vec<(u64, Death)> = self
             .registry
             .iter()
-            .filter(|(_, m)| self.monitor.is_dead(m.last_beat_ms, now_ms))
-            .map(|(&id, _)| id)
+            .filter_map(|(&id, m)| match m.disconnected_ms {
+                Some(since) => (now_ms.saturating_sub(since) > self.cfg.resume_grace_ms)
+                    .then_some((id, Death::Hangup)),
+                None => self
+                    .monitor
+                    .is_dead(m.last_beat_ms, now_ms)
+                    .then_some((id, Death::Heartbeat)),
+            })
             .collect();
-        for client in expired {
+        for (client, death) in expired {
             let member = self.registry.remove(&client).expect("collected above");
-            self.by_conn.remove(&member.conn);
-            out.push(FleetAction::Close(member.conn));
+            if let Some(conn) = member.conn {
+                self.by_conn.remove(&conn);
+                self.close_conn(&mut out, conn);
+            }
             if let Some(slot_idx) = member.assigned {
-                self.vacate(slot_idx, Death::Heartbeat, now_ms, &mut out);
+                self.vacate(slot_idx, death, now_ms, &mut out);
             }
         }
         // Round deadline.
         if self.round.as_ref().is_some_and(|r| now_ms >= r.deadline_ms) {
-            self.complete_round(&mut out);
+            self.complete_round(now_ms, &mut out);
         }
         // Round formation. The first round waits for the configured
         // population floor; later rounds only need a fillable cohort, so
-        // churn cannot deadlock a campaign that already formed.
-        if self.round.is_none() && !self.done {
+        // churn cannot deadlock a campaign that already formed. The
+        // pacing floor (`round_spacing_ms`) holds the next round back so
+        // stragglers and reconnects heal off the critical path.
+        if self.round.is_none() && !self.done && now_ms >= self.next_round_at_ms {
             let needed = if self.rounds_done == 0 {
                 self.cfg.min_population.max(self.cfg.cohort_size)
             } else {
@@ -664,29 +980,37 @@ impl FleetEngine {
             });
             let member = self.registry.get_mut(&client).expect("drawn from registry");
             member.assigned = Some(i);
-            let conn = member.conn;
-            self.send(
-                out,
-                conn,
-                FleetMessage::CohortAssign {
-                    round,
-                    bit_index,
-                    bits: self.cfg.bits,
-                    value_seed: self.cfg.value_seed,
-                    deadline_ms: self.cfg.round_deadline_ms,
-                },
-            );
+            match member.conn {
+                Some(conn) => self.send(
+                    out,
+                    conn,
+                    FleetMessage::CohortAssign {
+                        round,
+                        bit_index,
+                        bits: self.cfg.bits,
+                        value_seed: self.cfg.value_seed,
+                        deadline_ms: self.cfg.round_deadline_ms,
+                    },
+                ),
+                // Drafted mid-reconnect: the slot is assigned (the draw is
+                // a pure function of the registry, which must not depend
+                // on transient socket state), the frame goes out on
+                // resume. Count the draft so `cohort_assigns` still reads
+                // drafts + refills, identical to the fault-free run.
+                None => self.ledger.cohort_assigns += 1,
+            }
         }
         for &client in &standby {
-            let conn = self.registry[&client].conn;
-            self.send(
-                out,
-                conn,
-                FleetMessage::CohortWait {
-                    round,
-                    retry_ms: self.cfg.round_deadline_ms,
-                },
-            );
+            if let Some(conn) = self.registry[&client].conn {
+                self.send(
+                    out,
+                    conn,
+                    FleetMessage::CohortWait {
+                        round,
+                        retry_ms: self.cfg.round_deadline_ms,
+                    },
+                );
+            }
         }
         let pending = slots.len();
         self.round = Some(ActiveRound {
@@ -721,7 +1045,7 @@ impl FleetEngine {
             if self
                 .registry
                 .get(&candidate)
-                .is_some_and(|m| m.assigned.is_none())
+                .is_some_and(|m| m.assigned.is_none() && m.conn.is_some())
             {
                 replacement = Some(candidate);
                 break;
@@ -739,7 +1063,7 @@ impl FleetEngine {
         let bit_index = active.slots[slot_idx].bit_index;
         let member = self.registry.get_mut(&client).expect("checked above");
         member.assigned = Some(slot_idx);
-        let conn = member.conn;
+        let conn = member.conn.expect("candidate filter requires a live conn");
         self.send(
             out,
             conn,
@@ -753,10 +1077,11 @@ impl FleetEngine {
         );
     }
 
-    fn complete_round(&mut self, out: &mut Vec<FleetAction>) {
+    fn complete_round(&mut self, now_ms: u64, out: &mut Vec<FleetAction>) {
         let Some(active) = self.round.take() else {
             return;
         };
+        self.next_round_at_ms = now_ms.saturating_add(self.cfg.round_spacing_ms);
         // Release members still holding unreported slots (deadline path).
         let mut abandoned = 0u64;
         for slot in &active.slots {
@@ -784,9 +1109,13 @@ impl FleetEngine {
         self.rounds_done += 1;
         if self.rounds_done >= self.cfg.rounds {
             self.done = true;
-            // Dismiss the fleet: every live connection gets Done and a
-            // graceful close.
-            let conns: Vec<u64> = self.registry.values().map(|m| m.conn).collect();
+            // Dismiss the fleet: every live connection gets Done, but
+            // every member stays registered until its DoneAck arrives —
+            // a dismissal lost to a connection fault is re-collected via
+            // Resume, and `done()` holds the campaign open until the
+            // last member is acknowledged-out or its grace lapses, so
+            // the daemon never tears down under a still-retrying client.
+            let conns: Vec<u64> = self.registry.values().filter_map(|m| m.conn).collect();
             for conn in conns {
                 self.send(
                     out,
@@ -795,10 +1124,13 @@ impl FleetEngine {
                         rounds: self.rounds_done,
                     },
                 );
-                out.push(FleetAction::Close(conn));
             }
-            self.registry.clear();
-            self.by_conn.clear();
+            // The dismissal restarts every member's grace clock: from
+            // here the heartbeat contract is void and the DoneAck (or
+            // the grace lapse) is the only exit.
+            for member in self.registry.values_mut() {
+                member.last_beat_ms = now_ms;
+            }
         }
     }
 }
@@ -930,7 +1262,14 @@ mod tests {
     }
 
     /// Drives a full round: every assigned client reports its true bit.
-    fn report_all(engine: &mut FleetEngine, tokens: &[(u64, u64)], actions: &[FleetAction]) {
+    /// Returns everything the engine said back — the dismissals in there
+    /// still need acknowledging (see [`ack_dones`]) before `done()` holds.
+    fn report_all(
+        engine: &mut FleetEngine,
+        tokens: &[(u64, u64)],
+        actions: &[FleetAction],
+    ) -> Vec<FleetAction> {
+        let mut said = Vec::new();
         for (conn, round, bit_index) in assigns(actions) {
             let token = tokens.iter().find(|(c, _)| *c == conn).unwrap().1;
             let client_id = 1000 + conn;
@@ -949,8 +1288,52 @@ mod tests {
                 )
                 .unwrap();
             // Salvage refills can draft new clients mid-drain.
-            report_all(engine, tokens, &more);
+            let nested = report_all(engine, tokens, &more);
+            said.extend(more);
+            said.extend(nested);
         }
+        said
+    }
+
+    /// Every client sent a `Done` in `actions` acknowledges its dismissal,
+    /// releasing its registration.
+    fn ack_dones(engine: &mut FleetEngine, tokens: &[(u64, u64)], actions: &[FleetAction]) {
+        for action in actions {
+            let FleetAction::Send(conn, FleetMessage::Done { .. }) = action else {
+                continue;
+            };
+            let token = tokens.iter().find(|(c, _)| c == conn).unwrap().1;
+            engine
+                .on_message(
+                    *conn,
+                    &FleetMessage::DoneAck {
+                        session_token: token,
+                    },
+                    60,
+                )
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn round_spacing_holds_the_next_round_back() {
+        let mut engine = FleetEngine::new(cfg().with_round_spacing_ms(300));
+        let tokens = rendezvous_all(&mut engine, 6, 0);
+        let actions = engine.tick(10);
+        assert_eq!(assigns(&actions).len(), 4, "round 0 forms immediately");
+        // All reports land at t=50 (report_all's clock); the next round
+        // may not form before t=350.
+        report_all(&mut engine, &tokens, &actions);
+        assert!(
+            assigns(&engine.tick(200)).is_empty(),
+            "round 1 formed inside the 300 ms pacing floor"
+        );
+        let actions = engine.tick(351);
+        assert_eq!(
+            assigns(&actions).len(),
+            4,
+            "round 1 forms once the pacing floor elapses"
+        );
     }
 
     #[test]
@@ -995,13 +1378,15 @@ mod tests {
 
     #[test]
     fn hangup_salvages_and_rounds_complete_with_exact_ledger() {
-        let mut engine = FleetEngine::new(cfg());
+        // Grace 0 = resume disabled: a disconnect salvages on the next tick.
+        let mut engine = FleetEngine::new(cfg().with_resume_grace_ms(0));
         let tokens = rendezvous_all(&mut engine, 6, 0);
         let actions = engine.tick(10);
         let drafted = assigns(&actions);
         let (dead_conn, ..) = drafted[1];
         // One drafted client hangs up mid-round.
-        let salvage = engine.on_disconnect(dead_conn, 20);
+        let mut salvage = engine.on_disconnect(dead_conn, 20);
+        salvage.extend(engine.tick(21));
         assert_eq!(assigns(&salvage).len(), 1, "hangup slot refilled");
         // Everyone else reports truthfully; the refilled client too.
         let mut all = actions.clone();
@@ -1017,11 +1402,18 @@ mod tests {
         assert_eq!(r0.salvaged_heartbeat, 0);
         assert_eq!(r0.abandoned, 0);
         let actions = engine.tick(100);
-        report_all(&mut engine, &tokens, &actions);
+        let finale = report_all(&mut engine, &tokens, &actions);
+        assert!(
+            !engine.done(),
+            "dismissals are out but unacknowledged: registrations held"
+        );
+        ack_dones(&mut engine, &tokens, &finale);
         assert!(engine.done());
         assert_eq!(engine.reports().len(), 2);
-        // The dismissal notified every survivor.
+        // The dismissal notified every survivor, and every survivor
+        // acknowledged it.
         let ledger = engine.ledger();
+        assert_eq!(ledger.done_acks, 5);
         assert_eq!(ledger.rendezvous, 6);
         assert_eq!(ledger.rendezvous_acks, 6);
         assert_eq!(ledger.heartbeats, ledger.heartbeat_acks);
@@ -1048,7 +1440,8 @@ mod tests {
         let mut engine = FleetEngine::new(cfg);
         let tokens = rendezvous_all(&mut engine, 80, 0);
         let actions = engine.tick(10);
-        report_all(&mut engine, &tokens, &actions);
+        let finale = report_all(&mut engine, &tokens, &actions);
+        ack_dones(&mut engine, &tokens, &finale);
         assert!(engine.done());
         let report = &engine.reports()[0];
         assert_eq!(report.reports, 64);
@@ -1151,6 +1544,362 @@ mod tests {
                 0
             )
             .is_err());
+        // Resume with a token that is not the client's derived token.
+        let err = engine
+            .on_message(
+                5,
+                &FleetMessage::Resume {
+                    client_id: 1000,
+                    session_token: tokens[0].1 ^ 1,
+                    report_nonce: 0,
+                },
+                0,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("bad session token"));
+        // Resume on an already-established connection.
+        let err = engine
+            .on_message(
+                0,
+                &FleetMessage::Resume {
+                    client_id: 1000,
+                    session_token: tokens[0].1,
+                    report_nonce: 0,
+                },
+                0,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("established connection"));
+    }
+
+    #[test]
+    fn heartbeat_at_exactly_the_liveness_boundary_is_alive() {
+        // The monitor's bound is strict: silence of exactly `liveness_ms`
+        // is alive, one millisecond more is dead.
+        let monitor = HeartbeatMonitor::new(500);
+        assert!(!monitor.is_dead(100, 600), "boundary beat is alive");
+        assert!(monitor.is_dead(100, 601), "one past the boundary is dead");
+        // And through the engine: a member whose last beat is exactly
+        // liveness_ms old survives the sweep.
+        let mut engine = FleetEngine::new(cfg());
+        rendezvous_all(&mut engine, 1, 0);
+        engine.tick(500);
+        assert_eq!(engine.live_population(), 1, "alive at the boundary");
+        engine.tick(501);
+        assert_eq!(engine.live_population(), 0, "expired past the boundary");
+    }
+
+    /// Runs both rounds of `cfg()` to completion with one waiter
+    /// disconnected mid-campaign; returns `(engine, waiter_conn, token)`.
+    fn campaign_with_a_mid_reconnect_straggler() -> (FleetEngine, u64, u64) {
+        let mut engine = FleetEngine::new(cfg());
+        let tokens = rendezvous_all(&mut engine, 6, 0);
+        let round0 = engine.tick(10);
+        report_all(&mut engine, &tokens, &round0);
+        let round1 = engine.tick(60);
+        let drafted: Vec<u64> = assigns(&round1).iter().map(|&(c, ..)| c).collect();
+        let waiter = (0..6).find(|c| !drafted.contains(c)).expect("a standby");
+        let token = tokens.iter().find(|(c, _)| *c == waiter).unwrap().1;
+        // The standby's connection faults just before the campaign ends.
+        engine.on_disconnect(waiter, 70);
+        let finale = report_all(&mut engine, &tokens, &round1);
+        assert_eq!(engine.reports().len(), 2, "both rounds completed");
+        // The five connected members acknowledge their dismissal; only
+        // the disconnected waiter's registration is left holding.
+        ack_dones(&mut engine, &tokens, &finale);
+        (engine, waiter, token)
+    }
+
+    #[test]
+    fn done_holds_the_campaign_open_until_a_straggler_resumes() {
+        let (mut engine, waiter, token) = campaign_with_a_mid_reconnect_straggler();
+        assert!(
+            !engine.done(),
+            "campaign stays open for the mid-reconnect straggler"
+        );
+        engine.tick(300); // inside the 500 ms resume grace window
+        assert!(!engine.done(), "grace window still open");
+        let dismissed = engine
+            .on_message(
+                99,
+                &FleetMessage::Resume {
+                    client_id: 1000 + waiter,
+                    session_token: token,
+                    report_nonce: 0,
+                },
+                350,
+            )
+            .unwrap();
+        assert!(
+            dismissed
+                .iter()
+                .any(|a| matches!(a, FleetAction::Send(99, FleetMessage::Done { .. }))),
+            "the straggler collects its dismissal"
+        );
+        assert!(
+            !engine.done(),
+            "the re-sent dismissal still awaits its acknowledgement"
+        );
+        engine
+            .on_message(
+                99,
+                &FleetMessage::DoneAck {
+                    session_token: token,
+                },
+                360,
+            )
+            .unwrap();
+        assert!(engine.done(), "campaign closes once the straggler is out");
+        assert_eq!(engine.ledger().dones, 6, "every member dismissed");
+        assert_eq!(engine.ledger().done_acks, 6, "and every member acked");
+    }
+
+    #[test]
+    fn done_fires_once_an_absent_stragglers_grace_lapses() {
+        let (mut engine, ..) = campaign_with_a_mid_reconnect_straggler();
+        assert!(!engine.done());
+        engine.tick(570); // exactly at the grace boundary: still held
+        assert!(!engine.done(), "boundary instant keeps the grace open");
+        engine.tick(571);
+        assert!(engine.done(), "a straggler that never returns lapses");
+        assert_eq!(engine.ledger().dones, 5, "only live members were dismissed");
+    }
+
+    #[test]
+    fn done_ack_is_guarded_like_every_other_uplink() {
+        // Before the dismissal it is a protocol violation outright.
+        let mut engine = FleetEngine::new(cfg());
+        let tokens = rendezvous_all(&mut engine, 6, 0);
+        let err = engine
+            .on_message(
+                0,
+                &FleetMessage::DoneAck {
+                    session_token: tokens[0].1,
+                },
+                5,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("before dismissal"));
+        // After it, a forged token is rejected and the registration held.
+        let round0 = engine.tick(10);
+        report_all(&mut engine, &tokens, &round0);
+        let round1 = engine.tick(60);
+        let finale = report_all(&mut engine, &tokens, &round1);
+        let err = engine
+            .on_message(
+                0,
+                &FleetMessage::DoneAck {
+                    session_token: tokens[0].1 ^ 1,
+                },
+                70,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("bad session token"));
+        assert!(!engine.done(), "a forged ack releases nothing");
+        ack_dones(&mut engine, &tokens, &finale);
+        assert!(engine.done());
+    }
+
+    #[test]
+    fn resume_rebinds_and_reissues_the_assignment() {
+        let mut engine = FleetEngine::new(cfg());
+        let tokens = rendezvous_all(&mut engine, 6, 0);
+        let actions = engine.tick(10);
+        let drafted = assigns(&actions);
+        let (lost_conn, _, lost_bit) = drafted[0];
+        let token = tokens.iter().find(|(c, _)| *c == lost_conn).unwrap().1;
+        let client_id = 1000 + lost_conn;
+        // The connection faults mid-round; inside the grace window (500 ms)
+        // nothing is salvaged and the registration survives.
+        engine.on_disconnect(lost_conn, 100);
+        assert!(
+            assigns(&engine.tick(300)).is_empty(),
+            "no salvage inside the grace window"
+        );
+        assert_eq!(engine.live_population(), 6);
+        // The client resumes on a fresh connection with its token and gets
+        // the same token acked plus its assignment re-issued verbatim.
+        let resumed = engine
+            .on_message(
+                77,
+                &FleetMessage::Resume {
+                    client_id,
+                    session_token: token,
+                    report_nonce: 0,
+                },
+                350,
+            )
+            .unwrap();
+        assert!(resumed.iter().any(|a| matches!(
+            a,
+            FleetAction::Send(77, FleetMessage::RendezvousAck { session_token, .. })
+                if *session_token == token
+        )));
+        assert_eq!(
+            assigns(&resumed),
+            vec![(77, 0, lost_bit)],
+            "same slot, same bit index, on the new connection"
+        );
+        let ledger = engine.ledger();
+        assert_eq!(ledger.resumes, 1);
+        assert_eq!(ledger.resumed_assigns, 1);
+        assert_eq!(
+            ledger.cohort_assigns, 4,
+            "a re-issued assignment is not a draft"
+        );
+        // The resumed client reports on the new connection; the round
+        // later completes with zero salvage.
+        engine
+            .on_message(
+                77,
+                &FleetMessage::Report {
+                    session_token: token,
+                    round: 0,
+                    bit_index: lost_bit,
+                    bit: false,
+                },
+                400,
+            )
+            .unwrap();
+        let mut rest = actions.clone();
+        rest.retain(|a| !matches!(a, FleetAction::Send(c, _) if *c == lost_conn));
+        report_all(&mut engine, &tokens, &rest);
+        assert_eq!(engine.reports().len(), 1);
+        let r0 = &engine.reports()[0];
+        assert_eq!(r0.reports, 4);
+        assert_eq!(r0.salvaged_hangup + r0.salvaged_heartbeat, 0);
+    }
+
+    #[test]
+    fn retransmitted_reports_are_acked_but_never_recounted() {
+        let mut engine = FleetEngine::new(cfg());
+        let tokens = rendezvous_all(&mut engine, 6, 0);
+        let actions = engine.tick(10);
+        let drafted = assigns(&actions);
+        let (conn, round, bit_index) = drafted[0];
+        let token = tokens.iter().find(|(c, _)| *c == conn).unwrap().1;
+        let client_id = 1000 + conn;
+        let report = FleetMessage::Report {
+            session_token: token,
+            round,
+            bit_index,
+            bit: true,
+        };
+        engine.on_message(conn, &report, 20).unwrap();
+        let before = engine.ledger();
+        // The ack is lost; the client retransmits on the same connection.
+        let replay = engine.on_message(conn, &report, 30).unwrap();
+        assert!(replay.iter().any(|a| matches!(
+            a,
+            FleetAction::Send(c, FleetMessage::ReportAck { .. }) if *c == conn
+        )));
+        let after = engine.ledger();
+        assert_eq!(after.reports, before.reports, "never recounted");
+        assert_eq!(after.dup_reports, 1);
+        assert_eq!(after.report_acks, after.reports + after.dup_reports);
+        // And across a resume: fault, re-bind, retransmit again.
+        engine.on_disconnect(conn, 40);
+        let resumed = engine
+            .on_message(
+                88,
+                &FleetMessage::Resume {
+                    client_id,
+                    session_token: token,
+                    report_nonce: 1,
+                },
+                50,
+            )
+            .unwrap();
+        assert!(
+            assigns(&resumed).is_empty(),
+            "already reported: nothing to re-issue"
+        );
+        engine.on_message(88, &report, 60).unwrap();
+        assert_eq!(engine.ledger().dup_reports, 2);
+        // The round still completes with exactly 4 counted reports.
+        let mut rest = actions.clone();
+        rest.retain(|a| !matches!(a, FleetAction::Send(c, _) if *c == conn));
+        report_all(&mut engine, &tokens, &rest);
+        assert_eq!(engine.reports().len(), 1);
+        assert_eq!(engine.reports()[0].reports, 4);
+    }
+
+    #[test]
+    fn grace_expiry_salvages_the_slot_as_a_hangup() {
+        let mut engine = FleetEngine::new(cfg());
+        let tokens = rendezvous_all(&mut engine, 6, 0);
+        let actions = engine.tick(10);
+        let (lost_conn, _, lost_bit) = assigns(&actions)[2];
+        engine.on_disconnect(lost_conn, 20);
+        // Everyone still connected beats at 400 so only the grace clock
+        // can expire anyone.
+        for (conn, token) in &tokens {
+            if *conn == lost_conn {
+                continue;
+            }
+            engine
+                .on_message(
+                    *conn,
+                    &FleetMessage::Heartbeat {
+                        session_token: *token,
+                        seq: 1,
+                    },
+                    400,
+                )
+                .unwrap();
+        }
+        // Grace (500 ms from the disconnect) lapses at 521: the member is
+        // expired as a hangup and its slot refilled from standby.
+        let salvage = engine.tick(521);
+        let refills = assigns(&salvage);
+        assert_eq!(refills.len(), 1, "slot refilled after grace");
+        assert_eq!(refills[0].2, lost_bit, "refill inherits the bit index");
+        assert!(
+            !salvage.iter().any(|a| matches!(a, FleetAction::Close(_))),
+            "no Close for a socket that is already gone"
+        );
+        assert_eq!(engine.live_population(), 5);
+    }
+
+    #[test]
+    fn token_less_rerendezvous_inside_grace_rebinds() {
+        let mut engine = FleetEngine::new(cfg());
+        rendezvous_all(&mut engine, 6, 0);
+        // Duplicate client id while its connection is live: still a
+        // violation (identity theft, not a reconnect).
+        assert!(engine
+            .on_message(
+                55,
+                &FleetMessage::Rendezvous {
+                    client_id: 1000,
+                    capabilities: 0
+                },
+                5
+            )
+            .is_err());
+        let actions = engine.tick(10);
+        let (lost_conn, _, lost_bit) = assigns(&actions)[0];
+        engine.on_disconnect(lost_conn, 20);
+        // A crashed-and-restarted client has no token; its plain
+        // re-rendezvous inside the grace window re-binds the session.
+        let out = engine
+            .on_message(
+                91,
+                &FleetMessage::Rendezvous {
+                    client_id: 1000 + lost_conn,
+                    capabilities: 0,
+                },
+                30,
+            )
+            .unwrap();
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, FleetAction::Send(91, FleetMessage::RendezvousAck { .. }))));
+        assert_eq!(assigns(&out), vec![(91, 0, lost_bit)]);
+        let ledger = engine.ledger();
+        assert_eq!(ledger.rendezvous, 6, "a rebind is not a new rendezvous");
+        assert_eq!(ledger.resumes, 1);
+        assert_eq!(ledger.rendezvous_acks, ledger.rendezvous + ledger.resumes);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod fleet;
 pub mod hier;
 pub mod message;
 pub mod net;
+pub mod netchaos;
 pub mod reactor;
 pub mod scheduler;
 pub mod session;
@@ -45,6 +46,7 @@ pub use net::{
     Envelope, InMemoryTransport, SimNetTransport, Transport, WireMetrics, BROADCAST, COORDINATOR,
     SHUFFLER,
 };
+pub use netchaos::{ChaosConfig, ChaosProxy, ChaosStats};
 pub use scheduler::EventQueue;
 pub use session::{MultiSessionEngine, SessionSlot};
 #[allow(deprecated)]

@@ -578,11 +578,58 @@ struct Inner {
     error: Option<FedError>,
 }
 
+impl Inner {
+    /// Configures a connected stream and performs the `Hello` handshake,
+    /// returning a fresh session state around it.
+    fn handshake(stream: TcpStream, hello: &SessionHello) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
+        let mut inner = Inner {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            queue: EventQueue::new(hello.seed),
+            outstanding: 0,
+            unsynced_bytes: 0,
+            metrics: WireMetrics::default(),
+            error: None,
+        };
+        let frame = Ctrl::Hello(*hello).encode();
+        wire::write_frame(&mut inner.writer, &frame)?;
+        inner.writer.flush()?;
+        inner.metrics.frames_sent += 1;
+        inner.metrics.bytes_sent += wire::frame_len(frame.len()) as u64;
+        let ack = wire::read_frame(&mut inner.reader)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed during handshake",
+            )
+        })?;
+        inner.metrics.frames_received += 1;
+        inner.metrics.bytes_received += wire::frame_len(ack.len()) as u64;
+        match Ctrl::decode(&ack) {
+            Ok(Ctrl::HelloAck { .. }) => Ok(inner),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected handshake response: {other:?}"),
+            )),
+        }
+    }
+}
+
 /// A [`Transport`] whose frames cross a real TCP socket to a
 /// [`daemon`](crate::daemon) session (see the module docs for the
 /// architecture and parity contract).
 pub struct TcpTransport {
     inner: RefCell<Inner>,
+    /// Resolved peer address of the live connection — what
+    /// [`Self::reconnect`] re-dials after a fault.
+    peer: Option<std::net::SocketAddr>,
+    /// The handshake replayed verbatim on reconnect, so the resumed
+    /// session rebuilds the identical server-side fault stage.
+    hello: SessionHello,
+    /// The campaign bound on this connection, if any; re-bound on
+    /// reconnect so the daemon reports its authoritative position.
+    campaign: Option<CampaignMessage>,
 }
 
 impl TcpTransport {
@@ -629,40 +676,68 @@ impl TcpTransport {
 
     fn open<A: ToSocketAddrs>(addr: A, hello: SessionHello) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
-        let seed = hello.seed;
-        let mut inner = Inner {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-            queue: EventQueue::new(seed),
-            outstanding: 0,
-            unsynced_bytes: 0,
-            metrics: WireMetrics::default(),
-            error: None,
+        let peer = stream.peer_addr().ok();
+        let inner = Inner::handshake(stream, &hello)?;
+        Ok(Self {
+            inner: RefCell::new(inner),
+            peer,
+            hello,
+            campaign: None,
+        })
+    }
+
+    /// Re-dials the daemon after a connection fault and replays the
+    /// original session handshake; if a campaign was bound, re-binds it
+    /// and returns the daemon's authoritative committed position.
+    ///
+    /// The campaign scheduler is idempotent on the server side — rounds
+    /// already committed admit as `already_committed` and re-commits
+    /// return the recorded receipt — so a driver can blindly resume from
+    /// the returned [`CampaignStatus::round_index`] without a charge ever
+    /// folding twice. Any error or in-flight state of the dead connection
+    /// is discarded; wire metrics keep accumulating across reconnects
+    /// (they tally the driver session, while the daemon's
+    /// [`Self::close`] stats cover only the final connection).
+    ///
+    /// # Errors
+    /// [`FedError::Transport`] if the peer address is unknown, the
+    /// re-dial or handshake fails, or the campaign re-bind is rejected.
+    pub fn reconnect(&mut self) -> Result<Option<CampaignStatus>, FedError> {
+        let io_err = |op: &'static str| {
+            move |e: std::io::Error| FedError::Transport {
+                op,
+                detail: e.to_string(),
+            }
         };
-        let frame = Ctrl::Hello(hello).encode();
-        wire::write_frame(&mut inner.writer, &frame)?;
-        inner.writer.flush()?;
-        inner.metrics.frames_sent += 1;
-        inner.metrics.bytes_sent += wire::frame_len(frame.len()) as u64;
-        let ack = wire::read_frame(&mut inner.reader)?.ok_or_else(|| {
-            std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "daemon closed during handshake",
-            )
+        let peer = self.peer.ok_or(FedError::Transport {
+            op: "reconnect",
+            detail: "peer address unknown".into(),
         })?;
-        inner.metrics.frames_received += 1;
-        inner.metrics.bytes_received += wire::frame_len(ack.len()) as u64;
-        match Ctrl::decode(&ack) {
-            Ok(Ctrl::HelloAck { .. }) => Ok(Self {
-                inner: RefCell::new(inner),
-            }),
-            other => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("unexpected handshake response: {other:?}"),
-            )),
+        let stream = TcpStream::connect(peer).map_err(io_err("connect"))?;
+        let fresh = Inner::handshake(stream, &self.hello).map_err(io_err("handshake"))?;
+        let inner = self.inner.get_mut();
+        let carried = inner.metrics;
+        *inner = fresh;
+        inner.metrics.merge(&carried);
+        match self.campaign {
+            Some(config) => self.begin_campaign(&config).map(Some),
+            None => Ok(None),
         }
+    }
+
+    /// Severs the underlying socket both ways without touching the
+    /// session state — a deterministic stand-in for a mid-campaign
+    /// connection fault in the chaos tests.
+    ///
+    /// # Errors
+    /// Propagates the socket shutdown error.
+    #[doc(hidden)]
+    pub fn sever(&self) -> std::io::Result<()> {
+        self.inner
+            .borrow()
+            .reader
+            .get_ref()
+            .shutdown(std::net::Shutdown::Both)
     }
 
     /// Overrides the driver-side read timeout (default
@@ -760,12 +835,15 @@ impl TcpTransport {
                 clients,
                 total_bits,
                 digest,
-            } => Ok(CampaignStatus {
-                round_index,
-                clients,
-                total_bits,
-                digest,
-            }),
+            } => {
+                self.campaign = Some(*config);
+                Ok(CampaignStatus {
+                    round_index,
+                    clients,
+                    total_bits,
+                    digest,
+                })
+            }
             other => Err(unexpected_reply("campaign ack", &other)),
         }
     }
@@ -1151,6 +1229,14 @@ mod tests {
                 round: 2,
                 bit_index: 5,
                 bit: true,
+            }),
+            Ctrl::Fleet(FleetMessage::Resume {
+                client_id: 17,
+                session_token: 0xFEED_FACE,
+                report_nonce: 3,
+            }),
+            Ctrl::Fleet(FleetMessage::Busy {
+                retry_after_ms: 500,
             }),
         ];
         for f in frames {
