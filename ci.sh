@@ -29,6 +29,12 @@ cargo test --release --offline -p fednum-transport --test proptest_messages \
     regression_max_varint_fields_round_trip -- --exact
 cargo test --release --offline -p fednum-transport --test proptest_messages \
     regression_hostile_count_fails_closed -- --exact
+# Batched-wire anchors: a hostile chunk frame claiming 2^40 slots and a
+# non-canonical padding bit past the slot count must both fail closed.
+cargo test --release --offline -p fednum-transport --test proptest_messages \
+    regression_hostile_batch_slot_count_fails_closed -- --exact
+cargo test --release --offline -p fednum-transport --test proptest_messages \
+    regression_batch_noncanonical_padding_rejected -- --exact
 PROPTEST_CASES=1 cargo test --release --offline -p fednum-transport \
     --test proptest_messages encode_decode_identity
 # Straggler-salvage regression anchor: a pinned seed that must keep
@@ -93,6 +99,18 @@ step "bench_tcp --longitudinal smoke (amortized per-round overhead gate)"
 # with and without the durable ledger; the binary enforces the <=10%
 # amortized per-round overhead gate and per-round estimate parity.
 ./target/release/bench_tcp --longitudinal --smoke
+
+step "bench_tcp --planes smoke (bit-plane wire: >=10x + scalar parity gates)"
+# Pinned parity regression seeds first: batched plain/secagg rounds must
+# stay bit-identical to the scalar path per seed across chunk sizes.
+cargo test --release --offline -p fednum-transport --lib \
+    coordinator::tests::batched_plain_round_is_bit_identical_per_seed -- --exact
+cargo test --release --offline -p fednum-transport --lib \
+    coordinator::tests::batched_secagg_round_is_bit_identical_per_seed -- --exact
+# Then the throughput panel: the binary enforces batched-vs-scalar
+# estimate parity over the socket (plain + secagg, 3 seeds) and the
+# >=10x client-aggregation speedup over the scalar wire's frames/s.
+./target/release/bench_tcp --planes --smoke
 
 step "fleet smoke (fednumd + 50 fednumc processes, 5 seeded kills)"
 # The real binaries end to end: fednumd hosts a 2-round, 40-cohort fleet

@@ -26,6 +26,7 @@
 //! bench_tcp --fleet [--smoke] [--out PATH]
 //! bench_tcp --shuffle [--quick|--smoke] [--out PATH]
 //! bench_tcp --chaos [--smoke] [--out PATH]
+//! bench_tcp --planes [--quick|--smoke] [--out PATH]
 //! ```
 //!
 //! `--quick` shrinks the population for CI smoke runs; the frames/s gate
@@ -54,6 +55,13 @@
 //! privacy charge), and the charged epsilon is the *amplified* central
 //! rate, strictly below the local ε₀.**
 //!
+//! `--planes` benchmarks the bit-plane batched wire against the scalar
+//! per-client wire over the same loopback daemon, writing
+//! `results/BENCH_planes.json`. **Gates: plain and secagg batched rounds
+//! publish estimates bit-identical to the scalar wire per seed, and the
+//! batched path aggregates client reports ≥ 10× faster than the scalar
+//! wire's client frames/s measured in the same run.**
+//!
 //! `--fleet` benchmarks the fleet subsystem end to end: an in-process
 //! fleet daemon plus a `fleet::client::ClientPool` of nonblocking
 //! participant sessions on one thread, writing
@@ -69,8 +77,8 @@ use std::time::Instant;
 use fednum_core::encoding::FixedPointCodec;
 use fednum_core::protocol::basic::BasicConfig;
 use fednum_core::sampling::BitSampling;
-use fednum_fedsim::round::{FederatedMeanConfig, FederatedOutcome};
-use fednum_fedsim::FedError;
+use fednum_fedsim::round::{FederatedMeanConfig, FederatedOutcome, SecAggSettings};
+use fednum_fedsim::{DropoutModel, FedError};
 use fednum_transport::tcp::SessionStats;
 use fednum_transport::{DaemonConfig, InMemoryTransport, RoundBuilder, TcpTransport, Transport};
 
@@ -835,6 +843,156 @@ fn run_chaos(smoke: bool, out_path: &str) {
     }
 }
 
+/// The `--planes` section: the bit-plane batched wire vs the scalar
+/// per-client wire over one loopback daemon. Gates: batched estimates are
+/// bit-identical to the scalar wire per seed (plain and secagg), and the
+/// batched path aggregates ≥ `PLANES_GATE_SPEEDUP`× more client reports
+/// per second than the scalar wire moves client frames.
+fn run_planes(quick: bool, out_path: &str) {
+    const PLANES_GATE_SPEEDUP: f64 = 10.0;
+    const CHUNK: usize = 512;
+    let (clients, rounds) = if quick { (20_000, 3) } else { (100_000, 4) };
+    let vs = values(clients);
+    let daemon = fednum_transport::daemon::spawn(DaemonConfig::default()).expect("spawn daemon");
+    let addr = daemon.addr();
+    let mut failures = Vec::new();
+
+    // -- parity: plain and secagg batched rounds must publish the scalar
+    // wire's exact estimate, seed for seed, through the real socket.
+    let parity_vs = values(5_000);
+    let mut parity_cases = 0u32;
+    for seed in [1u64, 2, 3] {
+        for secagg in [false, true] {
+            let mut cfg = config(0xA5E0 ^ (seed << 8) ^ u64::from(secagg))
+                .with_dropout(DropoutModel::bernoulli(0.1));
+            if secagg {
+                cfg.secagg = Some(SecAggSettings::default());
+            }
+            let mut mem = InMemoryTransport::new(seed);
+            let scalar = run_round(&parity_vs, &cfg, &mut mem, seed).expect("scalar round");
+            let mut tcp = TcpTransport::connect(addr, seed).expect("connect to daemon");
+            let batched = RoundBuilder::new(cfg.clone())
+                .via(&mut tcp)
+                .seed(seed)
+                .batched(CHUNK)
+                .run(&parity_vs)
+                .map(|out| out.flat().expect("flat round").clone())
+                .expect("batched round");
+            tcp.close().expect("close parity session");
+            if batched.outcome.estimate.to_bits() != scalar.outcome.estimate.to_bits() {
+                failures.push(format!(
+                    "seed {seed} secagg {secagg}: batched estimate {} != scalar {}",
+                    batched.outcome.estimate, scalar.outcome.estimate
+                ));
+            }
+            parity_cases += 1;
+        }
+    }
+
+    // -- scalar baseline: the per-client wire, measured exactly as the
+    // main section's gated number (client frames per second).
+    let (scalar_stats, scalar_wall) = drive_sessions(addr, &vs, rounds, 300);
+    let scalar_fps = scalar_stats.frames_in as f64 / scalar_wall;
+    println!(
+        "planes/scalar: {} rounds x {} clients: {:.2}s wall, {} client frames, {:.0} frames/s",
+        rounds, clients, scalar_wall, scalar_stats.frames_in, scalar_fps
+    );
+
+    // -- batched: the same seeded rounds on the bit-plane wire. The
+    // comparable rate is aggregated client reports per second — on the
+    // scalar wire every client report is one frame, so the two rates
+    // measure the same work.
+    let start = Instant::now();
+    let mut batched_clients = 0u64;
+    let mut batched_stats = SessionStats::default();
+    for r in 0..rounds {
+        let seed = 300 + r as u64;
+        let cfg = config(seed ^ 0x7C7);
+        let mut tcp = TcpTransport::connect(addr, seed).expect("connect to daemon");
+        let out = RoundBuilder::new(cfg.clone())
+            .via(&mut tcp)
+            .seed(seed)
+            .batched(CHUNK)
+            .run(&vs)
+            .map(|out| out.flat().expect("flat round").clone())
+            .expect("batched round");
+        batched_clients += out.contacted as u64;
+        let stats = tcp.close().expect("close session");
+        batched_stats.frames_in += stats.frames_in;
+        batched_stats.frames_out += stats.frames_out;
+        batched_stats.bytes_in += stats.bytes_in;
+        batched_stats.bytes_out += stats.bytes_out;
+    }
+    let batched_wall = start.elapsed().as_secs_f64();
+    let batched_cps = batched_clients as f64 / batched_wall;
+    let speedup = batched_cps / scalar_fps;
+    println!(
+        "planes/batched: {} rounds x {} clients (chunk {}): {:.2}s wall, {} wire frames, \
+         {:.0} clients aggregated/s ({:.1}x the scalar wire)",
+        rounds, clients, CHUNK, batched_wall, batched_stats.frames_in, batched_cps, speedup
+    );
+
+    daemon.shutdown().expect("clean shutdown");
+
+    if speedup < PLANES_GATE_SPEEDUP {
+        failures.push(format!(
+            "batched speedup {speedup:.2}x below the {PLANES_GATE_SPEEDUP}x gate \
+             ({batched_cps:.0} clients/s vs {scalar_fps:.0} frames/s)"
+        ));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"tcp-planes\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"bits\": {BITS},");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"chunk\": {CHUNK},");
+    let _ = writeln!(json, "  \"gate_speedup\": {PLANES_GATE_SPEEDUP},");
+    let _ = writeln!(json, "  \"parity_cases\": {parity_cases},");
+    let _ = writeln!(
+        json,
+        "  \"parity_identical\": {},",
+        failures.iter().all(|f| !f.contains("estimate"))
+    );
+    let _ = writeln!(
+        json,
+        "  \"scalar\": {{\"wall_s\": {:.4}, \"client_frames\": {}, \"frames_per_sec\": {:.0}, \
+         \"bytes_in\": {}, \"bytes_out\": {}}},",
+        scalar_wall,
+        scalar_stats.frames_in,
+        scalar_fps,
+        scalar_stats.bytes_in,
+        scalar_stats.bytes_out
+    );
+    let _ = writeln!(
+        json,
+        "  \"batched\": {{\"wall_s\": {:.4}, \"wire_frames\": {}, \"clients_aggregated\": {}, \
+         \"clients_per_sec\": {:.0}, \"bytes_in\": {}, \"bytes_out\": {}}},",
+        batched_wall,
+        batched_stats.frames_in,
+        batched_clients,
+        batched_cps,
+        batched_stats.bytes_in,
+        batched_stats.bytes_out
+    );
+    let _ = writeln!(json, "  \"speedup\": {speedup:.2},");
+    let _ = writeln!(json, "  \"gate_passed\": {}", failures.is_empty());
+    json.push_str("}\n");
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -843,6 +1001,7 @@ fn main() {
     let fleet = args.iter().any(|a| a == "--fleet");
     let shuffle = args.iter().any(|a| a == "--shuffle");
     let chaos = args.iter().any(|a| a == "--chaos");
+    let planes = args.iter().any(|a| a == "--planes");
     // Artifact-naming convention: smoke runs keep their own suffix so a
     // CI pass never overwrites a full run's numbers.
     let suffix = if smoke { "_smoke" } else { "" };
@@ -854,6 +1013,8 @@ fn main() {
         .unwrap_or_else(|| {
             if fleet {
                 format!("results/BENCH_fleet{suffix}.json")
+            } else if planes {
+                format!("results/BENCH_planes{suffix}.json")
             } else if chaos {
                 format!("results/BENCH_chaos{suffix}.json")
             } else if longitudinal {
@@ -866,6 +1027,10 @@ fn main() {
         });
     if fleet {
         run_fleet(smoke, &out_path);
+        return;
+    }
+    if planes {
+        run_planes(quick, &out_path);
         return;
     }
     if chaos {

@@ -95,6 +95,241 @@ pub fn estimator_variance(bit_means: &[f64], probs: &[f64], n: usize) -> f64 {
     total / n as f64
 }
 
+/// Packed per-bit-position bitmap planes over a window of client slots.
+///
+/// Plane `j` holds two bitmaps along the client-slot axis: an *occupancy*
+/// bitmap (slot delivered a report for bit position `j`) and a *value*
+/// bitmap (the reported bit itself, always a subset of the occupancy
+/// bits). Tallying a plane is `count_ones()` over its `u64` words — 64
+/// clients per instruction — and is exactly the scalar per-client tally
+/// `ones[j] += bit; counts[j] += 1`, so plane aggregation is bit-identical
+/// to the frame-at-a-time accumulate it replaces.
+///
+/// The in-memory layout doubles as the batched wire layout (per plane:
+/// occupancy words, then value words, little-endian `u64`s), so a batched
+/// frame decodes straight into a `BitPlanes` without touching individual
+/// client reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitPlanes {
+    bits: u32,
+    slots: usize,
+    /// Words per plane: `slots.div_ceil(64)`.
+    words: usize,
+    /// `bits * words` words; plane `j` is `[j * words, (j + 1) * words)`.
+    occupancy: Vec<u64>,
+    value: Vec<u64>,
+}
+
+impl BitPlanes {
+    /// Empty planes for `bits` bit positions over `slots` client slots.
+    ///
+    /// # Panics
+    /// Panics if `bits == 0`.
+    #[must_use]
+    pub fn new(bits: u32, slots: usize) -> Self {
+        assert!(bits > 0, "need at least one bit plane");
+        let words = slots.div_ceil(64);
+        Self {
+            bits,
+            slots,
+            words,
+            occupancy: vec![0; bits as usize * words],
+            value: vec![0; bits as usize * words],
+        }
+    }
+
+    /// Number of bit planes.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of client slots.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// `u64` words per plane bitmap (`slots.div_ceil(64)`).
+    #[must_use]
+    pub fn words_per_plane(&self) -> usize {
+        self.words
+    }
+
+    /// Records slot `slot` reporting bit value `value` on plane `plane`.
+    ///
+    /// # Panics
+    /// Panics if `slot` or `plane` is out of range, or if the slot already
+    /// reported on this plane (each slot carries exactly one report).
+    pub fn record(&mut self, slot: usize, plane: u32, value: bool) {
+        assert!(slot < self.slots, "slot {slot} out of {}", self.slots);
+        assert!(plane < self.bits, "plane {plane} out of {}", self.bits);
+        let idx = plane as usize * self.words + slot / 64;
+        let mask = 1u64 << (slot % 64);
+        assert_eq!(self.occupancy[idx] & mask, 0, "slot {slot} reported twice");
+        self.occupancy[idx] |= mask;
+        if value {
+            self.value[idx] |= mask;
+        }
+    }
+
+    /// Per-plane one-counts: `popcount(value_j)` — the `Σ_i x_i^(j)` of the
+    /// scalar tally.
+    #[must_use]
+    pub fn ones(&self) -> Vec<u64> {
+        (0..self.bits as usize)
+            .map(|j| {
+                self.plane_value(j)
+                    .iter()
+                    .map(|w| u64::from(w.count_ones()))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Per-plane report counts: `popcount(occupancy_j)`.
+    #[must_use]
+    pub fn counts(&self) -> Vec<u64> {
+        (0..self.bits as usize)
+            .map(|j| {
+                self.plane_occupancy(j)
+                    .iter()
+                    .map(|w| u64::from(w.count_ones()))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// `ones()` restricted to the slots set in `keep` (a slot bitmap of
+    /// `words_per_plane()` words): `popcount(value_j & keep)` per plane.
+    ///
+    /// # Panics
+    /// Panics if `keep.len() != words_per_plane()`.
+    #[must_use]
+    pub fn ones_masked(&self, keep: &[u64]) -> Vec<u64> {
+        assert_eq!(keep.len(), self.words, "mask length mismatch");
+        (0..self.bits as usize)
+            .map(|j| {
+                self.plane_value(j)
+                    .iter()
+                    .zip(keep)
+                    .map(|(w, k)| u64::from((w & k).count_ones()))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// `counts()` restricted to the slots set in `keep`.
+    ///
+    /// # Panics
+    /// Panics if `keep.len() != words_per_plane()`.
+    #[must_use]
+    pub fn counts_masked(&self, keep: &[u64]) -> Vec<u64> {
+        assert_eq!(keep.len(), self.words, "mask length mismatch");
+        (0..self.bits as usize)
+            .map(|j| {
+                self.plane_occupancy(j)
+                    .iter()
+                    .zip(keep)
+                    .map(|(w, k)| u64::from((w & k).count_ones()))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// The occupancy bitmap of plane `j`.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn plane_occupancy(&self, j: usize) -> &[u64] {
+        &self.occupancy[j * self.words..(j + 1) * self.words]
+    }
+
+    /// The value bitmap of plane `j`.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn plane_value(&self, j: usize) -> &[u64] {
+        &self.value[j * self.words..(j + 1) * self.words]
+    }
+
+    /// Rebuilds planes from raw bitmap words (the batched-wire decode
+    /// path). Fails closed on any non-canonical input: wrong word counts,
+    /// set padding bits past `slots`, or a value bit outside its occupancy
+    /// bit.
+    ///
+    /// # Errors
+    /// Returns a static description of the first violated invariant.
+    pub fn from_words(
+        bits: u32,
+        slots: usize,
+        occupancy: Vec<u64>,
+        value: Vec<u64>,
+    ) -> Result<Self, &'static str> {
+        if bits == 0 {
+            return Err("zero bit planes");
+        }
+        let words = slots.div_ceil(64);
+        if occupancy.len() != bits as usize * words || value.len() != occupancy.len() {
+            return Err("bitmap word count mismatch");
+        }
+        if !slots.is_multiple_of(64) && words > 0 {
+            let pad = !0u64 << (slots % 64);
+            for j in 0..bits as usize {
+                let last = (j + 1) * words - 1;
+                if occupancy[last] & pad != 0 || value[last] & pad != 0 {
+                    return Err("padding bits set past the slot count");
+                }
+            }
+        }
+        if occupancy.iter().zip(&value).any(|(o, v)| v & !o != 0) {
+            return Err("value bit outside occupancy");
+        }
+        Ok(Self {
+            bits,
+            slots,
+            words,
+            occupancy,
+            value,
+        })
+    }
+
+    /// Appends `other`'s slots after this plane set's slots (shard fan-in).
+    ///
+    /// # Panics
+    /// Panics if the plane counts differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.bits, other.bits, "plane count mismatch");
+        let new_slots = self.slots + other.slots;
+        let new_words = new_slots.div_ceil(64);
+        let word_off = self.slots / 64;
+        let shift = (self.slots % 64) as u32;
+        let mut occupancy = vec![0u64; self.bits as usize * new_words];
+        let mut value = vec![0u64; self.bits as usize * new_words];
+        for j in 0..self.bits as usize {
+            let dst = j * new_words;
+            occupancy[dst..dst + self.words].copy_from_slice(self.plane_occupancy(j));
+            value[dst..dst + self.words].copy_from_slice(self.plane_value(j));
+            for w in 0..other.words {
+                let o = other.plane_occupancy(j)[w];
+                let v = other.plane_value(j)[w];
+                occupancy[dst + word_off + w] |= o << shift;
+                value[dst + word_off + w] |= v << shift;
+                if shift != 0 && dst + word_off + w + 1 < dst + new_words {
+                    occupancy[dst + word_off + w + 1] |= o >> (64 - shift);
+                    value[dst + word_off + w + 1] |= v >> (64 - shift);
+                }
+            }
+        }
+        self.slots = new_slots;
+        self.words = new_words;
+        self.occupancy = occupancy;
+        self.value = value;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +420,114 @@ mod tests {
         let v1 = estimator_variance(&[0.5], &[1.0], 100);
         let v2 = estimator_variance(&[0.5], &[1.0], 400);
         assert!((v1 / v2 - 4.0).abs() < 1e-12);
+    }
+
+    /// Deterministic pseudo-random reports for the plane tests.
+    fn synthetic_reports(n: usize, bits: u32) -> Vec<(u32, bool)> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(17)
+                    .wrapping_mul(0xD134_2543_DE82_EF95);
+                ((h % u64::from(bits)) as u32, h & (1 << 40) != 0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plane_tally_matches_scalar_accumulate() {
+        let bits = 7;
+        let reports = synthetic_reports(321, bits);
+        let mut planes = BitPlanes::new(bits, reports.len());
+        let mut ones = vec![0u64; bits as usize];
+        let mut counts = vec![0u64; bits as usize];
+        for (slot, &(plane, value)) in reports.iter().enumerate() {
+            planes.record(slot, plane, value);
+            ones[plane as usize] += u64::from(value);
+            counts[plane as usize] += 1;
+        }
+        assert_eq!(planes.ones(), ones);
+        assert_eq!(planes.counts(), counts);
+    }
+
+    #[test]
+    fn masked_tally_drops_exactly_the_masked_slots() {
+        let bits = 5;
+        let reports = synthetic_reports(200, bits);
+        let mut planes = BitPlanes::new(bits, reports.len());
+        let mut ones = vec![0u64; bits as usize];
+        let mut counts = vec![0u64; bits as usize];
+        let mut keep = vec![0u64; planes.words_per_plane()];
+        for (slot, &(plane, value)) in reports.iter().enumerate() {
+            planes.record(slot, plane, value);
+            if slot % 3 != 0 {
+                keep[slot / 64] |= 1 << (slot % 64);
+                ones[plane as usize] += u64::from(value);
+                counts[plane as usize] += 1;
+            }
+        }
+        assert_eq!(planes.ones_masked(&keep), ones);
+        assert_eq!(planes.counts_masked(&keep), counts);
+    }
+
+    #[test]
+    fn merge_concatenates_slots_at_unaligned_boundaries() {
+        let bits = 4;
+        for (na, nb) in [(0, 5), (5, 0), (63, 1), (64, 64), (65, 129), (10, 300)] {
+            let ra = synthetic_reports(na, bits);
+            let rb: Vec<_> = synthetic_reports(na + nb, bits).split_off(na);
+            let mut a = BitPlanes::new(bits, na);
+            let mut b = BitPlanes::new(bits, nb);
+            let mut whole = BitPlanes::new(bits, na + nb);
+            for (slot, &(plane, value)) in ra.iter().enumerate() {
+                a.record(slot, plane, value);
+                whole.record(slot, plane, value);
+            }
+            for (slot, &(plane, value)) in rb.iter().enumerate() {
+                b.record(slot, plane, value);
+                whole.record(na + slot, plane, value);
+            }
+            a.merge(&b);
+            assert_eq!(a, whole, "merge mismatch at ({na}, {nb})");
+        }
+    }
+
+    #[test]
+    fn from_words_round_trips_canonical_planes() {
+        let bits = 3;
+        let reports = synthetic_reports(70, bits);
+        let mut planes = BitPlanes::new(bits, reports.len());
+        for (slot, &(plane, value)) in reports.iter().enumerate() {
+            planes.record(slot, plane, value);
+        }
+        let occ: Vec<u64> = (0..bits as usize)
+            .flat_map(|j| planes.plane_occupancy(j).to_vec())
+            .collect();
+        let val: Vec<u64> = (0..bits as usize)
+            .flat_map(|j| planes.plane_value(j).to_vec())
+            .collect();
+        let rebuilt = BitPlanes::from_words(bits, reports.len(), occ, val).unwrap();
+        assert_eq!(rebuilt, planes);
+    }
+
+    #[test]
+    fn from_words_rejects_non_canonical_bitmaps() {
+        // Wrong word count.
+        assert!(BitPlanes::from_words(2, 10, vec![0; 3], vec![0; 3]).is_err());
+        // Padding bit set past the slot count.
+        assert!(BitPlanes::from_words(1, 10, vec![1 << 10], vec![0]).is_err());
+        // Value bit without its occupancy bit.
+        assert!(BitPlanes::from_words(1, 10, vec![0b01], vec![0b10]).is_err());
+        // Zero planes.
+        assert!(BitPlanes::from_words(0, 10, vec![], vec![]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "reported twice")]
+    fn double_report_on_one_slot_is_rejected() {
+        let mut planes = BitPlanes::new(2, 4);
+        planes.record(1, 0, true);
+        planes.record(1, 0, false);
     }
 }

@@ -81,25 +81,14 @@ pub struct FederatedAdaptiveOutcome {
     pub completion_time: f64,
 }
 
-/// Runs two federated rounds with weight re-optimization in between.
+/// The synchronous two-round engine behind the `RoundBuilder` facade: two
+/// federated rounds with weight re-optimization in between. Not part of the
+/// public API surface — call it through
+/// `fednum::transport::RoundBuilder::new(config).adaptive()`.
 ///
 /// # Errors
 /// [`RoundError::PopulationTooSmall`] unless there are at least two clients;
 /// otherwise propagates the error of either round.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `fednum::transport::RoundBuilder::new(config).adaptive().run(values)`"
-)]
-pub fn run_federated_adaptive(
-    values: &[f64],
-    config: &FederatedAdaptiveConfig,
-    rng: &mut dyn Rng,
-) -> Result<FederatedAdaptiveOutcome, RoundError> {
-    run_adaptive_impl(values, config, rng)
-}
-
-/// The synchronous two-round engine behind the deprecated free function and
-/// the `RoundBuilder` facade. Not part of the public API surface.
 #[doc(hidden)]
 pub fn run_adaptive_impl(
     values: &[f64],
@@ -190,24 +179,6 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    // Local shims shadowing the deprecated free functions: the unit tests
-    // exercise the engines, not the deprecated entry-point surface.
-    fn run_federated_adaptive(
-        values: &[f64],
-        config: &FederatedAdaptiveConfig,
-        rng: &mut dyn Rng,
-    ) -> Result<FederatedAdaptiveOutcome, RoundError> {
-        run_adaptive_impl(values, config, rng)
-    }
-
-    fn run_federated_mean(
-        values: &[f64],
-        config: &FederatedMeanConfig,
-        rng: &mut dyn Rng,
-    ) -> Result<FederatedOutcome, RoundError> {
-        run_round_impl(values, config, None, rng)
-    }
-
     fn env(bits: u32) -> FederatedMeanConfig {
         FederatedMeanConfig::new(BasicConfig::new(
             FixedPointCodec::integer(bits),
@@ -225,7 +196,7 @@ mod tests {
         let truth = vs.iter().sum::<f64>() / vs.len() as f64;
         let cfg = FederatedAdaptiveConfig::new(env(12));
         let mut rng = StdRng::seed_from_u64(1);
-        let out = run_federated_adaptive(&vs, &cfg, &mut rng).unwrap();
+        let out = run_adaptive_impl(&vs, &cfg, &mut rng).unwrap();
         assert!(
             (out.estimate - truth).abs() / truth < 0.05,
             "est {} truth {truth}",
@@ -244,7 +215,7 @@ mod tests {
         let vs = values(30_000, 60);
         let cfg = FederatedAdaptiveConfig::new(env(14).with_dropout(DropoutModel::bernoulli(0.3)));
         let mut rng = StdRng::seed_from_u64(2);
-        let out = run_federated_adaptive(&vs, &cfg, &mut rng).unwrap();
+        let out = run_adaptive_impl(&vs, &cfg, &mut rng).unwrap();
         let dropped = out
             .round2_sampling
             .probs()
@@ -267,16 +238,14 @@ mod tests {
                 let mut rng = StdRng::seed_from_u64(s);
                 let est = if adaptive {
                     let cfg = FederatedAdaptiveConfig::new(env(14).with_dropout(dropout));
-                    run_federated_adaptive(&vs, &cfg, &mut rng)
-                        .unwrap()
-                        .estimate
+                    run_adaptive_impl(&vs, &cfg, &mut rng).unwrap().estimate
                 } else {
                     let mut e = env(14).with_dropout(dropout);
                     e.protocol = BasicConfig::new(
                         FixedPointCodec::integer(14),
                         BitSampling::geometric(14, 1.0),
                     );
-                    run_federated_mean(&vs, &e, &mut rng)
+                    run_round_impl(&vs, &e, None, &mut rng)
                         .unwrap()
                         .outcome
                         .estimate
@@ -303,7 +272,7 @@ mod tests {
                 .with_privacy(RandomizedResponse::from_epsilon(2.0));
         let cfg = FederatedAdaptiveConfig::new(environment);
         let mut rng = StdRng::seed_from_u64(3);
-        let out = run_federated_adaptive(&vs, &cfg, &mut rng).unwrap();
+        let out = run_adaptive_impl(&vs, &cfg, &mut rng).unwrap();
         assert!((out.estimate - truth).abs() / truth < 0.25);
         // Two rounds of wall-clock.
         assert!(out.completion_time > out.round1.completion_time);
@@ -315,7 +284,7 @@ mod tests {
         let vs = values(1_000, 50);
         let cfg = FederatedAdaptiveConfig::new(env(6)).with_delta(0.25);
         let mut rng = StdRng::seed_from_u64(4);
-        let out = run_federated_adaptive(&vs, &cfg, &mut rng).unwrap();
+        let out = run_adaptive_impl(&vs, &cfg, &mut rng).unwrap();
         assert_eq!(out.round1.contacted, 250);
         assert_eq!(out.round2.contacted, 750);
     }
@@ -325,7 +294,7 @@ mod tests {
         let cfg = FederatedAdaptiveConfig::new(env(4));
         let mut rng = StdRng::seed_from_u64(0);
         assert!(matches!(
-            run_federated_adaptive(&[1.0], &cfg, &mut rng),
+            run_adaptive_impl(&[1.0], &cfg, &mut rng),
             Err(RoundError::PopulationTooSmall { got: 1, need: 2 })
         ));
     }

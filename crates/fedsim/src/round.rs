@@ -357,50 +357,15 @@ struct Contact {
     copies: u64, // > 1 only for unvalidated duplicate deliveries
 }
 
-/// Runs a complete federated mean-estimation task over one private value per
-/// client.
-///
-/// # Errors
-/// See [`FedError`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `fednum::transport::RoundBuilder::new(config).run(values)` — \
-            the unified entry point for every round flavor"
-)]
-pub fn run_federated_mean(
-    values: &[f64],
-    config: &FederatedMeanConfig,
-    rng: &mut dyn Rng,
-) -> Result<FederatedOutcome, FedError> {
-    run_round_impl(values, config, None, rng)
-}
-
-/// As [`run_federated_mean`], but meters every client's disclosure through
-/// the ledger: one bit (and the randomized-response ε, if configured) per
-/// client per round, idempotently across secure-aggregation retry waves.
-///
-/// The round identifier is `config.session_seed`; successive metered rounds
-/// must use distinct seeds so each round is billed.
-///
-/// # Errors
-/// See [`FedError`]; [`FedError::Budget`] if a client's budget would be
-/// exceeded by participating.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `fednum::transport::RoundBuilder::new(config).metered(ledger).run(values)`"
-)]
-pub fn run_federated_mean_metered(
-    values: &[f64],
-    config: &FederatedMeanConfig,
-    ledger: &mut PrivacyLedger,
-    rng: &mut dyn Rng,
-) -> Result<FederatedOutcome, FedError> {
-    run_round_impl(values, config, Some(ledger), rng)
-}
-
-/// The synchronous round engine behind the deprecated free functions and
-/// the `RoundBuilder` facade. Not part of the public API surface — call it
-/// through `fednum::transport::RoundBuilder`.
+/// The synchronous round engine behind the `RoundBuilder` facade: a
+/// complete federated mean-estimation task over one private value per
+/// client, optionally metering every client's disclosure through a
+/// [`PrivacyLedger`] (one bit, and the randomized-response ε if configured,
+/// per client per round, idempotently across secure-aggregation retry
+/// waves; the round identifier is `config.session_seed`). Not part of the
+/// public API surface — call it through
+/// `fednum::transport::RoundBuilder::new(config)` (plus `.metered(ledger)`
+/// for the billed flavor).
 #[doc(hidden)]
 #[allow(clippy::too_many_lines)]
 pub fn run_round_impl(
@@ -855,24 +820,6 @@ mod tests {
     use fednum_core::sampling::BitSampling;
     use rand::rngs::StdRng;
 
-    // Local shims shadowing the deprecated free functions: the unit tests
-    // exercise the engine, not the deprecated entry-point surface.
-    fn run_federated_mean(
-        values: &[f64],
-        config: &FederatedMeanConfig,
-        rng: &mut dyn Rng,
-    ) -> Result<FederatedOutcome, FedError> {
-        run_round_impl(values, config, None, rng)
-    }
-
-    fn run_federated_mean_metered(
-        values: &[f64],
-        config: &FederatedMeanConfig,
-        ledger: &mut PrivacyLedger,
-        rng: &mut dyn Rng,
-    ) -> Result<FederatedOutcome, FedError> {
-        run_round_impl(values, config, Some(ledger), rng)
-    }
     use rand::SeedableRng;
 
     fn base_config(bits: u32) -> FederatedMeanConfig {
@@ -891,7 +838,7 @@ mod tests {
         let vs = values(20_000, 200);
         let truth = vs.iter().sum::<f64>() / vs.len() as f64;
         let mut rng = StdRng::seed_from_u64(1);
-        let out = run_federated_mean(&vs, &base_config(8), &mut rng).unwrap();
+        let out = run_round_impl(&vs, &base_config(8), None, &mut rng).unwrap();
         assert!((out.outcome.estimate - truth).abs() / truth < 0.05);
         assert_eq!(out.contacted, 20_000);
         assert_eq!(out.reports, 20_000);
@@ -908,7 +855,7 @@ mod tests {
         let truth = vs.iter().sum::<f64>() / vs.len() as f64;
         let cfg = base_config(8).with_dropout(DropoutModel::bernoulli(0.4));
         let mut rng = StdRng::seed_from_u64(2);
-        let out = run_federated_mean(&vs, &cfg, &mut rng).unwrap();
+        let out = run_round_impl(&vs, &cfg, None, &mut rng).unwrap();
         let rate = out.reports as f64 / out.contacted as f64;
         assert!((rate - 0.6).abs() < 0.02, "response rate {rate}");
         assert!((out.outcome.estimate - truth).abs() / truth < 0.06);
@@ -929,12 +876,12 @@ mod tests {
         let mut starved_multi = 0;
         for s in 0..10u64 {
             let mut rng = StdRng::seed_from_u64(s);
-            starved_single += run_federated_mean(&vs, &single, &mut rng)
+            starved_single += run_round_impl(&vs, &single, None, &mut rng)
                 .unwrap()
                 .starved_bits
                 .len();
             let mut rng = StdRng::seed_from_u64(s);
-            let out = run_federated_mean(&vs, &multi, &mut rng).unwrap();
+            let out = run_round_impl(&vs, &multi, None, &mut rng).unwrap();
             starved_multi += out.starved_bits.len();
             assert!(out.waves_used >= 1);
         }
@@ -955,8 +902,8 @@ mod tests {
             c
         };
         // Same seed → same assignment and reports → identical estimates.
-        let direct = run_federated_mean(&vs, &cfg_direct, &mut StdRng::seed_from_u64(3)).unwrap();
-        let secure = run_federated_mean(&vs, &cfg_secagg, &mut StdRng::seed_from_u64(3)).unwrap();
+        let direct = run_round_impl(&vs, &cfg_direct, None, &mut StdRng::seed_from_u64(3)).unwrap();
+        let secure = run_round_impl(&vs, &cfg_secagg, None, &mut StdRng::seed_from_u64(3)).unwrap();
         assert!((direct.outcome.estimate - secure.outcome.estimate).abs() < 1e-9);
         let summary = secure.secagg.unwrap();
         assert_eq!(summary.contributors, 500);
@@ -972,7 +919,7 @@ mod tests {
                 ..SecAggSettings::default()
             });
         let mut rng = StdRng::seed_from_u64(4);
-        let out = run_federated_mean(&vs, &cfg, &mut rng).unwrap();
+        let out = run_round_impl(&vs, &cfg, None, &mut rng).unwrap();
         let summary = out.secagg.unwrap();
         assert!(summary.recovered_pairwise > 10, "expected dropout recovery");
         let truth = vs.iter().sum::<f64>() / vs.len() as f64;
@@ -988,7 +935,7 @@ mod tests {
             .protocol
             .with_privacy(fednum_core::privacy::RandomizedResponse::from_epsilon(2.0));
         let mut rng = StdRng::seed_from_u64(5);
-        let out = run_federated_mean(&vs, &cfg, &mut rng).unwrap();
+        let out = run_round_impl(&vs, &cfg, None, &mut rng).unwrap();
         assert!(
             (out.outcome.estimate - truth).abs() / truth < 0.25,
             "est {} truth {truth}",
@@ -1001,7 +948,7 @@ mod tests {
         let vs = values(1000, 100);
         let cfg = base_config(7).with_latency(LatencyModel::typical_fleet());
         let mut rng = StdRng::seed_from_u64(6);
-        let out = run_federated_mean(&vs, &cfg, &mut rng).unwrap();
+        let out = run_round_impl(&vs, &cfg, None, &mut rng).unwrap();
         assert!(out.completion_time > 0.0);
     }
 
@@ -1014,7 +961,7 @@ mod tests {
         for s in 0..20u64 {
             let mut rng = StdRng::seed_from_u64(s);
             if matches!(
-                run_federated_mean(&vs, &cfg, &mut rng),
+                run_round_impl(&vs, &cfg, None, &mut rng),
                 Err(RoundError::NoReports)
             ) {
                 failures += 1;
@@ -1035,7 +982,7 @@ mod tests {
     fn empty_population_is_a_typed_error() {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(matches!(
-            run_federated_mean(&[], &base_config(4), &mut rng),
+            run_round_impl(&[], &base_config(4), None, &mut rng),
             Err(FedError::PopulationTooSmall { got: 0, need: 1 })
         ));
     }
@@ -1060,7 +1007,7 @@ mod tests {
         let plan = FaultPlan::new(FaultRates::uniform(0.02), 99).unwrap();
         let cfg = base_config(7).with_faults(plan);
         let mut rng = StdRng::seed_from_u64(7);
-        let out = run_federated_mean(&vs, &cfg, &mut rng).unwrap();
+        let out = run_round_impl(&vs, &cfg, None, &mut rng).unwrap();
         assert!(out.robustness.faults_injected > 300, "~14% of 5000 faulted");
         // Validation rejected the duplicates, replays and stale reports.
         let rej = out.robustness.rejections;
@@ -1082,8 +1029,8 @@ mod tests {
         let plan = FaultPlan::new(rates, 5).unwrap();
         let validated = base_config(7).with_faults(plan);
         let naive = base_config(7).with_faults(plan).naive();
-        let v_out = run_federated_mean(&vs, &validated, &mut StdRng::seed_from_u64(8)).unwrap();
-        let n_out = run_federated_mean(&vs, &naive, &mut StdRng::seed_from_u64(8)).unwrap();
+        let v_out = run_round_impl(&vs, &validated, None, &mut StdRng::seed_from_u64(8)).unwrap();
+        let n_out = run_round_impl(&vs, &naive, None, &mut StdRng::seed_from_u64(8)).unwrap();
         // Validated: one report per client, duplicates rejected and tallied.
         assert_eq!(v_out.reports, 2_000);
         assert!(v_out.robustness.rejections.duplicate > 400);
@@ -1107,7 +1054,7 @@ mod tests {
             .with_faults(FaultPlan::new(rates, 11).unwrap())
             .with_latency(LatencyModel::typical_fleet());
         let mut rng = StdRng::seed_from_u64(9);
-        let out = run_federated_mean(&vs, &cfg, &mut rng).unwrap();
+        let out = run_round_impl(&vs, &cfg, None, &mut rng).unwrap();
         assert!(out.robustness.rejections.straggler > 200);
         assert_eq!(
             u64::from(out.contacted as u32) - out.reports,
@@ -1139,7 +1086,7 @@ mod tests {
         let mut recovered = 0;
         for s in 0..10u64 {
             let mut rng = StdRng::seed_from_u64(s);
-            let out = run_federated_mean(&vs, &cfg, &mut rng).unwrap();
+            let out = run_round_impl(&vs, &cfg, None, &mut rng).unwrap();
             if out.robustness.secagg_retries > 0 {
                 recovered += 1;
                 // At least Retried; a retry that also starves a bit reports
@@ -1171,7 +1118,7 @@ mod tests {
         for s in 0..10u64 {
             let mut rng = StdRng::seed_from_u64(s);
             if matches!(
-                run_federated_mean(&vs, &cfg, &mut rng),
+                run_round_impl(&vs, &cfg, None, &mut rng),
                 Err(FedError::SecAgg(SecAggError::TooFewSurvivors { .. }))
             ) {
                 failures += 1;
@@ -1190,7 +1137,7 @@ mod tests {
                 ..RetryPolicy::default()
             });
         let mut rng = StdRng::seed_from_u64(10);
-        match run_federated_mean(&vs, &cfg, &mut rng) {
+        match run_round_impl(&vs, &cfg, None, &mut rng) {
             Err(FedError::CohortTooSmall { survivors, minimum }) => {
                 assert_eq!(minimum, 25);
                 assert!(survivors < 25);
@@ -1221,17 +1168,16 @@ mod tests {
             cfg.session_seed = 1000 + s; // fresh round id per attempt set
             let mut ledger = ledger.clone();
             let mut rng = StdRng::seed_from_u64(s);
-            let out = run_federated_mean_metered(&vs, &cfg, &mut ledger, &mut rng).unwrap();
+            let out = run_round_impl(&vs, &cfg, Some(&mut ledger), &mut rng).unwrap();
             retried |= out.robustness.secagg_retries > 0;
             assert!(ledger.max_bits_per_client() <= 1);
         }
         assert!(retried, "the retry path must be exercised");
         // Across two *distinct* rounds the second charge trips the budget.
         cfg.session_seed = 1;
-        run_federated_mean_metered(&vs, &cfg, &mut ledger, &mut StdRng::seed_from_u64(0)).unwrap();
+        run_round_impl(&vs, &cfg, Some(&mut ledger), &mut StdRng::seed_from_u64(0)).unwrap();
         cfg.session_seed = 2;
-        let second =
-            run_federated_mean_metered(&vs, &cfg, &mut ledger, &mut StdRng::seed_from_u64(1));
+        let second = run_round_impl(&vs, &cfg, Some(&mut ledger), &mut StdRng::seed_from_u64(1));
         assert!(matches!(second, Err(FedError::Budget(_))));
     }
 

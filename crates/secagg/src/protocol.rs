@@ -23,6 +23,7 @@
 
 use std::collections::BTreeSet;
 
+use fednum_core::bits::BitPlanes;
 use rand::Rng;
 
 use crate::field::{Fe, MODULUS};
@@ -211,6 +212,33 @@ fn share_u64(v: u64, k: usize, n: usize, rng: &mut dyn Rng) -> (Vec<Share>, Vec<
     (share(lo, k, n, rng), share(hi, k, n, rng))
 }
 
+/// Client `i`'s share holders (its mask-graph neighbors plus itself, sorted)
+/// and its per-client reconstruction threshold: the global threshold on the
+/// complete graph, a majority of the neighborhood on the sparse graph.
+///
+/// Both the share-level protocol and the plane-level fast path derive their
+/// recovery feasibility from this one function, so the two can never
+/// disagree about which dropout patterns are recoverable.
+fn mask_holders(
+    config: &SecAggConfig,
+    i: usize,
+    all: &[u64],
+    degree: usize,
+) -> (Vec<usize>, usize) {
+    let mut holders: Vec<usize> = ring_neighbors(i as u64, all, degree)
+        .into_iter()
+        .map(|j| j as usize)
+        .collect();
+    holders.push(i);
+    holders.sort_unstable();
+    let k = if config.neighbors.is_none() {
+        config.threshold.min(holders.len())
+    } else {
+        holders.len().div_ceil(2)
+    };
+    (holders, k)
+}
+
 impl SharedSecrets {
     /// Picks `self.k` shares of the given field (by index into `holders`)
     /// whose holders survive per the `alive` mask, or reports how many were
@@ -283,19 +311,7 @@ pub fn run_secure_aggregation(
     let degree = config.degree();
     let secrets: Vec<SharedSecrets> = (0..config.n)
         .map(|i| {
-            let mut holders: Vec<usize> = ring_neighbors(i as u64, &all, degree)
-                .into_iter()
-                .map(|j| j as usize)
-                .collect();
-            holders.push(i);
-            holders.sort_unstable();
-            // Per-client threshold: the global threshold on the complete
-            // graph; a majority of the neighborhood on the sparse graph.
-            let k = if config.neighbors.is_none() {
-                config.threshold.min(holders.len())
-            } else {
-                holders.len().div_ceil(2)
-            };
+            let (holders, k) = mask_holders(config, i, &all, degree);
             let b = self_seed(session, i as u64);
             let key = key_seed(session, i as u64);
             let (b_lo, b_hi) = share_u64(b, k, holders.len(), rng);
@@ -409,6 +425,108 @@ pub fn run_secure_aggregation(
         contributors: u2,
         self_masks_reconstructed: self_masks,
         pairwise_masks_reconstructed: pairwise_masks,
+    })
+}
+
+/// Runs the protocol over a packed [`BitPlanes`] cohort — the bit-plane
+/// fast path for the bit-pushing one-hot shape.
+///
+/// Cohort slot `i` is client `i`; its input vector is the one-hot
+/// `[ones | counts]` row the bit-pushing integration feeds the share-level
+/// protocol (`v[bit] = reported bit`, `v[bits + bit] = 1`). Because the
+/// server's output is *exactly* `Σ_{i ∈ U2} x_i` — every mask cancels in
+/// the field — that sum equals a `count_ones()` tally of the planes
+/// restricted to U2, 64 clients per instruction, with no share arithmetic
+/// on the hot path.
+///
+/// What cannot be skipped is the protocol's failure surface: this entry
+/// point replicates [`run_secure_aggregation`]'s validation order, its
+/// survivor threshold, and the per-secret share-holder feasibility test
+/// (via the shared `mask_holders` derivation), so a dropout pattern fails
+/// with the identical [`SecAggError`] on both paths. No RNG is taken: the
+/// share polynomials it never materializes are the only randomness the
+/// share-level protocol consumes.
+///
+/// # Errors
+/// See [`SecAggError`]; errors match the share-level path case for case.
+pub fn run_secure_aggregation_planes(
+    config: &SecAggConfig,
+    planes: &BitPlanes,
+    plan: &DropoutPlan,
+) -> Result<SecAggOutcome, SecAggError> {
+    if planes.slots() != config.n {
+        return Err(SecAggError::WrongClientCount {
+            got: planes.slots(),
+            expected: config.n,
+        });
+    }
+    for client in &plan.before_masking {
+        if plan.after_masking.contains(client) {
+            return Err(SecAggError::InconsistentDropouts { client: *client });
+        }
+    }
+    let bits = planes.bits() as usize;
+    if 2 * bits != config.vector_len {
+        return Err(SecAggError::InputLengthMismatch {
+            client: 0,
+            got: 2 * bits,
+            expected: config.vector_len,
+        });
+    }
+
+    let all: Vec<u64> = (0..config.n as u64).collect();
+    let degree = config.degree();
+    let u2: Vec<usize> = (0..config.n)
+        .filter(|i| !plan.before_masking.contains(i))
+        .collect();
+    let mut alive = vec![false; config.n];
+    let mut u3_len = 0;
+    for &i in &u2 {
+        if !plan.after_masking.contains(&i) {
+            alive[i] = true;
+            u3_len += 1;
+        }
+    }
+    if u3_len < config.threshold {
+        return Err(SecAggError::TooFewSurvivors {
+            survivors: u3_len,
+            threshold: config.threshold,
+        });
+    }
+
+    // The share-level path reconstructs b_i for every contributor and key
+    // material for every pre-masking dropout; each fails when fewer than k
+    // of that client's share holders survive. Same derivation, same
+    // iteration order, same error values — without touching a share.
+    let feasible = |i: usize| -> Result<(), SecAggError> {
+        let (holders, k) = mask_holders(config, i, &all, degree);
+        let survivors = holders.iter().filter(|&&h| alive[h]).take(k).count();
+        if survivors < k {
+            return Err(SecAggError::TooFewSurvivors {
+                survivors,
+                threshold: k,
+            });
+        }
+        Ok(())
+    };
+    for &i in &u2 {
+        feasible(i)?;
+    }
+    for &d in &plan.before_masking {
+        feasible(d)?;
+    }
+
+    let mut keep = vec![0u64; planes.words_per_plane()];
+    for &i in &u2 {
+        keep[i / 64] |= 1 << (i % 64);
+    }
+    let mut sum = planes.ones_masked(&keep);
+    sum.extend(planes.counts_masked(&keep));
+    Ok(SecAggOutcome {
+        sum,
+        self_masks_reconstructed: u2.len(),
+        pairwise_masks_reconstructed: plan.before_masking.len(),
+        contributors: u2,
     })
 }
 
@@ -690,5 +808,113 @@ mod tests {
             threshold: 5,
         };
         assert!(e.to_string().contains("below threshold 5"));
+    }
+
+    /// A bit-pushing cohort in both representations: the one-hot
+    /// `[ones | counts]` input vectors and the equivalent packed planes.
+    fn one_hot_cohort(n: usize, bits: usize, salt: u64) -> (Vec<Vec<u64>>, BitPlanes) {
+        let mut ins = Vec::with_capacity(n);
+        let mut planes = BitPlanes::new(bits as u32, n);
+        for i in 0..n {
+            let h = (i as u64 ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let j = (h % bits as u64) as usize;
+            let sent = h & (1 << 33) != 0;
+            let mut v = vec![0u64; 2 * bits];
+            v[j] = u64::from(sent);
+            v[bits + j] = 1;
+            ins.push(v);
+            planes.record(i, j as u32, sent);
+        }
+        (ins, planes)
+    }
+
+    #[test]
+    fn plane_path_matches_share_path_exactly() {
+        let (n, bits) = (60, 8);
+        let (ins, planes) = one_hot_cohort(n, bits, 17);
+        for (plan, neighbors) in [
+            (DropoutPlan::none(), None),
+            (
+                DropoutPlan {
+                    before_masking: [3usize, 41, 59].into_iter().collect(),
+                    after_masking: [7usize, 20].into_iter().collect(),
+                },
+                None,
+            ),
+            (
+                DropoutPlan {
+                    before_masking: [0usize, 30].into_iter().collect(),
+                    after_masking: [1usize].into_iter().collect(),
+                },
+                Some(8),
+            ),
+        ] {
+            let mut config = SecAggConfig::new(n, 30, 2 * bits, 99);
+            if let Some(d) = neighbors {
+                config = config.with_neighbors(d);
+            }
+            let mut rng = StdRng::seed_from_u64(11);
+            let shares = run_secure_aggregation(&config, &ins, &plan, &mut rng).unwrap();
+            let planes_out = run_secure_aggregation_planes(&config, &planes, &plan).unwrap();
+            assert_eq!(planes_out, shares, "plan {plan:?} neighbors {neighbors:?}");
+        }
+    }
+
+    #[test]
+    fn plane_path_replicates_error_surface() {
+        let (n, bits) = (10, 4);
+        let (ins, planes) = one_hot_cohort(n, bits, 5);
+        let config = SecAggConfig::new(n, 8, 2 * bits, 7);
+        let check = |plan: &DropoutPlan, cfg: &SecAggConfig, planes: &BitPlanes| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let share_err = run_secure_aggregation(cfg, &ins, plan, &mut rng).unwrap_err();
+            let plane_err = run_secure_aggregation_planes(cfg, planes, plan).unwrap_err();
+            assert_eq!(plane_err, share_err);
+        };
+        // Below the global survivor threshold.
+        check(
+            &DropoutPlan {
+                before_masking: [0usize, 1].into_iter().collect(),
+                after_masking: [2usize].into_iter().collect(),
+            },
+            &config,
+            &planes,
+        );
+        // Inconsistent dropout phases.
+        check(
+            &DropoutPlan {
+                before_masking: [3usize].into_iter().collect(),
+                after_masking: [3usize].into_iter().collect(),
+            },
+            &config,
+            &planes,
+        );
+        // Adjacent dropouts on a too-sparse ring: per-secret infeasibility.
+        let sparse_n = 10;
+        let (sparse_ins, sparse_planes) = one_hot_cohort(sparse_n, bits, 9);
+        let sparse = SecAggConfig::new(sparse_n, 4, 2 * bits, 21).with_neighbors(2);
+        let plan = DropoutPlan {
+            before_masking: [4usize, 5].into_iter().collect(),
+            after_masking: BTreeSet::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let share_err = run_secure_aggregation(&sparse, &sparse_ins, &plan, &mut rng).unwrap_err();
+        let plane_err = run_secure_aggregation_planes(&sparse, &sparse_planes, &plan).unwrap_err();
+        assert_eq!(plane_err, share_err);
+        // Cohort-size mismatch.
+        let small = BitPlanes::new(bits as u32, n - 1);
+        assert_eq!(
+            run_secure_aggregation_planes(&config, &small, &DropoutPlan::none()).unwrap_err(),
+            SecAggError::WrongClientCount {
+                got: n - 1,
+                expected: n
+            }
+        );
+        // Plane width incompatible with the configured vector length.
+        let wide = BitPlanes::new(bits as u32 + 1, n);
+        assert!(matches!(
+            run_secure_aggregation_planes(&config, &wide, &DropoutPlan::none()).unwrap_err(),
+            SecAggError::InputLengthMismatch { client: 0, .. }
+        ));
     }
 }

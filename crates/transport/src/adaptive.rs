@@ -1,6 +1,6 @@
 //! The two-round adaptive protocol over the multi-session transport.
 //!
-//! [`run_federated_adaptive`](fednum_fedsim::adaptive_round::run_federated_adaptive)
+//! The synchronous engine (`fednum_fedsim::adaptive_round::run_adaptive_impl`)
 //! models Algorithm 2 as two synchronous rounds glued by a Rust function
 //! call: round 1's bit means flow to round 2's weight re-optimization
 //! through local memory. Here the same protocol runs as two coordinator
@@ -12,7 +12,7 @@
 //! codec.
 //!
 //! **Parity contract.** Seed for seed, the pooled estimate is bit-identical
-//! to the synchronous `run_federated_adaptive`: the shared RNG is consumed
+//! to the synchronous `run_adaptive_impl`: the shared RNG is consumed
 //! in exactly the legacy order (cohort shuffle, then round 1's draws, then
 //! round 2's), the Publish codec preserves every `f64` bit of the feedback,
 //! and the session-slot time translation never reorders events within a

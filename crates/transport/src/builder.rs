@@ -53,7 +53,7 @@ use fednum_fedsim::round::{run_round_impl, FederatedMeanConfig, FederatedOutcome
 use fednum_hiersec::HierSecConfig;
 
 use crate::adaptive::adaptive_transport_impl;
-use crate::coordinator::run_session;
+use crate::coordinator::{run_session, run_session_batched};
 use crate::hier::{hierarchical_impl, HierShardedOutcome, ShardTransportFactory};
 use crate::net::{InMemoryTransport, Transport, WireMetrics};
 use crate::shard::{sharded_impl, ShardedOutcome};
@@ -91,6 +91,7 @@ pub struct RoundBuilder<'a> {
     rng: Option<&'a mut dyn Rng>,
     seed: Option<u64>,
     shuffle: Option<ShuffleConfig>,
+    batched: Option<usize>,
 }
 
 /// The unified result of [`RoundBuilder::run`].
@@ -192,6 +193,7 @@ impl<'a> RoundBuilder<'a> {
             rng: None,
             seed: None,
             shuffle: None,
+            batched: None,
         }
     }
 
@@ -207,6 +209,7 @@ impl<'a> RoundBuilder<'a> {
             rng: None,
             seed: None,
             shuffle: None,
+            batched: None,
         }
     }
 
@@ -252,6 +255,26 @@ impl<'a> RoundBuilder<'a> {
     #[must_use]
     pub fn shuffled(mut self, shuffle: ShuffleConfig) -> Self {
         self.shuffle = Some(shuffle);
+        self
+    }
+
+    /// Switches the round onto the batched multi-client wire: client
+    /// one-bit responses pack into per-bit-position bitmap planes
+    /// ([`fednum_core::bits::BitPlanes`]), travel as one length-delimited
+    /// `BatchReport` frame per chunk of `chunk` clients, and aggregate by
+    /// `count_ones` over 64-client words — through secure aggregation too,
+    /// when `.secure(..)` is set. Estimates are bit-identical to the
+    /// scalar wire per seed; only the traffic shape changes.
+    ///
+    /// Valid for flat, sharded, and hierarchical rounds, with or without
+    /// `.via(transport)` / `.metered(ledger)`. Shapes whose semantics live
+    /// in per-client frames cannot batch and are rejected up front at
+    /// [`run`](Self::run): the adaptive protocol, `.shuffled(..)`,
+    /// `config.faults`, and `.salvage(..)`. A zero `chunk` is rejected
+    /// too.
+    #[must_use]
+    pub fn batched(mut self, chunk: usize) -> Self {
+        self.batched = Some(chunk);
         self
     }
 
@@ -377,6 +400,42 @@ impl<'a> RoundBuilder<'a> {
                         }
                     };
                 }
+                if let Some(chunk) = self.batched {
+                    return match self.transport {
+                        Some(transport) => {
+                            let res = run_session_batched(
+                                values,
+                                &cfg,
+                                chunk,
+                                self.ledger,
+                                transport,
+                                rng,
+                            );
+                            finish_via(res, transport).map(|(out, wire)| RoundOutcome {
+                                detail: RoundDetail::Flat(out),
+                                wire,
+                            })
+                        }
+                        None => {
+                            // Purely in-process batched round: a fresh
+                            // seeded in-memory transport, same as `.via`
+                            // with `InMemoryTransport::new(seed)`.
+                            let mut transport = InMemoryTransport::new(seed);
+                            run_session_batched(
+                                values,
+                                &cfg,
+                                chunk,
+                                self.ledger,
+                                &mut transport,
+                                rng,
+                            )
+                            .map(|out| RoundOutcome {
+                                detail: RoundDetail::Flat(out),
+                                wire: None,
+                            })
+                        }
+                    };
+                }
                 match self.transport {
                     Some(transport) => {
                         let res = run_session(values, &cfg, self.ledger, transport, rng);
@@ -414,19 +473,24 @@ impl<'a> RoundBuilder<'a> {
                 }
             }
             (Mode::Flat(cfg), Topology::Sharded { shards, seed }) => {
-                sharded_impl(values, &cfg, shards, seed).map(|out| RoundOutcome {
+                sharded_impl(values, &cfg, shards, seed, self.batched).map(|out| RoundOutcome {
                     detail: RoundDetail::Sharded(out),
                     wire: None,
                 })
             }
-            (Mode::Flat(cfg), Topology::Hierarchical { hier, workers }) => {
-                hierarchical_impl(values, &cfg, &hier, workers, seed, self.factory).map(
-                    |(out, wire)| RoundOutcome {
-                        detail: RoundDetail::Hierarchical(out),
-                        wire,
-                    },
-                )
-            }
+            (Mode::Flat(cfg), Topology::Hierarchical { hier, workers }) => hierarchical_impl(
+                values,
+                &cfg,
+                &hier,
+                workers,
+                seed,
+                self.factory,
+                self.batched,
+            )
+            .map(|(out, wire)| RoundOutcome {
+                detail: RoundDetail::Hierarchical(out),
+                wire,
+            }),
             (Mode::Adaptive(_), _) => unreachable!("rejected by check_shape"),
         }
     }
@@ -467,6 +531,47 @@ impl<'a> RoundBuilder<'a> {
                  from the seed; use `.seed(..)` instead of `.rng(..)`"
                     .into(),
             ));
+        }
+        if let Some(chunk) = self.batched {
+            if chunk == 0 {
+                return Err(FedError::InvalidConfig(
+                    "`.batched(chunk)` needs a chunk of at least one client \
+                     per frame"
+                        .into(),
+                ));
+            }
+            if matches!(self.mode, Mode::Adaptive(_)) {
+                return Err(FedError::InvalidConfig(
+                    "the adaptive protocol's round-1 feedback rides per-client \
+                     frames; run it on the scalar wire (drop `.batched(..)`)"
+                        .into(),
+                ));
+            }
+            if self.shuffle.is_some() {
+                return Err(FedError::InvalidConfig(
+                    "the shuffle tier permutes per-client submissions, which \
+                     the batched wire does not send; drop `.batched(..)` or \
+                     `.shuffled(..)`"
+                        .into(),
+                ));
+            }
+            let cfg = self.config();
+            if cfg.faults.is_some() {
+                return Err(FedError::InvalidConfig(
+                    "fault injection targets per-client report frames, which \
+                     the batched wire does not send; drop `config.faults` or \
+                     `.batched(..)`"
+                        .into(),
+                ));
+            }
+            if cfg.salvage.is_some() {
+                return Err(FedError::InvalidConfig(
+                    "straggler salvage re-admits parked per-client frames, \
+                     which the batched wire does not send; drop `.salvage(..)` \
+                     or `.batched(..)`"
+                        .into(),
+                ));
+            }
         }
         if self.shuffle.is_some() {
             if matches!(self.mode, Mode::Adaptive(_)) || !single {
@@ -579,7 +684,7 @@ mod tests {
     fn sharded_builder_matches_the_sharded_engine() {
         let vs = values(6_000, 50);
         let cfg = config(6);
-        let direct = sharded_impl(&vs, &cfg, 4, 11).unwrap();
+        let direct = sharded_impl(&vs, &cfg, 4, 11, None).unwrap();
         let out = RoundBuilder::new(cfg).sharded(4, 11).run(&vs).unwrap();
         let got = out.sharded().expect("sharded detail");
         assert_eq!(
@@ -594,7 +699,7 @@ mod tests {
         let vs = values(3_000, 40);
         let cfg = config(6).with_secagg(SecAggSettings::default());
         let hier = hier3();
-        let (direct, _) = hierarchical_impl(&vs, &cfg, &hier, 2, 5, None).unwrap();
+        let (direct, _) = hierarchical_impl(&vs, &cfg, &hier, 2, 5, None, None).unwrap();
         let out = RoundBuilder::new(cfg)
             .hierarchical(hier, 2)
             .seed(5)
@@ -650,7 +755,7 @@ mod tests {
             .unwrap();
         // Default shard transports are the same seeded InMemoryTransport,
         // so the factory path must reproduce the default path exactly.
-        let (direct, _) = hierarchical_impl(&vs, &cfg, &hier, 2, 5, None).unwrap();
+        let (direct, _) = hierarchical_impl(&vs, &cfg, &hier, 2, 5, None, None).unwrap();
         assert_eq!(
             out.estimate().to_bits(),
             direct.outcome.estimate.to_bits(),
@@ -688,6 +793,121 @@ mod tests {
         let cfg = FederatedAdaptiveConfig::new(config(4));
         let err = RoundBuilder::new_adaptive(cfg)
             .sharded(2, 0)
+            .run(&vs)
+            .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn batched_builder_matches_scalar_across_topologies() {
+        let vs = values(4_000, 64);
+
+        // Flat, no transport: batched runs over a fresh seeded in-memory
+        // transport, bit-identical to the sync engine per seed.
+        let scalar = RoundBuilder::new(config(6)).seed(3).run(&vs).unwrap();
+        let batched = RoundBuilder::new(config(6))
+            .seed(3)
+            .batched(256)
+            .run(&vs)
+            .unwrap();
+        assert_eq!(batched.estimate().to_bits(), scalar.estimate().to_bits());
+        assert!(batched.wire.is_none());
+
+        // Flat, `.via`: same transport seed, same estimate.
+        let mut t = InMemoryTransport::new(9);
+        let via = RoundBuilder::new(config(6))
+            .seed(3)
+            .batched(256)
+            .via(&mut t)
+            .run(&vs)
+            .unwrap();
+        assert_eq!(via.estimate().to_bits(), scalar.estimate().to_bits());
+
+        // Sharded: every shard on the chunked wire.
+        let scalar = RoundBuilder::new(config(6))
+            .sharded(4, 11)
+            .run(&vs)
+            .unwrap();
+        let batched = RoundBuilder::new(config(6))
+            .sharded(4, 11)
+            .batched(128)
+            .run(&vs)
+            .unwrap();
+        assert_eq!(batched.estimate().to_bits(), scalar.estimate().to_bits());
+        assert_eq!(
+            batched.sharded().unwrap().reports,
+            scalar.sharded().unwrap().reports
+        );
+
+        // Hierarchical: plane-popcount secure tallies per shard.
+        let cfg = config(6).with_secagg(SecAggSettings::default());
+        let hier = hier3();
+        let scalar = RoundBuilder::new(cfg.clone())
+            .hierarchical(hier, 2)
+            .seed(5)
+            .run(&vs)
+            .unwrap();
+        let batched = RoundBuilder::new(cfg)
+            .hierarchical(hier, 2)
+            .seed(5)
+            .batched(64)
+            .run(&vs)
+            .unwrap();
+        assert_eq!(batched.estimate().to_bits(), scalar.estimate().to_bits());
+        assert_eq!(
+            batched.hierarchical().unwrap().reports,
+            scalar.hierarchical().unwrap().reports
+        );
+        assert_eq!(
+            batched.hierarchical().unwrap().included_shards,
+            scalar.hierarchical().unwrap().included_shards
+        );
+    }
+
+    #[test]
+    fn batched_shape_contradictions_are_rejected_up_front() {
+        let vs = values(100, 10);
+
+        // Zero chunk.
+        let err = RoundBuilder::new(config(4))
+            .batched(0)
+            .run(&vs)
+            .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig(_)));
+
+        // Adaptive mode: round-1 feedback rides per-client frames.
+        let cfg = FederatedAdaptiveConfig::new(config(4));
+        let err = RoundBuilder::new_adaptive(cfg)
+            .batched(64)
+            .run(&vs)
+            .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig(_)));
+
+        // Shuffle tier permutes per-client submissions.
+        let sh = ShuffleConfig::try_new(1e-6).unwrap();
+        let err = RoundBuilder::new(shuffle_config(4, 1.0))
+            .shuffled(sh)
+            .batched(64)
+            .run(&vs)
+            .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig(_)));
+
+        // Salvage re-admits parked per-client frames.
+        let err = RoundBuilder::new(config(4))
+            .salvage(SalvagePolicy::default())
+            .batched(64)
+            .run(&vs)
+            .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig(_)));
+
+        // Fault injection targets per-client report frames.
+        let plan = fednum_fedsim::faults::FaultPlan::new(
+            fednum_fedsim::faults::FaultRates::uniform(0.1),
+            7,
+        )
+        .unwrap();
+        let err = RoundBuilder::new(config(4).with_faults(plan))
+            .batched(64)
             .run(&vs)
             .unwrap_err();
         assert!(matches!(err, FedError::InvalidConfig(_)));

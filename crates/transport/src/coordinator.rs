@@ -17,8 +17,8 @@
 //!    │ ◀─────────────────── Publish │   publish
 //! ```
 //!
-//! **Parity contract.** Estimates are bit-identical to
-//! [`run_federated_mean`](fednum_fedsim::round::run_federated_mean) under
+//! **Parity contract.** Estimates are bit-identical to the synchronous
+//! engine (`fednum_fedsim::round::run_round_impl`) under
 //! the same seed: the session consumes the shared RNG in exactly the legacy
 //! draw order (pool shuffle, per-wave assignment, latency, then per client
 //! dropout and randomized response), while everything transport-level —
@@ -32,12 +32,14 @@
 //! counted — the server cannot bill what never arrived.
 
 use fednum_core::accumulator::BitAccumulator;
-use fednum_core::bits::bit;
+use fednum_core::bits::{bit, BitPlanes};
 use fednum_core::privacy::{PrivacyLedger, RandomizedResponse};
 use fednum_core::protocol::basic::BasicBitPushing;
 use fednum_core::sampling::BitSampling;
-use fednum_core::wire::ReportMessage;
-use fednum_secagg::protocol::{run_secure_aggregation, DropoutPlan, SecAggConfig, SecAggError};
+use fednum_core::wire::{BatchReportMessage, ReportMessage};
+use fednum_secagg::protocol::{
+    run_secure_aggregation, run_secure_aggregation_planes, DropoutPlan, SecAggConfig, SecAggError,
+};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -53,8 +55,8 @@ use fednum_fedsim::traffic::{Direction, TrafficPhase, TrafficStats};
 use fednum_fedsim::validation::{RejectionCounts, ReportValidator};
 
 use crate::message::{
-    ConfigHeader, EncryptedShare, KeyAdvertise, KeyShares, MaskedInput, Message, Publish, Report,
-    RoundConfig, UnmaskShares, ENCRYPTED_SHARE_LEN, PUBLIC_KEY_LEN,
+    BatchReport, ConfigHeader, EncryptedShare, KeyAdvertise, KeyShares, MaskedInput, Message,
+    Publish, Report, RoundConfig, UnmaskShares, ENCRYPTED_SHARE_LEN, PUBLIC_KEY_LEN,
 };
 use crate::net::{Envelope, Transport, BROADCAST, COORDINATOR};
 use crate::scheduler::mix;
@@ -209,6 +211,152 @@ pub(crate) fn secagg_tally(
                 return Ok(TallyOutput {
                     ones,
                     eff_counts: eff,
+                    summary: SecAggSummary {
+                        contributors: out.contributors.len(),
+                        recovered_pairwise: out.pairwise_masks_reconstructed,
+                    },
+                    retries: secagg_retries,
+                });
+            }
+            Err(e @ SecAggError::TooFewSurvivors { .. }) => {
+                if secagg_retries >= config.retry.max_secagg_retries {
+                    return Err(e.into());
+                }
+                let pause = config.retry.backoff(secagg_retries);
+                secagg_retries += 1;
+                st.backoff_time += pause;
+                st.completion_time += pause;
+                cohort.retain(|&ci| {
+                    st.contacts[ci].fate == Fate::Responds && st.contacts[ci].report.is_some()
+                });
+                if cohort.len() < config.retry.min_cohort {
+                    return Err(FedError::CohortTooSmall {
+                        survivors: cohort.len(),
+                        minimum: config.retry.min_cohort,
+                    });
+                }
+                if cohort.is_empty() {
+                    return Err(FedError::NoReports);
+                }
+                if let Some(ledger) = ledger.as_deref_mut() {
+                    for &ci in &cohort {
+                        ledger.charge_round(st.contacts[ci].client as u64, round_id, 1, epsilon)?;
+                    }
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Rebuilds the bit planes for a (possibly shrunken) cohort from its
+/// contact records, preserving cohort order so [`DropoutPlan`] indices and
+/// plane slots agree.
+fn planes_for_cohort(contacts: &[Contact], cohort: &[usize], bits: u32) -> BitPlanes {
+    let mut planes = BitPlanes::new(bits, cohort.len());
+    for (i, &ci) in cohort.iter().enumerate() {
+        let c = &contacts[ci];
+        if let Some(sent) = c.report {
+            planes.record(i, c.bit, sent);
+        }
+    }
+    planes
+}
+
+/// The secure-aggregation tally stage over bit planes: same retry loop,
+/// session derivation, backoff, cohort shrinking, and attempt traffic as
+/// [`secagg_tally`], but the per-attempt aggregate is computed by
+/// [`run_secure_aggregation_planes`] — masked `count_ones` over the packed
+/// planes instead of field arithmetic over per-client one-hot vectors.
+///
+/// Takes no RNG: the plane aggregator derives nothing random, and in every
+/// shape the batched path supports, no later stage reads the session RNG,
+/// so estimates stay bit-identical to the share-based path per seed.
+///
+/// # Errors
+/// See [`FedError`]; `TooFewSurvivors` after the last permitted retry
+/// surfaces as [`FedError::SecAgg`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn secagg_tally_planes(
+    st: &mut CollectState,
+    planes: &BitPlanes,
+    config: &FederatedMeanConfig,
+    settings: &SecAggSettings,
+    session_base: u64,
+    round_id: u64,
+    mut ledger: Option<&mut PrivacyLedger>,
+    transport: &mut dyn Transport,
+) -> Result<TallyOutput, FedError> {
+    let bits = config.protocol.codec.bits();
+    let epsilon = config
+        .protocol
+        .privacy
+        .as_ref()
+        .map_or(0.0, RandomizedResponse::epsilon);
+    let vector_len = 2 * bits as usize;
+    let mut secagg_retries = 0u32;
+    let mut cohort: Vec<usize> = (0..st.contacts.len()).collect();
+    loop {
+        let n = cohort.len();
+        let threshold = ((settings.threshold_fraction * n as f64).ceil() as usize).clamp(1, n);
+        let mut plan = DropoutPlan::none();
+        let mut eff = vec![0u64; bits as usize];
+        for (i, &ci) in cohort.iter().enumerate() {
+            let c = &st.contacts[ci];
+            match c.report {
+                Some(_) => {
+                    eff[c.bit as usize] += 1;
+                    if c.fate == Fate::DropsAfterReport {
+                        plan.after_masking.insert(i);
+                    }
+                }
+                None => {
+                    plan.before_masking.insert(i);
+                }
+            }
+        }
+        // The cohort only ever shrinks from the full contact list, so a
+        // length match means identity: the round planes serve as-is.
+        let rebuilt;
+        let attempt_planes = if cohort.len() == planes.slots() {
+            planes
+        } else {
+            rebuilt = planes_for_cohort(&st.contacts, &cohort, bits);
+            &rebuilt
+        };
+        let session = session_base ^ u64::from(secagg_retries).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let members: Vec<u64> = cohort
+            .iter()
+            .map(|&ci| st.contacts[ci].client as u64)
+            .collect();
+        let degree = settings
+            .neighbors
+            .unwrap_or(n.saturating_sub(1))
+            .clamp(1, n.max(2) - 1);
+        secagg_attempt_messages(
+            transport,
+            &mut st.traffic,
+            &members,
+            &plan,
+            vector_len,
+            degree,
+            session,
+            round_id,
+            st.clock,
+        );
+        st.clock += 1.0;
+        let mut sa_config = SecAggConfig::new(n, threshold, vector_len, session);
+        if let Some(k) = settings.neighbors {
+            sa_config = sa_config.with_neighbors(k);
+        }
+        match run_secure_aggregation_planes(&sa_config, attempt_planes, &plan) {
+            Ok(out) => {
+                debug_assert_eq!(&out.sum[bits as usize..], eff.as_slice());
+                let ones: Vec<u64> = out.sum[..bits as usize].to_vec();
+                let eff_counts: Vec<u64> = out.sum[bits as usize..].to_vec();
+                return Ok(TallyOutput {
+                    ones,
+                    eff_counts,
                     summary: SecAggSummary {
                         contributors: out.contributors.len(),
                         recovered_pairwise: out.pairwise_masks_reconstructed,
@@ -461,7 +609,7 @@ pub(crate) fn run_salvage(
 
 /// Runs a complete federated mean-estimation session over the given
 /// transport. Same semantics (and, seed for seed, the same estimate) as
-/// [`run_federated_mean`](fednum_fedsim::round::run_federated_mean), plus
+/// the synchronous engine (`fednum_fedsim::round::run_round_impl`), plus
 /// per-phase traffic accounting in the returned
 /// `FederatedOutcome::robustness.traffic`.
 ///
@@ -487,9 +635,8 @@ pub fn run_federated_mean_transport(
 }
 
 /// As [`run_federated_mean_transport`], metering each client's disclosure
-/// through the ledger exactly as
-/// [`run_federated_mean_metered`](fednum_fedsim::round::run_federated_mean_metered)
-/// does.
+/// through the ledger exactly as the synchronous engine does with a ledger
+/// attached.
 ///
 /// # Errors
 /// See [`FedError`].
@@ -672,6 +819,133 @@ pub(crate) fn run_session_inner(
         },
         publish_frame,
     ))
+}
+
+/// The batched session body: collect over the chunked multi-client wire,
+/// tally by plane popcounts (masked through secure aggregation when
+/// configured), publish. Bit-identical, seed for seed, to [`run_session`]
+/// in every shape the batched wire supports — the builder rejects the rest
+/// (faults, salvage, shuffling, adaptive) up front.
+///
+/// # Errors
+/// See [`FedError`].
+pub(crate) fn run_session_batched(
+    values: &[f64],
+    config: &FederatedMeanConfig,
+    chunk: usize,
+    mut ledger: Option<&mut PrivacyLedger>,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<FederatedOutcome, FedError> {
+    if values.is_empty() {
+        return Err(FedError::PopulationTooSmall { got: 0, need: 1 });
+    }
+    let codec = config.protocol.codec;
+    let (codes, clip_fraction) = codec.encode_all(values);
+    let round_id = config.session_seed;
+
+    let (mut st, planes) = collect_batched(
+        &codes,
+        config,
+        chunk,
+        0,
+        ledger.as_deref_mut(),
+        transport,
+        rng,
+    )?;
+
+    let total_reports: u64 = st.counts.iter().sum();
+    if total_reports == 0 {
+        return Err(FedError::NoReports);
+    }
+    let reporters = st.contacts.iter().filter(|c| c.report.is_some()).count();
+    if reporters < config.retry.min_cohort {
+        return Err(FedError::CohortTooSmall {
+            survivors: reporters,
+            minimum: config.retry.min_cohort,
+        });
+    }
+
+    // Tally stage: per-bit (ones, counts) straight off the packed planes —
+    // one `count_ones` per 64 clients — directly or through the
+    // secure-aggregation message rounds.
+    let mut secagg_retries = 0u32;
+    let (ones, eff_counts, secagg_summary) = match &config.secagg {
+        Some(settings) => {
+            let tally = secagg_tally_planes(
+                &mut st,
+                &planes,
+                config,
+                settings,
+                config.session_seed,
+                round_id,
+                ledger,
+                transport,
+            )?;
+            secagg_retries = tally.retries;
+            (tally.ones, tally.eff_counts, Some(tally.summary))
+        }
+        None => (planes.ones(), planes.counts(), None),
+    };
+
+    let acc = BitAccumulator::from_parts(
+        debias_sums(&ones, &eff_counts, config.protocol.privacy.as_ref()),
+        eff_counts.clone(),
+    );
+    let outcome = BasicBitPushing::new(config.protocol.clone()).finish(acc, clip_fraction);
+
+    let publish = Message::Publish(Publish {
+        round_id,
+        estimate: outcome.estimate,
+        reports: total_reports,
+        feedback: Vec::new(),
+    });
+    transport.send(Envelope {
+        from: COORDINATOR,
+        to: 0,
+        sent_at: st.clock,
+        payload: publish.encode(),
+    });
+    drain_counting(transport, &mut st.traffic);
+
+    let base_probs = config.protocol.sampling.probs();
+    let starved_bits: Vec<u32> = base_probs
+        .iter()
+        .zip(&eff_counts)
+        .enumerate()
+        .filter(|(_, (&p, &c))| p > 0.0 && c < config.min_reports_per_bit)
+        .map(|(j, _)| j as u32)
+        .collect();
+
+    let degraded = if !starved_bits.is_empty() {
+        DegradedMode::Partial
+    } else if secagg_retries > 0 {
+        DegradedMode::Retried
+    } else if st.waves_used > 1 {
+        DegradedMode::Refilled
+    } else {
+        DegradedMode::Clean
+    };
+
+    Ok(FederatedOutcome {
+        outcome,
+        contacted: st.contacts.len(),
+        reports: total_reports,
+        waves_used: st.waves_used,
+        completion_time: st.completion_time,
+        starved_bits,
+        secagg: secagg_summary,
+        robustness: RobustnessReport {
+            degraded,
+            rejections: st.rejections,
+            late_frames: st.late_frames,
+            salvage: None,
+            secagg_retries,
+            faults_injected: st.faults_injected,
+            backoff_time: st.backoff_time,
+            traffic: st.traffic,
+        },
+    })
 }
 
 /// The collect phase: contacts the cohort in waves over the transport —
@@ -1080,6 +1354,269 @@ pub(crate) fn collect_waves(
     })
 }
 
+/// The batched collect phase: the same wave schedule, client model, and
+/// RNG draw order as [`collect_waves`] — pool shuffle, per-wave assignment,
+/// latency, then per slot dropout and randomized response — but the wire
+/// carries one [`BatchReport`] frame per chunk of `chunk` clients instead
+/// of a Hello/RoundConfig/Report chain per client. The slot-order client
+/// loop is parity-exact because the scalar path's per-client chains are
+/// serialized by construction (`HOP` < `STEP`), so its model draws land in
+/// slot order too.
+///
+/// The wire is load-bearing: every chunk frame round-trips through the
+/// transport and is decoded back into planes on the server side; a frame
+/// the transport fails to deliver turns its whole chunk into "nothing
+/// arrived" records. Returns the collect state plus the round's packed
+/// planes, one slot per contact in contact order.
+///
+/// # Errors
+/// See [`FedError`].
+#[allow(clippy::too_many_lines)]
+pub(crate) fn collect_batched(
+    codes: &[u64],
+    config: &FederatedMeanConfig,
+    chunk: usize,
+    client_offset: u64,
+    mut ledger: Option<&mut PrivacyLedger>,
+    transport: &mut dyn Transport,
+    rng: &mut dyn Rng,
+) -> Result<(CollectState, BitPlanes), FedError> {
+    debug_assert!(chunk > 0, "builder rejects a zero chunk");
+    debug_assert!(
+        config.faults.is_none() && config.salvage.is_none(),
+        "builder rejects faults and salvage on the batched wire"
+    );
+    let bits = config.protocol.codec.bits();
+    let round_id = config.session_seed;
+    let epsilon = config
+        .protocol
+        .privacy
+        .as_ref()
+        .map_or(0.0, RandomizedResponse::epsilon);
+    let secagg_on = config.secagg.is_some();
+
+    // Uncontacted-client pool, randomly ordered (first legacy RNG draw).
+    let mut pool: Vec<usize> = (0..codes.len()).collect();
+    pool.shuffle(rng);
+
+    let base_probs = config.protocol.sampling.probs().to_vec();
+    let mut counts = vec![0u64; bits as usize];
+    let mut contacts: Vec<Contact> = Vec::new();
+    let mut round_planes = BitPlanes::new(bits, 0);
+    let mut completion_time = 0.0;
+    let mut backoff_time = 0.0;
+    let mut waves_used = 0;
+    let mut traffic = TrafficStats::new();
+    let window_len = config.latency.as_ref().map_or(1.0, |l| l.timeout);
+
+    for wave in 0..config.max_waves {
+        if pool.is_empty() {
+            break;
+        }
+        let sampling = if wave == 0 {
+            config.protocol.sampling.clone()
+        } else {
+            let deficits: Vec<f64> = base_probs
+                .iter()
+                .zip(&counts)
+                .map(|(&p, &c)| {
+                    if p > 0.0 && c < config.min_reports_per_bit {
+                        (config.min_reports_per_bit - c) as f64
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            if deficits.iter().all(|&d| d == 0.0) {
+                break;
+            }
+            BitSampling::custom(deficits)
+        };
+
+        let wave_size = if wave == 0 {
+            ((config.wave_fraction * pool.len() as f64).ceil() as usize).clamp(1, pool.len())
+        } else {
+            let deficit_total: u64 = base_probs
+                .iter()
+                .zip(&counts)
+                .filter(|(&p, &c)| p > 0.0 && c < config.min_reports_per_bit)
+                .map(|(_, &c)| config.min_reports_per_bit - c)
+                .sum();
+            let needed =
+                (deficit_total as f64 / config.dropout.response_rate().max(0.01)).ceil() as usize;
+            needed.clamp(1, pool.len())
+        };
+        if wave > 0 {
+            let pause = config.retry.backoff(wave - 1);
+            backoff_time += pause;
+            completion_time += pause;
+        }
+        waves_used = wave + 1;
+
+        let batch: Vec<usize> = pool.drain(..wave_size).collect();
+        let assignment = sampling.assign(config.protocol.assignment, batch.len(), rng);
+        let wave_time = match &config.latency {
+            Some(lat) => lat.simulate_round(batch.len(), 0.9, rng).completion_time,
+            None => 0.0,
+        };
+
+        let t0 = 2.0 * window_len * f64::from(wave);
+        let deadline = t0 + window_len;
+        transport.open_window(t0, deadline);
+        let threshold_hint = config.secagg.map_or(0, |s| {
+            ((s.threshold_fraction * batch.len() as f64).ceil() as u64).clamp(1, batch.len() as u64)
+        });
+        // One shared config broadcast per wave; assignments travel inside
+        // the chunk schedule, not as per-client frames.
+        transport.send(Envelope {
+            from: COORDINATOR,
+            to: BROADCAST,
+            sent_at: t0,
+            payload: Message::ConfigHeader(ConfigHeader {
+                round_id,
+                secagg: secagg_on,
+                threshold: threshold_hint,
+                vector_len: if secagg_on { 2 * u64::from(bits) } else { 0 },
+            })
+            .encode(),
+        });
+
+        // Client model in slot order — the exact draw order the scalar
+        // path's serialized delivery chains produce.
+        let mut slot_fate = vec![Fate::DropsBeforeReport; batch.len()];
+        let mut staged: Vec<Option<(u32, bool)>> = vec![None; batch.len()];
+        for (slot, &client) in batch.iter().enumerate() {
+            let j = assignment[slot];
+            let fate = config.dropout.sample(rng);
+            if fate == Fate::DropsBeforeReport {
+                continue;
+            }
+            let raw = bit(codes[client], j);
+            let sent = match &config.protocol.privacy {
+                Some(rr) => rr.flip(raw, rng),
+                None => raw,
+            };
+            if let Some(ledger) = ledger.as_deref_mut() {
+                ledger.charge_round(client_offset + client as u64, round_id, 1, epsilon)?;
+            }
+            slot_fate[slot] = fate;
+            staged[slot] = Some((j, sent));
+        }
+
+        // Edge packing: one BatchReport frame per chunk, slots local to
+        // the chunk, sent when the chunk's first client would have
+        // reported on the scalar wire.
+        let n_chunks = batch.len().div_ceil(chunk);
+        for (ci, chunk_slots) in staged.chunks(chunk).enumerate() {
+            let start = ci * chunk;
+            let mut planes = BitPlanes::new(bits, chunk_slots.len());
+            for (s, entry) in chunk_slots.iter().enumerate() {
+                if let Some((j, sent)) = entry {
+                    planes.record(s, *j, *sent);
+                }
+            }
+            transport.send(Envelope {
+                from: client_offset + batch[start] as u64,
+                to: COORDINATOR,
+                sent_at: t0 + start as f64 * STEP + 2.0 * HOP,
+                payload: Message::BatchReport(BatchReport {
+                    nonce: ci as u64,
+                    body: BatchReportMessage {
+                        task_id: round_id,
+                        planes,
+                    },
+                })
+                .encode(),
+            });
+        }
+
+        // Server side: decode what actually arrived, keyed by chunk nonce
+        // so transport reordering cannot scramble slot identity.
+        let mut arrived: Vec<Option<BitPlanes>> = (0..n_chunks).map(|_| None).collect();
+        while let Some((at, env)) = transport.poll() {
+            let Ok(msg) = Message::decode(&env.payload) else {
+                continue;
+            };
+            let nbytes = env.payload.len() as u64;
+            if env.to == COORDINATOR {
+                traffic.record(msg.phase(), Direction::Uplink, nbytes);
+                if let Message::BatchReport(br) = msg {
+                    if br.body.task_id != round_id || at > deadline {
+                        continue;
+                    }
+                    if let Some(slot) = arrived.get_mut(br.nonce as usize) {
+                        *slot = Some(br.body.planes);
+                    }
+                }
+            } else {
+                traffic.record(msg.phase(), Direction::Downlink, nbytes);
+            }
+        }
+        completion_time += wave_time;
+
+        // Close the wave in batch order off the *decoded* planes: a chunk
+        // the wire lost contributes uniform "nothing arrived" records.
+        for (ci, decoded) in arrived.into_iter().enumerate() {
+            let start = ci * chunk;
+            let len = chunk.min(batch.len() - start);
+            let decoded = match decoded {
+                Some(p) if p.bits() == bits && p.slots() == len => p,
+                _ => BitPlanes::new(bits, len),
+            };
+            for s in 0..len {
+                let slot = start + s;
+                let client = batch[slot];
+                let word = s / 64;
+                let mask = 1u64 << (s % 64);
+                let mut report = None;
+                for j in 0..bits as usize {
+                    if decoded.plane_occupancy(j)[word] & mask != 0 {
+                        report = Some((j, decoded.plane_value(j)[word] & mask != 0));
+                        break;
+                    }
+                }
+                match report {
+                    Some((j, value)) => {
+                        counts[j] += 1;
+                        contacts.push(Contact {
+                            client,
+                            bit: j as u32,
+                            report: Some(value),
+                            fate: slot_fate[slot],
+                            copies: 1,
+                        });
+                    }
+                    None => {
+                        contacts.push(Contact {
+                            client,
+                            bit: assignment[slot],
+                            report: None,
+                            fate: Fate::DropsBeforeReport,
+                            copies: 0,
+                        });
+                    }
+                }
+            }
+            round_planes.merge(&decoded);
+        }
+    }
+
+    let st = CollectState {
+        contacts,
+        counts,
+        completion_time,
+        backoff_time,
+        waves_used,
+        rejections: RejectionCounts::default(),
+        faults_injected: 0,
+        traffic,
+        clock: 2.0 * window_len * f64::from(waves_used),
+        late_frames: 0,
+        parked: Vec::new(),
+    };
+    Ok((st, round_planes))
+}
+
 /// Per-bit ones tally over direct (non-secagg) contacts.
 pub(crate) fn direct_tally(contacts: &[Contact], bits: u32) -> Vec<u64> {
     let mut ones = vec![0u64; bits as usize];
@@ -1370,6 +1907,185 @@ mod tests {
             tr.get(TrafficPhase::KeyExchange, Direction::Uplink)
                 .messages
                 == 0
+        );
+    }
+
+    #[test]
+    fn batched_plain_round_is_bit_identical_per_seed() {
+        let vs = values(4_000, 100);
+        let cfg = base_config(7)
+            .with_dropout(DropoutModel::bernoulli(0.3))
+            .with_auto_adjust(3, 20, 0.6);
+        for seed in 0..4 {
+            let mut ts = InMemoryTransport::new(seed);
+            let scalar =
+                run_session(&vs, &cfg, None, &mut ts, &mut StdRng::seed_from_u64(seed)).unwrap();
+            for chunk in [1usize, 64, 1_000, 100_000] {
+                let mut tb = InMemoryTransport::new(seed);
+                let batched = run_session_batched(
+                    &vs,
+                    &cfg,
+                    chunk,
+                    None,
+                    &mut tb,
+                    &mut StdRng::seed_from_u64(seed),
+                )
+                .unwrap();
+                assert_eq!(
+                    scalar.outcome.estimate.to_bits(),
+                    batched.outcome.estimate.to_bits(),
+                    "seed {seed} chunk {chunk}"
+                );
+                assert_eq!(scalar.outcome.bit_means, batched.outcome.bit_means);
+                assert_eq!(scalar.reports, batched.reports);
+                assert_eq!(scalar.contacted, batched.contacted);
+                assert_eq!(scalar.waves_used, batched.waves_used);
+                assert_eq!(scalar.completion_time, batched.completion_time);
+                assert_eq!(scalar.starved_bits, batched.starved_bits);
+                assert_eq!(scalar.robustness.degraded, batched.robustness.degraded);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_secagg_round_is_bit_identical_per_seed() {
+        let vs = values(300, 50);
+        let cfg = base_config(6)
+            .with_dropout(DropoutModel::phased(0.1, 0.05))
+            .with_secagg(SecAggSettings::default());
+        for seed in 0..4 {
+            let mut ts = InMemoryTransport::new(seed);
+            let scalar =
+                run_session(&vs, &cfg, None, &mut ts, &mut StdRng::seed_from_u64(seed)).unwrap();
+            let mut tb = InMemoryTransport::new(seed);
+            let batched = run_session_batched(
+                &vs,
+                &cfg,
+                64,
+                None,
+                &mut tb,
+                &mut StdRng::seed_from_u64(seed),
+            )
+            .unwrap();
+            assert_eq!(
+                scalar.outcome.estimate.to_bits(),
+                batched.outcome.estimate.to_bits(),
+                "seed {seed}"
+            );
+            assert_eq!(scalar.secagg, batched.secagg);
+            assert_eq!(
+                scalar.robustness.secagg_retries,
+                batched.robustness.secagg_retries
+            );
+            assert_eq!(scalar.reports, batched.reports);
+        }
+    }
+
+    #[test]
+    fn batched_secagg_retry_path_matches_the_scalar_retry_path() {
+        // A phased-dropout cohort with a high threshold forces
+        // `TooFewSurvivors` on the first attempt, exercising the shrunken
+        // rebuilt-planes retry loop against the scalar one.
+        let vs = values(200, 50);
+        let cfg = base_config(5)
+            .with_dropout(DropoutModel::phased(0.2, 0.3))
+            .with_secagg(SecAggSettings {
+                threshold_fraction: 0.75,
+                neighbors: None,
+            });
+        let mut hit_retry = false;
+        for seed in 0..12 {
+            let mut ts = InMemoryTransport::new(seed);
+            let scalar = run_session(&vs, &cfg, None, &mut ts, &mut StdRng::seed_from_u64(seed));
+            let mut tb = InMemoryTransport::new(seed);
+            let batched = run_session_batched(
+                &vs,
+                &cfg,
+                32,
+                None,
+                &mut tb,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            match (scalar, batched) {
+                (Ok(s), Ok(b)) => {
+                    assert_eq!(s.outcome.estimate.to_bits(), b.outcome.estimate.to_bits());
+                    assert_eq!(s.robustness.secagg_retries, b.robustness.secagg_retries);
+                    assert_eq!(s.secagg, b.secagg);
+                    hit_retry |= s.robustness.secagg_retries > 0;
+                }
+                (Err(se), Err(be)) => assert_eq!(se.to_string(), be.to_string()),
+                (s, b) => panic!("diverged at seed {seed}: scalar {s:?} vs batched {b:?}"),
+            }
+        }
+        assert!(hit_retry, "no seed exercised the retry loop");
+    }
+
+    #[test]
+    fn batched_metered_round_bills_the_ledger_identically() {
+        let vs = values(2_000, 64);
+        let cfg = base_config(6).with_dropout(DropoutModel::bernoulli(0.2));
+        let mut scalar_ledger = PrivacyLedger::new();
+        let mut ts = InMemoryTransport::new(5);
+        run_session(
+            &vs,
+            &cfg,
+            Some(&mut scalar_ledger),
+            &mut ts,
+            &mut StdRng::seed_from_u64(5),
+        )
+        .unwrap();
+        let mut batched_ledger = PrivacyLedger::new();
+        let mut tb = InMemoryTransport::new(5);
+        run_session_batched(
+            &vs,
+            &cfg,
+            128,
+            Some(&mut batched_ledger),
+            &mut tb,
+            &mut StdRng::seed_from_u64(5),
+        )
+        .unwrap();
+        assert_eq!(
+            scalar_ledger.max_bits_per_client(),
+            batched_ledger.max_bits_per_client()
+        );
+    }
+
+    #[test]
+    fn batched_wire_amortizes_collect_uplink_frames() {
+        let vs = values(5_000, 100);
+        let cfg = base_config(8);
+        let mut ts = InMemoryTransport::new(2);
+        let scalar = run_session(&vs, &cfg, None, &mut ts, &mut StdRng::seed_from_u64(2)).unwrap();
+        let mut tb = InMemoryTransport::new(2);
+        let batched =
+            run_session_batched(&vs, &cfg, 512, None, &mut tb, &mut StdRng::seed_from_u64(2))
+                .unwrap();
+        let s_up = scalar
+            .robustness
+            .traffic
+            .get(TrafficPhase::Collect, Direction::Uplink);
+        let b_up = batched
+            .robustness
+            .traffic
+            .get(TrafficPhase::Collect, Direction::Uplink);
+        // 5 000 per-client frames vs ceil(5 000 / 512) chunk frames.
+        assert_eq!(s_up.messages, 5_000);
+        assert_eq!(b_up.messages, 10);
+        assert!(
+            b_up.bytes * 2 < s_up.bytes,
+            "planes must at least halve collect uplink bytes: {} vs {}",
+            b_up.bytes,
+            s_up.bytes
+        );
+        // No per-client Hello/RoundConfig chains on the batched wire.
+        assert_eq!(
+            batched
+                .robustness
+                .traffic
+                .get(TrafficPhase::Rendezvous, Direction::Uplink)
+                .messages,
+            0
         );
     }
 

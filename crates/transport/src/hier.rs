@@ -37,7 +37,10 @@ use fednum_fedsim::round::{DegradedMode, FederatedMeanConfig, SalvageOutcome};
 use fednum_fedsim::traffic::{Direction, TrafficPhase, TrafficStats};
 use fednum_fedsim::validation::RejectionCounts;
 
-use crate::coordinator::{collect_waves, debias_sums, fill_derived, run_salvage, secagg_tally};
+use crate::coordinator::{
+    collect_batched, collect_waves, debias_sums, fill_derived, run_salvage, secagg_tally,
+    secagg_tally_planes,
+};
 use crate::message::{
     EncryptedShare, KeyAdvertise, KeyShares, MaskedInput, Message, Publish, UnmaskShares,
     ENCRYPTED_SHARE_LEN, PUBLIC_KEY_LEN,
@@ -182,15 +185,19 @@ pub fn run_hierarchical_mean(
     workers: usize,
     seed: u64,
 ) -> Result<HierShardedOutcome, FedError> {
-    hierarchical_impl(values, config, hier, workers, seed, None).map(|(out, _)| out)
+    hierarchical_impl(values, config, hier, workers, seed, None, None).map(|(out, _)| out)
 }
 
 /// The two-tier engine behind the deprecated free function and the
 /// `RoundBuilder` facade. `factory`, when given, supplies each shard's
 /// transport (see [`ShardTransportFactory`]); the second return value is
 /// the merged wire totals of the shard transports, `None` when none of
-/// them meter a wire.
-#[allow(clippy::too_many_lines)]
+/// them meter a wire. `batched` switches every shard onto the chunked
+/// multi-client wire with plane-popcount secure tallies
+/// ([`collect_batched`](crate::coordinator::collect_batched) +
+/// [`secagg_tally_planes`](crate::coordinator::secagg_tally_planes)),
+/// bit-identical per seed to the scalar wire.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 pub(crate) fn hierarchical_impl(
     values: &[f64],
     config: &FederatedMeanConfig,
@@ -198,6 +205,7 @@ pub(crate) fn hierarchical_impl(
     workers: usize,
     seed: u64,
     factory: Option<ShardTransportFactory<'_>>,
+    batched: Option<usize>,
 ) -> Result<(HierShardedOutcome, Option<WireMetrics>), FedError> {
     let Some(_) = config.secagg else {
         return Err(FedError::InvalidConfig(
@@ -242,14 +250,31 @@ pub(crate) fn hierarchical_impl(
             None if config.faults.is_some() => Box::new(SimNetTransport::for_config(config, tseed)),
             None => Box::new(InMemoryTransport::new(tseed)),
         };
-        let mut st = collect_waves(
-            slice,
-            config,
-            offsets[s] as u64,
-            None,
-            transport.as_mut(),
-            &mut rng,
-        )?;
+        let (mut st, planes) = match batched {
+            Some(chunk) => {
+                let (st, planes) = collect_batched(
+                    slice,
+                    config,
+                    chunk,
+                    offsets[s] as u64,
+                    None,
+                    transport.as_mut(),
+                    &mut rng,
+                )?;
+                (st, Some(planes))
+            }
+            None => {
+                let st = collect_waves(
+                    slice,
+                    config,
+                    offsets[s] as u64,
+                    None,
+                    transport.as_mut(),
+                    &mut rng,
+                )?;
+                (st, None)
+            }
+        };
         let collected: u64 = st.counts.iter().sum();
         let reporters = st.contacts.iter().filter(|c| c.report.is_some()).count();
         let mut run = ShardRun {
@@ -271,16 +296,29 @@ pub(crate) fn hierarchical_impl(
         if reporters > 0 {
             // The shard's own secagg instance, keyed by tier and index so
             // its key graph is independent of every sibling's.
-            match secagg_tally(
-                &mut st,
-                config,
-                &hier.shard,
-                hier.shard_session(s),
-                round_id,
-                None,
-                transport.as_mut(),
-                &mut rng,
-            ) {
+            let tally = match &planes {
+                Some(p) => secagg_tally_planes(
+                    &mut st,
+                    p,
+                    config,
+                    &hier.shard,
+                    hier.shard_session(s),
+                    round_id,
+                    None,
+                    transport.as_mut(),
+                ),
+                None => secagg_tally(
+                    &mut st,
+                    config,
+                    &hier.shard,
+                    hier.shard_session(s),
+                    round_id,
+                    None,
+                    transport.as_mut(),
+                    &mut rng,
+                ),
+            };
+            match tally {
                 Ok(tally) => {
                     let mut sum = tally.ones;
                     sum.extend_from_slice(&tally.eff_counts);
@@ -667,7 +705,7 @@ mod tests {
         workers: usize,
         seed: u64,
     ) -> Result<HierShardedOutcome, FedError> {
-        hierarchical_impl(values, config, hier, workers, seed, None).map(|(out, _)| out)
+        hierarchical_impl(values, config, hier, workers, seed, None, None).map(|(out, _)| out)
     }
 
     fn run_sharded_mean(
@@ -676,7 +714,7 @@ mod tests {
         shards: usize,
         seed: u64,
     ) -> Result<crate::shard::ShardedOutcome, FedError> {
-        sharded_impl(values, config, shards, seed)
+        sharded_impl(values, config, shards, seed, None)
     }
 
     fn settings() -> SecAggSettings {

@@ -15,7 +15,8 @@
 //! accounting in the coordinator.
 
 use fednum_core::wire::{
-    push_varint, read_bytes, read_varint, ReportMessage, ShuffleMessage, WireError,
+    push_varint, read_bytes, read_varint, BatchReportMessage, ReportMessage, ShuffleMessage,
+    WireError,
 };
 use fednum_fedsim::traffic::{Direction, TrafficPhase};
 
@@ -36,6 +37,7 @@ const TAG_PUBLISH: u8 = 7;
 const TAG_CONFIG_HEADER: u8 = 8;
 const TAG_ASSIGN_BIT: u8 = 9;
 const TAG_SHUFFLE: u8 = 10;
+const TAG_BATCH_REPORT: u8 = 11;
 
 /// Round-configuration downlink: the per-client task description.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +79,17 @@ pub struct Report {
     pub nonce: u64,
     /// The report payload (`task_id` carries the round tag).
     pub body: ReportMessage,
+}
+
+/// Batched multi-client report uplink: one wave chunk's bit-plane bitmaps
+/// in a single frame (see [`BatchReportMessage`]), plus an envelope nonce
+/// for replay detection — the chunk-level analogue of [`Report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Per-submission nonce; replays repeat it verbatim.
+    pub nonce: u64,
+    /// The packed chunk payload (`task_id` carries the round tag).
+    pub body: BatchReportMessage,
 }
 
 /// Secure-aggregation round 0: key advertisement.
@@ -179,6 +192,8 @@ pub enum Message {
     /// or the shuffler's anonymized batch to the coordinator. Both legs
     /// travel toward the coordinator, so the whole tier is uplink.
     Shuffle(ShuffleMessage),
+    /// Batched multi-client report uplink (one frame per wave chunk).
+    BatchReport(BatchReport),
 }
 
 impl Message {
@@ -190,7 +205,7 @@ impl Message {
             Message::RoundConfig(_) | Message::ConfigHeader(_) | Message::AssignBit { .. } => {
                 TrafficPhase::Configure
             }
-            Message::Report(_) => TrafficPhase::Collect,
+            Message::Report(_) | Message::BatchReport(_) => TrafficPhase::Collect,
             Message::KeyAdvertise(_) | Message::KeyShares(_) => TrafficPhase::KeyExchange,
             Message::MaskedInput(_) => TrafficPhase::Masking,
             Message::UnmaskShares(_) => TrafficPhase::Unmask,
@@ -295,6 +310,11 @@ impl Message {
             Message::Shuffle(s) => {
                 out.push(TAG_SHUFFLE);
                 s.encode_into(out);
+            }
+            Message::BatchReport(b) => {
+                out.push(TAG_BATCH_REPORT);
+                push_varint(out, b.nonce);
+                b.body.encode_into(out);
             }
         }
     }
@@ -460,6 +480,11 @@ impl Message {
                 Ok(Message::AssignBit { assigned_bit })
             }
             TAG_SHUFFLE => Ok(Message::Shuffle(ShuffleMessage::decode_from(buf, pos)?)),
+            TAG_BATCH_REPORT => {
+                let nonce = read_varint(buf, pos)?;
+                let body = BatchReportMessage::decode_from(buf, pos)?;
+                Ok(Message::BatchReport(BatchReport { nonce, body }))
+            }
             other => Err(WireError::UnknownTag(other)),
         }
     }
@@ -534,6 +559,19 @@ mod tests {
                 round_id: 3,
                 entries: vec![(0, false), (7, true), (255, false)],
             }),
+            Message::BatchReport(BatchReport {
+                nonce: 42,
+                body: BatchReportMessage {
+                    task_id: 0x1234,
+                    planes: {
+                        let mut planes = fednum_core::bits::BitPlanes::new(4, 70);
+                        for slot in 0..70 {
+                            planes.record(slot, (slot % 4) as u32, slot % 3 == 0);
+                        }
+                        planes
+                    },
+                },
+            }),
         ]
     }
 
@@ -568,7 +606,7 @@ mod tests {
 
     #[test]
     fn unknown_tags_rejected() {
-        for tag in 11..=255u8 {
+        for tag in 12..=255u8 {
             assert_eq!(Message::decode(&[tag]), Err(WireError::UnknownTag(tag)));
         }
         assert_eq!(Message::decode(&[]), Err(WireError::Truncated));

@@ -29,7 +29,7 @@ use fednum_fedsim::error::FedError;
 use fednum_fedsim::traffic::{Direction, TrafficPhase, TrafficStats};
 use fednum_fedsim::validation::RejectionCounts;
 
-use crate::coordinator::{collect_waves, debias_sums, direct_tally};
+use crate::coordinator::{collect_batched, collect_waves, debias_sums, direct_tally};
 use crate::message::{Message, Publish};
 use crate::net::InMemoryTransport;
 use crate::scheduler::mix;
@@ -81,16 +81,21 @@ pub fn run_sharded_mean(
     shards: usize,
     seed: u64,
 ) -> Result<ShardedOutcome, FedError> {
-    sharded_impl(values, config, shards, seed)
+    sharded_impl(values, config, shards, seed, None)
 }
 
 /// The sharded-round engine behind the deprecated free function and the
-/// `RoundBuilder` facade.
+/// `RoundBuilder` facade. `batched` switches every shard onto the chunked
+/// multi-client wire (see
+/// [`collect_batched`](crate::coordinator::collect_batched)) with the given
+/// chunk size, tallying by plane popcounts; per-shard estimates stay
+/// bit-identical to the scalar wire per seed.
 pub(crate) fn sharded_impl(
     values: &[f64],
     config: &fednum_fedsim::round::FederatedMeanConfig,
     shards: usize,
     seed: u64,
+    batched: Option<usize>,
 ) -> Result<ShardedOutcome, FedError> {
     if shards == 0 {
         return Err(FedError::InvalidConfig("shards must be >= 1".into()));
@@ -129,8 +134,27 @@ pub(crate) fn sharded_impl(
         let slice = &codes[start..start + len];
         let mut rng = StdRng::seed_from_u64(mix(seed ^ s as u64));
         let mut transport = InMemoryTransport::new(mix(seed ^ (s as u64) ^ 0xA24B_AED4_963E_E407));
-        let st = collect_waves(slice, config, start as u64, None, &mut transport, &mut rng)?;
-        let shard_ones = direct_tally(&st.contacts, bits);
+        let (st, shard_ones) = match batched {
+            Some(chunk) => {
+                let (st, planes) = collect_batched(
+                    slice,
+                    config,
+                    chunk,
+                    start as u64,
+                    None,
+                    &mut transport,
+                    &mut rng,
+                )?;
+                let shard_ones = planes.ones();
+                (st, shard_ones)
+            }
+            None => {
+                let st =
+                    collect_waves(slice, config, start as u64, None, &mut transport, &mut rng)?;
+                let shard_ones = direct_tally(&st.contacts, bits);
+                (st, shard_ones)
+            }
+        };
         for j in 0..bits as usize {
             ones[j] += shard_ones[j];
             counts[j] += st.counts[j];
@@ -213,7 +237,7 @@ mod tests {
         shards: usize,
         seed: u64,
     ) -> Result<ShardedOutcome, FedError> {
-        sharded_impl(values, config, shards, seed)
+        sharded_impl(values, config, shards, seed, None)
     }
 
     fn run_federated_mean_transport(

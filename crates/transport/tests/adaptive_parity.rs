@@ -1,6 +1,6 @@
 //! Adaptive two-round parity: the multi-session transport port of
-//! Algorithm 2 must reproduce the synchronous
-//! [`run_federated_adaptive`](fednum_fedsim::adaptive_round::run_federated_adaptive)
+//! Algorithm 2 must reproduce the synchronous engine
+//! (`fednum_fedsim::adaptive_round::run_adaptive_impl`)
 //! **bit for bit** under the same seed. The feedback between the rounds
 //! rides the round-1 Publish frame here, so this grid additionally pins
 //! that the message codec is `f64`-bit-preserving end to end: any rounding

@@ -2,10 +2,11 @@
 //! randomly generated instances of every variant, rejection of truncated
 //! and over-long frames, and panic-freedom on arbitrary byte soup.
 
-use fednum_core::wire::ReportMessage;
+use fednum_core::bits::BitPlanes;
+use fednum_core::wire::{BatchReportMessage, ReportMessage};
 use fednum_transport::message::{
-    EncryptedShare, KeyAdvertise, KeyShares, MaskedInput, Publish, Report, RoundConfig,
-    UnmaskShares, ENCRYPTED_SHARE_LEN, PUBLIC_KEY_LEN,
+    BatchReport, EncryptedShare, KeyAdvertise, KeyShares, MaskedInput, Publish, Report,
+    RoundConfig, UnmaskShares, ENCRYPTED_SHARE_LEN, PUBLIC_KEY_LEN,
 };
 use fednum_transport::Message;
 use proptest::prelude::*;
@@ -20,7 +21,7 @@ fn arb_message(pick: u8, rng: &mut StdRng) -> Message {
         1 => u64::MAX,
         _ => rng.random::<u64>(),
     };
-    match pick % 8 {
+    match pick % 9 {
         0 => Message::Hello { round_id },
         1 => Message::RoundConfig(RoundConfig {
             round_id,
@@ -84,6 +85,23 @@ fn arb_message(pick: u8, rng: &mut StdRng) -> Message {
                     .collect(),
             })
         }
+        7 => {
+            let bits = rng.random_range(1..=16u32);
+            let slots = rng.random_range(0..150usize);
+            let mut planes = BitPlanes::new(bits, slots);
+            for slot in 0..slots {
+                if rng.random_bool(0.8) {
+                    planes.record(slot, rng.random_range(0..bits), rng.random_bool(0.5));
+                }
+            }
+            Message::BatchReport(BatchReport {
+                nonce: rng.random::<u64>(),
+                body: BatchReportMessage {
+                    task_id: round_id,
+                    planes,
+                },
+            })
+        }
         _ => {
             let count = rng.random_range(0..16usize);
             Message::Publish(Publish {
@@ -105,7 +123,7 @@ proptest! {
 
     /// Encode→decode is the identity on every message variant.
     #[test]
-    fn encode_decode_identity(pick in 0u8..8, seed in any::<u64>()) {
+    fn encode_decode_identity(pick in 0u8..9, seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let msg = arb_message(pick, &mut rng);
         let bytes = msg.encode();
@@ -117,7 +135,7 @@ proptest! {
     /// prefix-free under full-consumption decoding), and every extension
     /// with trailing bytes is rejected.
     #[test]
-    fn truncation_and_trailing_rejected(pick in 0u8..8, seed in any::<u64>(), junk in any::<u8>()) {
+    fn truncation_and_trailing_rejected(pick in 0u8..9, seed in any::<u64>(), junk in any::<u8>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let msg = arb_message(pick, &mut rng);
         let bytes = msg.encode();
@@ -138,7 +156,7 @@ proptest! {
         rng.fill_bytes(&mut buf);
         // Bias the first byte toward valid tags so parsing goes deep.
         if !buf.is_empty() && seed.is_multiple_of(2) {
-            buf[0] %= 8;
+            buf[0] %= 12;
         }
         let _ = Message::decode(&buf);
     }
@@ -146,7 +164,7 @@ proptest! {
     /// A decoded frame re-encodes to the same bytes whenever the original
     /// used canonical varints — which every encoder in this workspace does.
     #[test]
-    fn decode_encode_is_canonical(pick in 0u8..8, seed in any::<u64>()) {
+    fn decode_encode_is_canonical(pick in 0u8..9, seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let bytes = arb_message(pick, &mut rng).encode();
         let decoded = Message::decode(&bytes).unwrap();
@@ -219,6 +237,35 @@ fn regression_publish_preserves_estimate_bits() {
             assert_eq!(got.to_bits(), want.to_bits());
         }
     }
+}
+
+#[test]
+fn regression_hostile_batch_slot_count_fails_closed() {
+    // BatchReport claiming 2^40 slots in a handful of bytes: the decoder
+    // must reject it against the remaining buffer before any allocation.
+    let mut buf = vec![11u8]; // TAG_BATCH_REPORT
+    buf.push(0); // nonce = 0
+    buf.push(0); // task_id = 0
+    buf.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x20]); // slots = 2^40
+    buf.push(1); // bits = 1
+    assert!(Message::decode(&buf).is_err());
+}
+
+#[test]
+fn regression_batch_noncanonical_padding_rejected() {
+    // A syntactically valid batch frame whose last occupancy word sets a
+    // bit past the slot count must fail closed: accepting it would let a
+    // hostile chunk smuggle phantom reports into the plane tally.
+    let mut planes = BitPlanes::new(1, 3);
+    planes.record(0, 0, true);
+    let msg = Message::BatchReport(BatchReport {
+        nonce: 7,
+        body: BatchReportMessage { task_id: 7, planes },
+    });
+    let mut bytes = msg.encode();
+    let n = bytes.len();
+    bytes[n - 16] |= 0x08; // occupancy bit for slot 3 of 3
+    assert!(Message::decode(&bytes).is_err());
 }
 
 #[test]

@@ -138,6 +138,70 @@ fn plain_and_secagg_rounds_over_loopback_match_in_memory() {
     handle.shutdown().expect("clean daemon shutdown");
 }
 
+/// The batched-wire acceptance gate: plain and secagg rounds on the
+/// chunked `BatchReport` wire must publish bit-identical estimates to the
+/// scalar per-client wire under the same seed, and the batched run itself
+/// must be bit-identical across `InMemoryTransport`, fault-free
+/// `SimNetTransport`, and a real loopback TCP session (the chunk frames
+/// genuinely cross the kernel socket).
+#[test]
+fn batched_rounds_match_the_scalar_wire_across_all_transports() {
+    let handle = daemon();
+    let addr = handle.addr();
+    let mut secagg_cfg = base_config(0xB5);
+    secagg_cfg = secagg_cfg.with_secagg(SecAggSettings {
+        threshold_fraction: 0.5,
+        neighbors: Some(24),
+    });
+    let cases: Vec<(&str, FederatedMeanConfig, usize)> = vec![
+        ("plain", base_config(0xB4), 120),
+        ("secagg", secagg_cfg, 300),
+    ];
+    for (tag, cfg, n) in cases {
+        let vals = values(n, cfg.session_seed);
+        let seed = cfg.session_seed ^ 0xD00D;
+        let run_batched = |transport: &mut dyn Transport| -> FederatedOutcome {
+            RoundBuilder::new(cfg.clone())
+                .seed(cfg.session_seed)
+                .batched(64)
+                .via(transport)
+                .run(&vals)
+                .map(|out| out.flat().unwrap().clone())
+                .unwrap()
+        };
+
+        let mut mem_scalar = InMemoryTransport::new(seed);
+        let scalar = run_over(&vals, &cfg, &mut mem_scalar, cfg.session_seed).unwrap();
+        let mut mem = InMemoryTransport::new(seed);
+        let batched_mem = run_batched(&mut mem);
+        let mut sim = SimNetTransport::for_config(&cfg, seed);
+        let batched_sim = run_batched(&mut sim);
+        let mut tcp = TcpTransport::connect(addr, seed).expect("connect");
+        let batched_tcp = run_batched(&mut tcp);
+
+        // Estimate parity with the scalar wire (traffic shape differs by
+        // design, so only the statistical surface is compared).
+        assert_eq!(
+            scalar.outcome.estimate.to_bits(),
+            batched_mem.outcome.estimate.to_bits(),
+            "{tag}: batched wire diverges from the scalar wire"
+        );
+        assert_eq!(scalar.reports, batched_mem.reports, "{tag}: reports");
+        assert_eq!(scalar.contacted, batched_mem.contacted, "{tag}: contacted");
+        assert_eq!(scalar.secagg, batched_mem.secagg, "{tag}: secagg summary");
+
+        // Transport parity: the batched run itself is bit-identical
+        // everywhere, traffic ledger included.
+        assert_identical(&format!("{tag}/simnet"), &batched_mem, &batched_sim);
+        assert_identical(&format!("{tag}/tcp"), &batched_mem, &batched_tcp);
+
+        let wire = tcp.wire_metrics().expect("tcp meters the wire");
+        assert!(wire.frames_sent > 0 && wire.frames_received > 0, "{tag}");
+        tcp.close().expect("clean close");
+    }
+    handle.shutdown().expect("clean daemon shutdown");
+}
+
 #[test]
 fn faulted_and_salvage_rounds_over_loopback_match_simnet() {
     let handle = daemon();

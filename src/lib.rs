@@ -42,3 +42,12 @@ pub use fednum_workloads as workloads;
 // The unified entry point for every round flavor, hoisted to the crate
 // root: `fednum::RoundBuilder::new(config).run(&values)`.
 pub use fednum_transport::{RoundBuilder, RoundDetail, RoundOutcome, ShuffleConfig};
+
+// The bit-plane aggregation surface behind `RoundBuilder::batched(chunk)`:
+// the per-bit-position bitmap representation clients' one-bit reports are
+// packed into, and the chunked multi-client wire frame that carries it.
+// Shapes that cannot batch (adaptive, shuffle tier, injected faults,
+// straggler salvage, zero chunk) are rejected up front with
+// `FedError::InvalidConfig`.
+pub use fednum_core::bits::BitPlanes;
+pub use fednum_core::wire::{BatchReportMessage, MAX_BATCH_BITS};

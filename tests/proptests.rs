@@ -8,9 +8,10 @@ use fednum::core::sampling::BitSampling;
 use fednum::ldp::ValueRange;
 use fednum::secagg::field::{Fe, MODULUS};
 use fednum::secagg::shamir::{reconstruct as shamir_reconstruct, share};
+use fednum::BitPlanes;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
 proptest! {
     /// Codec: encode∘decode is the identity on representable integers.
@@ -144,6 +145,82 @@ proptest! {
     fn bit_extraction_is_arithmetic(v in any::<u64>(), j in 0u32..52) {
         let expected = (v >> j) & 1;
         prop_assert_eq!(bit_f64(v, j), expected as f64);
+    }
+
+    /// Bit-plane packing: the `count_ones()` tally (`ones()` / `counts()`)
+    /// equals the scalar one-report-at-a-time accumulation, and the masked
+    /// variants equal the scalar tally restricted to kept slots — the
+    /// invariant the batched aggregation path rests on.
+    #[test]
+    fn bit_planes_match_scalar_accumulation(
+        bits in 1u32..=16,
+        raw in prop::collection::vec((0u32..20, any::<bool>()), 1..200),
+        mask_seed in any::<u64>(),
+    ) {
+        // j >= 16 marks a dropped-out slot (no report recorded).
+        let reports: Vec<Option<(u32, bool)>> = raw
+            .into_iter()
+            .map(|(j, v)| (j < 16).then_some((j % bits, v)))
+            .collect();
+        let slots = reports.len();
+        let mut planes = BitPlanes::new(bits, slots);
+        let mut ones = vec![0u64; bits as usize];
+        let mut counts = vec![0u64; bits as usize];
+        for (slot, r) in reports.iter().enumerate() {
+            if let Some((j, v)) = r {
+                planes.record(slot, *j, *v);
+                counts[*j as usize] += 1;
+                if *v {
+                    ones[*j as usize] += 1;
+                }
+            }
+        }
+        prop_assert_eq!(planes.ones(), ones);
+        prop_assert_eq!(planes.counts(), counts);
+
+        // Masked tally over a pseudo-random survivor bitmap.
+        let mut rng = StdRng::seed_from_u64(mask_seed);
+        let keep: Vec<u64> = (0..slots.div_ceil(64)).map(|_| rng.random::<u64>()).collect();
+        let mut m_ones = vec![0u64; bits as usize];
+        let mut m_counts = vec![0u64; bits as usize];
+        for (slot, r) in reports.iter().enumerate() {
+            if (keep[slot / 64] >> (slot % 64)) & 1 == 0 {
+                continue;
+            }
+            if let Some((j, v)) = r {
+                m_counts[*j as usize] += 1;
+                if *v {
+                    m_ones[*j as usize] += 1;
+                }
+            }
+        }
+        prop_assert_eq!(planes.ones_masked(&keep), m_ones);
+        prop_assert_eq!(planes.counts_masked(&keep), m_counts);
+    }
+
+    /// Merging planes is exactly slot concatenation: packing two report
+    /// sequences separately and merging equals packing them back to back.
+    #[test]
+    fn bit_planes_merge_is_concatenation(
+        bits in 1u32..=8,
+        left in prop::collection::vec((0u32..10, any::<bool>()), 0..100),
+        right in prop::collection::vec((0u32..10, any::<bool>()), 0..100),
+    ) {
+        // j >= 8 marks a dropped-out slot (no report recorded).
+        let pack = |reports: &[(u32, bool)]| {
+            let mut planes = BitPlanes::new(bits, reports.len());
+            for (slot, &(j, v)) in reports.iter().enumerate() {
+                if j < 8 {
+                    planes.record(slot, j % bits, v);
+                }
+            }
+            planes
+        };
+        let mut merged = pack(&left);
+        merged.merge(&pack(&right));
+        let mut whole: Vec<(u32, bool)> = left;
+        whole.extend(right);
+        prop_assert_eq!(merged, pack(&whole));
     }
 }
 
